@@ -1,0 +1,144 @@
+// Beyond the paper: end-to-end event latency.
+//
+// "Since JXTA is not reliable (August 2001 release) and since we do not
+// want to modify the JXTA implementation, we were not able to measure the
+// latency. We focused on the invocation time instead." (paper §5.1
+// footnote). Our substrate is controllable, so the measurement the authors
+// wanted is straightforward: publish→deliver latency per layer, on a LAN
+// with a known 1 ms one-way link, for 1 and 4 subscribers (latency = time
+// until the LAST subscriber has the event).
+//
+// Expected: all layers sit a little above the 2-hop network floor; the SR
+// layers add bookkeeping; SR-TPS additionally pays typed decode. The gaps
+// quantify what Figure 18 could only hint at from the send side.
+#include "support/harness.h"
+
+using namespace p2p;
+using namespace p2p::bench;
+
+namespace {
+
+constexpr int kEvents = 200;
+constexpr std::int64_t kLinkLatencyMs = 1;
+
+struct SeriesResult {
+  std::string label;
+  util::Summary latency_us;
+};
+
+template <typename MakePublisher, typename MakeSubscriber>
+SeriesResult run_series(const std::string& label, int n_subscribers,
+                        MakePublisher make_publisher,
+                        MakeSubscriber make_subscriber) {
+  Lan lan(kLinkLatencyMs);
+  jxta::Peer& pub_peer = lan.add_peer("publisher");
+  std::vector<jxta::Peer*> sub_peers;
+  for (int i = 0; i < n_subscribers; ++i) {
+    sub_peers.push_back(&lan.add_peer("sub" + std::to_string(i)));
+  }
+  const auto shared_adv = lan.make_shared_adv("SkiRental");
+
+  std::atomic<std::uint64_t> received{0};
+  std::vector<std::unique_ptr<Driver>> subs;
+  for (jxta::Peer* peer : sub_peers) {
+    subs.push_back(make_subscriber(*peer, shared_adv));
+    subs.back()->set_on_receive([&](std::int64_t) { ++received; });
+  }
+  auto publisher = make_publisher(pub_peer, shared_adv);
+
+  SeriesResult result;
+  result.label = label;
+  std::uint64_t expected = 0;
+  // Warm-up.
+  for (int i = 0; i < 5; ++i) publisher->publish(10'000 + i);
+  expected += 5ull * static_cast<unsigned>(n_subscribers);
+  await_count(received, expected, 3000);
+  for (int i = 0; i < kEvents; ++i) {
+    const std::int64_t t0 = now_us();
+    publisher->publish(i);
+    expected += static_cast<unsigned>(n_subscribers);
+    await_count(received, expected, 3000);
+    result.latency_us.add(static_cast<double>(now_us() - t0));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Beyond the paper: end-to-end latency (publish -> last "
+               "subscriber), link latency "
+            << kLinkLatencyMs << " ms one way\n"
+            << "# (the paper could not measure latency on JXTA 1.0; see "
+               "its §5.1 footnote)\n\n";
+
+  srjxta::SrConfig sr_config;
+  sr_config.adv_search_timeout = std::chrono::milliseconds(300);
+  tps::TpsConfig tps_config;
+  tps_config.adv_search_timeout = std::chrono::milliseconds(300);
+
+  std::vector<SeriesResult> results;
+  for (const int subs : {1, 4}) {
+    const std::string suffix =
+        " " + std::to_string(subs) + (subs == 1 ? " sub" : " subs");
+    results.push_back(run_series(
+        "JXTA-WIRE" + suffix, subs,
+        [](jxta::Peer& p, const jxta::PeerGroupAdvertisement& adv) {
+          return std::make_unique<WireDriver>(p, adv, kPaperMessageBytes);
+        },
+        [](jxta::Peer& p, const jxta::PeerGroupAdvertisement& adv)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<WireDriver>(p, adv, kPaperMessageBytes);
+        }));
+    results.push_back(run_series(
+        "SR-JXTA" + suffix, subs,
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {
+          return std::make_unique<SrDriver>(p, "SkiRentalSR",
+                                            kPaperMessageBytes, sr_config);
+        },
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<SrDriver>(p, "SkiRentalSR",
+                                            kPaperMessageBytes, sr_config);
+        }));
+    results.push_back(run_series(
+        "SR-TPS" + suffix, subs,
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_config);
+        },
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_config);
+        }));
+  }
+
+  std::cout << "series\tp50_us\tp99_us\tmean_us\tsd\n";
+  for (const auto& r : results) {
+    std::cout << r.label << "\t" << r.latency_us.percentile(50) << "\t"
+              << r.latency_us.percentile(99) << "\t" << r.latency_us.mean()
+              << "\t" << r.latency_us.stddev() << "\n";
+  }
+
+  const auto p50 = [&](const std::string& label) {
+    for (const auto& r : results) {
+      if (r.label == label) return r.latency_us.percentile(50);
+    }
+    return 0.0;
+  };
+  const double floor_us = kLinkLatencyMs * 1000.0;
+  std::cout << "\n# sanity: every layer sits above the " << floor_us
+            << " us one-hop network floor\n";
+  for (const auto& r : results) {
+    std::cout << r.label << ": above_floor="
+              << (r.latency_us.percentile(50) >= floor_us ? "yes" : "NO")
+              << " overhead_us="
+              << r.latency_us.percentile(50) - floor_us << "\n";
+  }
+  std::cout << "# abstraction premium (p50, 1 sub): SR-JXTA - WIRE = "
+            << p50("SR-JXTA 1 sub") - p50("JXTA-WIRE 1 sub")
+            << " us; SR-TPS - SR-JXTA = "
+            << p50("SR-TPS 1 sub") - p50("SR-JXTA 1 sub") << " us\n";
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Figure 19 — Publisher's throughput.
+//
+// Paper §5.2: "We consider here a set of 100 published events and we
+// measure the time for the publisher to deliver those events to the
+// subscriber(s)." The figure plots events sent per second over 10 epochs
+// (10 events per epoch) for {JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4}
+// subscribers.
+//
+// Expected shape (paper): SR-JXTA and SR-TPS very close; both slightly
+// slower than raw JXTA-WIRE (~2 events/s with one subscriber there); the
+// differences become insignificant as subscribers increase.
+#include "support/harness.h"
+
+using namespace p2p;
+using namespace p2p::bench;
+
+namespace {
+
+constexpr int kEvents = 100;      // paper: 100 events
+constexpr int kEpochs = 10;       // paper: 10 epochs
+constexpr int kPerEpoch = kEvents / kEpochs;
+
+struct SeriesResult {
+  std::string label;
+  std::vector<double> events_per_sec;  // one per epoch
+  double mean = 0;
+};
+
+template <typename MakePublisher, typename MakeSubscriber>
+SeriesResult run_series(const std::string& label, int n_subscribers,
+                        MakePublisher make_publisher,
+                        MakeSubscriber make_subscriber) {
+  Lan lan(/*latency_ms=*/1);
+  jxta::Peer& pub_peer = lan.add_peer("publisher");
+  std::vector<jxta::Peer*> sub_peers;
+  for (int i = 0; i < n_subscribers; ++i) {
+    sub_peers.push_back(&lan.add_peer("sub" + std::to_string(i)));
+  }
+  const auto shared_adv = lan.make_shared_adv("SkiRental");
+
+  std::atomic<std::uint64_t> received{0};
+  std::vector<std::unique_ptr<Driver>> subs;
+  for (jxta::Peer* peer : sub_peers) {
+    subs.push_back(make_subscriber(*peer, shared_adv));
+    subs.back()->set_on_receive([&](std::int64_t) { ++received; });
+  }
+  auto publisher = make_publisher(pub_peer, shared_adv);
+
+  // "The time for the publisher to deliver those events to the
+  // subscriber(s)": per epoch, publish 10 events and wait until every
+  // subscriber has them, like the paper's sender-side completion measure.
+  SeriesResult result;
+  result.label = label;
+  std::uint64_t expected = 0;
+  double total_s = 0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const std::int64_t t0 = now_us();
+    for (int i = 0; i < kPerEpoch; ++i) {
+      publisher->publish(epoch * kPerEpoch + i);
+    }
+    expected += static_cast<std::uint64_t>(kPerEpoch) *
+                static_cast<std::uint64_t>(n_subscribers);
+    await_count(received, expected, 10000);
+    const double secs = static_cast<double>(now_us() - t0) / 1e6;
+    result.events_per_sec.push_back(kPerEpoch / secs);
+    total_s += secs;
+  }
+  result.mean = kEvents / total_s;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Figure 19 reproduction: publisher's throughput "
+               "(events sent+delivered per second, per epoch)\n"
+            << "# paper setup: 100 events in 10 epochs, 1910-byte "
+               "messages, {JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4} subs\n";
+
+  srjxta::SrConfig sr_config;
+  sr_config.adv_search_timeout = std::chrono::milliseconds(300);
+  tps::TpsConfig tps_config;
+  tps_config.adv_search_timeout = std::chrono::milliseconds(300);
+
+  std::vector<SeriesResult> results;
+  for (const int subs : {1, 4}) {
+    const std::string suffix =
+        " " + std::to_string(subs) + (subs == 1 ? " sub" : " subs");
+    results.push_back(run_series(
+        "JXTA-WIRE" + suffix, subs,
+        [](jxta::Peer& p, const jxta::PeerGroupAdvertisement& adv) {
+          return std::make_unique<WireDriver>(p, adv, kPaperMessageBytes);
+        },
+        [](jxta::Peer& p, const jxta::PeerGroupAdvertisement& adv)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<WireDriver>(p, adv, kPaperMessageBytes);
+        }));
+    results.push_back(run_series(
+        "SR-JXTA" + suffix, subs,
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {
+          return std::make_unique<SrDriver>(p, "SkiRentalSR",
+                                            kPaperMessageBytes, sr_config);
+        },
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<SrDriver>(p, "SkiRentalSR",
+                                            kPaperMessageBytes, sr_config);
+        }));
+    results.push_back(run_series(
+        "SR-TPS" + suffix, subs,
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_config);
+        },
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_config);
+        }));
+  }
+
+  std::cout << "\nepoch";
+  for (const auto& r : results) std::cout << "\t" << r.label;
+  std::cout << "\n";
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    std::cout << epoch + 1;
+    for (const auto& r : results) {
+      std::cout << "\t"
+                << r.events_per_sec[static_cast<std::size_t>(epoch)];
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\n# mean throughput (events/s)\n";
+  for (const auto& r : results) {
+    std::cout << r.label << ": " << r.mean << "\n";
+  }
+
+  const auto mean = [&](const std::string& label) {
+    for (const auto& r : results) {
+      if (r.label == label) return r.mean;
+    }
+    return 0.0;
+  };
+  const double wire1 = mean("JXTA-WIRE 1 sub");
+  const double sr1 = mean("SR-JXTA 1 sub");
+  const double tps1 = mean("SR-TPS 1 sub");
+  const double wire4 = mean("JXTA-WIRE 4 subs");
+  const double sr4 = mean("SR-JXTA 4 subs");
+  const double tps4 = mean("SR-TPS 4 subs");
+  std::cout << "\n# shape checks (paper §5.2)\n"
+            << "sr_layers_close (|tps-sr|/sr, 1 sub): "
+            << (sr1 > 0 ? std::abs(tps1 - sr1) / sr1 : 0)
+            << " (paper: very close)\n"
+            << "wire_fastest_1sub: "
+            << (wire1 >= sr1 && wire1 >= tps1 ? "yes" : "NO") << "\n"
+            << "gap_narrows_at_4subs: "
+            << ((wire4 - std::min(sr4, tps4)) / wire4 <=
+                        (wire1 - std::min(sr1, tps1)) / wire1
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,217 @@
+// Figure 20 — Subscriber's throughput.
+//
+// Paper §5.3: "Here the publishers try to flood the subscriber (10000
+// events published per each publisher). Every second, we measure the
+// number of events that are received; during 50 seconds." Series:
+// {JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4} publishers.
+//
+// Expected shape (paper): JXTA-WIRE's receive rate tops the SR layers
+// (which pay dedup + multi-adv bookkeeping); the receive rate saturates
+// (the subscriber cannot absorb the offered flood); with more publishers
+// the aggregate rate "remains quite the same" — the per-publisher share
+// drops roughly by the publisher count.
+//
+// Scaling note: our substrate moves events ~3 orders of magnitude faster
+// than JXTA 1.0 on a 440 MHz Ultra 10, so the measurement window is 50
+// buckets of 100 ms (the paper: 50 buckets of 1 s), and publishers offer
+// events continuously for the whole window — in the paper the 10000-event
+// floods outlasted its 50 s window (at ~8 ev/s they could not finish);
+// ours would drain 10000 events in ~2 s, ending the saturation regime the
+// figure is about. Continuous offering preserves that regime.
+#include "support/harness.h"
+
+using namespace p2p;
+using namespace p2p::bench;
+
+namespace {
+
+constexpr int kBuckets = 50;             // paper: 50 (seconds)
+constexpr std::int64_t kBucketMs = 100;  // paper: 1000 (see note above)
+// Aggregate offered load. One unthrottled publisher thread sustains
+// ~50-60k events/s end to end on this substrate (the synchronous publish
+// path is the limiter, exactly as in the paper's JXTA); four concurrent
+// unthrottled publishers would grow an unbounded in-flight backlog. We
+// offer a fixed 30k/s aggregate — enough to keep the multi-peer
+// configurations at their processing limit — and report offered vs
+// received so saturation is visible rather than assumed.
+constexpr int kAggregateOfferedPerSec = 30000;
+
+struct SeriesResult {
+  std::string label;
+  std::vector<std::size_t> per_bucket;  // events received per bucket
+  double mean_rate = 0;                 // events per bucket, averaged
+  std::uint64_t total = 0;
+};
+
+template <typename MakePublisher, typename MakeSubscriber>
+SeriesResult run_series(const std::string& label, int n_publishers,
+                        MakePublisher make_publisher,
+                        MakeSubscriber make_subscriber) {
+  Lan lan(/*latency_ms=*/1);
+  jxta::Peer& sub_peer = lan.add_peer("subscriber");
+  std::vector<jxta::Peer*> pub_peers;
+  for (int i = 0; i < n_publishers; ++i) {
+    pub_peers.push_back(&lan.add_peer("pub" + std::to_string(i)));
+  }
+  const auto shared_adv = lan.make_shared_adv("SkiRental");
+
+  util::RateSeries series(kBucketMs);
+  std::mutex series_mu;
+  auto subscriber = make_subscriber(sub_peer, shared_adv);
+  subscriber->set_on_receive([&](std::int64_t t_ms) {
+    const std::lock_guard lock(series_mu);
+    series.record(t_ms);
+  });
+
+  std::vector<std::unique_ptr<Driver>> publishers;
+  for (jxta::Peer* peer : pub_peers) {
+    publishers.push_back(make_publisher(*peer, shared_adv));
+  }
+
+  // Flood from one thread per publisher (the paper's publishers are
+  // separate machines) for the whole measurement window.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  const auto per_publisher_interval = std::chrono::microseconds(
+      1'000'000LL * n_publishers / kAggregateOfferedPerSec);
+  for (auto& publisher : publishers) {
+    threads.emplace_back([&stop, &publisher, per_publisher_interval] {
+      auto next = std::chrono::steady_clock::now();
+      for (int i = 0; !stop; ++i) {
+        publisher->publish(i);
+        next += per_publisher_interval;
+        std::this_thread::sleep_until(next);
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(kBucketMs * kBuckets));
+  stop = true;
+  for (auto& t : threads) t.join();
+  // Allow in-flight deliveries to settle before tearing the LAN down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  SeriesResult result;
+  result.label = label;
+  {
+    const std::lock_guard lock(series_mu);
+    result.per_bucket = series.buckets();
+    result.total = series.total();
+  }
+  result.per_bucket.resize(kBuckets, 0);  // pad/trim to the window
+  if (result.per_bucket.size() > kBuckets) result.per_bucket.resize(kBuckets);
+  double sum = 0;
+  for (const auto n : result.per_bucket) sum += static_cast<double>(n);
+  result.mean_rate = sum / kBuckets;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Figure 20 reproduction: subscriber's throughput "
+               "(events received per 100ms bucket)\n"
+            << "# paper setup: publishers flood 10000 events each; "
+               "{JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4} publishers\n";
+
+  srjxta::SrConfig sr_config;
+  sr_config.adv_search_timeout = std::chrono::milliseconds(300);
+  sr_config.dedup_cache_size = 1 << 20;  // must span the whole flood
+  tps::TpsConfig tps_config;
+  tps_config.adv_search_timeout = std::chrono::milliseconds(300);
+  tps_config.dedup_cache_size = 1 << 20;
+
+  std::vector<SeriesResult> results;
+  for (const int pubs : {1, 4}) {
+    const std::string suffix =
+        " " + std::to_string(pubs) + (pubs == 1 ? " pub" : " pubs");
+    results.push_back(run_series(
+        "JXTA-WIRE" + suffix, pubs,
+        [](jxta::Peer& p, const jxta::PeerGroupAdvertisement& adv) {
+          return std::make_unique<WireDriver>(p, adv, kPaperMessageBytes);
+        },
+        [](jxta::Peer& p, const jxta::PeerGroupAdvertisement& adv)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<WireDriver>(p, adv, kPaperMessageBytes);
+        }));
+    results.push_back(run_series(
+        "SR-JXTA" + suffix, pubs,
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {
+          return std::make_unique<SrDriver>(p, "SkiRentalSR",
+                                            kPaperMessageBytes, sr_config);
+        },
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<SrDriver>(p, "SkiRentalSR",
+                                            kPaperMessageBytes, sr_config);
+        }));
+    results.push_back(run_series(
+        "SR-TPS" + suffix, pubs,
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_config);
+        },
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
+            -> std::unique_ptr<Driver> {
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_config);
+        }));
+  }
+
+  std::cout << "\nbucket";
+  for (const auto& r : results) std::cout << "\t" << r.label;
+  std::cout << "\n";
+  for (int b = 0; b < kBuckets; ++b) {
+    std::cout << b + 1;
+    for (const auto& r : results) {
+      std::cout << "\t" << r.per_bucket[static_cast<std::size_t>(b)];
+    }
+    std::cout << "\n";
+  }
+
+  const double offered_per_bucket =
+      static_cast<double>(kAggregateOfferedPerSec) * kBucketMs / 1000.0;
+  std::cout << "\n# mean receive rate (events per bucket; offered "
+            << offered_per_bucket << "/bucket) and totals\n";
+  for (const auto& r : results) {
+    std::cout << r.label << ": mean=" << r.mean_rate
+              << " total=" << r.total << " (utilisation "
+              << r.mean_rate / offered_per_bucket << ")\n";
+  }
+
+  const auto mean = [&](const std::string& label) {
+    for (const auto& r : results) {
+      if (r.label == label) return r.mean_rate;
+    }
+    return 0.0;
+  };
+  const double wire1 = mean("JXTA-WIRE 1 pub");
+  const double sr1 = mean("SR-JXTA 1 pub");
+  const double tps1 = mean("SR-TPS 1 pub");
+  const double wire4 = mean("JXTA-WIRE 4 pubs");
+  const double sr4 = mean("SR-JXTA 4 pubs");
+  const double tps4 = mean("SR-TPS 4 pubs");
+  // The paper's 1-publisher case was already saturated (JXTA could not
+  // absorb even one flood); our substrate only saturates in the 4-publisher
+  // configuration, so the layer ordering is checked there. In unsaturated
+  // regimes all layers deliver the offered load and differences are noise
+  // (<1%).
+  std::cout << "\n# shape checks (paper §5.3: wire ~7.8 ev/s vs 6.1/6.0 "
+               "for SR-JXTA/SR-TPS under saturation; aggregate stays "
+               "similar with more publishers)\n"
+            << "saturated_wire_rate_tops_sr_layers (4 pubs): "
+            << (wire4 >= sr4 && wire4 >= tps4 ? "yes" : "NO") << " ("
+            << wire4 << " vs " << sr4 << "/" << tps4 << ")\n"
+            << "sr_layers_close (1 pub): "
+            << (sr1 > 0 ? std::abs(tps1 - sr1) / sr1 : 0) << "\n"
+            << "unsaturated_layers_within_1pct (1 pub): "
+            << (std::abs(wire1 - tps1) / wire1 < 0.01 &&
+                        std::abs(wire1 - sr1) / wire1 < 0.01
+                    ? "yes"
+                    : "NO")
+            << "\n"
+            << "per_publisher_share_drops_with_4_pubs (tps): "
+            << (tps1 > 0 ? tps4 / 4 / tps1 : 0)
+            << " (paper: ~1/3 to 1/4 each)\n";
+  return 0;
+}

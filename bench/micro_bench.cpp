@@ -1,0 +1,176 @@
+// Micro-benchmarks (google-benchmark) for the hot paths under the figures:
+// typed event codec, XML advertisements, JXTA messages, UUIDs, dedup sets,
+// discovery glob matching. These quantify where SR-TPS's small overhead
+// over SR-JXTA comes from (typed encode/decode + registry lookups).
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <unordered_set>
+
+#include "events/ski_rental.h"
+#include "jxta/advertisement.h"
+#include "jxta/message.h"
+#include "jxta/wire.h"
+#include "serial/type_registry.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/uuid.h"
+
+using namespace p2p;
+
+namespace {
+
+events::SkiRental sample_offer(std::size_t pad) {
+  return events::SkiRental("Shop" + std::string(pad, 'x'), 14.0f, "Salomon",
+                           100.0f);
+}
+
+void BM_EventEncode(benchmark::State& state) {
+  serial::TypeRegistry registry;
+  serial::register_event_with_ancestors<events::SkiRental>(registry);
+  const auto offer = sample_offer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.encode_tagged(offer));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(registry.encode_tagged(offer).size()));
+}
+BENCHMARK(BM_EventEncode)->Arg(0)->Arg(1846)->Arg(16384);
+
+void BM_EventDecode(benchmark::State& state) {
+  serial::TypeRegistry registry;
+  serial::register_event_with_ancestors<events::SkiRental>(registry);
+  const util::Bytes wire = registry.encode_tagged(
+      sample_offer(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.decode_tagged(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_EventDecode)->Arg(0)->Arg(1846)->Arg(16384);
+
+void BM_RegistryAncestry(benchmark::State& state) {
+  serial::TypeRegistry registry;
+  serial::register_event_with_ancestors<events::SkiRentalWithLessons>(
+      registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.ancestry("SkiRentalWithLessons"));
+  }
+}
+BENCHMARK(BM_RegistryAncestry);
+
+void BM_MessageSerialize(benchmark::State& state) {
+  jxta::Message m;
+  m.add_bytes("payload",
+              util::Bytes(static_cast<std::size_t>(state.range(0)), 0x5a));
+  m.add_string("tps:type", "SkiRental");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.serialize());
+  }
+}
+BENCHMARK(BM_MessageSerialize)->Arg(1910);
+
+void BM_MessageDeserialize(benchmark::State& state) {
+  jxta::Message m;
+  m.add_bytes("payload",
+              util::Bytes(static_cast<std::size_t>(state.range(0)), 0x5a));
+  const util::Bytes wire = m.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jxta::Message::deserialize(wire));
+  }
+}
+BENCHMARK(BM_MessageDeserialize)->Arg(1910);
+
+void BM_MessageDup(benchmark::State& state) {
+  jxta::Message m;
+  m.add_bytes("payload", util::Bytes(1910, 0x5a));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.dup());
+  }
+}
+BENCHMARK(BM_MessageDup);
+
+void BM_AdvertisementToXml(benchmark::State& state) {
+  jxta::PipeAdvertisement pipe;
+  pipe.pid = jxta::PipeId::derive("bench");
+  pipe.name = "SkiRental";
+  pipe.type = jxta::PipeAdvertisement::Type::kPropagate;
+  jxta::PeerGroupAdvertisement adv;
+  adv.gid = jxta::PeerGroupId::derive("bench");
+  adv.creator = jxta::PeerId::derive("bench");
+  adv.name = "PS_SkiRental";
+  auto wire = jxta::WireService::make_service_advertisement(pipe);
+  adv.services.emplace(wire.name, std::move(wire));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adv.to_xml_text());
+  }
+}
+BENCHMARK(BM_AdvertisementToXml);
+
+void BM_AdvertisementParse(benchmark::State& state) {
+  jxta::PipeAdvertisement pipe;
+  pipe.pid = jxta::PipeId::derive("bench");
+  pipe.name = "SkiRental";
+  jxta::PeerGroupAdvertisement adv;
+  adv.gid = jxta::PeerGroupId::derive("bench");
+  adv.creator = jxta::PeerId::derive("bench");
+  adv.name = "PS_SkiRental";
+  auto wire = jxta::WireService::make_service_advertisement(pipe);
+  adv.services.emplace(wire.name, std::move(wire));
+  const std::string text = adv.to_xml_text();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        jxta::AdvertisementFactory::instance().parse_text(text));
+  }
+}
+BENCHMARK(BM_AdvertisementParse);
+
+void BM_UuidGenerate(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Uuid::generate(rng));
+  }
+}
+BENCHMARK(BM_UuidGenerate);
+
+void BM_UuidParse(benchmark::State& state) {
+  const std::string text = util::Uuid::derive("bench").to_string();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Uuid::parse(text));
+  }
+}
+BENCHMARK(BM_UuidParse);
+
+void BM_DedupSeenSet(benchmark::State& state) {
+  // The SR layers' duplicate filter: insert + lookup with FIFO eviction.
+  std::unordered_set<util::Uuid> seen;
+  std::deque<util::Uuid> order;
+  const std::size_t cap = 8192;
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const util::Uuid id = util::Uuid::generate(rng);
+    if (!seen.contains(id)) {
+      seen.insert(id);
+      order.push_back(id);
+      if (order.size() > cap) {
+        seen.erase(order.front());
+        order.pop_front();
+      }
+    }
+  }
+}
+BENCHMARK(BM_DedupSeenSet);
+
+void BM_GlobMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::glob_match("PS_SkiRental*", "PS_SkiRentalOffers2026"));
+  }
+}
+BENCHMARK(BM_GlobMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,235 @@
+// Shared benchmark harness: the three measured layers of the paper's §5 —
+// JXTA-WIRE (raw wire pipes, no SR functionality), SR-JXTA (hand-coded SR
+// layer) and SR-TPS (the TPS engine) — behind one driver interface, plus
+// topology construction matching the paper's testbed (a LAN of peers;
+// FastEthernet is modelled as a small uniform fabric latency).
+//
+// Paper §5 parameters reproduced here: message size 1910 bytes; population
+// sizes 1 and 4 (JXTA 1.0 could not handle more than ~5 busy peers).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "events/ski_rental.h"
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+#include "srjxta/sr_session.h"
+#include "tps/tps.h"
+#include "util/stats.h"
+
+namespace p2p::bench {
+
+// The paper's message size (§5: "messages size: 1910 bytes").
+inline constexpr std::size_t kPaperMessageBytes = 1910;
+
+inline std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A padded SkiRental whose serialized form is ~kPaperMessageBytes.
+inline events::SkiRental make_offer(int i, std::size_t target_bytes) {
+  const std::size_t overhead = 64;  // names, floats, framing
+  const std::size_t pad =
+      target_bytes > overhead ? target_bytes - overhead : 0;
+  return events::SkiRental("Shop-" + std::to_string(i) + std::string(pad, 'x'),
+                           static_cast<float>(i), "Brand",
+                           static_cast<float>(i % 30 + 1));
+}
+
+inline util::Bytes make_payload(int i, std::size_t target_bytes) {
+  util::ByteWriter w;
+  p2p::serial::EventTraits<events::SkiRental>::encode(
+      make_offer(i, target_bytes), w);
+  return w.take();
+}
+
+// --- layer drivers -----------------------------------------------------------
+
+// A publisher or subscriber endpoint of one measured layer.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  virtual const char* layer() const = 0;
+  // Publisher side: sends one ~target_bytes event.
+  virtual void publish(int sequence) = 0;
+  // Subscriber side: invoked once per delivered event with receive time.
+  void set_on_receive(std::function<void(std::int64_t t_ms)> fn) {
+    on_receive_ = std::move(fn);
+  }
+
+ protected:
+  void delivered() {
+    if (on_receive_) on_receive_(now_ms());
+  }
+  std::function<void(std::int64_t)> on_receive_;
+};
+
+// JXTA-WIRE: a raw wire pipe on one pre-shared advertisement. No discovery
+// at publish time, no duplicate handling, no multi-advertisement
+// management — the paper's lower-bound reference point.
+class WireDriver final : public Driver {
+ public:
+  WireDriver(jxta::Peer& peer, const jxta::PeerGroupAdvertisement& adv,
+             std::size_t message_bytes)
+      : message_bytes_(message_bytes) {
+    group_ = peer.create_group(adv);
+    const auto& pipe = *adv.service(jxta::WireService::kWireName)->pipe;
+    input_ = group_->wire().create_input_pipe(pipe);
+    input_->set_listener([this](jxta::Message) { delivered(); });
+    output_ = group_->wire().create_output_pipe(pipe);
+  }
+
+  const char* layer() const override { return "JXTA-WIRE"; }
+
+  void publish(int sequence) override {
+    jxta::Message m;
+    m.add_bytes("payload", make_payload(sequence, message_bytes_));
+    output_->send(m.dup());
+  }
+
+ private:
+  std::size_t message_bytes_;
+  std::shared_ptr<jxta::PeerGroup> group_;
+  std::shared_ptr<jxta::WireInputPipe> input_;
+  std::shared_ptr<jxta::WireOutputPipe> output_;
+};
+
+// SR-JXTA: the hand-coded application layer (baseline of §4.4/§5).
+class SrDriver final : public Driver {
+ public:
+  SrDriver(jxta::Peer& peer, const std::string& topic,
+           std::size_t message_bytes, srjxta::SrConfig config = {})
+      : message_bytes_(message_bytes) {
+    session_ = std::make_shared<srjxta::SrSession>(peer, topic, config);
+    session_->init();
+    session_->set_receiver([this](const util::Bytes&) { delivered(); });
+  }
+
+  const char* layer() const override { return "SR-JXTA"; }
+
+  void publish(int sequence) override {
+    session_->publish(make_payload(sequence, message_bytes_));
+  }
+
+  [[nodiscard]] srjxta::SrStats stats() const { return session_->stats(); }
+
+ private:
+  std::size_t message_bytes_;
+  std::shared_ptr<srjxta::SrSession> session_;
+};
+
+// SR-TPS: the paper's contribution.
+class TpsDriver final : public Driver {
+ public:
+  TpsDriver(jxta::Peer& peer, std::size_t message_bytes,
+            tps::TpsConfig config = {})
+      : message_bytes_(message_bytes) {
+    config.record_history = false;  // benches run unbounded event counts
+    tps::TpsEngine<events::SkiRental> engine(peer, config);
+    interface_.emplace(engine.new_interface());
+    interface_->subscribe(
+        tps::make_callback<events::SkiRental>(
+            [this](const events::SkiRental&) { delivered(); }),
+        tps::ignore_exceptions<events::SkiRental>());
+  }
+
+  const char* layer() const override { return "SR-TPS"; }
+
+  void publish(int sequence) override {
+    interface_->publish(make_offer(sequence, message_bytes_));
+  }
+
+  [[nodiscard]] tps::TpsStats stats() const { return interface_->stats(); }
+  [[nodiscard]] std::size_t advertisement_count() const {
+    return interface_->advertisement_count();
+  }
+
+ private:
+  std::size_t message_bytes_;
+  std::optional<tps::TpsInterface<events::SkiRental>> interface_;
+};
+
+// --- topology ------------------------------------------------------------------
+
+// A LAN of peers: one publisher-side peer list and one subscriber-side peer
+// list on a fabric with uniform latency (FastEthernet stand-in).
+class Lan {
+ public:
+  explicit Lan(std::int64_t latency_ms = 1, std::uint64_t seed = 42)
+      : fabric_(seed) {
+    fabric_.set_default_link({.latency_ms = latency_ms});
+  }
+
+  jxta::Peer& add_peer(const std::string& name) {
+    jxta::PeerConfig config;
+    config.name = name;
+    config.heartbeat = std::chrono::milliseconds(500);
+    // Flood benches push hundreds of thousands of propagations through the
+    // window; the loop-suppression memory must span the whole run or
+    // re-forwarding storms distort the measurement.
+    config.rdv.seen_cache_size = 1 << 20;
+    auto peer = std::make_unique<jxta::Peer>(config);
+    peer->add_transport(
+        std::make_shared<net::InProcTransport>(fabric_, name));
+    peer->start();
+    peers_.push_back(std::move(peer));
+    return *peers_.back();
+  }
+
+  net::NetworkFabric& fabric() { return fabric_; }
+
+  // A pre-shared advertisement for the JXTA-WIRE layer (out-of-band
+  // distribution: raw wire users exchange advertisements manually).
+  jxta::PeerGroupAdvertisement make_shared_adv(const std::string& topic) {
+    jxta::PipeAdvertisement pipe;
+    pipe.pid = jxta::PipeId::derive("bench:" + topic);
+    pipe.name = topic;
+    pipe.type = jxta::PipeAdvertisement::Type::kPropagate;
+    jxta::PeerGroupAdvertisement adv;
+    adv.gid = jxta::PeerGroupId::derive("bench:" + topic);
+    adv.creator = peers_.empty() ? jxta::PeerId::generate()
+                                 : peers_.front()->id();
+    adv.name = "PS_" + topic;
+    adv.is_rendezvous = true;
+    auto wire = jxta::WireService::make_service_advertisement(pipe);
+    adv.services.emplace(wire.name, std::move(wire));
+    return adv;
+  }
+
+  ~Lan() {
+    for (auto it = peers_.rbegin(); it != peers_.rend(); ++it) {
+      (*it)->stop();
+    }
+  }
+
+ private:
+  net::NetworkFabric fabric_;
+  std::vector<std::unique_ptr<jxta::Peer>> peers_;
+};
+
+// Spins until `count` reaches `target` or timeout; returns success.
+inline bool await_count(const std::atomic<std::uint64_t>& count,
+                        std::uint64_t target, std::int64_t timeout_ms) {
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  while (now_ms() < deadline) {
+    if (count >= target) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return count >= target;
+}
+
+}  // namespace p2p::bench

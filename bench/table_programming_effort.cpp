@@ -1,0 +1,141 @@
+// Programming-effort comparison (paper §4.4).
+//
+// "writing the very same application with JXTA implies writing about 5000
+// lines of code more than using directly TPS. ... Otherwise (not having
+// the functionalities of TPS), the API saves, at least, to code 900
+// lines."
+//
+// This harness counts the lines the two checked-in implementations of the
+// ski-rental application actually require from the application programmer:
+//   SR-TPS : examples/ski_rental.cpp + the event-type definition
+//   SR-JXTA: examples/ski_rental_jxta.cpp + everything in src/srjxta/
+//            (AdvertisementsCreator/Finder, WireServiceFinder, SrSession —
+//            code the paper shows a JXTA user writing by hand, Figs. 15-17)
+// Both run on the same substrate (src/jxta, src/net, ...), which is the
+// analogue of the JXTA jar both versions in the paper linked against.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct FileCount {
+  std::string path;
+  int code = 0;      // non-blank, non-comment lines
+  int comments = 0;
+  int blank = 0;
+};
+
+FileCount count_file(const fs::path& path) {
+  FileCount out;
+  out.path = path.string();
+  std::ifstream in(path);
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    const auto trimmed = p2p::util::trim(line);
+    if (trimmed.empty()) {
+      ++out.blank;
+      continue;
+    }
+    if (in_block_comment) {
+      ++out.comments;
+      if (trimmed.find("*/") != std::string_view::npos) {
+        in_block_comment = false;
+      }
+      continue;
+    }
+    if (trimmed.starts_with("//")) {
+      ++out.comments;
+      continue;
+    }
+    if (trimmed.starts_with("/*")) {
+      ++out.comments;
+      if (trimmed.find("*/") == std::string_view::npos) {
+        in_block_comment = true;
+      }
+      continue;
+    }
+    ++out.code;
+  }
+  return out;
+}
+
+int total_code(const std::vector<FileCount>& files) {
+  int sum = 0;
+  for (const auto& f : files) sum += f.code;
+  return sum;
+}
+
+void print_group(const std::string& title,
+                 const std::vector<FileCount>& files) {
+  std::cout << "\n" << title << "\n";
+  for (const auto& f : files) {
+    std::cout << "  " << f.path << ": " << f.code << " code lines ("
+              << f.comments << " comment, " << f.blank << " blank)\n";
+  }
+  std::cout << "  TOTAL: " << total_code(files) << " code lines\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Repo root: from argv[1], or guessed relative to the binary's cwd.
+  fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path(".");
+  for (int up = 0; up < 4 && !fs::exists(root / "examples"); ++up) {
+    root = root / "..";
+  }
+  if (!fs::exists(root / "examples")) {
+    std::cerr << "cannot locate the repository root; pass it as argv[1]\n";
+    return 1;
+  }
+
+  std::cout << "# Programming-effort comparison (paper §4.4)\n"
+            << "# counting non-blank non-comment lines\n";
+
+  std::vector<FileCount> tps_app;
+  tps_app.push_back(count_file(root / "examples" / "ski_rental.cpp"));
+  tps_app.push_back(count_file(root / "src" / "events" / "ski_rental.h"));
+  print_group("SR-TPS application (what a TPS user writes):", tps_app);
+
+  std::vector<FileCount> jxta_app;
+  jxta_app.push_back(count_file(root / "examples" / "ski_rental_jxta.cpp"));
+  print_group("SR-JXTA application main (thin because the support layer "
+              "below carries the weight):",
+              jxta_app);
+
+  std::vector<FileCount> jxta_support;
+  for (const auto& entry :
+       fs::directory_iterator(root / "src" / "srjxta")) {
+    if (entry.path().extension() == ".h" ||
+        entry.path().extension() == ".cpp") {
+      jxta_support.push_back(count_file(entry.path()));
+    }
+  }
+  print_group(
+      "SR-JXTA support code (Figs. 15-17 + SR glue the JXTA user must "
+      "write and maintain):",
+      jxta_support);
+
+  const int tps_total = total_code(tps_app);
+  const int jxta_total = total_code(jxta_app) + total_code(jxta_support);
+  std::cout << "\n# verdict\n"
+            << "SR-TPS total:  " << tps_total << " lines\n"
+            << "SR-JXTA total: " << jxta_total << " lines\n"
+            << "extra lines hand-written without TPS: "
+            << jxta_total - tps_total << " ("
+            << (tps_total > 0
+                    ? static_cast<double>(jxta_total) / tps_total
+                    : 0)
+            << "x)\n"
+            << "# paper: >= 900 extra lines for the basic functionality, "
+               "~5000 with the full API; our C++ substrate is leaner than "
+               "JXTA 1.0's Java API, so the absolute gap is smaller — the "
+               "direction and the multiple are the reproduction target\n";
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Instant messaging over TPS — the first P2P application category the
+// paper's introduction lists ("instant messaging (ICQ, AOL's Instant
+// Messenger)").
+//
+// A chat room is simply an event type: ChatMessage. Everybody subscribes
+// and publishes on the same typed topic; there is no server, and presence
+// comes from the monitoring service (who answers status sweeps). A private
+// whisper uses the request/reply extension.
+//
+// Run: ./build/examples/chat
+#include <iostream>
+#include <thread>
+
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+#include "tps/request_reply.h"
+
+using namespace p2p;
+
+namespace {
+
+class ChatMessage : public serial::Event {
+ public:
+  ChatMessage() = default;
+  ChatMessage(std::string from, std::string text)
+      : from_(std::move(from)), text_(std::move(text)) {}
+  [[nodiscard]] const std::string& from() const { return from_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  std::string from_;
+  std::string text_;
+};
+
+class Whisper : public serial::Event {
+ public:
+  Whisper() = default;
+  Whisper(std::string to, std::string text)
+      : to_(std::move(to)), text_(std::move(text)) {}
+  [[nodiscard]] const std::string& to() const { return to_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  std::string to_;
+  std::string text_;
+};
+
+class Ack : public serial::Event {
+ public:
+  Ack() = default;
+  explicit Ack(std::string by) : by_(std::move(by)) {}
+  [[nodiscard]] const std::string& by() const { return by_; }
+
+ private:
+  std::string by_;
+};
+
+}  // namespace
+
+template <>
+struct p2p::serial::EventTraits<ChatMessage> {
+  static constexpr std::string_view kTypeName = "chat:Message";
+  using Parent = NoParent;
+  static void encode(const ChatMessage& e, util::ByteWriter& w) {
+    w.write_string(e.from());
+    w.write_string(e.text());
+  }
+  static ChatMessage decode(util::ByteReader& r) {
+    std::string from = r.read_string();
+    std::string text = r.read_string();
+    return {std::move(from), std::move(text)};
+  }
+};
+
+template <>
+struct p2p::serial::EventTraits<Whisper> {
+  static constexpr std::string_view kTypeName = "chat:Whisper";
+  using Parent = NoParent;
+  static void encode(const Whisper& e, util::ByteWriter& w) {
+    w.write_string(e.to());
+    w.write_string(e.text());
+  }
+  static Whisper decode(util::ByteReader& r) {
+    std::string to = r.read_string();
+    std::string text = r.read_string();
+    return {std::move(to), std::move(text)};
+  }
+};
+
+template <>
+struct p2p::serial::EventTraits<Ack> {
+  static constexpr std::string_view kTypeName = "chat:Ack";
+  using Parent = NoParent;
+  static void encode(const Ack& e, util::ByteWriter& w) {
+    w.write_string(e.by());
+  }
+  static Ack decode(util::ByteReader& r) { return Ack{r.read_string()}; }
+};
+
+int main() {
+  net::NetworkFabric fabric;
+  fabric.set_default_link({.latency_ms = 3});
+
+  const auto make_peer = [&](const std::string& name) {
+    auto peer = std::make_unique<jxta::Peer>(jxta::PeerConfig{.name = name});
+    peer->add_transport(std::make_shared<net::InProcTransport>(fabric, name));
+    peer->start();
+    return peer;
+  };
+  const auto alice = make_peer("alice");
+  const auto bob = make_peer("bob");
+  const auto carol = make_peer("carol");
+
+  tps::TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(400);
+
+  // Everyone joins the room: one engine + one subscription per user.
+  struct User {
+    User(std::string n, tps::TpsInterface<ChatMessage> r)
+        : name(std::move(n)), room(std::move(r)) {}
+    std::string name;
+    tps::TpsInterface<ChatMessage> room;
+    std::atomic<int> seen{0};
+  };
+  const auto join = [&](jxta::Peer& peer, const std::string& name) {
+    tps::TpsEngine<ChatMessage> engine(peer, config);
+    auto room = engine.new_interface();
+    auto user = std::make_unique<User>(name, room);
+    User* raw = user.get();
+    room.subscribe(tps::make_callback<ChatMessage>(
+                       [raw](const ChatMessage& m) {
+                         if (m.from() == raw->name) return;  // own echo
+                         std::cout << "  [" << raw->name << "'s screen] <"
+                                   << m.from() << "> " << m.text() << "\n";
+                         ++raw->seen;
+                       }),
+                   tps::ignore_exceptions<ChatMessage>());
+    return user;
+  };
+  auto alice_user = join(*alice, "alice");
+  auto bob_user = join(*bob, "bob");
+  auto carol_user = join(*carol, "carol");
+
+  std::cout << "room chatter:\n";
+  alice_user->room.publish(ChatMessage("alice", "anyone skiing saturday?"));
+  bob_user->room.publish(ChatMessage("bob", "yes! Verbier has fresh snow"));
+
+  for (int i = 0; i < 100; ++i) {
+    if (alice_user->seen >= 1 && bob_user->seen >= 1 &&
+        carol_user->seen >= 2) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Presence via the monitoring service: who is in the network right now?
+  alice->monitoring().sweep();
+  std::cout << "\nalice's buddy list (monitoring sweep): "
+            << alice->monitoring().live_peer_count() << " peer(s) online\n";
+  for (const auto& status : alice->monitoring().statuses()) {
+    std::cout << "  online: " << status.info.name
+              << " (uptime " << status.info.uptime_ms << " ms)\n";
+  }
+
+  // A whisper: request/reply so alice knows carol actually got it.
+  std::cout << "\nalice whispers to carol...\n";
+  tps::Requester<Whisper, Ack> whisperer(*alice, config);
+  tps::Responder<Whisper, Ack> carol_ears(
+      *carol,
+      [](const Whisper& w) -> std::optional<Ack> {
+        if (w.to() != "carol") return std::nullopt;  // not for me
+        std::cout << "  [carol's screen] (whisper) " << w.text() << "\n";
+        return Ack{"carol"};
+      },
+      config);
+  std::atomic<bool> acked{false};
+  whisperer.request(Whisper("carol", "bob snores — take earplugs"),
+                    [&](const Ack& ack) {
+                      std::cout << "  [alice's screen] delivered to "
+                                << ack.by() << "\n";
+                      acked = true;
+                    });
+  for (int i = 0; i < 100 && !acked; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const bool ok = carol_user->seen >= 2 && acked;
+  std::cout << (ok ? "\nchat demo OK\n" : "\nchat demo FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Loosely-coupled (XML-typed) publish/subscribe — the paper's §6 ongoing
+// investigation, implemented.
+//
+// Two parties that share NO compiled event types — only the convention
+// "there is a type called WeatherReport with fields resort/snow_cm/risk" —
+// exchange events represented as XML data structures. A third subscriber
+// at the hierarchy root (Alert) shows that runtime-described types still
+// participate in Fig. 7 hierarchy dispatch.
+//
+// Run: ./build/examples/loose_coupling
+#include <iostream>
+#include <thread>
+
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+#include "tps/dynamic.h"
+
+using namespace p2p;
+
+int main() {
+  net::NetworkFabric fabric;
+  fabric.set_default_link({.latency_ms = 4});
+
+  const auto make_peer = [&](const std::string& name) {
+    auto peer = std::make_unique<jxta::Peer>(jxta::PeerConfig{.name = name});
+    peer->add_transport(std::make_shared<net::InProcTransport>(fabric, name));
+    peer->start();
+    return peer;
+  };
+  const auto station = make_peer("weather-station");
+  const auto skier = make_peer("skier-app");
+  const auto rescue = make_peer("mountain-rescue");
+
+  tps::TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(400);
+
+  // A two-level runtime hierarchy: Alert <- WeatherReport.
+  tps::DynamicTpsInterface rescue_tps(*rescue, "Alert", /*parent=*/"",
+                                      config);
+  std::atomic<int> alerts{0};
+  rescue_tps.subscribe(
+      [&](const tps::XmlEvent& event) {
+        std::cout << "  [rescue] alert of type " << event.type_name()
+                  << " severity=" << event.get("risk") << "\n";
+        ++alerts;
+      },
+      [](std::exception_ptr) {});
+
+  tps::DynamicTpsInterface skier_tps(*skier, "WeatherReport", "Alert",
+                                     config);
+  std::atomic<int> reports{0};
+  skier_tps.subscribe(
+      [&](const tps::XmlEvent& event) {
+        std::cout << "  [skier] " << event.get("resort") << ": "
+                  << event.get("snow_cm") << "cm fresh, avalanche risk "
+                  << event.get("risk") << "\n";
+        // Runtime looseness: absent fields read as "" instead of failing
+        // to compile — the trade-off the paper discusses.
+        if (!event.has("wind_kmh")) {
+          std::cout << "  [skier] (no wind data in this report)\n";
+        }
+        ++reports;
+      },
+      [](std::exception_ptr) {});
+
+  // The station publishes; it shares no headers with the subscribers.
+  tps::DynamicTpsInterface station_tps(*station, "WeatherReport", "Alert",
+                                       config);
+  tps::XmlEvent report("WeatherReport");
+  report.set("resort", "Verbier").set("snow_cm", "60").set("risk", "3/5");
+  station_tps.publish(report);
+  std::cout << "station published (wire form is XML):\n  "
+            << xml::write(report.to_xml()) << "\n";
+
+  for (int i = 0; i < 100 && (reports < 1 || alerts < 1); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::cout << "deliveries: skier=" << reports << " rescue=" << alerts
+            << " (hierarchy dispatch reached the Alert subscriber)\n";
+  return (reports == 1 && alerts == 1) ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Type-hierarchy dispatch (paper Fig. 7).
+//
+// Hierarchy: News <- SportsNews <- SkiNews. Three subscribers sit at the
+// three levels; a publisher emits one event of each type. Expected flows
+// (the f_T arrows of Fig. 7):
+//
+//   News            -> news desk only
+//   SportsNews      -> news desk + sports desk
+//   SkiNews         -> news desk + sports desk + ski desk
+//
+// Each subscriber receives the *concrete* object: the news desk can
+// dynamic_cast a received News& to SkiNews and read the resort — type
+// safety and encapsulation end to end.
+//
+// Run: ./build/examples/news_hierarchy
+#include <iostream>
+#include <thread>
+
+#include "events/news.h"
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+#include "tps/tps.h"
+
+using namespace p2p;
+using events::News;
+using events::SkiNews;
+using events::SportsNews;
+
+namespace {
+
+template <typename T>
+class Desk final : public tps::TpsCallback<T> {
+ public:
+  explicit Desk(std::string name) : name_(std::move(name)) {}
+
+  void handle(const T& event) override {
+    const std::lock_guard lock(mu_);
+    std::cout << "  [" << name_ << "] " << event.headline();
+    // The concrete subtype travels intact: downcast to inspect specifics.
+    if (const auto* ski = dynamic_cast<const SkiNews*>(&event)) {
+      std::cout << " (ski news from " << ski->resort() << ")";
+    } else if (const auto* sports =
+                   dynamic_cast<const SportsNews*>(&event)) {
+      std::cout << " (sports: " << sports->sport() << ")";
+    }
+    std::cout << "\n";
+    ++count_;
+  }
+
+  [[nodiscard]] int count() const {
+    const std::lock_guard lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string name_;
+  int count_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  net::NetworkFabric fabric;
+  fabric.set_default_link({.latency_ms = 3});
+
+  const auto make_peer = [&](const std::string& name) {
+    auto peer = std::make_unique<jxta::Peer>(jxta::PeerConfig{.name = name});
+    peer->add_transport(std::make_shared<net::InProcTransport>(fabric, name));
+    peer->start();
+    return peer;
+  };
+  const auto news_peer = make_peer("news-desk");
+  const auto sports_peer = make_peer("sports-desk");
+  const auto ski_peer = make_peer("ski-desk");
+  const auto agency = make_peer("press-agency");
+
+  tps::TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(400);
+
+  // Three subscribers at three levels of the hierarchy.
+  tps::TpsEngine<News> news_engine(*news_peer, config);
+  auto news_tps = news_engine.new_interface();
+  auto news_desk = std::make_shared<Desk<News>>("news desk   ");
+  news_tps.subscribe(news_desk, tps::ignore_exceptions<News>());
+
+  tps::TpsEngine<SportsNews> sports_engine(*sports_peer, config);
+  auto sports_tps = sports_engine.new_interface();
+  auto sports_desk = std::make_shared<Desk<SportsNews>>("sports desk ");
+  sports_tps.subscribe(sports_desk, tps::ignore_exceptions<SportsNews>());
+
+  tps::TpsEngine<SkiNews> ski_engine(*ski_peer, config);
+  auto ski_tps = ski_engine.new_interface();
+  auto ski_desk = std::make_shared<Desk<SkiNews>>("ski desk    ");
+  ski_tps.subscribe(ski_desk, tps::ignore_exceptions<SkiNews>());
+
+  // The publisher's interface is typed to the hierarchy root; publishing a
+  // subtype instance through it dispatches on the *dynamic* type.
+  tps::TpsEngine<News> agency_engine(*agency, config);
+  auto agency_tps = agency_engine.new_interface();
+
+  std::cout << "publishing one News, one SportsNews, one SkiNews\n";
+  agency_tps.publish(News("Markets steady", "..."));
+  agency_tps.publish(std::make_shared<const SportsNews>(
+      "Cup final tonight", "...", "football"));
+  agency_tps.publish(
+      std::make_shared<const SkiNews>("Fresh powder", "...", "Verbier"));
+
+  for (int i = 0; i < 100; ++i) {
+    if (news_desk->count() >= 3 && sports_desk->count() >= 2 &&
+        ski_desk->count() >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::cout << "\ndeliveries: news desk=" << news_desk->count()
+            << " sports desk=" << sports_desk->count()
+            << " ski desk=" << ski_desk->count() << "\n";
+
+  const bool ok = news_desk->count() == 3 && sports_desk->count() == 2 &&
+                  ski_desk->count() == 1;
+  std::cout << (ok ? "hierarchy dispatch OK" : "UNEXPECTED delivery counts")
+            << "\n";
+  return ok ? 0 : 1;
+}

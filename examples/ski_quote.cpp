@@ -1,0 +1,119 @@
+// Request/reply over TPS (the paper's §6 future-work combination).
+//
+// The ski-rental story, inverted: instead of shops flooding offers, the
+// customer publishes a typed QuoteRequest; interested shops answer with a
+// SkiRental offer sent straight back over a unicast reply pipe (the
+// "RPC-ish" leg the paper says TPS alone lacks). The customer stays
+// anonymous to the shops and never blocks.
+//
+// Run: ./build/examples/ski_quote
+#include <iostream>
+#include <thread>
+
+#include "events/ski_rental.h"
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+#include "tps/request_reply.h"
+
+using namespace p2p;
+using events::SkiRental;
+
+namespace {
+
+// The request type: what the customer wants.
+class QuoteRequest : public serial::Event {
+ public:
+  QuoteRequest() = default;
+  QuoteRequest(std::string brand, float days)
+      : brand_(std::move(brand)), days_(days) {}
+  [[nodiscard]] const std::string& brand() const { return brand_; }
+  [[nodiscard]] float days() const { return days_; }
+
+ private:
+  std::string brand_;
+  float days_ = 0;
+};
+
+}  // namespace
+
+template <>
+struct p2p::serial::EventTraits<QuoteRequest> {
+  static constexpr std::string_view kTypeName = "QuoteRequest";
+  using Parent = NoParent;
+  static void encode(const QuoteRequest& e, util::ByteWriter& w) {
+    w.write_string(e.brand());
+    w.write_f64(e.days());
+  }
+  static QuoteRequest decode(util::ByteReader& r) {
+    std::string brand = r.read_string();
+    const auto days = static_cast<float>(r.read_f64());
+    return {std::move(brand), days};
+  }
+};
+
+int main() {
+  net::NetworkFabric fabric;
+  fabric.set_default_link({.latency_ms = 4});
+
+  const auto make_peer = [&](const std::string& name) {
+    auto peer = std::make_unique<jxta::Peer>(jxta::PeerConfig{.name = name});
+    peer->add_transport(std::make_shared<net::InProcTransport>(fabric, name));
+    peer->start();
+    return peer;
+  };
+  const auto customer = make_peer("customer");
+  const auto shop_a = make_peer("AlpineRentals");
+  const auto shop_b = make_peer("XTremShop");
+
+  tps::TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(400);
+
+  // The customer's requester comes up first (it owns the request topic).
+  tps::Requester<QuoteRequest, SkiRental> requester(*customer, config);
+
+  // Two shops serve quotes; each declines brands it does not stock.
+  tps::Responder<QuoteRequest, SkiRental> alpine(
+      *shop_a,
+      [](const QuoteRequest& q) -> std::optional<SkiRental> {
+        if (q.brand() != "Salomon") return std::nullopt;
+        return SkiRental("AlpineRentals", 13.0f, q.brand(), q.days());
+      },
+      config);
+  tps::Responder<QuoteRequest, SkiRental> xtrem(
+      *shop_b,
+      [](const QuoteRequest& q) -> std::optional<SkiRental> {
+        return SkiRental("XTremShop", q.brand() == "Salomon" ? 14.0f : 11.5f,
+                         q.brand(), q.days());
+      },
+      config);
+
+  std::mutex mu;
+  std::vector<SkiRental> quotes;
+  std::cout << "customer asks for Salomon skis, 7 days\n";
+  requester.request(QuoteRequest("Salomon", 7.0f),
+                    [&](const SkiRental& offer) {
+                      const std::lock_guard lock(mu);
+                      quotes.push_back(offer);
+                      std::cout << "  quote: " << offer.to_string() << "\n";
+                    });
+
+  for (int i = 0; i < 100; ++i) {
+    {
+      const std::lock_guard lock(mu);
+      if (quotes.size() >= 2) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const std::lock_guard lock(mu);
+  std::cout << "received " << quotes.size() << " quote(s); shops answered: "
+            << alpine.answered() + xtrem.answered() << "\n";
+  if (!quotes.empty()) {
+    const auto best = std::min_element(
+        quotes.begin(), quotes.end(), [](const auto& a, const auto& b) {
+          return a.total_price() < b.total_price();
+        });
+    std::cout << "best: " << best->to_string() << "\n";
+  }
+  return quotes.size() == 2 ? 0 : 1;
+}

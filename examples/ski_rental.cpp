@@ -1,0 +1,205 @@
+// The paper's ski-rental application (§4.1, §4.3), full scenario.
+//
+// "If you want to go skiing, you need skis. ... A more comfortable way to
+// do that is to use the TPS paradigm over a P2P infrastructure. You would
+// then subscribe to the ski-rental type and wait for the answers."
+//
+// Topology (a small WAN, not one LAN):
+//   - one rendezvous peer bridging two "sub-networks",
+//   - three shop peers publishing offers (one of them behind a firewall —
+//     its traffic must relay through the rendezvous, exercising ERP),
+//   - two customer peers subscribing; customer 1 registers TWO call-backs
+//     (paper method (3)): a "console" log and a "GUI sketch" summary table;
+//     customer 2 uses a Criteria to bind only advertisements created by
+//     shops it trusts.
+//
+// Run: ./build/examples/ski_rental
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+
+#include "events/ski_rental.h"
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+#include "tps/tps.h"
+
+using namespace p2p;
+using events::SkiRental;
+
+namespace {
+
+// The "console" view: every offer as it arrives.
+class ConsoleCallback final : public tps::TpsCallback<SkiRental> {
+ public:
+  void handle(const SkiRental& offer) override {
+    std::cout << "  [console] " << offer.to_string() << "\n";
+  }
+};
+
+// The "GUI sketch" (paper Fig. 13): keeps the best offer per brand and can
+// render a little table.
+class GuiSketchCallback final : public tps::TpsCallback<SkiRental> {
+ public:
+  void handle(const SkiRental& offer) override {
+    const std::lock_guard lock(mu_);
+    auto& best = best_by_brand_[offer.brand()];
+    if (best.shop().empty() || offer.price() < best.price()) best = offer;
+    ++count_;
+  }
+
+  void render() const {
+    const std::lock_guard lock(mu_);
+    std::cout << "  +--------------+--------------+-----------+\n"
+              << "  | brand        | best shop    | price/day |\n"
+              << "  +--------------+--------------+-----------+\n";
+    for (const auto& [brand, offer] : best_by_brand_) {
+      std::cout << "  | " << std::setw(12) << std::left << brand << " | "
+                << std::setw(12) << std::left << offer.shop() << " | "
+                << std::setw(9) << std::right << offer.price() << " |\n";
+    }
+    std::cout << "  +--------------+--------------+-----------+\n";
+  }
+
+  [[nodiscard]] int count() const {
+    const std::lock_guard lock(mu_);
+    return count_;
+  }
+
+  // After browsing, the customer "maybe sends an e-mail to the shop"
+  // (paper §4.1) — here: returns the overall best offer to contact.
+  [[nodiscard]] std::optional<SkiRental> best_offer() const {
+    const std::lock_guard lock(mu_);
+    std::optional<SkiRental> best;
+    for (const auto& [brand, offer] : best_by_brand_) {
+      if (!best || offer.total_price() < best->total_price()) best = offer;
+    }
+    return best;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SkiRental> best_by_brand_;
+  int count_ = 0;
+};
+
+std::shared_ptr<tps::TpsExceptionHandler<SkiRental>> stderr_handler() {
+  return tps::make_exception_handler<SkiRental>([](std::exception_ptr e) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      std::cerr << "  [error] " << ex.what() << "\n";
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  net::NetworkFabric fabric;
+  fabric.set_default_link({.latency_ms = 8, .jitter_ms = 4});
+
+  // --- the rendezvous bridging the sub-networks ---------------------------
+  jxta::Peer rdv({.name = "rdv", .rendezvous = true, .router = true});
+  rdv.add_transport(std::make_shared<net::InProcTransport>(fabric, "rdv"));
+  rdv.start();
+  const net::Address rdv_addr("inproc", "rdv");
+
+  const auto make_peer = [&](const std::string& name, bool firewalled) {
+    jxta::PeerConfig config;
+    config.name = name;
+    config.seed_rendezvous = {rdv_addr};
+    auto peer = std::make_unique<jxta::Peer>(config);
+    peer->add_transport(std::make_shared<net::InProcTransport>(fabric, name));
+    if (firewalled) fabric.set_firewalled(name, true);
+    peer->start();
+    return peer;
+  };
+
+  // --- shops and customers -------------------------------------------------
+  const auto shop_a = make_peer("AlpineRentals", false);
+  const auto shop_b = make_peer("XTremShop", false);
+  // This shop sits behind a stateful firewall: only its outbound lease to
+  // the rendezvous lets traffic reach it (ERP relaying in action).
+  const auto shop_c = make_peer("BackcountryHut", true);
+  const auto customer1 = make_peer("alice", false);
+  const auto customer2 = make_peer("bob", false);
+
+  tps::TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(600);
+
+  // --- subscription phase ---------------------------------------------------
+  std::cout << "alice subscribes with two call-backs (console + GUI)\n";
+  tps::TpsEngine<SkiRental> alice_engine(*customer1, config);
+  auto alice_tps = alice_engine.new_interface();
+  auto alice_console = std::make_shared<ConsoleCallback>();
+  auto alice_gui = std::make_shared<GuiSketchCallback>();
+  // Paper method (3): several call-backs registered in one call.
+  alice_tps.subscribe(
+      {std::static_pointer_cast<tps::TpsCallback<SkiRental>>(alice_console),
+       std::static_pointer_cast<tps::TpsCallback<SkiRental>>(alice_gui)},
+      {stderr_handler(), stderr_handler()});
+
+  // Content-based filtering on top of TPS (paper §3.1: "subscription
+  // operations of the type can be used for content-based filtering"): bob
+  // is on a budget and only records offers at 15/day or less.
+  std::cout << "bob subscribes with a content filter: price <= 15/day\n";
+  tps::TpsEngine<SkiRental> bob_engine(*customer2, config);
+  auto bob_tps = bob_engine.new_interface();
+  auto bob_gui = std::make_shared<GuiSketchCallback>();
+  auto bob_filter = tps::make_callback<SkiRental>(
+      [bob_gui](const SkiRental& offer) {
+        if (offer.price() <= 15.0f) bob_gui->handle(offer);
+      });
+  bob_tps.subscribe(bob_filter, stderr_handler());
+
+  // --- publication phase ---------------------------------------------------
+  const auto publish_offers =
+      [&](jxta::Peer& peer, const std::string& shop,
+          std::initializer_list<std::tuple<const char*, float, float>>
+              offers) {
+        tps::TpsEngine<SkiRental> engine(peer, config);
+        auto tps_interface = engine.new_interface();
+        for (const auto& [brand, price, days] : offers) {
+          tps_interface.publish(SkiRental(shop, price, brand, days));
+        }
+        return tps_interface;  // keep the session (and its pipes) alive
+      };
+
+  std::cout << "shops publish their offers\n";
+  auto a_tps = publish_offers(*shop_a, "AlpineRentals",
+                              {{"Salomon", 13.0f, 7.0f},
+                               {"Atomic", 17.5f, 7.0f},
+                               {"Rossignol", 12.0f, 7.0f}});
+  auto b_tps = publish_offers(*shop_b, "XTremShop",
+                              {{"Salomon", 14.0f, 100.0f},
+                               {"Rossignol", 11.5f, 7.0f},
+                               {"Atomic", 19.0f, 2.0f}});
+  auto c_tps = publish_offers(*shop_c, "BackcountryHut",
+                              {{"Salomon", 9.5f, 7.0f},
+                               {"Faction", 21.0f, 7.0f}});
+
+  // The customer "can now do something else during the search phase ... and
+  // come back later to get the answers" (§4.1).
+  for (int i = 0; i < 100 && alice_gui->count() < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::cout << "\nalice's GUI sketch (all shops, incl. the firewalled one):\n";
+  alice_gui->render();
+  std::cout << "\nbob's GUI sketch (content-filtered, <= 15/day):\n";
+  bob_gui->render();
+
+  if (const auto best = alice_gui->best_offer()) {
+    std::cout << "\nalice e-mails " << best->shop()
+              << " about: " << best->to_string() << "\n";
+  }
+
+  const auto stats = alice_tps.stats();
+  std::cout << "\nalice session stats: received=" << stats.received_unique
+            << " duplicates_suppressed=" << stats.duplicates_suppressed
+            << " advertisements=" << alice_tps.advertisement_count() << "\n";
+
+  const bool ok = alice_gui->count() == 8 && bob_gui->count() >= 3;
+  return ok ? 0 : 1;
+}

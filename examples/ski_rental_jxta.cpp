@@ -1,0 +1,119 @@
+// The ski-rental application written DIRECTLY against the JXTA substrate
+// (the paper's §4.4: "Renting skis with JXTA") — the other half of the
+// programming-effort comparison.
+//
+// Functionally identical to examples/ski_rental.cpp's core, but note what
+// the application programmer now owns:
+//   * hand-rolled serialization of SkiRental into bytes (and the matching
+//     parse, which the compiler cannot check — get a field order wrong and
+//     you find out at runtime),
+//   * assembling AdvertisementsCreator + AdvertisementsFinder +
+//     WireServiceFinder (+ SrSession glue) by hand,
+//   * no type hierarchy: one topic string, no subtype dispatch,
+//   * no per-callback exception routing.
+//
+// bench/table_programming_effort compares this file's footprint (plus the
+// srjxta support library a JXTA user must write) against the TPS version.
+//
+// Run: ./build/examples/ski_rental_jxta
+#include <iostream>
+#include <thread>
+
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+#include "srjxta/sr_session.h"
+
+using namespace p2p;
+
+namespace {
+
+// What EventTraits<SkiRental> gave us for free in the TPS version: a
+// hand-written codec. Nothing stops a publisher and a subscriber from
+// disagreeing about this format — that is the paper's type-safety point.
+struct SkiRentalRecord {
+  std::string shop;
+  std::string brand;
+  float price = 0;
+  float days = 0;
+};
+
+util::Bytes encode_ski_rental(const SkiRentalRecord& r) {
+  util::ByteWriter w;
+  w.write_string(r.shop);
+  w.write_string(r.brand);
+  w.write_f64(r.price);
+  w.write_f64(r.days);
+  return w.take();
+}
+
+SkiRentalRecord decode_ski_rental(const util::Bytes& bytes) {
+  util::ByteReader r(bytes);
+  SkiRentalRecord rec;
+  rec.shop = r.read_string();
+  rec.brand = r.read_string();
+  rec.price = static_cast<float>(r.read_f64());
+  rec.days = static_cast<float>(r.read_f64());
+  return rec;
+}
+
+}  // namespace
+
+int main() {
+  net::NetworkFabric fabric;
+  fabric.set_default_link({.latency_ms = 5});
+
+  jxta::Peer customer({.name = "customer"});
+  customer.add_transport(
+      std::make_shared<net::InProcTransport>(fabric, "customer"));
+  customer.start();
+
+  jxta::Peer shop({.name = "shop"});
+  shop.add_transport(std::make_shared<net::InProcTransport>(fabric, "shop"));
+  shop.start();
+
+  srjxta::SrConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(400);
+
+  // Subscriber side: search/create the advertisement, wire up a receiver
+  // that must parse the raw bytes itself.
+  auto customer_session = std::make_shared<srjxta::SrSession>(
+      customer, "SkiRental", config);
+  customer_session->init();
+  std::atomic<int> received{0};
+  customer_session->set_receiver([&](const util::Bytes& payload) {
+    // The runtime-cast moment the TPS layer removes: if this payload is not
+    // actually a SkiRental, decode throws or silently mis-reads.
+    const SkiRentalRecord offer = decode_ski_rental(payload);
+    std::cout << "  offer: " << offer.brand << " from " << offer.shop
+              << " at " << offer.price << "/day for " << offer.days
+              << " day(s)\n";
+    ++received;
+  });
+
+  // Publisher side.
+  auto shop_session =
+      std::make_shared<srjxta::SrSession>(shop, "SkiRental", config);
+  shop_session->init();
+  shop_session->publish(encode_ski_rental(
+      {.shop = "XTremShop", .brand = "Salomon", .price = 14, .days = 100}));
+  shop_session->publish(encode_ski_rental(
+      {.shop = "XTremShop", .brand = "Rossignol", .price = 11.5, .days = 7}));
+  shop_session->publish(encode_ski_rental(
+      {.shop = "XTremShop", .brand = "Atomic", .price = 19, .days = 2}));
+
+  for (int i = 0; i < 50 && received < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const auto stats = customer_session->stats();
+  std::cout << "received=" << stats.received_unique
+            << " duplicates_suppressed=" << stats.duplicates_suppressed
+            << " advertisements=" << customer_session->advertisement_count()
+            << "\n";
+
+  shop_session->shutdown();
+  customer_session->shutdown();
+  shop.stop();
+  customer.stop();
+  return received == 3 ? 0 : 1;
+}

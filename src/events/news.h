@@ -1,0 +1,112 @@
+// A three-level event hierarchy (News <- SportsNews <- SkiNews) used to
+// demonstrate and test type-based dispatch (paper Fig. 7): a subscriber to
+// News receives SportsNews and SkiNews instances; a subscriber to
+// SportsNews receives SkiNews but not plain News; and so on.
+#pragma once
+
+#include <string>
+
+#include "serial/traits.h"
+
+namespace p2p::events {
+
+class News : public serial::Event {
+ public:
+  News() = default;
+  News(std::string headline, std::string body)
+      : headline_(std::move(headline)), body_(std::move(body)) {}
+
+  [[nodiscard]] const std::string& headline() const { return headline_; }
+  [[nodiscard]] const std::string& body() const { return body_; }
+
+  friend bool operator==(const News&, const News&) = default;
+
+ private:
+  std::string headline_;
+  std::string body_;
+};
+
+class SportsNews : public News {
+ public:
+  SportsNews() = default;
+  SportsNews(std::string headline, std::string body, std::string sport)
+      : News(std::move(headline), std::move(body)), sport_(std::move(sport)) {}
+
+  [[nodiscard]] const std::string& sport() const { return sport_; }
+
+  friend bool operator==(const SportsNews&, const SportsNews&) = default;
+
+ private:
+  std::string sport_;
+};
+
+class SkiNews : public SportsNews {
+ public:
+  SkiNews() = default;
+  SkiNews(std::string headline, std::string body, std::string resort)
+      : SportsNews(std::move(headline), std::move(body), "ski"),
+        resort_(std::move(resort)) {}
+
+  [[nodiscard]] const std::string& resort() const { return resort_; }
+
+  friend bool operator==(const SkiNews&, const SkiNews&) = default;
+
+ private:
+  std::string resort_;
+};
+
+}  // namespace p2p::events
+
+namespace p2p::serial {
+
+template <>
+struct EventTraits<events::News> {
+  static constexpr std::string_view kTypeName = "News";
+  using Parent = NoParent;
+
+  static void encode(const events::News& e, util::ByteWriter& w) {
+    w.write_string(e.headline());
+    w.write_string(e.body());
+  }
+  static events::News decode(util::ByteReader& r) {
+    std::string headline = r.read_string();
+    std::string body = r.read_string();
+    return {std::move(headline), std::move(body)};
+  }
+};
+
+template <>
+struct EventTraits<events::SportsNews> {
+  static constexpr std::string_view kTypeName = "SportsNews";
+  using Parent = events::News;
+
+  static void encode(const events::SportsNews& e, util::ByteWriter& w) {
+    EventTraits<events::News>::encode(e, w);
+    w.write_string(e.sport());
+  }
+  static events::SportsNews decode(util::ByteReader& r) {
+    events::News base = EventTraits<events::News>::decode(r);
+    std::string sport = r.read_string();
+    return {base.headline(), base.body(), std::move(sport)};
+  }
+};
+
+template <>
+struct EventTraits<events::SkiNews> {
+  static constexpr std::string_view kTypeName = "SkiNews";
+  using Parent = events::SportsNews;
+
+  static void encode(const events::SkiNews& e, util::ByteWriter& w) {
+    w.write_string(e.headline());
+    w.write_string(e.body());
+    w.write_string(e.resort());
+  }
+  static events::SkiNews decode(util::ByteReader& r) {
+    std::string headline = r.read_string();
+    std::string body = r.read_string();
+    std::string resort = r.read_string();
+    return {std::move(headline), std::move(body), std::move(resort)};
+  }
+};
+
+}  // namespace p2p::serial

@@ -1,0 +1,115 @@
+// The paper's SkiRental event type (§4.3.1).
+//
+//   public class SkiRental implements Serializable {
+//     public SkiRental(String shop, float price, String brand,
+//                      float numberOfDays) {...}
+//     public String toString() {...}
+//   }
+//
+// This header doubles as the reference for how applications define TPS
+// event types: derive from serial::Event, specialize serial::EventTraits
+// (stable name, parent, codec), done. Used by the examples, the tests and
+// the benchmark harness.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "serial/traits.h"
+
+namespace p2p::events {
+
+class SkiRental : public serial::Event {
+ public:
+  SkiRental() = default;
+  SkiRental(std::string shop, float price, std::string brand,
+            float number_of_days)
+      : shop_(std::move(shop)),
+        brand_(std::move(brand)),
+        price_(price),
+        number_of_days_(number_of_days) {}
+
+  [[nodiscard]] const std::string& shop() const { return shop_; }
+  [[nodiscard]] const std::string& brand() const { return brand_; }
+  [[nodiscard]] float price() const { return price_; }
+  [[nodiscard]] float number_of_days() const { return number_of_days_; }
+  [[nodiscard]] float total_price() const { return price_ * number_of_days_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << brand_ << " skis from " << shop_ << " at " << price_ << "/day for "
+       << number_of_days_ << " day(s)";
+    return os.str();
+  }
+
+  friend bool operator==(const SkiRental&, const SkiRental&) = default;
+
+ private:
+  std::string shop_;
+  std::string brand_;
+  float price_ = 0;
+  float number_of_days_ = 0;
+};
+
+// A subtype used by the hierarchy examples/tests: a rental offer that also
+// includes lessons. Subscribers to SkiRental receive these too (Fig. 7).
+class SkiRentalWithLessons : public SkiRental {
+ public:
+  SkiRentalWithLessons() = default;
+  SkiRentalWithLessons(std::string shop, float price, std::string brand,
+                       float number_of_days, std::string instructor)
+      : SkiRental(std::move(shop), price, std::move(brand), number_of_days),
+        instructor_(std::move(instructor)) {}
+
+  [[nodiscard]] const std::string& instructor() const { return instructor_; }
+
+  friend bool operator==(const SkiRentalWithLessons&,
+                         const SkiRentalWithLessons&) = default;
+
+ private:
+  std::string instructor_;
+};
+
+}  // namespace p2p::events
+
+namespace p2p::serial {
+
+template <>
+struct EventTraits<events::SkiRental> {
+  static constexpr std::string_view kTypeName = "SkiRental";
+  using Parent = NoParent;
+
+  static void encode(const events::SkiRental& e, util::ByteWriter& w) {
+    w.write_string(e.shop());
+    w.write_string(e.brand());
+    w.write_f64(e.price());
+    w.write_f64(e.number_of_days());
+  }
+  static events::SkiRental decode(util::ByteReader& r) {
+    std::string shop = r.read_string();
+    std::string brand = r.read_string();
+    const auto price = static_cast<float>(r.read_f64());
+    const auto days = static_cast<float>(r.read_f64());
+    return {std::move(shop), price, std::move(brand), days};
+  }
+};
+
+template <>
+struct EventTraits<events::SkiRentalWithLessons> {
+  static constexpr std::string_view kTypeName = "SkiRentalWithLessons";
+  using Parent = events::SkiRental;
+
+  static void encode(const events::SkiRentalWithLessons& e,
+                     util::ByteWriter& w) {
+    EventTraits<events::SkiRental>::encode(e, w);
+    w.write_string(e.instructor());
+  }
+  static events::SkiRentalWithLessons decode(util::ByteReader& r) {
+    events::SkiRental base = EventTraits<events::SkiRental>::decode(r);
+    std::string instructor = r.read_string();
+    return {base.shop(), base.price(), base.brand(), base.number_of_days(),
+            std::move(instructor)};
+  }
+};
+
+}  // namespace p2p::serial

@@ -1,0 +1,257 @@
+#include "jxta/advertisement.h"
+
+#include "util/error.h"
+
+namespace p2p::jxta {
+
+std::string Advertisement::field(std::string_view name) const {
+  return to_xml().child_text(name);
+}
+
+// --- PeerAdvertisement ------------------------------------------------------
+
+xml::Element PeerAdvertisement::to_xml() const {
+  xml::Element e{std::string(kDocType)};
+  e.add_text_child("PID", pid.to_string());
+  e.add_text_child("GID", gid.to_string());
+  e.add_text_child("Name", name);
+  xml::Element& eps = e.add_child("Endpoints");
+  for (const auto& addr : endpoints) {
+    eps.add_text_child("Addr", addr.to_string());
+  }
+  e.add_text_child("Rdv", is_rendezvous ? "true" : "false");
+  e.add_text_child("Router", is_router ? "true" : "false");
+  return e;
+}
+
+std::string PeerAdvertisement::field(std::string_view key) const {
+  if (key == "Name") return name;
+  if (key == "PID" || key == "ID") return pid.to_string();
+  if (key == "GID") return gid.to_string();
+  if (key == "Rdv") return is_rendezvous ? "true" : "false";
+  if (key == "Router") return is_router ? "true" : "false";
+  return {};
+}
+
+PeerAdvertisement PeerAdvertisement::from_xml(const xml::Element& e) {
+  PeerAdvertisement adv;
+  adv.pid = PeerId::parse(e.child_text("PID"));
+  adv.gid = PeerGroupId::parse(e.child_text("GID"));
+  adv.name = e.child_text("Name");
+  if (const xml::Element* eps = e.child("Endpoints")) {
+    for (const xml::Element* a : eps->children_named("Addr")) {
+      const auto addr = net::Address::parse(a->text());
+      if (!addr) throw util::ParseError("bad endpoint address: " + a->text());
+      adv.endpoints.push_back(*addr);
+    }
+  }
+  adv.is_rendezvous = e.child_text("Rdv") == "true";
+  adv.is_router = e.child_text("Router") == "true";
+  return adv;
+}
+
+// --- PipeAdvertisement ------------------------------------------------------
+
+std::string PipeAdvertisement::type_to_string(Type t) {
+  return t == Type::kUnicast ? "JxtaUnicast" : "JxtaPropagate";
+}
+
+PipeAdvertisement::Type PipeAdvertisement::type_from_string(
+    std::string_view s) {
+  if (s == "JxtaUnicast") return Type::kUnicast;
+  if (s == "JxtaPropagate") return Type::kPropagate;
+  throw util::ParseError("bad pipe type: " + std::string(s));
+}
+
+xml::Element PipeAdvertisement::to_xml() const {
+  xml::Element e{std::string(kDocType)};
+  e.add_text_child("Id", pid.to_string());
+  e.add_text_child("Name", name);
+  e.add_text_child("Type", type_to_string(type));
+  return e;
+}
+
+std::string PipeAdvertisement::field(std::string_view key) const {
+  if (key == "Name") return name;
+  if (key == "Id" || key == "ID") return pid.to_string();
+  if (key == "Type") return type_to_string(type);
+  return {};
+}
+
+PipeAdvertisement PipeAdvertisement::from_xml(const xml::Element& e) {
+  PipeAdvertisement adv;
+  adv.pid = PipeId::parse(e.child_text("Id"));
+  adv.name = e.child_text("Name");
+  adv.type = type_from_string(e.child_text("Type"));
+  return adv;
+}
+
+// --- ServiceAdvertisement ---------------------------------------------------
+
+xml::Element ServiceAdvertisement::to_xml() const {
+  xml::Element e{std::string(kDocType)};
+  e.add_text_child("Name", name);
+  e.add_text_child("Version", version);
+  e.add_text_child("Uri", uri);
+  e.add_text_child("Code", code);
+  e.add_text_child("Security", security);
+  e.add_text_child("Keywords", keywords);
+  xml::Element& ps = e.add_child("Params");
+  for (const auto& p : params) ps.add_text_child("Param", p);
+  if (pipe) e.add_child(pipe->to_xml());
+  return e;
+}
+
+std::string ServiceAdvertisement::field(std::string_view key) const {
+  if (key == "Name") return name;
+  if (key == "Version") return version;
+  if (key == "Keywords") return keywords;
+  return {};
+}
+
+ServiceAdvertisement ServiceAdvertisement::from_xml(const xml::Element& e) {
+  ServiceAdvertisement adv;
+  adv.name = e.child_text("Name");
+  adv.version = e.child_text("Version");
+  adv.uri = e.child_text("Uri");
+  adv.code = e.child_text("Code");
+  adv.security = e.child_text("Security");
+  adv.keywords = e.child_text("Keywords");
+  if (const xml::Element* ps = e.child("Params")) {
+    for (const xml::Element* p : ps->children_named("Param")) {
+      adv.params.push_back(p->text());
+    }
+  }
+  if (const xml::Element* pipe_el =
+          e.child(std::string(PipeAdvertisement::kDocType))) {
+    adv.pipe = PipeAdvertisement::from_xml(*pipe_el);
+  }
+  return adv;
+}
+
+// --- PeerGroupAdvertisement -------------------------------------------------
+
+xml::Element PeerGroupAdvertisement::to_xml() const {
+  xml::Element e{std::string(kDocType)};
+  e.add_text_child("GID", gid.to_string());
+  e.add_text_child("PID", creator.to_string());
+  e.add_text_child("Name", name);
+  e.add_text_child("App", app);
+  e.add_text_child("GroupImpl", group_impl);
+  e.add_text_child("IsRendezvous", is_rendezvous ? "true" : "false");
+  xml::Element& svcs = e.add_child("Services");
+  for (const auto& [svc_name, svc] : services) {
+    svcs.add_child(svc.to_xml());
+  }
+  return e;
+}
+
+std::string PeerGroupAdvertisement::field(std::string_view key) const {
+  if (key == "Name") return name;
+  if (key == "GID" || key == "ID") return gid.to_string();
+  if (key == "PID") return creator.to_string();
+  if (key == "App") return app;
+  return {};
+}
+
+const ServiceAdvertisement* PeerGroupAdvertisement::service(
+    std::string_view service_name) const {
+  const auto it = services.find(std::string(service_name));
+  return it != services.end() ? &it->second : nullptr;
+}
+
+PeerGroupAdvertisement PeerGroupAdvertisement::from_xml(
+    const xml::Element& e) {
+  PeerGroupAdvertisement adv;
+  adv.gid = PeerGroupId::parse(e.child_text("GID"));
+  adv.creator = PeerId::parse(e.child_text("PID"));
+  adv.name = e.child_text("Name");
+  adv.app = e.child_text("App");
+  adv.group_impl = e.child_text("GroupImpl");
+  adv.is_rendezvous = e.child_text("IsRendezvous") == "true";
+  if (const xml::Element* svcs = e.child("Services")) {
+    for (const xml::Element* s :
+         svcs->children_named(std::string(ServiceAdvertisement::kDocType))) {
+      ServiceAdvertisement svc = ServiceAdvertisement::from_xml(*s);
+      adv.services.emplace(svc.name, std::move(svc));
+    }
+  }
+  return adv;
+}
+
+// --- RouteAdvertisement -----------------------------------------------------
+
+xml::Element RouteAdvertisement::to_xml() const {
+  xml::Element e{std::string(kDocType)};
+  e.add_text_child("Dest", dest.to_string());
+  xml::Element& hs = e.add_child("Hops");
+  for (const auto& hop : hops) hs.add_text_child("Hop", hop.to_string());
+  return e;
+}
+
+RouteAdvertisement RouteAdvertisement::from_xml(const xml::Element& e) {
+  RouteAdvertisement adv;
+  adv.dest = PeerId::parse(e.child_text("Dest"));
+  if (const xml::Element* hs = e.child("Hops")) {
+    for (const xml::Element* h : hs->children_named("Hop")) {
+      adv.hops.push_back(PeerId::parse(h->text()));
+    }
+  }
+  return adv;
+}
+
+// --- AdvertisementFactory ---------------------------------------------------
+
+AdvertisementFactory& AdvertisementFactory::instance() {
+  static AdvertisementFactory factory;
+  return factory;
+}
+
+AdvertisementFactory::AdvertisementFactory() {
+  register_parser(std::string(PeerAdvertisement::kDocType),
+                  [](const xml::Element& e) {
+                    return std::make_unique<PeerAdvertisement>(
+                        PeerAdvertisement::from_xml(e));
+                  });
+  register_parser(std::string(PipeAdvertisement::kDocType),
+                  [](const xml::Element& e) {
+                    return std::make_unique<PipeAdvertisement>(
+                        PipeAdvertisement::from_xml(e));
+                  });
+  register_parser(std::string(ServiceAdvertisement::kDocType),
+                  [](const xml::Element& e) {
+                    return std::make_unique<ServiceAdvertisement>(
+                        ServiceAdvertisement::from_xml(e));
+                  });
+  register_parser(std::string(PeerGroupAdvertisement::kDocType),
+                  [](const xml::Element& e) {
+                    return std::make_unique<PeerGroupAdvertisement>(
+                        PeerGroupAdvertisement::from_xml(e));
+                  });
+  register_parser(std::string(RouteAdvertisement::kDocType),
+                  [](const xml::Element& e) {
+                    return std::make_unique<RouteAdvertisement>(
+                        RouteAdvertisement::from_xml(e));
+                  });
+}
+
+void AdvertisementFactory::register_parser(std::string doc_type,
+                                           Parser parser) {
+  parsers_[std::move(doc_type)] = std::move(parser);
+}
+
+std::unique_ptr<Advertisement> AdvertisementFactory::parse_xml(
+    const xml::Element& root) const {
+  const auto it = parsers_.find(root.name());
+  if (it == parsers_.end()) {
+    throw util::ParseError("unknown advertisement type: " + root.name());
+  }
+  return it->second(root);
+}
+
+std::unique_ptr<Advertisement> AdvertisementFactory::parse_text(
+    std::string_view xml_text) const {
+  return parse_xml(xml::parse(xml_text));
+}
+
+}  // namespace p2p::jxta

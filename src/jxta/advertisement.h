@@ -1,0 +1,221 @@
+// JXTA advertisements.
+//
+// "When a new resource (peer, pipe, peergroup, service) is available, a new
+// advertisement is published in order for the other peers to know this
+// resource. An advertisement is a XML message ... Each advertisement
+// encompasses an age to distinguish stale advertisements from new ones"
+// (paper §2.1). Every advertisement here round-trips through the XML module,
+// and discovery matches queries against the XML attribute/element values.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jxta/id.h"
+#include "net/address.h"
+#include "xml/xml.h"
+
+namespace p2p::jxta {
+
+// Default lifetime for advertisements in the local cache and when shipped
+// to remote peers (JXTA's LOCAL/REMOTE expirations; one knob suffices here).
+inline constexpr std::int64_t kDefaultAdvLifetimeMs = 15 * 60 * 1000;
+
+class Advertisement {
+ public:
+  virtual ~Advertisement() = default;
+
+  // Document type, e.g. "jxta:PipeAdvertisement". Discovery indexes on it.
+  [[nodiscard]] virtual std::string doc_type() const = 0;
+  // A stable identity string: two advertisements with the same identity
+  // describe the same resource (discovery replaces rather than duplicates).
+  [[nodiscard]] virtual std::string identity() const = 0;
+  // Serializes to an XML element whose name is doc_type().
+  [[nodiscard]] virtual xml::Element to_xml() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Advertisement> clone() const = 0;
+
+  // Value of a named field as matched by discovery queries ("Name", "ID",
+  // ...). Default implementation reads the XML child element of that name.
+  [[nodiscard]] virtual std::string field(std::string_view name) const;
+
+  [[nodiscard]] std::string to_xml_text() const {
+    return xml::write(to_xml());
+  }
+};
+
+using AdvertisementPtr = std::shared_ptr<const Advertisement>;
+
+// --- concrete advertisement kinds ----------------------------------------
+
+// Describes a peer: its id, name, group, endpoint addresses, roles.
+class PeerAdvertisement final : public Advertisement {
+ public:
+  static constexpr std::string_view kDocType = "jxta:PeerAdvertisement";
+
+  PeerId pid;
+  PeerGroupId gid;
+  std::string name;
+  std::vector<net::Address> endpoints;
+  bool is_rendezvous = false;
+  bool is_router = false;
+
+  [[nodiscard]] std::string doc_type() const override {
+    return std::string(kDocType);
+  }
+  [[nodiscard]] std::string identity() const override {
+    return pid.to_string();
+  }
+  [[nodiscard]] xml::Element to_xml() const override;
+  [[nodiscard]] std::unique_ptr<Advertisement> clone() const override {
+    return std::make_unique<PeerAdvertisement>(*this);
+  }
+  [[nodiscard]] std::string field(std::string_view name) const override;
+
+  static PeerAdvertisement from_xml(const xml::Element& e);
+};
+
+// Describes a pipe: its id, human name and delivery style.
+class PipeAdvertisement final : public Advertisement {
+ public:
+  static constexpr std::string_view kDocType = "jxta:PipeAdvertisement";
+
+  enum class Type { kUnicast, kPropagate };
+
+  PipeId pid;
+  std::string name;
+  Type type = Type::kUnicast;
+
+  [[nodiscard]] std::string doc_type() const override {
+    return std::string(kDocType);
+  }
+  [[nodiscard]] std::string identity() const override {
+    return pid.to_string();
+  }
+  [[nodiscard]] xml::Element to_xml() const override;
+  [[nodiscard]] std::unique_ptr<Advertisement> clone() const override {
+    return std::make_unique<PipeAdvertisement>(*this);
+  }
+  [[nodiscard]] std::string field(std::string_view name) const override;
+
+  static PipeAdvertisement from_xml(const xml::Element& e);
+
+  static std::string type_to_string(Type t);
+  static Type type_from_string(std::string_view s);
+};
+
+// Describes a service offered inside a group (paper Fig. 15 lines 27-35:
+// name, version, uri, code, security, keywords, params, embedded pipe).
+class ServiceAdvertisement final : public Advertisement {
+ public:
+  static constexpr std::string_view kDocType = "jxta:ServiceAdvertisement";
+
+  std::string name;
+  std::string version;
+  std::string uri;
+  std::string code;
+  std::string security;
+  std::string keywords;
+  std::vector<std::string> params;
+  std::optional<PipeAdvertisement> pipe;
+
+  [[nodiscard]] std::string doc_type() const override {
+    return std::string(kDocType);
+  }
+  [[nodiscard]] std::string identity() const override {
+    return "svc:" + name + ":" + (pipe ? pipe->pid.to_string() : uri);
+  }
+  [[nodiscard]] xml::Element to_xml() const override;
+  [[nodiscard]] std::unique_ptr<Advertisement> clone() const override {
+    return std::make_unique<ServiceAdvertisement>(*this);
+  }
+  [[nodiscard]] std::string field(std::string_view name) const override;
+
+  static ServiceAdvertisement from_xml(const xml::Element& e);
+};
+
+// Describes a peer group and the services it runs (paper Fig. 15: the
+// SR application creates one group per event type, embedding the wire
+// service whose pipe carries the type's events).
+class PeerGroupAdvertisement final : public Advertisement {
+ public:
+  static constexpr std::string_view kDocType = "jxta:PeerGroupAdvertisement";
+
+  PeerGroupId gid;
+  PeerId creator;  // the paper's setPid(localPeerId)
+  std::string name;
+  std::string app;
+  std::string group_impl;
+  bool is_rendezvous = false;
+  std::map<std::string, ServiceAdvertisement> services;
+
+  [[nodiscard]] std::string doc_type() const override {
+    return std::string(kDocType);
+  }
+  [[nodiscard]] std::string identity() const override {
+    return gid.to_string();
+  }
+  [[nodiscard]] xml::Element to_xml() const override;
+  [[nodiscard]] std::unique_ptr<Advertisement> clone() const override {
+    return std::make_unique<PeerGroupAdvertisement>(*this);
+  }
+  [[nodiscard]] std::string field(std::string_view name) const override;
+
+  [[nodiscard]] const ServiceAdvertisement* service(
+      std::string_view service_name) const;
+
+  static PeerGroupAdvertisement from_xml(const xml::Element& e);
+};
+
+// A route: how to reach `dest` via an ordered relay chain (ERP state).
+class RouteAdvertisement final : public Advertisement {
+ public:
+  static constexpr std::string_view kDocType = "jxta:RouteAdvertisement";
+
+  PeerId dest;
+  std::vector<PeerId> hops;  // relays, nearest first; empty = direct
+
+  [[nodiscard]] std::string doc_type() const override {
+    return std::string(kDocType);
+  }
+  [[nodiscard]] std::string identity() const override {
+    return "route:" + dest.to_string();
+  }
+  [[nodiscard]] xml::Element to_xml() const override;
+  [[nodiscard]] std::unique_ptr<Advertisement> clone() const override {
+    return std::make_unique<RouteAdvertisement>(*this);
+  }
+
+  static RouteAdvertisement from_xml(const xml::Element& e);
+};
+
+// --- factory ---------------------------------------------------------------
+
+// Parses any known advertisement kind from XML text (dispatching on the
+// root element name). Unknown document types throw util::ParseError.
+// New kinds can be registered at runtime (JXTA's AdvertisementFactory).
+class AdvertisementFactory {
+ public:
+  using Parser =
+      std::function<std::unique_ptr<Advertisement>(const xml::Element&)>;
+
+  static AdvertisementFactory& instance();
+
+  // Registers a parser for a document type; replaces any existing one.
+  void register_parser(std::string doc_type, Parser parser);
+
+  [[nodiscard]] std::unique_ptr<Advertisement> parse_xml(
+      const xml::Element& root) const;
+  [[nodiscard]] std::unique_ptr<Advertisement> parse_text(
+      std::string_view xml_text) const;
+
+ private:
+  AdvertisementFactory();  // pre-registers the built-in kinds
+
+  std::map<std::string, Parser> parsers_;
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,236 @@
+#include "jxta/bidi_pipe.h"
+
+#include "jxta/peer.h"
+#include "util/logging.h"
+
+namespace p2p::jxta {
+
+namespace {
+
+constexpr std::string_view kKindElement = "bidi:kind";
+constexpr std::string_view kChannelElement = "bidi:channel";
+constexpr std::string_view kDataElement = "bidi:data";
+
+PipeAdvertisement channel_adv(const PipeId& id) {
+  PipeAdvertisement adv;
+  adv.pid = id;
+  adv.name = "bidi";
+  adv.type = PipeAdvertisement::Type::kUnicast;
+  return adv;
+}
+
+Message make_control(std::string_view kind, const PipeId& channel) {
+  Message m;
+  m.add_string(std::string(kKindElement), kind);
+  m.add_string(std::string(kChannelElement), channel.to_string());
+  return m;
+}
+
+}  // namespace
+
+// --- BidiPipe -------------------------------------------------------------------
+
+BidiPipe::BidiPipe(Peer& peer, std::shared_ptr<InputPipe> input,
+                   std::shared_ptr<OutputPipe> output)
+    : peer_(peer), input_(std::move(input)), output_(std::move(output)) {
+  input_->set_listener([this](Message msg) { on_message(std::move(msg)); });
+}
+
+BidiPipe::~BidiPipe() { close(); }
+
+std::shared_ptr<BidiPipe> BidiPipe::connect(Peer& peer,
+                                            const PipeAdvertisement& remote,
+                                            util::Duration timeout) {
+  // Private return path, minted per connection.
+  const PipeId back_channel = PipeId::generate();
+  auto back_input = peer.pipes().create_input_pipe(channel_adv(back_channel));
+
+  auto to_listener = peer.pipes().create_output_pipe(remote, timeout);
+  if (!to_listener->resolved()) return nullptr;
+  if (!to_listener->send(make_control("connect", back_channel))) {
+    return nullptr;
+  }
+
+  // Await the ACCEPT on our private pipe; it names the acceptor's
+  // per-connection channel.
+  const auto accept_msg = back_input->poll(timeout);
+  if (!accept_msg ||
+      accept_msg->get_string(std::string(kKindElement)) != "accept") {
+    return nullptr;
+  }
+  PipeId remote_channel;
+  try {
+    remote_channel = PipeId::parse(
+        accept_msg->get_string(std::string(kChannelElement)).value_or(""));
+  } catch (const util::ParseError&) {
+    return nullptr;
+  }
+  auto to_acceptor =
+      peer.pipes().create_output_pipe(channel_adv(remote_channel), timeout);
+  if (!to_acceptor->resolved()) return nullptr;
+  return std::shared_ptr<BidiPipe>(
+      new BidiPipe(peer, std::move(back_input), std::move(to_acceptor)));
+}
+
+bool BidiPipe::send(const Message& msg) {
+  if (closed_) return false;
+  Message frame;
+  frame.add_string(std::string(kKindElement), "data");
+  frame.add_bytes(std::string(kDataElement), msg.serialize());
+  return output_->send(frame);
+}
+
+void BidiPipe::set_listener(Listener listener) {
+  std::vector<Message> backlog;
+  {
+    const std::lock_guard lock(mu_);
+    listener_ = std::move(listener);
+    if (listener_) {
+      while (auto m = queue_.try_pop()) backlog.push_back(std::move(*m));
+    }
+  }
+  for (auto& m : backlog) {
+    const std::lock_guard lock(mu_);
+    if (listener_) listener_(std::move(m));
+  }
+}
+
+std::optional<Message> BidiPipe::poll(util::Duration timeout) {
+  return queue_.pop_for(timeout);
+}
+
+void BidiPipe::on_message(Message wire) {
+  if (closed_) return;
+  const auto kind = wire.get_string(std::string(kKindElement));
+  if (kind == "close") {
+    closed_ = true;
+    queue_.close();
+    return;
+  }
+  if (kind != "data") return;  // stray control frame
+  const auto body = wire.get_bytes(std::string(kDataElement));
+  if (!body) return;
+  Message inner;
+  try {
+    inner = Message::deserialize(*body);
+  } catch (const std::exception& e) {
+    P2P_LOG(kWarn, "bidi") << "malformed data frame: " << e.what();
+    return;
+  }
+  Listener listener;
+  {
+    const std::lock_guard lock(mu_);
+    listener = listener_;
+  }
+  if (listener) {
+    listener(std::move(inner));
+  } else {
+    queue_.push(std::move(inner));
+  }
+}
+
+void BidiPipe::close() {
+  if (closed_.exchange(true)) return;
+  // Best-effort close notification, then teardown.
+  Message bye;
+  bye.add_string(std::string(kKindElement), "close");
+  output_->send(bye);
+  queue_.close();
+  input_->close();
+  output_->close();
+}
+
+// --- BidiAcceptor ----------------------------------------------------------------
+
+BidiAcceptor::BidiAcceptor(Peer& peer, PipeAdvertisement listen_adv)
+    : peer_(peer), listen_adv_(std::move(listen_adv)) {
+  listen_pipe_ = peer_.pipes().create_input_pipe(listen_adv_);
+  listen_pipe_->set_listener(
+      [this](Message msg) { on_listen_message(std::move(msg)); });
+}
+
+BidiAcceptor::~BidiAcceptor() { close(); }
+
+void BidiAcceptor::on_listen_message(Message msg) {
+  if (closed_) return;
+  if (msg.get_string(std::string(kKindElement)) != "connect") return;
+  PipeId connector_channel;
+  try {
+    connector_channel = PipeId::parse(
+        msg.get_string(std::string(kChannelElement)).value_or(""));
+  } catch (const util::ParseError&) {
+    return;
+  }
+  // Resolving the connector's pipe blocks on PRP answers that arrive on
+  // the peer executor — the thread we are on — so finish the handshake on
+  // a worker joined at close().
+  std::thread worker([this, connector_channel] {
+    try {
+      auto to_connector = peer_.pipes().create_output_pipe(
+          channel_adv(connector_channel), std::chrono::milliseconds(3000));
+      if (!to_connector->resolved()) return;
+      const PipeId own_channel = PipeId::generate();
+      auto own_input =
+          peer_.pipes().create_input_pipe(channel_adv(own_channel));
+      if (!to_connector->send(make_control("accept", own_channel))) return;
+      auto pipe = std::shared_ptr<BidiPipe>(new BidiPipe(
+          peer_, std::move(own_input), std::move(to_connector)));
+      AcceptHandler handler;
+      {
+        const std::lock_guard lock(mu_);
+        if (closed_) return;
+        handler = handler_;
+        if (!handler) {
+          pending_.push(std::move(pipe));
+          return;
+        }
+      }
+      handler(std::move(pipe));
+    } catch (const std::exception& e) {
+      P2P_LOG(kWarn, "bidi") << "accept failed: " << e.what();
+    }
+  });
+  const std::lock_guard lock(mu_);
+  if (closed_) {
+    // Raced with close(): it will not see this worker; reap it here.
+    worker.join();
+    return;
+  }
+  workers_.push_back(std::move(worker));
+}
+
+void BidiAcceptor::set_accept_handler(AcceptHandler handler) {
+  std::vector<std::shared_ptr<BidiPipe>> backlog;
+  {
+    const std::lock_guard lock(mu_);
+    handler_ = std::move(handler);
+    if (handler_) {
+      while (auto p = pending_.try_pop()) backlog.push_back(std::move(*p));
+    }
+  }
+  for (auto& p : backlog) {
+    const std::lock_guard lock(mu_);
+    if (handler_) handler_(std::move(p));
+  }
+}
+
+std::shared_ptr<BidiPipe> BidiAcceptor::accept(util::Duration timeout) {
+  auto p = pending_.pop_for(timeout);
+  return p ? std::move(*p) : nullptr;
+}
+
+void BidiAcceptor::close() {
+  if (closed_.exchange(true)) return;
+  listen_pipe_->close();  // synchronous: no further on_listen_message
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard lock(mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+  pending_.close();
+}
+
+}  // namespace p2p::jxta

@@ -1,0 +1,119 @@
+// Bi-directional pipes.
+//
+// "The basic pipes are asynchronous and uni-directional but some other
+// variants are available (e.g., the very new bi-directional pipes or the
+// many-to-many pipes (called wire))." (paper §2.1)
+//
+// A BidiAcceptor listens on an advertised unicast pipe; a connector calls
+// BidiPipe::connect() with that advertisement. The handshake mints one
+// private unicast pipe per direction, so each accepted connection is its
+// own duplex channel (several connectors may be accepted concurrently).
+// Like all pipes, both halves are bound to peer ids, not addresses: a
+// re-addressed peer keeps its bidi conversations (PBP re-binding).
+//
+// Frame layout on the underlying pipes:
+//   bidi:kind    = "connect" | "accept" | "data" | "close"
+//   bidi:channel = the sender's private pipe id (connect/accept)
+//   payload      = the user message, serialized (data)
+#pragma once
+
+#include <condition_variable>
+#include <thread>
+
+#include "jxta/pipe.h"
+
+namespace p2p::jxta {
+class Peer;
+}
+
+namespace p2p::jxta {
+
+class BidiAcceptor;
+
+// One end of an established duplex channel.
+class BidiPipe {
+ public:
+  using Listener = std::function<void(Message)>;
+
+  ~BidiPipe();
+  BidiPipe(const BidiPipe&) = delete;
+  BidiPipe& operator=(const BidiPipe&) = delete;
+
+  // Connects to a listening BidiAcceptor identified by its advertisement.
+  // Blocking up to `timeout`; nullptr on failure. Not callable on the peer
+  // executor.
+  static std::shared_ptr<BidiPipe> connect(Peer& peer,
+                                           const PipeAdvertisement& remote,
+                                           util::Duration timeout);
+
+  // Sends a message to the other end. False after close or send failure
+  // (which triggers PBP re-resolution for the next attempt).
+  bool send(const Message& msg);
+
+  // Delivery: listener (preferred) or poll.
+  void set_listener(Listener listener);
+  std::optional<Message> poll(util::Duration timeout);
+
+  // Sends a best-effort close notification and tears the channel down.
+  void close();
+  [[nodiscard]] bool closed() const { return closed_; }
+
+ private:
+  friend class BidiAcceptor;
+  BidiPipe(Peer& peer, std::shared_ptr<InputPipe> input,
+           std::shared_ptr<OutputPipe> output);
+  void on_message(Message msg);
+
+  Peer& peer_;
+  std::shared_ptr<InputPipe> input_;
+  std::shared_ptr<OutputPipe> output_;
+  std::mutex mu_;
+  Listener listener_;
+  util::BlockingQueue<Message> queue_;
+  std::atomic<bool> closed_{false};
+};
+
+// The listening end. Each incoming connect yields an independent BidiPipe.
+class BidiAcceptor {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<BidiPipe>)>;
+
+  // Binds the advertised unicast pipe and answers connects. The
+  // advertisement should be published (discovery) so connectors find it.
+  BidiAcceptor(Peer& peer, PipeAdvertisement listen_adv);
+  ~BidiAcceptor();
+
+  BidiAcceptor(const BidiAcceptor&) = delete;
+  BidiAcceptor& operator=(const BidiAcceptor&) = delete;
+
+  // Invoked (on the peer executor) for each accepted connection; replaces
+  // any previous handler. Connections accepted before a handler is set are
+  // queued and replayed.
+  void set_accept_handler(AcceptHandler handler);
+
+  // Blocking accept (alternative to the handler). nullptr on timeout.
+  std::shared_ptr<BidiPipe> accept(util::Duration timeout);
+
+  [[nodiscard]] const PipeAdvertisement& advertisement() const {
+    return listen_adv_;
+  }
+
+  void close();
+
+ private:
+  void on_listen_message(Message msg);
+
+  Peer& peer_;
+  const PipeAdvertisement listen_adv_;
+  std::shared_ptr<InputPipe> listen_pipe_;
+  std::mutex mu_;
+  AcceptHandler handler_;
+  util::BlockingQueue<std::shared_ptr<BidiPipe>> pending_;
+  // One short-lived handshake worker per incoming connect (the handshake
+  // resolves pipes, which must not block the peer executor); joined on
+  // close so `this` outlives them.
+  std::vector<std::thread> workers_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,319 @@
+#include "jxta/discovery.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace p2p::jxta {
+
+namespace {
+
+// Query payload layout.
+struct QueryBody {
+  DiscoveryType type{};
+  std::string attr;
+  std::string value;
+  std::uint64_t threshold = DiscoveryService::kDefaultThreshold;
+};
+
+util::Bytes encode_query(const QueryBody& q) {
+  util::ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(q.type));
+  w.write_string(q.attr);
+  w.write_string(q.value);
+  w.write_varint(q.threshold);
+  return w.take();
+}
+
+QueryBody decode_query(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  QueryBody q;
+  q.type = static_cast<DiscoveryType>(r.read_u8());
+  q.attr = r.read_string();
+  q.value = r.read_string();
+  q.threshold = r.read_varint();
+  return q;
+}
+
+}  // namespace
+
+DiscoveryService::DiscoveryService(ResolverService& resolver,
+                                   util::Clock& clock)
+    : resolver_(resolver), clock_(clock) {}
+
+void DiscoveryService::start() {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  resolver_.register_handler(std::string(kHandlerName), weak_from_this());
+}
+
+void DiscoveryService::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  resolver_.unregister_handler(std::string(kHandlerName));
+}
+
+void DiscoveryService::store(const Advertisement& adv, DiscoveryType type,
+                             std::int64_t lifetime_ms) {
+  const std::lock_guard lock(mu_);
+  Entry entry;
+  entry.adv = AdvertisementPtr(adv.clone().release());
+  entry.expires = clock_.now() + util::Duration{lifetime_ms};
+  cache_[type][adv.identity()] = std::move(entry);
+}
+
+void DiscoveryService::publish(const Advertisement& adv, DiscoveryType type,
+                               std::int64_t lifetime_ms) {
+  store(adv, type, lifetime_ms);
+}
+
+void DiscoveryService::remote_publish(const Advertisement& adv,
+                                      DiscoveryType type,
+                                      std::int64_t lifetime_ms) {
+  publish(adv, type, lifetime_ms);
+  // An unsolicited push is a response with a nil query id, propagated
+  // group-wide through the resolver's query channel: we reuse the query
+  // mechanism with a special "push" marker instead of adding a channel.
+  std::vector<AdvertisementPtr> batch{
+      AdvertisementPtr(adv.clone().release())};
+  util::ByteWriter w;
+  w.write_u8(1);  // marker: push
+  w.write_raw(encode_batch(type, batch, lifetime_ms));
+  resolver_.send_query(std::string(kHandlerName), w.take());
+}
+
+std::vector<AdvertisementPtr> DiscoveryService::get_local(
+    DiscoveryType type, std::string_view attr, std::string_view value) const {
+  const std::lock_guard lock(mu_);
+  std::vector<AdvertisementPtr> out;
+  const auto it = cache_.find(type);
+  if (it == cache_.end()) return out;
+  const auto now = clock_.now();
+  for (const auto& [identity, entry] : it->second) {
+    if (entry.expires < now) continue;  // stale; swept opportunistically
+    if (!attr.empty() &&
+        !util::glob_match(value, entry.adv->field(attr))) {
+      continue;
+    }
+    out.push_back(entry.adv);
+  }
+  return out;
+}
+
+util::Uuid DiscoveryService::get_remote(DiscoveryType type,
+                                        std::string_view attr,
+                                        std::string_view value,
+                                        std::size_t threshold,
+                                        const std::optional<PeerId>& peer) {
+  QueryBody q;
+  q.type = type;
+  q.attr = std::string(attr);
+  q.value = std::string(value);
+  q.threshold = threshold;
+  util::ByteWriter w;
+  w.write_u8(0);  // marker: query
+  w.write_raw(encode_query(q));
+  return resolver_.send_query(std::string(kHandlerName), w.take(), peer);
+}
+
+void DiscoveryService::flush(DiscoveryType type) {
+  const std::lock_guard lock(mu_);
+  cache_.erase(type);
+}
+
+void DiscoveryService::flush(DiscoveryType type, const std::string& identity) {
+  const std::lock_guard lock(mu_);
+  const auto it = cache_.find(type);
+  if (it != cache_.end()) it->second.erase(identity);
+}
+
+std::uint64_t DiscoveryService::add_listener(DiscoveryListener listener) {
+  const std::lock_guard lock(mu_);
+  const std::uint64_t handle = next_listener_++;
+  listeners_[handle] = std::move(listener);
+  return handle;
+}
+
+void DiscoveryService::remove_listener(std::uint64_t handle) {
+  std::unique_lock lock(mu_);
+  listeners_.erase(handle);
+  // Do not return while this listener runs on another thread: callers free
+  // listener-captured state right after removal. If WE are inside that
+  // listener (self-removal), waiting would deadlock — skip; our own frame
+  // keeps the state alive until the listener returns.
+  const auto stack_it = firing_stacks_.find(std::this_thread::get_id());
+  if (stack_it != firing_stacks_.end()) {
+    for (const std::uint64_t firing : stack_it->second) {
+      if (firing == handle) return;
+    }
+  }
+  fire_cv_.wait(lock, [&] { return !firing_counts_.contains(handle); });
+}
+
+void DiscoveryService::fire(const DiscoveryEvent& event) {
+  std::vector<std::pair<std::uint64_t, DiscoveryListener>> listeners;
+  {
+    const std::lock_guard lock(mu_);
+    listeners.reserve(listeners_.size());
+    for (const auto& [handle, l] : listeners_) listeners.emplace_back(handle, l);
+  }
+  const auto tid = std::this_thread::get_id();
+  for (const auto& [handle, l] : listeners) {
+    {
+      const std::lock_guard lock(mu_);
+      if (!listeners_.contains(handle)) continue;  // removed meanwhile
+      ++firing_counts_[handle];
+      firing_stacks_[tid].push_back(handle);
+    }
+    try {
+      l(event);
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "discovery") << "listener threw: " << e.what();
+    }
+    {
+      const std::lock_guard lock(mu_);
+      if (--firing_counts_[handle] == 0) firing_counts_.erase(handle);
+      auto& stack = firing_stacks_[tid];
+      stack.pop_back();
+      if (stack.empty()) firing_stacks_.erase(tid);
+    }
+    fire_cv_.notify_all();
+  }
+}
+
+util::Bytes DiscoveryService::encode_batch(
+    DiscoveryType type, const std::vector<AdvertisementPtr>& advs,
+    std::int64_t lifetime_ms) {
+  util::ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(type));
+  w.write_varint(advs.size());
+  for (const auto& adv : advs) {
+    w.write_string(adv->to_xml_text());
+    w.write_i64(lifetime_ms);
+  }
+  return w.take();
+}
+
+void DiscoveryService::decode_and_cache(std::span<const std::uint8_t> payload,
+                                        const util::Uuid& query_id,
+                                        const PeerId& source) {
+  util::ByteReader r(payload);
+  const auto type = static_cast<DiscoveryType>(r.read_u8());
+  const std::uint64_t count = r.read_varint();
+  DiscoveryEvent event;
+  event.type = type;
+  event.query_id = query_id;
+  event.source = source;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string text = r.read_string();
+    const std::int64_t lifetime_ms = r.read_i64();
+    try {
+      std::unique_ptr<Advertisement> adv =
+          AdvertisementFactory::instance().parse_text(text);
+      store(*adv, type, lifetime_ms);
+      event.advertisements.emplace_back(adv.release());
+    } catch (const std::exception& e) {
+      P2P_LOG(kWarn, "discovery") << "dropping bad advertisement: "
+                                  << e.what();
+    }
+  }
+  if (!event.advertisements.empty()) fire(event);
+}
+
+std::optional<util::Bytes> DiscoveryService::process_query(
+    const ResolverQuery& q) {
+  util::ByteReader r(q.payload);
+  const std::uint8_t marker = r.read_u8();
+  if (marker == 1) {
+    // Unsolicited push (remote_publish by someone else).
+    const util::Bytes rest = r.read_raw(r.remaining());
+    decode_and_cache(rest, util::Uuid{}, q.src);
+    return std::nullopt;
+  }
+  const QueryBody body = decode_query(r.read_raw(r.remaining()));
+  std::vector<AdvertisementPtr> matches =
+      get_local(body.type, body.attr, body.value);
+  if (matches.empty()) return std::nullopt;
+  if (matches.size() > body.threshold) matches.resize(body.threshold);
+  // Remaining lifetime is approximated by the default; shipping precise
+  // per-entry remaining lifetimes would need the cache entry, kept simple.
+  return encode_batch(body.type, matches, kDefaultAdvLifetimeMs);
+}
+
+void DiscoveryService::process_response(const ResolverResponse& resp) {
+  decode_and_cache(resp.payload, resp.query_id, resp.responder);
+}
+
+std::size_t DiscoveryService::save_cache(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw util::P2pError("cannot open cache file for writing: " + path);
+  }
+  std::size_t saved = 0;
+  const std::lock_guard lock(mu_);
+  const auto now = clock_.now();
+  for (const auto& [type, entries] : cache_) {
+    for (const auto& [identity, entry] : entries) {
+      if (entry.expires < now) continue;
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              entry.expires - now)
+              .count();
+      // Compact XML has no newlines, so a two-line frame suffices.
+      out << "ADV " << static_cast<int>(type) << ' ' << remaining_ms << '\n'
+          << entry.adv->to_xml_text() << '\n';
+      ++saved;
+    }
+  }
+  return saved;
+}
+
+std::size_t DiscoveryService::load_cache(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;  // no stable storage yet — not an error
+  std::size_t loaded = 0;
+  std::string header;
+  std::string xml_line;
+  while (std::getline(in, header)) {
+    if (!std::getline(in, xml_line)) break;
+    int type_int = 0;
+    std::int64_t remaining_ms = 0;
+    if (std::sscanf(header.c_str(), "ADV %d %" SCNd64, &type_int,
+                    &remaining_ms) != 2 ||
+        remaining_ms <= 0) {
+      continue;  // expired while down, or malformed
+    }
+    try {
+      const auto adv = AdvertisementFactory::instance().parse_text(xml_line);
+      store(*adv, static_cast<DiscoveryType>(type_int), remaining_ms);
+      ++loaded;
+    } catch (const std::exception& e) {
+      P2P_LOG(kWarn, "discovery")
+          << "skipping bad persisted advertisement: " << e.what();
+    }
+  }
+  return loaded;
+}
+
+std::size_t DiscoveryService::cache_size(DiscoveryType type) const {
+  const std::lock_guard lock(mu_);
+  const auto it = cache_.find(type);
+  if (it == cache_.end()) return 0;
+  const auto now = clock_.now();
+  std::size_t n = 0;
+  for (const auto& [identity, entry] : it->second) {
+    if (entry.expires >= now) ++n;
+  }
+  return n;
+}
+
+}  // namespace p2p::jxta

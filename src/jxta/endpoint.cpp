@@ -1,0 +1,323 @@
+#include "jxta/endpoint.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace p2p::jxta {
+
+util::Bytes EndpointMessage::serialize() const {
+  util::ByteWriter w;
+  w.write_u64(src.uuid().hi());
+  w.write_u64(src.uuid().lo());
+  w.write_u64(dst.uuid().hi());
+  w.write_u64(dst.uuid().lo());
+  w.write_string(service);
+  w.write_varint(ttl);
+  w.write_u64(msg_id.hi());
+  w.write_u64(msg_id.lo());
+  w.write_bytes(payload);
+  return w.take();
+}
+
+EndpointMessage EndpointMessage::deserialize(
+    std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  EndpointMessage m;
+  m.src = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
+  m.dst = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
+  m.service = r.read_string();
+  m.ttl = static_cast<std::uint32_t>(r.read_varint());
+  m.msg_id = util::Uuid{r.read_u64(), r.read_u64()};
+  m.payload = r.read_bytes();
+  return m;
+}
+
+EndpointService::EndpointService(PeerId self, util::SerialExecutor& executor)
+    : self_(self), executor_(executor) {}
+
+void EndpointService::add_transport(
+    std::shared_ptr<net::Transport> transport) {
+  transport->set_receiver([this](net::Datagram d) { on_datagram(std::move(d)); });
+  const std::lock_guard lock(mu_);
+  transports_.push_back(std::move(transport));
+}
+
+std::vector<net::Address> EndpointService::local_addresses() const {
+  const std::lock_guard lock(mu_);
+  std::vector<net::Address> out;
+  out.reserve(transports_.size());
+  for (const auto& t : transports_) out.push_back(t->local_address());
+  return out;
+}
+
+void EndpointService::learn_peer(const PeerId& peer,
+                                 std::vector<net::Address> addresses,
+                                 bool relay_capable) {
+  if (peer == self_) return;
+  const std::lock_guard lock(mu_);
+  PeerRecord& rec = address_book_[peer];
+  // Newest knowledge first; drop duplicates.
+  for (auto it = addresses.rbegin(); it != addresses.rend(); ++it) {
+    std::erase(rec.addresses, *it);
+    rec.addresses.insert(rec.addresses.begin(), *it);
+  }
+  rec.relay_capable = rec.relay_capable || relay_capable;
+}
+
+void EndpointService::learn_route(const PeerId& dst, const PeerId& via) {
+  if (dst == self_ || via == dst) return;
+  const std::lock_guard lock(mu_);
+  PeerRecord& rec = address_book_[dst];
+  if (std::find(rec.via.begin(), rec.via.end(), via) == rec.via.end()) {
+    rec.via.insert(rec.via.begin(), via);
+  }
+}
+
+void EndpointService::forget_peer(const PeerId& peer) {
+  const std::lock_guard lock(mu_);
+  address_book_.erase(peer);
+}
+
+std::vector<net::Address> EndpointService::addresses_of(
+    const PeerId& peer) const {
+  const std::lock_guard lock(mu_);
+  const auto it = address_book_.find(peer);
+  return it != address_book_.end() ? it->second.addresses
+                                   : std::vector<net::Address>{};
+}
+
+std::vector<PeerId> EndpointService::known_relays() const {
+  const std::lock_guard lock(mu_);
+  std::vector<PeerId> out;
+  for (const auto& [peer, rec] : address_book_) {
+    if (rec.relay_capable) out.push_back(peer);
+  }
+  return out;
+}
+
+void EndpointService::register_listener(std::string service,
+                                        Listener listener) {
+  const std::lock_guard lock(mu_);
+  listeners_[std::move(service)] = std::move(listener);
+}
+
+void EndpointService::unregister_listener(const std::string& service) {
+  std::unique_lock lock(mu_);
+  listeners_.erase(service);
+  // Dispatch happens on the executor thread; if that's not us, wait until
+  // any in-flight invocation of this service finishes, so callers may free
+  // listener-captured state once we return.
+  if (!executor_.on_executor_thread()) {
+    dispatch_cv_.wait(lock,
+                      [&] { return dispatching_service_ != service; });
+  }
+}
+
+bool EndpointService::send(const PeerId& dst, std::string_view service,
+                           util::Bytes payload) {
+  if (stopped_) return false;
+  EndpointMessage msg;
+  msg.src = self_;
+  msg.dst = dst;
+  msg.service = std::string(service);
+  msg.payload = std::move(payload);
+  {
+    const std::lock_guard lock(traffic_mu_);
+    ++traffic_.msgs_sent;
+    traffic_.bytes_sent += msg.payload.size();
+  }
+  if (dst == self_) {
+    executor_.post([this, msg = std::move(msg)]() mutable {
+      dispatch(std::move(msg));
+    });
+    return true;
+  }
+  if (send_message(msg)) return true;
+  const std::lock_guard lock(traffic_mu_);
+  ++traffic_.send_failures;
+  return false;
+}
+
+bool EndpointService::broadcast(std::string_view service,
+                                util::Bytes payload) {
+  if (stopped_) return false;
+  EndpointMessage msg;
+  msg.src = self_;
+  msg.dst = PeerId{};  // nil: any receiver
+  msg.service = std::string(service);
+  msg.payload = std::move(payload);
+  const util::Bytes wire = msg.serialize();
+  std::vector<std::shared_ptr<net::Transport>> transports;
+  {
+    const std::lock_guard lock(mu_);
+    transports = transports_;
+  }
+  bool any = false;
+  for (const auto& t : transports) {
+    if (t->broadcast(wire)) any = true;
+  }
+  if (any) {
+    const std::lock_guard lock(traffic_mu_);
+    ++traffic_.msgs_sent;
+    traffic_.bytes_sent += wire.size();
+  }
+  return any;
+}
+
+bool EndpointService::send_to_address(const net::Address& address,
+                                      std::string_view service,
+                                      util::Bytes payload) {
+  if (stopped_) return false;
+  EndpointMessage msg;
+  msg.src = self_;
+  msg.dst = PeerId{};  // nil: accepted by whoever listens there
+  msg.service = std::string(service);
+  msg.payload = std::move(payload);
+  const util::Bytes wire = msg.serialize();
+  std::vector<std::shared_ptr<net::Transport>> transports;
+  {
+    const std::lock_guard lock(mu_);
+    transports = transports_;
+  }
+  for (const auto& t : transports) {
+    if (t->scheme() != address.scheme()) continue;
+    if (t->send(address, wire)) {
+      const std::lock_guard lock(traffic_mu_);
+      ++traffic_.msgs_sent;
+      traffic_.bytes_sent += wire.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EndpointService::send_direct(const PeerId& next_hop,
+                                  const EndpointMessage& msg) {
+  const util::Bytes wire = msg.serialize();
+  std::vector<net::Address> addresses = addresses_of(next_hop);
+  std::vector<std::shared_ptr<net::Transport>> transports;
+  {
+    const std::lock_guard lock(mu_);
+    transports = transports_;
+  }
+  for (const auto& addr : addresses) {
+    for (const auto& t : transports) {
+      if (t->scheme() != addr.scheme()) continue;
+      if (t->send(addr, wire)) return true;
+    }
+  }
+  return false;
+}
+
+bool EndpointService::send_message(const EndpointMessage& msg) {
+  // 1. Direct delivery over any shared transport.
+  if (send_direct(msg.dst, msg)) return true;
+  if (msg.ttl == 0) return false;
+
+  EndpointMessage relayed = msg;
+  relayed.ttl = msg.ttl - 1;
+
+  // 2. Learned ERP routes for this destination.
+  std::vector<PeerId> vias;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = address_book_.find(msg.dst);
+    if (it != address_book_.end()) vias = it->second.via;
+  }
+  for (const auto& via : vias) {
+    if (via == self_) continue;
+    if (send_direct(via, relayed)) return true;
+  }
+
+  // 3. Relay of last resort: any known router/rendezvous peer.
+  for (const auto& relay : known_relays()) {
+    if (relay == msg.src || relay == msg.dst) continue;
+    if (send_direct(relay, relayed)) return true;
+  }
+  return false;
+}
+
+void EndpointService::on_datagram(net::Datagram d) {
+  if (stopped_) return;
+  EndpointMessage msg;
+  try {
+    msg = EndpointMessage::deserialize(d.payload);
+  } catch (const std::exception& e) {
+    P2P_LOG(kWarn, "endpoint") << "dropping malformed datagram: " << e.what();
+    return;
+  }
+  // Observed envelope address: the reply path to msg.src. This is how a
+  // rendezvous learns how to reach a firewalled client (the client's
+  // outbound lease punched the hole; we reuse its source address).
+  if (!msg.src.is_nil() && msg.src != self_) {
+    learn_peer(msg.src, {d.src}, /*relay_capable=*/false);
+  }
+  if (!msg.dst.is_nil() && msg.dst != self_) {
+    // ERP relay duty.
+    if (!is_router_ || msg.ttl == 0) return;
+    EndpointMessage fwd = std::move(msg);
+    fwd.ttl -= 1;
+    {
+      const std::lock_guard lock(traffic_mu_);
+      ++traffic_.msgs_relayed;
+    }
+    // Forward off the transport thread to keep transports non-blocking.
+    executor_.post([this, fwd = std::move(fwd)] { send_message(fwd); });
+    return;
+  }
+  {
+    const std::lock_guard lock(traffic_mu_);
+    ++traffic_.msgs_received;
+    traffic_.bytes_received += msg.payload.size();
+  }
+  executor_.post([this, msg = std::move(msg)]() mutable {
+    dispatch(std::move(msg));
+  });
+}
+
+void EndpointService::dispatch(EndpointMessage msg) {
+  Listener listener;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = listeners_.find(msg.service);
+    if (it != listeners_.end()) {
+      listener = it->second;
+      dispatching_service_ = msg.service;
+    }
+  }
+  if (!listener) {
+    P2P_LOG(kDebug, "endpoint")
+        << "no listener for service '" << msg.service << "'";
+    return;
+  }
+  const std::string service = msg.service;
+  try {
+    listener(std::move(msg));
+  } catch (const std::exception& e) {
+    P2P_LOG(kError, "endpoint")
+        << "listener for '" << service << "' threw: " << e.what();
+  }
+  {
+    const std::lock_guard lock(mu_);
+    dispatching_service_.clear();
+  }
+  dispatch_cv_.notify_all();
+}
+
+EndpointTraffic EndpointService::traffic() const {
+  const std::lock_guard lock(traffic_mu_);
+  return traffic_;
+}
+
+void EndpointService::stop() {
+  if (stopped_.exchange(true)) return;
+  std::vector<std::shared_ptr<net::Transport>> transports;
+  {
+    const std::lock_guard lock(mu_);
+    transports = transports_;
+  }
+  for (const auto& t : transports) t->close();
+}
+
+}  // namespace p2p::jxta

@@ -1,0 +1,139 @@
+// EndpointService: transport multiplexing + Endpoint Routing Protocol (ERP).
+//
+// The endpoint service is the bottom of the JXTA core: every protocol above
+// it (resolver, rendezvous, pipes) addresses *peers*, not network addresses.
+// This service
+//   * owns the peer's transports (a peer may have several network
+//     interfaces — paper §2.1 footnote),
+//   * keeps an address book mapping PeerId -> learned transport addresses
+//     (from peer advertisements and from observed message envelopes),
+//   * implements ERP: when no transport can deliver directly (firewall,
+//     unknown address), the message is handed to a relay — a peer flagged
+//     as router/rendezvous — which forwards it (paper §2.2, Fig. 6).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jxta/id.h"
+#include "net/transport.h"
+#include "util/clock.h"
+#include "util/executor.h"
+
+namespace p2p::jxta {
+
+// The unit the endpoint service moves between peers.
+struct EndpointMessage {
+  PeerId src;
+  PeerId dst;
+  std::string service;  // destination listener, e.g. "jxta.resolver"
+  std::uint32_t ttl = 4;  // remaining relay hops
+  util::Uuid msg_id = util::Uuid::generate();
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static EndpointMessage deserialize(std::span<const std::uint8_t> data);
+};
+
+// Per-peer traffic counters surfaced by the Peer Information Protocol.
+struct EndpointTraffic {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t msgs_relayed = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t send_failures = 0;
+};
+
+class EndpointService {
+ public:
+  // Listeners run on the peer's executor; they may call back into the
+  // endpoint service freely.
+  using Listener = std::function<void(EndpointMessage)>;
+
+  EndpointService(PeerId self, util::SerialExecutor& executor);
+
+  // --- configuration (before or after start; thread-safe) ---------------
+  void add_transport(std::shared_ptr<net::Transport> transport);
+  void set_router(bool is_router) { is_router_ = is_router; }
+  [[nodiscard]] bool is_router() const { return is_router_; }
+
+  [[nodiscard]] const PeerId& local_peer() const { return self_; }
+  [[nodiscard]] std::vector<net::Address> local_addresses() const;
+
+  // --- address book ------------------------------------------------------
+  // Records addresses for a peer (newest first). `relay_capable` marks the
+  // peer usable as an ERP relay of last resort.
+  void learn_peer(const PeerId& peer, std::vector<net::Address> addresses,
+                  bool relay_capable);
+  // Records an ERP route: to reach `dst`, forward via `via`.
+  void learn_route(const PeerId& dst, const PeerId& via);
+  void forget_peer(const PeerId& peer);
+  [[nodiscard]] std::vector<net::Address> addresses_of(
+      const PeerId& peer) const;
+  [[nodiscard]] std::vector<PeerId> known_relays() const;
+
+  // --- messaging -----------------------------------------------------------
+  void register_listener(std::string service, Listener listener);
+  // Synchronous: blocks until an in-flight invocation of this service's
+  // listener completes (unless called from the dispatching executor thread
+  // itself), so listener-captured state may be freed afterwards.
+  void unregister_listener(const std::string& service);
+
+  // Delivers to dst's `service` listener. Local destinations dispatch via
+  // the executor. Remote: direct transports first, then learned routes,
+  // then any relay-capable peer. Returns false if nothing accepted the
+  // message (delivery remains best-effort even when true).
+  bool send(const PeerId& dst, std::string_view service, util::Bytes payload);
+
+  // Multicasts to `service` on every peer of the local segment, over every
+  // transport that supports broadcasting (the JXTA LAN-discovery path).
+  // The local peer does NOT receive its own broadcast.
+  bool broadcast(std::string_view service, util::Bytes payload);
+
+  // Delivers to whatever peer listens at a known transport address (nil
+  // destination id). Used to bootstrap: contacting a seed rendezvous whose
+  // peer id is not known yet. The receiver accepts it as its own.
+  bool send_to_address(const net::Address& address, std::string_view service,
+                       util::Bytes payload);
+
+  [[nodiscard]] EndpointTraffic traffic() const;
+
+  // Stops dispatching received datagrams. Transports are closed.
+  void stop();
+
+ private:
+  void on_datagram(net::Datagram d);
+  void dispatch(EndpointMessage msg);
+  bool send_message(const EndpointMessage& msg);
+  bool send_direct(const PeerId& next_hop, const EndpointMessage& msg);
+
+  const PeerId self_;
+  util::SerialExecutor& executor_;
+  std::atomic<bool> is_router_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;
+  std::vector<std::shared_ptr<net::Transport>> transports_;
+  std::unordered_map<std::string, Listener> listeners_;
+  std::string dispatching_service_;  // listener currently being invoked
+
+  struct PeerRecord {
+    std::vector<net::Address> addresses;
+    bool relay_capable = false;
+    std::vector<PeerId> via;  // learned relays for this destination
+  };
+  std::unordered_map<PeerId, PeerRecord> address_book_;
+
+  mutable std::mutex traffic_mu_;
+  EndpointTraffic traffic_;
+};
+
+}  // namespace p2p::jxta

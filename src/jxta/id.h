@@ -1,0 +1,116 @@
+// Typed JXTA identifiers.
+//
+// "An ID identifies any JXTA resource, which can be a peer, a pipe, a
+// peergroup or a codat" (paper §2.1). IDs are UUID-backed and carry their
+// kind in the type system so a PipeId can never be passed where a PeerId is
+// expected — the compile-time analogue of the type safety the paper's TPS
+// layer provides at the application level.
+#pragma once
+
+#include <string>
+
+#include "util/error.h"
+#include "util/uuid.h"
+
+namespace p2p::jxta {
+
+namespace detail {
+
+// CRTP base so each ID kind is a distinct type with identical behaviour.
+template <typename Derived>
+class TypedId {
+ public:
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(util::Uuid uuid) : uuid_(uuid) {}
+
+  // A fresh random identifier.
+  static Derived generate() { return Derived(util::Uuid::generate()); }
+
+  // A well-known identifier derived deterministically from a name; distinct
+  // ID kinds derive distinct values for the same name.
+  static Derived derive(std::string_view name) {
+    return Derived(
+        util::Uuid::derive(std::string(Derived::kUrnPrefix) + ":" +
+                           std::string(name)));
+  }
+
+  // Parses the to_string() form ("urn:jxta:<kind>:<32 hex>").
+  static Derived parse(std::string_view text) {
+    const std::string_view prefix = Derived::kUrnPrefix;
+    if (text.size() != prefix.size() + 1 + 32 ||
+        text.substr(0, prefix.size()) != prefix ||
+        text[prefix.size()] != ':') {
+      throw util::ParseError("bad id: " + std::string(text));
+    }
+    const auto uuid = util::Uuid::parse(text.substr(prefix.size() + 1));
+    if (!uuid) throw util::ParseError("bad id: " + std::string(text));
+    return Derived(*uuid);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(Derived::kUrnPrefix) + ":" + uuid_.to_string();
+  }
+
+  [[nodiscard]] constexpr bool is_nil() const { return uuid_.is_nil(); }
+  [[nodiscard]] constexpr const util::Uuid& uuid() const { return uuid_; }
+
+  friend constexpr bool operator==(const TypedId&, const TypedId&) = default;
+  friend constexpr auto operator<=>(const TypedId&, const TypedId&) = default;
+
+ private:
+  util::Uuid uuid_;
+};
+
+}  // namespace detail
+
+class PeerId final : public detail::TypedId<PeerId> {
+ public:
+  static constexpr std::string_view kUrnPrefix = "urn:jxta:peer";
+  using TypedId::TypedId;
+};
+
+class PipeId final : public detail::TypedId<PipeId> {
+ public:
+  static constexpr std::string_view kUrnPrefix = "urn:jxta:pipe";
+  using TypedId::TypedId;
+};
+
+class PeerGroupId final : public detail::TypedId<PeerGroupId> {
+ public:
+  static constexpr std::string_view kUrnPrefix = "urn:jxta:group";
+  using TypedId::TypedId;
+};
+
+// Code-and-data resources (JXTA's "codat"); used for cached content ids.
+class CodatId final : public detail::TypedId<CodatId> {
+ public:
+  static constexpr std::string_view kUrnPrefix = "urn:jxta:codat";
+  using TypedId::TypedId;
+};
+
+}  // namespace p2p::jxta
+
+template <>
+struct std::hash<p2p::jxta::PeerId> {
+  std::size_t operator()(const p2p::jxta::PeerId& id) const noexcept {
+    return std::hash<p2p::util::Uuid>{}(id.uuid());
+  }
+};
+template <>
+struct std::hash<p2p::jxta::PipeId> {
+  std::size_t operator()(const p2p::jxta::PipeId& id) const noexcept {
+    return std::hash<p2p::util::Uuid>{}(id.uuid());
+  }
+};
+template <>
+struct std::hash<p2p::jxta::PeerGroupId> {
+  std::size_t operator()(const p2p::jxta::PeerGroupId& id) const noexcept {
+    return std::hash<p2p::util::Uuid>{}(id.uuid());
+  }
+};
+template <>
+struct std::hash<p2p::jxta::CodatId> {
+  std::size_t operator()(const p2p::jxta::CodatId& id) const noexcept {
+    return std::hash<p2p::util::Uuid>{}(id.uuid());
+  }
+};

@@ -1,0 +1,107 @@
+#include "jxta/membership.h"
+
+#include "util/string_util.h"
+#include "util/uuid.h"
+
+namespace p2p::jxta {
+
+namespace {
+
+// Stable non-cryptographic digest; adequate for the simulated trust model.
+// (A production deployment would swap in an HMAC; the protocol shape —
+// what travels where — is unchanged, which is what we reproduce.)
+std::uint64_t digest(std::string_view text) {
+  return util::Uuid::derive(text).hi();
+}
+
+std::string hash_password(std::string_view password) {
+  return util::Uuid::derive(std::string("pmp-secret:") +
+                            std::string(password))
+      .to_string();
+}
+
+}  // namespace
+
+util::Bytes Credential::serialize() const {
+  util::ByteWriter w;
+  w.write_u64(peer.uuid().hi());
+  w.write_u64(peer.uuid().lo());
+  w.write_u64(group.uuid().hi());
+  w.write_u64(group.uuid().lo());
+  w.write_string(identity);
+  w.write_u64(token);
+  return w.take();
+}
+
+Credential Credential::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  Credential c;
+  c.peer = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
+  c.group = PeerGroupId{util::Uuid{r.read_u64(), r.read_u64()}};
+  c.identity = r.read_string();
+  c.token = r.read_u64();
+  return c;
+}
+
+MembershipService::MembershipService(PeerGroupAdvertisement group_adv,
+                                     PeerId self)
+    : group_adv_(std::move(group_adv)), self_(self) {}
+
+std::string MembershipService::secret_hash() const {
+  const ServiceAdvertisement* svc = group_adv_.service(kServiceName);
+  if (svc == nullptr || svc->params.empty()) return {};
+  const std::string& p = svc->params.front();
+  if (util::starts_with(p, "password:")) return p.substr(9);
+  return {};
+}
+
+MembershipService::Requirements MembershipService::apply() const {
+  return Requirements{.password_required = !secret_hash().empty()};
+}
+
+std::uint64_t MembershipService::token_for(const PeerId& peer,
+                                           const std::string& identity) const {
+  return digest(group_adv_.gid.to_string() + "|" + peer.to_string() + "|" +
+                identity + "|" + secret_hash());
+}
+
+Credential MembershipService::join(const std::string& identity,
+                                   const std::string& password) {
+  const std::string required = secret_hash();
+  if (!required.empty() && hash_password(password) != required) {
+    throw MembershipError("wrong password for group '" + group_adv_.name +
+                          "'");
+  }
+  Credential c;
+  c.peer = self_;
+  c.group = group_adv_.gid;
+  c.identity = identity;
+  c.token = token_for(self_, identity);
+  credential_ = c;
+  return c;
+}
+
+void MembershipService::resign() { credential_.reset(); }
+
+bool MembershipService::verify(const Credential& credential) const {
+  return credential.group == group_adv_.gid &&
+         credential.token == token_for(credential.peer, credential.identity);
+}
+
+ServiceAdvertisement MembershipService::make_service_advertisement(
+    const std::optional<std::string>& password) {
+  ServiceAdvertisement svc;
+  svc.name = std::string(kServiceName);
+  svc.version = "1.0";
+  svc.uri = "jxta://membership";
+  svc.code = "builtin:membership";
+  svc.security = password ? "password" : "none";
+  if (password) {
+    svc.params.push_back("password:" + hash_password(*password));
+  } else {
+    svc.params.push_back("none");
+  }
+  return svc;
+}
+
+}  // namespace p2p::jxta

@@ -1,0 +1,89 @@
+// MembershipService: the Peer Membership Protocol (PMP).
+//
+// "The PMP is used to obtain information about group membership requirements
+// (credentials, password requirements, ...). Once a peer has those
+// requirements, it can apply for membership as well as it can leave and
+// join the group." (paper §2.2, Fig. 4)
+//
+// The membership requirements travel inside the group advertisement (the
+// params of its "jxta.service.membership" ServiceAdvertisement), so any
+// peer holding the advertisement can apply/join and any member can verify a
+// presented credential — no online authority is needed, which suits the
+// paper's serverless setting. Password groups store only a salted hash.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "jxta/advertisement.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace p2p::jxta {
+
+// Raised when join() credentials do not satisfy the group's requirements.
+class MembershipError : public util::P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+// Proof of membership, verifiable by any peer holding the group adv.
+struct Credential {
+  PeerId peer;
+  PeerGroupId group;
+  std::string identity;    // member-chosen display identity
+  std::uint64_t token = 0; // binds peer+group+identity to the group secret
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static Credential deserialize(std::span<const std::uint8_t> data);
+};
+
+class MembershipService {
+ public:
+  static constexpr std::string_view kServiceName = "jxta.service.membership";
+
+  struct Requirements {
+    bool password_required = false;
+  };
+
+  // Reads the requirements out of the group advertisement. `self` is the
+  // local peer applying for membership.
+  MembershipService(PeerGroupAdvertisement group_adv, PeerId self);
+
+  // The paper's "apply" round: what does this group demand?
+  [[nodiscard]] Requirements apply() const;
+
+  // The paper's "join" round. Throws MembershipError if the password does
+  // not match the group's requirement. Joining twice re-issues the
+  // credential (idempotent).
+  Credential join(const std::string& identity,
+                  const std::string& password = {});
+
+  // Leaves the group, discarding the credential.
+  void resign();
+
+  [[nodiscard]] bool joined() const { return credential_.has_value(); }
+  [[nodiscard]] const std::optional<Credential>& credential() const {
+    return credential_;
+  }
+
+  // Verifies a credential presented by any peer against this group's
+  // requirements (e.g. before honouring group-scoped requests).
+  [[nodiscard]] bool verify(const Credential& credential) const;
+
+  // Builds the ServiceAdvertisement a group creator embeds into the group
+  // advertisement. nullopt -> open group.
+  static ServiceAdvertisement make_service_advertisement(
+      const std::optional<std::string>& password);
+
+ private:
+  [[nodiscard]] std::uint64_t token_for(const PeerId& peer,
+                                        const std::string& identity) const;
+  [[nodiscard]] std::string secret_hash() const;
+
+  const PeerGroupAdvertisement group_adv_;
+  const PeerId self_;
+  std::optional<Credential> credential_;
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,81 @@
+#include "jxta/message.h"
+
+namespace p2p::jxta {
+
+Message& Message::add(MessageElement element) {
+  elements_.push_back(std::move(element));
+  return *this;
+}
+
+Message& Message::add_bytes(std::string name, util::Bytes body,
+                            std::string mime) {
+  return add(MessageElement{std::move(name), std::move(mime),
+                            std::move(body)});
+}
+
+Message& Message::add_string(std::string name, std::string_view value) {
+  return add(MessageElement{std::move(name), "text/plain",
+                            util::to_bytes(value)});
+}
+
+const MessageElement* Message::find(std::string_view name) const {
+  for (const auto& e : elements_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> Message::get_string(std::string_view name) const {
+  const MessageElement* e = find(name);
+  if (e == nullptr) return std::nullopt;
+  return util::to_string(e->body);
+}
+
+std::optional<util::Bytes> Message::get_bytes(std::string_view name) const {
+  const MessageElement* e = find(name);
+  if (e == nullptr) return std::nullopt;
+  return e->body;
+}
+
+std::size_t Message::body_size() const {
+  std::size_t total = 0;
+  for (const auto& e : elements_) total += e.body.size();
+  return total;
+}
+
+Message Message::dup() const {
+  Message copy;  // fresh id
+  copy.elements_ = elements_;
+  return copy;
+}
+
+util::Bytes Message::serialize() const {
+  util::ByteWriter w;
+  w.write_u64(id_.hi());
+  w.write_u64(id_.lo());
+  w.write_varint(elements_.size());
+  for (const auto& e : elements_) {
+    w.write_string(e.name);
+    w.write_string(e.mime);
+    w.write_bytes(e.body);
+  }
+  return w.take();
+}
+
+Message Message::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  const std::uint64_t hi = r.read_u64();
+  const std::uint64_t lo = r.read_u64();
+  Message m{util::Uuid(hi, lo)};
+  const std::uint64_t count = r.read_varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MessageElement e;
+    e.name = r.read_string();
+    e.mime = r.read_string();
+    e.body = r.read_bytes();
+    m.add(std::move(e));
+  }
+  return m;
+}
+
+}  // namespace p2p::jxta

@@ -1,0 +1,73 @@
+// JXTA messages.
+//
+// A message is an ordered collection of named elements, each carrying a MIME
+// type and an opaque body (paper §2.1 lists Message among the six JXTA
+// concepts). Every message also carries a unique id — JXTA 1.0 used this for
+// loop suppression in rendezvous propagation, and the paper's SR layers use
+// it for duplicate suppression across multiple advertisements (§4.4
+// footnote, functionality (3)).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jxta/id.h"
+#include "util/bytes.h"
+#include "util/uuid.h"
+
+namespace p2p::jxta {
+
+struct MessageElement {
+  std::string name;
+  std::string mime = "application/octet-stream";
+  util::Bytes body;
+
+  friend bool operator==(const MessageElement&,
+                         const MessageElement&) = default;
+};
+
+class Message {
+ public:
+  // A fresh message with a newly generated id.
+  Message() : id_(util::Uuid::generate()) {}
+  explicit Message(util::Uuid id) : id_(id) {}
+
+  [[nodiscard]] const util::Uuid& id() const { return id_; }
+
+  // --- elements ---------------------------------------------------------
+  Message& add(MessageElement element);
+  Message& add_bytes(std::string name, util::Bytes body,
+                     std::string mime = "application/octet-stream");
+  Message& add_string(std::string name, std::string_view value);
+
+  [[nodiscard]] const std::vector<MessageElement>& elements() const {
+    return elements_;
+  }
+  // First element with the given name.
+  [[nodiscard]] const MessageElement* find(std::string_view name) const;
+  [[nodiscard]] std::optional<std::string> get_string(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<util::Bytes> get_bytes(
+      std::string_view name) const;
+
+  // Total payload bytes across elements (used by PIP traffic counters).
+  [[nodiscard]] std::size_t body_size() const;
+
+  // The JXTA Message.dup(): same elements, fresh message identity. The
+  // paper's WireServiceFinder sends msg.dup() (Fig. 17 line 51) so each
+  // transmission is independently identifiable.
+  [[nodiscard]] Message dup() const;
+
+  // --- wire form ----------------------------------------------------------
+  [[nodiscard]] util::Bytes serialize() const;
+  static Message deserialize(std::span<const std::uint8_t> data);
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+ private:
+  util::Uuid id_;
+  std::vector<MessageElement> elements_;
+};
+
+}  // namespace p2p::jxta

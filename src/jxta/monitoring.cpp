@@ -1,0 +1,102 @@
+#include "jxta/monitoring.h"
+
+#include "util/logging.h"
+
+namespace p2p::jxta {
+
+MonitoringService::MonitoringService(PeerInfoService& pip,
+                                     util::PeriodicTimer& timer,
+                                     util::Clock& clock,
+                                     MonitoringConfig config)
+    : pip_(pip), timer_(timer), clock_(clock), config_(config) {}
+
+MonitoringService::~MonitoringService() { stop(); }
+
+void MonitoringService::start() {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  timer_handle_ = timer_.schedule(config_.period, [this] { sweep(); });
+}
+
+void MonitoringService::stop() {
+  std::uint64_t handle = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    handle = timer_handle_;
+  }
+  if (handle != 0) timer_.cancel(handle);
+}
+
+void MonitoringService::set_liveness_listener(LivenessListener listener) {
+  const std::lock_guard lock(mu_);
+  listener_ = std::move(listener);
+}
+
+void MonitoringService::sweep() {
+  const std::vector<PeerInfo> infos = pip_.survey(config_.window);
+  std::vector<std::pair<PeerInfo, bool>> events;
+  {
+    const std::lock_guard lock(mu_);
+    const auto now = clock_.now();
+    for (const auto& info : infos) {
+      const auto it = statuses_.find(info.peer);
+      if (it == statuses_.end()) {
+        events.emplace_back(info, true);
+      }
+      statuses_[info.peer] = PeerStatus{info, now};
+    }
+    // Age out silent peers.
+    for (auto it = statuses_.begin(); it != statuses_.end();) {
+      if (now - it->second.last_seen > config_.liveness_timeout) {
+        events.emplace_back(it->second.info, false);
+        it = statuses_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  LivenessListener listener;
+  {
+    const std::lock_guard lock(mu_);
+    listener = listener_;
+  }
+  if (listener) {
+    for (const auto& [info, alive] : events) {
+      try {
+        listener(info, alive);
+      } catch (const std::exception& e) {
+        P2P_LOG(kError, "monitoring") << "listener threw: " << e.what();
+      }
+    }
+  }
+}
+
+
+std::vector<MonitoringService::PeerStatus> MonitoringService::statuses()
+    const {
+  const std::lock_guard lock(mu_);
+  std::vector<PeerStatus> out;
+  out.reserve(statuses_.size());
+  for (const auto& [id, status] : statuses_) out.push_back(status);
+  return out;
+}
+
+std::optional<MonitoringService::PeerStatus> MonitoringService::status_of(
+    const PeerId& id) const {
+  const std::lock_guard lock(mu_);
+  const auto it = statuses_.find(id);
+  if (it == statuses_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t MonitoringService::live_peer_count() const {
+  const std::lock_guard lock(mu_);
+  return statuses_.size();
+}
+
+}  // namespace p2p::jxta

@@ -1,0 +1,69 @@
+// MonitoringService: periodic group-wide status collection.
+//
+// The paper names the monitoring service among the best-known JXTA
+// services (§2). This one periodically surveys the group through PIP,
+// keeps the latest status per peer, ages out peers that stop answering,
+// and notifies listeners when peers appear or disappear.
+#pragma once
+
+#include <functional>
+
+#include "jxta/peer_info.h"
+#include "util/executor.h"
+
+namespace p2p::jxta {
+
+struct MonitoringConfig {
+  // How often to sweep the group.
+  util::Duration period{2000};
+  // How long each sweep collects answers.
+  util::Duration window{500};
+  // A peer unseen for this long is considered gone.
+  util::Duration liveness_timeout{10'000};
+};
+
+class MonitoringService {
+ public:
+  struct PeerStatus {
+    PeerInfo info;
+    util::TimePoint last_seen{};
+  };
+  // (peer, alive?) — fired on the monitor's own thread when a peer is
+  // first seen (alive=true) or ages out (alive=false).
+  using LivenessListener = std::function<void(const PeerInfo&, bool alive)>;
+
+  MonitoringService(PeerInfoService& pip, util::PeriodicTimer& timer,
+                    util::Clock& clock, MonitoringConfig config = {});
+  ~MonitoringService();
+
+  MonitoringService(const MonitoringService&) = delete;
+  MonitoringService& operator=(const MonitoringService&) = delete;
+
+  void start();
+  void stop();
+
+  // One sweep, synchronously (also driven by the timer when started).
+  void sweep();
+
+  void set_liveness_listener(LivenessListener listener);
+
+  // Latest known status of every live peer (excluding aged-out ones).
+  [[nodiscard]] std::vector<PeerStatus> statuses() const;
+  [[nodiscard]] std::optional<PeerStatus> status_of(const PeerId& id) const;
+  [[nodiscard]] std::size_t live_peer_count() const;
+
+ private:
+
+  PeerInfoService& pip_;
+  util::PeriodicTimer& timer_;
+  util::Clock& clock_;
+  const MonitoringConfig config_;
+
+  mutable std::mutex mu_;
+  bool started_ = false;
+  std::uint64_t timer_handle_ = 0;
+  std::map<PeerId, PeerStatus> statuses_;
+  LivenessListener listener_;
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,131 @@
+#include "jxta/peer.h"
+
+#include "util/logging.h"
+
+namespace p2p::jxta {
+
+PeerGroupId Peer::net_group_id() {
+  return PeerGroupId::derive("jxta:NetPeerGroup");
+}
+
+Peer::Peer(PeerConfig config, util::Clock& clock)
+    : config_(std::move(config)), clock_(clock), id_(PeerId::generate()) {
+  config_.rdv.is_rendezvous = config_.rendezvous;
+  executor_ = std::make_unique<util::SerialExecutor>(config_.name);
+  timer_ = std::make_unique<util::PeriodicTimer>(config_.name + ".timer");
+  endpoint_ = std::make_unique<EndpointService>(id_, *executor_);
+  endpoint_->set_router(config_.router || config_.rendezvous);
+}
+
+Peer::~Peer() { stop(); }
+
+void Peer::add_transport(std::shared_ptr<net::Transport> transport) {
+  if (started_) {
+    throw util::StateError("add_transport must precede start()");
+  }
+  endpoint_->add_transport(std::move(transport));
+}
+
+PeerAdvertisement Peer::make_advertisement() const {
+  PeerAdvertisement adv;
+  adv.pid = id_;
+  adv.gid = net_group_id();
+  adv.name = config_.name;
+  adv.endpoints = endpoint_->local_addresses();
+  adv.is_rendezvous = config_.rendezvous;
+  adv.is_router = config_.router;
+  return adv;
+}
+
+void Peer::start() {
+  if (started_) return;
+  started_ = true;
+
+  rendezvous_ = std::make_unique<RendezvousService>(
+      *endpoint_, clock_, config_.rdv, make_advertisement());
+  for (const auto& seed : config_.seed_rendezvous) {
+    rendezvous_->add_seed(seed);
+  }
+  resolver_ = std::make_unique<ResolverService>(*endpoint_, *rendezvous_);
+  discovery_ = std::make_shared<DiscoveryService>(*resolver_, clock_);
+  peer_info_ = std::make_shared<PeerInfoService>(*resolver_, *endpoint_,
+                                                 clock_, config_.name);
+  pipe_service_ = std::make_shared<PipeService>(*resolver_, *endpoint_);
+
+  route_resolver_ = std::make_shared<RouteResolverService>(
+      *resolver_, *endpoint_, *discovery_);
+  cms_ = std::make_shared<CmsService>(*resolver_, *endpoint_, *discovery_);
+  monitoring_ =
+      std::make_unique<MonitoringService>(*peer_info_, *timer_, clock_);
+
+  rendezvous_->start();
+  resolver_->start();
+  discovery_->start();
+  peer_info_->start();
+  pipe_service_->start();
+  route_resolver_->start();
+  cms_->start();
+
+  // The root net group: a well-known advertisement every peer derives
+  // identically, so all peers are members by construction.
+  PeerGroupAdvertisement net_adv;
+  net_adv.gid = net_group_id();
+  net_adv.creator = id_;
+  net_adv.name = "NetPeerGroup";
+  net_adv.app = "jxta";
+  net_adv.group_impl = "builtin";
+  net_group_ = std::make_unique<PeerGroup>(net_adv, *endpoint_, *rendezvous_,
+                                           nullptr);
+
+  // Teach discovery about ourselves and push to the network.
+  const PeerAdvertisement self_adv = make_advertisement();
+  discovery_->publish(self_adv, DiscoveryType::kPeer, config_.adv_lifetime_ms);
+  rendezvous_->connect_tick();
+  discovery_->remote_publish(self_adv, DiscoveryType::kPeer,
+                             config_.adv_lifetime_ms);
+
+  timer_handle_ = timer_->schedule(config_.heartbeat, [this] { tick(); });
+}
+
+void Peer::tick() {
+  if (!started_ || stopped_) return;
+  rendezvous_->connect_tick();
+  if (++ticks_ % config_.republish_every == 0) {
+    discovery_->remote_publish(make_advertisement(), DiscoveryType::kPeer,
+                               config_.adv_lifetime_ms);
+  }
+}
+
+void Peer::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  monitoring_->stop();
+  timer_->stop();
+  net_group_.reset();
+  cms_->stop();
+  route_resolver_->stop();
+  pipe_service_->stop();
+  peer_info_->stop();
+  discovery_->stop();
+  resolver_->stop();
+  rendezvous_->stop();
+  endpoint_->stop();
+  executor_->stop();
+}
+
+std::shared_ptr<PeerGroup> Peer::create_group(
+    const PeerGroupAdvertisement& adv) {
+  if (!started_ || stopped_) {
+    throw util::StateError("peer is not running");
+  }
+  const std::lock_guard lock(groups_mu_);
+  if (const auto it = groups_.find(adv.gid); it != groups_.end()) {
+    if (auto existing = it->second.lock()) return existing;
+  }
+  auto group = std::make_shared<PeerGroup>(adv, *endpoint_, *rendezvous_,
+                                           net_group_.get());
+  groups_[adv.gid] = group;
+  return group;
+}
+
+}  // namespace p2p::jxta

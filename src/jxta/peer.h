@@ -1,0 +1,127 @@
+// Peer: the composition root of the JXTA substrate.
+//
+// "The peer concept points out all networked devices using JXTA. Any device
+// with an electronic pulse is a JXTA peer" (paper §2.1). A Peer wires the
+// six protocols together: endpoint (+ERP), rendezvous, resolver (PRP),
+// discovery (PDP), peer info (PIP), pipes (PBP), and hosts the root
+// ("net") peer group whose wire service carries group-wide traffic.
+//
+// Roles are configuration: the same class is an edge peer, a rendezvous, or
+// a router depending on PeerConfig — as in JXTA, where "there are different
+// kinds of peers: 'normal' ones and ones that have additional
+// functionalities".
+#pragma once
+
+#include <memory>
+
+#include "jxta/cms.h"
+#include "jxta/discovery.h"
+#include "jxta/monitoring.h"
+#include "jxta/peer_group.h"
+#include "jxta/peer_info.h"
+#include "jxta/pipe.h"
+#include "jxta/route_resolver.h"
+
+namespace p2p::jxta {
+
+struct PeerConfig {
+  std::string name = "peer";
+  bool rendezvous = false;
+  bool router = false;
+  // Bootstrap rendezvous addresses (may be empty on multicast-capable LANs).
+  std::vector<net::Address> seed_rendezvous;
+  RendezvousConfig rdv;
+  // Cadence of the maintenance tick (lease renewal; adv re-publish).
+  util::Duration heartbeat{1000};
+  // Re-publish own peer advertisement every N heartbeats.
+  std::uint32_t republish_every = 10;
+  std::int64_t adv_lifetime_ms = kDefaultAdvLifetimeMs;
+};
+
+class Peer {
+ public:
+  explicit Peer(PeerConfig config,
+                util::Clock& clock = util::SystemClock::instance());
+  ~Peer();
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  // Transports must be added before start().
+  void add_transport(std::shared_ptr<net::Transport> transport);
+
+  // Brings all services up, publishes this peer's advertisement (locally
+  // and remotely) and starts the maintenance heartbeat.
+  void start();
+  // Stops everything; safe to call more than once.
+  void stop();
+
+  // Runs one maintenance tick synchronously (tests drive this directly
+  // instead of waiting for the timer).
+  void tick();
+
+  [[nodiscard]] const PeerId& id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const PeerConfig& config() const { return config_; }
+  [[nodiscard]] util::Clock& clock() { return clock_; }
+  [[nodiscard]] util::SerialExecutor& executor() { return *executor_; }
+  // The peer's shared maintenance timer; layers above JXTA (e.g. the TPS
+  // advertisement finder) schedule their periodic work here.
+  [[nodiscard]] util::PeriodicTimer& timer() { return *timer_; }
+
+  [[nodiscard]] EndpointService& endpoint() { return *endpoint_; }
+  [[nodiscard]] RendezvousService& rendezvous() { return *rendezvous_; }
+  [[nodiscard]] ResolverService& resolver() { return *resolver_; }
+  [[nodiscard]] DiscoveryService& discovery() { return *discovery_; }
+  [[nodiscard]] PeerInfoService& info() { return *peer_info_; }
+  [[nodiscard]] PipeService& pipes() { return *pipe_service_; }
+  // Active ERP route discovery (paper Fig. 6 as a protocol).
+  [[nodiscard]] RouteResolverService& routes() { return *route_resolver_; }
+  // Content management (share/search/fetch codats; paper §2 "cms").
+  [[nodiscard]] CmsService& cms() { return *cms_; }
+  // Group status monitoring (paper §2 "monitoring service"). Not started
+  // automatically; call monitoring().start() to begin periodic sweeps.
+  [[nodiscard]] MonitoringService& monitoring() { return *monitoring_; }
+
+  // The root group every peer belongs to (JXTA's NetPeerGroup).
+  [[nodiscard]] PeerGroup& net_group() { return *net_group_; }
+
+  // Instantiates a group from its advertisement (the paper's
+  // PeerGroupFactory.newPeerGroup() + init(parent, pgAdv), Fig. 17). Groups
+  // are per-peer singletons: calling this twice with the same group id
+  // returns the same instance while it is alive. The group must not
+  // outlive this peer.
+  [[nodiscard]] std::shared_ptr<PeerGroup> create_group(
+      const PeerGroupAdvertisement& adv);
+
+  // This peer's own advertisement (current addresses and roles).
+  [[nodiscard]] PeerAdvertisement make_advertisement() const;
+
+  // The id of the root net group (shared by construction by all peers).
+  static PeerGroupId net_group_id();
+
+ private:
+  PeerConfig config_;
+  util::Clock& clock_;
+  PeerId id_;
+  std::unique_ptr<util::SerialExecutor> executor_;
+  std::unique_ptr<util::PeriodicTimer> timer_;
+  std::unique_ptr<EndpointService> endpoint_;
+  std::unique_ptr<RendezvousService> rendezvous_;
+  std::unique_ptr<ResolverService> resolver_;
+  std::shared_ptr<DiscoveryService> discovery_;
+  std::shared_ptr<PeerInfoService> peer_info_;
+  std::shared_ptr<PipeService> pipe_service_;
+  std::shared_ptr<RouteResolverService> route_resolver_;
+  std::shared_ptr<CmsService> cms_;
+  std::unique_ptr<MonitoringService> monitoring_;
+  std::unique_ptr<PeerGroup> net_group_;
+  std::mutex groups_mu_;
+  std::unordered_map<PeerGroupId, std::weak_ptr<PeerGroup>> groups_;
+  std::uint64_t timer_handle_ = 0;
+  std::uint32_t ticks_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,26 @@
+#include "jxta/peer_group.h"
+
+namespace p2p::jxta {
+
+PeerGroup::PeerGroup(PeerGroupAdvertisement adv, EndpointService& endpoint,
+                     RendezvousService& rendezvous, const PeerGroup* parent)
+    : adv_(std::move(adv)), parent_(parent) {
+  wire_ = std::make_unique<WireService>(adv_.gid, endpoint, rendezvous);
+  wire_->start();
+  membership_ =
+      std::make_unique<MembershipService>(adv_, endpoint.local_peer());
+}
+
+PeerGroup::~PeerGroup() { wire_->stop(); }
+
+PeerGroup::ServiceKind PeerGroup::lookup_service(
+    std::string_view name) const {
+  if (name == WireService::kWireName) return ServiceKind::kWire;
+  if (name == MembershipService::kServiceName) {
+    return ServiceKind::kMembership;
+  }
+  throw util::NotFoundError("no service '" + std::string(name) +
+                            "' in group '" + adv_.name + "'");
+}
+
+}  // namespace p2p::jxta

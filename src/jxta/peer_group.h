@@ -1,0 +1,59 @@
+// PeerGroup: a scoped environment composing JXTA services.
+//
+// "PeerGroups are collections of peers. A peer may join multiple peergroups
+// to share different resources and services. ... A peergroup creates a
+// scoped and monitored environment." (paper §2.1)
+//
+// The paper's application instantiates one group per event type from a
+// discovered PeerGroupAdvertisement, then looks up its wire service
+// (Fig. 17 lines 8-16). This class reproduces that shape: a group scopes a
+// WireService (traffic is segregated by group id) and a MembershipService
+// (requirements read from the advertisement).
+#pragma once
+
+#include <memory>
+
+#include "jxta/membership.h"
+#include "jxta/wire.h"
+
+namespace p2p::jxta {
+
+class PeerGroup {
+ public:
+  // `parent` may be nullptr for the root (net) group. The endpoint and
+  // rendezvous services are the peer-wide ones; the group scopes its own
+  // wire traffic on top of them.
+  PeerGroup(PeerGroupAdvertisement adv, EndpointService& endpoint,
+            RendezvousService& rendezvous, const PeerGroup* parent);
+  ~PeerGroup();
+
+  PeerGroup(const PeerGroup&) = delete;
+  PeerGroup& operator=(const PeerGroup&) = delete;
+
+  [[nodiscard]] const PeerGroupAdvertisement& advertisement() const {
+    return adv_;
+  }
+  [[nodiscard]] const PeerGroupId& id() const { return adv_.gid; }
+  [[nodiscard]] const std::string& name() const { return adv_.name; }
+  [[nodiscard]] const PeerGroup* parent() const { return parent_; }
+
+  // The group's wire service (paper: lookupService(WireService.WireName)).
+  [[nodiscard]] WireService& wire() { return *wire_; }
+  // The group's membership service (PMP requirements from the adv).
+  [[nodiscard]] MembershipService& membership() { return *membership_; }
+
+  // Paper-fidelity stringly-typed lookup: returns the wire or membership
+  // service by its JXTA service name; throws util::NotFoundError otherwise.
+  // (Callers are expected to use the typed accessors above; this exists to
+  // keep the JXTA programming model demonstrable, e.g. in examples.)
+  enum class ServiceKind { kWire, kMembership };
+  [[nodiscard]] ServiceKind lookup_service(std::string_view name) const;
+
+ private:
+  const PeerGroupAdvertisement adv_;
+  const PeerGroup* parent_;
+  std::unique_ptr<WireService> wire_;
+  std::unique_ptr<MembershipService> membership_;
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,119 @@
+#include "jxta/peer_info.h"
+
+namespace p2p::jxta {
+
+util::Bytes PeerInfo::serialize() const {
+  util::ByteWriter w;
+  w.write_u64(peer.uuid().hi());
+  w.write_u64(peer.uuid().lo());
+  w.write_string(name);
+  w.write_i64(uptime_ms);
+  w.write_varint(traffic.msgs_sent);
+  w.write_varint(traffic.msgs_received);
+  w.write_varint(traffic.msgs_relayed);
+  w.write_varint(traffic.bytes_sent);
+  w.write_varint(traffic.bytes_received);
+  w.write_varint(traffic.send_failures);
+  return w.take();
+}
+
+PeerInfo PeerInfo::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  PeerInfo info;
+  info.peer = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
+  info.name = r.read_string();
+  info.uptime_ms = r.read_i64();
+  info.traffic.msgs_sent = r.read_varint();
+  info.traffic.msgs_received = r.read_varint();
+  info.traffic.msgs_relayed = r.read_varint();
+  info.traffic.bytes_sent = r.read_varint();
+  info.traffic.bytes_received = r.read_varint();
+  info.traffic.send_failures = r.read_varint();
+  return info;
+}
+
+PeerInfoService::PeerInfoService(ResolverService& resolver,
+                                 EndpointService& endpoint,
+                                 util::Clock& clock, std::string peer_name)
+    : resolver_(resolver),
+      endpoint_(endpoint),
+      clock_(clock),
+      peer_name_(std::move(peer_name)),
+      started_at_(clock.now()) {}
+
+void PeerInfoService::start() {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  resolver_.register_handler(std::string(kHandlerName), weak_from_this());
+}
+
+void PeerInfoService::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  resolver_.unregister_handler(std::string(kHandlerName));
+}
+
+PeerInfo PeerInfoService::local_info() const {
+  PeerInfo info;
+  info.peer = endpoint_.local_peer();
+  info.name = peer_name_;
+  info.uptime_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       clock_.now() - started_at_)
+                       .count();
+  info.traffic = endpoint_.traffic();
+  return info;
+}
+
+std::optional<PeerInfo> PeerInfoService::query(const PeerId& peer,
+                                               util::Duration timeout) {
+  if (peer == endpoint_.local_peer()) return local_info();
+  const util::Uuid query_id =
+      resolver_.send_query(std::string(kHandlerName), {}, peer);
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] {
+        const auto it = answers_.find(query_id);
+        return it != answers_.end() && !it->second.empty();
+      })) {
+    answers_.erase(query_id);
+    return std::nullopt;
+  }
+  PeerInfo info = answers_.at(query_id).front();
+  answers_.erase(query_id);
+  return info;
+}
+
+std::vector<PeerInfo> PeerInfoService::survey(util::Duration window) {
+  const util::Uuid query_id =
+      resolver_.send_query(std::string(kHandlerName), {});
+  std::this_thread::sleep_for(window);
+  const std::lock_guard lock(mu_);
+  std::vector<PeerInfo> out;
+  const auto it = answers_.find(query_id);
+  if (it != answers_.end()) {
+    out = std::move(it->second);
+    answers_.erase(it);
+  }
+  return out;
+}
+
+std::optional<util::Bytes> PeerInfoService::process_query(
+    const ResolverQuery& /*q*/) {
+  return local_info().serialize();
+}
+
+void PeerInfoService::process_response(const ResolverResponse& r) {
+  PeerInfo info = PeerInfo::deserialize(r.payload);
+  {
+    const std::lock_guard lock(mu_);
+    answers_[r.query_id].push_back(std::move(info));
+  }
+  cv_.notify_all();
+}
+
+}  // namespace p2p::jxta

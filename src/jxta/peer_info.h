@@ -1,0 +1,73 @@
+// PeerInfoService: the Peer Information Protocol (PIP).
+//
+// "The PIP is used to know the status of a peer. This protocol is
+// responsible for finding and dispatching information about a peer, like
+// the time the peer was up, the different incoming and outgoing channels,
+// the traffic on them, and the different target and source IDs."
+// (paper §2.2, Fig. 3)
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "jxta/endpoint.h"
+#include "jxta/resolver.h"
+#include "util/clock.h"
+
+namespace p2p::jxta {
+
+struct PeerInfo {
+  PeerId peer;
+  std::string name;
+  std::int64_t uptime_ms = 0;
+  EndpointTraffic traffic;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static PeerInfo deserialize(std::span<const std::uint8_t> data);
+};
+
+class PeerInfoService final
+    : public ResolverHandler,
+      public std::enable_shared_from_this<PeerInfoService> {
+ public:
+  static constexpr std::string_view kHandlerName = "jxta.peerinfo";
+
+  PeerInfoService(ResolverService& resolver, EndpointService& endpoint,
+                  util::Clock& clock, std::string peer_name);
+
+  void start();
+  void stop();
+
+  // This peer's own live status.
+  [[nodiscard]] PeerInfo local_info() const;
+
+  // Blocking convenience: queries `peer` and waits for its answer.
+  // Returns nullopt on timeout. Must not be called on the peer executor.
+  std::optional<PeerInfo> query(const PeerId& peer, util::Duration timeout);
+
+  // Group-wide status sweep: propagates a PIP query and collects every
+  // answer that arrives within the window (the substrate the paper's
+  // "monitoring service" builds on). Blocking; not for the peer executor.
+  std::vector<PeerInfo> survey(util::Duration window);
+
+  // --- ResolverHandler -----------------------------------------------------
+  std::optional<util::Bytes> process_query(const ResolverQuery& q) override;
+  void process_response(const ResolverResponse& r) override;
+
+ private:
+  ResolverService& resolver_;
+  EndpointService& endpoint_;
+  util::Clock& clock_;
+  const std::string peer_name_;
+  const util::TimePoint started_at_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  // Responses per query id (directed queries expect one; surveys collect
+  // many). Keyed to tolerate concurrent callers.
+  std::map<util::Uuid, std::vector<PeerInfo>> answers_;
+};
+
+}  // namespace p2p::jxta

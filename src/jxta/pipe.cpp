@@ -1,0 +1,288 @@
+#include "jxta/pipe.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace p2p::jxta {
+
+// --- InputPipe ---------------------------------------------------------------
+
+InputPipe::InputPipe(PipeService& service, PipeAdvertisement adv)
+    : service_(service), adv_(std::move(adv)) {}
+
+InputPipe::~InputPipe() { close(); }
+
+void InputPipe::set_listener(Listener listener) {
+  std::vector<Message> backlog;
+  {
+    const std::lock_guard lock(mu_);
+    listener_ = std::move(listener);
+    if (listener_) {
+      while (auto m = queue_.try_pop()) backlog.push_back(std::move(*m));
+    }
+  }
+  for (auto& m : backlog) {
+    const std::lock_guard lock(mu_);
+    if (listener_) listener_(std::move(m));
+  }
+}
+
+std::optional<Message> InputPipe::poll(util::Duration timeout) {
+  return queue_.pop_for(timeout);
+}
+
+void InputPipe::deliver(Message msg) {
+  Listener listener;
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return;
+    listener = listener_;
+  }
+  if (listener) {
+    listener(std::move(msg));
+  } else {
+    queue_.push(std::move(msg));
+  }
+}
+
+void InputPipe::close() {
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  queue_.close();
+  service_.unbind_input(this);
+}
+
+// --- OutputPipe ---------------------------------------------------------------
+
+OutputPipe::OutputPipe(PipeService& service, PipeAdvertisement adv)
+    : service_(service), adv_(std::move(adv)) {}
+
+OutputPipe::~OutputPipe() { close(); }
+
+bool OutputPipe::resolve(util::Duration timeout) {
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return false;
+    if (!bound_.empty()) return true;
+  }
+  service_.send_binding_query(adv_.pid);
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return !bound_.empty() || closed_; });
+  return !bound_.empty();
+}
+
+bool OutputPipe::resolved() const {
+  const std::lock_guard lock(mu_);
+  return !bound_.empty();
+}
+
+std::vector<PeerId> OutputPipe::bound_peers() const {
+  const std::lock_guard lock(mu_);
+  return {bound_.begin(), bound_.end()};
+}
+
+void OutputPipe::add_binding(const PeerId& peer) {
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return;
+    bound_.insert(peer);
+  }
+  cv_.notify_all();
+}
+
+bool OutputPipe::send(const Message& msg) {
+  std::vector<PeerId> targets;
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_ || bound_.empty()) return false;
+    if (adv_.type == PipeAdvertisement::Type::kUnicast) {
+      targets.push_back(*bound_.begin());
+    } else {
+      targets.assign(bound_.begin(), bound_.end());
+    }
+  }
+  const util::Bytes wire = msg.serialize();
+  const std::string listener = PipeService::pipe_listener_name(adv_.pid);
+  bool any = false;
+  std::vector<PeerId> stale;
+  for (const auto& peer : targets) {
+    if (service_.endpoint_.send(peer, listener, wire)) {
+      any = true;
+    } else {
+      stale.push_back(peer);
+    }
+  }
+  if (!stale.empty()) {
+    {
+      const std::lock_guard lock(mu_);
+      for (const auto& peer : stale) bound_.erase(peer);
+    }
+    // Kick PBP re-resolution; the answer will repopulate bindings, possibly
+    // from the peer's new address.
+    service_.send_binding_query(adv_.pid);
+  }
+  return any;
+}
+
+void OutputPipe::close() {
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  service_.drop_output(this);
+}
+
+// --- PipeService ---------------------------------------------------------------
+
+PipeService::PipeService(ResolverService& resolver, EndpointService& endpoint)
+    : resolver_(resolver), endpoint_(endpoint) {}
+
+void PipeService::start() {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  resolver_.register_handler(std::string(kHandlerName), weak_from_this());
+}
+
+void PipeService::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  resolver_.unregister_handler(std::string(kHandlerName));
+}
+
+std::string PipeService::pipe_listener_name(const PipeId& id) {
+  return "jxta.pipe." + id.to_string();
+}
+
+std::shared_ptr<InputPipe> PipeService::create_input_pipe(
+    const PipeAdvertisement& adv) {
+  auto pipe = std::shared_ptr<InputPipe>(new InputPipe(*this, adv));
+  bool first_for_id = false;
+  {
+    const std::lock_guard lock(mu_);
+    auto& pipes = inputs_[adv.pid];
+    std::erase_if(pipes, [](const auto& w) { return w.expired(); });
+    first_for_id = pipes.empty();
+    pipes.push_back(pipe);
+  }
+  if (first_for_id) {
+    // One endpoint listener per pipe id; fan out to all local input pipes.
+    const PipeId id = adv.pid;
+    endpoint_.register_listener(
+        pipe_listener_name(id), [this, id](EndpointMessage msg) {
+          Message m;
+          try {
+            m = Message::deserialize(msg.payload);
+          } catch (const std::exception& e) {
+            P2P_LOG(kWarn, "pipe") << "malformed pipe message: " << e.what();
+            return;
+          }
+          std::vector<std::shared_ptr<InputPipe>> pipes;
+          {
+            const std::lock_guard lock(mu_);
+            const auto it = inputs_.find(id);
+            if (it != inputs_.end()) {
+              for (const auto& w : it->second) {
+                if (auto p = w.lock()) pipes.push_back(std::move(p));
+              }
+            }
+          }
+          for (const auto& p : pipes) p->deliver(m);
+        });
+  }
+  return pipe;
+}
+
+std::shared_ptr<OutputPipe> PipeService::create_output_pipe(
+    const PipeAdvertisement& adv, util::Duration resolve_timeout) {
+  auto pipe = std::shared_ptr<OutputPipe>(new OutputPipe(*this, adv));
+  {
+    const std::lock_guard lock(mu_);
+    auto& pipes = outputs_[adv.pid];
+    std::erase_if(pipes, [](const auto& w) { return w.expired(); });
+    pipes.push_back(pipe);
+  }
+  if (resolve_timeout.count() > 0) pipe->resolve(resolve_timeout);
+  return pipe;
+}
+
+void PipeService::unbind_input(const InputPipe* pipe) {
+  bool last_for_id = false;
+  const PipeId id = pipe->advertisement().pid;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = inputs_.find(id);
+    if (it == inputs_.end()) return;
+    std::erase_if(it->second, [&](const auto& w) {
+      const auto p = w.lock();
+      return !p || p.get() == pipe;
+    });
+    if (it->second.empty()) {
+      inputs_.erase(it);
+      last_for_id = true;
+    }
+  }
+  if (last_for_id) endpoint_.unregister_listener(pipe_listener_name(id));
+}
+
+void PipeService::drop_output(const OutputPipe* pipe) {
+  const std::lock_guard lock(mu_);
+  const auto it = outputs_.find(pipe->advertisement().pid);
+  if (it == outputs_.end()) return;
+  std::erase_if(it->second, [&](const auto& w) {
+    const auto p = w.lock();
+    return !p || p.get() == pipe;
+  });
+  if (it->second.empty()) outputs_.erase(it);
+}
+
+void PipeService::send_binding_query(const PipeId& pipe_id) {
+  util::ByteWriter w;
+  w.write_u64(pipe_id.uuid().hi());
+  w.write_u64(pipe_id.uuid().lo());
+  resolver_.send_query(std::string(kHandlerName), w.take());
+}
+
+std::optional<util::Bytes> PipeService::process_query(const ResolverQuery& q) {
+  util::ByteReader r(q.payload);
+  const PipeId id{util::Uuid{r.read_u64(), r.read_u64()}};
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = inputs_.find(id);
+    if (it == inputs_.end() || it->second.empty()) return std::nullopt;
+  }
+  // Answer: "I bind this pipe" — the responder id travels in the PRP header.
+  util::ByteWriter w;
+  w.write_u64(id.uuid().hi());
+  w.write_u64(id.uuid().lo());
+  return w.take();
+}
+
+void PipeService::process_response(const ResolverResponse& resp) {
+  util::ByteReader r(resp.payload);
+  const PipeId id{util::Uuid{r.read_u64(), r.read_u64()}};
+  std::vector<std::shared_ptr<OutputPipe>> interested;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = outputs_.find(id);
+    if (it != outputs_.end()) {
+      for (const auto& w : it->second) {
+        if (auto p = w.lock()) interested.push_back(std::move(p));
+      }
+    }
+  }
+  for (const auto& p : interested) p->add_binding(resp.responder);
+}
+
+}  // namespace p2p::jxta

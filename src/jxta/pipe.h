@@ -1,0 +1,142 @@
+// PipeService: pipes and the Pipe Binding Protocol (PBP).
+//
+// "A pipe is a virtual communication channel used to send messages. ...
+// Pipes are not bound to any physical address (like IP ones). Hence if a
+// peer changes its address, it can continue to use the same pipe for
+// sending or receiving messages." (paper §2.1; §2.2 Fig. 5)
+//
+// An InputPipe binds a pipe id to the local peer and receives messages; an
+// OutputPipe resolves which peer(s) currently bind the id — by PRP query —
+// and sends to them. When a bound peer moves (its transport address
+// changes), sends fail and the output pipe re-resolves: the answer arrives
+// from the peer's *new* address, which refreshes the endpoint address book.
+// That is the paper's PBP picture: same pipe id, new IP, traffic continues.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "jxta/advertisement.h"
+#include "jxta/message.h"
+#include "jxta/resolver.h"
+#include "util/queue.h"
+
+namespace p2p::jxta {
+
+class PipeService;
+
+// Receiving end of a pipe, bound to the local peer.
+class InputPipe {
+ public:
+  using Listener = std::function<void(Message)>;
+
+  ~InputPipe();
+  InputPipe(const InputPipe&) = delete;
+  InputPipe& operator=(const InputPipe&) = delete;
+
+  [[nodiscard]] const PipeAdvertisement& advertisement() const { return adv_; }
+
+  // Messages are pushed to the listener (on the peer executor) when set;
+  // otherwise they accumulate and can be poll()ed.
+  void set_listener(Listener listener);
+  std::optional<Message> poll(util::Duration timeout);
+
+  void close();
+
+ private:
+  friend class PipeService;
+  InputPipe(PipeService& service, PipeAdvertisement adv);
+  void deliver(Message msg);
+
+  PipeService& service_;
+  const PipeAdvertisement adv_;
+  std::mutex mu_;
+  Listener listener_;
+  util::BlockingQueue<Message> queue_;
+  bool closed_ = false;
+};
+
+// Sending end of a pipe.
+class OutputPipe {
+ public:
+  ~OutputPipe();
+  OutputPipe(const OutputPipe&) = delete;
+  OutputPipe& operator=(const OutputPipe&) = delete;
+
+  [[nodiscard]] const PipeAdvertisement& advertisement() const { return adv_; }
+
+  // Blocks until at least one binding is known or the timeout elapses.
+  // Issues (re-)binding queries. Not callable on the peer executor.
+  bool resolve(util::Duration timeout);
+  [[nodiscard]] bool resolved() const;
+  [[nodiscard]] std::vector<PeerId> bound_peers() const;
+
+  // Unicast pipes send to one bound peer; propagate pipes to all of them.
+  // Returns false if unresolved or no delivery was accepted; failures evict
+  // the stale binding and kick an asynchronous re-resolution (PBP).
+  bool send(const Message& msg);
+
+  void close();
+
+ private:
+  friend class PipeService;
+  OutputPipe(PipeService& service, PipeAdvertisement adv);
+  void add_binding(const PeerId& peer);
+
+  PipeService& service_;
+  const PipeAdvertisement adv_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<PeerId> bound_;
+  bool closed_ = false;
+};
+
+class PipeService final : public ResolverHandler,
+                          public std::enable_shared_from_this<PipeService> {
+ public:
+  static constexpr std::string_view kHandlerName = "jxta.pipe.binding";
+
+  PipeService(ResolverService& resolver, EndpointService& endpoint);
+
+  void start();
+  void stop();
+
+  // Binds the pipe locally and starts receiving. Several input pipes for
+  // the same id on one peer are allowed (all receive).
+  std::shared_ptr<InputPipe> create_input_pipe(const PipeAdvertisement& adv);
+
+  // Creates the sending end and synchronously resolves bindings for up to
+  // `resolve_timeout` (pass 0ms for a lazy pipe that resolves on demand).
+  std::shared_ptr<OutputPipe> create_output_pipe(
+      const PipeAdvertisement& adv,
+      util::Duration resolve_timeout = util::Duration{2000});
+
+  // --- ResolverHandler -----------------------------------------------------
+  std::optional<util::Bytes> process_query(const ResolverQuery& q) override;
+  void process_response(const ResolverResponse& r) override;
+
+ private:
+  friend class InputPipe;
+  friend class OutputPipe;
+
+  void unbind_input(const InputPipe* pipe);
+  void drop_output(const OutputPipe* pipe);
+  void send_binding_query(const PipeId& pipe_id);
+  [[nodiscard]] static std::string pipe_listener_name(const PipeId& id);
+
+  ResolverService& resolver_;
+  EndpointService& endpoint_;
+
+  std::mutex mu_;
+  bool started_ = false;
+  // Local bindings: pipe id -> live input pipes (weak: a destroyed pipe
+  // must never be reachable from the delivery path).
+  std::unordered_map<PipeId, std::vector<std::weak_ptr<InputPipe>>> inputs_;
+  // Outstanding output pipes interested in binding answers.
+  std::unordered_map<PipeId, std::vector<std::weak_ptr<OutputPipe>>> outputs_;
+};
+
+}  // namespace p2p::jxta

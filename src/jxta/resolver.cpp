@@ -1,0 +1,192 @@
+#include "jxta/resolver.h"
+
+#include "util/logging.h"
+
+namespace p2p::jxta {
+
+namespace {
+constexpr std::string_view kQueryService = "jxta.resolver.query";
+constexpr std::string_view kResponseService = "jxta.resolver.response";
+}  // namespace
+
+util::Bytes ResolverQuery::serialize() const {
+  util::ByteWriter w;
+  w.write_string(handler);
+  w.write_u64(query_id.hi());
+  w.write_u64(query_id.lo());
+  w.write_u64(src.uuid().hi());
+  w.write_u64(src.uuid().lo());
+  w.write_varint(hop_count);
+  w.write_bytes(payload);
+  return w.take();
+}
+
+ResolverQuery ResolverQuery::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  ResolverQuery q;
+  q.handler = r.read_string();
+  q.query_id = util::Uuid{r.read_u64(), r.read_u64()};
+  q.src = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
+  q.hop_count = static_cast<std::uint32_t>(r.read_varint());
+  q.payload = r.read_bytes();
+  return q;
+}
+
+util::Bytes ResolverResponse::serialize() const {
+  util::ByteWriter w;
+  w.write_string(handler);
+  w.write_u64(query_id.hi());
+  w.write_u64(query_id.lo());
+  w.write_u64(responder.uuid().hi());
+  w.write_u64(responder.uuid().lo());
+  w.write_bytes(payload);
+  return w.take();
+}
+
+ResolverResponse ResolverResponse::deserialize(
+    std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  ResolverResponse resp;
+  resp.handler = r.read_string();
+  resp.query_id = util::Uuid{r.read_u64(), r.read_u64()};
+  resp.responder = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
+  resp.payload = r.read_bytes();
+  return resp;
+}
+
+ResolverService::ResolverService(EndpointService& endpoint,
+                                 RendezvousService& rendezvous)
+    : endpoint_(endpoint), rendezvous_(rendezvous) {}
+
+ResolverService::~ResolverService() { stop(); }
+
+void ResolverService::start() {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  endpoint_.register_listener(
+      std::string(kQueryService),
+      [this](EndpointMessage msg) { on_query(std::move(msg)); });
+  endpoint_.register_listener(
+      std::string(kResponseService),
+      [this](EndpointMessage msg) { on_response(std::move(msg)); });
+}
+
+void ResolverService::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  endpoint_.unregister_listener(std::string(kQueryService));
+  endpoint_.unregister_listener(std::string(kResponseService));
+}
+
+void ResolverService::register_handler(std::string name,
+                                       std::weak_ptr<ResolverHandler> h) {
+  const std::lock_guard lock(mu_);
+  handlers_[std::move(name)] = std::move(h);
+}
+
+void ResolverService::unregister_handler(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  handlers_.erase(name);
+}
+
+std::shared_ptr<ResolverHandler> ResolverService::find_handler(
+    const std::string& name) {
+  const std::lock_guard lock(mu_);
+  const auto it = handlers_.find(name);
+  if (it == handlers_.end()) return nullptr;
+  return it->second.lock();
+}
+
+util::Uuid ResolverService::send_query(const std::string& handler,
+                                       util::Bytes payload,
+                                       const std::optional<PeerId>& dst) {
+  ResolverQuery query;
+  query.handler = handler;
+  query.query_id = util::Uuid::generate();
+  query.src = endpoint_.local_peer();
+  query.payload = std::move(payload);
+  const util::Bytes wire = query.serialize();
+  if (dst.has_value()) {
+    endpoint_.send(*dst, kQueryService, wire);
+  } else {
+    rendezvous_.propagate(kQueryService, wire);
+    // A peer may legitimately answer its own group-wide query (e.g. the
+    // paper's publisher checking for an existing SkiRental advertisement
+    // finds its own previously cached one).
+    process_query_locally(query);
+  }
+  return query.query_id;
+}
+
+void ResolverService::send_response(const ResolverQuery& query,
+                                    util::Bytes payload) {
+  ResolverResponse resp;
+  resp.handler = query.handler;
+  resp.query_id = query.query_id;
+  resp.responder = endpoint_.local_peer();
+  resp.payload = std::move(payload);
+  endpoint_.send(query.src, kResponseService, resp.serialize());
+}
+
+void ResolverService::process_query_locally(const ResolverQuery& query) {
+  const auto handler = find_handler(query.handler);
+  if (!handler) return;
+  try {
+    const auto answer = handler->process_query(query);
+    if (answer.has_value()) {
+      if (query.src == endpoint_.local_peer()) {
+        // Self-answer: short-circuit into process_response.
+        ResolverResponse resp;
+        resp.handler = query.handler;
+        resp.query_id = query.query_id;
+        resp.responder = endpoint_.local_peer();
+        resp.payload = *answer;
+        handler->process_response(resp);
+      } else {
+        ResolverQuery reply_to = query;
+        send_response(reply_to, *answer);
+      }
+    }
+  } catch (const std::exception& e) {
+    P2P_LOG(kError, "resolver")
+        << "handler '" << query.handler << "' threw: " << e.what();
+  }
+}
+
+void ResolverService::on_query(EndpointMessage msg) {
+  ResolverQuery query;
+  try {
+    query = ResolverQuery::deserialize(msg.payload);
+  } catch (const std::exception& e) {
+    P2P_LOG(kWarn, "resolver") << "malformed query: " << e.what();
+    return;
+  }
+  ++query.hop_count;
+  process_query_locally(query);
+}
+
+void ResolverService::on_response(EndpointMessage msg) {
+  ResolverResponse resp;
+  try {
+    resp = ResolverResponse::deserialize(msg.payload);
+  } catch (const std::exception& e) {
+    P2P_LOG(kWarn, "resolver") << "malformed response: " << e.what();
+    return;
+  }
+  const auto handler = find_handler(resp.handler);
+  if (!handler) return;
+  try {
+    handler->process_response(resp);
+  } catch (const std::exception& e) {
+    P2P_LOG(kError, "resolver")
+        << "handler '" << resp.handler << "' threw: " << e.what();
+  }
+}
+
+}  // namespace p2p::jxta

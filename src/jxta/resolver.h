@@ -1,0 +1,96 @@
+// ResolverService: the Peer Resolver Protocol (PRP).
+//
+// "The PRP is a protocol just above the transport layer. This protocol
+// dispatches each JXTA message to the right services. The more handlers are
+// registered with PRP, the more peers a given peer is potentially able to
+// communicate with." (paper §2.2, Fig. 2)
+//
+// Services register named handlers. A query is either addressed to one peer
+// or propagated group-wide through the rendezvous service; a handler that
+// produces an answer has it routed straight back to the querying peer.
+// PDP (discovery.h), PIP (peer_info.h) and PBP (pipe.h) are all PRP
+// handlers — exactly the layering of the paper's Figure 2.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "jxta/endpoint.h"
+#include "jxta/rendezvous.h"
+
+namespace p2p::jxta {
+
+struct ResolverQuery {
+  std::string handler;
+  util::Uuid query_id;
+  PeerId src;
+  std::uint32_t hop_count = 0;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static ResolverQuery deserialize(std::span<const std::uint8_t> data);
+};
+
+struct ResolverResponse {
+  std::string handler;
+  util::Uuid query_id;
+  PeerId responder;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static ResolverResponse deserialize(std::span<const std::uint8_t> data);
+};
+
+// A PRP handler. Both methods run on the peer executor.
+class ResolverHandler {
+ public:
+  virtual ~ResolverHandler() = default;
+  // Produces the response payload, or nullopt for "nothing to say".
+  virtual std::optional<util::Bytes> process_query(
+      const ResolverQuery& query) = 0;
+  virtual void process_response(const ResolverResponse& response) = 0;
+};
+
+class ResolverService {
+ public:
+  ResolverService(EndpointService& endpoint, RendezvousService& rendezvous);
+  ~ResolverService();
+
+  ResolverService(const ResolverService&) = delete;
+  ResolverService& operator=(const ResolverService&) = delete;
+
+  void start();
+  void stop();
+
+  // Handlers are weakly referenced: a destroyed handler is skipped.
+  void register_handler(std::string name, std::weak_ptr<ResolverHandler> h);
+  void unregister_handler(const std::string& name);
+
+  // Sends a query. dst==nullopt propagates group-wide (and also processes
+  // locally, so a peer can answer itself from its own cache). Returns the
+  // query id, which responses will carry.
+  util::Uuid send_query(const std::string& handler, util::Bytes payload,
+                        const std::optional<PeerId>& dst = std::nullopt);
+
+  // Routes `payload` as the answer to `query` back to its source.
+  void send_response(const ResolverQuery& query, util::Bytes payload);
+
+ private:
+  void on_query(EndpointMessage msg);
+  void on_response(EndpointMessage msg);
+  void process_query_locally(const ResolverQuery& query);
+  [[nodiscard]] std::shared_ptr<ResolverHandler> find_handler(
+      const std::string& name);
+
+  EndpointService& endpoint_;
+  RendezvousService& rendezvous_;
+  std::mutex mu_;
+  bool started_ = false;
+  std::unordered_map<std::string, std::weak_ptr<ResolverHandler>> handlers_;
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,98 @@
+#include "jxta/route_resolver.h"
+
+namespace p2p::jxta {
+
+RouteResolverService::RouteResolverService(ResolverService& resolver,
+                                           EndpointService& endpoint,
+                                           DiscoveryService& discovery)
+    : resolver_(resolver), endpoint_(endpoint), discovery_(discovery) {}
+
+void RouteResolverService::start() {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  resolver_.register_handler(std::string(kHandlerName), weak_from_this());
+}
+
+void RouteResolverService::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  resolver_.unregister_handler(std::string(kHandlerName));
+}
+
+void RouteResolverService::request_route(const PeerId& dest) {
+  util::ByteWriter w;
+  w.write_u64(dest.uuid().hi());
+  w.write_u64(dest.uuid().lo());
+  resolver_.send_query(std::string(kHandlerName), w.take());
+}
+
+std::optional<RouteAdvertisement> RouteResolverService::resolve_route(
+    const PeerId& dest, util::Duration timeout) {
+  request_route(dest);
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return learned_.contains(dest); });
+  const auto it = learned_.find(dest);
+  if (it == learned_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<util::Bytes> RouteResolverService::process_query(
+    const ResolverQuery& q) {
+  util::ByteReader r(q.payload);
+  const PeerId dest{util::Uuid{r.read_u64(), r.read_u64()}};
+  // Never answer our own route query by offering ourselves as the relay —
+  // "you can reach it via yourself" is information-free and would mask
+  // real answers.
+  if (q.src == endpoint_.local_peer()) return std::nullopt;
+  if (dest == endpoint_.local_peer()) {
+    // We ARE the destination: answer with a direct (empty-hop) route; the
+    // PRP response itself refreshes the querier's address book.
+    RouteAdvertisement route;
+    route.dest = dest;
+    util::ByteWriter w;
+    w.write_string(route.to_xml_text());
+    return w.take();
+  }
+  // Answer only if we can plausibly deliver: a known transport address.
+  if (endpoint_.addresses_of(dest).empty()) return std::nullopt;
+  RouteAdvertisement route;
+  route.dest = dest;
+  route.hops = {endpoint_.local_peer()};
+  util::ByteWriter w;
+  w.write_string(route.to_xml_text());
+  return w.take();
+}
+
+void RouteResolverService::process_response(const ResolverResponse& r) {
+  util::ByteReader reader(r.payload);
+  RouteAdvertisement route;
+  try {
+    route = RouteAdvertisement::from_xml(xml::parse(reader.read_string()));
+  } catch (const std::exception&) {
+    return;
+  }
+  // Install: the first hop (or the responder itself) relays toward dest.
+  const PeerId via = route.hops.empty() ? r.responder : route.hops.front();
+  if (via != endpoint_.local_peer()) {
+    endpoint_.learn_route(route.dest, via);
+  }
+  discovery_.publish(route, DiscoveryType::kAdv);
+  {
+    const std::lock_guard lock(mu_);
+    // Prefer the shortest route when several peers answer (a direct,
+    // zero-hop answer from the destination itself beats any relay).
+    const auto it = learned_.find(route.dest);
+    if (it == learned_.end() || route.hops.size() < it->second.hops.size()) {
+      learned_[route.dest] = route;
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace p2p::jxta

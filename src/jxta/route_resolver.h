@@ -1,0 +1,55 @@
+// RouteResolverService: active route discovery for ERP.
+//
+// The EndpointService relays opportunistically (any relay-capable peer);
+// this service adds the *protocol* side of ERP (paper §2.2, Fig. 6): a
+// peer that cannot reach a destination propagates a route query; peers
+// that CAN reach it directly answer with a RouteAdvertisement naming
+// themselves as the hop. The querier feeds the learned route back into the
+// endpoint's routing table and caches the advertisement in discovery.
+#pragma once
+
+#include <condition_variable>
+
+#include "jxta/discovery.h"
+#include "jxta/resolver.h"
+
+namespace p2p::jxta {
+
+class RouteResolverService final
+    : public ResolverHandler,
+      public std::enable_shared_from_this<RouteResolverService> {
+ public:
+  static constexpr std::string_view kHandlerName = "jxta.erp";
+
+  RouteResolverService(ResolverService& resolver, EndpointService& endpoint,
+                       DiscoveryService& discovery);
+
+  void start();
+  void stop();
+
+  // Blocking: propagates a route query for `dest` and waits for the first
+  // usable answer. On success the route is already installed in the
+  // endpoint. Must not be called on the peer executor.
+  std::optional<RouteAdvertisement> resolve_route(const PeerId& dest,
+                                                  util::Duration timeout);
+
+  // Non-blocking variant: fire the query; routes install as answers come.
+  void request_route(const PeerId& dest);
+
+  // --- ResolverHandler -----------------------------------------------------
+  std::optional<util::Bytes> process_query(const ResolverQuery& q) override;
+  void process_response(const ResolverResponse& r) override;
+
+ private:
+  ResolverService& resolver_;
+  EndpointService& endpoint_;
+  DiscoveryService& discovery_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  // Routes learned since start, keyed by destination.
+  std::map<PeerId, RouteAdvertisement> learned_;
+};
+
+}  // namespace p2p::jxta

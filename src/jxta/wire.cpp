@@ -1,0 +1,179 @@
+#include "jxta/wire.h"
+
+#include "util/logging.h"
+
+namespace p2p::jxta {
+
+// --- WireInputPipe ------------------------------------------------------------
+
+WireInputPipe::WireInputPipe(WireService& service, PipeAdvertisement adv)
+    : service_(service), adv_(std::move(adv)) {}
+
+WireInputPipe::~WireInputPipe() { close(); }
+
+void WireInputPipe::set_listener(Listener listener) {
+  std::vector<Message> backlog;
+  {
+    const std::lock_guard lock(mu_);
+    listener_ = std::move(listener);
+    if (listener_) {
+      while (auto m = queue_.try_pop()) backlog.push_back(std::move(*m));
+    }
+  }
+  for (auto& m : backlog) {
+    const std::lock_guard lock(mu_);
+    if (listener_) listener_(std::move(m));
+  }
+}
+
+std::optional<Message> WireInputPipe::poll(util::Duration timeout) {
+  return queue_.pop_for(timeout);
+}
+
+void WireInputPipe::deliver(Message msg) {
+  Listener listener;
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return;
+    listener = listener_;
+  }
+  if (listener) {
+    listener(std::move(msg));
+  } else {
+    queue_.push(std::move(msg));
+  }
+}
+
+void WireInputPipe::close() {
+  {
+    const std::lock_guard lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  queue_.close();
+  service_.drop_input(this);
+}
+
+// --- WireOutputPipe ------------------------------------------------------------
+
+WireOutputPipe::WireOutputPipe(WireService& service, PipeAdvertisement adv)
+    : service_(service), adv_(std::move(adv)) {}
+
+WireOutputPipe::~WireOutputPipe() { close(); }
+
+bool WireOutputPipe::send(const Message& msg) {
+  if (closed_) return false;
+  service_.publish_on_wire(adv_.pid, msg);
+  return true;
+}
+
+void WireOutputPipe::close() { closed_ = true; }
+
+// --- WireService ----------------------------------------------------------------
+
+WireService::WireService(PeerGroupId gid, EndpointService& endpoint,
+                         RendezvousService& rendezvous)
+    : gid_(gid), endpoint_(endpoint), rendezvous_(rendezvous) {}
+
+WireService::~WireService() { stop(); }
+
+std::string WireService::listener_name() const {
+  return "jxta.wire." + gid_.to_string();
+}
+
+void WireService::start() {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  endpoint_.register_listener(listener_name(), [this](EndpointMessage msg) {
+    on_wire_message(std::move(msg));
+  });
+}
+
+void WireService::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  endpoint_.unregister_listener(listener_name());
+}
+
+std::shared_ptr<WireInputPipe> WireService::create_input_pipe(
+    const PipeAdvertisement& adv) {
+  auto pipe = std::shared_ptr<WireInputPipe>(new WireInputPipe(*this, adv));
+  const std::lock_guard lock(mu_);
+  auto& pipes = inputs_[adv.pid];
+  std::erase_if(pipes, [](const auto& w) { return w.expired(); });
+  pipes.push_back(pipe);
+  return pipe;
+}
+
+std::shared_ptr<WireOutputPipe> WireService::create_output_pipe(
+    const PipeAdvertisement& adv) {
+  return std::shared_ptr<WireOutputPipe>(new WireOutputPipe(*this, adv));
+}
+
+ServiceAdvertisement WireService::make_service_advertisement(
+    const PipeAdvertisement& pipe) {
+  ServiceAdvertisement svc;
+  svc.name = std::string(kWireName);
+  svc.version = std::string(kWireVersion);
+  svc.uri = std::string(kWireUri);
+  svc.code = std::string(kWireCode);
+  svc.security = std::string(kWireSecurity);
+  svc.keywords = pipe.name;
+  svc.pipe = pipe;
+  return svc;
+}
+
+void WireService::publish_on_wire(const PipeId& id, const Message& msg) {
+  util::ByteWriter w;
+  w.write_u64(id.uuid().hi());
+  w.write_u64(id.uuid().lo());
+  w.write_bytes(msg.serialize());
+  // Remote members via rendezvous propagation (and LAN multicast)...
+  rendezvous_.propagate(listener_name(), w.take());
+  // ...and local wire input pipes directly (propagation skips the origin).
+  deliver_local(id, msg);
+}
+
+void WireService::on_wire_message(EndpointMessage msg) {
+  try {
+    util::ByteReader r(msg.payload);
+    const PipeId id{util::Uuid{r.read_u64(), r.read_u64()}};
+    const util::Bytes body = r.read_bytes();
+    deliver_local(id, Message::deserialize(body));
+  } catch (const std::exception& e) {
+    P2P_LOG(kWarn, "wire") << "malformed wire message: " << e.what();
+  }
+}
+
+void WireService::deliver_local(const PipeId& id, const Message& msg) {
+  std::vector<std::shared_ptr<WireInputPipe>> pipes;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = inputs_.find(id);
+    if (it != inputs_.end()) {
+      for (const auto& w : it->second) {
+        if (auto p = w.lock()) pipes.push_back(std::move(p));
+      }
+    }
+  }
+  for (const auto& p : pipes) p->deliver(msg);
+}
+
+void WireService::drop_input(const WireInputPipe* pipe) {
+  const std::lock_guard lock(mu_);
+  const auto it = inputs_.find(pipe->advertisement().pid);
+  if (it == inputs_.end()) return;
+  std::erase_if(it->second, [&](const auto& w) {
+    const auto p = w.lock();
+    return !p || p.get() == pipe;
+  });
+  if (it->second.empty()) inputs_.erase(it);
+}
+
+}  // namespace p2p::jxta

@@ -1,0 +1,130 @@
+// WireService: many-to-many communication (JXTA-WIRE).
+//
+// "the wire service (responsible for providing many-to-many communication)"
+// (paper §2). A wire is a propagate pipe: every peer that opened a wire
+// input pipe for a pipe id receives every message sent on a wire output
+// pipe with that id, via rendezvous propagation (plus LAN multicast).
+//
+// Faithful to the JXTA 1.0 the paper measured, the wire service does NOT
+// suppress duplicate deliveries caused by publishing the same payload on
+// several wires (one per discovered advertisement): that is functionality
+// (3) that the paper's SR-JXTA and SR-TPS layers add on top (§4.4 footnote).
+//
+// Service advertisement constants mirror the paper's Fig. 15 lines 27-34
+// (WireService.WireName / WireVersion / WireUri / WireCode / WireSecurity).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "jxta/message.h"
+#include "jxta/pipe.h"
+#include "jxta/rendezvous.h"
+
+namespace p2p::jxta {
+
+class WireService;
+
+// Receiving end of a wire. Same delivery contract as InputPipe.
+class WireInputPipe {
+ public:
+  using Listener = std::function<void(Message)>;
+
+  ~WireInputPipe();
+  WireInputPipe(const WireInputPipe&) = delete;
+  WireInputPipe& operator=(const WireInputPipe&) = delete;
+
+  [[nodiscard]] const PipeAdvertisement& advertisement() const { return adv_; }
+
+  void set_listener(Listener listener);
+  std::optional<Message> poll(util::Duration timeout);
+  void close();
+
+ private:
+  friend class WireService;
+  WireInputPipe(WireService& service, PipeAdvertisement adv);
+  void deliver(Message msg);
+
+  WireService& service_;
+  const PipeAdvertisement adv_;
+  std::mutex mu_;
+  Listener listener_;
+  util::BlockingQueue<Message> queue_;
+  bool closed_ = false;
+};
+
+// Sending end of a wire: send() reaches every group member with a matching
+// wire input pipe, including other pipes on this very peer.
+class WireOutputPipe {
+ public:
+  ~WireOutputPipe();
+  WireOutputPipe(const WireOutputPipe&) = delete;
+  WireOutputPipe& operator=(const WireOutputPipe&) = delete;
+
+  [[nodiscard]] const PipeAdvertisement& advertisement() const { return adv_; }
+
+  // Always accepts (wire is fire-and-forget); returns false after close().
+  bool send(const Message& msg);
+  void close();
+
+ private:
+  friend class WireService;
+  WireOutputPipe(WireService& service, PipeAdvertisement adv);
+
+  WireService& service_;
+  const PipeAdvertisement adv_;
+  std::atomic<bool> closed_{false};
+};
+
+class WireService {
+ public:
+  // The paper's WireService.* constants.
+  static constexpr std::string_view kWireName = "jxta.service.wire";
+  static constexpr std::string_view kWireVersion = "1.0";
+  static constexpr std::string_view kWireUri = "jxta://wire";
+  static constexpr std::string_view kWireCode = "builtin:wire";
+  static constexpr std::string_view kWireSecurity = "none";
+
+  // One wire service per peer group; gid scopes the traffic.
+  WireService(PeerGroupId gid, EndpointService& endpoint,
+              RendezvousService& rendezvous);
+  ~WireService();
+
+  WireService(const WireService&) = delete;
+  WireService& operator=(const WireService&) = delete;
+
+  void start();
+  void stop();
+
+  std::shared_ptr<WireInputPipe> create_input_pipe(
+      const PipeAdvertisement& adv);
+  std::shared_ptr<WireOutputPipe> create_output_pipe(
+      const PipeAdvertisement& adv);
+
+  // Builds the ServiceAdvertisement embedding `pipe` that the paper's
+  // AdvertisementsCreator installs into a group advertisement.
+  static ServiceAdvertisement make_service_advertisement(
+      const PipeAdvertisement& pipe);
+
+ private:
+  friend class WireInputPipe;
+  friend class WireOutputPipe;
+
+  void publish_on_wire(const PipeId& id, const Message& msg);
+  void on_wire_message(EndpointMessage msg);
+  void drop_input(const WireInputPipe* pipe);
+  void deliver_local(const PipeId& id, const Message& msg);
+  [[nodiscard]] std::string listener_name() const;
+
+  const PeerGroupId gid_;
+  EndpointService& endpoint_;
+  RendezvousService& rendezvous_;
+
+  std::mutex mu_;
+  bool started_ = false;
+  std::unordered_map<PipeId, std::vector<std::weak_ptr<WireInputPipe>>>
+      inputs_;
+};
+
+}  // namespace p2p::jxta

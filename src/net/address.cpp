@@ -1,0 +1,15 @@
+#include "net/address.h"
+
+namespace p2p::net {
+
+std::optional<Address> Address::parse(std::string_view text) {
+  const std::size_t pos = text.find("://");
+  if (pos == std::string_view::npos || pos == 0 ||
+      pos + 3 >= text.size() + 1) {
+    return std::nullopt;
+  }
+  return Address(std::string(text.substr(0, pos)),
+                 std::string(text.substr(pos + 3)));
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,52 @@
+// Network addresses.
+//
+// A JXTA peer may have several network interfaces (paper §2.1 footnote:
+// TCP, IP-Multicast, HTTP, BlueTooth, ...). We model an interface address as
+// a (scheme, authority) pair, e.g. inproc://alice or tcp://127.0.0.1:5001.
+// Peers are NOT identified by addresses — that is the whole point of the
+// Pipe Binding Protocol — addresses only name transport endpoints.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace p2p::net {
+
+class Address {
+ public:
+  Address() = default;
+  Address(std::string scheme, std::string authority)
+      : scheme_(std::move(scheme)), authority_(std::move(authority)) {}
+
+  // Parses "scheme://authority". Returns nullopt if malformed.
+  static std::optional<Address> parse(std::string_view text);
+
+  [[nodiscard]] const std::string& scheme() const { return scheme_; }
+  [[nodiscard]] const std::string& authority() const { return authority_; }
+  [[nodiscard]] bool empty() const {
+    return scheme_.empty() && authority_.empty();
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return scheme_ + "://" + authority_;
+  }
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+ private:
+  std::string scheme_;
+  std::string authority_;
+};
+
+}  // namespace p2p::net
+
+template <>
+struct std::hash<p2p::net::Address> {
+  std::size_t operator()(const p2p::net::Address& a) const noexcept {
+    return std::hash<std::string>{}(a.scheme()) * 31 +
+           std::hash<std::string>{}(a.authority());
+  }
+};

@@ -1,0 +1,200 @@
+#include "net/fabric.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace p2p::net {
+
+NetworkFabric::NetworkFabric(std::uint64_t seed) : rng_(seed) {
+  thread_ = std::thread([this] { run(); });
+}
+
+NetworkFabric::~NetworkFabric() {
+  {
+    const std::lock_guard lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void NetworkFabric::attach(const std::string& name, DatagramHandler handler) {
+  const std::lock_guard lock(mu_);
+  nodes_[name] = std::move(handler);
+}
+
+void NetworkFabric::detach(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  nodes_.erase(name);
+}
+
+bool NetworkFabric::rename(const std::string& old_name,
+                           const std::string& new_name) {
+  const std::lock_guard lock(mu_);
+  const auto it = nodes_.find(old_name);
+  if (it == nodes_.end() || nodes_.contains(new_name)) return false;
+  DatagramHandler handler = std::move(it->second);
+  nodes_.erase(it);
+  nodes_[new_name] = std::move(handler);
+  if (firewalled_.erase(old_name) > 0) firewalled_.insert(new_name);
+  return true;
+}
+
+void NetworkFabric::set_default_link(LinkSpec spec) {
+  const std::lock_guard lock(mu_);
+  default_link_ = spec;
+}
+
+void NetworkFabric::set_link(const std::string& from, const std::string& to,
+                             LinkSpec spec) {
+  const std::lock_guard lock(mu_);
+  links_[from + "|" + to] = spec;
+}
+
+std::string NetworkFabric::pair_key(const std::string& a,
+                                    const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+void NetworkFabric::partition(const std::string& a, const std::string& b) {
+  const std::lock_guard lock(mu_);
+  partitions_.insert(pair_key(a, b));
+}
+
+void NetworkFabric::heal(const std::string& a, const std::string& b) {
+  const std::lock_guard lock(mu_);
+  partitions_.erase(pair_key(a, b));
+}
+
+void NetworkFabric::set_firewalled(const std::string& name, bool firewalled) {
+  const std::lock_guard lock(mu_);
+  if (firewalled) {
+    firewalled_.insert(name);
+  } else {
+    firewalled_.erase(name);
+    std::erase_if(holes_, [&](const std::string& hole) {
+      return hole.compare(0, name.size() + 1, name + "|") == 0;
+    });
+  }
+}
+
+LinkSpec NetworkFabric::link_for(const std::string& from,
+                                 const std::string& to) const {
+  const auto it = links_.find(from + "|" + to);
+  return it != links_.end() ? it->second : default_link_;
+}
+
+std::int64_t NetworkFabric::now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool NetworkFabric::submit(Datagram d) {
+  {
+    const std::lock_guard lock(mu_);
+    if (stopped_) return false;
+    ++stats_.submitted;
+    const std::string& from = d.src.authority();
+    const std::string& to = d.dst.authority();
+    if (!nodes_.contains(to)) {
+      ++stats_.dropped_unknown;
+      return false;
+    }
+    if (partitions_.contains(pair_key(from, to))) {
+      ++stats_.dropped_partition;
+      return false;
+    }
+    // Stateful firewall: inbound to a firewalled node requires a hole the
+    // node itself punched by sending outbound to this source first.
+    if (firewalled_.contains(to) && !holes_.contains(to + "|" + from)) {
+      ++stats_.dropped_partition;
+      return false;
+    }
+    // Sending from a firewalled node punches (refreshes) a hole.
+    if (firewalled_.contains(from)) holes_.insert(from + "|" + to);
+
+    const LinkSpec link = link_for(from, to);
+    if (rng_.next_bool(link.loss)) {
+      ++stats_.dropped_loss;
+      return true;  // loss is silent, like UDP
+    }
+    std::int64_t delay = link.latency_ms;
+    if (link.jitter_ms > 0) {
+      delay += static_cast<std::int64_t>(
+          rng_.next_below(static_cast<std::uint64_t>(link.jitter_ms) + 1));
+    }
+    queue_.push(Pending{now_ms() + delay, next_seq_++, std::move(d)});
+    ++in_flight_;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void NetworkFabric::broadcast(const Address& src, const util::Bytes& payload) {
+  std::vector<std::string> targets;
+  {
+    const std::lock_guard lock(mu_);
+    if (stopped_) return;
+    for (const auto& [name, handler] : nodes_) {
+      if (name == src.authority()) continue;
+      if (firewalled_.contains(name)) continue;
+      targets.push_back(name);
+    }
+  }
+  for (auto& name : targets) {
+    submit(Datagram{src, Address(src.scheme(), name), payload});
+  }
+}
+
+FabricStats NetworkFabric::stats() const {
+  const std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void NetworkFabric::drain() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return in_flight_ == 0 || stopped_; });
+}
+
+void NetworkFabric::run() {
+  std::unique_lock lock(mu_);
+  while (!stopped_) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+      continue;
+    }
+    const std::int64_t due = queue_.top().deliver_at_ms;
+    const std::int64_t now = now_ms();
+    if (due > now) {
+      cv_.wait_for(lock, std::chrono::milliseconds(due - now));
+      continue;
+    }
+    Pending p = queue_.top();
+    queue_.pop();
+    const auto it = nodes_.find(p.datagram.dst.authority());
+    DatagramHandler handler = it != nodes_.end() ? it->second : nullptr;
+    if (handler) {
+      ++stats_.delivered;
+      stats_.bytes_delivered += p.datagram.payload.size();
+    } else {
+      ++stats_.dropped_unknown;  // node detached while in flight
+    }
+    lock.unlock();
+    if (handler) {
+      try {
+        handler(std::move(p.datagram));
+      } catch (const std::exception& e) {
+        P2P_LOG(kError, "fabric") << "handler threw: " << e.what();
+      } catch (...) {
+        P2P_LOG(kError, "fabric") << "handler threw unknown exception";
+      }
+    }
+    lock.lock();
+    --in_flight_;
+    if (in_flight_ == 0) cv_.notify_all();
+  }
+}
+
+}  // namespace p2p::net

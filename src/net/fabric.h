@@ -1,0 +1,147 @@
+// NetworkFabric: an in-process simulated WAN.
+//
+// The paper's testbed was a LAN of Sun workstations running an unreliable
+// JXTA 1.0. We substitute an in-process fabric that models the properties
+// the JXTA protocols exist to cope with:
+//   - per-link latency and jitter          (WAN distance)
+//   - probabilistic loss                   (JXTA 1.0 was "not reliable")
+//   - partitions                           (peers joining/leaving)
+//   - stateful firewalls                   (what makes ERP relaying needed)
+//   - address re-assignment                (what makes PBP re-binding needed)
+//
+// Nodes register by name; InProcTransport (inproc_transport.h) bridges the
+// fabric to the Transport interface. One scheduler thread delivers datagrams
+// in deliver-at order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/transport.h"
+#include "util/random.h"
+
+namespace p2p::net {
+
+// Properties of a directed link.
+struct LinkSpec {
+  // Fixed one-way delay in milliseconds.
+  std::int64_t latency_ms = 0;
+  // Uniform extra delay in [0, jitter_ms].
+  std::int64_t jitter_ms = 0;
+  // Probability in [0,1] that a datagram silently disappears.
+  double loss = 0.0;
+};
+
+struct FabricStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;       // random loss
+  std::uint64_t dropped_unknown = 0;    // destination not registered
+  std::uint64_t dropped_partition = 0;  // partition or firewall
+  std::uint64_t bytes_delivered = 0;
+};
+
+class NetworkFabric {
+ public:
+  // seed drives loss/jitter decisions; a fixed seed makes a run repeatable.
+  explicit NetworkFabric(std::uint64_t seed = 42);
+  ~NetworkFabric();
+
+  NetworkFabric(const NetworkFabric&) = delete;
+  NetworkFabric& operator=(const NetworkFabric&) = delete;
+
+  // --- topology -------------------------------------------------------
+  // Registers a node; datagrams addressed to `name` go to `handler`.
+  // Re-attaching an existing name replaces the handler (models a peer
+  // coming back up at a new "location" with the same transport name).
+  void attach(const std::string& name, DatagramHandler handler);
+
+  // Removes the node; in-flight datagrams to it are dropped on delivery.
+  void detach(const std::string& name);
+
+  // Renames a node, keeping its handler. Old in-flight traffic to the old
+  // name is dropped — exactly the situation PBP re-binding repairs.
+  // Returns false if old_name is unknown or new_name is taken.
+  bool rename(const std::string& old_name, const std::string& new_name);
+
+  // --- link shaping ----------------------------------------------------
+  // Default applied when no per-pair spec exists.
+  void set_default_link(LinkSpec spec);
+  // Directed per-pair override.
+  void set_link(const std::string& from, const std::string& to,
+                LinkSpec spec);
+
+  // --- faults ----------------------------------------------------------
+  // Cuts traffic in both directions between the two nodes.
+  void partition(const std::string& a, const std::string& b);
+  void heal(const std::string& a, const std::string& b);
+
+  // Marks a node as behind a stateful firewall: inbound datagrams are
+  // dropped unless the firewalled node has previously sent to that source
+  // (an "outbound hole", as with NAT/HTTP polling in JXTA).
+  void set_firewalled(const std::string& name, bool firewalled);
+
+  // --- traffic -----------------------------------------------------------
+  // Submits a datagram for delivery. Returns false only if the destination
+  // is structurally unreachable right now (unknown / partitioned /
+  // firewall-blocked); random loss still returns true, like UDP.
+  bool submit(Datagram d);
+
+  // LAN-multicast model: delivers the payload to every attached node except
+  // the source, honouring partitions, firewalls and per-link loss/latency.
+  // Firewalled nodes never receive broadcasts (multicast does not traverse
+  // firewalls) — they must reach the network through a rendezvous instead.
+  void broadcast(const Address& src, const util::Bytes& payload);
+
+  [[nodiscard]] FabricStats stats() const;
+
+  // Blocks until every submitted datagram has been delivered or dropped.
+  // Useful in tests; do not call from a delivery handler.
+  void drain();
+
+ private:
+  struct Pending {
+    std::int64_t deliver_at_ms;
+    std::uint64_t seq;  // tie-break: preserve submit order per instant
+    Datagram datagram;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.deliver_at_ms != b.deliver_at_ms)
+        return a.deliver_at_ms > b.deliver_at_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] LinkSpec link_for(const std::string& from,
+                                  const std::string& to) const;
+  [[nodiscard]] static std::string pair_key(const std::string& a,
+                                            const std::string& b);
+  void run();
+  [[nodiscard]] static std::int64_t now_ms();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, DatagramHandler> nodes_;
+  std::unordered_map<std::string, LinkSpec> links_;  // "from|to" -> spec
+  LinkSpec default_link_;
+  std::unordered_set<std::string> partitions_;  // unordered pair keys
+  std::unordered_set<std::string> firewalled_;
+  // firewall holes: "inside|outside" present => outside may send to inside
+  std::unordered_set<std::string> holes_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
+  util::Rng rng_;
+  FabricStats stats_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t in_flight_ = 0;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace p2p::net

@@ -1,0 +1,64 @@
+#include "net/inproc_transport.h"
+
+namespace p2p::net {
+
+namespace {
+const std::string kScheme = "inproc";
+}  // namespace
+
+InProcTransport::InProcTransport(NetworkFabric& fabric, std::string name)
+    : fabric_(fabric), name_(std::move(name)) {
+  fabric_.attach(name_, [this](Datagram d) {
+    DatagramHandler handler;
+    {
+      const std::lock_guard lock(mu_);
+      handler = handler_;
+    }
+    if (handler && !closed_) handler(std::move(d));
+  });
+}
+
+InProcTransport::~InProcTransport() { close(); }
+
+const std::string& InProcTransport::scheme() const { return kScheme; }
+
+Address InProcTransport::local_address() const {
+  const std::lock_guard lock(mu_);
+  return Address(kScheme, name_);
+}
+
+bool InProcTransport::send(const Address& dst, util::Bytes payload) {
+  if (closed_ || dst.scheme() != kScheme) return false;
+  return fabric_.submit(Datagram{local_address(), dst, std::move(payload)});
+}
+
+bool InProcTransport::broadcast(util::Bytes payload) {
+  if (closed_) return false;
+  fabric_.broadcast(local_address(), payload);
+  return true;
+}
+
+void InProcTransport::set_receiver(DatagramHandler handler) {
+  const std::lock_guard lock(mu_);
+  handler_ = std::move(handler);
+}
+
+void InProcTransport::close() {
+  if (closed_.exchange(true)) return;
+  std::string name;
+  {
+    const std::lock_guard lock(mu_);
+    name = name_;
+  }
+  fabric_.detach(name);
+}
+
+bool InProcTransport::change_address(const std::string& new_name) {
+  const std::lock_guard lock(mu_);
+  if (closed_) return false;
+  if (!fabric_.rename(name_, new_name)) return false;
+  name_ = new_name;
+  return true;
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,42 @@
+// In-process transport backed by a NetworkFabric.
+//
+// The default transport for examples, tests and benches. Each transport
+// instance registers one node name on the fabric; its address is
+// inproc://<name>.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "net/fabric.h"
+#include "net/transport.h"
+
+namespace p2p::net {
+
+class InProcTransport final : public Transport {
+ public:
+  // Attaches `name` to the fabric. The fabric must outlive the transport.
+  InProcTransport(NetworkFabric& fabric, std::string name);
+  ~InProcTransport() override;
+
+  [[nodiscard]] const std::string& scheme() const override;
+  [[nodiscard]] Address local_address() const override;
+  bool send(const Address& dst, util::Bytes payload) override;
+  bool broadcast(util::Bytes payload) override;
+  void set_receiver(DatagramHandler handler) override;
+  void close() override;
+
+  // Simulates this node being re-addressed (DHCP renewal, network move).
+  // The old address immediately stops receiving. Returns false if the new
+  // name is already taken.
+  bool change_address(const std::string& new_name);
+
+ private:
+  NetworkFabric& fabric_;
+  mutable std::mutex mu_;
+  std::string name_;
+  DatagramHandler handler_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace p2p::net

@@ -1,0 +1,230 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace p2p::net {
+
+namespace {
+
+const std::string kScheme = "tcp";
+constexpr std::uint32_t kMaxFrame = 16 * 1024 * 1024;
+
+// Parses "127.0.0.1:5001" into a sockaddr. Returns false if malformed.
+bool to_sockaddr(const std::string& authority, sockaddr_in& out) {
+  const auto parts = util::split(authority, ':');
+  if (parts.size() != 2) return false;
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  if (inet_pton(AF_INET, parts[0].c_str(), &out.sin_addr) != 1) return false;
+  const int port = std::atoi(parts[1].c_str());
+  if (port <= 0 || port > 65535) return false;
+  out.sin_port = htons(static_cast<std::uint16_t>(port));
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw util::P2pError("tcp: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    throw util::P2pError("tcp: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    throw util::P2pError("tcp: cannot listen");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+const std::string& TcpTransport::scheme() const { return kScheme; }
+
+Address TcpTransport::local_address() const {
+  return Address(kScheme, "127.0.0.1:" + std::to_string(port_));
+}
+
+void TcpTransport::set_receiver(DatagramHandler handler) {
+  const std::lock_guard lock(mu_);
+  handler_ = std::move(handler);
+}
+
+bool TcpTransport::write_all(int fd, const std::uint8_t* data,
+                             std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool TcpTransport::read_exact(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r <= 0) return false;
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(
+    const std::string& authority) {
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = outbound_.find(authority);
+    if (it != outbound_.end()) return it->second;
+  }
+  sockaddr_in addr{};
+  if (!to_sockaddr(authority, addr)) return nullptr;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  {
+    const std::lock_guard lock(mu_);
+    // Another thread may have raced us; keep the first connection.
+    const auto [it, inserted] = outbound_.emplace(authority, conn);
+    if (!inserted) {
+      ::close(fd);
+      return it->second;
+    }
+  }
+  return conn;
+}
+
+bool TcpTransport::send(const Address& dst, util::Bytes payload) {
+  if (closed_ || dst.scheme() != kScheme) return false;
+  if (payload.size() > kMaxFrame) return false;
+  const auto conn = connect_to(dst.authority());
+  if (!conn) return false;
+
+  const std::string src = local_address().to_string();
+  const auto frame_len =
+      static_cast<std::uint32_t>(2 + src.size() + payload.size());
+  util::Bytes frame;
+  frame.reserve(4 + frame_len);
+  for (int i = 0; i < 4; ++i)
+    frame.push_back(static_cast<std::uint8_t>(frame_len >> (8 * i)));
+  frame.push_back(static_cast<std::uint8_t>(src.size()));
+  frame.push_back(static_cast<std::uint8_t>(src.size() >> 8));
+  frame.insert(frame.end(), src.begin(), src.end());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  const std::lock_guard wlock(conn->write_mu);
+  if (!write_all(conn->fd, frame.data(), frame.size())) {
+    const std::lock_guard lock(mu_);
+    outbound_.erase(dst.authority());
+    return false;
+  }
+  return true;
+}
+
+void TcpTransport::accept_loop() {
+  while (!closed_) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (closed_) return;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::lock_guard lock(mu_);
+    if (closed_) {
+      ::close(fd);
+      return;
+    }
+    inbound_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { read_loop(fd); });
+  }
+}
+
+void TcpTransport::read_loop(int fd) {
+  while (!closed_) {
+    std::uint8_t header[4];
+    if (!read_exact(fd, header, 4)) break;
+    std::uint32_t frame_len = 0;
+    for (int i = 0; i < 4; ++i)
+      frame_len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+    if (frame_len < 2 || frame_len > kMaxFrame) break;
+    util::Bytes frame(frame_len);
+    if (!read_exact(fd, frame.data(), frame.size())) break;
+    const std::size_t src_len =
+        static_cast<std::size_t>(frame[0]) |
+        (static_cast<std::size_t>(frame[1]) << 8);
+    if (2 + src_len > frame.size()) break;
+    const std::string src_text(frame.begin() + 2,
+                               frame.begin() + 2 + static_cast<long>(src_len));
+    const auto src = Address::parse(src_text);
+    if (!src) break;
+    util::Bytes payload(frame.begin() + 2 + static_cast<long>(src_len),
+                        frame.end());
+    DatagramHandler handler;
+    {
+      const std::lock_guard lock(mu_);
+      handler = handler_;
+    }
+    if (handler) {
+      try {
+        handler(Datagram{*src, local_address(), std::move(payload)});
+      } catch (const std::exception& e) {
+        P2P_LOG(kError, "tcp") << "receiver threw: " << e.what();
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void TcpTransport::close() {
+  if (closed_.exchange(true)) return;
+  // Shutdown wakes accept(); closing fds wakes readers.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  std::vector<std::thread> readers;
+  {
+    const std::lock_guard lock(mu_);
+    for (const int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [name, conn] : outbound_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ::close(conn->fd);
+    }
+    outbound_.clear();
+    readers.swap(readers_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace p2p::net

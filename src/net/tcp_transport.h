@@ -1,0 +1,59 @@
+// Loopback/LAN TCP transport (real POSIX sockets).
+//
+// Exists to show the substrate is not wedded to the simulated fabric: the
+// JXTA endpoint service runs identically over real sockets. Frames are
+// length-prefixed: [u32 frame_len][u16 src_len][src address][payload].
+// Outbound connections are created on demand and cached per destination.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace p2p::net {
+
+class TcpTransport final : public Transport {
+ public:
+  // Binds and listens on 127.0.0.1:port; port 0 picks an ephemeral port
+  // (see local_address() for the actual one). Throws util::P2pError if the
+  // socket cannot be bound.
+  explicit TcpTransport(std::uint16_t port = 0);
+  ~TcpTransport() override;
+
+  [[nodiscard]] const std::string& scheme() const override;
+  [[nodiscard]] Address local_address() const override;
+  bool send(const Address& dst, util::Bytes payload) override;
+  void set_receiver(DatagramHandler handler) override;
+  void close() override;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+
+  void accept_loop();
+  void read_loop(int fd);
+  // Returns a connected fd for dst or -1. Caches by authority.
+  std::shared_ptr<Connection> connect_to(const std::string& authority);
+  static bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+  static bool read_exact(int fd, std::uint8_t* data, std::size_t n);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  DatagramHandler handler_;
+  std::map<std::string, std::shared_ptr<Connection>> outbound_;
+  std::vector<std::thread> readers_;
+  std::vector<int> inbound_fds_;
+};
+
+}  // namespace p2p::net

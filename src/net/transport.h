@@ -1,0 +1,55 @@
+// Transport abstraction.
+//
+// A transport delivers opaque datagrams between addresses of one scheme.
+// The JXTA endpoint service (src/jxta/endpoint.h) multiplexes several
+// transports per peer and picks a usable one per destination, falling back
+// to relay routing (ERP) when no transport can reach the destination.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/address.h"
+#include "util/bytes.h"
+
+namespace p2p::net {
+
+struct Datagram {
+  Address src;
+  Address dst;
+  util::Bytes payload;
+};
+
+// Invoked on transport-internal threads; implementations must hand off to
+// their own executor quickly and never block the transport.
+using DatagramHandler = std::function<void(Datagram)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // The scheme this transport serves ("inproc", "tcp", ...).
+  [[nodiscard]] virtual const std::string& scheme() const = 0;
+
+  // The local address peers should advertise for this transport.
+  [[nodiscard]] virtual Address local_address() const = 0;
+
+  // Attempts asynchronous delivery. Returns false if the destination is
+  // known-unreachable *right now* (unknown node, closed transport,
+  // firewalled destination). A true return is best-effort: the fabric may
+  // still drop the datagram (simulated loss), exactly like UDP.
+  virtual bool send(const Address& dst, util::Bytes payload) = 0;
+
+  // Best-effort delivery to every reachable node on the local segment
+  // (JXTA's IP-multicast discovery path). Transports without a multicast
+  // notion return false.
+  virtual bool broadcast(util::Bytes /*payload*/) { return false; }
+
+  // Installs the receive callback (replaces any previous one).
+  virtual void set_receiver(DatagramHandler handler) = 0;
+
+  // Stops delivering and sending. Idempotent.
+  virtual void close() = 0;
+};
+
+}  // namespace p2p::net

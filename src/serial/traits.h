@@ -1,0 +1,53 @@
+// EventTraits: the per-type codec contract.
+//
+// To make a type publishable over TPS, an application:
+//   1. derives it from serial::Event,
+//   2. specializes EventTraits<T> with a stable type name, the declared
+//      parent event type (or NoParent for hierarchy roots), and an
+//      encode/decode pair,
+//   3. registers it once via TypeRegistry::register_event<T>().
+//
+// This plays the role Java serialization + the class hierarchy played in
+// the paper's GJ implementation.
+#pragma once
+
+#include <concepts>
+#include <string_view>
+
+#include "serial/event.h"
+#include "util/bytes.h"
+
+namespace p2p::serial {
+
+// Marker for hierarchy roots (direct children of Event).
+struct NoParent {};
+
+// Primary template is intentionally undefined: using an unregistered type
+// as a TPS event is a compile-time error with a readable message.
+template <typename T>
+struct EventTraits;
+
+// What a valid specialization must provide.
+template <typename T>
+concept EventType =
+    std::derived_from<T, Event> &&
+    requires(const T& value, util::ByteWriter& w, util::ByteReader& r) {
+      { EventTraits<T>::kTypeName } -> std::convertible_to<std::string_view>;
+      typename EventTraits<T>::Parent;
+      { EventTraits<T>::encode(value, w) } -> std::same_as<void>;
+      { EventTraits<T>::decode(r) } -> std::same_as<T>;
+    };
+
+namespace detail {
+
+template <typename P>
+constexpr std::string_view parent_name() {
+  if constexpr (std::same_as<P, NoParent>) {
+    return {};
+  } else {
+    return EventTraits<P>::kTypeName;
+  }
+}
+
+}  // namespace detail
+}  // namespace p2p::serial

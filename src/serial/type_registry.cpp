@@ -1,0 +1,119 @@
+#include "serial/type_registry.h"
+
+namespace p2p::serial {
+
+TypeRegistry& TypeRegistry::global() {
+  static TypeRegistry registry;
+  return registry;
+}
+
+void TypeRegistry::add(TypeInfo info) {
+  const std::unique_lock lock(mu_);
+  const auto it = by_name_.find(info.name);
+  if (it != by_name_.end()) {
+    if (it->second.cpp_type != info.cpp_type) {
+      throw util::InvalidArgument("type name '" + info.name +
+                                  "' already registered for a different type");
+    }
+    return;  // idempotent re-registration
+  }
+  if (!info.parent.empty() && !by_name_.contains(info.parent)) {
+    throw util::InvalidArgument("parent type '" + info.parent +
+                                "' of '" + info.name +
+                                "' must be registered first");
+  }
+  by_type_.emplace(info.cpp_type, info.name);
+  by_name_.emplace(info.name, std::move(info));
+}
+
+std::optional<TypeInfo> TypeRegistry::find(std::string_view name) const {
+  const std::shared_lock lock(mu_);
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TypeInfo> TypeRegistry::find(std::type_index type) const {
+  const std::shared_lock lock(mu_);
+  const auto it = by_type_.find(type);
+  if (it == by_type_.end()) return std::nullopt;
+  return by_name_.at(it->second);
+}
+
+std::vector<std::string> TypeRegistry::ancestry(std::string_view name) const {
+  const std::shared_lock lock(mu_);
+  std::vector<std::string> chain;
+  std::string current(name);
+  while (!current.empty()) {
+    const auto it = by_name_.find(current);
+    if (it == by_name_.end()) {
+      throw util::NotFoundError("unknown event type '" + current + "'");
+    }
+    chain.push_back(current);
+    current = it->second.parent;
+  }
+  return chain;
+}
+
+bool TypeRegistry::is_subtype(std::string_view name,
+                              std::string_view ancestor) const {
+  for (const auto& link : ancestry(name)) {
+    if (link == ancestor) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> TypeRegistry::subtypes(std::string_view name) const {
+  std::vector<std::string> names;
+  {
+    const std::shared_lock lock(mu_);
+    names.reserve(by_name_.size());
+    for (const auto& [n, info] : by_name_) names.push_back(n);
+  }
+  std::vector<std::string> out;
+  for (const auto& candidate : names) {
+    if (is_subtype(candidate, name)) out.push_back(candidate);
+  }
+  return out;
+}
+
+util::Bytes TypeRegistry::encode_tagged(const Event& event) const {
+  // Dynamically-typed events carry their own name; statically-typed ones
+  // are identified by RTTI.
+  const std::string_view dynamic_name = event.tps_type_name();
+  const auto info = dynamic_name.empty()
+                        ? find(std::type_index(typeid(event)))
+                        : find(dynamic_name);
+  if (!info) {
+    throw util::NotFoundError(
+        std::string("event's dynamic type is not registered: ") +
+        (dynamic_name.empty() ? typeid(event).name()
+                              : std::string(dynamic_name)));
+  }
+  util::ByteWriter w;
+  w.write_string(info->name);
+  const util::Bytes body = info->encode(event);
+  w.write_bytes(body);
+  return w.take();
+}
+
+TypeRegistry::Decoded TypeRegistry::decode_tagged(
+    std::span<const std::uint8_t> payload) const {
+  util::ByteReader r(payload);
+  const std::string type_name = r.read_string();
+  const util::Bytes body = r.read_bytes();
+  const auto info = find(type_name);
+  if (!info) {
+    throw util::NotFoundError("cannot decode unregistered event type '" +
+                              type_name + "'");
+  }
+  util::ByteReader body_reader(body);
+  return Decoded{type_name, info->decode(body_reader)};
+}
+
+std::size_t TypeRegistry::size() const {
+  const std::shared_lock lock(mu_);
+  return by_name_.size();
+}
+
+}  // namespace p2p::serial

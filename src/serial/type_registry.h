@@ -1,0 +1,128 @@
+// TypeRegistry: the runtime subtype lattice and codec table.
+//
+// TPS dispatches on event *types* arranged in a hierarchy (paper Fig. 7).
+// The registry records, per event type: its stable name, its parent's name,
+// and type-erased encode/decode functions. From this the TPS engine derives
+//   * the ancestry of a published object's dynamic type (which wires to
+//     publish on), and
+//   * a decoder for incoming payloads (which reconstructs the concrete
+//     subtype, so a subscriber to a base type receives the actual derived
+//     object — exactly Java's deserialize-then-upcast behaviour).
+#pragma once
+
+#include <any>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "serial/traits.h"
+#include "util/error.h"
+
+namespace p2p::serial {
+
+struct TypeInfo {
+  std::string name;
+  std::string parent;  // empty for hierarchy roots
+  std::type_index cpp_type{typeid(void)};
+  // Serializes a dynamically-typed event known to be exactly this type.
+  std::function<util::Bytes(const Event&)> encode;
+  // Reconstructs the concrete object from its payload.
+  std::function<EventPtr(util::ByteReader&)> decode;
+};
+
+class TypeRegistry {
+ public:
+  TypeRegistry() = default;
+  TypeRegistry(const TypeRegistry&) = delete;
+  TypeRegistry& operator=(const TypeRegistry&) = delete;
+
+  // The process-wide registry used by the TPS engine by default.
+  static TypeRegistry& global();
+
+  // Registers T (idempotent; re-registering the same T is a no-op, but a
+  // *different* type under an already-taken name throws InvalidArgument).
+  // The parent type, if any, must be registered first — this keeps the
+  // lattice acyclic by construction.
+  template <EventType T>
+  void register_event() {
+    TypeInfo info;
+    info.name = std::string(EventTraits<T>::kTypeName);
+    info.parent = std::string(
+        detail::parent_name<typename EventTraits<T>::Parent>());
+    info.cpp_type = std::type_index(typeid(T));
+    info.encode = [](const Event& e) {
+      util::ByteWriter w;
+      EventTraits<T>::encode(dynamic_cast<const T&>(e), w);
+      return w.take();
+    };
+    info.decode = [](util::ByteReader& r) -> EventPtr {
+      return std::make_shared<const T>(EventTraits<T>::decode(r));
+    };
+    add(std::move(info));
+  }
+
+  // Registers a dynamically-typed event kind whose TypeInfo is assembled
+  // by the caller (e.g. XML events, where many logical types share one C++
+  // class). Such events must override Event::tps_type_name(). The parent,
+  // if named, must already be registered.
+  void register_dynamic(TypeInfo info) { add(std::move(info)); }
+
+  // Lookup by stable name; nullopt if unknown.
+  [[nodiscard]] std::optional<TypeInfo> find(std::string_view name) const;
+  // Lookup by C++ dynamic type (e.g. std::type_index(typeid(event))).
+  [[nodiscard]] std::optional<TypeInfo> find(std::type_index type) const;
+
+  // [name, parent, grandparent, ...] up to the hierarchy root. Throws
+  // NotFoundError if name is unknown or the chain references an
+  // unregistered parent.
+  [[nodiscard]] std::vector<std::string> ancestry(std::string_view name) const;
+
+  // True iff `name` equals `ancestor` or has it in its ancestry.
+  [[nodiscard]] bool is_subtype(std::string_view name,
+                                std::string_view ancestor) const;
+
+  // All registered names whose ancestry contains `name` (including itself).
+  [[nodiscard]] std::vector<std::string> subtypes(std::string_view name) const;
+
+  // Serializes an event by its *dynamic* type. Throws NotFoundError if the
+  // dynamic type was never registered. The returned payload is prefixed by
+  // the type name so the receiving side can pick the right decoder.
+  [[nodiscard]] util::Bytes encode_tagged(const Event& event) const;
+
+  // Inverse of encode_tagged: reads the tag, decodes the body. Returns the
+  // concrete type name alongside the reconstructed object.
+  struct Decoded {
+    std::string type_name;
+    EventPtr event;
+  };
+  [[nodiscard]] Decoded decode_tagged(
+      std::span<const std::uint8_t> payload) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void add(TypeInfo info);
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, TypeInfo> by_name_;
+  std::unordered_map<std::type_index, std::string> by_type_;
+};
+
+// Registers T preceded by its whole ancestor chain (parents must be
+// registered before children; this does it in one call). Idempotent.
+template <EventType T>
+void register_event_with_ancestors(
+    TypeRegistry& registry = TypeRegistry::global()) {
+  using Parent = typename EventTraits<T>::Parent;
+  if constexpr (!std::same_as<Parent, NoParent>) {
+    register_event_with_ancestors<Parent>(registry);
+  }
+  registry.register_event<T>();
+}
+
+}  // namespace p2p::serial

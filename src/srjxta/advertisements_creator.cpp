@@ -1,0 +1,52 @@
+#include "srjxta/advertisements_creator.h"
+
+namespace p2p::srjxta {
+
+jxta::PeerGroupAdvertisement
+AdvertisementsCreator::create_peer_group_advertisement(
+    const std::string& name) const {
+  // Lines 10-13: the pipe advertisement; its name is the topic name.
+  jxta::PipeAdvertisement pipe_adv;
+  pipe_adv.pid = jxta::PipeId::generate();
+  pipe_adv.name = name;
+  pipe_adv.type = jxta::PipeAdvertisement::Type::kPropagate;
+
+  // Lines 16-24.
+  jxta::PeerGroupAdvertisement adv;
+  adv.gid = jxta::PeerGroupId::generate();
+  adv.creator = peer_.id();  // line 19: setPid(localPeerId)
+  adv.name = std::string(kPsPrefix) + pipe_adv.name;  // line 21
+  adv.app = "sr-jxta";
+  adv.group_impl = "builtin";
+  adv.is_rendezvous = true;  // line 35
+
+  // Lines 27-35: the wire service advertisement.
+  jxta::ServiceAdvertisement wire =
+      jxta::WireService::make_service_advertisement(pipe_adv);
+  adv.services.emplace(wire.name, std::move(wire));
+
+  // Lines 37-41: the resolver service entry with the local peer id param.
+  jxta::ServiceAdvertisement resolver;
+  resolver.name = "jxta.service.resolver";
+  resolver.version = "1.0";
+  resolver.uri = "jxta://resolver";
+  resolver.code = "builtin:resolver";
+  resolver.security = "none";
+  resolver.params.push_back(peer_.id().to_string());
+  adv.services.emplace(resolver.name, std::move(resolver));
+
+  jxta::ServiceAdvertisement membership =
+      jxta::MembershipService::make_service_advertisement(std::nullopt);
+  adv.services.emplace(membership.name, std::move(membership));
+
+  return adv;
+}
+
+void AdvertisementsCreator::publish_advertisement(
+    const jxta::PeerGroupAdvertisement& adv, std::int64_t lifetime_ms) const {
+  // Line 51: local stable storage; line 52: remote publish.
+  discovery_.publish(adv, jxta::DiscoveryType::kGroup, lifetime_ms);
+  discovery_.remote_publish(adv, jxta::DiscoveryType::kGroup, lifetime_ms);
+}
+
+}  // namespace p2p::srjxta

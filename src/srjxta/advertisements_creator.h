@@ -1,0 +1,39 @@
+// SR-JXTA: the paper's AdvertisementsCreator (Fig. 15), hand-coded against
+// the JXTA library without the TPS layer.
+//
+// This whole directory is the *baseline* of the paper's comparison: "our
+// aim here is to create the very same application than the one with TPS"
+// (§4.4) — identical functionality, no generics, no type safety: payloads
+// are raw bytes the application must cast/parse itself.
+#pragma once
+
+#include "jxta/peer.h"
+
+namespace p2p::srjxta {
+
+// The paper's PS_PREFIX, shared with the TPS layer so the two
+// implementations interoperate on the wire.
+inline constexpr std::string_view kPsPrefix = "PS_";
+
+class AdvertisementsCreator {
+ public:
+  AdvertisementsCreator(jxta::Peer& root_peer,
+                        jxta::DiscoveryService& discovery)
+      : peer_(root_peer), discovery_(discovery) {}
+
+  // Fig. 15 lines 8-48: a PipeAdvertisement named after the topic, wrapped
+  // in a PeerGroupAdvertisement named PS_PREFIX + topic that embeds the
+  // wire service (and the resolver/membership entries).
+  [[nodiscard]] jxta::PeerGroupAdvertisement create_peer_group_advertisement(
+      const std::string& name) const;
+
+  // Fig. 15 lines 50-53: local publish + remotePublish.
+  void publish_advertisement(const jxta::PeerGroupAdvertisement& adv,
+                             std::int64_t lifetime_ms) const;
+
+ private:
+  jxta::Peer& peer_;
+  jxta::DiscoveryService& discovery_;
+};
+
+}  // namespace p2p::srjxta

@@ -1,0 +1,150 @@
+#include "srjxta/advertisements_finder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace p2p::srjxta {
+
+using jxta::DiscoveryType;
+using jxta::PeerGroupAdvertisement;
+
+AdvertisementsFinder::AdvertisementsFinder(jxta::Peer& peer,
+                                           DiscoveryType type,
+                                           jxta::DiscoveryService& discovery,
+                                           std::string prefix)
+    : peer_(peer), type_(type), discovery_(discovery),
+      prefix_(std::move(prefix)) {}
+
+AdvertisementsFinder::~AdvertisementsFinder() { stop(); }
+
+void AdvertisementsFinder::add_listener(
+    AdvertisementsListenerInterface* listener) {
+  std::vector<PeerGroupAdvertisement> replay;
+  {
+    const std::lock_guard lock(mu_);
+    listeners_.push_back(listener);
+    replay = advertisements_;
+  }
+  for (const auto& adv : replay) listener->handle_new_advertisements(adv);
+}
+
+void AdvertisementsFinder::remove_listener(
+    AdvertisementsListenerInterface* listener) {
+  std::unique_lock lock(mu_);
+  std::erase(listeners_, listener);
+  // The caller may destroy the listener right after this returns; wait out
+  // any dispatch currently running on another thread.
+  fire_cv_.wait(lock, [&] { return !firing_.contains(listener); });
+}
+
+void AdvertisementsFinder::flush_old() {
+  // Fig. 16 lines 9-11 flush ADV, PEER and GROUP caches.
+  discovery_.flush(DiscoveryType::kAdv);
+  discovery_.flush(DiscoveryType::kPeer);
+  discovery_.flush(DiscoveryType::kGroup);
+}
+
+void AdvertisementsFinder::run_once() {
+  // Lines 16-17: remote query by Name = prefix*.
+  discovery_.get_remote(type_, "Name", prefix_ + "*",
+                        jxta::DiscoveryService::kDefaultThreshold);
+  // Lines 24-25: collect local matches.
+  const auto local = discovery_.get_local(type_, "Name", prefix_ + "*");
+  for (const auto& adv : local) {
+    if (const auto* group =
+            dynamic_cast<const PeerGroupAdvertisement*>(adv.get())) {
+      handle_new_advertisement(*group);
+    }
+  }
+}
+
+void AdvertisementsFinder::start(util::Duration period) {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  discovery_listener_ =
+      discovery_.add_listener([this](const jxta::DiscoveryEvent& event) {
+        if (event.type != type_) return;
+        for (const auto& adv : event.advertisements) {
+          if (const auto* group =
+                  dynamic_cast<const PeerGroupAdvertisement*>(adv.get())) {
+            if (util::glob_match(prefix_ + "*", group->name)) {
+              handle_new_advertisement(*group);
+            }
+          }
+        }
+      });
+  run_once();
+  if (period.count() > 0) {
+    timer_handle_ = peer_.timer().schedule(period, [this] { run_once(); });
+  }
+}
+
+void AdvertisementsFinder::stop() {
+  std::uint64_t timer_handle = 0;
+  std::uint64_t discovery_listener = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    timer_handle = timer_handle_;
+    discovery_listener = discovery_listener_;
+  }
+  if (timer_handle != 0) peer_.timer().cancel(timer_handle);
+  if (discovery_listener != 0) discovery_.remove_listener(discovery_listener);
+}
+
+bool AdvertisementsFinder::find_advertisement(
+    const std::vector<PeerGroupAdvertisement>& known,
+    const PeerGroupAdvertisement& adv) {
+  // Fig. 16 lines 42-60: compare group ids.
+  for (const auto& candidate : known) {
+    if (candidate.gid == adv.gid) return true;
+  }
+  return false;
+}
+
+void AdvertisementsFinder::handle_new_advertisement(
+    const PeerGroupAdvertisement& adv) {
+  std::vector<AdvertisementsListenerInterface*> listeners;
+  {
+    const std::lock_guard lock(mu_);
+    if (!seen_gids_.insert(adv.gid.to_string()).second) return;
+    advertisements_.push_back(adv);
+    listeners = listeners_;
+  }
+  // Fig. 16 lines 34-40: add, then dispatch to every registered listener.
+  for (auto* l : listeners) {
+    {
+      const std::lock_guard lock(mu_);
+      // Skip if concurrently removed; otherwise pin it for the call.
+      if (std::find(listeners_.begin(), listeners_.end(), l) ==
+          listeners_.end()) {
+        continue;
+      }
+      ++firing_[l];
+    }
+    try {
+      l->handle_new_advertisements(adv);
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "srjxta") << "listener threw: " << e.what();
+    }
+    {
+      const std::lock_guard lock(mu_);
+      if (--firing_[l] == 0) firing_.erase(l);
+    }
+    fire_cv_.notify_all();
+  }
+}
+
+std::vector<PeerGroupAdvertisement> AdvertisementsFinder::advertisements()
+    const {
+  const std::lock_guard lock(mu_);
+  return advertisements_;
+}
+
+}  // namespace p2p::srjxta

@@ -1,0 +1,84 @@
+// SR-JXTA: the paper's AdvertisementsFinder (Fig. 16) and its listener
+// interface, hand-coded against the JXTA library without the TPS layer.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "jxta/peer.h"
+
+namespace p2p::srjxta {
+
+// Paper: AdvertisementsListenerInterface.handleNewAdvertisements(adv).
+class AdvertisementsListenerInterface {
+ public:
+  virtual ~AdvertisementsListenerInterface() = default;
+  virtual void handle_new_advertisements(
+      const jxta::PeerGroupAdvertisement& adv) = 0;
+};
+
+// Fig. 16: flushes the stale cache, then loops: remote query for group
+// advertisements whose Name matches prefix*, sleep, collect local matches,
+// dispatch the new ones. The paper ran this as a Java thread; here the loop
+// body is run_once(), driven by the peer's timer (start()) or called
+// directly (tests, init phases).
+class AdvertisementsFinder {
+ public:
+  AdvertisementsFinder(jxta::Peer& peer, jxta::DiscoveryType type,
+                       jxta::DiscoveryService& discovery, std::string prefix);
+  ~AdvertisementsFinder();
+
+  AdvertisementsFinder(const AdvertisementsFinder&) = delete;
+  AdvertisementsFinder& operator=(const AdvertisementsFinder&) = delete;
+
+  // Listeners must outlive the finder or be removed first.
+  void add_listener(AdvertisementsListenerInterface* listener);
+  // Synchronous: blocks until in-flight dispatches to this listener finish
+  // (a listener must therefore not remove itself from inside
+  // handle_new_advertisements).
+  void remove_listener(AdvertisementsListenerInterface* listener);
+
+  // One iteration of the Fig. 16 while-loop (remote query + local scan).
+  void run_once();
+
+  // Fig. 16 lines 9-11: drop the possibly-stale cache before searching.
+  void flush_old();
+
+  // Periodic run_once() on the peer timer, plus reaction to discovery
+  // events as they arrive (no need to wait for the next poll).
+  void start(util::Duration period);
+  void stop();
+
+  // Fig. 16 lines 42-60: is `adv` already in `known` (compared by group
+  // id)? Exposed for tests, like the paper exposes findAdvertisement.
+  [[nodiscard]] static bool find_advertisement(
+      const std::vector<jxta::PeerGroupAdvertisement>& known,
+      const jxta::PeerGroupAdvertisement& adv);
+
+  [[nodiscard]] std::vector<jxta::PeerGroupAdvertisement> advertisements()
+      const;
+
+ private:
+  void handle_new_advertisement(const jxta::PeerGroupAdvertisement& adv);
+
+  jxta::Peer& peer_;
+  const jxta::DiscoveryType type_;
+  jxta::DiscoveryService& discovery_;
+  const std::string prefix_;
+
+  mutable std::mutex mu_;
+  std::condition_variable fire_cv_;
+  std::vector<AdvertisementsListenerInterface*> listeners_;
+  // In-flight dispatch counts per listener (dispatches can run on the peer
+  // executor, the timer thread and caller threads concurrently).
+  std::map<AdvertisementsListenerInterface*, int> firing_;
+  std::vector<jxta::PeerGroupAdvertisement> advertisements_;
+  std::set<std::string> seen_gids_;
+  std::uint64_t timer_handle_ = 0;
+  std::uint64_t discovery_listener_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace p2p::srjxta

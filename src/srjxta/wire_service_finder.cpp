@@ -1,0 +1,57 @@
+#include "srjxta/wire_service_finder.h"
+
+namespace p2p::srjxta {
+
+WireServiceFinder::WireServiceFinder(jxta::Peer& peer_group,
+                                     jxta::PeerGroupAdvertisement pg_adv)
+    : peer_(peer_group), pg_adv_(std::move(pg_adv)) {}
+
+void WireServiceFinder::lookup_wire_service() {
+  // Fig. 17 line 9: both the group and the advertisement must be present.
+  const jxta::ServiceAdvertisement* wire =
+      pg_adv_.service(jxta::WireService::kWireName);
+  if (wire == nullptr || !wire->pipe.has_value()) {
+    throw WireServiceFinderException("Unable to lookup the wire service");
+  }
+  pipe_adv_ = *wire->pipe;
+  // Lines 10-12: newPeerGroup + init + lookupService(WireName).
+  wire_group_ = peer_.create_group(pg_adv_);
+  (void)wire_group_->lookup_service(jxta::WireService::kWireName);
+}
+
+const jxta::PipeAdvertisement& WireServiceFinder::get_pipe_advertisement()
+    const {
+  if (!pipe_adv_) {
+    throw WireServiceFinderException("wire service not looked up");
+  }
+  return *pipe_adv_;
+}
+
+MyInputPipe WireServiceFinder::create_input_pipe() {
+  if (!wire_group_) lookup_wire_service();
+  try {
+    return MyInputPipe{wire_group_->wire().create_input_pipe(*pipe_adv_),
+                       pg_adv_};
+  } catch (const std::exception&) {
+    throw WireServiceFinderException("Unable to create the input pipe.");
+  }
+}
+
+MyOutputPipe WireServiceFinder::create_output_pipe() {
+  if (!wire_group_) lookup_wire_service();
+  try {
+    my_output_pipe_ = MyOutputPipe{
+        wire_group_->wire().create_output_pipe(*pipe_adv_), pg_adv_};
+    return my_output_pipe_;
+  } catch (const std::exception&) {
+    throw WireServiceFinderException("Unable to create the output pipe.");
+  }
+}
+
+void WireServiceFinder::publish(const jxta::Message& msg) {
+  // Fig. 17 line 51: send a dup() so every transmission is independently
+  // identifiable.
+  my_output_pipe_.send(msg.dup());
+}
+
+}  // namespace p2p::srjxta

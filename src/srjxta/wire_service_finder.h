@@ -1,0 +1,63 @@
+// SR-JXTA: the paper's WireServiceFinder (Fig. 17) with its MyInputPipe /
+// MyOutputPipe wrappers, hand-coded against the JXTA library.
+#pragma once
+
+#include "jxta/peer.h"
+
+namespace p2p::srjxta {
+
+class WireServiceFinderException : public util::P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+// Paper: MyInputPipe — the wire input pipe plus the advertisement it came
+// from.
+struct MyInputPipe {
+  std::shared_ptr<jxta::WireInputPipe> pipe;
+  jxta::PeerGroupAdvertisement source_adv;
+};
+
+// Paper: MyOutputPipe — same for the sending side. send() has the same
+// signature as the standard pipe.
+struct MyOutputPipe {
+  std::shared_ptr<jxta::WireOutputPipe> pipe;
+  jxta::PeerGroupAdvertisement source_adv;
+
+  bool send(const jxta::Message& msg) { return pipe && pipe->send(msg); }
+};
+
+class WireServiceFinder {
+ public:
+  // Fig. 17 lines 3-6.
+  WireServiceFinder(jxta::Peer& peer_group,
+                    jxta::PeerGroupAdvertisement pg_adv);
+
+  // Fig. 17 lines 8-16: instantiate the group, look up its wire service.
+  // Throws WireServiceFinderException if the advertisement has no wire.
+  void lookup_wire_service();
+
+  // Fig. 17 lines 18-25: the pipe advertisement out of the wire service.
+  [[nodiscard]] const jxta::PipeAdvertisement& get_pipe_advertisement() const;
+
+  // Fig. 17 lines 27-36 / 38-48.
+  [[nodiscard]] MyInputPipe create_input_pipe();
+  [[nodiscard]] MyOutputPipe create_output_pipe();
+
+  // Fig. 17 lines 50-52: this.myOutputPipe.send(msg.dup()).
+  void publish(const jxta::Message& msg);
+
+  // The group kept alive for the pipes.
+  [[nodiscard]] std::shared_ptr<jxta::PeerGroup> wire_group() const {
+    return wire_group_;
+  }
+
+ private:
+  jxta::Peer& peer_;
+  const jxta::PeerGroupAdvertisement pg_adv_;
+  std::shared_ptr<jxta::PeerGroup> wire_group_;
+  std::optional<jxta::PipeAdvertisement> pipe_adv_;
+  MyOutputPipe my_output_pipe_;
+};
+
+}  // namespace p2p::srjxta

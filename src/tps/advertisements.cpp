@@ -1,0 +1,204 @@
+#include "tps/advertisements.h"
+
+#include "tps/exceptions.h"
+#include "util/logging.h"
+
+namespace p2p::tps {
+
+using jxta::DiscoveryType;
+using jxta::PeerGroupAdvertisement;
+using jxta::PipeAdvertisement;
+
+// --- AdvertisementsCreator -------------------------------------------------
+
+PeerGroupAdvertisement AdvertisementsCreator::create_type_advertisement(
+    const std::string& type_name) const {
+  // Paper Fig. 15 lines 10-13: the pipe advertisement's name is the name of
+  // the type we are interested in.
+  PipeAdvertisement pipe;
+  pipe.pid = jxta::PipeId::generate();
+  pipe.name = type_name;
+  pipe.type = PipeAdvertisement::Type::kPropagate;
+
+  // Lines 16-24: the group advertisement wrapping the type.
+  PeerGroupAdvertisement adv;
+  adv.gid = jxta::PeerGroupId::generate();
+  adv.creator = peer_.id();
+  adv.name = std::string(kPsPrefix) + pipe.name;
+  adv.app = "tps";
+  adv.group_impl = "builtin";
+  adv.is_rendezvous = true;  // line 35: setIsRendezvous(true)
+
+  // Lines 27-44: embed the wire service (with the pipe) plus the standard
+  // resolver/membership service entries.
+  jxta::ServiceAdvertisement wire =
+      jxta::WireService::make_service_advertisement(pipe);
+  adv.services.emplace(wire.name, std::move(wire));
+
+  jxta::ServiceAdvertisement membership =
+      jxta::MembershipService::make_service_advertisement(std::nullopt);
+  adv.services.emplace(membership.name, std::move(membership));
+
+  jxta::ServiceAdvertisement resolver;
+  resolver.name = "jxta.service.resolver";
+  resolver.version = "1.0";
+  resolver.uri = "jxta://resolver";
+  resolver.code = "builtin:resolver";
+  resolver.security = "none";
+  resolver.params.push_back(peer_.id().to_string());  // lines 37-41
+  adv.services.emplace(resolver.name, std::move(resolver));
+
+  return adv;
+}
+
+void AdvertisementsCreator::publish_advertisement(
+    const PeerGroupAdvertisement& adv, std::int64_t lifetime_ms) const {
+  // Fig. 15 lines 50-53: local stable storage, then remote push.
+  peer_.discovery().remote_publish(adv, DiscoveryType::kGroup, lifetime_ms);
+}
+
+// --- TpsAdvertisementsFinder --------------------------------------------------
+
+TpsAdvertisementsFinder::TpsAdvertisementsFinder(jxta::Peer& peer,
+                                                 std::string type_name,
+                                                 Criteria criteria)
+    : peer_(peer),
+      type_name_(std::move(type_name)),
+      criteria_(std::move(criteria)) {}
+
+TpsAdvertisementsFinder::~TpsAdvertisementsFinder() { stop(); }
+
+void TpsAdvertisementsFinder::add_listener(Listener listener) {
+  std::vector<PeerGroupAdvertisement> already_found;
+  {
+    const std::lock_guard lock(mu_);
+    listeners_.push_back(listener);
+    already_found = found_;
+  }
+  // Replay: a listener attached late still learns every advertisement.
+  for (const auto& adv : already_found) listener(adv);
+}
+
+void TpsAdvertisementsFinder::start(util::Duration period) {
+  {
+    const std::lock_guard lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  // React immediately to discovery responses instead of only polling.
+  discovery_listener_ = peer_.discovery().add_listener(
+      [this](const jxta::DiscoveryEvent& event) {
+        if (event.type != DiscoveryType::kGroup) return;
+        for (const auto& adv : event.advertisements) {
+          if (const auto* group =
+                  dynamic_cast<const PeerGroupAdvertisement*>(adv.get())) {
+            if (group->name == std::string(kPsPrefix) + type_name_) {
+              handle_new(*group);
+            }
+          }
+        }
+      });
+  search_once();
+  // Periodic re-query (paper Fig. 16's while loop with SLEEPING_TIME).
+  if (period.count() > 0) {
+    timer_handle_ =
+        peer_.timer().schedule(period, [this] { search_once(); });
+  }
+}
+
+void TpsAdvertisementsFinder::stop() {
+  std::uint64_t discovery_listener = 0;
+  std::uint64_t timer_handle = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    discovery_listener = discovery_listener_;
+    timer_handle = timer_handle_;
+  }
+  if (timer_handle != 0) peer_.timer().cancel(timer_handle);
+  if (discovery_listener != 0) {
+    peer_.discovery().remove_listener(discovery_listener);
+  }
+}
+
+void TpsAdvertisementsFinder::search_once() {
+  peer_.discovery().get_remote(DiscoveryType::kGroup, "Name",
+                               std::string(kPsPrefix) + type_name_ + "*",
+                               jxta::DiscoveryService::kDefaultThreshold);
+  scan_local();
+}
+
+void TpsAdvertisementsFinder::scan_local() {
+  const auto advs = peer_.discovery().get_local(
+      DiscoveryType::kGroup, "Name", std::string(kPsPrefix) + type_name_);
+  for (const auto& adv : advs) {
+    if (const auto* group =
+            dynamic_cast<const PeerGroupAdvertisement*>(adv.get())) {
+      handle_new(*group);
+    }
+  }
+}
+
+void TpsAdvertisementsFinder::handle_new(const PeerGroupAdvertisement& adv) {
+  if (!criteria_.accepts(adv)) return;
+  std::vector<Listener> listeners;
+  {
+    const std::lock_guard lock(mu_);
+    if (!seen_gids_.insert(adv.gid.to_string()).second) return;
+    found_.push_back(adv);
+    listeners = listeners_;
+  }
+  P2P_LOG(kDebug, "tps.finder")
+      << peer_.name() << ": new advertisement for " << type_name_
+      << " gid=" << adv.gid.to_string();
+  for (const auto& l : listeners) {
+    try {
+      l(adv);
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "tps.finder") << "listener threw: " << e.what();
+    }
+  }
+}
+
+std::vector<PeerGroupAdvertisement> TpsAdvertisementsFinder::found() const {
+  const std::lock_guard lock(mu_);
+  return found_;
+}
+
+// --- TpsWireServiceFinder -----------------------------------------------------
+
+TpsWireServiceFinder::TpsWireServiceFinder(
+    jxta::Peer& peer, PeerGroupAdvertisement group_adv)
+    : peer_(peer), group_adv_(std::move(group_adv)) {}
+
+void TpsWireServiceFinder::lookup_wire_service() {
+  const jxta::ServiceAdvertisement* wire =
+      group_adv_.service(jxta::WireService::kWireName);
+  if (wire == nullptr || !wire->pipe.has_value()) {
+    throw PsException("advertisement '" + group_adv_.name +
+                      "' carries no wire service");
+  }
+  pipe_adv_ = *wire->pipe;
+  group_ = peer_.create_group(group_adv_);
+}
+
+const PipeAdvertisement& TpsWireServiceFinder::pipe_advertisement() const {
+  if (!pipe_adv_) {
+    throw PsException("lookup_wire_service() has not succeeded");
+  }
+  return *pipe_adv_;
+}
+
+std::shared_ptr<jxta::WireInputPipe> TpsWireServiceFinder::create_input_pipe() {
+  if (!group_) lookup_wire_service();
+  return group_->wire().create_input_pipe(*pipe_adv_);
+}
+
+std::shared_ptr<jxta::WireOutputPipe>
+TpsWireServiceFinder::create_output_pipe() {
+  if (!group_) lookup_wire_service();
+  return group_->wire().create_output_pipe(*pipe_adv_);
+}
+
+}  // namespace p2p::tps

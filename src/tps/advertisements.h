@@ -1,0 +1,123 @@
+// The TPS "Advs" block (paper Fig. 10/11): AdvertisementsCreator,
+// TpsAdvertisementsFinder and TpsWireServiceFinder.
+//
+// One event type is represented by one (or, transiently, several)
+// PeerGroupAdvertisement named "PS_<type>" that embeds a wire service whose
+// propagate pipe carries the type's events (paper §3.4: "one type is
+// represented by one advertisement"; Fig. 15: the pipe advertisement's name
+// is the name of the type).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <set>
+
+#include "jxta/peer.h"
+#include "tps/criteria.h"
+
+namespace p2p::tps {
+
+// Group advertisements for event types carry this name prefix (the paper's
+// PS_PREFIX, Fig. 15 line 21).
+inline constexpr std::string_view kPsPrefix = "PS_";
+
+// Builds and publishes the advertisement for an event type (paper Fig. 15).
+class AdvertisementsCreator {
+ public:
+  explicit AdvertisementsCreator(jxta::Peer& peer) : peer_(peer) {}
+
+  // Creates a fresh group advertisement for `type_name`: new group id, new
+  // propagate pipe named after the type, embedded wire + open membership
+  // services. Ids are random (as in the paper), so two peers creating
+  // "the same" type advertisement concurrently produce distinct
+  // advertisements — which is exactly why the TPS layer manages multiple
+  // advertisements per type and deduplicates events.
+  [[nodiscard]] jxta::PeerGroupAdvertisement create_type_advertisement(
+      const std::string& type_name) const;
+
+  // publish + remotePublish (paper Fig. 15 lines 50-53).
+  void publish_advertisement(const jxta::PeerGroupAdvertisement& adv,
+                             std::int64_t lifetime_ms) const;
+
+ private:
+  jxta::Peer& peer_;
+};
+
+// Continuously searches for type advertisements and notifies listeners of
+// each new one (paper Fig. 16: flush stale, query remotely, sleep, collect
+// locally, dispatch to AdvertisementsListeners — here the periodic loop
+// runs on the peer's timer instead of a dedicated Java thread).
+class TpsAdvertisementsFinder {
+ public:
+  using Listener = std::function<void(const jxta::PeerGroupAdvertisement&)>;
+
+  TpsAdvertisementsFinder(jxta::Peer& peer, std::string type_name,
+                          Criteria criteria);
+  ~TpsAdvertisementsFinder();
+
+  TpsAdvertisementsFinder(const TpsAdvertisementsFinder&) = delete;
+  TpsAdvertisementsFinder& operator=(const TpsAdvertisementsFinder&) = delete;
+
+  // New advertisements (never seen by this finder, accepted by the
+  // criteria) are delivered on discovery/timer threads.
+  void add_listener(Listener listener);
+
+  // Starts periodic searching. search_once() may be called any time for an
+  // immediate round.
+  void start(util::Duration period);
+  void stop();
+  void search_once();
+
+  [[nodiscard]] std::vector<jxta::PeerGroupAdvertisement> found() const;
+
+ private:
+  void scan_local();
+  void handle_new(const jxta::PeerGroupAdvertisement& adv);
+
+  jxta::Peer& peer_;
+  const std::string type_name_;
+  const Criteria criteria_;
+
+  mutable std::mutex mu_;
+  std::vector<Listener> listeners_;
+  std::set<std::string> seen_gids_;
+  std::vector<jxta::PeerGroupAdvertisement> found_;
+  std::uint64_t discovery_listener_ = 0;
+  std::uint64_t timer_handle_ = 0;
+  bool started_ = false;
+};
+
+// Looks up the wire service of a discovered type advertisement and opens
+// pipes on it (paper Fig. 17: newPeerGroup + init + lookupService(WireName)
+// + createInputPipe/createOutputPipe).
+class TpsWireServiceFinder {
+ public:
+  TpsWireServiceFinder(jxta::Peer& peer,
+                       jxta::PeerGroupAdvertisement group_adv);
+
+  // Instantiates the group and verifies it carries a wire service with a
+  // pipe. Throws PsException otherwise.
+  void lookup_wire_service();
+
+  [[nodiscard]] std::shared_ptr<jxta::WireInputPipe> create_input_pipe();
+  [[nodiscard]] std::shared_ptr<jxta::WireOutputPipe> create_output_pipe();
+
+  [[nodiscard]] const jxta::PeerGroupAdvertisement& group_advertisement()
+      const {
+    return group_adv_;
+  }
+  [[nodiscard]] const jxta::PipeAdvertisement& pipe_advertisement() const;
+  // The instantiated group; valid after lookup_wire_service(). The caller
+  // must keep the group alive for as long as the pipes are in use.
+  [[nodiscard]] std::shared_ptr<jxta::PeerGroup> group() const {
+    return group_;
+  }
+
+ private:
+  jxta::Peer& peer_;
+  const jxta::PeerGroupAdvertisement group_adv_;
+  std::shared_ptr<jxta::PeerGroup> group_;
+  std::optional<jxta::PipeAdvertisement> pipe_adv_;
+};
+
+}  // namespace p2p::tps

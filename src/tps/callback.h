@@ -1,0 +1,81 @@
+// Subscriber-side interfaces: TpsCallback and TpsExceptionHandler.
+//
+// Mirrors the paper's TPSCallBackInterface<Type> and
+// TPSExceptionHandler<Type> (§3.3, §4.3.3). A subscription registers a
+// (call-back, exception-handler) pair; the pair is also the unit of
+// unsubscription (paper method (4) removes exactly the specified pair).
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include "serial/traits.h"
+
+namespace p2p::tps {
+
+// Handles received events of type T (and of any subtype of T — the object
+// passed is the reconstructed concrete instance, observed through T&).
+template <typename T>
+class TpsCallback {
+ public:
+  virtual ~TpsCallback() = default;
+  // May throw (typically CallBackException); the exception is routed to the
+  // TpsExceptionHandler registered with this callback.
+  virtual void handle(const T& event) = 0;
+};
+
+// Handles exceptions raised while dispatching events to the paired
+// callback (paper: handle(Throwable)).
+template <typename T>
+class TpsExceptionHandler {
+ public:
+  virtual ~TpsExceptionHandler() = default;
+  virtual void handle(std::exception_ptr error) = 0;
+};
+
+// --- functional adapters ---------------------------------------------------
+
+template <typename T>
+class FunctionCallback final : public TpsCallback<T> {
+ public:
+  explicit FunctionCallback(std::function<void(const T&)> fn)
+      : fn_(std::move(fn)) {}
+  void handle(const T& event) override { fn_(event); }
+
+ private:
+  std::function<void(const T&)> fn_;
+};
+
+template <typename T>
+class FunctionExceptionHandler final : public TpsExceptionHandler<T> {
+ public:
+  explicit FunctionExceptionHandler(std::function<void(std::exception_ptr)> fn)
+      : fn_(std::move(fn)) {}
+  void handle(std::exception_ptr error) override { fn_(error); }
+
+ private:
+  std::function<void(std::exception_ptr)> fn_;
+};
+
+// Wraps a lambda as a callback object.
+template <typename T>
+std::shared_ptr<TpsCallback<T>> make_callback(
+    std::function<void(const T&)> fn) {
+  return std::make_shared<FunctionCallback<T>>(std::move(fn));
+}
+
+// Wraps a lambda as an exception handler.
+template <typename T>
+std::shared_ptr<TpsExceptionHandler<T>> make_exception_handler(
+    std::function<void(std::exception_ptr)> fn) {
+  return std::make_shared<FunctionExceptionHandler<T>>(std::move(fn));
+}
+
+// An exception handler that silently swallows errors (explicit opt-in).
+template <typename T>
+std::shared_ptr<TpsExceptionHandler<T>> ignore_exceptions() {
+  return make_exception_handler<T>([](std::exception_ptr) {});
+}
+
+}  // namespace p2p::tps

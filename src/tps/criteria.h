@@ -1,0 +1,33 @@
+// Criteria: advertisement filtering for TPS initialization.
+//
+// The paper's newInterface takes "a criteria we want for filtering
+// advertisements (may be null)" (§4.3.2). A Criteria decides which
+// discovered type advertisements the engine binds to — e.g. only those
+// created by certain peers, or carrying certain keywords.
+#pragma once
+
+#include <functional>
+
+#include "jxta/advertisement.h"
+
+namespace p2p::tps {
+
+class Criteria {
+ public:
+  using Predicate = std::function<bool(const jxta::PeerGroupAdvertisement&)>;
+
+  // Default: accept everything (the paper's `null` criteria).
+  Criteria() = default;
+  explicit Criteria(Predicate predicate) : predicate_(std::move(predicate)) {}
+
+  [[nodiscard]] bool accepts(const jxta::PeerGroupAdvertisement& adv) const {
+    return !predicate_ || predicate_(adv);
+  }
+
+  [[nodiscard]] bool is_null() const { return !predicate_; }
+
+ private:
+  Predicate predicate_;
+};
+
+}  // namespace p2p::tps

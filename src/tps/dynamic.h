@@ -1,0 +1,101 @@
+// DynamicTpsInterface: the TPS API for runtime-described types.
+//
+// The statically-typed TpsEngine<T>/TpsInterface<T> require the event type
+// at compile time. Dynamically-typed (XML) events name their type at run
+// time, so this interface takes the type name as a constructor argument
+// and trades the compile-time guarantees for the paper's §6 "loose"
+// coupling. Everything underneath — advertisements, wires, dedup,
+// hierarchy dispatch — is the same TpsSession the typed interface uses.
+#pragma once
+
+#include "tps/session.h"
+#include "tps/xml_event.h"
+
+namespace p2p::tps {
+
+class DynamicTpsInterface {
+ public:
+  using Callback = std::function<void(const XmlEvent&)>;
+  using ExceptionHandler = std::function<void(std::exception_ptr)>;
+
+  // Registers (idempotently) the XML type and initializes the session
+  // (blocking, like TpsEngine::new_interface). `parent_name` hooks the
+  // type into a hierarchy; it must already be registered.
+  DynamicTpsInterface(jxta::Peer& peer, const std::string& type_name,
+                      const std::string& parent_name = {},
+                      TpsConfig config = {}, Criteria criteria = {})
+      : session_(std::make_shared<TpsSession>(peer, type_name,
+                                              std::move(criteria), config)) {
+    register_xml_event_type(type_name, parent_name);
+    session_->init();
+  }
+
+  // Publishes the event under ITS OWN type name, which must equal the
+  // session's type or be a registered subtype of it (hierarchy dispatch).
+  void publish(const XmlEvent& event) {
+    session_->publish(std::make_shared<const XmlEvent>(event));
+  }
+
+  // Subscribes a callback (with its exception handler, as in the paper's
+  // method (2)). Returns a token usable with unsubscribe().
+  struct Token {
+    const void* callback_tag = nullptr;
+    const void* handler_tag = nullptr;
+  };
+  Token subscribe(Callback callback, ExceptionHandler handler) {
+    if (!callback || !handler) {
+      throw PsException("subscribe: callback and handler are required");
+    }
+    auto cb = std::make_shared<Callback>(std::move(callback));
+    auto eh = std::make_shared<ExceptionHandler>(std::move(handler));
+    TpsSession::Subscriber sub;
+    sub.callback_tag = cb.get();
+    sub.handler_tag = eh.get();
+    sub.dispatch = [cb, eh](const serial::EventPtr& e) noexcept -> bool {
+      try {
+        const auto* xml_event = dynamic_cast<const XmlEvent*>(e.get());
+        if (xml_event == nullptr) {
+          throw PsException(
+              "delivered event is not dynamically typed; statically and "
+              "dynamically typed events do not mix within one type name");
+        }
+        (*cb)(*xml_event);
+        return true;
+      } catch (...) {
+        try {
+          (*eh)(std::current_exception());
+        } catch (...) {
+        }
+        return false;
+      }
+    };
+    session_->subscribe(std::move(sub));
+    return Token{cb.get(), eh.get()};
+  }
+
+  void unsubscribe(const Token& token) {
+    session_->unsubscribe(token.callback_tag, token.handler_tag);
+  }
+  void unsubscribe_all() { session_->unsubscribe_all(); }
+
+  [[nodiscard]] std::vector<std::shared_ptr<const XmlEvent>>
+  objects_received() const {
+    std::vector<std::shared_ptr<const XmlEvent>> out;
+    for (const auto& e : session_->objects_received()) {
+      if (auto typed = std::dynamic_pointer_cast<const XmlEvent>(e)) {
+        out.push_back(std::move(typed));
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] TpsStats stats() const { return session_->stats(); }
+  [[nodiscard]] const std::string& type_name() const {
+    return session_->type_name();
+  }
+
+ private:
+  std::shared_ptr<TpsSession> session_;
+};
+
+}  // namespace p2p::tps

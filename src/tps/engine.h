@@ -1,0 +1,178 @@
+// TpsEngine<T> / TpsInterface<T>: the paper's TPS API (Fig. 8), in C++.
+//
+//   Java (paper)                           C++ (this library)
+//   ------------------------------------   --------------------------------
+//   TPSEngine<SkiRental> tpse =            TpsEngine<SkiRental> tpse(peer);
+//     new TPSEngine<SkiRental>();
+//   TPSInterface tpsInt = tpse.            auto tpsInt = tpse.
+//     newInterface("JXTA", null,             new_interface();
+//     new SkiRental(), argv);
+//   tpsInt.publish(sr);                    tpsInt.publish(sr);
+//   tpsInt.subscribe(cb, exh);             tpsInt.subscribe(cb, exh);
+//   tpsInt.unsubscribe(cb, exh);           tpsInt.unsubscribe(cb, exh);
+//   tpsInt.unsubscribe();                  tpsInt.unsubscribe();
+//   tpsInt.objectsReceived();              tpsInt.objects_received();
+//   tpsInt.objectsSent();                  tpsInt.objects_sent();
+//
+// Two of newInterface's parameters disappear: "JXTA" (we have exactly one
+// substrate and it is passed as the Peer), and the witness instance of the
+// type (GJ erased type parameters so the paper had to pass one; C++
+// templates plus the EventTraits registry carry the type information).
+#pragma once
+
+#include "tps/callback.h"
+#include "tps/session.h"
+
+namespace p2p::tps {
+
+// The handle applications publish and subscribe through. Cheap to copy;
+// copies share one underlying session. The session shuts down when the
+// last copy is destroyed.
+template <serial::EventType T>
+class TpsInterface {
+ public:
+  // --- paper method (1) ----------------------------------------------------
+  // Publishes the event to all subscribers of its dynamic type and of every
+  // ancestor type. The object is copied (events are values in transit).
+  // NOTE: copying slices — this overload publishes exactly a T. To publish
+  // a *subtype* instance through a base-typed interface (hierarchy
+  // dispatch, Fig. 7), use the shared_ptr overload below, which preserves
+  // the dynamic type.
+  void publish(const T& event) {
+    session_->publish(std::make_shared<const T>(event));
+  }
+  // Publishing an already-shared event avoids the copy. The pointee must
+  // not change afterwards.
+  void publish(std::shared_ptr<const T> event) {
+    session_->publish(std::move(event));
+  }
+
+  // --- paper method (2) ----------------------------------------------------
+  void subscribe(std::shared_ptr<TpsCallback<T>> callback,
+                 std::shared_ptr<TpsExceptionHandler<T>> handler) {
+    if (!callback || !handler) {
+      throw PsException("subscribe: callback and handler are required");
+    }
+    session_->subscribe(make_subscriber(std::move(callback),
+                                        std::move(handler)));
+  }
+
+  // --- paper method (3) ----------------------------------------------------
+  // Registers several call-back objects "to handle the events in different
+  // ways" (e.g. a console log and a GUI sketch at once).
+  void subscribe(
+      const std::vector<std::shared_ptr<TpsCallback<T>>>& callbacks,
+      const std::vector<std::shared_ptr<TpsExceptionHandler<T>>>& handlers) {
+    if (callbacks.size() != handlers.size()) {
+      throw PsException("subscribe: one exception handler per call-back");
+    }
+    for (std::size_t i = 0; i < callbacks.size(); ++i) {
+      subscribe(callbacks[i], handlers[i]);
+    }
+  }
+
+  // --- paper method (4) ----------------------------------------------------
+  // Removes exactly the specified pair; other subscriptions are untouched.
+  void unsubscribe(const std::shared_ptr<TpsCallback<T>>& callback,
+                   const std::shared_ptr<TpsExceptionHandler<T>>& handler) {
+    session_->unsubscribe(callback.get(), handler.get());
+  }
+
+  // --- paper method (5) ----------------------------------------------------
+  // Removes every registered call-back; no event is delivered afterwards.
+  void unsubscribe() { session_->unsubscribe_all(); }
+
+  // --- paper methods (6) and (7) ---------------------------------------------
+  [[nodiscard]] std::vector<std::shared_ptr<const T>> objects_received()
+      const {
+    return downcast_all(session_->objects_received());
+  }
+  [[nodiscard]] std::vector<std::shared_ptr<const T>> objects_sent() const {
+    return downcast_all(session_->objects_sent());
+  }
+
+  // --- observability beyond the paper API ------------------------------------
+  [[nodiscard]] TpsStats stats() const { return session_->stats(); }
+  [[nodiscard]] std::size_t advertisement_count() const {
+    return session_->binding_count();
+  }
+
+ private:
+  template <serial::EventType>
+  friend class TpsEngine;
+
+  explicit TpsInterface(std::shared_ptr<TpsSession> session)
+      : session_(std::move(session)) {}
+
+  static TpsSession::Subscriber make_subscriber(
+      std::shared_ptr<TpsCallback<T>> callback,
+      std::shared_ptr<TpsExceptionHandler<T>> handler) {
+    TpsSession::Subscriber sub;
+    sub.callback_tag = callback.get();
+    sub.handler_tag = handler.get();
+    sub.dispatch = [callback = std::move(callback),
+                    handler = std::move(handler)](
+                       const serial::EventPtr& event) noexcept -> bool {
+      try {
+        const auto typed = std::dynamic_pointer_cast<const T>(event);
+        if (!typed) {
+          throw PsException(
+              "delivered event is not of the subscribed type hierarchy");
+        }
+        callback->handle(*typed);
+        return true;
+      } catch (...) {
+        try {
+          handler->handle(std::current_exception());
+        } catch (...) {
+          // An exception handler that throws has nowhere further to go.
+        }
+        return false;
+      }
+    };
+    return sub;
+  }
+
+  static std::vector<std::shared_ptr<const T>> downcast_all(
+      const std::vector<serial::EventPtr>& events) {
+    std::vector<std::shared_ptr<const T>> out;
+    out.reserve(events.size());
+    for (const auto& e : events) {
+      if (auto typed = std::dynamic_pointer_cast<const T>(e)) {
+        out.push_back(std::move(typed));
+      }
+    }
+    return out;
+  }
+
+  std::shared_ptr<TpsSession> session_;
+};
+
+// Factory for TpsInterface<T> (the paper's TPSEngine<Type>). Creating the
+// engine registers T (and its ancestors) in the type registry.
+template <serial::EventType T>
+class TpsEngine {
+ public:
+  explicit TpsEngine(jxta::Peer& peer, TpsConfig config = {})
+      : peer_(peer), config_(config) {
+    serial::register_event_with_ancestors<T>();
+  }
+
+  // The paper's newInterface (§3.3): performs the initialization phase —
+  // search for the type's advertisement, create one if none appears in
+  // time — and returns the ready-to-use interface. Blocking; not callable
+  // from peer callbacks.
+  [[nodiscard]] TpsInterface<T> new_interface(Criteria criteria = {}) {
+    auto session = std::make_shared<TpsSession>(
+        peer_, std::string(serial::EventTraits<T>::kTypeName),
+        std::move(criteria), config_);
+    session->init();
+    return TpsInterface<T>(std::move(session));
+  }
+
+ private:
+  jxta::Peer& peer_;
+  TpsConfig config_;
+};
+
+}  // namespace p2p::tps

@@ -1,0 +1,23 @@
+// TPS exception types (the paper's PSException and CallBackException).
+#pragma once
+
+#include "util/error.h"
+
+namespace p2p::tps {
+
+// Thrown by publish/subscribe/unsubscribe operations (paper Fig. 8: every
+// TPSInterface method may throw a PSException).
+class PsException : public util::P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+// Thrown by application call-back objects to signal that handling a
+// received event failed (paper §4.3.3: handle() throws CallBackException);
+// routed to the TpsExceptionHandler registered with the subscription.
+class CallBackException : public util::P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+}  // namespace p2p::tps

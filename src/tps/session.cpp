@@ -1,0 +1,345 @@
+#include "tps/session.h"
+
+#include <algorithm>
+#include <typeindex>
+
+#include "util/logging.h"
+
+namespace p2p::tps {
+
+using jxta::PeerGroupAdvertisement;
+
+namespace {
+constexpr std::string_view kEventElement = "tps:event";
+constexpr std::string_view kEventIdElement = "tps:event-id";
+constexpr std::string_view kTypeElement = "tps:type";
+
+util::Bytes uuid_to_bytes(const util::Uuid& id) {
+  util::ByteWriter w;
+  w.write_u64(id.hi());
+  w.write_u64(id.lo());
+  return w.take();
+}
+
+std::optional<util::Uuid> uuid_from_bytes(const util::Bytes& bytes) {
+  if (bytes.size() != 16) return std::nullopt;
+  util::ByteReader r(bytes);
+  const std::uint64_t hi = r.read_u64();
+  const std::uint64_t lo = r.read_u64();
+  return util::Uuid{hi, lo};
+}
+
+}  // namespace
+
+TpsSession::TpsSession(jxta::Peer& peer, std::string type_name,
+                       Criteria criteria, TpsConfig config,
+                       serial::TypeRegistry& registry)
+    : peer_(peer),
+      type_name_(std::move(type_name)),
+      criteria_(std::move(criteria)),
+      config_(config),
+      registry_(registry),
+      creator_(peer) {}
+
+TpsSession::~TpsSession() { shutdown(); }
+
+void TpsSession::init() {
+  {
+    const std::lock_guard lock(mu_);
+    if (shut_down_) throw PsException("session is shut down");
+    if (initialized_) return;
+  }
+  channel(type_name_, /*open_inputs=*/true, /*wait_for_adv=*/true);
+  const std::lock_guard lock(mu_);
+  initialized_ = true;
+}
+
+void TpsSession::shutdown() {
+  std::map<std::string, Channel> channels;
+  {
+    const std::lock_guard lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    channels.swap(channels_);
+    subscribers_.clear();
+  }
+  cv_.notify_all();
+  for (auto& [name, ch] : channels) {
+    if (ch.finder) ch.finder->stop();
+    for (const auto& b : ch.bindings) {
+      if (b->input) b->input->close();
+      if (b->output) b->output->close();
+    }
+  }
+}
+
+TpsSession::Channel& TpsSession::channel(const std::string& type,
+                                         bool open_inputs,
+                                         bool wait_for_adv) {
+  std::unique_lock lock(mu_);
+  auto it = channels_.find(type);
+  if (it == channels_.end()) {
+    it = channels_.emplace(type, Channel{}).first;
+    Channel& ch = it->second;
+    ch.type_name = type;
+    ch.open_inputs = open_inputs;
+    lock.unlock();
+    auto finder =
+        std::make_unique<TpsAdvertisementsFinder>(peer_, type, criteria_);
+    // Capture `this` raw, NOT a locked weak_ptr: taking a strong reference
+    // inside finder callbacks would let the *last* session reference die on
+    // the finder's own callback thread, destroying the finder underneath
+    // its running task. Safety comes from ordering instead: shutdown()
+    // stops every finder synchronously (stop() waits out in-flight
+    // callbacks) before the session can be destroyed.
+    finder->add_listener([this, type](const PeerGroupAdvertisement& adv) {
+      adopt_advertisement(type, adv);
+    });
+    finder->start(config_.finder_period);
+    lock.lock();
+    it = channels_.find(type);  // re-find: map may have rehashed? (node-based; stable, but be explicit)
+    it->second.finder = std::move(finder);
+  }
+  Channel& ch = it->second;
+  if (wait_for_adv && ch.bindings.empty()) {
+    cv_.wait_for(lock, config_.adv_search_timeout, [&] {
+      return !ch.bindings.empty() || shut_down_;
+    });
+    if (ch.bindings.empty() && !shut_down_) {
+      // SR functionality (1): nobody advertises this type yet -> we do
+      // (paper §4.1), while the finder keeps looking for latecomers.
+      lock.unlock();
+      const PeerGroupAdvertisement own =
+          creator_.create_type_advertisement(type);
+      creator_.publish_advertisement(own, config_.adv_lifetime_ms);
+      adopt_advertisement(type, own, /*own=*/true);
+      lock.lock();
+    }
+  }
+  return ch;
+}
+
+void TpsSession::adopt_advertisement(const std::string& type,
+                                     const PeerGroupAdvertisement& adv,
+                                     bool own) {
+  if (!own && !criteria_.accepts(adv)) return;
+  const std::string key = type + "|" + adv.gid.to_string();
+  bool open_inputs = false;
+  {
+    const std::lock_guard lock(mu_);
+    if (shut_down_) return;
+    const auto it = channels_.find(type);
+    if (it == channels_.end()) return;
+    for (const auto& b : it->second.bindings) {
+      if (b->adv.gid == adv.gid) return;  // already bound
+    }
+    if (!adopting_.insert(key).second) return;  // concurrent adopt
+    open_inputs = it->second.open_inputs;
+  }
+
+  auto binding = std::make_shared<Binding>();
+  binding->adv = adv;
+  try {
+    TpsWireServiceFinder wsf(peer_, adv);
+    wsf.lookup_wire_service();
+    binding->group = wsf.group();
+    binding->pipe = wsf.pipe_advertisement();
+    if (open_inputs) {
+      binding->input = wsf.create_input_pipe();
+      std::weak_ptr<TpsSession> weak = weak_from_this();
+      binding->input->set_listener([weak](jxta::Message msg) {
+        if (const auto self = weak.lock()) {
+          self->on_event_message(std::move(msg));
+        }
+      });
+    }
+    binding->output = wsf.create_output_pipe();
+  } catch (const std::exception& e) {
+    P2P_LOG(kWarn, "tps") << peer_.name() << ": cannot bind advertisement "
+                          << adv.gid.to_string() << ": " << e.what();
+    const std::lock_guard lock(mu_);
+    adopting_.erase(key);
+    return;
+  }
+
+  {
+    const std::lock_guard lock(mu_);
+    adopting_.erase(key);
+    if (shut_down_) return;
+    const auto it = channels_.find(type);
+    if (it == channels_.end()) return;
+    it->second.bindings.push_back(std::move(binding));
+  }
+  cv_.notify_all();
+}
+
+void TpsSession::publish(serial::EventPtr event) {
+  if (!event) throw PsException("cannot publish a null event");
+  {
+    const std::lock_guard lock(mu_);
+    if (!initialized_ || shut_down_) {
+      throw PsException("session is not running");
+    }
+  }
+  // Statically-typed events are identified by RTTI; dynamically-typed
+  // (XML) events carry their type name themselves.
+  const std::string_view dynamic_name = event->tps_type_name();
+  const auto info = dynamic_name.empty()
+                        ? registry_.find(std::type_index(typeid(*event)))
+                        : registry_.find(dynamic_name);
+  if (!info) {
+    throw PsException(
+        std::string("published object's dynamic type is not registered: ") +
+        (dynamic_name.empty() ? typeid(*event).name()
+                              : std::string(dynamic_name)));
+  }
+  const std::vector<std::string> chain = registry_.ancestry(info->name);
+  if (std::find(chain.begin(), chain.end(), type_name_) == chain.end()) {
+    throw PsException("published type '" + info->name +
+                      "' is not a subtype of '" + type_name_ + "'");
+  }
+
+  // Encode once; every transmission is a dup() with a fresh message id but
+  // the same event id (SR dedup key).
+  const util::Bytes payload = registry_.encode_tagged(*event);
+  const util::Uuid event_id = util::Uuid::generate();
+  jxta::Message base;
+  base.add_bytes(std::string(kEventElement), payload);
+  base.add_bytes(std::string(kEventIdElement), uuid_to_bytes(event_id));
+  base.add_string(std::string(kTypeElement), info->name);
+
+  // Type-hierarchy dispatch (paper Fig. 7): one transmission per
+  // advertisement of the dynamic type and of each ancestor type.
+  std::uint64_t sends = 0;
+  for (const auto& name : chain) {
+    const bool is_own_type = name == type_name_;
+    Channel& ch = channel(name, /*open_inputs=*/is_own_type,
+                          /*wait_for_adv=*/is_own_type ||
+                              config_.create_ancestor_advs);
+    std::vector<std::shared_ptr<Binding>> bindings;
+    {
+      const std::lock_guard lock(mu_);
+      bindings = ch.bindings;
+    }
+    for (const auto& b : bindings) {
+      if (b->output && b->output->send(base.dup())) ++sends;
+    }
+  }
+
+  const std::lock_guard lock(mu_);
+  ++stats_.published;
+  stats_.wire_sends += sends;
+  if (config_.record_history) sent_.push_back(std::move(event));
+}
+
+bool TpsSession::seen_before(const util::Uuid& event_id) {
+  // Caller holds mu_.
+  if (config_.dedup_cache_size == 0) return false;  // suppression disabled
+  if (seen_.contains(event_id)) return true;
+  seen_.insert(event_id);
+  seen_order_.push_back(event_id);
+  if (seen_order_.size() > config_.dedup_cache_size) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return false;
+}
+
+void TpsSession::on_event_message(jxta::Message msg) {
+  const auto id_bytes = msg.get_bytes(std::string(kEventIdElement));
+  const auto event_bytes = msg.get_bytes(std::string(kEventElement));
+  std::optional<util::Uuid> event_id;
+  if (id_bytes) event_id = uuid_from_bytes(*id_bytes);
+  if (!event_id || !event_bytes) {
+    const std::lock_guard lock(mu_);
+    ++stats_.decode_failures;
+    return;
+  }
+  {
+    const std::lock_guard lock(mu_);
+    if (shut_down_) return;
+    if (seen_before(*event_id)) {
+      ++stats_.duplicates_suppressed;  // SR functionality (3)
+      return;
+    }
+  }
+  serial::TypeRegistry::Decoded decoded;
+  try {
+    decoded = registry_.decode_tagged(*event_bytes);
+  } catch (const std::exception& e) {
+    P2P_LOG(kWarn, "tps") << peer_.name()
+                          << ": cannot decode event: " << e.what();
+    const std::lock_guard lock(mu_);
+    ++stats_.decode_failures;
+    return;
+  }
+  std::vector<Subscriber> subscribers;
+  {
+    const std::lock_guard lock(mu_);
+    if (shut_down_) return;
+    ++stats_.received_unique;
+    if (config_.record_history) received_.push_back(decoded.event);
+    subscribers = subscribers_;
+  }
+  for (const auto& sub : subscribers) {
+    if (!sub.dispatch(decoded.event)) {
+      const std::lock_guard lock(mu_);
+      ++stats_.callback_errors;
+    }
+  }
+}
+
+void TpsSession::subscribe(Subscriber subscriber) {
+  const std::lock_guard lock(mu_);
+  if (!initialized_ || shut_down_) {
+    throw PsException("session is not running");
+  }
+  subscribers_.push_back(std::move(subscriber));
+}
+
+void TpsSession::unsubscribe(const void* callback_tag,
+                             const void* handler_tag) {
+  const std::lock_guard lock(mu_);
+  const auto before = subscribers_.size();
+  std::erase_if(subscribers_, [&](const Subscriber& s) {
+    return s.callback_tag == callback_tag && s.handler_tag == handler_tag;
+  });
+  if (subscribers_.size() == before) {
+    throw PsException("unsubscribe: this (call-back, handler) pair is not "
+                      "subscribed");
+  }
+}
+
+void TpsSession::unsubscribe_all() {
+  const std::lock_guard lock(mu_);
+  subscribers_.clear();
+}
+
+std::size_t TpsSession::subscriber_count() const {
+  const std::lock_guard lock(mu_);
+  return subscribers_.size();
+}
+
+std::vector<serial::EventPtr> TpsSession::objects_received() const {
+  const std::lock_guard lock(mu_);
+  return received_;
+}
+
+std::vector<serial::EventPtr> TpsSession::objects_sent() const {
+  const std::lock_guard lock(mu_);
+  return sent_;
+}
+
+TpsStats TpsSession::stats() const {
+  const std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t TpsSession::binding_count(std::string_view type) const {
+  const std::lock_guard lock(mu_);
+  const std::string key = type.empty() ? type_name_ : std::string(type);
+  const auto it = channels_.find(key);
+  return it != channels_.end() ? it->second.bindings.size() : 0;
+}
+
+}  // namespace p2p::tps

@@ -1,0 +1,167 @@
+// TpsSession: the type-erased core behind TpsEngine<T>/TpsInterface<T>.
+//
+// One session serves one subscribed event type (plus, for publishing, every
+// ancestor of any published object's dynamic type). Responsibilities map to
+// the paper's blocks (Fig. 10):
+//   TPSEngine  -> this class (collect/dispatch publications, subscriptions)
+//   Advs       -> AdvertisementsCreator + TpsAdvertisementsFinder +
+//                 TpsWireServiceFinder (tps/advertisements.h)
+//   IR         -> the subscriber table (interface repository)
+//   Connections-> per-advertisement wire pipes ("Binding" below)
+//
+// The three SR functionalities (paper §4.4 footnote) live here:
+//   (1) advertisement minimization  — search before create (init()),
+//   (2) multiple advertisements     — every discovered advertisement of a
+//       type gets its own pipes; publishing fans out to all of them,
+//   (3) duplicate suppression       — per-event UUIDs and a bounded
+//       seen-set make delivery exactly-once per session despite (2).
+//
+// Type-hierarchy dispatch (paper Fig. 7): publishing an event of dynamic
+// type D sends it on the wire of D *and of every registered ancestor of D*;
+// a subscriber session for type T listens only on T's wire, so it receives
+// all events whose type is T or a subtype — each exactly once.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_set>
+
+#include "serial/type_registry.h"
+#include "tps/advertisements.h"
+#include "tps/exceptions.h"
+
+namespace p2p::tps {
+
+struct TpsConfig {
+  // How long init() searches for an existing type advertisement before
+  // creating its own (paper §4.1: "If the application does not find such
+  // advertisement in a specific amount of time, it creates its own one").
+  util::Duration adv_search_timeout{1500};
+  // Finder re-query period ("keeps trying to find others in order to send
+  // messages to the maximum number of interested subscribers", §4.1).
+  util::Duration finder_period{2000};
+  // Bound on the duplicate-suppression memory (event ids). 0 disables
+  // duplicate suppression entirely (ablation: every wire copy is
+  // delivered, as with raw JXTA-WIRE).
+  std::size_t dedup_cache_size = 8192;
+  std::int64_t adv_lifetime_ms = jxta::kDefaultAdvLifetimeMs;
+  // Publish-side: create advertisements for ancestor types that have none
+  // (hierarchy dispatch reaches base-type subscribers that come up later).
+  bool create_ancestor_advs = true;
+  // Keep the objectsSent/objectsReceived history (paper methods (6)/(7)).
+  // High-volume benches disable it to avoid unbounded growth.
+  bool record_history = true;
+};
+
+// Session-level observability counters.
+struct TpsStats {
+  std::uint64_t published = 0;             // publish() calls
+  std::uint64_t wire_sends = 0;            // pipe-level transmissions
+  std::uint64_t received_unique = 0;       // events delivered to subscribers
+  std::uint64_t duplicates_suppressed = 0; // SR functionality (3) at work
+  std::uint64_t decode_failures = 0;
+  std::uint64_t callback_errors = 0;       // exceptions routed to handlers
+};
+
+class TpsSession : public std::enable_shared_from_this<TpsSession> {
+ public:
+  // A type-erased subscription; built by TpsInterface<T>.
+  struct Subscriber {
+    const void* callback_tag = nullptr;  // identity of the callback object
+    const void* handler_tag = nullptr;   // identity of the exception handler
+    // Casts to the concrete type and invokes the callback; routes any
+    // exception to the paired handler and returns false in that case.
+    // Never throws.
+    std::function<bool(const serial::EventPtr&)> dispatch;
+  };
+
+  TpsSession(jxta::Peer& peer, std::string type_name, Criteria criteria,
+             TpsConfig config,
+             serial::TypeRegistry& registry = serial::TypeRegistry::global());
+  ~TpsSession();
+
+  TpsSession(const TpsSession&) = delete;
+  TpsSession& operator=(const TpsSession&) = delete;
+
+  // Blocking initialization (the paper's initialization phase): find an
+  // existing advertisement for the subscribed type or create one. Must not
+  // be called on the peer executor.
+  void init();
+  void shutdown();
+
+  // Publishes an event by its *dynamic* type; throws PsException if that
+  // type is unregistered, is not a subtype of the session's type, or the
+  // session is not initialized.
+  void publish(serial::EventPtr event);
+
+  void subscribe(Subscriber subscriber);
+  // Removes the pair; throws PsException if it was never subscribed.
+  void unsubscribe(const void* callback_tag, const void* handler_tag);
+  void unsubscribe_all();
+  [[nodiscard]] std::size_t subscriber_count() const;
+
+  [[nodiscard]] std::vector<serial::EventPtr> objects_received() const;
+  [[nodiscard]] std::vector<serial::EventPtr> objects_sent() const;
+
+  [[nodiscard]] TpsStats stats() const;
+  [[nodiscard]] const std::string& type_name() const { return type_name_; }
+  // Advertisements currently bound for a type (default: subscribed type).
+  [[nodiscard]] std::size_t binding_count(std::string_view type = {}) const;
+
+ private:
+  // One advertisement of a type, with its instantiated group and pipes.
+  struct Binding {
+    jxta::PeerGroupAdvertisement adv;
+    std::shared_ptr<jxta::PeerGroup> group;
+    jxta::PipeAdvertisement pipe;
+    std::shared_ptr<jxta::WireInputPipe> input;    // subscribed type only
+    std::shared_ptr<jxta::WireOutputPipe> output;  // lazily, when publishing
+  };
+
+  // All bindings of one type name, fed by its finder.
+  struct Channel {
+    std::string type_name;
+    bool open_inputs = false;  // subscribe new bindings' input pipes
+    std::unique_ptr<TpsAdvertisementsFinder> finder;
+    std::vector<std::shared_ptr<Binding>> bindings;  // keyed by adv gid
+  };
+
+  // Returns the channel for `type`, creating its finder if needed. If
+  // `wait_for_adv`, blocks up to adv_search_timeout for a binding and falls
+  // back to creating our own advertisement (SR functionality (1)).
+  Channel& channel(const std::string& type, bool open_inputs,
+                   bool wait_for_adv);
+  // `own` marks an advertisement this session just created itself: it
+  // bypasses the Criteria (which filters *discovered* advertisements).
+  void adopt_advertisement(const std::string& type,
+                           const jxta::PeerGroupAdvertisement& adv,
+                           bool own = false);
+  void on_event_message(jxta::Message msg);
+  bool seen_before(const util::Uuid& event_id);
+
+  jxta::Peer& peer_;
+  const std::string type_name_;
+  const Criteria criteria_;
+  const TpsConfig config_;
+  serial::TypeRegistry& registry_;
+  AdvertisementsCreator creator_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool initialized_ = false;
+  bool shut_down_ = false;
+  std::map<std::string, Channel> channels_;
+  // Advertisements currently being instantiated ("type|gid"), to prevent a
+  // concurrent double-adopt of the same advertisement.
+  std::unordered_set<std::string> adopting_;
+  std::vector<Subscriber> subscribers_;
+  std::vector<serial::EventPtr> received_;
+  std::vector<serial::EventPtr> sent_;
+  std::unordered_set<util::Uuid> seen_;
+  std::deque<util::Uuid> seen_order_;
+  TpsStats stats_;
+};
+
+}  // namespace p2p::tps

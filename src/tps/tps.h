@@ -1,0 +1,18 @@
+// Umbrella header: everything an application needs to use TPS.
+//
+// Quickstart:
+//   1. Define an event type deriving from p2p::serial::Event and
+//      specialize p2p::serial::EventTraits for it (name, parent, codec).
+//   2. Build a jxta::Peer with a transport, start() it.
+//   3. TpsEngine<MyEvent> engine(peer);
+//      auto tps = engine.new_interface();
+//   4. tps.subscribe(make_callback<MyEvent>(...), make_exception_handler...)
+//      and/or tps.publish(MyEvent{...}).
+//
+// See examples/quickstart.cpp for the complete program.
+#pragma once
+
+#include "tps/callback.h"   // IWYU pragma: export
+#include "tps/criteria.h"   // IWYU pragma: export
+#include "tps/engine.h"     // IWYU pragma: export
+#include "tps/exceptions.h" // IWYU pragma: export

@@ -1,0 +1,164 @@
+#include "util/bytes.h"
+
+#include <bit>
+#include <cstring>
+
+namespace p2p::util {
+
+Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string to_string(std::span<const std::uint8_t> bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+void ByteWriter::write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::write_u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_i64(std::int64_t v) {
+  // ZigZag so small negative numbers stay short.
+  const auto u = static_cast<std::uint64_t>(v);
+  write_varint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::write_f64(double v) {
+  write_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::write_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+void ByteWriter::write_string(std::string_view v) {
+  write_varint(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::write_bytes(std::span<const std::uint8_t> v) {
+  write_varint(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::write_raw(std::span<const std::uint8_t> v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) throw ParseError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::read_u16() {
+  require(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t ByteReader::read_i64() {
+  const std::uint64_t u = read_varint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+double ByteReader::read_f64() { return std::bit_cast<double>(read_u64()); }
+
+std::uint64_t ByteReader::read_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    require(1);
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0))
+      throw ParseError("ByteReader: varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+bool ByteReader::read_bool() { return read_u8() != 0; }
+
+std::string ByteReader::read_string() {
+  const std::uint64_t n = read_varint();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+Bytes ByteReader::read_bytes() {
+  const std::uint64_t n = read_varint();
+  require(n);
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return b;
+}
+
+Bytes ByteReader::read_raw(std::size_t n) {
+  require(n);
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,82 @@
+// Byte buffers with structured read/write helpers.
+//
+// All wire formats in the library (JXTA messages, advertisements-in-messages,
+// event payloads) are encoded through ByteWriter and decoded through
+// ByteReader. Integers are little-endian fixed width or LEB128 varints;
+// strings and blobs are length-prefixed with a varint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace p2p::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Converts text <-> bytes without reinterpreting encodings.
+Bytes to_bytes(std::string_view text);
+std::string to_string(std::span<const std::uint8_t> bytes);
+
+// Lowercase hex dump (for logs and tests).
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+// Appends encoded values to an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);   // zigzag varint
+  void write_f64(double v);         // IEEE-754 bit pattern, little-endian
+  void write_varint(std::uint64_t v);
+  void write_bool(bool v);
+  void write_string(std::string_view v);           // varint length + bytes
+  void write_bytes(std::span<const std::uint8_t> v);  // varint length + bytes
+  void write_raw(std::span<const std::uint8_t> v);    // no length prefix
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reads encoded values from a non-owned view. Throws ParseError on
+// truncated or malformed input; never reads past the view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  double read_f64();
+  std::uint64_t read_varint();
+  bool read_bool();
+  std::string read_string();
+  Bytes read_bytes();
+  // Reads exactly n raw bytes (no length prefix).
+  Bytes read_raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace p2p::util

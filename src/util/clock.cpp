@@ -1,0 +1,10 @@
+#include "util/clock.h"
+
+namespace p2p::util {
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace p2p::util

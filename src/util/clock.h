@@ -1,0 +1,57 @@
+// Injectable time sources.
+//
+// Advertisement aging (paper §2.1: "each advertisement encompasses an age to
+// distinguish stale advertisements from new ones"), discovery-cache expiry
+// and pipe-resolution timeouts all depend on time. Services take a Clock&
+// so unit tests can drive time manually.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace p2p::util {
+
+using Duration = std::chrono::milliseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+// Abstract time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  // Milliseconds since an arbitrary but fixed epoch; convenient for ages.
+  [[nodiscard]] std::int64_t now_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               now().time_since_epoch())
+        .count();
+  }
+};
+
+// Real wall-progress time backed by steady_clock.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    return std::chrono::steady_clock::now();
+  }
+
+  // A shared instance for the common case.
+  static SystemClock& instance();
+};
+
+// Manually advanced time for deterministic tests.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    return TimePoint{std::chrono::milliseconds{now_ms_.load()}};
+  }
+
+  // Moves time forward by d (must be non-negative).
+  void advance(Duration d) { now_ms_ += d.count(); }
+
+ private:
+  std::atomic<std::int64_t> now_ms_{1};  // start non-zero so "age 0" != "now"
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,52 @@
+// Exception hierarchy shared by all library layers.
+//
+// Following the paper's API (every TPS operation may throw PSException) and
+// the C++ Core Guidelines error-handling rules (E.2/E.14), errors that the
+// caller cannot locally repair are reported as exceptions derived from a
+// single library root so applications can catch coarsely or finely.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace p2p::util {
+
+// Root of every exception thrown by this library.
+class P2pError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Malformed input while parsing (XML, UUIDs, wire frames, ...).
+class ParseError : public P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+// A deadline elapsed before the operation could complete.
+class TimeoutError : public P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+// The operation addressed a resource that does not exist (unknown service,
+// unresolvable pipe, unknown type, ...).
+class NotFoundError : public P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+// The object is not in a state that permits the operation (service stopped,
+// pipe closed, engine shut down, ...).
+class StateError : public P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+// Precondition violation by the caller. Programming error, not environment.
+class InvalidArgument : public P2pError {
+ public:
+  using P2pError::P2pError;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,116 @@
+#include "util/executor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace p2p::util {
+
+SerialExecutor::SerialExecutor(std::string name) : name_(std::move(name)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+SerialExecutor::~SerialExecutor() { stop(); }
+
+bool SerialExecutor::post(Task task) { return queue_.push(std::move(task)); }
+
+void SerialExecutor::stop() {
+  queue_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool SerialExecutor::on_executor_thread() const {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+void SerialExecutor::run() {
+  while (auto task = queue_.pop()) {
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "executor")
+          << name_ << ": task threw: " << e.what();
+    } catch (...) {
+      P2P_LOG(kError, "executor") << name_ << ": task threw unknown exception";
+    }
+  }
+}
+
+PeriodicTimer::PeriodicTimer(std::string name) : name_(std::move(name)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+std::uint64_t PeriodicTimer::schedule(Duration period, Task task) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    if (stopped_) return 0;
+    id = next_id_++;
+    entries_.push_back(Entry{id, std::chrono::steady_clock::now() + period,
+                             period, std::move(task)});
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void PeriodicTimer::cancel(std::uint64_t handle) {
+  std::unique_lock lock(mu_);
+  std::erase_if(entries_, [&](const Entry& e) { return e.id == handle; });
+  // Synchronous cancellation: don't return while this handle's task runs
+  // (unless we ARE that task — then waiting would deadlock).
+  if (std::this_thread::get_id() != thread_.get_id()) {
+    cv_.wait(lock, [&] { return firing_id_ != handle; });
+  }
+}
+
+void PeriodicTimer::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicTimer::run() {
+  std::unique_lock lock(mu_);
+  while (!stopped_) {
+    if (entries_.empty()) {
+      cv_.wait(lock, [&] { return stopped_ || !entries_.empty(); });
+      continue;
+    }
+    auto soonest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.next < b.next; });
+    const auto now = std::chrono::steady_clock::now();
+    if (soonest->next > now) {
+      // Copy the deadline: wait_until releases the lock, so a concurrent
+      // schedule() may reallocate entries_ and invalidate `soonest`.
+      const TimePoint deadline = soonest->next;
+      cv_.wait_until(lock, deadline);
+      continue;  // re-evaluate: entries may have changed
+    }
+    // Fire outside the lock so the task can (re)schedule or cancel.
+    const std::uint64_t id = soonest->id;
+    Task task = soonest->task;  // copy: entry may be cancelled while firing
+    soonest->next = now + soonest->period;
+    firing_id_ = id;
+    lock.unlock();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "timer") << name_ << ": task " << id
+                               << " threw: " << e.what();
+    } catch (...) {
+      P2P_LOG(kError, "timer") << name_ << ": task " << id << " threw";
+    }
+    lock.lock();
+    firing_id_ = 0;
+    cv_.notify_all();  // wake cancellers waiting on this firing
+  }
+}
+
+}  // namespace p2p::util

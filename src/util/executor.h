@@ -1,0 +1,94 @@
+// Task execution: a single-threaded serial executor and a periodic timer.
+//
+// Every JXTA service callback on a peer runs on that peer's SerialExecutor,
+// which gives each peer the single-threaded event-loop semantics the Java
+// prototype got from its listener threads, without exposing locks to users.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/queue.h"
+
+namespace p2p::util {
+
+using Task = std::function<void()>;
+
+// Runs posted tasks in FIFO order on one dedicated thread.
+class SerialExecutor {
+ public:
+  // name is used in logs; the thread starts immediately.
+  explicit SerialExecutor(std::string name);
+  ~SerialExecutor();
+
+  SerialExecutor(const SerialExecutor&) = delete;
+  SerialExecutor& operator=(const SerialExecutor&) = delete;
+
+  // Enqueues a task. Returns false if the executor is already stopped.
+  bool post(Task task);
+
+  // Stops accepting tasks, drains the queue, joins the thread. Idempotent.
+  // Must not be called from the executor thread itself.
+  void stop();
+
+  // True when the calling thread is this executor's thread.
+  [[nodiscard]] bool on_executor_thread() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void run();
+
+  std::string name_;
+  BlockingQueue<Task> queue_;
+  std::thread thread_;
+};
+
+// Fires registered callbacks at fixed periods on one shared thread.
+// Used by discovery re-query loops and advertisement-cache sweeps.
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(std::string name);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  // Registers a repeating task; first run after one period. Returns a handle
+  // usable with cancel(). Thread-safe.
+  std::uint64_t schedule(Duration period, Task task);
+
+  // Stops future firings of the handle. If a firing of this handle is in
+  // progress on the timer thread, blocks until it completes — after
+  // cancel() returns it is safe to destroy state the task references.
+  // (When called from within the task itself, returns immediately.)
+  // Thread-safe, idempotent.
+  void cancel(std::uint64_t handle);
+
+  // Stops the timer thread. Idempotent.
+  void stop();
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    TimePoint next;
+    Duration period;
+    Task task;
+  };
+
+  void run();
+
+  std::string name_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t firing_id_ = 0;  // entry currently executing, 0 if none
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace p2p::util {
+namespace {
+
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty -> default stderr sink
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+void default_sink(LogLevel level, std::string_view tag, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", to_string(level),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+LogSink set_log_sink(LogSink sink) {
+  const std::lock_guard lock(g_sink_mutex);
+  LogSink prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
+
+void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log(LogLevel level, std::string_view tag, std::string_view msg) noexcept {
+  try {
+    if (level < log_level()) return;
+    const std::lock_guard lock(g_sink_mutex);
+    if (g_sink) {
+      g_sink(level, tag, msg);
+    } else {
+      default_sink(level, tag, msg);
+    }
+  } catch (...) {
+    // Logging must never propagate failures into protocol code.
+  }
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,61 @@
+// Minimal structured logging.
+//
+// Each message carries a severity, a component tag and free text. The sink
+// is process-global and swappable (tests install a capturing sink; benches
+// silence everything below WARN). Logging must never throw.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace p2p::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+const char* to_string(LogLevel level);
+
+using LogSink =
+    std::function<void(LogLevel, std::string_view tag, std::string_view msg)>;
+
+// Replaces the global sink; returns the previous one. Passing nullptr
+// restores the default stderr sink. Thread-safe.
+LogSink set_log_sink(LogSink sink);
+
+// Messages below this level are dropped before formatting. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Formats and emits one record; noexcept by contract (failures swallowed).
+void log(LogLevel level, std::string_view tag, std::string_view msg) noexcept;
+
+namespace detail {
+
+// Stream-style capture used by the P2P_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LogLine() { log(level_, tag_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace p2p::util
+
+// Usage: P2P_LOG(kInfo, "discovery") << "cached " << n << " advs";
+#define P2P_LOG(severity, tag)                                       \
+  if (::p2p::util::LogLevel::severity < ::p2p::util::log_level()) {  \
+  } else                                                             \
+    ::p2p::util::detail::LogLine(::p2p::util::LogLevel::severity, (tag))

@@ -1,0 +1,91 @@
+// Unbounded MPMC blocking queue.
+//
+// Used for per-peer dispatch inboxes and pipe reader hand-off. close()
+// releases all waiters; pop() then drains remaining items before reporting
+// closed, so no accepted message is ever lost on shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/clock.h"
+
+namespace p2p::util {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  // Enqueues v. Returns false (dropping v) if the queue has been closed.
+  bool push(T v) {
+    {
+      const std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(v));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  // Like pop() but gives up after the timeout, returning nullopt.
+  std::optional<T> pop_for(Duration timeout) {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  // Non-blocking.
+  std::optional<T> try_pop() {
+    const std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  // Rejects future pushes and wakes all blocked poppers. Idempotent.
+  void close() {
+    {
+      const std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  std::optional<T> take_locked() {
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,85 @@
+#include "util/random.h"
+
+#include <mutex>
+#include <random>
+
+namespace p2p::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::mutex g_global_rng_mutex;
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : s_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256++
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless method.
+  if (bound == 0) return 0;
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(next_u64()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  // 53 significant bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng& global_rng() {
+  static Rng rng{[] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }()};
+  return rng;
+}
+
+GlobalRngLock::GlobalRngLock() { g_global_rng_mutex.lock(); }
+GlobalRngLock::~GlobalRngLock() { g_global_rng_mutex.unlock(); }
+
+}  // namespace p2p::util

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that simulations and
+// tests can be made reproducible by seeding. The generator is xoshiro256++,
+// which is fast, small, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p2p::util {
+
+class Rng {
+ public:
+  // Seeds the four words from a single 64-bit seed via SplitMix64, which
+  // guarantees a non-zero state for any seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Next uniformly distributed 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method).
+  // bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform integer in [lo, hi] inclusive. lo must be <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  // UniformRandomBitGenerator interface so Rng works with <algorithm>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Process-wide generator used by Uuid::generate(); guarded by a mutex.
+// Seeded from std::random_device at first use.
+Rng& global_rng();
+
+// Serializes access to global_rng(); callers must hold this while using it.
+class GlobalRngLock {
+ public:
+  GlobalRngLock();
+  ~GlobalRngLock();
+  GlobalRngLock(const GlobalRngLock&) = delete;
+  GlobalRngLock& operator=(const GlobalRngLock&) = delete;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace p2p::util {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  const double var = (sum_sq_ - n * m * m) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0;
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "mean=" << mean() << " sd=" << stddev() << " min=" << min()
+     << " p50=" << percentile(50) << " p99=" << percentile(99)
+     << " max=" << max() << " n=" << count();
+  return os.str();
+}
+
+void RateSeries::record(std::int64_t t_ms) { times_.push_back(t_ms); }
+
+std::vector<std::size_t> RateSeries::buckets() const {
+  if (times_.empty()) return {};
+  const auto [lo, hi] = std::minmax_element(times_.begin(), times_.end());
+  const std::int64_t first = *lo / bucket_ms_;
+  const std::int64_t last = *hi / bucket_ms_;
+  std::vector<std::size_t> out(static_cast<std::size_t>(last - first + 1), 0);
+  for (const std::int64_t t : times_)
+    ++out[static_cast<std::size_t>(t / bucket_ms_ - first)];
+  return out;
+}
+
+}  // namespace p2p::util

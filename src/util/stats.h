@@ -1,0 +1,56 @@
+// Streaming statistics accumulators used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p2p::util {
+
+// Accumulates samples; computes mean, standard deviation and percentiles.
+// Keeps all samples (benches record at most a few thousand points).
+class Summary {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  // "mean=12.3 sd=4.5 p50=11 p99=29 n=100" style line for reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+// Counts events per fixed time bucket; used for the per-second receive-rate
+// series of Figure 20.
+class RateSeries {
+ public:
+  // bucket_ms: width of one bucket (the paper uses 1 second).
+  explicit RateSeries(std::int64_t bucket_ms) : bucket_ms_(bucket_ms) {}
+
+  // Records one event at absolute time t_ms.
+  void record(std::int64_t t_ms);
+
+  // Events per bucket, from the first recorded event's bucket to the last.
+  // Empty if no events were recorded.
+  [[nodiscard]] std::vector<std::size_t> buckets() const;
+
+  [[nodiscard]] std::size_t total() const { return times_.size(); }
+
+ private:
+  std::int64_t bucket_ms_;
+  std::vector<std::int64_t> times_;
+};
+
+}  // namespace p2p::util

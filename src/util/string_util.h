@@ -1,0 +1,27 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2p::util {
+
+// Splits on a single character; adjacent separators yield empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+// Glob match supporting only a trailing '*' (the JXTA discovery style:
+// attribute queries like Name = "PS_SkiRental*"). An embedded '*' anywhere
+// also works as "match any run of characters".
+bool glob_match(std::string_view pattern, std::string_view text);
+
+// Case-sensitive join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace p2p::util

@@ -1,0 +1,67 @@
+#include "util/uuid.h"
+
+#include "util/random.h"
+
+namespace p2p::util {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Uuid Uuid::generate() {
+  GlobalRngLock lock;
+  return generate(global_rng());
+}
+
+Uuid Uuid::generate(Rng& rng) { return {rng.next_u64(), rng.next_u64()}; }
+
+Uuid Uuid::derive(std::string_view text) {
+  // Two independent FNV-1a passes with distinct offsets give 128 bits of
+  // stable, well-mixed identifier space for well-known names.
+  std::uint64_t hi = 0xcbf29ce484222325ULL;
+  std::uint64_t lo = 0x84222325cbf29ce4ULL;
+  for (const char c : text) {
+    hi = (hi ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    lo = (lo ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    lo ^= lo >> 29;
+  }
+  // Avoid accidentally deriving the nil uuid.
+  if (hi == 0 && lo == 0) lo = 1;
+  return {hi, lo};
+}
+
+std::optional<Uuid> Uuid::parse(std::string_view text) {
+  if (text.size() != 32) return std::nullopt;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 16; ++i) {
+    const int v = hex_value(text[static_cast<std::size_t>(i)]);
+    if (v < 0) return std::nullopt;
+    hi = (hi << 4) | static_cast<std::uint64_t>(v);
+  }
+  for (int i = 16; i < 32; ++i) {
+    const int v = hex_value(text[static_cast<std::size_t>(i)]);
+    if (v < 0) return std::nullopt;
+    lo = (lo << 4) | static_cast<std::uint64_t>(v);
+  }
+  return Uuid{hi, lo};
+}
+
+std::string Uuid::to_string() const {
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kHexDigits[(hi_ >> (4 * i)) & 0xf];
+    out[static_cast<std::size_t>(31 - i)] = kHexDigits[(lo_ >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+}  // namespace p2p::util

@@ -1,0 +1,66 @@
+// 128-bit universally unique identifiers.
+//
+// JXTA identifies every resource (peer, pipe, peer group, codat) by a UUID
+// rather than a network address; this is what lets the Pipe Binding Protocol
+// keep a pipe usable across IP-address changes (paper §2.1, footnote on PBP).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace p2p::util {
+
+class Rng;  // forward declaration (random.h)
+
+// An immutable 128-bit identifier, printed as 32 lowercase hex digits.
+class Uuid {
+ public:
+  // The all-zero UUID; used as a sentinel for "no id".
+  constexpr Uuid() = default;
+
+  constexpr Uuid(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  // Generates a fresh identifier from the process-wide CSPRNG-ish generator.
+  // Thread-safe.
+  static Uuid generate();
+
+  // Generates an identifier from a caller-supplied generator (deterministic
+  // tests and simulations).
+  static Uuid generate(Rng& rng);
+
+  // Derives a stable identifier from arbitrary text (FNV-1a based). Two calls
+  // with the same text yield the same Uuid. Used to derive well-known ids
+  // (e.g. the pipe id of a type's wire) so independent peers agree without
+  // coordination.
+  static Uuid derive(std::string_view text);
+
+  // Parses 32 hex digits (as produced by to_string). Returns nullopt on any
+  // malformed input.
+  static std::optional<Uuid> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_nil() const { return hi_ == 0 && lo_ == 0; }
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  friend constexpr bool operator==(const Uuid&, const Uuid&) = default;
+  friend constexpr auto operator<=>(const Uuid&, const Uuid&) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+}  // namespace p2p::util
+
+template <>
+struct std::hash<p2p::util::Uuid> {
+  std::size_t operator()(const p2p::util::Uuid& u) const noexcept {
+    // hi/lo are already uniformly random for generated ids; xor suffices.
+    return static_cast<std::size_t>(u.hi() ^ (u.lo() * 0x9e3779b97f4a7c15ULL));
+  }
+};

@@ -1,0 +1,346 @@
+#include "xml/xml.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace p2p::xml {
+
+using util::ParseError;
+
+Element& Element::set_attr(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::string(value);
+      return *this;
+    }
+  }
+  attrs_.emplace_back(std::string(key), std::string(value));
+  return *this;
+}
+
+std::optional<std::string_view> Element::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+Element& Element::set_text(std::string_view text) {
+  text_ = std::string(text);
+  return *this;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child(Element child) {
+  children_.push_back(std::make_unique<Element>(std::move(child)));
+  return *children_.back();
+}
+
+Element& Element::add_text_child(std::string name, std::string_view text) {
+  Element& c = add_child(std::move(name));
+  c.set_text(text);
+  return c;
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::child_text(std::string_view name) const {
+  const Element* c = child(name);
+  return c != nullptr ? c->text() : std::string{};
+}
+
+bool Element::equals(const Element& other) const {
+  if (name_ != other.name_ || attrs_ != other.attrs_ ||
+      text_ != other.text_ || children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+Element Element::clone() const {
+  Element copy(name_);
+  copy.attrs_ = attrs_;
+  copy.text_ = text_;
+  for (const auto& c : children_) copy.add_child(c->clone());
+  return copy;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_element(std::ostringstream& os, const Element& e, bool compact,
+                   int depth) {
+  const auto indent = [&] {
+    if (!compact) {
+      os << '\n';
+      for (int i = 0; i < depth; ++i) os << "  ";
+    }
+  };
+  if (depth > 0 || !compact) indent();
+  os << '<' << e.name();
+  for (const auto& [k, v] : e.attrs()) {
+    os << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  if (e.text().empty() && e.children().empty()) {
+    os << "/>";
+    return;
+  }
+  os << '>';
+  os << escape(e.text());
+  for (const auto& c : e.children()) {
+    write_element(os, *c, compact, depth + 1);
+  }
+  if (!e.children().empty()) indent();
+  os << "</" << e.name() << '>';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Element parse_document() {
+    skip_prolog();
+    Element root = parse_element();
+    skip_misc();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("xml: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  bool consume(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view lit) {
+    if (!consume(lit)) fail("expected '" + std::string(lit) + "'");
+  }
+  void skip_ws() {
+    while (!eof() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                      text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void skip_comment() {
+    // Caller consumed "<!--".
+    const std::size_t end = text_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (consume("<?xml")) {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated xml declaration");
+      pos_ = end + 2;
+    }
+    skip_misc();
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (consume("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(text_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string parse_entity() {
+    // Caller consumed '&'.
+    if (consume("amp;")) return "&";
+    if (consume("lt;")) return "<";
+    if (consume("gt;")) return ">";
+    if (consume("quot;")) return "\"";
+    if (consume("apos;")) return "'";
+    if (consume("#")) {
+      int base = 10;
+      if (consume("x")) base = 16;
+      std::uint32_t code = 0;
+      bool any = false;
+      while (!eof() && peek() != ';') {
+        const char c = take();
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else fail("bad character reference");
+        code = code * static_cast<std::uint32_t>(base) +
+               static_cast<std::uint32_t>(digit);
+        any = true;
+      }
+      expect(";");
+      if (!any || code > 0x10ffff) fail("bad character reference");
+      // UTF-8 encode.
+      std::string out;
+      if (code < 0x80) {
+        out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        out += static_cast<char>(0xc0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+      } else if (code < 0x10000) {
+        out += static_cast<char>(0xe0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+      } else {
+        out += static_cast<char>(0xf0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+        out += static_cast<char>(0x80 | (code & 0x3f));
+      }
+      return out;
+    }
+    fail("unknown entity");
+  }
+
+  std::string parse_attr_value() {
+    const char quote = take();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    std::string out;
+    while (peek() != quote) {
+      const char c = take();
+      if (c == '&') {
+        out += parse_entity();
+      } else if (c == '<') {
+        fail("'<' in attribute value");
+      } else {
+        out += c;
+      }
+    }
+    take();  // closing quote
+    return out;
+  }
+
+  Element parse_element() {
+    expect("<");
+    Element e(parse_name());
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (consume("/>")) return e;
+      if (consume(">")) break;
+      const std::string key = parse_name();
+      skip_ws();
+      expect("=");
+      skip_ws();
+      if (e.attr(key).has_value()) fail("duplicate attribute '" + key + "'");
+      e.set_attr(key, parse_attr_value());
+    }
+    // Content.
+    std::string text;
+    while (true) {
+      if (eof()) fail("unterminated element <" + e.name() + ">");
+      if (text_[pos_] == '<') {
+        if (consume("<!--")) {
+          skip_comment();
+          continue;
+        }
+        if (text_.substr(pos_, 2) == "</") {
+          pos_ += 2;
+          const std::string closing = parse_name();
+          if (closing != e.name()) {
+            fail("mismatched closing tag </" + closing + "> for <" +
+                 e.name() + ">");
+          }
+          skip_ws();
+          expect(">");
+          e.set_text(util::trim(text));
+          return e;
+        }
+        e.add_child(parse_element());
+      } else if (text_[pos_] == '&') {
+        ++pos_;
+        text += parse_entity();
+      } else {
+        text += take();
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string write(const Element& root, bool compact) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>";
+  write_element(os, root, compact, compact ? 1 : 0);
+  if (!compact) os << '\n';
+  return os.str();
+}
+
+Element parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace p2p::xml

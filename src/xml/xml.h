@@ -1,0 +1,87 @@
+// A small XML document model, writer and parser.
+//
+// JXTA represents every advertisement as an XML document (paper §2.1: "An
+// advertisement is a XML message that provides information about the
+// resource"). This module implements the subset the substrate needs:
+// elements, attributes, character data, entity escaping, comments skipped on
+// parse. No namespaces, no DTDs, no processing instructions beyond an
+// optional leading <?xml ...?> declaration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace p2p::xml {
+
+// One element: name, attributes in document order, children in document
+// order, and the concatenated character data directly inside the element.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- attributes -----------------------------------------------------
+  // Sets (or replaces) an attribute.
+  Element& set_attr(std::string_view key, std::string_view value);
+  [[nodiscard]] std::optional<std::string_view> attr(
+      std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  attrs() const {
+    return attrs_;
+  }
+
+  // --- text -----------------------------------------------------------
+  Element& set_text(std::string_view text);
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  // --- children -------------------------------------------------------
+  // Appends a new child and returns a reference to it (stable until the
+  // next child is added, as children are held by unique_ptr).
+  Element& add_child(std::string name);
+  Element& add_child(Element child);
+
+  // Convenience: adds <name>text</name>.
+  Element& add_text_child(std::string name, std::string_view text);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+
+  // First child with the given name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view name) const;
+  // All children with the given name.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view name) const;
+  // Text of the first child with the given name, or "" if absent.
+  [[nodiscard]] std::string child_text(std::string_view name) const;
+
+  // Deep structural equality (attribute order matters, as in canonical XML).
+  [[nodiscard]] bool equals(const Element& other) const;
+
+  // Deep copy.
+  [[nodiscard]] Element clone() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::string text_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+// Serializes a document. compact: single line; otherwise 2-space indented.
+std::string write(const Element& root, bool compact = true);
+
+// Parses one document. Throws util::ParseError with a byte offset on any
+// malformed input.
+Element parse(std::string_view text);
+
+// Escapes the five predefined XML entities in character data / attributes.
+std::string escape(std::string_view text);
+
+}  // namespace p2p::xml

@@ -1,0 +1,176 @@
+// Tests for bi-directional pipes (paper §2.1's "very new bi-directional
+// pipes").
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "jxta/bidi_pipe.h"
+#include "support/test_net.h"
+
+namespace p2p::jxta {
+namespace {
+
+using p2p::testing::TestNet;
+using p2p::testing::wait_until;
+
+PipeAdvertisement listen_adv(const std::string& name) {
+  PipeAdvertisement adv;
+  adv.pid = PipeId::derive("bidi-listen:" + name);
+  adv.name = name;
+  adv.type = PipeAdvertisement::Type::kUnicast;
+  return adv;
+}
+
+Message text_message(const std::string& text) {
+  Message m;
+  m.add_string("text", text);
+  return m;
+}
+
+TEST(BidiPipeTest, ConnectAndExchangeBothWays) {
+  TestNet net;
+  Peer& server = net.add_peer("server");
+  Peer& client = net.add_peer("client");
+  BidiAcceptor acceptor(server, listen_adv("echo"));
+
+  auto client_pipe = BidiPipe::connect(client, listen_adv("echo"),
+                                       std::chrono::milliseconds(3000));
+  ASSERT_NE(client_pipe, nullptr);
+  auto server_pipe = acceptor.accept(std::chrono::milliseconds(3000));
+  ASSERT_NE(server_pipe, nullptr);
+
+  // Client -> server.
+  EXPECT_TRUE(client_pipe->send(text_message("ping")));
+  auto got = server_pipe->poll(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->get_string("text"), "ping");
+  // Server -> client, same channel.
+  EXPECT_TRUE(server_pipe->send(text_message("pong")));
+  got = client_pipe->poll(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->get_string("text"), "pong");
+}
+
+TEST(BidiPipeTest, AcceptHandlerStyleEchoServer) {
+  TestNet net;
+  Peer& server = net.add_peer("server");
+  Peer& client = net.add_peer("client");
+  BidiAcceptor acceptor(server, listen_adv("echo2"));
+  std::mutex mu;
+  std::vector<std::shared_ptr<BidiPipe>> connections;
+  acceptor.set_accept_handler([&](std::shared_ptr<BidiPipe> pipe) {
+    auto* raw = pipe.get();
+    raw->set_listener([raw](Message m) {
+      Message reply;
+      reply.add_string("text",
+                       "echo: " + m.get_string("text").value_or(""));
+      raw->send(reply);
+    });
+    const std::lock_guard lock(mu);
+    connections.push_back(std::move(pipe));
+  });
+
+  auto client_pipe = BidiPipe::connect(client, listen_adv("echo2"),
+                                       std::chrono::milliseconds(3000));
+  ASSERT_NE(client_pipe, nullptr);
+  ASSERT_TRUE(client_pipe->send(text_message("hello")));
+  const auto got = client_pipe->poll(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->get_string("text"), "echo: hello");
+}
+
+TEST(BidiPipeTest, MultipleConcurrentConnectionsAreIsolated) {
+  TestNet net;
+  Peer& server = net.add_peer("server");
+  Peer& c1 = net.add_peer("c1");
+  Peer& c2 = net.add_peer("c2");
+  BidiAcceptor acceptor(server, listen_adv("multi"));
+
+  auto p1 = BidiPipe::connect(c1, listen_adv("multi"),
+                              std::chrono::milliseconds(3000));
+  auto p2 = BidiPipe::connect(c2, listen_adv("multi"),
+                              std::chrono::milliseconds(3000));
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  auto s1 = acceptor.accept(std::chrono::milliseconds(3000));
+  auto s2 = acceptor.accept(std::chrono::milliseconds(3000));
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+
+  // Replies go to the right connection even though accept order is
+  // unspecified: identify each server pipe by a probe first.
+  EXPECT_TRUE(p1->send(text_message("I am c1")));
+  EXPECT_TRUE(p2->send(text_message("I am c2")));
+  const auto m1 = s1->poll(std::chrono::milliseconds(3000));
+  const auto m2 = s2->poll(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_NE(m1->get_string("text"), m2->get_string("text"));
+  // Server answers s1's peer only; only that client hears it.
+  EXPECT_TRUE(s1->send(text_message("to you only")));
+  const bool c1_got =
+      p1->poll(std::chrono::milliseconds(500)).has_value();
+  const bool c2_got =
+      p2->poll(std::chrono::milliseconds(200)).has_value();
+  EXPECT_NE(c1_got, c2_got);  // exactly one of them
+}
+
+TEST(BidiPipeTest, ConnectToNobodyTimesOut) {
+  TestNet net;
+  Peer& client = net.add_peer("client");
+  EXPECT_EQ(BidiPipe::connect(client, listen_adv("ghost"),
+                              std::chrono::milliseconds(300)),
+            nullptr);
+}
+
+TEST(BidiPipeTest, CloseNotifiesPeer) {
+  TestNet net;
+  Peer& server = net.add_peer("server");
+  Peer& client = net.add_peer("client");
+  BidiAcceptor acceptor(server, listen_adv("closing"));
+  auto client_pipe = BidiPipe::connect(client, listen_adv("closing"),
+                                       std::chrono::milliseconds(3000));
+  ASSERT_NE(client_pipe, nullptr);
+  auto server_pipe = acceptor.accept(std::chrono::milliseconds(3000));
+  ASSERT_NE(server_pipe, nullptr);
+  client_pipe->close();
+  EXPECT_FALSE(client_pipe->send(text_message("after close")));
+  EXPECT_TRUE(wait_until([&] { return server_pipe->closed(); }));
+  EXPECT_FALSE(server_pipe->poll(std::chrono::milliseconds(100))
+                   .has_value());
+}
+
+TEST(BidiPipeTest, ListenerReceivesBacklogAndLive) {
+  TestNet net;
+  Peer& server = net.add_peer("server");
+  Peer& client = net.add_peer("client");
+  BidiAcceptor acceptor(server, listen_adv("backlog"));
+  auto client_pipe = BidiPipe::connect(client, listen_adv("backlog"),
+                                       std::chrono::milliseconds(3000));
+  ASSERT_NE(client_pipe, nullptr);
+  auto server_pipe = acceptor.accept(std::chrono::milliseconds(3000));
+  ASSERT_NE(server_pipe, nullptr);
+  client_pipe->send(text_message("early"));
+  // Let the early message arrive and queue before the listener exists.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::atomic<int> got{0};
+  server_pipe->set_listener([&](Message) { ++got; });
+  EXPECT_TRUE(wait_until([&] { return got == 1; }));
+  client_pipe->send(text_message("late"));
+  EXPECT_TRUE(wait_until([&] { return got == 2; }));
+}
+
+TEST(BidiPipeTest, AcceptorCloseStopsNewConnections) {
+  TestNet net;
+  Peer& server = net.add_peer("server");
+  Peer& client = net.add_peer("client");
+  auto acceptor =
+      std::make_unique<BidiAcceptor>(server, listen_adv("shut"));
+  acceptor->close();
+  EXPECT_EQ(BidiPipe::connect(client, listen_adv("shut"),
+                              std::chrono::milliseconds(300)),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace p2p::jxta

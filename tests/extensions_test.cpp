@@ -1,0 +1,299 @@
+// Tests for the paper's §6 future-work extensions: request/reply
+// (TPS + RPC combination) and XML-typed (loosely-coupled) events.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "events/ski_rental.h"
+#include "support/test_net.h"
+#include "tps/dynamic.h"
+#include "tps/request_reply.h"
+
+namespace p2p::tps {
+namespace {
+
+using events::SkiRental;
+using p2p::testing::TestNet;
+using p2p::testing::wait_until;
+
+TpsConfig fast_config() {
+  TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(300);
+  config.finder_period = std::chrono::milliseconds(150);
+  return config;
+}
+
+// For the party that initializes SECOND: a generous search window so it
+// reliably adopts the first party's advertisement even on a loaded CI
+// machine (found-early returns early, so the patience is free in the
+// common case).
+TpsConfig patient_config() {
+  TpsConfig config = fast_config();
+  config.adv_search_timeout = std::chrono::milliseconds(3000);
+  return config;
+}
+
+// A tiny request type local to this test.
+class Ping : public serial::Event {
+ public:
+  Ping() = default;
+  explicit Ping(std::int64_t value) : value_(value) {}
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Pong : public serial::Event {
+ public:
+  Pong() = default;
+  explicit Pong(std::int64_t value) : value_(value) {}
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace
+}  // namespace p2p::tps
+
+template <>
+struct p2p::serial::EventTraits<p2p::tps::Ping> {
+  static constexpr std::string_view kTypeName = "test:Ping";
+  using Parent = NoParent;
+  static void encode(const tps::Ping& e, util::ByteWriter& w) {
+    w.write_i64(e.value());
+  }
+  static tps::Ping decode(util::ByteReader& r) {
+    return tps::Ping{r.read_i64()};
+  }
+};
+
+template <>
+struct p2p::serial::EventTraits<p2p::tps::Pong> {
+  static constexpr std::string_view kTypeName = "test:Pong";
+  using Parent = NoParent;
+  static void encode(const tps::Pong& e, util::ByteWriter& w) {
+    w.write_i64(e.value());
+  }
+  static tps::Pong decode(util::ByteReader& r) {
+    return tps::Pong{r.read_i64()};
+  }
+};
+
+namespace p2p::tps {
+namespace {
+
+// --- request/reply ------------------------------------------------------------
+
+TEST(RequestReplyTest, EnvelopeTypeNameDerivedFromInner) {
+  EXPECT_EQ(serial::EventTraits<RequestEnvelope<Ping>>::kTypeName,
+            "Request:test:Ping");
+}
+
+TEST(RequestReplyTest, EnvelopeCodecRoundTrips) {
+  serial::TypeRegistry registry;
+  serial::register_event_with_ancestors<RequestEnvelope<Ping>>(registry);
+  const RequestEnvelope<Ping> original(Ping{42}, jxta::PipeId::generate(),
+                                       util::Uuid::generate());
+  const auto decoded =
+      registry.decode_tagged(registry.encode_tagged(original));
+  const auto* typed =
+      dynamic_cast<const RequestEnvelope<Ping>*>(decoded.event.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->inner().value(), 42);
+  EXPECT_EQ(typed->reply_pipe(), original.reply_pipe());
+  EXPECT_EQ(typed->request_id(), original.request_id());
+}
+
+TEST(RequestReplyTest, SingleResponderAnswers) {
+  TestNet net;
+  jxta::Peer& customer = net.add_peer("customer");
+  jxta::Peer& shop = net.add_peer("shop");
+  Requester<Ping, Pong> requester(customer, fast_config());
+  Responder<Ping, Pong> responder(
+      shop,
+      [](const Ping& p) -> std::optional<Pong> { return Pong{p.value() * 2}; },
+      patient_config());
+  std::atomic<std::int64_t> answer{0};
+  requester.request(Ping{21}, [&](const Pong& pong) { answer = pong.value(); });
+  EXPECT_TRUE(wait_until([&] { return answer == 42; }));
+  EXPECT_EQ(responder.answered(), 1u);
+}
+
+TEST(RequestReplyTest, MultipleAnonymousResponders) {
+  TestNet net;
+  jxta::Peer& customer = net.add_peer("customer");
+  jxta::Peer& shop1 = net.add_peer("shop1");
+  jxta::Peer& shop2 = net.add_peer("shop2");
+  Requester<Ping, Pong> requester(customer, fast_config());
+  const auto echo = [](const Ping& p) -> std::optional<Pong> {
+    return Pong{p.value()};
+  };
+  Responder<Ping, Pong> r1(shop1, echo, patient_config());
+  Responder<Ping, Pong> r2(shop2, echo, patient_config());
+  std::atomic<int> replies{0};
+  requester.request(Ping{7}, [&](const Pong&) { ++replies; });
+  EXPECT_TRUE(wait_until([&] { return replies == 2; }));
+}
+
+TEST(RequestReplyTest, DecliningResponderStaysSilent) {
+  TestNet net;
+  jxta::Peer& customer = net.add_peer("customer");
+  jxta::Peer& shop = net.add_peer("shop");
+  Requester<Ping, Pong> requester(customer, fast_config());
+  Responder<Ping, Pong> responder(
+      shop,
+      [](const Ping& p) -> std::optional<Pong> {
+        if (p.value() < 0) return std::nullopt;  // decline
+        return Pong{1};
+      },
+      patient_config());
+  std::atomic<int> replies{0};
+  requester.request(Ping{-1}, [&](const Pong&) { ++replies; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_EQ(replies, 0);
+  EXPECT_EQ(responder.answered(), 0u);
+  EXPECT_EQ(requester.pending_count(), 1u);
+  // A positive request still works afterwards.
+  requester.request(Ping{1}, [&](const Pong&) { ++replies; });
+  EXPECT_TRUE(wait_until([&] { return replies == 1; }));
+}
+
+TEST(RequestReplyTest, ForgottenRequestDropsLateReplies) {
+  TestNet net;
+  jxta::Peer& customer = net.add_peer("customer");
+  jxta::Peer& shop = net.add_peer("shop");
+  Requester<Ping, Pong> requester(customer, fast_config());
+  std::atomic<int> replies{0};
+  Responder<Ping, Pong> responder(
+      shop,
+      [](const Ping& p) -> std::optional<Pong> { return Pong{p.value()}; },
+      patient_config());
+  // Slow the reply leg down so forget() deterministically wins the race.
+  net.fabric().set_link("shop", "customer", {.latency_ms = 300});
+  const util::Uuid id =
+      requester.request(Ping{5}, [&](const Pong&) { ++replies; });
+  requester.forget(id);  // cancel before the answer can arrive
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_EQ(replies, 0);
+  EXPECT_EQ(requester.pending_count(), 0u);
+}
+
+TEST(RequestReplyTest, ThrowingHandlerAnswersNothing) {
+  TestNet net;
+  jxta::Peer& customer = net.add_peer("customer");
+  jxta::Peer& shop = net.add_peer("shop");
+  Requester<Ping, Pong> requester(customer, fast_config());
+  Responder<Ping, Pong> responder(
+      shop,
+      [](const Ping&) -> std::optional<Pong> {
+        throw std::runtime_error("shop database down");
+      },
+      patient_config());
+  std::atomic<int> replies{0};
+  requester.request(Ping{1}, [&](const Pong&) { ++replies; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_EQ(replies, 0);
+}
+
+// --- XML-typed events ------------------------------------------------------------
+
+TEST(XmlEventTest, FieldsAndXmlRoundTrip) {
+  XmlEvent event("WeatherReport");
+  event.set("resort", "Zermatt").set("snow_cm", "45");
+  EXPECT_EQ(event.get("resort"), "Zermatt");
+  EXPECT_TRUE(event.has("snow_cm"));
+  EXPECT_FALSE(event.has("wind"));
+  EXPECT_EQ(event.get("wind"), "");
+  const XmlEvent back = XmlEvent::from_xml(
+      xml::parse(xml::write(event.to_xml())));
+  EXPECT_EQ(back, event);
+  EXPECT_EQ(back.tps_type_name(), "WeatherReport");
+}
+
+TEST(XmlEventTest, DynamicRegistrationAndTaggedCodec) {
+  serial::TypeRegistry registry;
+  register_xml_event_type("X:Alert", "", registry);
+  register_xml_event_type("X:Weather", "X:Alert", registry);
+  EXPECT_EQ(registry.ancestry("X:Weather"),
+            (std::vector<std::string>{"X:Weather", "X:Alert"}));
+  XmlEvent event("X:Weather");
+  event.set("k", "v");
+  const auto decoded = registry.decode_tagged(registry.encode_tagged(event));
+  EXPECT_EQ(decoded.type_name, "X:Weather");
+  const auto* typed = dynamic_cast<const XmlEvent*>(decoded.event.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->get("k"), "v");
+}
+
+TEST(XmlEventTest, UnregisteredDynamicTypeFailsToEncode) {
+  serial::TypeRegistry registry;
+  XmlEvent event("NeverRegistered");
+  EXPECT_THROW((void)registry.encode_tagged(event), util::NotFoundError);
+}
+
+TEST(DynamicTpsTest, LooselyCoupledPubSub) {
+  TestNet net;
+  jxta::Peer& a = net.add_peer("a");
+  jxta::Peer& b = net.add_peer("b");
+  DynamicTpsInterface sub(a, "dyn:Quote", "", fast_config());
+  std::atomic<int> got{0};
+  std::mutex mu;
+  std::string last_price;
+  sub.subscribe(
+      [&](const XmlEvent& e) {
+        const std::lock_guard lock(mu);
+        last_price = e.get("price");
+        ++got;
+      },
+      [](std::exception_ptr) {});
+  DynamicTpsInterface pub(b, "dyn:Quote", "", patient_config());
+  XmlEvent quote("dyn:Quote");
+  quote.set("price", "14.5");
+  pub.publish(quote);
+  EXPECT_TRUE(wait_until([&] { return got == 1; }));
+  const std::lock_guard lock(mu);
+  EXPECT_EQ(last_price, "14.5");
+}
+
+TEST(DynamicTpsTest, RuntimeHierarchyDispatch) {
+  TestNet net;
+  jxta::Peer& root_peer = net.add_peer("root-sub");
+  jxta::Peer& leaf_peer = net.add_peer("leaf-pub");
+  DynamicTpsInterface root_sub(root_peer, "dyn:Base", "", fast_config());
+  std::atomic<int> got{0};
+  root_sub.subscribe([&](const XmlEvent&) { ++got; },
+                     [](std::exception_ptr) {});
+  DynamicTpsInterface leaf_pub(leaf_peer, "dyn:Derived", "dyn:Base",
+                               fast_config());
+  XmlEvent event("dyn:Derived");
+  leaf_pub.publish(event);
+  EXPECT_TRUE(wait_until([&] { return got == 1; }));
+}
+
+TEST(DynamicTpsTest, PublishingWrongTypeNameThrows) {
+  TestNet net;
+  jxta::Peer& a = net.add_peer("a");
+  DynamicTpsInterface tps(a, "dyn:Strict", "", fast_config());
+  register_xml_event_type("dyn:Unrelated");
+  XmlEvent wrong("dyn:Unrelated");
+  EXPECT_THROW(tps.publish(wrong), PsException);
+}
+
+TEST(DynamicTpsTest, UnsubscribeToken) {
+  TestNet net;
+  jxta::Peer& a = net.add_peer("a");
+  DynamicTpsInterface tps(a, "dyn:Tokens", "", fast_config());
+  std::atomic<int> got{0};
+  const auto token = tps.subscribe([&](const XmlEvent&) { ++got; },
+                                   [](std::exception_ptr) {});
+  tps.unsubscribe(token);
+  XmlEvent e("dyn:Tokens");
+  tps.publish(e);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(got, 0);
+}
+
+}  // namespace
+}  // namespace p2p::tps

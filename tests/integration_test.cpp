@@ -1,0 +1,291 @@
+// End-to-end integration tests: full TPS stacks over realistic topologies —
+// real TCP sockets, lossy links, multi-rendezvous WANs, firewalled peers,
+// churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "events/ski_rental.h"
+#include "net/tcp_transport.h"
+#include "support/test_net.h"
+#include "tps/tps.h"
+
+namespace p2p {
+namespace {
+
+using events::SkiRental;
+using testing::TestNet;
+using testing::wait_until;
+
+tps::TpsConfig fast_config() {
+  tps::TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(300);
+  config.finder_period = std::chrono::milliseconds(150);
+  return config;
+}
+
+// --- real sockets -------------------------------------------------------------
+
+TEST(TcpIntegrationTest, TpsPubSubOverRealSockets) {
+  // Two peers talking through actual loopback TCP; no simulated fabric at
+  // all. TCP has no multicast, so a rendezvous bridges them.
+  jxta::PeerConfig rdv_config;
+  rdv_config.name = "rdv";
+  rdv_config.rendezvous = true;
+  rdv_config.heartbeat = std::chrono::milliseconds(100);
+  jxta::Peer rdv(rdv_config);
+  auto rdv_transport = std::make_shared<net::TcpTransport>();
+  const net::Address rdv_addr = rdv_transport->local_address();
+  rdv.add_transport(rdv_transport);
+  rdv.start();
+
+  const auto make_peer = [&](const std::string& name) {
+    jxta::PeerConfig config;
+    config.name = name;
+    config.heartbeat = std::chrono::milliseconds(100);
+    config.seed_rendezvous = {rdv_addr};
+    auto peer = std::make_unique<jxta::Peer>(config);
+    peer->add_transport(std::make_shared<net::TcpTransport>());
+    peer->start();
+    return peer;
+  };
+  auto sub_peer = make_peer("tcp-sub");
+  auto pub_peer = make_peer("tcp-pub");
+  ASSERT_TRUE(wait_until([&] {
+    return sub_peer->rendezvous().connected() &&
+           pub_peer->rendezvous().connected();
+  }));
+
+  tps::TpsEngine<SkiRental> sub_engine(*sub_peer, fast_config());
+  auto sub = sub_engine.new_interface();
+  std::atomic<int> got{0};
+  sub.subscribe(
+      tps::make_callback<SkiRental>([&](const SkiRental&) { ++got; }),
+      tps::ignore_exceptions<SkiRental>());
+
+  tps::TpsEngine<SkiRental> pub_engine(*pub_peer, fast_config());
+  auto pub = pub_engine.new_interface();
+  EXPECT_TRUE(wait_until([&] {
+    pub.publish(SkiRental("TCP", 1, "Shop", 1));
+    return got >= 1;
+  }));
+  pub_peer->stop();
+  sub_peer->stop();
+  rdv.stop();
+}
+
+// --- lossy network ---------------------------------------------------------------
+
+TEST(LossIntegrationTest, EventsStillFlowOnALossyNetwork) {
+  // JXTA 1.0 "is not reliable" (paper footnote in §5.1) and neither is our
+  // wire: with 20% datagram loss some events vanish, but the system keeps
+  // working and never delivers duplicates or garbage.
+  TestNet net;
+  jxta::Peer& sub_peer = net.add_peer("sub");
+  jxta::Peer& pub_peer = net.add_peer("pub");
+
+  tps::TpsEngine<SkiRental> sub_engine(sub_peer, fast_config());
+  auto sub = sub_engine.new_interface();
+  std::atomic<int> got{0};
+  sub.subscribe(
+      tps::make_callback<SkiRental>([&](const SkiRental&) { ++got; }),
+      tps::ignore_exceptions<SkiRental>());
+  tps::TpsEngine<SkiRental> pub_engine(pub_peer, fast_config());
+  auto pub = pub_engine.new_interface();
+
+  // Make sure the path works, then add loss.
+  EXPECT_TRUE(wait_until([&] {
+    pub.publish(SkiRental("warm", 0, "up", 1));
+    return got >= 1;
+  }));
+  const int after_warmup = got;
+  net.fabric().set_default_link({.loss = 0.2});
+  constexpr int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    pub.publish(SkiRental("S", static_cast<float>(i), "B", 1));
+  }
+  // Wait for the surviving deliveries to settle.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  const int delivered = got - after_warmup;
+  EXPECT_GT(delivered, kEvents / 2);   // most got through
+  EXPECT_LE(delivered, kEvents);       // never more than published
+  EXPECT_EQ(sub.stats().decode_failures, 0u);
+}
+
+// --- multi-rendezvous WAN ----------------------------------------------------------
+
+TEST(WanIntegrationTest, EventsCrossTwoRendezvousSubnets) {
+  // Two firewalled edge peers, each leased onto its own rendezvous; the
+  // rendezvous lease onto each other. Events must cross: edge1 -> rdv1 ->
+  // rdv2 -> edge2 (multicast cannot reach firewalled nodes).
+  TestNet net;
+  jxta::Peer& rdv1 = net.add_peer("rdv1", /*rendezvous=*/true, true);
+  jxta::Peer& rdv2 =
+      net.add_peer("rdv2", /*rendezvous=*/true, true, {"rdv1"});
+  jxta::Peer& edge1 = net.add_peer("edge1", false, false, {"rdv1"});
+  jxta::Peer& edge2 = net.add_peer("edge2", false, false, {"rdv2"});
+  net.fabric().set_firewalled("edge1", true);
+  net.fabric().set_firewalled("edge2", true);
+  edge1.tick();  // punch fresh firewall holes with a lease renewal
+  edge2.tick();
+  ASSERT_TRUE(wait_until([&] {
+    return edge1.rendezvous().connected() &&
+           edge2.rendezvous().connected() && rdv2.rendezvous().connected();
+  }));
+
+  tps::TpsEngine<SkiRental> sub_engine(edge2, fast_config());
+  auto sub = sub_engine.new_interface();
+  std::atomic<int> got{0};
+  sub.subscribe(
+      tps::make_callback<SkiRental>([&](const SkiRental&) { ++got; }),
+      tps::ignore_exceptions<SkiRental>());
+
+  tps::TpsEngine<SkiRental> pub_engine(edge1, fast_config());
+  auto pub = pub_engine.new_interface();
+  EXPECT_TRUE(wait_until([&] {
+    pub.publish(SkiRental("X", 1, "B", 1));
+    return got >= 1;
+  }));
+  (void)rdv1;
+}
+
+// --- churn ----------------------------------------------------------------------------
+
+TEST(ChurnIntegrationTest, LateSubscriberSeesOnlyNewEvents) {
+  // Time decoupling has limits without persistence: a subscriber that
+  // joins late receives events published after it bound, not before.
+  TestNet net;
+  jxta::Peer& pub_peer = net.add_peer("pub");
+  tps::TpsEngine<SkiRental> pub_engine(pub_peer, fast_config());
+  auto pub = pub_engine.new_interface();
+  pub.publish(SkiRental("early", 1, "B", 1));
+
+  jxta::Peer& sub_peer = net.add_peer("late-sub");
+  tps::TpsEngine<SkiRental> sub_engine(sub_peer, fast_config());
+  auto sub = sub_engine.new_interface();
+  std::mutex mu;
+  std::vector<std::string> shops;
+  sub.subscribe(tps::make_callback<SkiRental>([&](const SkiRental& e) {
+                  const std::lock_guard lock(mu);
+                  shops.push_back(e.shop());
+                }),
+                tps::ignore_exceptions<SkiRental>());
+  EXPECT_TRUE(wait_until([&] {
+    pub.publish(SkiRental("new", 1, "B", 1));
+    const std::lock_guard lock(mu);
+    return !shops.empty();
+  }));
+  const std::lock_guard lock(mu);
+  for (const auto& shop : shops) {
+    EXPECT_EQ(shop, "new");  // the pre-subscription event never replays
+  }
+}
+
+TEST(ChurnIntegrationTest, PublisherSurvivesSubscriberDeparture) {
+  TestNet net;
+  jxta::Peer& pub_peer = net.add_peer("pub");
+  auto sub_net_peer = std::make_unique<jxta::Peer>(jxta::PeerConfig{
+      .name = "doomed",
+      .heartbeat = std::chrono::milliseconds(100)});
+  sub_net_peer->add_transport(
+      std::make_shared<net::InProcTransport>(net.fabric(), "doomed"));
+  sub_net_peer->start();
+
+  std::atomic<int> got{0};
+  tps::TpsEngine<SkiRental> pub_engine(pub_peer, fast_config());
+  std::optional<tps::TpsInterface<SkiRental>> pub;
+  {
+    // Sessions must not outlive their peer: the subscriber interface goes
+    // first, then its peer — then the world moves on without them.
+    tps::TpsEngine<SkiRental> sub_engine(*sub_net_peer, fast_config());
+    auto sub = sub_engine.new_interface();
+    sub.subscribe(
+        tps::make_callback<SkiRental>([&](const SkiRental&) { ++got; }),
+        tps::ignore_exceptions<SkiRental>());
+    pub.emplace(pub_engine.new_interface());
+    ASSERT_TRUE(wait_until([&] {
+      pub->publish(SkiRental("S", 1, "B", 1));
+      return got >= 1;
+    }));
+  }
+  // Subscriber vanishes abruptly.
+  sub_net_peer->stop();
+  sub_net_peer.reset();
+  // Publishing into the void must neither throw nor block.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NO_THROW(pub->publish(SkiRental("S", 2, "B", 1)));
+  }
+}
+
+TEST(ChurnIntegrationTest, SubscriberSurvivesPublisherDeparture) {
+  TestNet net;
+  jxta::Peer& sub_peer = net.add_peer("sub");
+  tps::TpsEngine<SkiRental> sub_engine(sub_peer, fast_config());
+  auto sub = sub_engine.new_interface();
+  std::atomic<int> got{0};
+  sub.subscribe(
+      tps::make_callback<SkiRental>([&](const SkiRental&) { ++got; }),
+      tps::ignore_exceptions<SkiRental>());
+  {
+    auto pub_peer = std::make_unique<jxta::Peer>(jxta::PeerConfig{
+        .name = "pub", .heartbeat = std::chrono::milliseconds(100)});
+    pub_peer->add_transport(
+        std::make_shared<net::InProcTransport>(net.fabric(), "pub"));
+    pub_peer->start();
+    tps::TpsEngine<SkiRental> pub_engine(*pub_peer, fast_config());
+    auto pub = pub_engine.new_interface();
+    ASSERT_TRUE(wait_until([&] {
+      pub.publish(SkiRental("S", 1, "B", 1));
+      return got >= 1;
+    }));
+    pub_peer->stop();
+  }
+  // A second publisher shows the topic outlives any single publisher
+  // (space decoupling: "do not need to know each other").
+  jxta::Peer& pub2_peer = net.add_peer("pub2");
+  tps::TpsEngine<SkiRental> pub2_engine(pub2_peer, fast_config());
+  auto pub2 = pub2_engine.new_interface();
+  const int before = got;
+  EXPECT_TRUE(wait_until([&] {
+    pub2.publish(SkiRental("S2", 1, "B", 1));
+    return got > before;
+  }));
+}
+
+// --- interop: TPS and SR-JXTA coexist on one peer -------------------------------------
+
+TEST(CoexistenceTest, TpsAndRawWireShareAPeer) {
+  // The TPS layer must not interfere with other JXTA usage on the same
+  // peer: a raw wire conversation on an unrelated group keeps working.
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  jxta::Peer& bob = net.add_peer("bob");
+
+  tps::TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps_interface = engine.new_interface();
+
+  jxta::PipeAdvertisement pipe;
+  pipe.pid = jxta::PipeId::derive("coexist");
+  pipe.name = "coexist";
+  pipe.type = jxta::PipeAdvertisement::Type::kPropagate;
+  jxta::PeerGroupAdvertisement group_adv;
+  group_adv.gid = jxta::PeerGroupId::derive("coexist-group");
+  group_adv.creator = alice.id();
+  group_adv.name = "coexist-group";
+  auto wire_svc = jxta::WireService::make_service_advertisement(pipe);
+  group_adv.services.emplace(wire_svc.name, std::move(wire_svc));
+
+  auto g_alice = alice.create_group(group_adv);
+  auto g_bob = bob.create_group(group_adv);
+  auto in = g_bob->wire().create_input_pipe(pipe);
+  auto out = g_alice->wire().create_output_pipe(pipe);
+  jxta::Message m;
+  m.add_string("k", "raw");
+  out->send(m);
+  const auto received = in->poll(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->get_string("k"), "raw");
+}
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,267 @@
+// Unit tests for the JXTA core value types: ids, messages, advertisements.
+#include <gtest/gtest.h>
+
+#include "jxta/advertisement.h"
+#include "jxta/endpoint.h"
+#include "jxta/message.h"
+#include "jxta/wire.h"
+
+namespace p2p::jxta {
+namespace {
+
+// --- typed ids -----------------------------------------------------------
+
+TEST(IdTest, KindsAreDistinctTypesWithDistinctPrefixes) {
+  const PeerId peer = PeerId::generate();
+  const PipeId pipe = PipeId::generate();
+  EXPECT_TRUE(peer.to_string().starts_with("urn:jxta:peer:"));
+  EXPECT_TRUE(pipe.to_string().starts_with("urn:jxta:pipe:"));
+  EXPECT_TRUE(PeerGroupId::generate().to_string().starts_with(
+      "urn:jxta:group:"));
+  EXPECT_TRUE(CodatId::generate().to_string().starts_with("urn:jxta:codat:"));
+}
+
+TEST(IdTest, RoundTripsThroughText) {
+  const PeerId original = PeerId::generate();
+  EXPECT_EQ(PeerId::parse(original.to_string()), original);
+}
+
+TEST(IdTest, ParseRejectsWrongKind) {
+  const PipeId pipe = PipeId::generate();
+  EXPECT_THROW(PeerId::parse(pipe.to_string()), util::ParseError);
+  EXPECT_THROW(PeerId::parse("garbage"), util::ParseError);
+  EXPECT_THROW(PeerId::parse(""), util::ParseError);
+}
+
+TEST(IdTest, DeriveIsStableAndKindScoped) {
+  EXPECT_EQ(PeerId::derive("x"), PeerId::derive("x"));
+  // The same name derives different uuids for different kinds.
+  EXPECT_NE(PeerId::derive("x").uuid(), PipeId::derive("x").uuid());
+}
+
+TEST(IdTest, NilDetection) {
+  EXPECT_TRUE(PeerId{}.is_nil());
+  EXPECT_FALSE(PeerId::generate().is_nil());
+}
+
+// --- Message ---------------------------------------------------------------
+
+TEST(MessageTest, ElementsAccessors) {
+  Message m;
+  m.add_string("name", "value");
+  m.add_bytes("blob", {1, 2, 3}, "application/x-test");
+  EXPECT_EQ(m.elements().size(), 2u);
+  EXPECT_EQ(m.get_string("name"), "value");
+  EXPECT_EQ(m.get_bytes("blob"), (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(m.find("blob")->mime, "application/x-test");
+  EXPECT_EQ(m.find("missing"), nullptr);
+  EXPECT_FALSE(m.get_string("missing").has_value());
+  EXPECT_EQ(m.body_size(), 5u + 3u);
+}
+
+TEST(MessageTest, FirstElementWinsOnDuplicateNames) {
+  Message m;
+  m.add_string("k", "first");
+  m.add_string("k", "second");
+  EXPECT_EQ(m.get_string("k"), "first");
+}
+
+TEST(MessageTest, SerializeRoundTrip) {
+  Message m;
+  m.add_string("a", "hello");
+  m.add_bytes("b", {0, 255, 7});
+  const Message back = Message::deserialize(m.serialize());
+  EXPECT_EQ(back, m);
+  EXPECT_EQ(back.id(), m.id());
+}
+
+TEST(MessageTest, DupKeepsElementsFreshensId) {
+  Message m;
+  m.add_string("k", "v");
+  const Message d = m.dup();
+  EXPECT_NE(d.id(), m.id());
+  EXPECT_EQ(d.elements(), m.elements());
+}
+
+TEST(MessageTest, DeserializeRejectsGarbage) {
+  EXPECT_THROW(Message::deserialize(util::to_bytes("short")),
+               util::ParseError);
+}
+
+// --- advertisements -------------------------------------------------------------
+
+PeerAdvertisement sample_peer_adv() {
+  PeerAdvertisement adv;
+  adv.pid = PeerId::generate();
+  adv.gid = PeerGroupId::generate();
+  adv.name = "test-peer";
+  adv.endpoints = {net::Address("inproc", "test-peer"),
+                   net::Address("tcp", "127.0.0.1:9000")};
+  adv.is_rendezvous = true;
+  adv.is_router = false;
+  return adv;
+}
+
+PipeAdvertisement sample_pipe_adv() {
+  PipeAdvertisement adv;
+  adv.pid = PipeId::generate();
+  adv.name = "SkiRental";
+  adv.type = PipeAdvertisement::Type::kPropagate;
+  return adv;
+}
+
+PeerGroupAdvertisement sample_group_adv() {
+  PeerGroupAdvertisement adv;
+  adv.gid = PeerGroupId::generate();
+  adv.creator = PeerId::generate();
+  adv.name = "PS_SkiRental";
+  adv.app = "tps";
+  adv.group_impl = "builtin";
+  adv.is_rendezvous = true;
+  adv.services.emplace(
+      std::string(WireService::kWireName),
+      WireService::make_service_advertisement(sample_pipe_adv()));
+  return adv;
+}
+
+TEST(AdvertisementTest, PeerAdvXmlRoundTrip) {
+  const PeerAdvertisement adv = sample_peer_adv();
+  const PeerAdvertisement back =
+      PeerAdvertisement::from_xml(xml::parse(adv.to_xml_text()));
+  EXPECT_EQ(back.pid, adv.pid);
+  EXPECT_EQ(back.gid, adv.gid);
+  EXPECT_EQ(back.name, adv.name);
+  EXPECT_EQ(back.endpoints, adv.endpoints);
+  EXPECT_EQ(back.is_rendezvous, adv.is_rendezvous);
+  EXPECT_EQ(back.is_router, adv.is_router);
+}
+
+TEST(AdvertisementTest, PipeAdvXmlRoundTrip) {
+  const PipeAdvertisement adv = sample_pipe_adv();
+  const PipeAdvertisement back =
+      PipeAdvertisement::from_xml(xml::parse(adv.to_xml_text()));
+  EXPECT_EQ(back.pid, adv.pid);
+  EXPECT_EQ(back.name, adv.name);
+  EXPECT_EQ(back.type, adv.type);
+}
+
+TEST(AdvertisementTest, GroupAdvXmlRoundTripWithServices) {
+  const PeerGroupAdvertisement adv = sample_group_adv();
+  const PeerGroupAdvertisement back =
+      PeerGroupAdvertisement::from_xml(xml::parse(adv.to_xml_text()));
+  EXPECT_EQ(back.gid, adv.gid);
+  EXPECT_EQ(back.creator, adv.creator);
+  EXPECT_EQ(back.name, adv.name);
+  EXPECT_EQ(back.is_rendezvous, adv.is_rendezvous);
+  const ServiceAdvertisement* wire = back.service(WireService::kWireName);
+  ASSERT_NE(wire, nullptr);
+  ASSERT_TRUE(wire->pipe.has_value());
+  EXPECT_EQ(wire->pipe->name, "SkiRental");
+  EXPECT_EQ(wire->pipe->type, PipeAdvertisement::Type::kPropagate);
+}
+
+TEST(AdvertisementTest, ServiceAdvParamsRoundTrip) {
+  ServiceAdvertisement svc;
+  svc.name = "jxta.service.resolver";
+  svc.version = "1.0";
+  svc.params = {"p1", "p2", "p3"};
+  const ServiceAdvertisement back =
+      ServiceAdvertisement::from_xml(xml::parse(svc.to_xml_text()));
+  EXPECT_EQ(back.params, svc.params);
+  EXPECT_EQ(back.name, svc.name);
+}
+
+TEST(AdvertisementTest, RouteAdvXmlRoundTrip) {
+  RouteAdvertisement adv;
+  adv.dest = PeerId::generate();
+  adv.hops = {PeerId::generate(), PeerId::generate()};
+  const RouteAdvertisement back =
+      RouteAdvertisement::from_xml(xml::parse(adv.to_xml_text()));
+  EXPECT_EQ(back.dest, adv.dest);
+  EXPECT_EQ(back.hops, adv.hops);
+}
+
+TEST(AdvertisementTest, FieldLookupForDiscoveryMatching) {
+  const PeerGroupAdvertisement adv = sample_group_adv();
+  EXPECT_EQ(adv.field("Name"), "PS_SkiRental");
+  EXPECT_EQ(adv.field("GID"), adv.gid.to_string());
+  EXPECT_EQ(adv.field("Nonexistent"), "");
+}
+
+TEST(AdvertisementTest, IdentityIsStablePerResource) {
+  const PeerGroupAdvertisement adv = sample_group_adv();
+  PeerGroupAdvertisement same_group = adv;
+  same_group.name = "renamed";
+  EXPECT_EQ(adv.identity(), same_group.identity());
+}
+
+TEST(AdvertisementFactoryTest, DispatchesOnDocType) {
+  const PeerAdvertisement adv = sample_peer_adv();
+  const auto parsed =
+      AdvertisementFactory::instance().parse_text(adv.to_xml_text());
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->doc_type(), std::string(PeerAdvertisement::kDocType));
+  const auto* typed = dynamic_cast<const PeerAdvertisement*>(parsed.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->pid, adv.pid);
+}
+
+TEST(AdvertisementFactoryTest, UnknownDocTypeThrows) {
+  EXPECT_THROW(
+      AdvertisementFactory::instance().parse_text("<jxta:Mystery/>"),
+      util::ParseError);
+}
+
+TEST(AdvertisementFactoryTest, CustomKindRegistrable) {
+  AdvertisementFactory::instance().register_parser(
+      "x:Custom", [](const xml::Element&) {
+        auto adv = std::make_unique<PipeAdvertisement>();
+        adv->pid = PipeId::derive("custom");
+        adv->name = "custom";
+        return adv;
+      });
+  const auto parsed =
+      AdvertisementFactory::instance().parse_text("<x:Custom/>");
+  EXPECT_EQ(parsed->field("Name"), "custom");
+}
+
+TEST(AdvertisementTest, CloneIsIndependent) {
+  const PeerGroupAdvertisement adv = sample_group_adv();
+  const auto copy = adv.clone();
+  EXPECT_EQ(copy->identity(), adv.identity());
+  EXPECT_EQ(copy->to_xml_text(), adv.to_xml_text());
+}
+
+TEST(PipeAdvertisementTest, TypeStringsRoundTrip) {
+  EXPECT_EQ(PipeAdvertisement::type_from_string(
+                PipeAdvertisement::type_to_string(
+                    PipeAdvertisement::Type::kUnicast)),
+            PipeAdvertisement::Type::kUnicast);
+  EXPECT_EQ(PipeAdvertisement::type_from_string(
+                PipeAdvertisement::type_to_string(
+                    PipeAdvertisement::Type::kPropagate)),
+            PipeAdvertisement::Type::kPropagate);
+  EXPECT_THROW(PipeAdvertisement::type_from_string("bogus"),
+               util::ParseError);
+}
+
+// EndpointMessage is the endpoint layer's value type; test it here with the
+// other wire formats.
+TEST(EndpointMessageTest, SerializeRoundTrip) {
+  EndpointMessage m;
+  m.src = PeerId::generate();
+  m.dst = PeerId::generate();
+  m.service = "jxta.resolver.query";
+  m.ttl = 3;
+  m.payload = {9, 8, 7};
+  const EndpointMessage back = EndpointMessage::deserialize(m.serialize());
+  EXPECT_EQ(back.src, m.src);
+  EXPECT_EQ(back.dst, m.dst);
+  EXPECT_EQ(back.service, m.service);
+  EXPECT_EQ(back.ttl, m.ttl);
+  EXPECT_EQ(back.msg_id, m.msg_id);
+  EXPECT_EQ(back.payload, m.payload);
+}
+
+}  // namespace
+}  // namespace p2p::jxta

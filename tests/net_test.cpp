@@ -1,0 +1,422 @@
+// Unit tests for src/net: addresses, the simulated fabric (latency, loss,
+// partitions, firewalls, renames, broadcast) and both transports.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+#include "net/fabric.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+#include "util/queue.h"
+
+namespace p2p::net {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+using util::to_string;
+
+// --- Address -----------------------------------------------------------------
+
+TEST(AddressTest, ParseValid) {
+  const auto a = Address::parse("inproc://alice");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->scheme(), "inproc");
+  EXPECT_EQ(a->authority(), "alice");
+  EXPECT_EQ(a->to_string(), "inproc://alice");
+}
+
+TEST(AddressTest, ParseTcpWithPort) {
+  const auto a = Address::parse("tcp://127.0.0.1:8080");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->authority(), "127.0.0.1:8080");
+}
+
+TEST(AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Address::parse("").has_value());
+  EXPECT_FALSE(Address::parse("no-scheme").has_value());
+  EXPECT_FALSE(Address::parse("://x").has_value());
+}
+
+TEST(AddressTest, EqualityAndHash) {
+  const Address a("inproc", "x");
+  const Address b("inproc", "x");
+  const Address c("tcp", "x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<Address>{}(a), std::hash<Address>{}(b));
+}
+
+// --- fabric helpers ------------------------------------------------------------
+
+class Collector {
+ public:
+  void operator()(Datagram d) { queue_.push(std::move(d)); }
+  DatagramHandler handler() {
+    return [this](Datagram d) { queue_.push(std::move(d)); };
+  }
+  std::optional<Datagram> next(int timeout_ms = 2000) {
+    return queue_.pop_for(std::chrono::milliseconds(timeout_ms));
+  }
+  std::size_t pending() { return queue_.size(); }
+
+ private:
+  util::BlockingQueue<Datagram> queue_;
+};
+
+Datagram make_datagram(const std::string& from, const std::string& to,
+                       const std::string& body) {
+  return Datagram{Address("inproc", from), Address("inproc", to),
+                  to_bytes(body)};
+}
+
+// --- NetworkFabric --------------------------------------------------------------
+
+TEST(FabricTest, DeliversToAttachedNode) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bob", rx.handler());
+  EXPECT_TRUE(fabric.submit(make_datagram("alice", "bob", "hi")));
+  const auto d = rx.next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(to_string(d->payload), "hi");
+  EXPECT_EQ(d->src.authority(), "alice");
+}
+
+TEST(FabricTest, UnknownDestinationRejected) {
+  NetworkFabric fabric;
+  EXPECT_FALSE(fabric.submit(make_datagram("alice", "nobody", "x")));
+  EXPECT_EQ(fabric.stats().dropped_unknown, 1u);
+}
+
+TEST(FabricTest, DetachStopsDelivery) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bob", rx.handler());
+  fabric.detach("bob");
+  EXPECT_FALSE(fabric.submit(make_datagram("alice", "bob", "x")));
+}
+
+TEST(FabricTest, LatencyDelaysDelivery) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bob", rx.handler());
+  fabric.set_default_link({.latency_ms = 60});
+  const auto start = std::chrono::steady_clock::now();
+  fabric.submit(make_datagram("alice", "bob", "x"));
+  ASSERT_TRUE(rx.next().has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(55));
+}
+
+TEST(FabricTest, PerLinkOverrideBeatsDefault) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bob", rx.handler());
+  fabric.set_default_link({.latency_ms = 200});
+  fabric.set_link("alice", "bob", {.latency_ms = 0});
+  const auto start = std::chrono::steady_clock::now();
+  fabric.submit(make_datagram("alice", "bob", "x"));
+  ASSERT_TRUE(rx.next().has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(100));
+}
+
+TEST(FabricTest, OrderPreservedAtEqualLatency) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bob", rx.handler());
+  for (int i = 0; i < 20; ++i) {
+    fabric.submit(make_datagram("alice", "bob", std::to_string(i)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto d = rx.next();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(to_string(d->payload), std::to_string(i));
+  }
+}
+
+TEST(FabricTest, TotalLossDropsEverythingSilently) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bob", rx.handler());
+  fabric.set_default_link({.loss = 1.0});
+  EXPECT_TRUE(fabric.submit(make_datagram("alice", "bob", "x")));  // like UDP
+  fabric.drain();
+  EXPECT_EQ(fabric.stats().dropped_loss, 1u);
+  EXPECT_EQ(fabric.stats().delivered, 0u);
+}
+
+TEST(FabricTest, PartialLossIsSeeded) {
+  NetworkFabric f1(7);
+  NetworkFabric f2(7);
+  Collector rx1;
+  Collector rx2;
+  f1.attach("bob", rx1.handler());
+  f2.attach("bob", rx2.handler());
+  f1.set_default_link({.loss = 0.5});
+  f2.set_default_link({.loss = 0.5});
+  for (int i = 0; i < 100; ++i) {
+    f1.submit(make_datagram("alice", "bob", "x"));
+    f2.submit(make_datagram("alice", "bob", "x"));
+  }
+  f1.drain();
+  f2.drain();
+  EXPECT_EQ(f1.stats().delivered, f2.stats().delivered);
+  EXPECT_GT(f1.stats().delivered, 20u);
+  EXPECT_LT(f1.stats().delivered, 80u);
+}
+
+TEST(FabricTest, PartitionBlocksBothWays) {
+  NetworkFabric fabric;
+  Collector a;
+  Collector b;
+  fabric.attach("alice", a.handler());
+  fabric.attach("bob", b.handler());
+  fabric.partition("alice", "bob");
+  EXPECT_FALSE(fabric.submit(make_datagram("alice", "bob", "x")));
+  EXPECT_FALSE(fabric.submit(make_datagram("bob", "alice", "x")));
+  fabric.heal("alice", "bob");
+  EXPECT_TRUE(fabric.submit(make_datagram("alice", "bob", "x")));
+  EXPECT_TRUE(b.next().has_value());
+}
+
+TEST(FabricTest, FirewallBlocksUnsolicitedInbound) {
+  NetworkFabric fabric;
+  Collector inside;
+  Collector outside;
+  fabric.attach("inside", inside.handler());
+  fabric.attach("outside", outside.handler());
+  fabric.set_firewalled("inside", true);
+  // Unsolicited inbound: dropped.
+  EXPECT_FALSE(fabric.submit(make_datagram("outside", "inside", "x")));
+  // Outbound from the firewalled node punches a hole...
+  EXPECT_TRUE(fabric.submit(make_datagram("inside", "outside", "hello")));
+  ASSERT_TRUE(outside.next().has_value());
+  // ...after which that peer (and only that peer) can reach back in.
+  EXPECT_TRUE(fabric.submit(make_datagram("outside", "inside", "reply")));
+  ASSERT_TRUE(inside.next().has_value());
+}
+
+TEST(FabricTest, FirewallHoleIsPerSource) {
+  NetworkFabric fabric;
+  Collector inside;
+  Collector outside;
+  Collector stranger;
+  fabric.attach("inside", inside.handler());
+  fabric.attach("outside", outside.handler());
+  fabric.attach("stranger", stranger.handler());
+  fabric.set_firewalled("inside", true);
+  fabric.submit(make_datagram("inside", "outside", "x"));
+  EXPECT_TRUE(fabric.submit(make_datagram("outside", "inside", "ok")));
+  EXPECT_FALSE(fabric.submit(make_datagram("stranger", "inside", "nope")));
+}
+
+TEST(FabricTest, UnfirewallingClosesHoles) {
+  NetworkFabric fabric;
+  Collector inside;
+  Collector outside;
+  fabric.attach("inside", inside.handler());
+  fabric.attach("outside", outside.handler());
+  fabric.set_firewalled("inside", true);
+  fabric.submit(make_datagram("inside", "outside", "x"));
+  fabric.set_firewalled("inside", false);
+  fabric.set_firewalled("inside", true);
+  // Hole was flushed when the firewall state was reset.
+  EXPECT_FALSE(fabric.submit(make_datagram("outside", "inside", "x")));
+}
+
+TEST(FabricTest, RenameMovesHandler) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("old", rx.handler());
+  EXPECT_TRUE(fabric.rename("old", "new"));
+  EXPECT_FALSE(fabric.submit(make_datagram("x", "old", "stale")));
+  EXPECT_TRUE(fabric.submit(make_datagram("x", "new", "fresh")));
+  const auto d = rx.next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(to_string(d->payload), "fresh");
+}
+
+TEST(FabricTest, RenameRejectsCollisionsAndUnknown) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("a", rx.handler());
+  fabric.attach("b", rx.handler());
+  EXPECT_FALSE(fabric.rename("a", "b"));
+  EXPECT_FALSE(fabric.rename("ghost", "c"));
+}
+
+TEST(FabricTest, BroadcastReachesAllButSourceAndFirewalled) {
+  NetworkFabric fabric;
+  Collector a;
+  Collector b;
+  Collector c;
+  Collector fw;
+  fabric.attach("a", a.handler());
+  fabric.attach("b", b.handler());
+  fabric.attach("c", c.handler());
+  fabric.attach("fw", fw.handler());
+  fabric.set_firewalled("fw", true);
+  fabric.broadcast(Address("inproc", "a"), to_bytes("ping"));
+  fabric.drain();
+  EXPECT_EQ(a.pending(), 0u);   // not echoed to source
+  EXPECT_EQ(b.pending(), 1u);
+  EXPECT_EQ(c.pending(), 1u);
+  EXPECT_EQ(fw.pending(), 0u);  // multicast does not traverse firewalls
+}
+
+TEST(FabricTest, StatsCountBytes) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bob", rx.handler());
+  fabric.submit(make_datagram("alice", "bob", "12345"));
+  fabric.drain();
+  EXPECT_EQ(fabric.stats().bytes_delivered, 5u);
+  EXPECT_EQ(fabric.stats().submitted, 1u);
+  EXPECT_EQ(fabric.stats().delivered, 1u);
+}
+
+TEST(FabricTest, HandlerExceptionDoesNotKillFabric) {
+  NetworkFabric fabric;
+  Collector rx;
+  fabric.attach("bomb", [](Datagram) { throw std::runtime_error("boom"); });
+  fabric.attach("bob", rx.handler());
+  fabric.submit(make_datagram("alice", "bomb", "x"));
+  fabric.submit(make_datagram("alice", "bob", "y"));
+  EXPECT_TRUE(rx.next().has_value());
+}
+
+// --- InProcTransport --------------------------------------------------------------
+
+TEST(InProcTransportTest, SendReceive) {
+  NetworkFabric fabric;
+  InProcTransport alice(fabric, "alice");
+  InProcTransport bob(fabric, "bob");
+  Collector rx;
+  bob.set_receiver(rx.handler());
+  EXPECT_EQ(alice.local_address().to_string(), "inproc://alice");
+  EXPECT_TRUE(alice.send(bob.local_address(), to_bytes("hello")));
+  const auto d = rx.next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(to_string(d->payload), "hello");
+  EXPECT_EQ(d->src, alice.local_address());
+}
+
+TEST(InProcTransportTest, RejectsForeignScheme) {
+  NetworkFabric fabric;
+  InProcTransport t(fabric, "a");
+  EXPECT_FALSE(t.send(Address("tcp", "127.0.0.1:1"), to_bytes("x")));
+}
+
+TEST(InProcTransportTest, CloseDetaches) {
+  NetworkFabric fabric;
+  InProcTransport a(fabric, "a");
+  InProcTransport b(fabric, "b");
+  b.close();
+  EXPECT_FALSE(a.send(Address("inproc", "b"), to_bytes("x")));
+  EXPECT_FALSE(b.send(Address("inproc", "a"), to_bytes("x")));
+}
+
+TEST(InProcTransportTest, ChangeAddressKeepsReceiving) {
+  NetworkFabric fabric;
+  InProcTransport mobile(fabric, "home");
+  InProcTransport other(fabric, "other");
+  Collector rx;
+  mobile.set_receiver(rx.handler());
+  EXPECT_TRUE(mobile.change_address("roaming"));
+  EXPECT_EQ(mobile.local_address().authority(), "roaming");
+  EXPECT_FALSE(other.send(Address("inproc", "home"), to_bytes("stale")));
+  EXPECT_TRUE(other.send(Address("inproc", "roaming"), to_bytes("fresh")));
+  const auto d = rx.next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(to_string(d->payload), "fresh");
+}
+
+TEST(InProcTransportTest, BroadcastViaFabric) {
+  NetworkFabric fabric;
+  InProcTransport a(fabric, "a");
+  InProcTransport b(fabric, "b");
+  Collector rx;
+  b.set_receiver(rx.handler());
+  EXPECT_TRUE(a.broadcast(to_bytes("ping")));
+  ASSERT_TRUE(rx.next().has_value());
+}
+
+// --- TcpTransport ------------------------------------------------------------------
+
+TEST(TcpTransportTest, SendReceiveLoopback) {
+  TcpTransport a;
+  TcpTransport b;
+  Collector rx;
+  b.set_receiver(rx.handler());
+  EXPECT_TRUE(a.send(b.local_address(), to_bytes("over tcp")));
+  const auto d = rx.next();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(to_string(d->payload), "over tcp");
+  EXPECT_EQ(d->src, a.local_address());
+}
+
+TEST(TcpTransportTest, BidirectionalAfterFirstContact) {
+  TcpTransport a;
+  TcpTransport b;
+  Collector rx_a;
+  Collector rx_b;
+  a.set_receiver(rx_a.handler());
+  b.set_receiver(rx_b.handler());
+  EXPECT_TRUE(a.send(b.local_address(), to_bytes("ping")));
+  ASSERT_TRUE(rx_b.next().has_value());
+  EXPECT_TRUE(b.send(a.local_address(), to_bytes("pong")));
+  ASSERT_TRUE(rx_a.next().has_value());
+}
+
+TEST(TcpTransportTest, LargePayload) {
+  TcpTransport a;
+  TcpTransport b;
+  Collector rx;
+  b.set_receiver(rx.handler());
+  Bytes big(512 * 1024, 0x5a);
+  EXPECT_TRUE(a.send(b.local_address(), big));
+  const auto d = rx.next(5000);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, big);
+}
+
+TEST(TcpTransportTest, ManyMessagesPreserveOrder) {
+  TcpTransport a;
+  TcpTransport b;
+  Collector rx;
+  b.set_receiver(rx.handler());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.send(b.local_address(), to_bytes(std::to_string(i))));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto d = rx.next();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(to_string(d->payload), std::to_string(i));
+  }
+}
+
+TEST(TcpTransportTest, SendToDeadPortFails) {
+  TcpTransport a;
+  // Port 1 on loopback: nothing listens there.
+  EXPECT_FALSE(a.send(Address("tcp", "127.0.0.1:1"), to_bytes("x")));
+}
+
+TEST(TcpTransportTest, MalformedAuthorityFails) {
+  TcpTransport a;
+  EXPECT_FALSE(a.send(Address("tcp", "not-an-address"), to_bytes("x")));
+  EXPECT_FALSE(a.send(Address("tcp", "127.0.0.1:99999"), to_bytes("x")));
+}
+
+TEST(TcpTransportTest, CloseIsIdempotentAndStopsTraffic) {
+  TcpTransport a;
+  TcpTransport b;
+  b.close();
+  b.close();
+  EXPECT_FALSE(b.send(a.local_address(), to_bytes("x")));
+}
+
+}  // namespace
+}  // namespace p2p::net

