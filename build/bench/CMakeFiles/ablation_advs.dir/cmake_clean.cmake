@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_advs.dir/ablation_advs.cpp.o"
+  "CMakeFiles/ablation_advs.dir/ablation_advs.cpp.o.d"
+  "ablation_advs"
+  "ablation_advs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_advs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sr_functionality.dir/ablation_sr_functionality.cpp.o"
+  "CMakeFiles/ablation_sr_functionality.dir/ablation_sr_functionality.cpp.o.d"
+  "ablation_sr_functionality"
+  "ablation_sr_functionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sr_functionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

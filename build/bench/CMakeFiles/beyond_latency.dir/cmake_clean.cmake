@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_latency.dir/beyond_latency.cpp.o"
+  "CMakeFiles/beyond_latency.dir/beyond_latency.cpp.o.d"
+  "beyond_latency"
+  "beyond_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

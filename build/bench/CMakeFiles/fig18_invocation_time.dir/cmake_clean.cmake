@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_invocation_time.dir/fig18_invocation_time.cpp.o"
+  "CMakeFiles/fig18_invocation_time.dir/fig18_invocation_time.cpp.o.d"
+  "fig18_invocation_time"
+  "fig18_invocation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_invocation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

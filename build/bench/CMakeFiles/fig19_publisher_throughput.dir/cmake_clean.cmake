@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_publisher_throughput.dir/fig19_publisher_throughput.cpp.o"
+  "CMakeFiles/fig19_publisher_throughput.dir/fig19_publisher_throughput.cpp.o.d"
+  "fig19_publisher_throughput"
+  "fig19_publisher_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_publisher_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig20_subscriber_throughput.cpp" "bench/CMakeFiles/fig20_subscriber_throughput.dir/fig20_subscriber_throughput.cpp.o" "gcc" "bench/CMakeFiles/fig20_subscriber_throughput.dir/fig20_subscriber_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tps/CMakeFiles/p2p_tps.dir/DependInfo.cmake"
+  "/root/repo/build/src/srjxta/CMakeFiles/p2p_srjxta.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/p2p_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/jxta/CMakeFiles/p2p_jxta.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/p2p_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2p_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_programming_effort.dir/table_programming_effort.cpp.o"
+  "CMakeFiles/table_programming_effort.dir/table_programming_effort.cpp.o.d"
+  "table_programming_effort"
+  "table_programming_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_programming_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_share.dir/file_share.cpp.o"
+  "CMakeFiles/file_share.dir/file_share.cpp.o.d"
+  "file_share"
+  "file_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loose_coupling.dir/loose_coupling.cpp.o"
+  "CMakeFiles/loose_coupling.dir/loose_coupling.cpp.o.d"
+  "loose_coupling"
+  "loose_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loose_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

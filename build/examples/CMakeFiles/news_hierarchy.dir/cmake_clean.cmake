@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_hierarchy.dir/news_hierarchy.cpp.o"
+  "CMakeFiles/news_hierarchy.dir/news_hierarchy.cpp.o.d"
+  "news_hierarchy"
+  "news_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

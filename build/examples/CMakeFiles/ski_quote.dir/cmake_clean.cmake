@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ski_quote.dir/ski_quote.cpp.o"
+  "CMakeFiles/ski_quote.dir/ski_quote.cpp.o.d"
+  "ski_quote"
+  "ski_quote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ski_quote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

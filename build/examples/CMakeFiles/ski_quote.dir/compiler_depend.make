@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ski_quote.
+# This may be replaced when dependencies are built.

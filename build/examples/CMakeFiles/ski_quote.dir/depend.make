@@ -1,0 +1,2 @@
+# Empty dependencies file for ski_quote.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ski_rental.dir/ski_rental.cpp.o"
+  "CMakeFiles/ski_rental.dir/ski_rental.cpp.o.d"
+  "ski_rental"
+  "ski_rental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ski_rental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

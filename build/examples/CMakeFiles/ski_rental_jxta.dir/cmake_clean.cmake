@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ski_rental_jxta.dir/ski_rental_jxta.cpp.o"
+  "CMakeFiles/ski_rental_jxta.dir/ski_rental_jxta.cpp.o.d"
+  "ski_rental_jxta"
+  "ski_rental_jxta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ski_rental_jxta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

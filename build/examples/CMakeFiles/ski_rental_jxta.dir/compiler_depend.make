@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ski_rental_jxta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jxta/advertisement.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/advertisement.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/advertisement.cpp.o.d"
+  "/root/repo/src/jxta/bidi_pipe.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/bidi_pipe.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/bidi_pipe.cpp.o.d"
+  "/root/repo/src/jxta/cms.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/cms.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/cms.cpp.o.d"
+  "/root/repo/src/jxta/discovery.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/discovery.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/discovery.cpp.o.d"
+  "/root/repo/src/jxta/endpoint.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/endpoint.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/endpoint.cpp.o.d"
+  "/root/repo/src/jxta/membership.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/membership.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/membership.cpp.o.d"
+  "/root/repo/src/jxta/message.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/message.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/message.cpp.o.d"
+  "/root/repo/src/jxta/monitoring.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/monitoring.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/monitoring.cpp.o.d"
+  "/root/repo/src/jxta/peer.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/peer.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/peer.cpp.o.d"
+  "/root/repo/src/jxta/peer_group.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/peer_group.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/peer_group.cpp.o.d"
+  "/root/repo/src/jxta/peer_info.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/peer_info.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/peer_info.cpp.o.d"
+  "/root/repo/src/jxta/pipe.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/pipe.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/pipe.cpp.o.d"
+  "/root/repo/src/jxta/rendezvous.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/rendezvous.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/rendezvous.cpp.o.d"
+  "/root/repo/src/jxta/resolver.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/resolver.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/resolver.cpp.o.d"
+  "/root/repo/src/jxta/route_resolver.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/route_resolver.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/route_resolver.cpp.o.d"
+  "/root/repo/src/jxta/wire.cpp" "src/jxta/CMakeFiles/p2p_jxta.dir/wire.cpp.o" "gcc" "src/jxta/CMakeFiles/p2p_jxta.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/p2p_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/p2p_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p2p_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

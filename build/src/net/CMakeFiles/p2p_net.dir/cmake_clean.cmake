@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_net.dir/address.cpp.o"
+  "CMakeFiles/p2p_net.dir/address.cpp.o.d"
+  "CMakeFiles/p2p_net.dir/fabric.cpp.o"
+  "CMakeFiles/p2p_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/p2p_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/p2p_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/p2p_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/p2p_net.dir/tcp_transport.cpp.o.d"
+  "libp2p_net.a"
+  "libp2p_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

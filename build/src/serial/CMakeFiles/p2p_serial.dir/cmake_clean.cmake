@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_serial.dir/type_registry.cpp.o"
+  "CMakeFiles/p2p_serial.dir/type_registry.cpp.o.d"
+  "libp2p_serial.a"
+  "libp2p_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_srjxta.dir/advertisements_creator.cpp.o"
+  "CMakeFiles/p2p_srjxta.dir/advertisements_creator.cpp.o.d"
+  "CMakeFiles/p2p_srjxta.dir/advertisements_finder.cpp.o"
+  "CMakeFiles/p2p_srjxta.dir/advertisements_finder.cpp.o.d"
+  "CMakeFiles/p2p_srjxta.dir/sr_session.cpp.o"
+  "CMakeFiles/p2p_srjxta.dir/sr_session.cpp.o.d"
+  "CMakeFiles/p2p_srjxta.dir/wire_service_finder.cpp.o"
+  "CMakeFiles/p2p_srjxta.dir/wire_service_finder.cpp.o.d"
+  "libp2p_srjxta.a"
+  "libp2p_srjxta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_srjxta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_tps.dir/advertisements.cpp.o"
+  "CMakeFiles/p2p_tps.dir/advertisements.cpp.o.d"
+  "CMakeFiles/p2p_tps.dir/session.cpp.o"
+  "CMakeFiles/p2p_tps.dir/session.cpp.o.d"
+  "libp2p_tps.a"
+  "libp2p_tps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_tps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bytes.cpp" "src/util/CMakeFiles/p2p_util.dir/bytes.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/bytes.cpp.o.d"
+  "/root/repo/src/util/clock.cpp" "src/util/CMakeFiles/p2p_util.dir/clock.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/clock.cpp.o.d"
+  "/root/repo/src/util/executor.cpp" "src/util/CMakeFiles/p2p_util.dir/executor.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/executor.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/p2p_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/p2p_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/p2p_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/util/CMakeFiles/p2p_util.dir/string_util.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/string_util.cpp.o.d"
+  "/root/repo/src/util/uuid.cpp" "src/util/CMakeFiles/p2p_util.dir/uuid.cpp.o" "gcc" "src/util/CMakeFiles/p2p_util.dir/uuid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_util.dir/bytes.cpp.o"
+  "CMakeFiles/p2p_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/clock.cpp.o"
+  "CMakeFiles/p2p_util.dir/clock.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/executor.cpp.o"
+  "CMakeFiles/p2p_util.dir/executor.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/logging.cpp.o"
+  "CMakeFiles/p2p_util.dir/logging.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/random.cpp.o"
+  "CMakeFiles/p2p_util.dir/random.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/stats.cpp.o"
+  "CMakeFiles/p2p_util.dir/stats.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/string_util.cpp.o"
+  "CMakeFiles/p2p_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/p2p_util.dir/uuid.cpp.o"
+  "CMakeFiles/p2p_util.dir/uuid.cpp.o.d"
+  "libp2p_util.a"
+  "libp2p_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

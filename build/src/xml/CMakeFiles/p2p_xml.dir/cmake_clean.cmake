@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_xml.dir/xml.cpp.o"
+  "CMakeFiles/p2p_xml.dir/xml.cpp.o.d"
+  "libp2p_xml.a"
+  "libp2p_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidi_pipe_test.dir/bidi_pipe_test.cpp.o"
+  "CMakeFiles/bidi_pipe_test.dir/bidi_pipe_test.cpp.o.d"
+  "bidi_pipe_test"
+  "bidi_pipe_test.pdb"
+  "bidi_pipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidi_pipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jxta_core_test.dir/jxta_core_test.cpp.o"
+  "CMakeFiles/jxta_core_test.dir/jxta_core_test.cpp.o.d"
+  "jxta_core_test"
+  "jxta_core_test.pdb"
+  "jxta_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jxta_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jxta_protocols_test.dir/jxta_protocols_test.cpp.o"
+  "CMakeFiles/jxta_protocols_test.dir/jxta_protocols_test.cpp.o.d"
+  "jxta_protocols_test"
+  "jxta_protocols_test.pdb"
+  "jxta_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jxta_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

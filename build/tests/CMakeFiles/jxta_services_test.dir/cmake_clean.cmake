@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jxta_services_test.dir/jxta_services_test.cpp.o"
+  "CMakeFiles/jxta_services_test.dir/jxta_services_test.cpp.o.d"
+  "jxta_services_test"
+  "jxta_services_test.pdb"
+  "jxta_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jxta_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srjxta_test.dir/srjxta_test.cpp.o"
+  "CMakeFiles/srjxta_test.dir/srjxta_test.cpp.o.d"
+  "srjxta_test"
+  "srjxta_test.pdb"
+  "srjxta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srjxta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tps_edge_test.dir/tps_edge_test.cpp.o"
+  "CMakeFiles/tps_edge_test.dir/tps_edge_test.cpp.o.d"
+  "tps_edge_test"
+  "tps_edge_test.pdb"
+  "tps_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tps_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/jxta_core_test[1]_include.cmake")
+include("/root/repo/build/tests/jxta_protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/jxta_services_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_test[1]_include.cmake")
+include("/root/repo/build/tests/tps_test[1]_include.cmake")
+include("/root/repo/build/tests/srjxta_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/services_layer_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_format_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/tps_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/bidi_pipe_test[1]_include.cmake")
