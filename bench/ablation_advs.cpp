@@ -92,5 +92,6 @@ int main() {
   std::cout << "# expected: wire copies/event == advs; deliveries == "
             << kEvents << " regardless (dedup absorbs the fan-out); "
                "us/publish grows roughly linearly with advs\n";
+  p2p::bench::write_metrics_dump("ablation_advs");
   return 0;
 }

@@ -101,5 +101,6 @@ int main() {
 
   std::cout << "# expected: us/publish and wire copies grow with depth; "
                "a News reaches only the News desk, a SkiNews all three\n";
+  p2p::bench::write_metrics_dump("ablation_hierarchy");
   return 0;
 }

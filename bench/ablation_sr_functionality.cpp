@@ -107,5 +107,6 @@ int main() {
   }
   std::cout << "# expected: OFF delivers ~2x the published count "
                "(one per advertisement); ON delivers exactly the count\n";
+  p2p::bench::write_metrics_dump("ablation_sr_functionality");
   return 0;
 }

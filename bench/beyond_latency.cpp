@@ -140,5 +140,6 @@ int main() {
             << p50("SR-JXTA 1 sub") - p50("JXTA-WIRE 1 sub")
             << " us; SR-TPS - SR-JXTA = "
             << p50("SR-TPS 1 sub") - p50("SR-JXTA 1 sub") << " us\n";
+  p2p::bench::write_metrics_dump("beyond_latency");
   return 0;
 }

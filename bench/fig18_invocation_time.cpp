@@ -174,5 +174,6 @@ int main() {
             << "more_subscribers_cost_more(tps): "
             << (tps4 >= tps1 ? "yes" : "NO") << " (" << tps1 << " -> "
             << tps4 << ")\n";
+  p2p::bench::write_metrics_dump("fig18_invocation_time");
   return 0;
 }

@@ -160,5 +160,6 @@ int main() {
                     ? "yes"
                     : "NO")
             << "\n";
+  p2p::bench::write_metrics_dump("fig19_publisher_throughput");
   return 0;
 }

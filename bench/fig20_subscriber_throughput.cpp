@@ -213,5 +213,6 @@ int main() {
             << "per_publisher_share_drops_with_4_pubs (tps): "
             << (tps1 > 0 ? tps4 / 4 / tps1 : 0)
             << " (paper: ~1/3 to 1/4 each)\n";
+  p2p::bench::write_metrics_dump("fig20_subscriber_throughput");
   return 0;
 }

@@ -11,7 +11,10 @@
 #include "jxta/advertisement.h"
 #include "jxta/message.h"
 #include "jxta/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serial/type_registry.h"
+#include "support/harness.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "util/uuid.h"
@@ -171,6 +174,62 @@ void BM_GlobMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_GlobMatch);
 
+// The registry shared by the obs micro-benchmarks, snapshotted into the
+// metrics dump at exit — so this bench, too, emits internal counters.
+obs::Registry& obs_registry() {
+  static obs::Registry registry;
+  return registry;
+}
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  const obs::Counter c = obs_registry().counter("micro.counter_inc");
+  for (auto _ : state) c.inc();
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  const obs::Histogram h =
+      obs_registry().histogram("micro.histogram_record_us");
+  double v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e7 ? v * 2 : 1;
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsRegistrySnapshot(benchmark::State& state) {
+  // Resolve a realistic instrument population once.
+  for (int i = 0; i < 32; ++i) {
+    obs_registry().counter("micro.fill." + std::to_string(i)).inc();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs_registry().snapshot());
+  }
+}
+BENCHMARK(BM_ObsRegistrySnapshot);
+
+void BM_ObsTraceRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    jxta::Message m;
+    obs::start_trace(m, "urn:jxta:peer:0", "publish", 1);
+    obs::append_hop(m, "urn:jxta:peer:1", "wire-recv", 2);
+    benchmark::DoNotOptimize(obs::extract_trace(m));
+  }
+}
+BENCHMARK(BM_ObsTraceRoundTrip);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the run, dump the obs
+// registry driven by the BM_Obs* benchmarks like every other bench does.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  p2p::bench::MetricsDump::instance().collect("micro_bench",
+                                              obs_registry().snapshot());
+  p2p::bench::write_metrics_dump("micro_bench");
+  return 0;
+}

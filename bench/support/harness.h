@@ -10,15 +10,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "events/ski_rental.h"
 #include "jxta/peer.h"
 #include "net/inproc_transport.h"
+#include "obs/metrics.h"
 #include "srjxta/sr_session.h"
 #include "tps/tps.h"
 #include "util/stats.h"
@@ -55,6 +59,50 @@ inline util::Bytes make_payload(int i, std::size_t target_bytes) {
   p2p::serial::EventTraits<events::SkiRental>::encode(
       make_offer(i, target_bytes), w);
   return w.take();
+}
+
+// --- metrics dump ------------------------------------------------------------
+
+// Collects per-peer registry snapshots over a bench run; every bench main
+// calls write_metrics_dump() at the end so internal counters land next to
+// the timing numbers. ~Lan feeds it automatically for its peers.
+class MetricsDump {
+ public:
+  static MetricsDump& instance() {
+    static MetricsDump dump;
+    return dump;
+  }
+
+  void collect(const std::string& peer_name, const obs::Snapshot& snapshot) {
+    const std::lock_guard lock(mu_);
+    peers_.emplace_back(peer_name, snapshot.to_json());
+  }
+
+  // Writes everything collected so far to `<bench_name>_metrics.json`
+  // (a list, since bench phases reuse peer names). Returns the path.
+  std::string write(const std::string& bench_name) {
+    const std::string path = bench_name + "_metrics.json";
+    const std::lock_guard lock(mu_);
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"bench\":\"" << bench_name << "\",\"peers\":[";
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"peer\":\"" << peers_[i].first
+          << "\",\"metrics\":" << peers_[i].second << "}";
+    }
+    out << "]}\n";
+    return path;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<std::string, std::string>> peers_;
+};
+
+// Call as the last line of a bench main.
+inline void write_metrics_dump(const std::string& bench_name) {
+  const std::string path = MetricsDump::instance().write(bench_name);
+  std::cout << "# metrics dump: " << path << "\n";
 }
 
 // --- layer drivers -----------------------------------------------------------
@@ -211,6 +259,10 @@ class Lan {
   }
 
   ~Lan() {
+    for (const auto& peer : peers_) {
+      MetricsDump::instance().collect(peer->name(),
+                                      peer->metrics().snapshot());
+    }
     for (auto it = peers_.rbegin(); it != peers_.rend(); ++it) {
       (*it)->stop();
     }

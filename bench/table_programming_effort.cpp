@@ -18,6 +18,8 @@
 #include <iostream>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "support/harness.h"
 #include "util/string_util.h"
 
 namespace fs = std::filesystem;
@@ -137,5 +139,15 @@ int main(int argc, char** argv) {
                "~5000 with the full API; our C++ substrate is leaner than "
                "JXTA 1.0's Java API, so the absolute gap is smaller — the "
                "direction and the multiple are the reproduction target\n";
+
+  // No peers run here, but the dump keeps the output contract uniform
+  // across benches: the counted totals land in *_metrics.json too.
+  p2p::obs::Registry reg;
+  reg.gauge("loc.tps_total").set(tps_total);
+  reg.gauge("loc.jxta_total").set(jxta_total);
+  reg.gauge("loc.extra_without_tps").set(jxta_total - tps_total);
+  p2p::bench::MetricsDump::instance().collect("table_programming_effort",
+                                              reg.snapshot());
+  p2p::bench::write_metrics_dump("table_programming_effort");
   return 0;
 }

@@ -7,13 +7,18 @@
 //   4. publication         — publish(SkiRental{...})
 //
 // Run: ./build/examples/quickstart
+// Add --metrics to dump each peer's internal counters (and the delivery
+// trace) as JSON at the end.
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <thread>
 
 #include "events/ski_rental.h"
 #include "jxta/peer.h"
 #include "net/inproc_transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tps/tps.h"
 
 using namespace p2p;
@@ -50,7 +55,12 @@ class MyExHandler final : public tps::TpsExceptionHandler<SkiRental> {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) dump_metrics = true;
+  }
+
   // A simulated WAN: 5 ms one-way latency on every link.
   net::NetworkFabric fabric;
   fabric.set_default_link({.latency_ms = 5});
@@ -100,6 +110,22 @@ int main() {
             << ", objects sent by shop: " << shop_tps.objects_sent().size()
             << ", advertisements bound: "
             << subscriber_tps.advertisement_count() << "\n";
+
+  if (dump_metrics) {
+    // The observability layer (src/obs/): per-peer registries every stack
+    // layer reports into, plus the hop-by-hop trace each delivery leaves.
+    std::cout << "{\"peer\":\"ski-fan\",\"metrics\":"
+              << subscriber.metrics().snapshot().to_json() << "}\n"
+              << "{\"peer\":\"xtrem-shop\",\"metrics\":"
+              << shop.metrics().snapshot().to_json() << "}\n";
+    for (const auto& trace : subscriber.tracer().recent()) {
+      std::cout << "trace " << trace.id.to_string() << ":";
+      for (const auto& hop : trace.hops) {
+        std::cout << " [" << hop.stage << " @" << hop.t_us << "us]";
+      }
+      std::cout << "\n";
+    }
+  }
 
   shop.stop();
   subscriber.stop();

@@ -42,7 +42,14 @@ QueryBody decode_query(std::span<const std::uint8_t> data) {
 
 DiscoveryService::DiscoveryService(ResolverService& resolver,
                                    util::Clock& clock)
-    : resolver_(resolver), clock_(clock) {}
+    : resolver_(resolver),
+      clock_(clock),
+      cache_hits_(resolver.metrics().counter("jxta.discovery.cache_hits")),
+      cache_misses_(
+          resolver.metrics().counter("jxta.discovery.cache_misses")),
+      remote_queries_(
+          resolver.metrics().counter("jxta.discovery.remote_queries")),
+      advs_cached_(resolver.metrics().counter("jxta.discovery.advs_cached")) {}
 
 void DiscoveryService::start() {
   {
@@ -69,6 +76,7 @@ void DiscoveryService::store(const Advertisement& adv, DiscoveryType type,
   entry.adv = AdvertisementPtr(adv.clone().release());
   entry.expires = clock_.now() + util::Duration{lifetime_ms};
   cache_[type][adv.identity()] = std::move(entry);
+  advs_cached_.inc();
 }
 
 void DiscoveryService::publish(const Advertisement& adv, DiscoveryType type,
@@ -93,18 +101,26 @@ void DiscoveryService::remote_publish(const Advertisement& adv,
 
 std::vector<AdvertisementPtr> DiscoveryService::get_local(
     DiscoveryType type, std::string_view attr, std::string_view value) const {
-  const std::lock_guard lock(mu_);
   std::vector<AdvertisementPtr> out;
-  const auto it = cache_.find(type);
-  if (it == cache_.end()) return out;
-  const auto now = clock_.now();
-  for (const auto& [identity, entry] : it->second) {
-    if (entry.expires < now) continue;  // stale; swept opportunistically
-    if (!attr.empty() &&
-        !util::glob_match(value, entry.adv->field(attr))) {
-      continue;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = cache_.find(type);
+    if (it != cache_.end()) {
+      const auto now = clock_.now();
+      for (const auto& [identity, entry] : it->second) {
+        if (entry.expires < now) continue;  // stale; swept opportunistically
+        if (!attr.empty() &&
+            !util::glob_match(value, entry.adv->field(attr))) {
+          continue;
+        }
+        out.push_back(entry.adv);
+      }
     }
-    out.push_back(entry.adv);
+  }
+  if (out.empty()) {
+    cache_misses_.inc();
+  } else {
+    cache_hits_.inc();
   }
   return out;
 }
@@ -122,6 +138,7 @@ util::Uuid DiscoveryService::get_remote(DiscoveryType type,
   util::ByteWriter w;
   w.write_u8(0);  // marker: query
   w.write_raw(encode_query(q));
+  remote_queries_.inc();
   return resolver_.send_query(std::string(kHandlerName), w.take(), peer);
 }
 

@@ -127,6 +127,10 @@ class DiscoveryService final
 
   ResolverService& resolver_;
   util::Clock& clock_;
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
+  obs::Counter remote_queries_;
+  obs::Counter advs_cached_;
 
   mutable std::mutex mu_;
   std::condition_variable fire_cv_;

@@ -33,8 +33,20 @@ EndpointMessage EndpointMessage::deserialize(
   return m;
 }
 
-EndpointService::EndpointService(PeerId self, util::SerialExecutor& executor)
-    : self_(self), executor_(executor) {}
+EndpointService::EndpointService(PeerId self, util::SerialExecutor& executor,
+                                 std::shared_ptr<obs::Registry> metrics,
+                                 std::shared_ptr<obs::Tracer> tracer)
+    : self_(self),
+      executor_(executor),
+      metrics_(metrics ? std::move(metrics)
+                       : std::make_shared<obs::Registry>()),
+      tracer_(tracer ? std::move(tracer) : std::make_shared<obs::Tracer>()),
+      msgs_sent_(metrics_->counter("net.msgs_sent")),
+      msgs_received_(metrics_->counter("net.msgs_received")),
+      msgs_relayed_(metrics_->counter("net.msgs_relayed")),
+      bytes_sent_(metrics_->counter("net.bytes_sent")),
+      bytes_received_(metrics_->counter("net.bytes_received")),
+      send_failures_(metrics_->counter("net.send_failures")) {}
 
 void EndpointService::add_transport(
     std::shared_ptr<net::Transport> transport) {
@@ -122,11 +134,8 @@ bool EndpointService::send(const PeerId& dst, std::string_view service,
   msg.dst = dst;
   msg.service = std::string(service);
   msg.payload = std::move(payload);
-  {
-    const std::lock_guard lock(traffic_mu_);
-    ++traffic_.msgs_sent;
-    traffic_.bytes_sent += msg.payload.size();
-  }
+  msgs_sent_.inc();
+  bytes_sent_.inc(msg.payload.size());
   if (dst == self_) {
     executor_.post([this, msg = std::move(msg)]() mutable {
       dispatch(std::move(msg));
@@ -134,8 +143,7 @@ bool EndpointService::send(const PeerId& dst, std::string_view service,
     return true;
   }
   if (send_message(msg)) return true;
-  const std::lock_guard lock(traffic_mu_);
-  ++traffic_.send_failures;
+  send_failures_.inc();
   return false;
 }
 
@@ -155,12 +163,15 @@ bool EndpointService::broadcast(std::string_view service,
   }
   bool any = false;
   for (const auto& t : transports) {
-    if (t->broadcast(wire)) any = true;
+    if (t->broadcast(wire)) {
+      any = true;
+    } else {
+      metrics_->counter("net." + t->scheme() + ".send_failures").inc();
+    }
   }
   if (any) {
-    const std::lock_guard lock(traffic_mu_);
-    ++traffic_.msgs_sent;
-    traffic_.bytes_sent += wire.size();
+    msgs_sent_.inc();
+    bytes_sent_.inc(wire.size());
   }
   return any;
 }
@@ -183,12 +194,13 @@ bool EndpointService::send_to_address(const net::Address& address,
   for (const auto& t : transports) {
     if (t->scheme() != address.scheme()) continue;
     if (t->send(address, wire)) {
-      const std::lock_guard lock(traffic_mu_);
-      ++traffic_.msgs_sent;
-      traffic_.bytes_sent += wire.size();
+      msgs_sent_.inc();
+      bytes_sent_.inc(wire.size());
       return true;
     }
+    metrics_->counter("net." + t->scheme() + ".send_failures").inc();
   }
+  send_failures_.inc();
   return false;
 }
 
@@ -205,6 +217,7 @@ bool EndpointService::send_direct(const PeerId& next_hop,
     for (const auto& t : transports) {
       if (t->scheme() != addr.scheme()) continue;
       if (t->send(addr, wire)) return true;
+      metrics_->counter("net." + t->scheme() + ".send_failures").inc();
     }
   }
   return false;
@@ -258,19 +271,13 @@ void EndpointService::on_datagram(net::Datagram d) {
     if (!is_router_ || msg.ttl == 0) return;
     EndpointMessage fwd = std::move(msg);
     fwd.ttl -= 1;
-    {
-      const std::lock_guard lock(traffic_mu_);
-      ++traffic_.msgs_relayed;
-    }
+    msgs_relayed_.inc();
     // Forward off the transport thread to keep transports non-blocking.
     executor_.post([this, fwd = std::move(fwd)] { send_message(fwd); });
     return;
   }
-  {
-    const std::lock_guard lock(traffic_mu_);
-    ++traffic_.msgs_received;
-    traffic_.bytes_received += msg.payload.size();
-  }
+  msgs_received_.inc();
+  bytes_received_.inc(msg.payload.size());
   executor_.post([this, msg = std::move(msg)]() mutable {
     dispatch(std::move(msg));
   });
@@ -306,8 +313,14 @@ void EndpointService::dispatch(EndpointMessage msg) {
 }
 
 EndpointTraffic EndpointService::traffic() const {
-  const std::lock_guard lock(traffic_mu_);
-  return traffic_;
+  EndpointTraffic t;
+  t.msgs_sent = msgs_sent_.value();
+  t.msgs_received = msgs_received_.value();
+  t.msgs_relayed = msgs_relayed_.value();
+  t.bytes_sent = bytes_sent_.value();
+  t.bytes_received = bytes_received_.value();
+  t.send_failures = send_failures_.value();
+  return t;
 }
 
 void EndpointService::stop() {

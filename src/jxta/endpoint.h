@@ -23,6 +23,8 @@
 
 #include "jxta/id.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/executor.h"
 
@@ -42,6 +44,9 @@ struct EndpointMessage {
 };
 
 // Per-peer traffic counters surfaced by the Peer Information Protocol.
+// Since the obs layer landed this is a *view* assembled from the peer's
+// metrics registry (net.* counters), kept as a struct so PIP answers and
+// existing callers are unchanged.
 struct EndpointTraffic {
   std::uint64_t msgs_sent = 0;
   std::uint64_t msgs_received = 0;
@@ -57,7 +62,24 @@ class EndpointService {
   // endpoint service freely.
   using Listener = std::function<void(EndpointMessage)>;
 
-  EndpointService(PeerId self, util::SerialExecutor& executor);
+  // `metrics` / `tracer` are normally shared in by the owning Peer so every
+  // service on the peer writes to one registry; when absent (bare service
+  // in a unit test) the endpoint creates private ones.
+  EndpointService(PeerId self, util::SerialExecutor& executor,
+                  std::shared_ptr<obs::Registry> metrics = nullptr,
+                  std::shared_ptr<obs::Tracer> tracer = nullptr);
+
+  // --- observability -----------------------------------------------------
+  // The peer-wide metrics registry / tracer. Services above the endpoint
+  // (resolver, rendezvous, wire, pipes, TPS) resolve their instruments here.
+  [[nodiscard]] obs::Registry& metrics() const { return *metrics_; }
+  [[nodiscard]] const std::shared_ptr<obs::Registry>& metrics_ptr() const {
+    return metrics_;
+  }
+  [[nodiscard]] obs::Tracer& tracer() const { return *tracer_; }
+  [[nodiscard]] const std::shared_ptr<obs::Tracer>& tracer_ptr() const {
+    return tracer_;
+  }
 
   // --- configuration (before or after start; thread-safe) ---------------
   void add_transport(std::shared_ptr<net::Transport> transport);
@@ -132,8 +154,14 @@ class EndpointService {
   };
   std::unordered_map<PeerId, PeerRecord> address_book_;
 
-  mutable std::mutex traffic_mu_;
-  EndpointTraffic traffic_;
+  std::shared_ptr<obs::Registry> metrics_;
+  std::shared_ptr<obs::Tracer> tracer_;
+  obs::Counter msgs_sent_;
+  obs::Counter msgs_received_;
+  obs::Counter msgs_relayed_;
+  obs::Counter bytes_sent_;
+  obs::Counter bytes_received_;
+  obs::Counter send_failures_;
 };
 
 }  // namespace p2p::jxta

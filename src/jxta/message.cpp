@@ -18,6 +18,18 @@ Message& Message::add_string(std::string name, std::string_view value) {
                             util::to_bytes(value)});
 }
 
+Message& Message::set_bytes(std::string name, util::Bytes body,
+                            std::string mime) {
+  for (auto& e : elements_) {
+    if (e.name == name) {
+      e.mime = std::move(mime);
+      e.body = std::move(body);
+      return *this;
+    }
+  }
+  return add_bytes(std::move(name), std::move(body), std::move(mime));
+}
+
 const MessageElement* Message::find(std::string_view name) const {
   for (const auto& e : elements_) {
     if (e.name == name) return &e;

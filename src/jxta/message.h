@@ -40,6 +40,11 @@ class Message {
   Message& add_bytes(std::string name, util::Bytes body,
                      std::string mime = "application/octet-stream");
   Message& add_string(std::string name, std::string_view value);
+  // Replaces the first element with this name (keeping its position), or
+  // appends one. Used by layers that update an element in place, e.g. the
+  // obs:hops trace element growing hop by hop.
+  Message& set_bytes(std::string name, util::Bytes body,
+                     std::string mime = "application/octet-stream");
 
   [[nodiscard]] const std::vector<MessageElement>& elements() const {
     return elements_;

@@ -13,7 +13,10 @@ Peer::Peer(PeerConfig config, util::Clock& clock)
   config_.rdv.is_rendezvous = config_.rendezvous;
   executor_ = std::make_unique<util::SerialExecutor>(config_.name);
   timer_ = std::make_unique<util::PeriodicTimer>(config_.name + ".timer");
-  endpoint_ = std::make_unique<EndpointService>(id_, *executor_);
+  metrics_ = std::make_shared<obs::Registry>();
+  tracer_ = std::make_shared<obs::Tracer>();
+  endpoint_ =
+      std::make_unique<EndpointService>(id_, *executor_, metrics_, tracer_);
   endpoint_->set_router(config_.router || config_.rendezvous);
 }
 

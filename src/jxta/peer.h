@@ -16,6 +16,8 @@
 
 #include "jxta/cms.h"
 #include "jxta/discovery.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "jxta/monitoring.h"
 #include "jxta/peer_group.h"
 #include "jxta/peer_info.h"
@@ -65,6 +67,14 @@ class Peer {
   [[nodiscard]] const PeerConfig& config() const { return config_; }
   [[nodiscard]] util::Clock& clock() { return clock_; }
   [[nodiscard]] util::SerialExecutor& executor() { return *executor_; }
+  // This peer's metrics registry and message tracer (src/obs/). All
+  // services of the peer write here; the same registry backs PIP traffic
+  // answers and the bench metrics dumps.
+  [[nodiscard]] obs::Registry& metrics() { return *metrics_; }
+  [[nodiscard]] const std::shared_ptr<obs::Registry>& metrics_ptr() const {
+    return metrics_;
+  }
+  [[nodiscard]] obs::Tracer& tracer() { return *tracer_; }
   // The peer's shared maintenance timer; layers above JXTA (e.g. the TPS
   // advertisement finder) schedule their periodic work here.
   [[nodiscard]] util::PeriodicTimer& timer() { return *timer_; }
@@ -104,6 +114,8 @@ class Peer {
   PeerConfig config_;
   util::Clock& clock_;
   PeerId id_;
+  std::shared_ptr<obs::Registry> metrics_;
+  std::shared_ptr<obs::Tracer> tracer_;
   std::unique_ptr<util::SerialExecutor> executor_;
   std::unique_ptr<util::PeriodicTimer> timer_;
   std::unique_ptr<EndpointService> endpoint_;

@@ -105,6 +105,7 @@ bool OutputPipe::send(const Message& msg) {
       targets.assign(bound_.begin(), bound_.end());
     }
   }
+  const std::int64_t t0 = obs::now_us();
   const util::Bytes wire = msg.serialize();
   const std::string listener = PipeService::pipe_listener_name(adv_.pid);
   bool any = false;
@@ -115,6 +116,11 @@ bool OutputPipe::send(const Message& msg) {
     } else {
       stale.push_back(peer);
     }
+  }
+  if (any) {
+    service_.msgs_sent_.inc();
+    service_.send_latency_us_.record(
+        static_cast<double>(obs::now_us() - t0));
   }
   if (!stale.empty()) {
     {
@@ -141,7 +147,16 @@ void OutputPipe::close() {
 // --- PipeService ---------------------------------------------------------------
 
 PipeService::PipeService(ResolverService& resolver, EndpointService& endpoint)
-    : resolver_(resolver), endpoint_(endpoint) {}
+    : resolver_(resolver),
+      endpoint_(endpoint),
+      msgs_sent_(endpoint.metrics().counter("jxta.pipe.msgs_sent")),
+      msgs_received_(endpoint.metrics().counter("jxta.pipe.msgs_received")),
+      binding_queries_(
+          endpoint.metrics().counter("jxta.pipe.binding_queries")),
+      send_latency_us_(
+          endpoint.metrics().histogram("jxta.pipe.send_latency_us")),
+      recv_latency_us_(
+          endpoint.metrics().histogram("jxta.pipe.recv_latency_us")) {}
 
 void PipeService::start() {
   {
@@ -198,7 +213,10 @@ std::shared_ptr<InputPipe> PipeService::create_input_pipe(
               }
             }
           }
+          msgs_received_.inc();
+          const std::int64_t t0 = obs::now_us();
           for (const auto& p : pipes) p->deliver(m);
+          recv_latency_us_.record(static_cast<double>(obs::now_us() - t0));
         });
   }
   return pipe;
@@ -248,6 +266,7 @@ void PipeService::drop_output(const OutputPipe* pipe) {
 }
 
 void PipeService::send_binding_query(const PipeId& pipe_id) {
+  binding_queries_.inc();
   util::ByteWriter w;
   w.write_u64(pipe_id.uuid().hi());
   w.write_u64(pipe_id.uuid().lo());

@@ -129,6 +129,11 @@ class PipeService final : public ResolverHandler,
 
   ResolverService& resolver_;
   EndpointService& endpoint_;
+  obs::Counter msgs_sent_;
+  obs::Counter msgs_received_;
+  obs::Counter binding_queries_;
+  obs::Histogram send_latency_us_;
+  obs::Histogram recv_latency_us_;
 
   std::mutex mu_;
   bool started_ = false;

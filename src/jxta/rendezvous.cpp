@@ -15,7 +15,15 @@ RendezvousService::RendezvousService(EndpointService& endpoint,
     : endpoint_(endpoint),
       clock_(clock),
       config_(config),
-      self_adv_(std::move(self_advertisement)) {}
+      self_adv_(std::move(self_advertisement)),
+      propagations_originated_(
+          endpoint.metrics().counter("jxta.rdv.propagations_originated")),
+      propagations_received_(
+          endpoint.metrics().counter("jxta.rdv.propagations_received")),
+      propagations_forwarded_(
+          endpoint.metrics().counter("jxta.rdv.propagations_forwarded")),
+      duplicates_suppressed_(
+          endpoint.metrics().counter("jxta.rdv.duplicates_suppressed")) {}
 
 RendezvousService::~RendezvousService() { stop(); }
 
@@ -129,6 +137,7 @@ util::Bytes RendezvousService::make_propagate_frame(
 void RendezvousService::propagate(std::string_view service,
                                   util::Bytes payload) {
   const util::Uuid prop_id = util::Uuid::generate();
+  propagations_originated_.inc();
   // Record our own propagation so an echo is not re-forwarded.
   seen_before(prop_id);
   forward_propagation(prop_id, endpoint_.local_peer(),
@@ -141,6 +150,7 @@ bool RendezvousService::seen_before(const util::Uuid& prop_id) {
   const std::lock_guard lock(mu_);
   if (seen_.contains(prop_id)) {
     ++duplicates_;
+    duplicates_suppressed_.inc();
     return true;
   }
   seen_.insert(prop_id);
@@ -184,6 +194,7 @@ void RendezvousService::forward_propagation(
   }
   for (const auto& target : targets) {
     if (target == arrived_from || target == origin) continue;
+    propagations_forwarded_.inc();
     endpoint_.send(target, kRdvService, frame);
   }
 }
@@ -255,6 +266,7 @@ void RendezvousService::handle_propagate(const EndpointMessage& msg,
 
   if (origin == endpoint_.local_peer()) return;  // our own echo
   if (seen_before(prop_id)) return;
+  propagations_received_.inc();
 
   // Deliver to the local target-service listener. Reply paths are encoded
   // inside the payload by the layer above (the resolver carries its src),

@@ -109,6 +109,10 @@ class RendezvousService {
   util::Clock& clock_;
   const RendezvousConfig config_;
   const PeerAdvertisement self_adv_;
+  obs::Counter propagations_originated_;
+  obs::Counter propagations_received_;
+  obs::Counter propagations_forwarded_;
+  obs::Counter duplicates_suppressed_;
 
   mutable std::mutex mu_;
   bool started_ = false;

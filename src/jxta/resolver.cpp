@@ -56,7 +56,15 @@ ResolverResponse ResolverResponse::deserialize(
 
 ResolverService::ResolverService(EndpointService& endpoint,
                                  RendezvousService& rendezvous)
-    : endpoint_(endpoint), rendezvous_(rendezvous) {}
+    : endpoint_(endpoint),
+      rendezvous_(rendezvous),
+      queries_sent_(endpoint.metrics().counter("jxta.resolver.queries_sent")),
+      queries_received_(
+          endpoint.metrics().counter("jxta.resolver.queries_received")),
+      responses_sent_(
+          endpoint.metrics().counter("jxta.resolver.responses_sent")),
+      responses_received_(
+          endpoint.metrics().counter("jxta.resolver.responses_received")) {}
 
 ResolverService::~ResolverService() { stop(); }
 
@@ -111,6 +119,7 @@ util::Uuid ResolverService::send_query(const std::string& handler,
   query.query_id = util::Uuid::generate();
   query.src = endpoint_.local_peer();
   query.payload = std::move(payload);
+  queries_sent_.inc();
   const util::Bytes wire = query.serialize();
   if (dst.has_value()) {
     endpoint_.send(*dst, kQueryService, wire);
@@ -131,6 +140,7 @@ void ResolverService::send_response(const ResolverQuery& query,
   resp.query_id = query.query_id;
   resp.responder = endpoint_.local_peer();
   resp.payload = std::move(payload);
+  responses_sent_.inc();
   endpoint_.send(query.src, kResponseService, resp.serialize());
 }
 
@@ -168,6 +178,7 @@ void ResolverService::on_query(EndpointMessage msg) {
     return;
   }
   ++query.hop_count;
+  queries_received_.inc();
   process_query_locally(query);
 }
 
@@ -179,6 +190,7 @@ void ResolverService::on_response(EndpointMessage msg) {
     P2P_LOG(kWarn, "resolver") << "malformed response: " << e.what();
     return;
   }
+  responses_received_.inc();
   const auto handler = find_handler(resp.handler);
   if (!handler) return;
   try {

@@ -79,6 +79,11 @@ class ResolverService {
   // Routes `payload` as the answer to `query` back to its source.
   void send_response(const ResolverQuery& query, util::Bytes payload);
 
+  // The peer-wide metrics registry (forwarded from the endpoint) — the
+  // resolution point for services layered on PRP.
+  [[nodiscard]] obs::Registry& metrics() const { return endpoint_.metrics(); }
+  [[nodiscard]] EndpointService& endpoint() { return endpoint_; }
+
  private:
   void on_query(EndpointMessage msg);
   void on_response(EndpointMessage msg);
@@ -88,6 +93,10 @@ class ResolverService {
 
   EndpointService& endpoint_;
   RendezvousService& rendezvous_;
+  obs::Counter queries_sent_;
+  obs::Counter queries_received_;
+  obs::Counter responses_sent_;
+  obs::Counter responses_received_;
   std::mutex mu_;
   bool started_ = false;
   std::unordered_map<std::string, std::weak_ptr<ResolverHandler>> handlers_;

@@ -73,7 +73,14 @@ void WireOutputPipe::close() { closed_ = true; }
 
 WireService::WireService(PeerGroupId gid, EndpointService& endpoint,
                          RendezvousService& rendezvous)
-    : gid_(gid), endpoint_(endpoint), rendezvous_(rendezvous) {}
+    : gid_(gid),
+      endpoint_(endpoint),
+      rendezvous_(rendezvous),
+      published_(endpoint.metrics().counter("jxta.wire.published")),
+      received_(endpoint.metrics().counter("jxta.wire.received")),
+      delivered_(endpoint.metrics().counter("jxta.wire.delivered")),
+      e2e_latency_us_(
+          endpoint.metrics().histogram("jxta.wire.e2e_latency_us")) {}
 
 WireService::~WireService() { stop(); }
 
@@ -130,14 +137,20 @@ ServiceAdvertisement WireService::make_service_advertisement(
 }
 
 void WireService::publish_on_wire(const PipeId& id, const Message& msg) {
+  published_.inc();
+  // Stamp our hop onto the copy that leaves the peer; a message already
+  // traced by the layer above (TPS) keeps its trace id.
+  Message traced = msg;
+  obs::append_hop(traced, endpoint_.local_peer().to_string(), "wire-send",
+                  obs::now_us());
   util::ByteWriter w;
   w.write_u64(id.uuid().hi());
   w.write_u64(id.uuid().lo());
-  w.write_bytes(msg.serialize());
+  w.write_bytes(traced.serialize());
   // Remote members via rendezvous propagation (and LAN multicast)...
   rendezvous_.propagate(listener_name(), w.take());
   // ...and local wire input pipes directly (propagation skips the origin).
-  deliver_local(id, msg);
+  deliver_local(id, traced);
 }
 
 void WireService::on_wire_message(EndpointMessage msg) {
@@ -145,7 +158,17 @@ void WireService::on_wire_message(EndpointMessage msg) {
     util::ByteReader r(msg.payload);
     const PipeId id{util::Uuid{r.read_u64(), r.read_u64()}};
     const util::Bytes body = r.read_bytes();
-    deliver_local(id, Message::deserialize(body));
+    Message wire_msg = Message::deserialize(body);
+    received_.inc();
+    const std::int64_t now = obs::now_us();
+    if (const auto trace = obs::extract_trace(wire_msg);
+        trace && !trace->hops.empty()) {
+      e2e_latency_us_.record(
+          static_cast<double>(now - trace->hops.front().t_us));
+    }
+    obs::append_hop(wire_msg, endpoint_.local_peer().to_string(), "wire-recv",
+                    now);
+    deliver_local(id, wire_msg);
   } catch (const std::exception& e) {
     P2P_LOG(kWarn, "wire") << "malformed wire message: " << e.what();
   }
@@ -162,7 +185,10 @@ void WireService::deliver_local(const PipeId& id, const Message& msg) {
       }
     }
   }
-  for (const auto& p : pipes) p->deliver(msg);
+  for (const auto& p : pipes) {
+    delivered_.inc();
+    p->deliver(msg);
+  }
 }
 
 void WireService::drop_input(const WireInputPipe* pipe) {

@@ -120,6 +120,10 @@ class WireService {
   const PeerGroupId gid_;
   EndpointService& endpoint_;
   RendezvousService& rendezvous_;
+  obs::Counter published_;
+  obs::Counter received_;
+  obs::Counter delivered_;
+  obs::Histogram e2e_latency_us_;
 
   std::mutex mu_;
   bool started_ = false;

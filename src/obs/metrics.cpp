@@ -1,0 +1,263 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace p2p::obs {
+
+namespace detail {
+
+std::atomic<std::uint64_t>& scratch_u64() {
+  static std::atomic<std::uint64_t> cell{0};
+  return cell;
+}
+
+std::atomic<std::int64_t>& scratch_i64() {
+  static std::atomic<std::int64_t> cell{0};
+  return cell;
+}
+
+HistogramCell& scratch_histogram() {
+  static HistogramCell cell{default_latency_bounds_us()};
+  return cell;
+}
+
+namespace {
+
+// Compact numeric rendering: integers print without a trailing ".0".
+std::string render_number(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace detail
+
+std::vector<double> default_latency_bounds_us() {
+  // 64 us .. ~67 s in powers of four: coarse enough to stay cheap, fine
+  // enough to separate in-process hops from WAN-latency hops.
+  std::vector<double> bounds;
+  for (double b = 64; b <= 67'108'864.0; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+// --- Snapshot -----------------------------------------------------------------
+
+const MetricValue* Snapshot::find(const std::string& name) const {
+  const auto it = values.find(name);
+  return it != values.end() ? &it->second : nullptr;
+}
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  const MetricValue* v = find(name);
+  return v && v->kind == MetricValue::Kind::kCounter ? v->counter : 0;
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << detail::json_escape(name) << "\":{";
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        out << "\"type\":\"counter\",\"value\":" << v.counter;
+        break;
+      case MetricValue::Kind::kGauge:
+        out << "\"type\":\"gauge\",\"value\":" << v.gauge;
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out << "\"type\":\"histogram\",\"count\":" << v.histogram.count
+            << ",\"sum\":" << detail::render_number(v.histogram.sum)
+            << ",\"buckets\":[";
+        for (std::size_t i = 0; i < v.histogram.counts.size(); ++i) {
+          if (i > 0) out << ",";
+          out << "{\"le\":";
+          if (i < v.histogram.bounds.size()) {
+            out << detail::render_number(v.histogram.bounds[i]);
+          } else {
+            out << "\"+inf\"";
+          }
+          out << ",\"count\":" << v.histogram.counts[i] << "}";
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : values) {
+    const std::string prom = detail::prometheus_name(name);
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        out << "# TYPE " << prom << " counter\n"
+            << prom << " " << v.counter << "\n";
+        break;
+      case MetricValue::Kind::kGauge:
+        out << "# TYPE " << prom << " gauge\n"
+            << prom << " " << v.gauge << "\n";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out << "# TYPE " << prom << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < v.histogram.counts.size(); ++i) {
+          cumulative += v.histogram.counts[i];
+          out << prom << "_bucket{le=\"";
+          if (i < v.histogram.bounds.size()) {
+            out << detail::render_number(v.histogram.bounds[i]);
+          } else {
+            out << "+Inf";
+          }
+          out << "\"} " << cumulative << "\n";
+        }
+        out << prom << "_sum " << detail::render_number(v.histogram.sum)
+            << "\n"
+            << prom << "_count " << v.histogram.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+Snapshot diff(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  for (const auto& [name, a] : after.values) {
+    MetricValue d = a;
+    const MetricValue* b = before.find(name);
+    if (b && b->kind == a.kind) {
+      switch (a.kind) {
+        case MetricValue::Kind::kCounter:
+          d.counter = a.counter >= b->counter ? a.counter - b->counter : 0;
+          break;
+        case MetricValue::Kind::kGauge:
+          break;  // gauges are levels, not totals: keep `after`
+        case MetricValue::Kind::kHistogram:
+          d.histogram.count = a.histogram.count >= b->histogram.count
+                                  ? a.histogram.count - b->histogram.count
+                                  : 0;
+          d.histogram.sum = a.histogram.sum - b->histogram.sum;
+          for (std::size_t i = 0; i < d.histogram.counts.size(); ++i) {
+            const std::uint64_t prev = i < b->histogram.counts.size()
+                                           ? b->histogram.counts[i]
+                                           : 0;
+            d.histogram.counts[i] = d.histogram.counts[i] >= prev
+                                        ? d.histogram.counts[i] - prev
+                                        : 0;
+          }
+          break;
+      }
+    }
+    out.values.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+// --- Registry -----------------------------------------------------------------
+
+Counter Registry::counter(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::make_unique<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  return Counter{it->second.get()};
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name, std::make_unique<std::atomic<std::int64_t>>(0))
+             .first;
+  }
+  return Gauge{it->second.get()};
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  const std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name,
+                      std::make_unique<detail::HistogramCell>(std::move(bounds)))
+             .first;
+  }
+  return Histogram{it->second.get()};
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  return histogram(name, default_latency_bounds_us());
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  const std::lock_guard lock(mu_);
+  for (const auto& [name, cell] : counters_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::kCounter;
+    v.counter = cell->load(std::memory_order_relaxed);
+    out.values.emplace(name, std::move(v));
+  }
+  for (const auto& [name, cell] : gauges_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::kGauge;
+    v.gauge = cell->load(std::memory_order_relaxed);
+    out.values.emplace(name, std::move(v));
+  }
+  for (const auto& [name, cell] : histograms_) {
+    MetricValue v;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.histogram.bounds = cell->bounds;
+    v.histogram.counts.reserve(cell->counts.size());
+    for (const auto& c : cell->counts) {
+      v.histogram.counts.push_back(c.load(std::memory_order_relaxed));
+    }
+    v.histogram.count = cell->count.load(std::memory_order_relaxed);
+    v.histogram.sum = cell->sum.load(std::memory_order_relaxed);
+    out.values.emplace(name, std::move(v));
+  }
+  return out;
+}
+
+}  // namespace p2p::obs

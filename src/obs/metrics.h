@@ -1,0 +1,201 @@
+// Cross-layer metrics registry.
+//
+// Every layer of the stack (net -> jxta -> tps) resolves named instruments
+// from a per-peer Registry and bumps them on its hot paths. The design
+// keeps those paths lock-free:
+//   * Counter / Gauge / Histogram are small value-type HANDLES wrapping a
+//     pointer to a cell owned by the Registry. Resolving a handle takes the
+//     registry mutex once; every subsequent inc()/set()/record() is a
+//     relaxed atomic op.
+//   * A default-constructed handle points at a process-wide scratch cell,
+//     so code holding an unbound handle never branches or crashes.
+//   * Cells live in node-based maps — pointers stay valid for the
+//     registry's lifetime.
+//
+// Exposition: snapshot() captures a consistent-enough view (per-cell atomic
+// reads) that renders to JSON or Prometheus text; diff() subtracts two
+// snapshots so tests and benches can assert on deltas.
+//
+// Building with -DP2P_OBS=OFF defines P2P_OBS_DISABLED, compiling every
+// mutation into a no-op (the Figure 19 overhead baseline).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace p2p::obs {
+
+namespace detail {
+
+// Scratch cells backing default-constructed (unbound) handles.
+std::atomic<std::uint64_t>& scratch_u64();
+std::atomic<std::int64_t>& scratch_i64();
+
+// fetch_add for doubles without relying on C++20 atomic<double> ops being
+// lock-free on every toolchain.
+inline void add_double(std::atomic<double>& cell, double v) {
+  double expected = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+struct HistogramCell {
+  std::vector<double> bounds;  // sorted upper bounds; +inf bucket implied
+  std::vector<std::atomic<std::uint64_t>> counts;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0};
+
+  explicit HistogramCell(std::vector<double> upper_bounds)
+      : bounds(std::move(upper_bounds)), counts(bounds.size() + 1) {}
+};
+
+HistogramCell& scratch_histogram();
+
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() : cell_(&detail::scratch_u64()) {}
+
+  void inc(std::uint64_t n = 1) const {
+#if !defined(P2P_OBS_DISABLED)
+    cell_->fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return cell_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_;  // never null
+};
+
+class Gauge {
+ public:
+  Gauge() : cell_(&detail::scratch_i64()) {}
+
+  void set(std::int64_t v) const {
+#if !defined(P2P_OBS_DISABLED)
+    cell_->store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(std::int64_t d) const {
+#if !defined(P2P_OBS_DISABLED)
+    cell_->fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return cell_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_;  // never null
+};
+
+class Histogram {
+ public:
+  Histogram() : cell_(&detail::scratch_histogram()) {}
+
+  void record(double v) const {
+#if !defined(P2P_OBS_DISABLED)
+    std::size_t i = 0;
+    while (i < cell_->bounds.size() && v > cell_->bounds[i]) ++i;
+    cell_->counts[i].fetch_add(1, std::memory_order_relaxed);
+    cell_->count.fetch_add(1, std::memory_order_relaxed);
+    detail::add_double(cell_->sum, v);
+#else
+    (void)v;
+#endif
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return cell_->count.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return cell_->sum.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_;  // never null
+};
+
+// Default latency buckets, in microseconds (64 us .. ~67 s, powers of 4).
+std::vector<double> default_latency_bounds_us();
+
+// --- snapshots -----------------------------------------------------------------
+
+struct HistogramValue {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (+inf last)
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  HistogramValue histogram;
+};
+
+struct Snapshot {
+  std::map<std::string, MetricValue> values;
+
+  [[nodiscard]] const MetricValue* find(const std::string& name) const;
+  // Convenience: counter value by name, 0 if absent.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  // {"name": {"type":"counter","value":N}, ...} — one stable JSON object.
+  [[nodiscard]] std::string to_json() const;
+  // Prometheus text exposition ('.' in names becomes '_').
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+// after - before: counters and histogram buckets subtract (clamped at 0);
+// gauges keep the `after` value; metrics absent from `before` pass through.
+Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+// --- registry -----------------------------------------------------------------
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Resolve-or-create. Handles stay valid for the registry's lifetime.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  // `bounds` applies on first resolution only (later calls reuse the cell).
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+  Histogram histogram(const std::string& name);  // default latency buckets
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>
+      counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
+  std::map<std::string, std::unique_ptr<detail::HistogramCell>> histograms_;
+};
+
+}  // namespace p2p::obs

@@ -1,0 +1,56 @@
+#include "obs/trace.h"
+
+namespace p2p::obs {
+
+util::Bytes encode_hops(const std::vector<Hop>& hops) {
+  util::ByteWriter w;
+  w.write_varint(hops.size());
+  for (const Hop& hop : hops) {
+    w.write_string(hop.peer);
+    w.write_string(hop.stage);
+    w.write_i64(hop.t_us);
+  }
+  return w.take();
+}
+
+std::vector<Hop> decode_hops(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  const std::uint64_t count = r.read_varint();
+  std::vector<Hop> hops;
+  hops.reserve(std::min<std::uint64_t>(count, kMaxHops));
+  for (std::uint64_t i = 0; i < count && i < kMaxHops; ++i) {
+    Hop hop;
+    hop.peer = r.read_string();
+    hop.stage = r.read_string();
+    hop.t_us = r.read_i64();
+    hops.push_back(std::move(hop));
+  }
+  return hops;
+}
+
+void Tracer::record(Trace trace) {
+  const std::lock_guard lock(mu_);
+  ++recorded_;
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<Trace> Tracer::recent() const {
+  const std::lock_guard lock(mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+std::optional<Trace> Tracer::find(const util::Uuid& id) const {
+  const std::lock_guard lock(mu_);
+  for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+    if (it->id == id) return *it;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Tracer::recorded() const {
+  const std::lock_guard lock(mu_);
+  return recorded_;
+}
+
+}  // namespace p2p::obs

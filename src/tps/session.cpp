@@ -39,7 +39,21 @@ TpsSession::TpsSession(jxta::Peer& peer, std::string type_name,
       criteria_(std::move(criteria)),
       config_(config),
       registry_(registry),
-      creator_(peer) {}
+      creator_(peer),
+      m_published_(peer.metrics().counter("tps.published")),
+      m_wire_sends_(peer.metrics().counter("tps.wire_sends")),
+      m_received_unique_(peer.metrics().counter("tps.received_unique")),
+      m_duplicates_suppressed_(
+          peer.metrics().counter("tps.duplicates_suppressed")),
+      m_decode_failures_(peer.metrics().counter("tps.decode_failures")),
+      m_callback_errors_(peer.metrics().counter("tps.callback_errors")),
+      m_subscribes_(peer.metrics().counter("tps.subscribes")),
+      m_advs_created_(peer.metrics().counter("tps.advs_created")),
+      m_advs_adopted_(peer.metrics().counter("tps.advs_adopted")),
+      publish_latency_us_(
+          peer.metrics().histogram("tps.publish_latency_us")),
+      callback_latency_us_(
+          peer.metrics().histogram("tps.callback_latency_us")) {}
 
 TpsSession::~TpsSession() { shutdown(); }
 
@@ -112,6 +126,7 @@ TpsSession::Channel& TpsSession::channel(const std::string& type,
       const PeerGroupAdvertisement own =
           creator_.create_type_advertisement(type);
       creator_.publish_advertisement(own, config_.adv_lifetime_ms);
+      m_advs_created_.inc();
       adopt_advertisement(type, own, /*own=*/true);
       lock.lock();
     }
@@ -170,6 +185,7 @@ void TpsSession::adopt_advertisement(const std::string& type,
     if (it == channels_.end()) return;
     it->second.bindings.push_back(std::move(binding));
   }
+  m_advs_adopted_.inc();
   cv_.notify_all();
 }
 
@@ -201,12 +217,16 @@ void TpsSession::publish(serial::EventPtr event) {
 
   // Encode once; every transmission is a dup() with a fresh message id but
   // the same event id (SR dedup key).
+  const std::int64_t t0 = obs::now_us();
   const util::Bytes payload = registry_.encode_tagged(*event);
   const util::Uuid event_id = util::Uuid::generate();
   jxta::Message base;
   base.add_bytes(std::string(kEventElement), payload);
   base.add_bytes(std::string(kEventIdElement), uuid_to_bytes(event_id));
   base.add_string(std::string(kTypeElement), info->name);
+  // First trace hop: the publication leaves the TPS engine. dup() keeps
+  // elements, so every wire transmission carries the same trace id.
+  obs::start_trace(base, peer_.id().to_string(), "publish", t0);
 
   // Type-hierarchy dispatch (paper Fig. 7): one transmission per
   // advertisement of the dynamic type and of each ancestor type.
@@ -226,6 +246,9 @@ void TpsSession::publish(serial::EventPtr event) {
     }
   }
 
+  m_published_.inc();
+  m_wire_sends_.inc(sends);
+  publish_latency_us_.record(static_cast<double>(obs::now_us() - t0));
   const std::lock_guard lock(mu_);
   ++stats_.published;
   stats_.wire_sends += sends;
@@ -251,6 +274,7 @@ void TpsSession::on_event_message(jxta::Message msg) {
   std::optional<util::Uuid> event_id;
   if (id_bytes) event_id = uuid_from_bytes(*id_bytes);
   if (!event_id || !event_bytes) {
+    m_decode_failures_.inc();
     const std::lock_guard lock(mu_);
     ++stats_.decode_failures;
     return;
@@ -260,6 +284,7 @@ void TpsSession::on_event_message(jxta::Message msg) {
     if (shut_down_) return;
     if (seen_before(*event_id)) {
       ++stats_.duplicates_suppressed;  // SR functionality (3)
+      m_duplicates_suppressed_.inc();
       return;
     }
   }
@@ -269,6 +294,7 @@ void TpsSession::on_event_message(jxta::Message msg) {
   } catch (const std::exception& e) {
     P2P_LOG(kWarn, "tps") << peer_.name()
                           << ": cannot decode event: " << e.what();
+    m_decode_failures_.inc();
     const std::lock_guard lock(mu_);
     ++stats_.decode_failures;
     return;
@@ -281,11 +307,24 @@ void TpsSession::on_event_message(jxta::Message msg) {
     if (config_.record_history) received_.push_back(decoded.event);
     subscribers = subscribers_;
   }
+  m_received_unique_.inc();
+  // The last hop: this unique delivery reached the subscribing session.
+  // File the completed path into the peer's tracer.
+  obs::append_hop(msg, peer_.id().to_string(), "deliver", obs::now_us());
+  if (auto trace = obs::extract_trace(msg)) {
+    peer_.tracer().record(std::move(*trace));
+  }
+  const std::int64_t dispatch_t0 = obs::now_us();
   for (const auto& sub : subscribers) {
     if (!sub.dispatch(decoded.event)) {
+      m_callback_errors_.inc();
       const std::lock_guard lock(mu_);
       ++stats_.callback_errors;
     }
+  }
+  if (!subscribers.empty()) {
+    callback_latency_us_.record(
+        static_cast<double>(obs::now_us() - dispatch_t0));
   }
 }
 
@@ -294,6 +333,7 @@ void TpsSession::subscribe(Subscriber subscriber) {
   if (!initialized_ || shut_down_) {
     throw PsException("session is not running");
   }
+  m_subscribes_.inc();
   subscribers_.push_back(std::move(subscriber));
 }
 

@@ -147,6 +147,19 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   const TpsConfig config_;
   serial::TypeRegistry& registry_;
   AdvertisementsCreator creator_;
+  // Registry mirrors of TpsStats (plus latency histograms), so TPS traffic
+  // shows up in the peer-wide metrics/PIP story like every other layer.
+  obs::Counter m_published_;
+  obs::Counter m_wire_sends_;
+  obs::Counter m_received_unique_;
+  obs::Counter m_duplicates_suppressed_;
+  obs::Counter m_decode_failures_;
+  obs::Counter m_callback_errors_;
+  obs::Counter m_subscribes_;
+  obs::Counter m_advs_created_;
+  obs::Counter m_advs_adopted_;
+  obs::Histogram publish_latency_us_;
+  obs::Histogram callback_latency_us_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -31,24 +32,35 @@ void log(LogLevel level, std::string_view tag, std::string_view msg) noexcept;
 
 namespace detail {
 
-// Stream-style capture used by the P2P_LOG macro.
+// Stream-style capture used by the P2P_LOG macro. The level check happens
+// ONCE, at construction: a dropped-severity line never constructs the
+// std::ostringstream, never formats an operand and never reaches the sink
+// — even if the global level changes mid-expression.
 class LogLine {
  public:
-  LogLine(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
-  ~LogLine() { log(level_, tag_, stream_.str()); }
+  LogLine(LogLevel level, std::string_view tag)
+      : level_(level), tag_(tag), enabled_(level >= log_level()) {
+    if (enabled_) stream_.emplace();
+  }
+  ~LogLine() {
+    if (enabled_) log(level_, tag_, stream_->str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
   template <typename T>
   LogLine& operator<<(const T& v) {
-    stream_ << v;
+    if (enabled_) *stream_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
   std::string_view tag_;
-  std::ostringstream stream_;
+  bool enabled_;
+  std::optional<std::ostringstream> stream_;  // engaged only when enabled
 };
 
 }  // namespace detail

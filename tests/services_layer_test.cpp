@@ -255,6 +255,46 @@ TEST(MonitoringTest, PeriodicSweepsRun) {
   monitor.monitoring().stop();
 }
 
+TEST(MonitoringTest, SweepReportsRegistrySourcedTraffic) {
+  // After a publish round-trip between alice and bob, a PIP sweep from a
+  // third peer must report non-zero message/byte counters for both — the
+  // numbers flow from each peer's obs::Registry through PeerInfoService.
+  TestNet net;
+  Peer& monitor = net.add_peer("monitor");
+  Peer& alice = net.add_peer("alice");
+  Peer& bob = net.add_peer("bob");
+
+  bob.endpoint().register_listener("ping", [&](EndpointMessage msg) {
+    bob.endpoint().send(msg.src, "pong", {2});
+  });
+  std::atomic<int> answered{0};
+  alice.endpoint().register_listener("pong",
+                                     [&](EndpointMessage) { ++answered; });
+  // Retried: the first send may predate address discovery.
+  ASSERT_TRUE(wait_until([&] {
+    return alice.endpoint().send(bob.id(), "ping", {1}) && answered > 0;
+  }));
+
+  const auto live_traffic = [&](const Peer& peer) {
+    const auto status = monitor.monitoring().status_of(peer.id());
+    return status.has_value() && status->info.traffic.msgs_sent > 0 &&
+           status->info.traffic.bytes_sent > 0 &&
+           status->info.traffic.msgs_received > 0 &&
+           status->info.traffic.bytes_received > 0;
+  };
+  ASSERT_TRUE(wait_until([&] {
+    monitor.monitoring().sweep();
+    return live_traffic(alice) && live_traffic(bob);
+  }));
+
+  // The reported numbers come from the live registry: alice's own counter
+  // is at least what the sweep saw a moment ago.
+  const auto status = monitor.monitoring().status_of(alice.id());
+  ASSERT_TRUE(status.has_value());
+  EXPECT_GE(alice.metrics().snapshot().counter("net.msgs_sent"),
+            status->info.traffic.msgs_sent);
+}
+
 // --- discovery persistence ------------------------------------------------------------
 
 class TempFile {

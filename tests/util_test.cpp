@@ -603,6 +603,39 @@ TEST(TimerTest, SurvivesThrowingTask) {
 
 // --- logging ----------------------------------------------------------------
 
+// An operand whose stream formatting is observable: if operator<< runs,
+// the counter bumps.
+struct FormatProbe {
+  int* formats;
+  friend std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+    ++*p.formats;
+    return os << "probe";
+  }
+};
+
+TEST(LoggingTest, DroppedLineNeverFormatsNorReachesSink) {
+  int sink_calls = 0;
+  int formats = 0;
+  const auto previous = set_log_sink(
+      [&](LogLevel, std::string_view, std::string_view) { ++sink_calls; });
+  const LogLevel previous_level = log_level();
+  set_log_level(LogLevel::kWarn);
+  // The macro path: the whole statement after the level check is skipped,
+  // so the operand is never even evaluated.
+  P2P_LOG(kDebug, "test") << FormatProbe{&formats};
+  {
+    // The LogLine path: below-threshold lines must not engage the stream,
+    // so streaming an operand into them formats nothing.
+    detail::LogLine line(LogLevel::kInfo, "test");
+    EXPECT_FALSE(line.enabled());
+    line << FormatProbe{&formats};
+  }
+  set_log_sink(previous);
+  set_log_level(previous_level);
+  EXPECT_EQ(sink_calls, 0);
+  EXPECT_EQ(formats, 0);
+}
+
 TEST(LoggingTest, SinkReceivesAboveLevel) {
   std::vector<std::string> captured;
   const auto previous = set_log_sink(

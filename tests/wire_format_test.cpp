@@ -11,6 +11,7 @@
 #include "jxta/message.h"
 #include "jxta/peer.h"
 #include "jxta/resolver.h"
+#include "obs/trace.h"
 #include "serial/type_registry.h"
 
 namespace p2p {
@@ -159,6 +160,34 @@ TEST(WireFormatTest, CredentialLayout) {
             "0300000000000000" "0400000000000000"
             "0161"
             "0500000000000000");
+}
+
+TEST(WireFormatTest, TraceElementsLayout) {
+  // The observability layer's wire-format addition: traced messages carry
+  // two extra elements. Their names and byte layouts are frozen here —
+  //   obs:trace-id — 16 bytes, [hi u64 LE][lo u64 LE];
+  //   obs:hops     — [count varint] then per hop
+  //                  [peer string][stage string][t_us i64 zigzag].
+  // Untraced peers must keep forwarding these as opaque elements.
+  EXPECT_EQ(obs::kTraceIdElement, "obs:trace-id");
+  EXPECT_EQ(obs::kTraceHopsElement, "obs:hops");
+
+  const std::vector<obs::Hop> hops = {{"p", "s", 3}};
+  EXPECT_EQ(to_hex(obs::encode_hops(hops)), "010170017306");
+
+  jxta::Message m;
+  util::ByteWriter w;
+  w.write_u64(0x0102030405060708ull);
+  w.write_u64(0x090a0b0c0d0e0f10ull);
+  m.set_bytes(std::string(obs::kTraceIdElement), w.take());
+  m.set_bytes(std::string(obs::kTraceHopsElement), obs::encode_hops(hops));
+  EXPECT_EQ(to_hex(*m.get_bytes(obs::kTraceIdElement)),
+            "0807060504030201" "100f0e0d0c0b0a09");
+  const auto trace = obs::extract_trace(m);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->id,
+            (util::Uuid{0x0102030405060708ull, 0x090a0b0c0d0e0f10ull}));
+  EXPECT_EQ(trace->hops, hops);
 }
 
 }  // namespace
