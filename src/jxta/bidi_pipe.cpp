@@ -83,15 +83,21 @@ bool BidiPipe::send(const Message& msg) {
 void BidiPipe::set_listener(Listener listener) {
   std::vector<Message> backlog;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listener_ = std::move(listener);
     if (listener_) {
       while (auto m = queue_.try_pop()) backlog.push_back(std::move(*m));
     }
   }
+  // Invoke with mu_ released: the listener may call back into this pipe.
   for (auto& m : backlog) {
-    const std::lock_guard lock(mu_);
-    if (listener_) listener_(std::move(m));
+    Listener current;
+    {
+      const util::MutexLock lock(mu_);
+      current = listener_;
+    }
+    if (!current || closed_) return;
+    current(std::move(m));
   }
 }
 
@@ -119,7 +125,7 @@ void BidiPipe::on_message(Message wire) {
   }
   Listener listener;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listener = listener_;
   }
   if (listener) {
@@ -130,11 +136,16 @@ void BidiPipe::on_message(Message wire) {
 }
 
 void BidiPipe::close() {
-  if (closed_.exchange(true)) return;
-  // Best-effort close notification, then teardown.
-  Message bye;
-  bye.add_string(std::string(kKindElement), "close");
-  output_->send(bye);
+  if (!closed_.exchange(true)) {
+    // Best-effort close notification.
+    Message bye;
+    bye.add_string(std::string(kKindElement), "close");
+    output_->send(bye);
+  }
+  // Teardown runs even when closed_ was already set: a remote "close"
+  // flips closed_ from on_message() without closing input_, and the
+  // destructor must still quiesce the in-flight on_message before members
+  // are destroyed. All three calls are idempotent.
   queue_.close();
   input_->close();
   output_->close();
@@ -177,7 +188,7 @@ void BidiAcceptor::on_listen_message(Message msg) {
           peer_, std::move(own_input), std::move(to_connector)));
       AcceptHandler handler;
       {
-        const std::lock_guard lock(mu_);
+        const util::MutexLock lock(mu_);
         if (closed_) return;
         handler = handler_;
         if (!handler) {
@@ -190,7 +201,7 @@ void BidiAcceptor::on_listen_message(Message msg) {
       P2P_LOG(kWarn, "bidi") << "accept failed: " << e.what();
     }
   });
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   if (closed_) {
     // Raced with close(): it will not see this worker; reap it here.
     worker.join();
@@ -202,14 +213,14 @@ void BidiAcceptor::on_listen_message(Message msg) {
 void BidiAcceptor::set_accept_handler(AcceptHandler handler) {
   std::vector<std::shared_ptr<BidiPipe>> backlog;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     handler_ = std::move(handler);
     if (handler_) {
       while (auto p = pending_.try_pop()) backlog.push_back(std::move(*p));
     }
   }
   for (auto& p : backlog) {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (handler_) handler_(std::move(p));
   }
 }
@@ -224,7 +235,7 @@ void BidiAcceptor::close() {
   listen_pipe_->close();  // synchronous: no further on_listen_message
   std::vector<std::thread> workers;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     workers.swap(workers_);
   }
   for (auto& w : workers) {

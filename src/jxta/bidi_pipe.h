@@ -17,10 +17,10 @@
 //   payload      = the user message, serialized (data)
 #pragma once
 
-#include <condition_variable>
 #include <thread>
 
 #include "jxta/pipe.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 class Peer;
@@ -51,7 +51,7 @@ class BidiPipe {
   bool send(const Message& msg);
 
   // Delivery: listener (preferred) or poll.
-  void set_listener(Listener listener);
+  void set_listener(Listener listener) EXCLUDES(mu_);
   std::optional<Message> poll(util::Duration timeout);
 
   // Sends a best-effort close notification and tears the channel down.
@@ -62,13 +62,13 @@ class BidiPipe {
   friend class BidiAcceptor;
   BidiPipe(Peer& peer, std::shared_ptr<InputPipe> input,
            std::shared_ptr<OutputPipe> output);
-  void on_message(Message msg);
+  void on_message(Message msg) EXCLUDES(mu_);
 
   Peer& peer_;
   std::shared_ptr<InputPipe> input_;
   std::shared_ptr<OutputPipe> output_;
-  std::mutex mu_;
-  Listener listener_;
+  util::Mutex mu_{"bidi-pipe"};
+  Listener listener_ GUARDED_BY(mu_);
   util::BlockingQueue<Message> queue_;
   std::atomic<bool> closed_{false};
 };
@@ -89,7 +89,7 @@ class BidiAcceptor {
   // Invoked (on the peer executor) for each accepted connection; replaces
   // any previous handler. Connections accepted before a handler is set are
   // queued and replayed.
-  void set_accept_handler(AcceptHandler handler);
+  void set_accept_handler(AcceptHandler handler) EXCLUDES(mu_);
 
   // Blocking accept (alternative to the handler). nullptr on timeout.
   std::shared_ptr<BidiPipe> accept(util::Duration timeout);
@@ -101,13 +101,13 @@ class BidiAcceptor {
   void close();
 
  private:
-  void on_listen_message(Message msg);
+  void on_listen_message(Message msg) EXCLUDES(mu_);
 
   Peer& peer_;
   const PipeAdvertisement listen_adv_;
   std::shared_ptr<InputPipe> listen_pipe_;
-  std::mutex mu_;
-  AcceptHandler handler_;
+  util::Mutex mu_{"bidi-acceptor"};
+  AcceptHandler handler_ GUARDED_BY(mu_);
   util::BlockingQueue<std::shared_ptr<BidiPipe>> pending_;
   // One short-lived handshake worker per incoming connect (the handshake
   // resolves pipes, which must not block the peer executor); joined on

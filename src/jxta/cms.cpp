@@ -57,7 +57,7 @@ CmsService::CmsService(ResolverService& resolver, EndpointService& endpoint,
 
 void CmsService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -66,7 +66,7 @@ void CmsService::start() {
 
 void CmsService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -88,7 +88,7 @@ ContentAdvertisement CmsService::share(const std::string& name,
   adv.size = content.size();
   adv.provider = endpoint_.local_peer();
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     store_[adv.id] = Stored{adv, std::move(content)};
   }
   discovery_.remote_publish(adv, DiscoveryType::kAdv);
@@ -96,12 +96,12 @@ ContentAdvertisement CmsService::share(const std::string& name,
 }
 
 void CmsService::unshare(const CodatId& id) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   store_.erase(id);
 }
 
 std::vector<ContentAdvertisement> CmsService::shared() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<ContentAdvertisement> out;
   out.reserve(store_.size());
   for (const auto& [id, stored] : store_) out.push_back(stored.adv);
@@ -119,7 +119,7 @@ std::vector<ContentAdvertisement> CmsService::search(
   const util::Uuid query_id =
       resolver_.send_query(std::string(kHandlerName), w.take());
   std::this_thread::sleep_for(window);  // collect for the whole window
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<ContentAdvertisement> out;
   const auto it = search_results_.find(query_id);
   if (it != search_results_.end()) {
@@ -142,9 +142,11 @@ std::optional<util::Bytes> CmsService::fetch(const ContentAdvertisement& adv,
   const util::Uuid query_id = resolver_.send_query(
       std::string(kHandlerName), w.take(),
       know_provider ? std::optional<PeerId>(adv.provider) : std::nullopt);
-  std::unique_lock lock(mu_);
-  cv_.wait_for(lock, timeout,
-               [&] { return fetch_results_.contains(query_id); });
+  const util::MutexLock lock(mu_);
+  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  while (!fetch_results_.contains(query_id)) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+  }
   const auto it = fetch_results_.find(query_id);
   if (it == fetch_results_.end()) return std::nullopt;
   util::Bytes content = std::move(it->second);
@@ -160,7 +162,7 @@ std::optional<util::Bytes> CmsService::fetch(const ContentAdvertisement& adv,
 std::optional<util::Bytes> CmsService::process_query(const ResolverQuery& q) {
   util::ByteReader r(q.payload);
   const auto kind = static_cast<Kind>(r.read_u8());
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   if (kind == Kind::kSearch) {
     const std::string glob = r.read_string();
     util::ByteWriter w;
@@ -205,7 +207,7 @@ void CmsService::process_response(const ResolverResponse& resp) {
         P2P_LOG(kWarn, "cms") << "bad search result: " << e.what();
       }
     }
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     // Create-on-demand (answers can beat the collector registration);
     // bound the map against responses to long-forgotten queries.
     if (!search_results_.contains(resp.query_id) &&
@@ -222,7 +224,7 @@ void CmsService::process_response(const ResolverResponse& resp) {
   if (kind == Kind::kFetch) {
     util::Bytes content = r.read_bytes();
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       fetch_results_[resp.query_id] = std::move(content);
     }
     cv_.notify_all();

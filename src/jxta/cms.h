@@ -12,10 +12,9 @@
 //                id, which is derived from the bytes).
 #pragma once
 
-#include <condition_variable>
-
 #include "jxta/discovery.h"
 #include "jxta/resolver.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -59,28 +58,30 @@ class CmsService final : public ResolverHandler,
   CmsService(ResolverService& resolver, EndpointService& endpoint,
              DiscoveryService& discovery);
 
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // Shares content under a human name + free-text description. The codat
   // id is derived from the bytes, so identical content shared anywhere
   // gets the same id. Throws InvalidArgument above kMaxContentBytes.
   ContentAdvertisement share(const std::string& name,
                              const std::string& description,
-                             util::Bytes content);
+                             util::Bytes content) EXCLUDES(mu_);
   // Stops sharing a codat (search/fetch no longer answered for it).
-  void unshare(const CodatId& id);
-  [[nodiscard]] std::vector<ContentAdvertisement> shared() const;
+  void unshare(const CodatId& id) EXCLUDES(mu_);
+  [[nodiscard]] std::vector<ContentAdvertisement> shared() const
+      EXCLUDES(mu_);
 
   // Group-wide keyword search: matches name/description/keyword globs.
   // Collects answers for the whole window.
   std::vector<ContentAdvertisement> search(const std::string& keyword_glob,
-                                           util::Duration window);
+                                           util::Duration window)
+      EXCLUDES(mu_);
 
   // Fetches the codat's bytes from its provider (or any peer sharing the
   // same id). Verifies the content against the id. nullopt on timeout.
   std::optional<util::Bytes> fetch(const ContentAdvertisement& adv,
-                                   util::Duration timeout);
+                                   util::Duration timeout) EXCLUDES(mu_);
 
   // --- ResolverHandler -----------------------------------------------------
   std::optional<util::Bytes> process_query(const ResolverQuery& q) override;
@@ -97,13 +98,14 @@ class CmsService final : public ResolverHandler,
   EndpointService& endpoint_;
   DiscoveryService& discovery_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool started_ = false;
-  std::map<CodatId, Stored> store_;
+  mutable util::Mutex mu_{"cms"};
+  util::CondVar cv_;
+  bool started_ GUARDED_BY(mu_) = false;
+  std::map<CodatId, Stored> store_ GUARDED_BY(mu_);
   // In-flight collectors keyed by query id.
-  std::map<util::Uuid, std::vector<ContentAdvertisement>> search_results_;
-  std::map<util::Uuid, util::Bytes> fetch_results_;
+  std::map<util::Uuid, std::vector<ContentAdvertisement>> search_results_
+      GUARDED_BY(mu_);
+  std::map<util::Uuid, util::Bytes> fetch_results_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

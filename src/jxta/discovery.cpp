@@ -53,7 +53,7 @@ DiscoveryService::DiscoveryService(ResolverService& resolver,
 
 void DiscoveryService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -62,7 +62,7 @@ void DiscoveryService::start() {
 
 void DiscoveryService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -71,7 +71,7 @@ void DiscoveryService::stop() {
 
 void DiscoveryService::store(const Advertisement& adv, DiscoveryType type,
                              std::int64_t lifetime_ms) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   Entry entry;
   entry.adv = AdvertisementPtr(adv.clone().release());
   entry.expires = clock_.now() + util::Duration{lifetime_ms};
@@ -103,7 +103,7 @@ std::vector<AdvertisementPtr> DiscoveryService::get_local(
     DiscoveryType type, std::string_view attr, std::string_view value) const {
   std::vector<AdvertisementPtr> out;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = cache_.find(type);
     if (it != cache_.end()) {
       const auto now = clock_.now();
@@ -143,25 +143,25 @@ util::Uuid DiscoveryService::get_remote(DiscoveryType type,
 }
 
 void DiscoveryService::flush(DiscoveryType type) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   cache_.erase(type);
 }
 
 void DiscoveryService::flush(DiscoveryType type, const std::string& identity) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = cache_.find(type);
   if (it != cache_.end()) it->second.erase(identity);
 }
 
 std::uint64_t DiscoveryService::add_listener(DiscoveryListener listener) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const std::uint64_t handle = next_listener_++;
   listeners_[handle] = std::move(listener);
   return handle;
 }
 
 void DiscoveryService::remove_listener(std::uint64_t handle) {
-  std::unique_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   listeners_.erase(handle);
   // Do not return while this listener runs on another thread: callers free
   // listener-captured state right after removal. If WE are inside that
@@ -173,20 +173,20 @@ void DiscoveryService::remove_listener(std::uint64_t handle) {
       if (firing == handle) return;
     }
   }
-  fire_cv_.wait(lock, [&] { return !firing_counts_.contains(handle); });
+  while (firing_counts_.contains(handle)) fire_cv_.wait(mu_);
 }
 
 void DiscoveryService::fire(const DiscoveryEvent& event) {
   std::vector<std::pair<std::uint64_t, DiscoveryListener>> listeners;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listeners.reserve(listeners_.size());
     for (const auto& [handle, l] : listeners_) listeners.emplace_back(handle, l);
   }
   const auto tid = std::this_thread::get_id();
   for (const auto& [handle, l] : listeners) {
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       if (!listeners_.contains(handle)) continue;  // removed meanwhile
       ++firing_counts_[handle];
       firing_stacks_[tid].push_back(handle);
@@ -197,7 +197,7 @@ void DiscoveryService::fire(const DiscoveryEvent& event) {
       P2P_LOG(kError, "discovery") << "listener threw: " << e.what();
     }
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       if (--firing_counts_[handle] == 0) firing_counts_.erase(handle);
       auto& stack = firing_stacks_[tid];
       stack.pop_back();
@@ -276,7 +276,7 @@ std::size_t DiscoveryService::save_cache(const std::string& path) const {
     throw util::P2pError("cannot open cache file for writing: " + path);
   }
   std::size_t saved = 0;
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto now = clock_.now();
   for (const auto& [type, entries] : cache_) {
     for (const auto& [identity, entry] : entries) {
@@ -322,7 +322,7 @@ std::size_t DiscoveryService::load_cache(const std::string& path) {
 }
 
 std::size_t DiscoveryService::cache_size(DiscoveryType type) const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = cache_.find(type);
   if (it == cache_.end()) return 0;
   const auto now = clock_.now();

@@ -13,16 +13,15 @@
 // plus DiscoveryListener callbacks fired when remote advertisements arrive.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "jxta/advertisement.h"
 #include "jxta/resolver.h"
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -51,8 +50,8 @@ class DiscoveryService final
 
   // Registers the PRP handler. Call once after construction (needs
   // shared_from_this, hence not in the constructor).
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // --- local cache ---------------------------------------------------------
   // Stores the advertisement (replacing any previous one with the same
@@ -70,7 +69,7 @@ class DiscoveryService final
   // the advertisement field `attr` is matched against glob `value`.
   [[nodiscard]] std::vector<AdvertisementPtr> get_local(
       DiscoveryType type, std::string_view attr = {},
-      std::string_view value = {}) const;
+      std::string_view value = {}) const EXCLUDES(mu_);
 
   // Sends a group-wide (or directed, if peer set) discovery query. Remote
   // answers land in the local cache and fire listeners. Returns query id.
@@ -82,9 +81,10 @@ class DiscoveryService final
   // Drops every cached advertisement of the given type (paper Fig. 16
   // lines 9-11 flush with a null identity). Own peer adv is re-published by
   // the Peer on its next heartbeat.
-  void flush(DiscoveryType type);
+  void flush(DiscoveryType type) EXCLUDES(mu_);
   // Drops one advertisement by identity.
-  void flush(DiscoveryType type, const std::string& identity);
+  void flush(DiscoveryType type, const std::string& identity)
+      EXCLUDES(mu_);
 
   // --- stable storage --------------------------------------------------------
   // "The first call writes the advertisement to the stable storage of the
@@ -92,23 +92,24 @@ class DiscoveryService final
   // whole cache across restarts: save_cache() writes every live entry with
   // its remaining lifetime; load_cache() merges entries back, skipping
   // ones that expired while the peer was down. Both return entry counts.
-  std::size_t save_cache(const std::string& path) const;
+  std::size_t save_cache(const std::string& path) const EXCLUDES(mu_);
   std::size_t load_cache(const std::string& path);
 
   // --- listeners -----------------------------------------------------------
-  std::uint64_t add_listener(DiscoveryListener listener);
+  std::uint64_t add_listener(DiscoveryListener listener) EXCLUDES(mu_);
   // Synchronous: blocks until an in-flight invocation of this listener (on
   // another thread) completes, so its captured state may be freed after
   // this returns. A listener must not remove itself from a foreign thread
   // while also blocking that thread.
-  void remove_listener(std::uint64_t handle);
+  void remove_listener(std::uint64_t handle) EXCLUDES(mu_);
 
   // --- ResolverHandler -------------------------------------------------------
   std::optional<util::Bytes> process_query(const ResolverQuery& q) override;
   void process_response(const ResolverResponse& r) override;
 
   // Cache statistics (observability / tests).
-  [[nodiscard]] std::size_t cache_size(DiscoveryType type) const;
+  [[nodiscard]] std::size_t cache_size(DiscoveryType type) const
+      EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -117,8 +118,8 @@ class DiscoveryService final
   };
 
   void store(const Advertisement& adv, DiscoveryType type,
-             std::int64_t lifetime_ms);
-  void fire(const DiscoveryEvent& event);
+             std::int64_t lifetime_ms) EXCLUDES(mu_);
+  void fire(const DiscoveryEvent& event) EXCLUDES(mu_);
   [[nodiscard]] static util::Bytes encode_batch(
       DiscoveryType type, const std::vector<AdvertisementPtr>& advs,
       std::int64_t lifetime_ms);
@@ -132,19 +133,21 @@ class DiscoveryService final
   obs::Counter remote_queries_;
   obs::Counter advs_cached_;
 
-  mutable std::mutex mu_;
-  std::condition_variable fire_cv_;
-  bool started_ = false;
+  mutable util::Mutex mu_{"discovery"};
+  util::CondVar fire_cv_;
+  bool started_ GUARDED_BY(mu_) = false;
   // type -> identity -> entry
-  std::map<DiscoveryType, std::map<std::string, Entry>> cache_;
-  std::map<std::uint64_t, DiscoveryListener> listeners_;
-  std::uint64_t next_listener_ = 1;
+  std::map<DiscoveryType, std::map<std::string, Entry>> cache_
+      GUARDED_BY(mu_);
+  std::map<std::uint64_t, DiscoveryListener> listeners_ GUARDED_BY(mu_);
+  std::uint64_t next_listener_ GUARDED_BY(mu_) = 1;
   // fire() can run concurrently on the peer executor AND on app threads
   // (a group-wide query self-answers synchronously on the caller's
   // thread), so in-flight invocations are tracked per handle, with a
   // per-thread stack for self-removal detection.
-  std::map<std::uint64_t, int> firing_counts_;
-  std::map<std::thread::id, std::vector<std::uint64_t>> firing_stacks_;
+  std::map<std::uint64_t, int> firing_counts_ GUARDED_BY(mu_);
+  std::map<std::thread::id, std::vector<std::uint64_t>> firing_stacks_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

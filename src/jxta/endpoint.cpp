@@ -51,12 +51,12 @@ EndpointService::EndpointService(PeerId self, util::SerialExecutor& executor,
 void EndpointService::add_transport(
     std::shared_ptr<net::Transport> transport) {
   transport->set_receiver([this](net::Datagram d) { on_datagram(std::move(d)); });
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   transports_.push_back(std::move(transport));
 }
 
 std::vector<net::Address> EndpointService::local_addresses() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<net::Address> out;
   out.reserve(transports_.size());
   for (const auto& t : transports_) out.push_back(t->local_address());
@@ -67,7 +67,7 @@ void EndpointService::learn_peer(const PeerId& peer,
                                  std::vector<net::Address> addresses,
                                  bool relay_capable) {
   if (peer == self_) return;
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   PeerRecord& rec = address_book_[peer];
   // Newest knowledge first; drop duplicates.
   for (auto it = addresses.rbegin(); it != addresses.rend(); ++it) {
@@ -79,7 +79,7 @@ void EndpointService::learn_peer(const PeerId& peer,
 
 void EndpointService::learn_route(const PeerId& dst, const PeerId& via) {
   if (dst == self_ || via == dst) return;
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   PeerRecord& rec = address_book_[dst];
   if (std::find(rec.via.begin(), rec.via.end(), via) == rec.via.end()) {
     rec.via.insert(rec.via.begin(), via);
@@ -87,20 +87,20 @@ void EndpointService::learn_route(const PeerId& dst, const PeerId& via) {
 }
 
 void EndpointService::forget_peer(const PeerId& peer) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   address_book_.erase(peer);
 }
 
 std::vector<net::Address> EndpointService::addresses_of(
     const PeerId& peer) const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = address_book_.find(peer);
   return it != address_book_.end() ? it->second.addresses
                                    : std::vector<net::Address>{};
 }
 
 std::vector<PeerId> EndpointService::known_relays() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<PeerId> out;
   for (const auto& [peer, rec] : address_book_) {
     if (rec.relay_capable) out.push_back(peer);
@@ -110,19 +110,18 @@ std::vector<PeerId> EndpointService::known_relays() const {
 
 void EndpointService::register_listener(std::string service,
                                         Listener listener) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   listeners_[std::move(service)] = std::move(listener);
 }
 
 void EndpointService::unregister_listener(const std::string& service) {
-  std::unique_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   listeners_.erase(service);
   // Dispatch happens on the executor thread; if that's not us, wait until
   // any in-flight invocation of this service finishes, so callers may free
   // listener-captured state once we return.
   if (!executor_.on_executor_thread()) {
-    dispatch_cv_.wait(lock,
-                      [&] { return dispatching_service_ != service; });
+    while (dispatching_service_ == service) dispatch_cv_.wait(mu_);
   }
 }
 
@@ -158,7 +157,7 @@ bool EndpointService::broadcast(std::string_view service,
   const util::Bytes wire = msg.serialize();
   std::vector<std::shared_ptr<net::Transport>> transports;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     transports = transports_;
   }
   bool any = false;
@@ -188,7 +187,7 @@ bool EndpointService::send_to_address(const net::Address& address,
   const util::Bytes wire = msg.serialize();
   std::vector<std::shared_ptr<net::Transport>> transports;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     transports = transports_;
   }
   for (const auto& t : transports) {
@@ -210,7 +209,7 @@ bool EndpointService::send_direct(const PeerId& next_hop,
   std::vector<net::Address> addresses = addresses_of(next_hop);
   std::vector<std::shared_ptr<net::Transport>> transports;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     transports = transports_;
   }
   for (const auto& addr : addresses) {
@@ -234,7 +233,7 @@ bool EndpointService::send_message(const EndpointMessage& msg) {
   // 2. Learned ERP routes for this destination.
   std::vector<PeerId> vias;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = address_book_.find(msg.dst);
     if (it != address_book_.end()) vias = it->second.via;
   }
@@ -286,7 +285,7 @@ void EndpointService::on_datagram(net::Datagram d) {
 void EndpointService::dispatch(EndpointMessage msg) {
   Listener listener;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = listeners_.find(msg.service);
     if (it != listeners_.end()) {
       listener = it->second;
@@ -306,7 +305,7 @@ void EndpointService::dispatch(EndpointMessage msg) {
         << "listener for '" << service << "' threw: " << e.what();
   }
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     dispatching_service_.clear();
   }
   dispatch_cv_.notify_all();
@@ -327,7 +326,7 @@ void EndpointService::stop() {
   if (stopped_.exchange(true)) return;
   std::vector<std::shared_ptr<net::Transport>> transports;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     transports = transports_;
   }
   for (const auto& t : transports) t->close();

@@ -13,10 +13,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +25,7 @@
 #include "obs/trace.h"
 #include "util/clock.h"
 #include "util/executor.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -82,31 +81,34 @@ class EndpointService {
   }
 
   // --- configuration (before or after start; thread-safe) ---------------
-  void add_transport(std::shared_ptr<net::Transport> transport);
+  void add_transport(std::shared_ptr<net::Transport> transport)
+      EXCLUDES(mu_);
   void set_router(bool is_router) { is_router_ = is_router; }
   [[nodiscard]] bool is_router() const { return is_router_; }
 
   [[nodiscard]] const PeerId& local_peer() const { return self_; }
-  [[nodiscard]] std::vector<net::Address> local_addresses() const;
+  [[nodiscard]] std::vector<net::Address> local_addresses() const
+      EXCLUDES(mu_);
 
   // --- address book ------------------------------------------------------
   // Records addresses for a peer (newest first). `relay_capable` marks the
   // peer usable as an ERP relay of last resort.
   void learn_peer(const PeerId& peer, std::vector<net::Address> addresses,
-                  bool relay_capable);
+                  bool relay_capable) EXCLUDES(mu_);
   // Records an ERP route: to reach `dst`, forward via `via`.
-  void learn_route(const PeerId& dst, const PeerId& via);
-  void forget_peer(const PeerId& peer);
+  void learn_route(const PeerId& dst, const PeerId& via) EXCLUDES(mu_);
+  void forget_peer(const PeerId& peer) EXCLUDES(mu_);
   [[nodiscard]] std::vector<net::Address> addresses_of(
-      const PeerId& peer) const;
-  [[nodiscard]] std::vector<PeerId> known_relays() const;
+      const PeerId& peer) const EXCLUDES(mu_);
+  [[nodiscard]] std::vector<PeerId> known_relays() const EXCLUDES(mu_);
 
   // --- messaging -----------------------------------------------------------
-  void register_listener(std::string service, Listener listener);
+  void register_listener(std::string service, Listener listener)
+      EXCLUDES(mu_);
   // Synchronous: blocks until an in-flight invocation of this service's
   // listener completes (unless called from the dispatching executor thread
   // itself), so listener-captured state may be freed afterwards.
-  void unregister_listener(const std::string& service);
+  void unregister_listener(const std::string& service) EXCLUDES(mu_);
 
   // Delivers to dst's `service` listener. Local destinations dispatch via
   // the executor. Remote: direct transports first, then learned routes,
@@ -141,18 +143,19 @@ class EndpointService {
   std::atomic<bool> is_router_{false};
   std::atomic<bool> stopped_{false};
 
-  mutable std::mutex mu_;
-  std::condition_variable dispatch_cv_;
-  std::vector<std::shared_ptr<net::Transport>> transports_;
-  std::unordered_map<std::string, Listener> listeners_;
-  std::string dispatching_service_;  // listener currently being invoked
+  mutable util::Mutex mu_{"endpoint"};
+  util::CondVar dispatch_cv_;
+  std::vector<std::shared_ptr<net::Transport>> transports_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Listener> listeners_ GUARDED_BY(mu_);
+  // Listener currently being invoked on the executor thread.
+  std::string dispatching_service_ GUARDED_BY(mu_);
 
   struct PeerRecord {
     std::vector<net::Address> addresses;
     bool relay_capable = false;
     std::vector<PeerId> via;  // learned relays for this destination
   };
-  std::unordered_map<PeerId, PeerRecord> address_book_;
+  std::unordered_map<PeerId, PeerRecord> address_book_ GUARDED_BY(mu_);
 
   std::shared_ptr<obs::Registry> metrics_;
   std::shared_ptr<obs::Tracer> tracer_;

@@ -14,7 +14,7 @@ MonitoringService::~MonitoringService() { stop(); }
 
 void MonitoringService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -24,7 +24,7 @@ void MonitoringService::start() {
 void MonitoringService::stop() {
   std::uint64_t handle = 0;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
     handle = timer_handle_;
@@ -33,7 +33,7 @@ void MonitoringService::stop() {
 }
 
 void MonitoringService::set_liveness_listener(LivenessListener listener) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   listener_ = std::move(listener);
 }
 
@@ -41,7 +41,7 @@ void MonitoringService::sweep() {
   const std::vector<PeerInfo> infos = pip_.survey(config_.window);
   std::vector<std::pair<PeerInfo, bool>> events;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto now = clock_.now();
     for (const auto& info : infos) {
       const auto it = statuses_.find(info.peer);
@@ -62,7 +62,7 @@ void MonitoringService::sweep() {
   }
   LivenessListener listener;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listener = listener_;
   }
   if (listener) {
@@ -79,7 +79,7 @@ void MonitoringService::sweep() {
 
 std::vector<MonitoringService::PeerStatus> MonitoringService::statuses()
     const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<PeerStatus> out;
   out.reserve(statuses_.size());
   for (const auto& [id, status] : statuses_) out.push_back(status);
@@ -88,14 +88,14 @@ std::vector<MonitoringService::PeerStatus> MonitoringService::statuses()
 
 std::optional<MonitoringService::PeerStatus> MonitoringService::status_of(
     const PeerId& id) const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = statuses_.find(id);
   if (it == statuses_.end()) return std::nullopt;
   return it->second;
 }
 
 std::size_t MonitoringService::live_peer_count() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return statuses_.size();
 }
 

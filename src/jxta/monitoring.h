@@ -10,6 +10,7 @@
 
 #include "jxta/peer_info.h"
 #include "util/executor.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -39,18 +40,19 @@ class MonitoringService {
   MonitoringService(const MonitoringService&) = delete;
   MonitoringService& operator=(const MonitoringService&) = delete;
 
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // One sweep, synchronously (also driven by the timer when started).
-  void sweep();
+  void sweep() EXCLUDES(mu_);
 
-  void set_liveness_listener(LivenessListener listener);
+  void set_liveness_listener(LivenessListener listener) EXCLUDES(mu_);
 
   // Latest known status of every live peer (excluding aged-out ones).
-  [[nodiscard]] std::vector<PeerStatus> statuses() const;
-  [[nodiscard]] std::optional<PeerStatus> status_of(const PeerId& id) const;
-  [[nodiscard]] std::size_t live_peer_count() const;
+  [[nodiscard]] std::vector<PeerStatus> statuses() const EXCLUDES(mu_);
+  [[nodiscard]] std::optional<PeerStatus> status_of(const PeerId& id) const
+      EXCLUDES(mu_);
+  [[nodiscard]] std::size_t live_peer_count() const EXCLUDES(mu_);
 
  private:
 
@@ -59,11 +61,11 @@ class MonitoringService {
   util::Clock& clock_;
   const MonitoringConfig config_;
 
-  mutable std::mutex mu_;
-  bool started_ = false;
-  std::uint64_t timer_handle_ = 0;
-  std::map<PeerId, PeerStatus> statuses_;
-  LivenessListener listener_;
+  mutable util::Mutex mu_{"monitoring"};
+  bool started_ GUARDED_BY(mu_) = false;
+  std::uint64_t timer_handle_ GUARDED_BY(mu_) = 0;
+  std::map<PeerId, PeerStatus> statuses_ GUARDED_BY(mu_);
+  LivenessListener listener_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

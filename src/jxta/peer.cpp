@@ -114,6 +114,14 @@ void Peer::stop() {
   rendezvous_->stop();
   endpoint_->stop();
   executor_->stop();
+  {
+    // Executor is joined: no delivery is in flight, so this is the one
+    // place where tearing down the instantiated groups (and their wire
+    // services) cannot race a deliver_local() on their own stack.
+    const util::MutexLock lock(groups_mu_);
+    owned_groups_.clear();
+    groups_.clear();
+  }
 }
 
 std::shared_ptr<PeerGroup> Peer::create_group(
@@ -121,13 +129,14 @@ std::shared_ptr<PeerGroup> Peer::create_group(
   if (!started_ || stopped_) {
     throw util::StateError("peer is not running");
   }
-  const std::lock_guard lock(groups_mu_);
+  const util::MutexLock lock(groups_mu_);
   if (const auto it = groups_.find(adv.gid); it != groups_.end()) {
     if (auto existing = it->second.lock()) return existing;
   }
   auto group = std::make_shared<PeerGroup>(adv, *endpoint_, *rendezvous_,
                                            net_group_.get());
   groups_[adv.gid] = group;
+  owned_groups_.push_back(group);
   return group;
 }
 

@@ -12,6 +12,7 @@
 // functionalities".
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "jxta/cms.h"
@@ -23,6 +24,7 @@
 #include "jxta/peer_info.h"
 #include "jxta/pipe.h"
 #include "jxta/route_resolver.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -99,10 +101,12 @@ class Peer {
   // Instantiates a group from its advertisement (the paper's
   // PeerGroupFactory.newPeerGroup() + init(parent, pgAdv), Fig. 17). Groups
   // are per-peer singletons: calling this twice with the same group id
-  // returns the same instance while it is alive. The group must not
-  // outlive this peer.
+  // returns the same instance. The peer keeps every instantiated group
+  // alive until stop(), so a group's wire service is never torn down by
+  // whichever thread happens to drop the last application reference —
+  // possibly the delivery thread, mid-delivery, inside that very service.
   [[nodiscard]] std::shared_ptr<PeerGroup> create_group(
-      const PeerGroupAdvertisement& adv);
+      const PeerGroupAdvertisement& adv) EXCLUDES(groups_mu_);
 
   // This peer's own advertisement (current addresses and roles).
   [[nodiscard]] PeerAdvertisement make_advertisement() const;
@@ -128,12 +132,19 @@ class Peer {
   std::shared_ptr<CmsService> cms_;
   std::unique_ptr<MonitoringService> monitoring_;
   std::unique_ptr<PeerGroup> net_group_;
-  std::mutex groups_mu_;
-  std::unordered_map<PeerGroupId, std::weak_ptr<PeerGroup>> groups_;
+  util::Mutex groups_mu_{"peer-groups"};
+  std::unordered_map<PeerGroupId, std::weak_ptr<PeerGroup>> groups_
+      GUARDED_BY(groups_mu_);
+  // Keeps instantiated groups alive until stop() (see create_group()).
+  std::vector<std::shared_ptr<PeerGroup>> owned_groups_
+      GUARDED_BY(groups_mu_);
   std::uint64_t timer_handle_ = 0;
-  std::uint32_t ticks_ = 0;
-  bool started_ = false;
-  bool stopped_ = false;
+  std::uint32_t ticks_ = 0;  // timer thread only
+  // Written by start()/stop() on the owner's thread, read by the timer
+  // thread in tick() — atomics, not a mutex, because tick() must stay
+  // wait-free against a concurrent stop().
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
 };
 
 }  // namespace p2p::jxta

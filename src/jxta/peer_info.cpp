@@ -43,7 +43,7 @@ PeerInfoService::PeerInfoService(ResolverService& resolver,
 
 void PeerInfoService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -52,7 +52,7 @@ void PeerInfoService::start() {
 
 void PeerInfoService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -75,11 +75,16 @@ std::optional<PeerInfo> PeerInfoService::query(const PeerId& peer,
   if (peer == endpoint_.local_peer()) return local_info();
   const util::Uuid query_id =
       resolver_.send_query(std::string(kHandlerName), {}, peer);
-  std::unique_lock lock(mu_);
-  if (!cv_.wait_for(lock, timeout, [&] {
-        const auto it = answers_.find(query_id);
-        return it != answers_.end() && !it->second.empty();
-      })) {
+  const util::MutexLock lock(mu_);
+  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  auto have_answer = [this, &query_id]() REQUIRES(mu_) {
+    const auto it = answers_.find(query_id);
+    return it != answers_.end() && !it->second.empty();
+  };
+  while (!have_answer()) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+  }
+  if (!have_answer()) {
     answers_.erase(query_id);
     return std::nullopt;
   }
@@ -92,7 +97,7 @@ std::vector<PeerInfo> PeerInfoService::survey(util::Duration window) {
   const util::Uuid query_id =
       resolver_.send_query(std::string(kHandlerName), {});
   std::this_thread::sleep_for(window);
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<PeerInfo> out;
   const auto it = answers_.find(query_id);
   if (it != answers_.end()) {
@@ -110,7 +115,7 @@ std::optional<util::Bytes> PeerInfoService::process_query(
 void PeerInfoService::process_response(const ResolverResponse& r) {
   PeerInfo info = PeerInfo::deserialize(r.payload);
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     answers_[r.query_id].push_back(std::move(info));
   }
   cv_.notify_all();

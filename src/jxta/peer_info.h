@@ -7,13 +7,12 @@
 // (paper §2.2, Fig. 3)
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 
 #include "jxta/endpoint.h"
 #include "jxta/resolver.h"
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -36,20 +35,21 @@ class PeerInfoService final
   PeerInfoService(ResolverService& resolver, EndpointService& endpoint,
                   util::Clock& clock, std::string peer_name);
 
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // This peer's own live status.
   [[nodiscard]] PeerInfo local_info() const;
 
   // Blocking convenience: queries `peer` and waits for its answer.
   // Returns nullopt on timeout. Must not be called on the peer executor.
-  std::optional<PeerInfo> query(const PeerId& peer, util::Duration timeout);
+  std::optional<PeerInfo> query(const PeerId& peer, util::Duration timeout)
+      EXCLUDES(mu_);
 
   // Group-wide status sweep: propagates a PIP query and collects every
   // answer that arrives within the window (the substrate the paper's
   // "monitoring service" builds on). Blocking; not for the peer executor.
-  std::vector<PeerInfo> survey(util::Duration window);
+  std::vector<PeerInfo> survey(util::Duration window) EXCLUDES(mu_);
 
   // --- ResolverHandler -----------------------------------------------------
   std::optional<util::Bytes> process_query(const ResolverQuery& q) override;
@@ -62,12 +62,12 @@ class PeerInfoService final
   const std::string peer_name_;
   const util::TimePoint started_at_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool started_ = false;
+  util::Mutex mu_{"peer-info"};
+  util::CondVar cv_;
+  bool started_ GUARDED_BY(mu_) = false;
   // Responses per query id (directed queries expect one; surveys collect
   // many). Keyed to tolerate concurrent callers.
-  std::map<util::Uuid, std::vector<PeerInfo>> answers_;
+  std::map<util::Uuid, std::vector<PeerInfo>> answers_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

@@ -8,6 +8,12 @@ namespace p2p::jxta {
 
 // --- InputPipe ---------------------------------------------------------------
 
+namespace {
+// The pipe whose listener the current thread is inside, if any. Lets a
+// listener close its own pipe without deadlocking on the quiescence wait.
+thread_local const InputPipe* t_delivering_pipe = nullptr;
+}  // namespace
+
 InputPipe::InputPipe(PipeService& service, PipeAdvertisement adv)
     : service_(service), adv_(std::move(adv)) {}
 
@@ -16,15 +22,27 @@ InputPipe::~InputPipe() { close(); }
 void InputPipe::set_listener(Listener listener) {
   std::vector<Message> backlog;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listener_ = std::move(listener);
     if (listener_) {
       while (auto m = queue_.try_pop()) backlog.push_back(std::move(*m));
     }
   }
   for (auto& m : backlog) {
-    const std::lock_guard lock(mu_);
-    if (listener_) listener_(std::move(m));
+    Listener current;
+    {
+      const util::MutexLock lock(mu_);
+      if (closed_) return;
+      current = listener_;
+      if (current) ++delivering_;
+    }
+    if (!current) return;
+    const InputPipe* prev = t_delivering_pipe;
+    t_delivering_pipe = this;
+    current(std::move(m));
+    t_delivering_pipe = prev;
+    const util::MutexLock lock(mu_);
+    if (--delivering_ == 0) idle_cv_.notify_all();
   }
 }
 
@@ -35,12 +53,18 @@ std::optional<Message> InputPipe::poll(util::Duration timeout) {
 void InputPipe::deliver(Message msg) {
   Listener listener;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_) return;
     listener = listener_;
+    if (listener) ++delivering_;
   }
   if (listener) {
+    const InputPipe* prev = t_delivering_pipe;
+    t_delivering_pipe = this;
     listener(std::move(msg));
+    t_delivering_pipe = prev;
+    const util::MutexLock lock(mu_);
+    if (--delivering_ == 0) idle_cv_.notify_all();
   } else {
     queue_.push(std::move(msg));
   }
@@ -48,9 +72,15 @@ void InputPipe::deliver(Message msg) {
 
 void InputPipe::close() {
   {
-    const std::lock_guard lock(mu_);
-    if (closed_) return;
+    util::MutexLock lock(mu_);
     closed_ = true;
+    // Wait out in-flight listener invocations (minus our own, when a
+    // listener closes the pipe it is being called from): once close()
+    // returns, the listener — and anything it captured — is quiescent and
+    // safe to destroy. Every close() waits, even a repeated one, so the
+    // caller always gets the quiescence guarantee.
+    const int self = t_delivering_pipe == this ? 1 : 0;
+    while (delivering_ > self) idle_cv_.wait(mu_);
   }
   queue_.close();
   service_.unbind_input(this);
@@ -65,29 +95,32 @@ OutputPipe::~OutputPipe() { close(); }
 
 bool OutputPipe::resolve(util::Duration timeout) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_) return false;
     if (!bound_.empty()) return true;
   }
   service_.send_binding_query(adv_.pid);
-  std::unique_lock lock(mu_);
-  cv_.wait_for(lock, timeout, [&] { return !bound_.empty() || closed_; });
+  const util::MutexLock lock(mu_);
+  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  while (bound_.empty() && !closed_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+  }
   return !bound_.empty();
 }
 
 bool OutputPipe::resolved() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return !bound_.empty();
 }
 
 std::vector<PeerId> OutputPipe::bound_peers() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return {bound_.begin(), bound_.end()};
 }
 
 void OutputPipe::add_binding(const PeerId& peer) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_) return;
     bound_.insert(peer);
   }
@@ -97,7 +130,7 @@ void OutputPipe::add_binding(const PeerId& peer) {
 bool OutputPipe::send(const Message& msg) {
   std::vector<PeerId> targets;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_ || bound_.empty()) return false;
     if (adv_.type == PipeAdvertisement::Type::kUnicast) {
       targets.push_back(*bound_.begin());
@@ -124,7 +157,7 @@ bool OutputPipe::send(const Message& msg) {
   }
   if (!stale.empty()) {
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       for (const auto& peer : stale) bound_.erase(peer);
     }
     // Kick PBP re-resolution; the answer will repopulate bindings, possibly
@@ -136,7 +169,7 @@ bool OutputPipe::send(const Message& msg) {
 
 void OutputPipe::close() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_) return;
     closed_ = true;
   }
@@ -160,7 +193,7 @@ PipeService::PipeService(ResolverService& resolver, EndpointService& endpoint)
 
 void PipeService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -169,7 +202,7 @@ void PipeService::start() {
 
 void PipeService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -185,7 +218,7 @@ std::shared_ptr<InputPipe> PipeService::create_input_pipe(
   auto pipe = std::shared_ptr<InputPipe>(new InputPipe(*this, adv));
   bool first_for_id = false;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     auto& pipes = inputs_[adv.pid];
     std::erase_if(pipes, [](const auto& w) { return w.expired(); });
     first_for_id = pipes.empty();
@@ -205,7 +238,7 @@ std::shared_ptr<InputPipe> PipeService::create_input_pipe(
           }
           std::vector<std::shared_ptr<InputPipe>> pipes;
           {
-            const std::lock_guard lock(mu_);
+            const util::MutexLock lock(mu_);
             const auto it = inputs_.find(id);
             if (it != inputs_.end()) {
               for (const auto& w : it->second) {
@@ -226,7 +259,7 @@ std::shared_ptr<OutputPipe> PipeService::create_output_pipe(
     const PipeAdvertisement& adv, util::Duration resolve_timeout) {
   auto pipe = std::shared_ptr<OutputPipe>(new OutputPipe(*this, adv));
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     auto& pipes = outputs_[adv.pid];
     std::erase_if(pipes, [](const auto& w) { return w.expired(); });
     pipes.push_back(pipe);
@@ -239,7 +272,7 @@ void PipeService::unbind_input(const InputPipe* pipe) {
   bool last_for_id = false;
   const PipeId id = pipe->advertisement().pid;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = inputs_.find(id);
     if (it == inputs_.end()) return;
     std::erase_if(it->second, [&](const auto& w) {
@@ -255,7 +288,7 @@ void PipeService::unbind_input(const InputPipe* pipe) {
 }
 
 void PipeService::drop_output(const OutputPipe* pipe) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = outputs_.find(pipe->advertisement().pid);
   if (it == outputs_.end()) return;
   std::erase_if(it->second, [&](const auto& w) {
@@ -277,7 +310,7 @@ std::optional<util::Bytes> PipeService::process_query(const ResolverQuery& q) {
   util::ByteReader r(q.payload);
   const PipeId id{util::Uuid{r.read_u64(), r.read_u64()}};
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = inputs_.find(id);
     if (it == inputs_.end() || it->second.empty()) return std::nullopt;
   }
@@ -293,7 +326,7 @@ void PipeService::process_response(const ResolverResponse& resp) {
   const PipeId id{util::Uuid{r.read_u64(), r.read_u64()}};
   std::vector<std::shared_ptr<OutputPipe>> interested;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = outputs_.find(id);
     if (it != outputs_.end()) {
       for (const auto& w : it->second) {

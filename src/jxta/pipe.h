@@ -13,9 +13,7 @@
 // That is the paper's PBP picture: same pipe id, new IP, traffic continues.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
@@ -23,6 +21,7 @@
 #include "jxta/message.h"
 #include "jxta/resolver.h"
 #include "util/queue.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -41,22 +40,27 @@ class InputPipe {
 
   // Messages are pushed to the listener (on the peer executor) when set;
   // otherwise they accumulate and can be poll()ed.
-  void set_listener(Listener listener);
+  void set_listener(Listener listener) EXCLUDES(mu_);
   std::optional<Message> poll(util::Duration timeout);
 
-  void close();
+  void close() EXCLUDES(mu_);
 
  private:
   friend class PipeService;
   InputPipe(PipeService& service, PipeAdvertisement adv);
-  void deliver(Message msg);
+  void deliver(Message msg) EXCLUDES(mu_);
 
   PipeService& service_;
   const PipeAdvertisement adv_;
-  std::mutex mu_;
-  Listener listener_;
+  util::Mutex mu_{"input-pipe"};
+  Listener listener_ GUARDED_BY(mu_);
   util::BlockingQueue<Message> queue_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
+  // In-flight listener invocations. close() waits for them (except a
+  // listener closing its own pipe), so after close() returns the listener
+  // is never running — the owner may safely destroy captured state.
+  int delivering_ GUARDED_BY(mu_) = 0;
+  util::CondVar idle_cv_;
 };
 
 // Sending end of a pipe.
@@ -70,28 +74,28 @@ class OutputPipe {
 
   // Blocks until at least one binding is known or the timeout elapses.
   // Issues (re-)binding queries. Not callable on the peer executor.
-  bool resolve(util::Duration timeout);
-  [[nodiscard]] bool resolved() const;
-  [[nodiscard]] std::vector<PeerId> bound_peers() const;
+  bool resolve(util::Duration timeout) EXCLUDES(mu_);
+  [[nodiscard]] bool resolved() const EXCLUDES(mu_);
+  [[nodiscard]] std::vector<PeerId> bound_peers() const EXCLUDES(mu_);
 
   // Unicast pipes send to one bound peer; propagate pipes to all of them.
   // Returns false if unresolved or no delivery was accepted; failures evict
   // the stale binding and kick an asynchronous re-resolution (PBP).
-  bool send(const Message& msg);
+  bool send(const Message& msg) EXCLUDES(mu_);
 
-  void close();
+  void close() EXCLUDES(mu_);
 
  private:
   friend class PipeService;
   OutputPipe(PipeService& service, PipeAdvertisement adv);
-  void add_binding(const PeerId& peer);
+  void add_binding(const PeerId& peer) EXCLUDES(mu_);
 
   PipeService& service_;
   const PipeAdvertisement adv_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::set<PeerId> bound_;
-  bool closed_ = false;
+  mutable util::Mutex mu_{"output-pipe"};
+  util::CondVar cv_;
+  std::set<PeerId> bound_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 class PipeService final : public ResolverHandler,
@@ -135,13 +139,15 @@ class PipeService final : public ResolverHandler,
   obs::Histogram send_latency_us_;
   obs::Histogram recv_latency_us_;
 
-  std::mutex mu_;
-  bool started_ = false;
+  util::Mutex mu_{"pipe-service"};
+  bool started_ GUARDED_BY(mu_) = false;
   // Local bindings: pipe id -> live input pipes (weak: a destroyed pipe
   // must never be reachable from the delivery path).
-  std::unordered_map<PipeId, std::vector<std::weak_ptr<InputPipe>>> inputs_;
+  std::unordered_map<PipeId, std::vector<std::weak_ptr<InputPipe>>> inputs_
+      GUARDED_BY(mu_);
   // Outstanding output pipes interested in binding answers.
-  std::unordered_map<PipeId, std::vector<std::weak_ptr<OutputPipe>>> outputs_;
+  std::unordered_map<PipeId, std::vector<std::weak_ptr<OutputPipe>>> outputs_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

@@ -28,13 +28,13 @@ RendezvousService::RendezvousService(EndpointService& endpoint,
 RendezvousService::~RendezvousService() { stop(); }
 
 void RendezvousService::add_seed(const net::Address& address) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   seeds_.push_back(address);
 }
 
 void RendezvousService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -45,7 +45,7 @@ void RendezvousService::start() {
 
 void RendezvousService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -56,7 +56,7 @@ void RendezvousService::connect_tick() {
   std::vector<net::Address> seeds;
   std::vector<PeerId> lessors_now;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     seeds = seeds_;
     // Expire stale leases (both roles).
@@ -78,7 +78,7 @@ void RendezvousService::connect_tick() {
   for (const auto& addr : seeds) {
     bool already_leased = false;
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       for (const auto& [id, expiry] : lessors_) {
         for (const auto& a : endpoint_.addresses_of(id)) {
           if (a == addr) already_leased = true;
@@ -91,7 +91,7 @@ void RendezvousService::connect_tick() {
 }
 
 bool RendezvousService::connected() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto now = clock_.now();
   for (const auto& [id, expiry] : lessors_) {
     if (expiry >= now) return true;
@@ -100,7 +100,7 @@ bool RendezvousService::connected() const {
 }
 
 std::vector<PeerId> RendezvousService::clients() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<PeerId> out;
   const auto now = clock_.now();
   for (const auto& [id, expiry] : clients_) {
@@ -110,7 +110,7 @@ std::vector<PeerId> RendezvousService::clients() const {
 }
 
 std::vector<PeerId> RendezvousService::lessors() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<PeerId> out;
   const auto now = clock_.now();
   for (const auto& [id, expiry] : lessors_) {
@@ -147,7 +147,7 @@ void RendezvousService::propagate(std::string_view service,
 }
 
 bool RendezvousService::seen_before(const util::Uuid& prop_id) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   if (seen_.contains(prop_id)) {
     ++duplicates_;
     duplicates_suppressed_.inc();
@@ -163,7 +163,7 @@ bool RendezvousService::seen_before(const util::Uuid& prop_id) {
 }
 
 std::uint64_t RendezvousService::duplicates_suppressed() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return duplicates_;
 }
 
@@ -180,7 +180,7 @@ void RendezvousService::forward_propagation(
 
   std::vector<PeerId> targets;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto now = clock_.now();
     if (config_.is_rendezvous) {
       for (const auto& [client, expiry] : clients_) {
@@ -229,7 +229,7 @@ void RendezvousService::handle_lease_request(const EndpointMessage& msg,
   endpoint_.learn_peer(client_adv.pid, client_adv.endpoints,
                        client_adv.is_rendezvous || client_adv.is_router);
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     clients_[client_adv.pid] = clock_.now() + config_.lease_ttl;
     if (client_adv.is_rendezvous) peer_rendezvous_.insert(client_adv.pid);
   }
@@ -248,7 +248,7 @@ void RendezvousService::handle_lease_grant(const EndpointMessage& msg,
       PeerAdvertisement::from_xml(xml::parse(adv_text));
   endpoint_.learn_peer(rdv_adv.pid, rdv_adv.endpoints,
                        /*relay_capable=*/true);
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   lessors_[rdv_adv.pid] = clock_.now() + util::Duration{ttl_ms};
   if (rdv_adv.pid != msg.src) {
     // Should not happen, but keep the book consistent.

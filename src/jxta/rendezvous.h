@@ -14,7 +14,6 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +21,7 @@
 #include "jxta/advertisement.h"
 #include "jxta/endpoint.h"
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -50,31 +50,32 @@ class RendezvousService {
   // Bootstrap rendezvous this peer should lease onto. Addresses are fed to
   // the endpoint address book; the id may be nil if unknown (it is learned
   // from the lease grant).
-  void add_seed(const net::Address& address);
+  void add_seed(const net::Address& address) EXCLUDES(mu_);
 
   // Registers endpoint listeners. Must be called before traffic flows.
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // Client: sends/renews lease requests to all known rendezvous. Invoked
   // periodically by the peer's timer; also callable directly (tests).
-  void connect_tick();
+  void connect_tick() EXCLUDES(mu_);
 
   // True if at least one unexpired lease is held.
-  [[nodiscard]] bool connected() const;
+  [[nodiscard]] bool connected() const EXCLUDES(mu_);
   // Rendezvous: currently leased clients.
-  [[nodiscard]] std::vector<PeerId> clients() const;
+  [[nodiscard]] std::vector<PeerId> clients() const EXCLUDES(mu_);
   // Rendezvous peers we hold a lease on.
-  [[nodiscard]] std::vector<PeerId> lessors() const;
+  [[nodiscard]] std::vector<PeerId> lessors() const EXCLUDES(mu_);
 
   // Propagates `payload` to listeners of `service` on every reachable group
   // member: local segment (multicast), own clients (if rdv) and peer
   // rendezvous. The message is NOT delivered to the local listener — the
   // caller decides whether to self-deliver.
-  void propagate(std::string_view service, util::Bytes payload);
+  void propagate(std::string_view service, util::Bytes payload)
+      EXCLUDES(mu_);
 
   // Number of propagated messages suppressed as duplicates (observability).
-  [[nodiscard]] std::uint64_t duplicates_suppressed() const;
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const EXCLUDES(mu_);
 
  private:
   // Wire envelope kinds on the "jxta.rdv" listener.
@@ -98,7 +99,7 @@ class RendezvousService {
                            const util::Bytes& payload,
                            bool multicast_segment);
   // Returns true when the id was seen before (and records it otherwise).
-  bool seen_before(const util::Uuid& prop_id);
+  bool seen_before(const util::Uuid& prop_id) EXCLUDES(mu_);
   [[nodiscard]] util::Bytes make_propagate_frame(const util::Uuid& prop_id,
                                                  const PeerId& origin,
                                                  std::uint32_t ttl,
@@ -114,19 +115,19 @@ class RendezvousService {
   obs::Counter propagations_forwarded_;
   obs::Counter duplicates_suppressed_;
 
-  mutable std::mutex mu_;
-  bool started_ = false;
-  std::vector<net::Address> seeds_;
+  mutable util::Mutex mu_{"rendezvous"};
+  bool started_ GUARDED_BY(mu_) = false;
+  std::vector<net::Address> seeds_ GUARDED_BY(mu_);
   // Rdv role: client id -> lease expiry.
-  std::unordered_map<PeerId, util::TimePoint> clients_;
+  std::unordered_map<PeerId, util::TimePoint> clients_ GUARDED_BY(mu_);
   // Client role: rdv id -> lease expiry.
-  std::unordered_map<PeerId, util::TimePoint> lessors_;
+  std::unordered_map<PeerId, util::TimePoint> lessors_ GUARDED_BY(mu_);
   // Rdv mesh: other rendezvous peers we know of.
-  std::unordered_set<PeerId> peer_rendezvous_;
+  std::unordered_set<PeerId> peer_rendezvous_ GUARDED_BY(mu_);
   // Loop suppression.
-  std::unordered_set<util::Uuid> seen_;
-  std::vector<util::Uuid> seen_order_;  // FIFO eviction
-  std::uint64_t duplicates_ = 0;
+  std::unordered_set<util::Uuid> seen_ GUARDED_BY(mu_);
+  std::vector<util::Uuid> seen_order_ GUARDED_BY(mu_);  // FIFO eviction
+  std::uint64_t duplicates_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace p2p::jxta

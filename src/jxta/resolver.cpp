@@ -70,7 +70,7 @@ ResolverService::~ResolverService() { stop(); }
 
 void ResolverService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -84,7 +84,7 @@ void ResolverService::start() {
 
 void ResolverService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -94,18 +94,18 @@ void ResolverService::stop() {
 
 void ResolverService::register_handler(std::string name,
                                        std::weak_ptr<ResolverHandler> h) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   handlers_[std::move(name)] = std::move(h);
 }
 
 void ResolverService::unregister_handler(const std::string& name) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   handlers_.erase(name);
 }
 
 std::shared_ptr<ResolverHandler> ResolverService::find_handler(
     const std::string& name) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = handlers_.find(name);
   if (it == handlers_.end()) return nullptr;
   return it->second.lock();

@@ -14,13 +14,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "jxta/endpoint.h"
 #include "jxta/rendezvous.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -63,12 +63,13 @@ class ResolverService {
   ResolverService(const ResolverService&) = delete;
   ResolverService& operator=(const ResolverService&) = delete;
 
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // Handlers are weakly referenced: a destroyed handler is skipped.
-  void register_handler(std::string name, std::weak_ptr<ResolverHandler> h);
-  void unregister_handler(const std::string& name);
+  void register_handler(std::string name, std::weak_ptr<ResolverHandler> h)
+      EXCLUDES(mu_);
+  void unregister_handler(const std::string& name) EXCLUDES(mu_);
 
   // Sends a query. dst==nullopt propagates group-wide (and also processes
   // locally, so a peer can answer itself from its own cache). Returns the
@@ -89,7 +90,7 @@ class ResolverService {
   void on_response(EndpointMessage msg);
   void process_query_locally(const ResolverQuery& query);
   [[nodiscard]] std::shared_ptr<ResolverHandler> find_handler(
-      const std::string& name);
+      const std::string& name) EXCLUDES(mu_);
 
   EndpointService& endpoint_;
   RendezvousService& rendezvous_;
@@ -97,9 +98,10 @@ class ResolverService {
   obs::Counter queries_received_;
   obs::Counter responses_sent_;
   obs::Counter responses_received_;
-  std::mutex mu_;
-  bool started_ = false;
-  std::unordered_map<std::string, std::weak_ptr<ResolverHandler>> handlers_;
+  util::Mutex mu_{"resolver"};
+  bool started_ GUARDED_BY(mu_) = false;
+  std::unordered_map<std::string, std::weak_ptr<ResolverHandler>> handlers_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

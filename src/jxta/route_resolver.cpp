@@ -9,7 +9,7 @@ RouteResolverService::RouteResolverService(ResolverService& resolver,
 
 void RouteResolverService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -18,7 +18,7 @@ void RouteResolverService::start() {
 
 void RouteResolverService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -35,8 +35,11 @@ void RouteResolverService::request_route(const PeerId& dest) {
 std::optional<RouteAdvertisement> RouteResolverService::resolve_route(
     const PeerId& dest, util::Duration timeout) {
   request_route(dest);
-  std::unique_lock lock(mu_);
-  cv_.wait_for(lock, timeout, [&] { return learned_.contains(dest); });
+  const util::MutexLock lock(mu_);
+  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  while (!learned_.contains(dest)) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+  }
   const auto it = learned_.find(dest);
   if (it == learned_.end()) return std::nullopt;
   return it->second;
@@ -84,7 +87,7 @@ void RouteResolverService::process_response(const ResolverResponse& r) {
   }
   discovery_.publish(route, DiscoveryType::kAdv);
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     // Prefer the shortest route when several peers answer (a direct,
     // zero-hop answer from the destination itself beats any relay).
     const auto it = learned_.find(route.dest);

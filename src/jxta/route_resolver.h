@@ -8,10 +8,9 @@
 // endpoint's routing table and caches the advertisement in discovery.
 #pragma once
 
-#include <condition_variable>
-
 #include "jxta/discovery.h"
 #include "jxta/resolver.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -24,14 +23,15 @@ class RouteResolverService final
   RouteResolverService(ResolverService& resolver, EndpointService& endpoint,
                        DiscoveryService& discovery);
 
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // Blocking: propagates a route query for `dest` and waits for the first
   // usable answer. On success the route is already installed in the
   // endpoint. Must not be called on the peer executor.
   std::optional<RouteAdvertisement> resolve_route(const PeerId& dest,
-                                                  util::Duration timeout);
+                                                  util::Duration timeout)
+      EXCLUDES(mu_);
 
   // Non-blocking variant: fire the query; routes install as answers come.
   void request_route(const PeerId& dest);
@@ -45,11 +45,11 @@ class RouteResolverService final
   EndpointService& endpoint_;
   DiscoveryService& discovery_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool started_ = false;
+  util::Mutex mu_{"route-resolver"};
+  util::CondVar cv_;
+  bool started_ GUARDED_BY(mu_) = false;
   // Routes learned since start, keyed by destination.
-  std::map<PeerId, RouteAdvertisement> learned_;
+  std::map<PeerId, RouteAdvertisement> learned_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

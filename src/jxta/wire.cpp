@@ -11,18 +11,37 @@ WireInputPipe::WireInputPipe(WireService& service, PipeAdvertisement adv)
 
 WireInputPipe::~WireInputPipe() { close(); }
 
+namespace {
+// The wire pipe whose listener the current thread is inside, if any. Lets
+// a listener close its own pipe without deadlocking the quiescence wait.
+thread_local const WireInputPipe* t_delivering_wire = nullptr;
+}  // namespace
+
 void WireInputPipe::set_listener(Listener listener) {
   std::vector<Message> backlog;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listener_ = std::move(listener);
     if (listener_) {
       while (auto m = queue_.try_pop()) backlog.push_back(std::move(*m));
     }
   }
+  // Invoke with mu_ released: the listener may close this very pipe.
   for (auto& m : backlog) {
-    const std::lock_guard lock(mu_);
-    if (listener_) listener_(std::move(m));
+    Listener current;
+    {
+      const util::MutexLock lock(mu_);
+      if (closed_) return;
+      current = listener_;
+      if (current) ++delivering_;
+    }
+    if (!current) return;
+    const WireInputPipe* prev = t_delivering_wire;
+    t_delivering_wire = this;
+    current(std::move(m));
+    t_delivering_wire = prev;
+    const util::MutexLock lock(mu_);
+    if (--delivering_ == 0) idle_cv_.notify_all();
   }
 }
 
@@ -33,12 +52,18 @@ std::optional<Message> WireInputPipe::poll(util::Duration timeout) {
 void WireInputPipe::deliver(Message msg) {
   Listener listener;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_) return;
     listener = listener_;
+    if (listener) ++delivering_;
   }
   if (listener) {
+    const WireInputPipe* prev = t_delivering_wire;
+    t_delivering_wire = this;
     listener(std::move(msg));
+    t_delivering_wire = prev;
+    const util::MutexLock lock(mu_);
+    if (--delivering_ == 0) idle_cv_.notify_all();
   } else {
     queue_.push(std::move(msg));
   }
@@ -46,9 +71,13 @@ void WireInputPipe::deliver(Message msg) {
 
 void WireInputPipe::close() {
   {
-    const std::lock_guard lock(mu_);
-    if (closed_) return;
+    util::MutexLock lock(mu_);
     closed_ = true;
+    // Quiescence: after close() returns the listener is never running
+    // (except when a listener closes the pipe it is being called from).
+    // Every close() waits, even a repeated one.
+    const int self = t_delivering_wire == this ? 1 : 0;
+    while (delivering_ > self) idle_cv_.wait(mu_);
   }
   queue_.close();
   service_.drop_input(this);
@@ -90,7 +119,7 @@ std::string WireService::listener_name() const {
 
 void WireService::start() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -101,7 +130,7 @@ void WireService::start() {
 
 void WireService::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }
@@ -111,7 +140,7 @@ void WireService::stop() {
 std::shared_ptr<WireInputPipe> WireService::create_input_pipe(
     const PipeAdvertisement& adv) {
   auto pipe = std::shared_ptr<WireInputPipe>(new WireInputPipe(*this, adv));
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& pipes = inputs_[adv.pid];
   std::erase_if(pipes, [](const auto& w) { return w.expired(); });
   pipes.push_back(pipe);
@@ -177,7 +206,7 @@ void WireService::on_wire_message(EndpointMessage msg) {
 void WireService::deliver_local(const PipeId& id, const Message& msg) {
   std::vector<std::shared_ptr<WireInputPipe>> pipes;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = inputs_.find(id);
     if (it != inputs_.end()) {
       for (const auto& w : it->second) {
@@ -192,7 +221,7 @@ void WireService::deliver_local(const PipeId& id, const Message& msg) {
 }
 
 void WireService::drop_input(const WireInputPipe* pipe) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = inputs_.find(pipe->advertisement().pid);
   if (it == inputs_.end()) return;
   std::erase_if(it->second, [&](const auto& w) {

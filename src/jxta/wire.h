@@ -15,12 +15,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "jxta/message.h"
 #include "jxta/pipe.h"
 #include "jxta/rendezvous.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::jxta {
 
@@ -37,21 +37,24 @@ class WireInputPipe {
 
   [[nodiscard]] const PipeAdvertisement& advertisement() const { return adv_; }
 
-  void set_listener(Listener listener);
+  void set_listener(Listener listener) EXCLUDES(mu_);
   std::optional<Message> poll(util::Duration timeout);
-  void close();
+  void close() EXCLUDES(mu_);
 
  private:
   friend class WireService;
   WireInputPipe(WireService& service, PipeAdvertisement adv);
-  void deliver(Message msg);
+  void deliver(Message msg) EXCLUDES(mu_);
 
   WireService& service_;
   const PipeAdvertisement adv_;
-  std::mutex mu_;
-  Listener listener_;
+  util::Mutex mu_{"wire-input"};
+  Listener listener_ GUARDED_BY(mu_);
   util::BlockingQueue<Message> queue_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
+  // In-flight listener invocations; close() waits for them (see InputPipe).
+  int delivering_ GUARDED_BY(mu_) = 0;
+  util::CondVar idle_cv_;
 };
 
 // Sending end of a wire: send() reaches every group member with a matching
@@ -94,11 +97,11 @@ class WireService {
   WireService(const WireService&) = delete;
   WireService& operator=(const WireService&) = delete;
 
-  void start();
-  void stop();
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   std::shared_ptr<WireInputPipe> create_input_pipe(
-      const PipeAdvertisement& adv);
+      const PipeAdvertisement& adv) EXCLUDES(mu_);
   std::shared_ptr<WireOutputPipe> create_output_pipe(
       const PipeAdvertisement& adv);
 
@@ -113,8 +116,8 @@ class WireService {
 
   void publish_on_wire(const PipeId& id, const Message& msg);
   void on_wire_message(EndpointMessage msg);
-  void drop_input(const WireInputPipe* pipe);
-  void deliver_local(const PipeId& id, const Message& msg);
+  void drop_input(const WireInputPipe* pipe) EXCLUDES(mu_);
+  void deliver_local(const PipeId& id, const Message& msg) EXCLUDES(mu_);
   [[nodiscard]] std::string listener_name() const;
 
   const PeerGroupId gid_;
@@ -125,10 +128,10 @@ class WireService {
   obs::Counter delivered_;
   obs::Histogram e2e_latency_us_;
 
-  std::mutex mu_;
-  bool started_ = false;
+  util::Mutex mu_{"wire-service"};
+  bool started_ GUARDED_BY(mu_) = false;
   std::unordered_map<PipeId, std::vector<std::weak_ptr<WireInputPipe>>>
-      inputs_;
+      inputs_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::jxta

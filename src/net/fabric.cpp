@@ -12,7 +12,7 @@ NetworkFabric::NetworkFabric(std::uint64_t seed) : rng_(seed) {
 
 NetworkFabric::~NetworkFabric() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     stopped_ = true;
   }
   cv_.notify_all();
@@ -20,18 +20,18 @@ NetworkFabric::~NetworkFabric() {
 }
 
 void NetworkFabric::attach(const std::string& name, DatagramHandler handler) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   nodes_[name] = std::move(handler);
 }
 
 void NetworkFabric::detach(const std::string& name) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   nodes_.erase(name);
 }
 
 bool NetworkFabric::rename(const std::string& old_name,
                            const std::string& new_name) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = nodes_.find(old_name);
   if (it == nodes_.end() || nodes_.contains(new_name)) return false;
   DatagramHandler handler = std::move(it->second);
@@ -42,13 +42,13 @@ bool NetworkFabric::rename(const std::string& old_name,
 }
 
 void NetworkFabric::set_default_link(LinkSpec spec) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   default_link_ = spec;
 }
 
 void NetworkFabric::set_link(const std::string& from, const std::string& to,
                              LinkSpec spec) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   links_[from + "|" + to] = spec;
 }
 
@@ -58,17 +58,17 @@ std::string NetworkFabric::pair_key(const std::string& a,
 }
 
 void NetworkFabric::partition(const std::string& a, const std::string& b) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   partitions_.insert(pair_key(a, b));
 }
 
 void NetworkFabric::heal(const std::string& a, const std::string& b) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   partitions_.erase(pair_key(a, b));
 }
 
 void NetworkFabric::set_firewalled(const std::string& name, bool firewalled) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   if (firewalled) {
     firewalled_.insert(name);
   } else {
@@ -93,7 +93,7 @@ std::int64_t NetworkFabric::now_ms() {
 
 bool NetworkFabric::submit(Datagram d) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (stopped_) return false;
     ++stats_.submitted;
     const std::string& from = d.src.authority();
@@ -135,7 +135,7 @@ bool NetworkFabric::submit(Datagram d) {
 void NetworkFabric::broadcast(const Address& src, const util::Bytes& payload) {
   std::vector<std::string> targets;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (stopped_) return;
     for (const auto& [name, handler] : nodes_) {
       if (name == src.authority()) continue;
@@ -149,26 +149,26 @@ void NetworkFabric::broadcast(const Address& src, const util::Bytes& payload) {
 }
 
 FabricStats NetworkFabric::stats() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return stats_;
 }
 
 void NetworkFabric::drain() {
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return in_flight_ == 0 || stopped_; });
+  const util::MutexLock lock(mu_);
+  while (in_flight_ != 0 && !stopped_) cv_.wait(mu_);
 }
 
 void NetworkFabric::run() {
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   while (!stopped_) {
     if (queue_.empty()) {
-      cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+      while (!stopped_ && queue_.empty()) cv_.wait(mu_);
       continue;
     }
     const std::int64_t due = queue_.top().deliver_at_ms;
     const std::int64_t now = now_ms();
     if (due > now) {
-      cv_.wait_for(lock, std::chrono::milliseconds(due - now));
+      cv_.wait_for(mu_, std::chrono::milliseconds(due - now));
       continue;
     }
     Pending p = queue_.top();

@@ -14,9 +14,7 @@
 // in deliver-at order.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -25,6 +23,7 @@
 
 #include "net/transport.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::net {
 
@@ -60,50 +59,54 @@ class NetworkFabric {
   // Registers a node; datagrams addressed to `name` go to `handler`.
   // Re-attaching an existing name replaces the handler (models a peer
   // coming back up at a new "location" with the same transport name).
-  void attach(const std::string& name, DatagramHandler handler);
+  void attach(const std::string& name, DatagramHandler handler)
+      EXCLUDES(mu_);
 
   // Removes the node; in-flight datagrams to it are dropped on delivery.
-  void detach(const std::string& name);
+  void detach(const std::string& name) EXCLUDES(mu_);
 
   // Renames a node, keeping its handler. Old in-flight traffic to the old
   // name is dropped — exactly the situation PBP re-binding repairs.
   // Returns false if old_name is unknown or new_name is taken.
-  bool rename(const std::string& old_name, const std::string& new_name);
+  bool rename(const std::string& old_name, const std::string& new_name)
+      EXCLUDES(mu_);
 
   // --- link shaping ----------------------------------------------------
   // Default applied when no per-pair spec exists.
-  void set_default_link(LinkSpec spec);
+  void set_default_link(LinkSpec spec) EXCLUDES(mu_);
   // Directed per-pair override.
   void set_link(const std::string& from, const std::string& to,
-                LinkSpec spec);
+                LinkSpec spec) EXCLUDES(mu_);
 
   // --- faults ----------------------------------------------------------
   // Cuts traffic in both directions between the two nodes.
-  void partition(const std::string& a, const std::string& b);
-  void heal(const std::string& a, const std::string& b);
+  void partition(const std::string& a, const std::string& b) EXCLUDES(mu_);
+  void heal(const std::string& a, const std::string& b) EXCLUDES(mu_);
 
   // Marks a node as behind a stateful firewall: inbound datagrams are
   // dropped unless the firewalled node has previously sent to that source
   // (an "outbound hole", as with NAT/HTTP polling in JXTA).
-  void set_firewalled(const std::string& name, bool firewalled);
+  void set_firewalled(const std::string& name, bool firewalled)
+      EXCLUDES(mu_);
 
   // --- traffic -----------------------------------------------------------
   // Submits a datagram for delivery. Returns false only if the destination
   // is structurally unreachable right now (unknown / partitioned /
   // firewall-blocked); random loss still returns true, like UDP.
-  bool submit(Datagram d);
+  bool submit(Datagram d) EXCLUDES(mu_);
 
   // LAN-multicast model: delivers the payload to every attached node except
   // the source, honouring partitions, firewalls and per-link loss/latency.
   // Firewalled nodes never receive broadcasts (multicast does not traverse
   // firewalls) — they must reach the network through a rendezvous instead.
-  void broadcast(const Address& src, const util::Bytes& payload);
+  void broadcast(const Address& src, const util::Bytes& payload)
+      EXCLUDES(mu_);
 
-  [[nodiscard]] FabricStats stats() const;
+  [[nodiscard]] FabricStats stats() const EXCLUDES(mu_);
 
   // Blocks until every submitted datagram has been delivered or dropped.
   // Useful in tests; do not call from a delivery handler.
-  void drain();
+  void drain() EXCLUDES(mu_);
 
  private:
   struct Pending {
@@ -120,27 +123,30 @@ class NetworkFabric {
   };
 
   [[nodiscard]] LinkSpec link_for(const std::string& from,
-                                  const std::string& to) const;
+                                  const std::string& to) const REQUIRES(mu_);
   [[nodiscard]] static std::string pair_key(const std::string& a,
                                             const std::string& b);
-  void run();
+  void run() EXCLUDES(mu_);
   [[nodiscard]] static std::int64_t now_ms();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, DatagramHandler> nodes_;
-  std::unordered_map<std::string, LinkSpec> links_;  // "from|to" -> spec
-  LinkSpec default_link_;
-  std::unordered_set<std::string> partitions_;  // unordered pair keys
-  std::unordered_set<std::string> firewalled_;
+  mutable util::Mutex mu_{"fabric"};
+  util::CondVar cv_;
+  std::unordered_map<std::string, DatagramHandler> nodes_ GUARDED_BY(mu_);
+  // "from|to" -> spec
+  std::unordered_map<std::string, LinkSpec> links_ GUARDED_BY(mu_);
+  LinkSpec default_link_ GUARDED_BY(mu_);
+  // unordered pair keys
+  std::unordered_set<std::string> partitions_ GUARDED_BY(mu_);
+  std::unordered_set<std::string> firewalled_ GUARDED_BY(mu_);
   // firewall holes: "inside|outside" present => outside may send to inside
-  std::unordered_set<std::string> holes_;
-  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
-  util::Rng rng_;
-  FabricStats stats_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t in_flight_ = 0;
-  bool stopped_ = false;
+  std::unordered_set<std::string> holes_ GUARDED_BY(mu_);
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_
+      GUARDED_BY(mu_);
+  util::Rng rng_ GUARDED_BY(mu_);
+  FabricStats stats_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  std::uint64_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stopped_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -11,7 +11,7 @@ InProcTransport::InProcTransport(NetworkFabric& fabric, std::string name)
   fabric_.attach(name_, [this](Datagram d) {
     DatagramHandler handler;
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       handler = handler_;
     }
     if (handler && !closed_) handler(std::move(d));
@@ -23,7 +23,7 @@ InProcTransport::~InProcTransport() { close(); }
 const std::string& InProcTransport::scheme() const { return kScheme; }
 
 Address InProcTransport::local_address() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return Address(kScheme, name_);
 }
 
@@ -39,7 +39,7 @@ bool InProcTransport::broadcast(util::Bytes payload) {
 }
 
 void InProcTransport::set_receiver(DatagramHandler handler) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   handler_ = std::move(handler);
 }
 
@@ -47,14 +47,14 @@ void InProcTransport::close() {
   if (closed_.exchange(true)) return;
   std::string name;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     name = name_;
   }
   fabric_.detach(name);
 }
 
 bool InProcTransport::change_address(const std::string& new_name) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   if (closed_) return false;
   if (!fabric_.rename(name_, new_name)) return false;
   name_ = new_name;

@@ -6,10 +6,10 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 
 #include "net/fabric.h"
 #include "net/transport.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::net {
 
@@ -33,9 +33,9 @@ class InProcTransport final : public Transport {
 
  private:
   NetworkFabric& fabric_;
-  mutable std::mutex mu_;
-  std::string name_;
-  DatagramHandler handler_;
+  mutable util::Mutex mu_{"inproc-transport"};
+  std::string name_ GUARDED_BY(mu_);
+  DatagramHandler handler_ GUARDED_BY(mu_);
   std::atomic<bool> closed_{false};
 };
 

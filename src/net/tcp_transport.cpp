@@ -67,7 +67,7 @@ Address TcpTransport::local_address() const {
 }
 
 void TcpTransport::set_receiver(DatagramHandler handler) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   handler_ = std::move(handler);
 }
 
@@ -95,7 +95,7 @@ bool TcpTransport::read_exact(int fd, std::uint8_t* data, std::size_t n) {
 std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(
     const std::string& authority) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = outbound_.find(authority);
     if (it != outbound_.end()) return it->second;
   }
@@ -112,7 +112,7 @@ std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(
   auto conn = std::make_shared<Connection>();
   conn->fd = fd;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     // Another thread may have raced us; keep the first connection.
     const auto [it, inserted] = outbound_.emplace(authority, conn);
     if (!inserted) {
@@ -141,9 +141,9 @@ bool TcpTransport::send(const Address& dst, util::Bytes payload) {
   frame.insert(frame.end(), src.begin(), src.end());
   frame.insert(frame.end(), payload.begin(), payload.end());
 
-  const std::lock_guard wlock(conn->write_mu);
+  const util::MutexLock wlock(conn->write_mu);
   if (!write_all(conn->fd, frame.data(), frame.size())) {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     outbound_.erase(dst.authority());
     return false;
   }
@@ -159,7 +159,7 @@ void TcpTransport::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (closed_) {
       ::close(fd);
       return;
@@ -191,7 +191,7 @@ void TcpTransport::read_loop(int fd) {
                         frame.end());
     DatagramHandler handler;
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       handler = handler_;
     }
     if (handler) {
@@ -212,7 +212,7 @@ void TcpTransport::close() {
   ::close(listen_fd_);
   std::vector<std::thread> readers;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     for (const int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
     for (auto& [name, conn] : outbound_) {
       ::shutdown(conn->fd, SHUT_RDWR);

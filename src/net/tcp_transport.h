@@ -9,11 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/transport.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::net {
 
@@ -33,8 +33,8 @@ class TcpTransport final : public Transport {
 
  private:
   struct Connection {
-    int fd = -1;
-    std::mutex write_mu;
+    int fd = -1;  // set once at creation, then read-only
+    util::Mutex write_mu{"tcp-conn-write"};
   };
 
   void accept_loop();
@@ -49,11 +49,11 @@ class TcpTransport final : public Transport {
   std::atomic<bool> closed_{false};
   std::thread accept_thread_;
 
-  std::mutex mu_;
-  DatagramHandler handler_;
-  std::map<std::string, std::shared_ptr<Connection>> outbound_;
-  std::vector<std::thread> readers_;
-  std::vector<int> inbound_fds_;
+  util::Mutex mu_{"tcp-transport"};
+  DatagramHandler handler_ GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Connection>> outbound_ GUARDED_BY(mu_);
+  std::vector<std::thread> readers_ GUARDED_BY(mu_);
+  std::vector<int> inbound_fds_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::net

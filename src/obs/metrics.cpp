@@ -190,7 +190,7 @@ Snapshot diff(const Snapshot& before, const Snapshot& after) {
 // --- Registry -----------------------------------------------------------------
 
 Counter Registry::counter(const std::string& name) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -201,7 +201,7 @@ Counter Registry::counter(const std::string& name) {
 }
 
 Gauge Registry::gauge(const std::string& name) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -215,7 +215,7 @@ Histogram Registry::histogram(const std::string& name,
                               std::vector<double> bounds) {
   std::sort(bounds.begin(), bounds.end());
   bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -232,7 +232,7 @@ Histogram Registry::histogram(const std::string& name) {
 
 Snapshot Registry::snapshot() const {
   Snapshot out;
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [name, cell] : counters_) {
     MetricValue v;
     v.kind = MetricValue::Kind::kCounter;

@@ -24,9 +24,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace p2p::obs {
 
@@ -182,20 +183,23 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   // Resolve-or-create. Handles stay valid for the registry's lifetime.
-  Counter counter(const std::string& name);
-  Gauge gauge(const std::string& name);
+  Counter counter(const std::string& name) EXCLUDES(mu_);
+  Gauge gauge(const std::string& name) EXCLUDES(mu_);
   // `bounds` applies on first resolution only (later calls reuse the cell).
-  Histogram histogram(const std::string& name, std::vector<double> bounds);
+  Histogram histogram(const std::string& name, std::vector<double> bounds)
+      EXCLUDES(mu_);
   Histogram histogram(const std::string& name);  // default latency buckets
 
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>>
-      counters_;
-  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
-  std::map<std::string, std::unique_ptr<detail::HistogramCell>> histograms_;
+  mutable util::Mutex mu_{"obs-registry"};
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<detail::HistogramCell>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::obs

@@ -29,19 +29,19 @@ std::vector<Hop> decode_hops(std::span<const std::uint8_t> data) {
 }
 
 void Tracer::record(Trace trace) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   ++recorded_;
   traces_.push_back(std::move(trace));
   while (traces_.size() > capacity_) traces_.pop_front();
 }
 
 std::vector<Trace> Tracer::recent() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return {traces_.begin(), traces_.end()};
 }
 
 std::optional<Trace> Tracer::find(const util::Uuid& id) const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
     if (it->id == id) return *it;
   }
@@ -49,7 +49,7 @@ std::optional<Trace> Tracer::find(const util::Uuid& id) const {
 }
 
 std::uint64_t Tracer::recorded() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return recorded_;
 }
 

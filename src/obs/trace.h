@@ -22,13 +22,13 @@
 
 #include <chrono>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "jxta/message.h"
 #include "util/bytes.h"
+#include "util/thread_annotations.h"
 #include "util/uuid.h"
 
 namespace p2p::obs {
@@ -69,19 +69,20 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  void record(Trace trace);
+  void record(Trace trace) EXCLUDES(mu_);
 
   // Newest-last list of completed traces currently retained.
-  [[nodiscard]] std::vector<Trace> recent() const;
-  [[nodiscard]] std::optional<Trace> find(const util::Uuid& id) const;
+  [[nodiscard]] std::vector<Trace> recent() const EXCLUDES(mu_);
+  [[nodiscard]] std::optional<Trace> find(const util::Uuid& id) const
+      EXCLUDES(mu_);
   // Total traces ever recorded (not bounded by capacity).
-  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t recorded() const EXCLUDES(mu_);
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<Trace> traces_;
-  std::uint64_t recorded_ = 0;
+  mutable util::Mutex mu_{"obs-tracer"};
+  std::deque<Trace> traces_ GUARDED_BY(mu_);
+  std::uint64_t recorded_ GUARDED_BY(mu_) = 0;
 };
 
 // --- jxta::Message glue (inline: used only by code already linking jxta) ---

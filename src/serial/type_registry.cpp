@@ -8,7 +8,7 @@ TypeRegistry& TypeRegistry::global() {
 }
 
 void TypeRegistry::add(TypeInfo info) {
-  const std::unique_lock lock(mu_);
+  const util::WriterMutexLock lock(mu_);
   const auto it = by_name_.find(info.name);
   if (it != by_name_.end()) {
     if (it->second.cpp_type != info.cpp_type) {
@@ -27,21 +27,21 @@ void TypeRegistry::add(TypeInfo info) {
 }
 
 std::optional<TypeInfo> TypeRegistry::find(std::string_view name) const {
-  const std::shared_lock lock(mu_);
+  const util::ReaderMutexLock lock(mu_);
   const auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<TypeInfo> TypeRegistry::find(std::type_index type) const {
-  const std::shared_lock lock(mu_);
+  const util::ReaderMutexLock lock(mu_);
   const auto it = by_type_.find(type);
   if (it == by_type_.end()) return std::nullopt;
   return by_name_.at(it->second);
 }
 
 std::vector<std::string> TypeRegistry::ancestry(std::string_view name) const {
-  const std::shared_lock lock(mu_);
+  const util::ReaderMutexLock lock(mu_);
   std::vector<std::string> chain;
   std::string current(name);
   while (!current.empty()) {
@@ -66,7 +66,7 @@ bool TypeRegistry::is_subtype(std::string_view name,
 std::vector<std::string> TypeRegistry::subtypes(std::string_view name) const {
   std::vector<std::string> names;
   {
-    const std::shared_lock lock(mu_);
+    const util::ReaderMutexLock lock(mu_);
     names.reserve(by_name_.size());
     for (const auto& [n, info] : by_name_) names.push_back(n);
   }
@@ -112,7 +112,7 @@ TypeRegistry::Decoded TypeRegistry::decode_tagged(
 }
 
 std::size_t TypeRegistry::size() const {
-  const std::shared_lock lock(mu_);
+  const util::ReaderMutexLock lock(mu_);
   return by_name_.size();
 }
 

@@ -12,9 +12,7 @@
 
 #include <any>
 #include <functional>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
@@ -22,6 +20,7 @@
 
 #include "serial/traits.h"
 #include "util/error.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::serial {
 
@@ -73,21 +72,26 @@ class TypeRegistry {
   void register_dynamic(TypeInfo info) { add(std::move(info)); }
 
   // Lookup by stable name; nullopt if unknown.
-  [[nodiscard]] std::optional<TypeInfo> find(std::string_view name) const;
+  [[nodiscard]] std::optional<TypeInfo> find(std::string_view name) const
+      EXCLUDES(mu_);
   // Lookup by C++ dynamic type (e.g. std::type_index(typeid(event))).
-  [[nodiscard]] std::optional<TypeInfo> find(std::type_index type) const;
+  [[nodiscard]] std::optional<TypeInfo> find(std::type_index type) const
+      EXCLUDES(mu_);
 
   // [name, parent, grandparent, ...] up to the hierarchy root. Throws
   // NotFoundError if name is unknown or the chain references an
   // unregistered parent.
-  [[nodiscard]] std::vector<std::string> ancestry(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> ancestry(std::string_view name) const
+      EXCLUDES(mu_);
 
   // True iff `name` equals `ancestor` or has it in its ancestry.
   [[nodiscard]] bool is_subtype(std::string_view name,
-                                std::string_view ancestor) const;
+                                std::string_view ancestor) const
+      EXCLUDES(mu_);
 
   // All registered names whose ancestry contains `name` (including itself).
-  [[nodiscard]] std::vector<std::string> subtypes(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> subtypes(std::string_view name) const
+      EXCLUDES(mu_);
 
   // Serializes an event by its *dynamic* type. Throws NotFoundError if the
   // dynamic type was never registered. The returned payload is prefixed by
@@ -103,14 +107,14 @@ class TypeRegistry {
   [[nodiscard]] Decoded decode_tagged(
       std::span<const std::uint8_t> payload) const;
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_);
 
  private:
-  void add(TypeInfo info);
+  void add(TypeInfo info) EXCLUDES(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, TypeInfo> by_name_;
-  std::unordered_map<std::type_index, std::string> by_type_;
+  mutable util::SharedMutex mu_{"type-registry"};
+  std::unordered_map<std::string, TypeInfo> by_name_ GUARDED_BY(mu_);
+  std::unordered_map<std::type_index, std::string> by_type_ GUARDED_BY(mu_);
 };
 
 // Registers T preceded by its whole ancestor chain (parents must be

@@ -23,7 +23,7 @@ void AdvertisementsFinder::add_listener(
     AdvertisementsListenerInterface* listener) {
   std::vector<PeerGroupAdvertisement> replay;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listeners_.push_back(listener);
     replay = advertisements_;
   }
@@ -32,11 +32,11 @@ void AdvertisementsFinder::add_listener(
 
 void AdvertisementsFinder::remove_listener(
     AdvertisementsListenerInterface* listener) {
-  std::unique_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   std::erase(listeners_, listener);
   // The caller may destroy the listener right after this returns; wait out
   // any dispatch currently running on another thread.
-  fire_cv_.wait(lock, [&] { return !firing_.contains(listener); });
+  while (firing_.contains(listener)) fire_cv_.wait(mu_);
 }
 
 void AdvertisementsFinder::flush_old() {
@@ -62,7 +62,7 @@ void AdvertisementsFinder::run_once() {
 
 void AdvertisementsFinder::start(util::Duration period) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -88,7 +88,7 @@ void AdvertisementsFinder::stop() {
   std::uint64_t timer_handle = 0;
   std::uint64_t discovery_listener = 0;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
     timer_handle = timer_handle_;
@@ -112,7 +112,7 @@ void AdvertisementsFinder::handle_new_advertisement(
     const PeerGroupAdvertisement& adv) {
   std::vector<AdvertisementsListenerInterface*> listeners;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!seen_gids_.insert(adv.gid.to_string()).second) return;
     advertisements_.push_back(adv);
     listeners = listeners_;
@@ -120,7 +120,7 @@ void AdvertisementsFinder::handle_new_advertisement(
   // Fig. 16 lines 34-40: add, then dispatch to every registered listener.
   for (auto* l : listeners) {
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       // Skip if concurrently removed; otherwise pin it for the call.
       if (std::find(listeners_.begin(), listeners_.end(), l) ==
           listeners_.end()) {
@@ -134,7 +134,7 @@ void AdvertisementsFinder::handle_new_advertisement(
       P2P_LOG(kError, "srjxta") << "listener threw: " << e.what();
     }
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       if (--firing_[l] == 0) firing_.erase(l);
     }
     fire_cv_.notify_all();
@@ -143,7 +143,7 @@ void AdvertisementsFinder::handle_new_advertisement(
 
 std::vector<PeerGroupAdvertisement> AdvertisementsFinder::advertisements()
     const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return advertisements_;
 }
 

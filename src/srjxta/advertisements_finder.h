@@ -2,12 +2,11 @@
 // interface, hand-coded against the JXTA library without the TPS layer.
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "jxta/peer.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::srjxta {
 
@@ -34,22 +33,24 @@ class AdvertisementsFinder {
   AdvertisementsFinder& operator=(const AdvertisementsFinder&) = delete;
 
   // Listeners must outlive the finder or be removed first.
-  void add_listener(AdvertisementsListenerInterface* listener);
+  void add_listener(AdvertisementsListenerInterface* listener)
+      EXCLUDES(mu_);
   // Synchronous: blocks until in-flight dispatches to this listener finish
   // (a listener must therefore not remove itself from inside
   // handle_new_advertisements).
-  void remove_listener(AdvertisementsListenerInterface* listener);
+  void remove_listener(AdvertisementsListenerInterface* listener)
+      EXCLUDES(mu_);
 
   // One iteration of the Fig. 16 while-loop (remote query + local scan).
-  void run_once();
+  void run_once() EXCLUDES(mu_);
 
   // Fig. 16 lines 9-11: drop the possibly-stale cache before searching.
   void flush_old();
 
   // Periodic run_once() on the peer timer, plus reaction to discovery
   // events as they arrive (no need to wait for the next poll).
-  void start(util::Duration period);
-  void stop();
+  void start(util::Duration period) EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
 
   // Fig. 16 lines 42-60: is `adv` already in `known` (compared by group
   // id)? Exposed for tests, like the paper exposes findAdvertisement.
@@ -58,27 +59,28 @@ class AdvertisementsFinder {
       const jxta::PeerGroupAdvertisement& adv);
 
   [[nodiscard]] std::vector<jxta::PeerGroupAdvertisement> advertisements()
-      const;
+      const EXCLUDES(mu_);
 
  private:
-  void handle_new_advertisement(const jxta::PeerGroupAdvertisement& adv);
+  void handle_new_advertisement(const jxta::PeerGroupAdvertisement& adv)
+      EXCLUDES(mu_);
 
   jxta::Peer& peer_;
   const jxta::DiscoveryType type_;
   jxta::DiscoveryService& discovery_;
   const std::string prefix_;
 
-  mutable std::mutex mu_;
-  std::condition_variable fire_cv_;
-  std::vector<AdvertisementsListenerInterface*> listeners_;
+  mutable util::Mutex mu_{"sr-finder"};
+  util::CondVar fire_cv_;
+  std::vector<AdvertisementsListenerInterface*> listeners_ GUARDED_BY(mu_);
   // In-flight dispatch counts per listener (dispatches can run on the peer
   // executor, the timer thread and caller threads concurrently).
-  std::map<AdvertisementsListenerInterface*, int> firing_;
-  std::vector<jxta::PeerGroupAdvertisement> advertisements_;
-  std::set<std::string> seen_gids_;
-  std::uint64_t timer_handle_ = 0;
-  std::uint64_t discovery_listener_ = 0;
-  bool started_ = false;
+  std::map<AdvertisementsListenerInterface*, int> firing_ GUARDED_BY(mu_);
+  std::vector<jxta::PeerGroupAdvertisement> advertisements_ GUARDED_BY(mu_);
+  std::set<std::string> seen_gids_ GUARDED_BY(mu_);
+  std::uint64_t timer_handle_ GUARDED_BY(mu_) = 0;
+  std::uint64_t discovery_listener_ GUARDED_BY(mu_) = 0;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace p2p::srjxta

@@ -19,7 +19,7 @@ SrSession::~SrSession() { shutdown(); }
 
 void SrSession::init() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) throw util::StateError("session is shut down");
     if (initialized_) return;
   }
@@ -29,9 +29,12 @@ void SrSession::init() {
   finder_->add_listener(this);
   finder_->start(config_.finder_period);
 
-  std::unique_lock lock(mu_);
-  cv_.wait_for(lock, config_.adv_search_timeout,
-               [&] { return !bindings_.empty() || shut_down_; });
+  util::MutexLock lock(mu_);
+  const util::TimePoint deadline =
+      std::chrono::steady_clock::now() + config_.adv_search_timeout;
+  while (bindings_.empty() && !shut_down_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+  }
   if (bindings_.empty() && !shut_down_) {
     lock.unlock();
     const jxta::PeerGroupAdvertisement own =
@@ -46,7 +49,7 @@ void SrSession::init() {
 void SrSession::shutdown() {
   std::vector<std::shared_ptr<Binding>> bindings;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) return;
     shut_down_ = true;
     bindings.swap(bindings_);
@@ -64,7 +67,7 @@ void SrSession::shutdown() {
 }
 
 void SrSession::set_receiver(Receiver receiver) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   receiver_ = std::move(receiver);
 }
 
@@ -72,7 +75,7 @@ void SrSession::handle_new_advertisements(
     const jxta::PeerGroupAdvertisement& adv) {
   const std::string key = adv.gid.to_string();
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) return;
     if (AdvertisementsFinder::find_advertisement(
             [&] {
@@ -105,13 +108,13 @@ void SrSession::handle_new_advertisements(
   } catch (const std::exception& e) {
     P2P_LOG(kWarn, "srjxta") << peer_.name() << ": cannot bind adv "
                              << adv.gid.to_string() << ": " << e.what();
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     adopting_.erase(key);
     return;
   }
 
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     adopting_.erase(key);
     if (shut_down_) return;
     bindings_.push_back(std::move(binding));
@@ -122,7 +125,7 @@ void SrSession::handle_new_advertisements(
 void SrSession::publish(const util::Bytes& payload) {
   std::vector<std::shared_ptr<Binding>> bindings;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!initialized_ || shut_down_) {
       throw util::StateError("session is not running");
     }
@@ -140,7 +143,7 @@ void SrSession::publish(const util::Bytes& payload) {
   for (const auto& b : bindings) {
     if (b->output && b->output->send(base.dup())) ++sends;
   }
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   ++stats_.published;
   stats_.wire_sends += sends;
 }
@@ -166,7 +169,7 @@ void SrSession::on_wire_message(jxta::Message msg) {
   const util::Uuid event_id{r.read_u64(), r.read_u64()};
   Receiver receiver;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) return;
     if (seen_before(event_id)) {
       ++stats_.duplicates_suppressed;
@@ -187,12 +190,12 @@ void SrSession::on_wire_message(jxta::Message msg) {
 }
 
 SrStats SrSession::stats() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t SrSession::advertisement_count() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return bindings_.size();
 }
 

@@ -16,6 +16,7 @@
 #include "srjxta/advertisements_creator.h"
 #include "srjxta/advertisements_finder.h"
 #include "srjxta/wire_service_finder.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::srjxta {
 
@@ -49,17 +50,17 @@ class SrSession final : public AdvertisementsListenerInterface,
   // Initialization phase: search for an existing PS_<topic> advertisement;
   // create one if none shows up in time; keep finding more. Blocking; not
   // callable from peer callbacks.
-  void init();
-  void shutdown();
+  void init() EXCLUDES(mu_);
+  void shutdown() EXCLUDES(mu_);
 
-  void set_receiver(Receiver receiver);
+  void set_receiver(Receiver receiver) EXCLUDES(mu_);
 
   // Sends payload once per bound advertisement (functionality (2)); the
   // receivers' dedup (functionality (3)) collapses the copies.
-  void publish(const util::Bytes& payload);
+  void publish(const util::Bytes& payload) EXCLUDES(mu_);
 
-  [[nodiscard]] SrStats stats() const;
-  [[nodiscard]] std::size_t advertisement_count() const;
+  [[nodiscard]] SrStats stats() const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t advertisement_count() const EXCLUDES(mu_);
 
   // AdvertisementsListenerInterface.
   void handle_new_advertisements(
@@ -73,8 +74,8 @@ class SrSession final : public AdvertisementsListenerInterface,
     std::shared_ptr<jxta::WireOutputPipe> output;
   };
 
-  void on_wire_message(jxta::Message msg);
-  bool seen_before(const util::Uuid& event_id);
+  void on_wire_message(jxta::Message msg) EXCLUDES(mu_);
+  bool seen_before(const util::Uuid& event_id) EXCLUDES(mu_);
 
   jxta::Peer& peer_;
   const std::string topic_;
@@ -82,16 +83,16 @@ class SrSession final : public AdvertisementsListenerInterface,
   AdvertisementsCreator creator_;
   std::unique_ptr<AdvertisementsFinder> finder_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool initialized_ = false;
-  bool shut_down_ = false;
-  std::vector<std::shared_ptr<Binding>> bindings_;
-  std::unordered_set<std::string> adopting_;
-  Receiver receiver_;
-  std::unordered_set<util::Uuid> seen_;
-  std::deque<util::Uuid> seen_order_;
-  SrStats stats_;
+  mutable util::Mutex mu_{"sr-session"};
+  util::CondVar cv_;
+  bool initialized_ GUARDED_BY(mu_) = false;
+  bool shut_down_ GUARDED_BY(mu_) = false;
+  std::vector<std::shared_ptr<Binding>> bindings_ GUARDED_BY(mu_);
+  std::unordered_set<std::string> adopting_ GUARDED_BY(mu_);
+  Receiver receiver_ GUARDED_BY(mu_);
+  std::unordered_set<util::Uuid> seen_ GUARDED_BY(mu_);
+  std::deque<util::Uuid> seen_order_ GUARDED_BY(mu_);
+  SrStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::srjxta

@@ -71,7 +71,7 @@ TpsAdvertisementsFinder::~TpsAdvertisementsFinder() { stop(); }
 void TpsAdvertisementsFinder::add_listener(Listener listener) {
   std::vector<PeerGroupAdvertisement> already_found;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     listeners_.push_back(listener);
     already_found = found_;
   }
@@ -81,7 +81,7 @@ void TpsAdvertisementsFinder::add_listener(Listener listener) {
 
 void TpsAdvertisementsFinder::start(util::Duration period) {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
   }
@@ -110,7 +110,7 @@ void TpsAdvertisementsFinder::stop() {
   std::uint64_t discovery_listener = 0;
   std::uint64_t timer_handle = 0;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
     discovery_listener = discovery_listener_;
@@ -144,7 +144,7 @@ void TpsAdvertisementsFinder::handle_new(const PeerGroupAdvertisement& adv) {
   if (!criteria_.accepts(adv)) return;
   std::vector<Listener> listeners;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!seen_gids_.insert(adv.gid.to_string()).second) return;
     found_.push_back(adv);
     listeners = listeners_;
@@ -162,7 +162,7 @@ void TpsAdvertisementsFinder::handle_new(const PeerGroupAdvertisement& adv) {
 }
 
 std::vector<PeerGroupAdvertisement> TpsAdvertisementsFinder::found() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return found_;
 }
 

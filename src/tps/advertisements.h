@@ -9,11 +9,11 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <set>
 
 #include "jxta/peer.h"
 #include "tps/criteria.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::tps {
 
@@ -60,31 +60,32 @@ class TpsAdvertisementsFinder {
 
   // New advertisements (never seen by this finder, accepted by the
   // criteria) are delivered on discovery/timer threads.
-  void add_listener(Listener listener);
+  void add_listener(Listener listener) EXCLUDES(mu_);
 
   // Starts periodic searching. search_once() may be called any time for an
   // immediate round.
-  void start(util::Duration period);
-  void stop();
-  void search_once();
+  void start(util::Duration period) EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
+  void search_once() EXCLUDES(mu_);
 
-  [[nodiscard]] std::vector<jxta::PeerGroupAdvertisement> found() const;
+  [[nodiscard]] std::vector<jxta::PeerGroupAdvertisement> found() const
+      EXCLUDES(mu_);
 
  private:
-  void scan_local();
-  void handle_new(const jxta::PeerGroupAdvertisement& adv);
+  void scan_local() EXCLUDES(mu_);
+  void handle_new(const jxta::PeerGroupAdvertisement& adv) EXCLUDES(mu_);
 
   jxta::Peer& peer_;
   const std::string type_name_;
   const Criteria criteria_;
 
-  mutable std::mutex mu_;
-  std::vector<Listener> listeners_;
-  std::set<std::string> seen_gids_;
-  std::vector<jxta::PeerGroupAdvertisement> found_;
-  std::uint64_t discovery_listener_ = 0;
-  std::uint64_t timer_handle_ = 0;
-  bool started_ = false;
+  mutable util::Mutex mu_{"tps-finder"};
+  std::vector<Listener> listeners_ GUARDED_BY(mu_);
+  std::set<std::string> seen_gids_ GUARDED_BY(mu_);
+  std::vector<jxta::PeerGroupAdvertisement> found_ GUARDED_BY(mu_);
+  std::uint64_t discovery_listener_ GUARDED_BY(mu_) = 0;
+  std::uint64_t timer_handle_ GUARDED_BY(mu_) = 0;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 // Looks up the wire service of a discovered type advertisement and opens

@@ -24,6 +24,7 @@
 
 #include "tps/engine.h"
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::tps {
 
@@ -126,10 +127,10 @@ class Requester {
 
   // Publishes the request; on_reply fires once per responder answer (on
   // the peer's dispatcher). Returns the request id.
-  util::Uuid request(const T& event, ReplyHandler on_reply) {
+  util::Uuid request(const T& event, ReplyHandler on_reply) EXCLUDES(mu_) {
     const util::Uuid id = util::Uuid::generate();
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       pending_[id] = std::move(on_reply);
     }
     interface_->publish(std::make_shared<const RequestEnvelope<T>>(
@@ -138,18 +139,18 @@ class Requester {
   }
 
   // Stops routing replies for the request (late answers are dropped).
-  void forget(const util::Uuid& request_id) {
-    const std::lock_guard lock(mu_);
+  void forget(const util::Uuid& request_id) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     pending_.erase(request_id);
   }
 
-  [[nodiscard]] std::size_t pending_count() const {
-    const std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t pending_count() const EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return pending_.size();
   }
 
  private:
-  void on_reply(const jxta::Message& msg) {
+  void on_reply(const jxta::Message& msg) EXCLUDES(mu_) {
     const auto id_bytes = msg.get_bytes("tps:request-id");
     const auto payload = msg.get_bytes("tps:reply");
     if (!id_bytes || id_bytes->size() != 16 || !payload) return;
@@ -157,7 +158,7 @@ class Requester {
     const util::Uuid id{idr.read_u64(), idr.read_u64()};
     ReplyHandler handler;
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       const auto it = pending_.find(id);
       if (it == pending_.end()) return;
       handler = it->second;  // keep registered: many responders may answer
@@ -178,8 +179,8 @@ class Requester {
   jxta::PipeId reply_pipe_id_;
   std::shared_ptr<jxta::InputPipe> input_;
   std::optional<TpsInterface<RequestEnvelope<T>>> interface_;
-  mutable std::mutex mu_;
-  std::map<util::Uuid, ReplyHandler> pending_;
+  mutable util::Mutex mu_{"tps-requester"};
+  std::map<util::Uuid, ReplyHandler> pending_ GUARDED_BY(mu_);
 };
 
 // The responding side: a handler that may answer each request.
@@ -236,10 +237,10 @@ class Responder {
   }
 
   void send_reply(const jxta::PipeId& pipe_id, const util::Uuid& request_id,
-                  const util::Bytes& payload) {
+                  const util::Bytes& payload) EXCLUDES(mu_) {
     std::shared_ptr<jxta::OutputPipe> pipe;
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       const auto it = reply_pipes_.find(pipe_id);
       if (it != reply_pipes_.end()) pipe = it->second;
     }
@@ -250,7 +251,7 @@ class Responder {
       adv.type = jxta::PipeAdvertisement::Type::kUnicast;
       pipe = peer_.pipes().create_output_pipe(
           adv, std::chrono::milliseconds(3000));
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       reply_pipes_[pipe_id] = pipe;
     }
     jxta::Message msg;
@@ -266,8 +267,9 @@ class Responder {
   Handler handler_;
   util::SerialExecutor replier_;
   std::optional<TpsInterface<RequestEnvelope<T>>> interface_;
-  std::mutex mu_;
-  std::map<jxta::PipeId, std::shared_ptr<jxta::OutputPipe>> reply_pipes_;
+  util::Mutex mu_{"tps-responder"};
+  std::map<jxta::PipeId, std::shared_ptr<jxta::OutputPipe>> reply_pipes_
+      GUARDED_BY(mu_);
   std::atomic<std::uint64_t> answered_{0};
 };
 

@@ -59,19 +59,19 @@ TpsSession::~TpsSession() { shutdown(); }
 
 void TpsSession::init() {
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) throw PsException("session is shut down");
     if (initialized_) return;
   }
   channel(type_name_, /*open_inputs=*/true, /*wait_for_adv=*/true);
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   initialized_ = true;
 }
 
 void TpsSession::shutdown() {
   std::map<std::string, Channel> channels;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) return;
     shut_down_ = true;
     channels.swap(channels_);
@@ -90,7 +90,7 @@ void TpsSession::shutdown() {
 TpsSession::Channel& TpsSession::channel(const std::string& type,
                                          bool open_inputs,
                                          bool wait_for_adv) {
-  std::unique_lock lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = channels_.find(type);
   if (it == channels_.end()) {
     it = channels_.emplace(type, Channel{}).first;
@@ -116,9 +116,11 @@ TpsSession::Channel& TpsSession::channel(const std::string& type,
   }
   Channel& ch = it->second;
   if (wait_for_adv && ch.bindings.empty()) {
-    cv_.wait_for(lock, config_.adv_search_timeout, [&] {
-      return !ch.bindings.empty() || shut_down_;
-    });
+    const util::TimePoint deadline =
+        std::chrono::steady_clock::now() + config_.adv_search_timeout;
+    while (ch.bindings.empty() && !shut_down_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
     if (ch.bindings.empty() && !shut_down_) {
       // SR functionality (1): nobody advertises this type yet -> we do
       // (paper §4.1), while the finder keeps looking for latecomers.
@@ -141,7 +143,7 @@ void TpsSession::adopt_advertisement(const std::string& type,
   const std::string key = type + "|" + adv.gid.to_string();
   bool open_inputs = false;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) return;
     const auto it = channels_.find(type);
     if (it == channels_.end()) return;
@@ -172,13 +174,13 @@ void TpsSession::adopt_advertisement(const std::string& type,
   } catch (const std::exception& e) {
     P2P_LOG(kWarn, "tps") << peer_.name() << ": cannot bind advertisement "
                           << adv.gid.to_string() << ": " << e.what();
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     adopting_.erase(key);
     return;
   }
 
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     adopting_.erase(key);
     if (shut_down_) return;
     const auto it = channels_.find(type);
@@ -192,7 +194,7 @@ void TpsSession::adopt_advertisement(const std::string& type,
 void TpsSession::publish(serial::EventPtr event) {
   if (!event) throw PsException("cannot publish a null event");
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!initialized_ || shut_down_) {
       throw PsException("session is not running");
     }
@@ -238,7 +240,7 @@ void TpsSession::publish(serial::EventPtr event) {
                               config_.create_ancestor_advs);
     std::vector<std::shared_ptr<Binding>> bindings;
     {
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       bindings = ch.bindings;
     }
     for (const auto& b : bindings) {
@@ -249,7 +251,7 @@ void TpsSession::publish(serial::EventPtr event) {
   m_published_.inc();
   m_wire_sends_.inc(sends);
   publish_latency_us_.record(static_cast<double>(obs::now_us() - t0));
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   ++stats_.published;
   stats_.wire_sends += sends;
   if (config_.record_history) sent_.push_back(std::move(event));
@@ -275,12 +277,12 @@ void TpsSession::on_event_message(jxta::Message msg) {
   if (id_bytes) event_id = uuid_from_bytes(*id_bytes);
   if (!event_id || !event_bytes) {
     m_decode_failures_.inc();
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     ++stats_.decode_failures;
     return;
   }
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) return;
     if (seen_before(*event_id)) {
       ++stats_.duplicates_suppressed;  // SR functionality (3)
@@ -295,13 +297,13 @@ void TpsSession::on_event_message(jxta::Message msg) {
     P2P_LOG(kWarn, "tps") << peer_.name()
                           << ": cannot decode event: " << e.what();
     m_decode_failures_.inc();
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     ++stats_.decode_failures;
     return;
   }
   std::vector<Subscriber> subscribers;
   {
-    const std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     if (shut_down_) return;
     ++stats_.received_unique;
     if (config_.record_history) received_.push_back(decoded.event);
@@ -318,7 +320,7 @@ void TpsSession::on_event_message(jxta::Message msg) {
   for (const auto& sub : subscribers) {
     if (!sub.dispatch(decoded.event)) {
       m_callback_errors_.inc();
-      const std::lock_guard lock(mu_);
+      const util::MutexLock lock(mu_);
       ++stats_.callback_errors;
     }
   }
@@ -329,7 +331,7 @@ void TpsSession::on_event_message(jxta::Message msg) {
 }
 
 void TpsSession::subscribe(Subscriber subscriber) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   if (!initialized_ || shut_down_) {
     throw PsException("session is not running");
   }
@@ -339,7 +341,7 @@ void TpsSession::subscribe(Subscriber subscriber) {
 
 void TpsSession::unsubscribe(const void* callback_tag,
                              const void* handler_tag) {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto before = subscribers_.size();
   std::erase_if(subscribers_, [&](const Subscriber& s) {
     return s.callback_tag == callback_tag && s.handler_tag == handler_tag;
@@ -351,32 +353,32 @@ void TpsSession::unsubscribe(const void* callback_tag,
 }
 
 void TpsSession::unsubscribe_all() {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   subscribers_.clear();
 }
 
 std::size_t TpsSession::subscriber_count() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return subscribers_.size();
 }
 
 std::vector<serial::EventPtr> TpsSession::objects_received() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return received_;
 }
 
 std::vector<serial::EventPtr> TpsSession::objects_sent() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return sent_;
 }
 
 TpsStats TpsSession::stats() const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t TpsSession::binding_count(std::string_view type) const {
-  const std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   const std::string key = type.empty() ? type_name_ : std::string(type);
   const auto it = channels_.find(key);
   return it != channels_.end() ? it->second.bindings.size() : 0;

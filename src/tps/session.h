@@ -22,15 +22,14 @@
 // all events whose type is T or a subtype — each exactly once.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <unordered_set>
 
 #include "serial/type_registry.h"
 #include "tps/advertisements.h"
 #include "tps/exceptions.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::tps {
 
@@ -88,27 +87,31 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   // Blocking initialization (the paper's initialization phase): find an
   // existing advertisement for the subscribed type or create one. Must not
   // be called on the peer executor.
-  void init();
-  void shutdown();
+  void init() EXCLUDES(mu_);
+  void shutdown() EXCLUDES(mu_);
 
   // Publishes an event by its *dynamic* type; throws PsException if that
   // type is unregistered, is not a subtype of the session's type, or the
   // session is not initialized.
-  void publish(serial::EventPtr event);
+  void publish(serial::EventPtr event) EXCLUDES(mu_);
 
-  void subscribe(Subscriber subscriber);
+  void subscribe(Subscriber subscriber) EXCLUDES(mu_);
   // Removes the pair; throws PsException if it was never subscribed.
-  void unsubscribe(const void* callback_tag, const void* handler_tag);
-  void unsubscribe_all();
-  [[nodiscard]] std::size_t subscriber_count() const;
+  void unsubscribe(const void* callback_tag, const void* handler_tag)
+      EXCLUDES(mu_);
+  void unsubscribe_all() EXCLUDES(mu_);
+  [[nodiscard]] std::size_t subscriber_count() const EXCLUDES(mu_);
 
-  [[nodiscard]] std::vector<serial::EventPtr> objects_received() const;
-  [[nodiscard]] std::vector<serial::EventPtr> objects_sent() const;
+  [[nodiscard]] std::vector<serial::EventPtr> objects_received() const
+      EXCLUDES(mu_);
+  [[nodiscard]] std::vector<serial::EventPtr> objects_sent() const
+      EXCLUDES(mu_);
 
-  [[nodiscard]] TpsStats stats() const;
+  [[nodiscard]] TpsStats stats() const EXCLUDES(mu_);
   [[nodiscard]] const std::string& type_name() const { return type_name_; }
   // Advertisements currently bound for a type (default: subscribed type).
-  [[nodiscard]] std::size_t binding_count(std::string_view type = {}) const;
+  [[nodiscard]] std::size_t binding_count(std::string_view type = {}) const
+      EXCLUDES(mu_);
 
  private:
   // One advertisement of a type, with its instantiated group and pipes.
@@ -132,14 +135,14 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   // `wait_for_adv`, blocks up to adv_search_timeout for a binding and falls
   // back to creating our own advertisement (SR functionality (1)).
   Channel& channel(const std::string& type, bool open_inputs,
-                   bool wait_for_adv);
+                   bool wait_for_adv) EXCLUDES(mu_);
   // `own` marks an advertisement this session just created itself: it
   // bypasses the Criteria (which filters *discovered* advertisements).
   void adopt_advertisement(const std::string& type,
                            const jxta::PeerGroupAdvertisement& adv,
-                           bool own = false);
-  void on_event_message(jxta::Message msg);
-  bool seen_before(const util::Uuid& event_id);
+                           bool own = false) EXCLUDES(mu_);
+  void on_event_message(jxta::Message msg) EXCLUDES(mu_);
+  bool seen_before(const util::Uuid& event_id) EXCLUDES(mu_);
 
   jxta::Peer& peer_;
   const std::string type_name_;
@@ -161,20 +164,20 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   obs::Histogram publish_latency_us_;
   obs::Histogram callback_latency_us_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool initialized_ = false;
-  bool shut_down_ = false;
-  std::map<std::string, Channel> channels_;
+  mutable util::Mutex mu_{"tps-session"};
+  util::CondVar cv_;
+  bool initialized_ GUARDED_BY(mu_) = false;
+  bool shut_down_ GUARDED_BY(mu_) = false;
+  std::map<std::string, Channel> channels_ GUARDED_BY(mu_);
   // Advertisements currently being instantiated ("type|gid"), to prevent a
   // concurrent double-adopt of the same advertisement.
-  std::unordered_set<std::string> adopting_;
-  std::vector<Subscriber> subscribers_;
-  std::vector<serial::EventPtr> received_;
-  std::vector<serial::EventPtr> sent_;
-  std::unordered_set<util::Uuid> seen_;
-  std::deque<util::Uuid> seen_order_;
-  TpsStats stats_;
+  std::unordered_set<std::string> adopting_ GUARDED_BY(mu_);
+  std::vector<Subscriber> subscribers_ GUARDED_BY(mu_);
+  std::vector<serial::EventPtr> received_ GUARDED_BY(mu_);
+  std::vector<serial::EventPtr> sent_ GUARDED_BY(mu_);
+  std::unordered_set<util::Uuid> seen_ GUARDED_BY(mu_);
+  std::deque<util::Uuid> seen_order_ GUARDED_BY(mu_);
+  TpsStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::tps

@@ -45,7 +45,7 @@ PeriodicTimer::~PeriodicTimer() { stop(); }
 std::uint64_t PeriodicTimer::schedule(Duration period, Task task) {
   std::uint64_t id = 0;
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (stopped_) return 0;
     id = next_id_++;
     entries_.push_back(Entry{id, std::chrono::steady_clock::now() + period,
@@ -56,18 +56,18 @@ std::uint64_t PeriodicTimer::schedule(Duration period, Task task) {
 }
 
 void PeriodicTimer::cancel(std::uint64_t handle) {
-  std::unique_lock lock(mu_);
+  const MutexLock lock(mu_);
   std::erase_if(entries_, [&](const Entry& e) { return e.id == handle; });
   // Synchronous cancellation: don't return while this handle's task runs
   // (unless we ARE that task — then waiting would deadlock).
   if (std::this_thread::get_id() != thread_.get_id()) {
-    cv_.wait(lock, [&] { return firing_id_ != handle; });
+    while (firing_id_ == handle) cv_.wait(mu_);
   }
 }
 
 void PeriodicTimer::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -76,10 +76,10 @@ void PeriodicTimer::stop() {
 }
 
 void PeriodicTimer::run() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (!stopped_) {
     if (entries_.empty()) {
-      cv_.wait(lock, [&] { return stopped_ || !entries_.empty(); });
+      while (!stopped_ && entries_.empty()) cv_.wait(mu_);
       continue;
     }
     auto soonest = std::min_element(
@@ -90,7 +90,7 @@ void PeriodicTimer::run() {
       // Copy the deadline: wait_until releases the lock, so a concurrent
       // schedule() may reallocate entries_ and invalidate `soonest`.
       const TimePoint deadline = soonest->next;
-      cv_.wait_until(lock, deadline);
+      cv_.wait_until(mu_, deadline);
       continue;  // re-evaluate: entries may have changed
     }
     // Fire outside the lock so the task can (re)schedule or cancel.

@@ -12,6 +12,7 @@
 
 #include "util/clock.h"
 #include "util/queue.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::util {
 
@@ -59,17 +60,17 @@ class PeriodicTimer {
 
   // Registers a repeating task; first run after one period. Returns a handle
   // usable with cancel(). Thread-safe.
-  std::uint64_t schedule(Duration period, Task task);
+  std::uint64_t schedule(Duration period, Task task) EXCLUDES(mu_);
 
   // Stops future firings of the handle. If a firing of this handle is in
   // progress on the timer thread, blocks until it completes — after
   // cancel() returns it is safe to destroy state the task references.
   // (When called from within the task itself, returns immediately.)
   // Thread-safe, idempotent.
-  void cancel(std::uint64_t handle);
+  void cancel(std::uint64_t handle) EXCLUDES(mu_);
 
   // Stops the timer thread. Idempotent.
-  void stop();
+  void stop() EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -79,15 +80,16 @@ class PeriodicTimer {
     Task task;
   };
 
-  void run();
+  void run() EXCLUDES(mu_);
 
   std::string name_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Entry> entries_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t firing_id_ = 0;  // entry currently executing, 0 if none
-  bool stopped_ = false;
+  Mutex mu_{"PeriodicTimer"};
+  CondVar cv_;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  // Entry currently executing on the timer thread, 0 if none.
+  std::uint64_t firing_id_ GUARDED_BY(mu_) = 0;
+  bool stopped_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

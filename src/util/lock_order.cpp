@@ -1,0 +1,268 @@
+#include "util/lock_order.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace p2p::util::lock_order {
+namespace {
+
+// An acquired-while-holding edge A -> B, with the holder's full chain and
+// thread captured when the ordering was first observed (this is the "prior
+// chain" a later inversion report shows).
+struct Edge {
+  std::vector<std::string> chain;
+  std::string thread_desc;
+};
+
+struct Node {
+  std::string name;
+  std::unordered_map<const void*, Edge> out;
+};
+
+// The process-global acquisition graph. Guarded by a raw std::mutex on
+// purpose: the tracker is what util::Mutex calls into, so it must not
+// synchronise with a tracked mutex (infinite recursion).
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<const void*, Node> nodes;
+  std::unordered_set<std::uint64_t> reported;  // inverted pairs already fired
+  Handler handler;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph;  // leaked: must outlive static-duration mutexes
+  return *g;
+}
+
+struct HeldLock {
+  const void* id;
+  std::string name;
+};
+
+// Locks currently held by this thread, in acquisition order.
+thread_local std::vector<HeldLock> t_held;
+
+std::string display_name(const void* id, const char* name) {
+  if (name != nullptr && *name != '\0') return name;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "mutex@%p", id);
+  return buf;
+}
+
+std::string this_thread_desc() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+std::uint64_t pair_key(const void* a, const void* b) {
+  // Order-sensitive key: reporting a->b does not suppress a later b->a.
+  const auto ua = reinterpret_cast<std::uintptr_t>(a);
+  const auto ub = reinterpret_cast<std::uintptr_t>(b);
+  return (static_cast<std::uint64_t>(ua) << 21) ^ static_cast<std::uint64_t>(ub);
+}
+
+std::string join_chain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const auto& link : chain) {
+    if (!out.empty()) out += " -> ";
+    out += link;
+  }
+  return out;
+}
+
+// Depth-first search for a path from -> ... -> to in the acquisition graph.
+// On success fills `path` with the node ids, from first to last. Requires
+// graph().mu held.
+bool find_path(const Graph& g, const void* from, const void* to,
+               std::vector<const void*>& path) {
+  path.push_back(from);
+  if (from == to) return true;
+  const auto it = g.nodes.find(from);
+  if (it != g.nodes.end()) {
+    for (const auto& [next, edge] : it->second.out) {
+      // The graph is acyclic by construction (edges that would close a
+      // cycle are reported instead of inserted), so plain DFS terminates.
+      if (find_path(g, next, to, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+std::vector<std::string> held_names_plus(const std::string& acquiring) {
+  std::vector<std::string> chain;
+  chain.reserve(t_held.size() + 1);
+  for (const auto& held : t_held) chain.push_back(held.name);
+  chain.push_back(acquiring);
+  return chain;
+}
+
+void fire(Graph& g, std::unique_lock<std::mutex>& lock, Report report) {
+  Handler handler = g.handler;  // copy: run outside the graph lock
+  lock.unlock();
+  if (handler) {
+    handler(report);
+    return;
+  }
+  std::fprintf(stderr, "%s", report.message.c_str());
+  std::abort();
+}
+
+// Reports the re-entrant acquisition of `name`. The handler seam exists for
+// tests; with the default handler this aborts (letting the acquisition
+// proceed would deadlock for real — util::Mutex is non-recursive).
+void fire_reentrant(const std::string& name) {
+  Report report;
+  report.reentrant = true;
+  report.this_chain = held_names_plus(name);
+  std::ostringstream os;
+  os << "== LOCK ORDER: re-entrant acquisition (self-deadlock) ==\n"
+     << "thread " << this_thread_desc() << " acquiring \"" << name
+     << "\" while already holding it\n"
+     << "  chain: " << join_chain(report.this_chain) << "\n";
+  report.message = os.str();
+
+  Graph& g = graph();
+  std::unique_lock lock(g.mu);
+  fire(g, lock, std::move(report));
+}
+
+}  // namespace
+
+Handler set_handler(Handler handler) {
+  Graph& g = graph();
+  const std::lock_guard lock(g.mu);
+  Handler prev = std::move(g.handler);
+  g.handler = std::move(handler);
+  return prev;
+}
+
+bool enabled() noexcept {
+#if defined(P2P_DEADLOCK_DEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void pre_lock(const void* id, const char* name) {
+  const std::string acquiring = display_name(id, name);
+  for (const auto& held : t_held) {
+    if (held.id == id) {
+      fire_reentrant(acquiring);
+      return;
+    }
+  }
+  if (t_held.empty()) return;  // nothing held: no ordering to record or break
+
+  Graph& g = graph();
+  std::unique_lock lock(g.mu);
+  if (auto& node = g.nodes[id]; node.name.empty()) node.name = acquiring;
+
+  for (const auto& held : t_held) {
+    // Would the new edge held -> id close a cycle? Look for the opposite
+    // direction already in the graph: a path id -> ... -> held.
+    std::vector<const void*> path;
+    if (find_path(g, id, held.id, path)) {
+      if (!g.reported.insert(pair_key(held.id, id)).second) continue;
+
+      Report report;
+      report.this_chain = held_names_plus(acquiring);
+      // The first edge on the opposite path carries the chain recorded when
+      // some thread held `id` and went on to acquire towards `held`.
+      const Edge& prior = g.nodes.at(path[0]).out.at(path[1]);
+      report.prior_chain = prior.chain;
+
+      std::ostringstream os;
+      os << "== POTENTIAL DEADLOCK (lock-order inversion) ==\n"
+         << "thread " << this_thread_desc() << " acquiring \"" << acquiring
+         << "\" while holding \"" << held.name << "\"\n"
+         << "  this thread's chain : " << join_chain(report.this_chain)
+         << "\n"
+         << "  prior recorded chain: " << join_chain(report.prior_chain)
+         << "  (thread " << prior.thread_desc << ")\n"
+         << "  inverted order path : ";
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) os << " -> ";
+        os << "\"" << g.nodes.at(path[i]).name << "\"";
+      }
+      os << "\n";
+      report.message = os.str();
+
+      fire(g, lock, std::move(report));
+      return;  // with a non-aborting handler: skip edge insertion, proceed
+    }
+
+    if (auto& node = g.nodes[held.id]; node.name.empty()) {
+      node.name = held.name;
+    }
+    auto [edge_it, inserted] = g.nodes[held.id].out.try_emplace(id);
+    if (inserted) {
+      edge_it->second.chain = held_names_plus(acquiring);
+      edge_it->second.thread_desc = this_thread_desc();
+    }
+  }
+}
+
+void post_lock(const void* id, const char* name) {
+  t_held.push_back(HeldLock{id, display_name(id, name)});
+}
+
+void post_try_lock(const void* id, const char* name) {
+  // Record ordering edges (a try-held lock still blocks other threads) but
+  // never report: a non-blocking acquisition cannot hang this thread.
+  if (!t_held.empty()) {
+    const std::string acquiring = display_name(id, name);
+    Graph& g = graph();
+    const std::lock_guard lock(g.mu);
+    if (auto& node = g.nodes[id]; node.name.empty()) node.name = acquiring;
+    for (const auto& held : t_held) {
+      std::vector<const void*> path;
+      if (find_path(g, id, held.id, path)) continue;  // keep graph acyclic
+      if (auto& node = g.nodes[held.id]; node.name.empty()) {
+        node.name = held.name;
+      }
+      auto [edge_it, inserted] = g.nodes[held.id].out.try_emplace(id);
+      if (inserted) {
+        edge_it->second.chain = held_names_plus(acquiring);
+        edge_it->second.thread_desc = this_thread_desc();
+      }
+    }
+  }
+  post_lock(id, name);
+}
+
+void post_unlock(const void* id) {
+  // Search from the back: locks are usually released in reverse order, but
+  // out-of-order release (MutexLock::unlock) is legal.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->id == id) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void on_destroy(const void* id) {
+  Graph& g = graph();
+  const std::lock_guard lock(g.mu);
+  g.nodes.erase(id);
+  for (auto& [node_id, node] : g.nodes) node.out.erase(id);
+}
+
+void reset_graph_for_testing() {
+  Graph& g = graph();
+  const std::lock_guard lock(g.mu);
+  g.nodes.clear();
+  g.reported.clear();
+}
+
+}  // namespace p2p::util::lock_order

@@ -1,0 +1,77 @@
+// Runtime lock-order (potential deadlock) detection.
+//
+// In -DP2P_DEADLOCK_DEBUG=ON builds every util::Mutex / util::SharedMutex
+// acquisition is reported here. The tracker maintains a process-global
+// acquired-while-holding graph: an edge A -> B means some thread held A
+// while acquiring B. A blocking acquisition that would close a cycle in
+// that graph is a potential deadlock — two threads interleaving those
+// chains can block forever — and is reported *before* the acquisition
+// blocks, with both lock chains: the acquiring thread's current chain and
+// the previously recorded chain that established the opposite order. The
+// default handler prints the report to stderr and aborts.
+//
+// Design notes:
+//   - Detection is order-based, not occurrence-based: the cycle is reported
+//     the first time the inverted order is *observable*, even if the timing
+//     never actually deadlocked in this run.
+//   - try_lock() never blocks, so it can never be the reported acquisition;
+//     it still extends the holder's chain (a try-held lock blocks other
+//     threads just the same).
+//   - Re-entrant acquisition of the same (non-recursive) mutex is reported
+//     as a guaranteed self-deadlock.
+//   - Each inverted pair is reported once; tests install a capturing
+//     handler via set_handler() instead of aborting.
+//
+// This header is deliberately free of util/thread_annotations.h: the
+// tracker is what the annotated Mutex calls into, so it synchronises with a
+// raw std::mutex of its own (exempted from the lint ban in tools/lint.py).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace p2p::util::lock_order {
+
+// A potential-deadlock report.
+struct Report {
+  // Human-readable multi-line description (what the default handler prints).
+  std::string message;
+  // The acquiring thread's chain at detection time: locks it holds, in
+  // acquisition order, ending with the lock it is about to acquire.
+  std::vector<std::string> this_chain;
+  // The previously recorded chain that established the opposite order
+  // (captured when the conflicting graph edge was first created).
+  std::vector<std::string> prior_chain;
+  // True when this is a re-entrant acquisition of one mutex rather than a
+  // cross-mutex cycle.
+  bool reentrant = false;
+};
+
+using Handler = std::function<void(const Report&)>;
+
+// Replaces the report handler; returns the previous one. An empty handler
+// restores the default print-and-abort behaviour. Thread-safe.
+Handler set_handler(Handler handler);
+
+// True when Mutex acquisitions are actually being tracked (i.e. the build
+// was configured with -DP2P_DEADLOCK_DEBUG=ON).
+bool enabled() noexcept;
+
+// --- hooks called by util::Mutex / util::SharedMutex -----------------------
+// id is the mutex address; name is its optional debug name (static string,
+// may be null). pre_lock runs before the underlying acquisition so a
+// potential deadlock is reported before the thread can block on it.
+void pre_lock(const void* id, const char* name);
+void post_lock(const void* id, const char* name);
+void post_try_lock(const void* id, const char* name);
+void post_unlock(const void* id);
+// Forgets the mutex and its edges so a recycled address does not inherit
+// stale ordering constraints.
+void on_destroy(const void* id);
+
+// Testing seam: clears the global graph and the reported-pair memory (held
+// locks of live threads are untouched). Not for production use.
+void reset_graph_for_testing();
+
+}  // namespace p2p::util::lock_order

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace p2p::util {
 namespace {
 
-std::mutex g_sink_mutex;
-LogSink g_sink;  // empty -> default stderr sink
+Mutex g_sink_mutex{"log-sink"};
+LogSink g_sink GUARDED_BY(g_sink_mutex);  // empty -> default stderr sink
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
 void default_sink(LogLevel level, std::string_view tag, std::string_view msg) {
@@ -31,7 +32,7 @@ const char* to_string(LogLevel level) {
 }
 
 LogSink set_log_sink(LogSink sink) {
-  const std::lock_guard lock(g_sink_mutex);
+  const MutexLock lock(g_sink_mutex);
   LogSink prev = std::move(g_sink);
   g_sink = std::move(sink);
   return prev;
@@ -44,7 +45,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 void log(LogLevel level, std::string_view tag, std::string_view msg) noexcept {
   try {
     if (level < log_level()) return;
-    const std::lock_guard lock(g_sink_mutex);
+    const MutexLock lock(g_sink_mutex);
     if (g_sink) {
       g_sink(level, tag, msg);
     } else {

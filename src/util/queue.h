@@ -5,12 +5,11 @@
 // closed, so no accepted message is ever lost on shutdown.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace p2p::util {
 
@@ -22,33 +21,38 @@ class BlockingQueue {
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
   // Enqueues v. Returns false (dropping v) if the queue has been closed.
-  bool push(T v) {
-    {
-      const std::lock_guard lock(mu_);
-      if (closed_) return false;
-      items_.push_back(std::move(v));
-    }
+  bool push(T v) EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    // Notify WITH mu_ held: a consumer may destroy this queue as soon as
+    // its pop() returns, and pop() cannot return before we release mu_ —
+    // so the notify is always complete before destruction can begin.
+    // Notifying after unlock would race a fast consumer + destructor.
     cv_.notify_one();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> pop() EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.wait(mu_);
     return take_locked();
   }
 
   // Like pop() but gives up after the timeout, returning nullopt.
-  std::optional<T> pop_for(Duration timeout) {
-    std::unique_lock lock(mu_);
-    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+  std::optional<T> pop_for(Duration timeout) EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    const TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+    while (items_.empty() && !closed_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
     return take_locked();
   }
 
   // Non-blocking.
-  std::optional<T> try_pop() {
-    const std::lock_guard lock(mu_);
+  std::optional<T> try_pop() EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -56,36 +60,34 @@ class BlockingQueue {
   }
 
   // Rejects future pushes and wakes all blocked poppers. Idempotent.
-  void close() {
-    {
-      const std::lock_guard lock(mu_);
-      closed_ = true;
-    }
-    cv_.notify_all();
+  void close() EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    closed_ = true;
+    cv_.notify_all();  // under mu_ — same lifetime argument as push()
   }
 
-  [[nodiscard]] bool closed() const {
-    const std::lock_guard lock(mu_);
+  [[nodiscard]] bool closed() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    const std::lock_guard lock(mu_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  std::optional<T> take_locked() {
+  std::optional<T> take_locked() REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T v = std::move(items_.front());
     items_.pop_front();
     return v;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{"BlockingQueue"};
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace p2p::util

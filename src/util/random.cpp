@@ -1,7 +1,8 @@
 #include "util/random.h"
 
-#include <mutex>
 #include <random>
+
+#include "util/thread_annotations.h"
 
 namespace p2p::util {
 namespace {
@@ -17,7 +18,7 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-std::mutex g_global_rng_mutex;
+Mutex g_global_rng_mutex{"global-rng"};
 
 }  // namespace
 

@@ -1,0 +1,311 @@
+// Clang Thread Safety Analysis macros and the annotated lock vocabulary the
+// whole codebase uses: Mutex, MutexLock, CondVar, SharedMutex and the
+// reader/writer scoped locks.
+//
+// Raw std::mutex / std::lock_guard are banned outside this header (enforced
+// by tools/lint.py): routing every acquisition through these wrappers is
+// what lets us layer on
+//   - compile-time checking: under clang with -DP2P_ANALYZE=ON the build
+//     runs with -Wthread-safety -Werror=thread-safety, so a GUARDED_BY
+//     member touched without its lock is a build break, not a code review
+//     hope (the macros expand to nothing on GCC, which has no analysis);
+//   - runtime deadlock detection: under -DP2P_DEADLOCK_DEBUG=ON every
+//     Mutex reports acquisitions to the lock-order tracker in
+//     util/lock_order.h, which aborts with both lock chains when a
+//     cycle (potential deadlock) first becomes observable.
+//
+// Annotation cheat-sheet:
+//   members:    std::deque<T> items_ GUARDED_BY(mu_);
+//   lock-held helpers:   void take_locked() REQUIRES(mu_);
+//   self-locking APIs:   void close() EXCLUDES(mu_);
+//   waiting:    while (!pred_over_guarded_state) cv_.wait(mu_);
+// Condition-variable predicates are written as explicit while-loops in the
+// locking scope (never as lambdas passed into wait): the analysis cannot
+// see that a predicate lambda runs under the lock, a loop body it can.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(P2P_DEADLOCK_DEBUG)
+#include "util/lock_order.h"
+#endif
+
+// ---------------------------------------------------------------------------
+// Attribute macros (no-ops on compilers without thread safety analysis).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define P2P_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef P2P_THREAD_ANNOTATION__
+#define P2P_THREAD_ANNOTATION__(x)  // not supported by this compiler
+#endif
+
+// A class that is a lockable capability (mutexes below).
+#define CAPABILITY(x) P2P_THREAD_ANNOTATION__(capability(x))
+// An RAII class that acquires a capability at construction, releases at
+// destruction.
+#define SCOPED_CAPABILITY P2P_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data members: may only be read/written while holding the given mutex.
+#define GUARDED_BY(x) P2P_THREAD_ANNOTATION__(guarded_by(x))
+// Pointer members: the pointee (not the pointer) is guarded.
+#define PT_GUARDED_BY(x) P2P_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Function preconditions: caller must hold the given mutex(es).
+#define REQUIRES(...) P2P_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  P2P_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Function effects: acquires / releases the given mutex(es).
+#define ACQUIRE(...) P2P_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  P2P_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) P2P_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  P2P_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  P2P_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  P2P_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  P2P_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the given mutex(es) (the function acquires them
+// itself; calling with them held would self-deadlock).
+#define EXCLUDES(...) P2P_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Runtime claim that the capability is held (for code the analysis cannot
+// follow, e.g. a callback invoked from a locking context).
+#define ASSERT_CAPABILITY(x) P2P_THREAD_ANNOTATION__(assert_capability(x))
+
+// Declares that the function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) P2P_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use needs a
+// comment justifying why the analysis cannot express the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  P2P_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace p2p::util {
+
+// ---------------------------------------------------------------------------
+// Mutex: std::mutex with capability annotations and (in deadlock-debug
+// builds) lock-order tracking. The optional name appears in deadlock
+// reports; pass a string literal.
+// ---------------------------------------------------------------------------
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) noexcept {
+#if defined(P2P_DEADLOCK_DEBUG)
+    name_ = name;
+#else
+    (void)name;
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+  ~Mutex() {
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::on_destroy(this);
+#endif
+  }
+
+  void lock() ACQUIRE() {
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::pre_lock(this, name_);
+#endif
+    mu_.lock();
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::post_lock(this, name_);
+#endif
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::post_unlock(this);
+#endif
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#if defined(P2P_DEADLOCK_DEBUG)
+    // A try-lock cannot block, so it is never the acquisition that turns a
+    // lock-order cycle into a hang; it still extends this thread's chain.
+    if (ok) lock_order::post_try_lock(this, name_);
+#endif
+    return ok;
+  }
+
+ private:
+  std::mutex mu_;
+#if defined(P2P_DEADLOCK_DEBUG)
+  const char* name_ = nullptr;
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// MutexLock: scoped lock for Mutex. Supports early unlock() and relock()
+// for the "drop the lock across a callback" pattern; the analysis tracks
+// both (scoped reacquire needs clang >= 10).
+// ---------------------------------------------------------------------------
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar: condition variable that waits on a Mutex directly. No predicate
+// overloads on purpose — write the condition as a while-loop in the
+// annotated locking scope (see file comment).
+// ---------------------------------------------------------------------------
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  template <class Clock, class Dur>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Dur>& tp)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, tp);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // _any so it can release/reacquire our Mutex itself — the internal
+  // unlock/relock then flows through the lock-order tracker too.
+  std::condition_variable_any cv_;
+};
+
+// ---------------------------------------------------------------------------
+// SharedMutex: std::shared_mutex with capability annotations and lock-order
+// tracking (shared acquisitions participate in the order graph like
+// exclusive ones: a held reader lock still blocks a writer).
+// ---------------------------------------------------------------------------
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) noexcept {
+#if defined(P2P_DEADLOCK_DEBUG)
+    name_ = name;
+#else
+    (void)name;
+#endif
+  }
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+  ~SharedMutex() {
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::on_destroy(this);
+#endif
+  }
+
+  void lock() ACQUIRE() {
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::pre_lock(this, name_);
+#endif
+    mu_.lock();
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::post_lock(this, name_);
+#endif
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::post_unlock(this);
+#endif
+  }
+
+  void lock_shared() ACQUIRE_SHARED() {
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::pre_lock(this, name_);
+#endif
+    mu_.lock_shared();
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::post_lock(this, name_);
+#endif
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if defined(P2P_DEADLOCK_DEBUG)
+    lock_order::post_unlock(this);
+#endif
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if defined(P2P_DEADLOCK_DEBUG)
+  const char* name_ = nullptr;
+#endif
+};
+
+// Scoped exclusive lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace p2p::util

@@ -1,0 +1,27 @@
+// Deliberately violates a thread-safety annotation. This file is NOT part
+// of any test binary: tests/CMakeLists.txt builds it as the standalone
+// `analyze_fail_smoke` target and registers a ctest entry (WILL_FAIL) that
+// expects the build to DIE under -DP2P_ANALYZE=ON. If the analyzer ever
+// stops flagging this, the smoke test fails and tells us the -Wthread-safety
+// wiring rotted.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int bump() {
+    return ++value_;  // guarded member touched with mu_ not held
+  }
+
+ private:
+  p2p::util::Mutex mu_{"analyze-fail-counter"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.bump() == 1 ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 
 #include "jxta/bidi_pipe.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 
 namespace p2p::jxta {
 namespace {
@@ -55,9 +56,12 @@ TEST(BidiPipeTest, AcceptHandlerStyleEchoServer) {
   TestNet net;
   Peer& server = net.add_peer("server");
   Peer& client = net.add_peer("client");
-  BidiAcceptor acceptor(server, listen_adv("echo2"));
+  // Declared before the acceptor: the acceptor's destructor joins its
+  // handshake workers, and a worker may still be appending to
+  // `connections` — so `connections` must be destroyed after it.
   std::mutex mu;
   std::vector<std::shared_ptr<BidiPipe>> connections;
+  BidiAcceptor acceptor(server, listen_adv("echo2"));
   acceptor.set_accept_handler([&](std::shared_ptr<BidiPipe> pipe) {
     auto* raw = pipe.get();
     raw->set_listener([raw](Message m) {
@@ -152,7 +156,7 @@ TEST(BidiPipeTest, ListenerReceivesBacklogAndLive) {
   ASSERT_NE(server_pipe, nullptr);
   client_pipe->send(text_message("early"));
   // Let the early message arrive and queue before the listener exists.
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  p2p::testing::settle(std::chrono::milliseconds(200));
   std::atomic<int> got{0};
   server_pipe->set_listener([&](Message) { ++got; });
   EXPECT_TRUE(wait_until([&] { return got == 1; }));

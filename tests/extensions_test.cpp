@@ -6,6 +6,7 @@
 
 #include "events/ski_rental.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 #include "tps/dynamic.h"
 #include "tps/request_reply.h"
 
@@ -151,7 +152,7 @@ TEST(RequestReplyTest, DecliningResponderStaysSilent) {
       patient_config());
   std::atomic<int> replies{0};
   requester.request(Ping{-1}, [&](const Pong&) { ++replies; });
-  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  p2p::testing::settle(std::chrono::milliseconds(500));
   EXPECT_EQ(replies, 0);
   EXPECT_EQ(responder.answered(), 0u);
   EXPECT_EQ(requester.pending_count(), 1u);
@@ -175,7 +176,7 @@ TEST(RequestReplyTest, ForgottenRequestDropsLateReplies) {
   const util::Uuid id =
       requester.request(Ping{5}, [&](const Pong&) { ++replies; });
   requester.forget(id);  // cancel before the answer can arrive
-  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  p2p::testing::settle(std::chrono::milliseconds(600));
   EXPECT_EQ(replies, 0);
   EXPECT_EQ(requester.pending_count(), 0u);
 }
@@ -193,7 +194,7 @@ TEST(RequestReplyTest, ThrowingHandlerAnswersNothing) {
       patient_config());
   std::atomic<int> replies{0};
   requester.request(Ping{1}, [&](const Pong&) { ++replies; });
-  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  p2p::testing::settle(std::chrono::milliseconds(500));
   EXPECT_EQ(replies, 0);
 }
 
@@ -291,7 +292,7 @@ TEST(DynamicTpsTest, UnsubscribeToken) {
   tps.unsubscribe(token);
   XmlEvent e("dyn:Tokens");
   tps.publish(e);
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(got, 0);
 }
 

@@ -8,6 +8,7 @@
 #include "events/ski_rental.h"
 #include "net/tcp_transport.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 #include "tps/tps.h"
 
 namespace p2p {
@@ -105,7 +106,7 @@ TEST(LossIntegrationTest, EventsStillFlowOnALossyNetwork) {
     pub.publish(SkiRental("S", static_cast<float>(i), "B", 1));
   }
   // Wait for the surviving deliveries to settle.
-  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  p2p::testing::settle(std::chrono::milliseconds(800));
   const int delivered = got - after_warmup;
   EXPECT_GT(delivered, kEvents / 2);   // most got through
   EXPECT_LE(delivered, kEvents);       // never more than published

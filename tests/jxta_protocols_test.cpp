@@ -6,6 +6,7 @@
 
 #include "jxta/peer.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 
 namespace p2p::jxta {
 namespace {
@@ -108,7 +109,7 @@ TEST(EndpointTest, NonRouterRefusesRelayDuty) {
   std::atomic<int> got{0};
   bob.endpoint().register_listener("svc", [&](EndpointMessage) { ++got; });
   alice.endpoint().send(bob.id(), "svc", {1});
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  p2p::testing::settle(std::chrono::milliseconds(200));
   EXPECT_EQ(got, 0);  // bystander dropped it
 }
 
@@ -166,7 +167,7 @@ TEST(RendezvousTest, NonRendezvousDoesNotGrantLeases) {
   TestNet net;
   net.add_peer("plain", /*rendezvous=*/false);
   Peer& client = net.add_peer("client", false, false, {"plain"});
-  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  p2p::testing::settle(std::chrono::milliseconds(400));
   EXPECT_FALSE(client.rendezvous().connected());
 }
 
@@ -206,7 +207,7 @@ TEST(RendezvousTest, PropagationLoopSuppression) {
   ASSERT_TRUE(wait_until([&] { return got >= 1; }));
   // The message travels both multicast and via the rdv; c2 must deliver it
   // exactly once thanks to the propagation-id seen-set.
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(got, 1);
 }
 
@@ -254,9 +255,11 @@ class EchoHandler final : public ResolverHandler {
     return reply;
   }
   void process_response(const ResolverResponse& r) override {
-    ++responses;
     last_payload = r.payload;
     last_responder = r.responder;
+    // Bumped last: waiters poll `responses`, then read the fields above —
+    // the atomic publish is what orders those reads after our writes.
+    ++responses;
   }
   std::atomic<int> queries{0};
   std::atomic<int> responses{0};
@@ -313,7 +316,7 @@ TEST(ResolverTest, SilentHandlerYieldsNoResponse) {
                               false);
   alice.resolver().send_query("echo", {1}, bob.id());
   EXPECT_TRUE(wait_until([&] { return bob_handler->queries == 1; }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  p2p::testing::settle(std::chrono::milliseconds(100));
   EXPECT_EQ(alice_handler->responses, 0);
 }
 
@@ -328,7 +331,7 @@ TEST(ResolverTest, ExpiredHandlerIsSkippedSafely) {
   alice.endpoint().learn_peer(bob.id(), {net::Address("inproc", "bob")},
                               false);
   alice.resolver().send_query("gone", {1}, bob.id());
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  p2p::testing::settle(std::chrono::milliseconds(100));
   // Nothing crashes; no response arrives.
   SUCCEED();
 }
@@ -343,7 +346,7 @@ TEST(ResolverTest, UnregisterStopsProcessing) {
   alice.endpoint().learn_peer(bob.id(), {net::Address("inproc", "bob")},
                               false);
   alice.resolver().send_query("echo", {1}, bob.id());
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  p2p::testing::settle(std::chrono::milliseconds(150));
   EXPECT_EQ(handler->queries, 0);
 }
 

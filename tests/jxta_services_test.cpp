@@ -6,6 +6,7 @@
 
 #include "jxta/peer.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 
 namespace p2p::jxta {
 namespace {
@@ -170,7 +171,7 @@ TEST(DiscoveryTest, ThresholdLimitsResponse) {
                .get_local(DiscoveryType::kGroup, "Name", "PS_Many*")
                .size() >= 3;
   }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  p2p::testing::settle(std::chrono::milliseconds(200));
   EXPECT_EQ(alice.discovery()
                 .get_local(DiscoveryType::kGroup, "Name", "PS_Many*")
                 .size(),
@@ -202,7 +203,7 @@ TEST(DiscoveryTest, ListenerRemovalStopsEvents) {
   alice.discovery().remove_listener(handle);
   bob.discovery().remote_publish(make_group("PS_X", bob),
                                  DiscoveryType::kGroup);
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  p2p::testing::settle(std::chrono::milliseconds(200));
   EXPECT_EQ(events, 0);
 }
 

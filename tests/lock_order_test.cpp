@@ -1,0 +1,242 @@
+// Tests for the runtime lock-order (potential deadlock) tracker.
+//
+// The API-level tests drive the tracker hooks directly with fake mutex
+// addresses, so they run in every build configuration. The end-to-end test
+// uses real util::Mutex instances and therefore needs the hooks to be wired
+// into the wrapper (-DP2P_DEADLOCK_DEBUG=ON); it skips elsewhere.
+#include "util/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace p2p::util {
+namespace {
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lock_order::reset_graph_for_testing();
+    prev_ = lock_order::set_handler(
+        [this](const lock_order::Report& r) { reports_.push_back(r); });
+  }
+
+  void TearDown() override {
+    lock_order::set_handler(std::move(prev_));
+    lock_order::reset_graph_for_testing();
+  }
+
+  // Simulates a blocking acquisition/release against the tracker.
+  static void sim_lock(const void* id, const char* name) {
+    lock_order::pre_lock(id, name);
+    lock_order::post_lock(id, name);
+  }
+  static void sim_unlock(const void* id) { lock_order::post_unlock(id); }
+
+  std::vector<lock_order::Report> reports_;
+  lock_order::Handler prev_;
+};
+
+TEST_F(LockOrderTest, InversionFiresWithBothChains) {
+  int a = 0;
+  int b = 0;
+  // Establish A -> B.
+  sim_lock(&a, "A");
+  sim_lock(&b, "B");
+  sim_unlock(&b);
+  sim_unlock(&a);
+  ASSERT_TRUE(reports_.empty());
+  // Invert: holding B, acquire A.
+  sim_lock(&b, "B");
+  lock_order::pre_lock(&a, "A");
+  ASSERT_EQ(reports_.size(), 1u);
+  const lock_order::Report& r = reports_[0];
+  EXPECT_FALSE(r.reentrant);
+  EXPECT_EQ(r.this_chain, (std::vector<std::string>{"B", "A"}));
+  EXPECT_EQ(r.prior_chain, (std::vector<std::string>{"A", "B"}));
+  EXPECT_NE(r.message.find("POTENTIAL DEADLOCK"), std::string::npos);
+  EXPECT_NE(r.message.find("\"A\""), std::string::npos);
+  EXPECT_NE(r.message.find("\"B\""), std::string::npos);
+  sim_unlock(&b);
+}
+
+TEST_F(LockOrderTest, ConsistentOrderNeverFires) {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim_lock(&a, "A");
+    sim_lock(&b, "B");
+    sim_lock(&c, "C");
+    sim_unlock(&c);
+    sim_unlock(&b);
+    sim_unlock(&a);
+  }
+  EXPECT_TRUE(reports_.empty());
+}
+
+TEST_F(LockOrderTest, TransitiveCycleFires) {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  // A -> B and B -> C on separate occasions...
+  sim_lock(&a, "A");
+  sim_lock(&b, "B");
+  sim_unlock(&b);
+  sim_unlock(&a);
+  sim_lock(&b, "B");
+  sim_lock(&c, "C");
+  sim_unlock(&c);
+  sim_unlock(&b);
+  // ...then C -> A closes the three-lock cycle.
+  sim_lock(&c, "C");
+  lock_order::pre_lock(&a, "A");
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_NE(reports_[0].message.find("inverted order path"),
+            std::string::npos);
+  sim_unlock(&c);
+}
+
+TEST_F(LockOrderTest, ReentrantAcquisitionFires) {
+  int a = 0;
+  sim_lock(&a, "A");
+  lock_order::pre_lock(&a, "A");
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_TRUE(reports_[0].reentrant);
+  EXPECT_EQ(reports_[0].this_chain, (std::vector<std::string>{"A", "A"}));
+  EXPECT_NE(reports_[0].message.find("re-entrant"), std::string::npos);
+  sim_unlock(&a);
+}
+
+TEST_F(LockOrderTest, TryLockRecordsOrderButNeverReports) {
+  int a = 0;
+  int b = 0;
+  // A -> B recorded through a successful try_lock while holding A.
+  sim_lock(&a, "A");
+  lock_order::post_try_lock(&b, "B");
+  sim_unlock(&b);
+  sim_unlock(&a);
+  // A try_lock that would invert the order must not report either (it
+  // cannot block), even though the inverted edge exists.
+  sim_lock(&b, "B");
+  lock_order::post_try_lock(&a, "A");
+  EXPECT_TRUE(reports_.empty());
+  sim_unlock(&a);
+  // A *blocking* inversion against the try-recorded edge does report.
+  lock_order::pre_lock(&a, "A");
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_EQ(reports_[0].prior_chain, (std::vector<std::string>{"A", "B"}));
+  sim_unlock(&b);
+}
+
+TEST_F(LockOrderTest, EachInvertedPairReportsOnce) {
+  int a = 0;
+  int b = 0;
+  sim_lock(&a, "A");
+  sim_lock(&b, "B");
+  sim_unlock(&b);
+  sim_unlock(&a);
+  for (int i = 0; i < 3; ++i) {
+    sim_lock(&b, "B");
+    lock_order::pre_lock(&a, "A");
+    sim_unlock(&b);
+  }
+  EXPECT_EQ(reports_.size(), 1u);
+}
+
+TEST_F(LockOrderTest, OutOfOrderReleaseIsTracked) {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  sim_lock(&a, "A");
+  sim_lock(&b, "B");
+  sim_unlock(&a);  // release the older lock first (MutexLock::unlock path)
+  // Holding only B now: C is acquired under B alone, so no A -> C edge.
+  sim_lock(&c, "C");
+  sim_unlock(&c);
+  sim_unlock(&b);
+  // C -> A closes no cycle (only A -> B and B -> C exist... C -> A does:
+  // A -> B -> C -> A). But A was NOT held when C was acquired, so the only
+  // path is via B; holding C and acquiring B is the inversion to check.
+  sim_lock(&c, "C");
+  lock_order::pre_lock(&b, "B");
+  EXPECT_EQ(reports_.size(), 1u);
+  sim_unlock(&c);
+}
+
+TEST_F(LockOrderTest, DestroyedMutexDropsItsOrderingConstraints) {
+  int a = 0;
+  int b = 0;
+  sim_lock(&a, "A");
+  sim_lock(&b, "B");
+  sim_unlock(&b);
+  sim_unlock(&a);
+  lock_order::on_destroy(&b);
+  // With B forgotten, B -> A (a recycled address) is a fresh ordering.
+  sim_lock(&b, "B2");
+  sim_lock(&a, "A");
+  sim_unlock(&a);
+  sim_unlock(&b);
+  EXPECT_TRUE(reports_.empty());
+}
+
+TEST_F(LockOrderTest, RealMutexEndToEnd) {
+  if (!lock_order::enabled()) {
+    GTEST_SKIP() << "needs -DP2P_DEADLOCK_DEBUG=ON";
+  }
+  Mutex a{"e2e-A"};
+  Mutex b{"e2e-B"};
+  // One thread takes A then B; after it is gone, this thread takes B then
+  // A. No actual deadlock ever happens — the tracker reports the inverted
+  // order anyway (that is the point: it fires on the first observable
+  // inversion, not on the lucky run that hangs).
+  std::thread first([&] {
+    const MutexLock la(a);
+    const MutexLock lb(b);
+  });
+  first.join();
+  {
+    const MutexLock lb(b);
+    const MutexLock la(a);
+  }
+  ASSERT_EQ(reports_.size(), 1u);
+  EXPECT_FALSE(reports_[0].reentrant);
+  EXPECT_EQ(reports_[0].this_chain,
+            (std::vector<std::string>{"e2e-B", "e2e-A"}));
+  EXPECT_EQ(reports_[0].prior_chain,
+            (std::vector<std::string>{"e2e-A", "e2e-B"}));
+}
+
+TEST_F(LockOrderTest, RealCondVarWaitReleasesHeldStack) {
+  if (!lock_order::enabled()) {
+    GTEST_SKIP() << "needs -DP2P_DEADLOCK_DEBUG=ON";
+  }
+  // cv.wait unlocks through Mutex::unlock, so while a waiter sleeps its
+  // held-stack must not pin the mutex (a notifier locking other mutexes
+  // first would otherwise look like an inversion).
+  Mutex m{"e2e-cv-m"};
+  Mutex other{"e2e-cv-other"};
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(m);
+    while (!ready) cv.wait(m);
+  });
+  {
+    // Deliberately acquire in the order other -> m; with the waiter parked
+    // in wait(m) this is the FIRST recorded ordering between the two.
+    const MutexLock lo(other);
+    const MutexLock lm(m);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(reports_.empty());
+}
+
+}  // namespace
+}  // namespace p2p::util

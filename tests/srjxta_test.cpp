@@ -6,6 +6,7 @@
 
 #include "srjxta/sr_session.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 
 namespace p2p::srjxta {
 namespace {
@@ -124,7 +125,7 @@ TEST(SrFinderTest, DispatchesEachAdvertisementOnce) {
   finder.add_listener(&listener);
   finder.start(std::chrono::milliseconds(50));
   ASSERT_TRUE(wait_until([&] { return !listener.advs().empty(); }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(listener.advs().size(), 1u);  // many run_once(), one dispatch
   finder.remove_listener(&listener);
   finder.stop();
@@ -277,7 +278,7 @@ TEST(SrSessionTest, DuplicateSuppressionAcrossTwoAdvertisements) {
   sub->set_receiver([&](const util::Bytes&) { ++got; });
   for (int i = 0; i < 10; ++i) pub->publish({static_cast<uint8_t>(i)});
   ASSERT_TRUE(wait_until([&] { return got >= 10; }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(got, 10);
   EXPECT_GT(sub->stats().duplicates_suppressed, 0u);
   EXPECT_EQ(pub->stats().wire_sends, 20u);
@@ -304,7 +305,7 @@ TEST(SrSessionTest, ShutdownStopsDelivery) {
   ASSERT_TRUE(wait_until([&] { return got == 1; }));
   sub->shutdown();
   pub->publish({2});
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(got, 1);
 }
 

@@ -7,6 +7,7 @@
 #include "events/news.h"
 #include "events/ski_rental.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 #include "tps/tps.h"
 
 namespace p2p {
@@ -38,9 +39,13 @@ TEST_P(SubscriberCountSweep, EverySubscriberGetsEveryEvent) {
     tps::TpsEngine<SkiRental> engine(peer, fast_config());
     subs.push_back(std::make_unique<tps::TpsInterface<SkiRental>>(
         engine.new_interface()));
-    auto* slot = &(*counts)[static_cast<std::size_t>(i)];
+    // Capture the shared_ptr, not a raw slot pointer: `counts` is declared
+    // after `subs`, so it is destroyed first while late deliveries may still
+    // be in flight.
     subs.back()->subscribe(
-        tps::make_callback<SkiRental>([slot](const SkiRental&) { ++*slot; }),
+        tps::make_callback<SkiRental>([counts, i](const SkiRental&) {
+          ++(*counts)[static_cast<std::size_t>(i)];
+        }),
         tps::ignore_exceptions<SkiRental>());
   }
   jxta::Peer& pub_peer = net.add_peer("pub");
@@ -56,7 +61,7 @@ TEST_P(SubscriberCountSweep, EverySubscriberGetsEveryEvent) {
     }
     return true;
   }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  p2p::testing::settle(std::chrono::milliseconds(200));
   for (const auto& c : *counts) EXPECT_EQ(c, kEvents);  // exactly once
 }
 
@@ -131,7 +136,7 @@ TEST(ManyTypesTest, IndependentTopicsDoNotCross) {
     news_pub.publish(News("h", "b"));
   }
   EXPECT_TRUE(wait_until([&] { return rentals == 5 && news == 5; }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  p2p::testing::settle(std::chrono::milliseconds(200));
   EXPECT_EQ(rentals, 5);
   EXPECT_EQ(news, 5);
 }
@@ -168,7 +173,7 @@ TEST(DedupOverflowTest, TinyCacheStillSuppressesAdjacentDuplicates) {
     pub.publish(SkiRental("S", static_cast<float>(i), "B", 1));
   }
   ASSERT_TRUE(wait_until([&] { return got >= kEvents; }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(got, kEvents);
 }
 
@@ -215,7 +220,7 @@ TEST(ConcurrencyTest, SubscribeUnsubscribeWhileTrafficFlows) {
   std::thread publisher([&] {
     for (int i = 0; !stop; ++i) {
       pub.publish(SkiRental("S", static_cast<float>(i), "B", 1));
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      p2p::testing::settle(std::chrono::milliseconds(1));
     }
   });
   // Churn subscriptions concurrently with delivery.
@@ -225,7 +230,7 @@ TEST(ConcurrencyTest, SubscribeUnsubscribeWhileTrafficFlows) {
         [&](const SkiRental&) { ++got; });
     auto eh = tps::ignore_exceptions<SkiRental>();
     sub.subscribe(cb, eh);
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    p2p::testing::settle(std::chrono::milliseconds(5));
     sub.unsubscribe(cb, eh);
   }
   stop = true;

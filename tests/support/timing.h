@@ -1,0 +1,23 @@
+// Time helpers for tests.
+//
+// Bare std::this_thread::sleep_for in a test body is banned by
+// tools/lint.py: a raw sleep hides *why* the test is waiting. settle()
+// names the only legitimate use — giving asynchronous activity with no
+// observable completion signal (propagation windows, periodic timers) time
+// to happen — and gives one place to tune or instrument those waits.
+// Whenever the awaited effect IS observable, poll it with wait_until()
+// (support/test_net.h) instead.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace p2p::testing {
+
+// A deliberate fixed wait for background activity that has no completion
+// predicate to poll.
+inline void settle(std::chrono::milliseconds duration) {
+  std::this_thread::sleep_for(duration);
+}
+
+}  // namespace p2p::testing

@@ -7,6 +7,7 @@
 #include "events/news.h"
 #include "events/ski_rental.h"
 #include "support/test_net.h"
+#include "support/timing.h"
 #include "tps/tps.h"
 
 namespace p2p::tps {
@@ -218,7 +219,7 @@ TEST(TpsUnsubscribeTest, RemovesExactlyTheSpecifiedPair) {
     pub.publish(SkiRental("S", 10, "B", 1));
     return *keep.count >= 1;
   }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  p2p::testing::settle(std::chrono::milliseconds(150));
   EXPECT_EQ(*drop.count, 0);
 }
 
@@ -246,7 +247,7 @@ TEST(TpsUnsubscribeTest, UnsubscribeAllSilencesEverything) {
   TpsEngine<SkiRental> engine_b(bob, fast_config());
   auto pub = engine_b.new_interface();
   pub.publish(SkiRental("S", 10, "B", 1));
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(*c1.count, 0);
   EXPECT_EQ(*c2.count, 0);
 }
@@ -309,7 +310,7 @@ TEST(TpsDedupTest, MultipleAdvertisementsStillDeliverOnce) {
     pub.publish(SkiRental("S", static_cast<float>(i), "B", 1));
   }
   ASSERT_TRUE(wait_until([&] { return *counter.count >= 10; }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(*counter.count, 10);  // exactly once each
   const auto stats = sub.stats();
   EXPECT_EQ(stats.received_unique, 10u);
@@ -349,7 +350,7 @@ TEST(TpsHierarchyTest, BaseEventDoesNotReachSubtypeSubscriber) {
   TpsEngine<News> engine_b(bob, fast_config());
   auto pub = engine_b.new_interface();
   pub.publish(News("general", "news"));
-  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  p2p::testing::settle(std::chrono::milliseconds(400));
   EXPECT_EQ(*counter.count, 0);
 }
 
@@ -393,7 +394,7 @@ TEST(TpsHierarchyTest, MiddleSubscriberGetsSubtypesNotSupertypes) {
   pub.publish(std::make_shared<const SportsNews>("s", "x", "golf"));  // yes
   pub.publish(std::make_shared<const SkiNews>("k", "x", "Davos"));    // yes
   EXPECT_TRUE(wait_until([&] { return *counter.count == 2; }));
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  p2p::testing::settle(std::chrono::milliseconds(200));
   EXPECT_EQ(*counter.count, 2);
 }
 

@@ -16,6 +16,8 @@
 #include "util/string_util.h"
 #include "util/uuid.h"
 
+#include "support/timing.h"
+
 namespace p2p::util {
 namespace {
 
@@ -424,7 +426,7 @@ TEST(StringTest, Join) {
 TEST(ClockTest, SystemClockAdvances) {
   SystemClock clock;
   const auto a = clock.now();
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  p2p::testing::settle(std::chrono::milliseconds(2));
   EXPECT_GT(clock.now(), a);
 }
 
@@ -471,7 +473,7 @@ TEST(QueueTest, CloseWakesAndDrains) {
 TEST(QueueTest, CloseUnblocksWaiter) {
   BlockingQueue<int> q;
   std::thread waiter([&] { EXPECT_EQ(q.pop(), std::nullopt); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  p2p::testing::settle(std::chrono::milliseconds(20));
   q.close();
   waiter.join();
 }
@@ -559,7 +561,7 @@ TEST(TimerTest, FiresRepeatedly) {
   PeriodicTimer timer("test");
   std::atomic<int> fired{0};
   timer.schedule(std::chrono::milliseconds(10), [&] { ++fired; });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  p2p::testing::settle(std::chrono::milliseconds(100));
   timer.stop();
   EXPECT_GE(fired, 3);
 }
@@ -569,10 +571,10 @@ TEST(TimerTest, CancelStopsFiring) {
   std::atomic<int> fired{0};
   const auto handle =
       timer.schedule(std::chrono::milliseconds(10), [&] { ++fired; });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  p2p::testing::settle(std::chrono::milliseconds(50));
   timer.cancel(handle);
   const int at_cancel = fired;
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  p2p::testing::settle(std::chrono::milliseconds(50));
   EXPECT_LE(fired, at_cancel + 1);  // at most one in-flight firing
   timer.stop();
 }
@@ -583,7 +585,7 @@ TEST(TimerTest, MultipleEntriesIndependent) {
   std::atomic<int> slow{0};
   timer.schedule(std::chrono::milliseconds(10), [&] { ++fast; });
   timer.schedule(std::chrono::milliseconds(40), [&] { ++slow; });
-  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  p2p::testing::settle(std::chrono::milliseconds(120));
   timer.stop();
   EXPECT_GT(fast, slow);
   EXPECT_GE(slow, 1);
@@ -596,7 +598,7 @@ TEST(TimerTest, SurvivesThrowingTask) {
     ++fired;
     throw std::runtime_error("boom");
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  p2p::testing::settle(std::chrono::milliseconds(60));
   timer.stop();
   EXPECT_GE(fired, 2);
 }

@@ -4,6 +4,9 @@
 // compatibility discipline JXTA's spec-based approach aimed at.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "events/ski_rental.h"
 #include "jxta/advertisement.h"
 #include "jxta/endpoint.h"
@@ -160,6 +163,38 @@ TEST(WireFormatTest, CredentialLayout) {
             "0300000000000000" "0400000000000000"
             "0161"
             "0500000000000000");
+}
+
+TEST(WireFormatTest, ElementNameManifest) {
+  // Every namespaced wire name — message element names and service codes,
+  // anything matching <prefix>:<name> — that appears in src/ must be listed
+  // here. tools/lint.py cross-checks the source tree against this list, so
+  // adding (or renaming) a wire name forces a deliberate entry in this
+  // freeze test. Renames break interoperability with older peers; think
+  // before editing.
+  const std::set<std::string> frozen = {
+      // lint-wire-manifest-begin
+      "bidi:channel",        // bidi_pipe: private pipe id (connect/accept)
+      "bidi:data",           // bidi_pipe: user payload frame
+      "bidi:kind",           // bidi_pipe: connect|accept|data|close
+      "builtin:membership",  // service code: open membership service
+      "builtin:resolver",    // service code: PRP
+      "builtin:wire",        // service code: JXTA-WIRE
+      "obs:hops",            // tracing: per-hop record list
+      "obs:trace-id",        // tracing: 16-byte trace id
+      "sr:event-id",         // SR-JXTA: dedup uuid
+      "sr:payload",          // SR-JXTA: opaque event bytes
+      "tps:event",           // TPS: tagged event bytes
+      "tps:event-id",        // TPS: dedup uuid
+      "tps:reply",           // request_reply: reply payload
+      "tps:request-id",      // request_reply: correlates replies
+      "tps:type",            // TPS: concrete event type name
+      // lint-wire-manifest-end
+  };
+  // Spot-check the names that are exported as constants.
+  EXPECT_TRUE(frozen.contains(std::string(obs::kTraceIdElement)));
+  EXPECT_TRUE(frozen.contains(std::string(obs::kTraceHopsElement)));
+  EXPECT_EQ(frozen.size(), 15u);
 }
 
 TEST(WireFormatTest, TraceElementsLayout) {

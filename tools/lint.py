@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Project lint: protocol and concurrency hygiene checks.
+
+Checks (each can be listed with --list):
+  wire-manifest   Every namespaced wire-name literal ("prefix:name") in src/
+                  appears in the frozen manifest in
+                  tests/wire_format_test.cpp, and vice versa. Renaming a
+                  wire element silently breaks interoperability with peers
+                  running an older build; the manifest makes every rename a
+                  deliberate, reviewed edit.
+  raw-mutex       No raw std::mutex / std::lock_guard / std::unique_lock /
+                  std::condition_variable / std::shared_mutex in src/
+                  outside the annotated wrapper (util/thread_annotations.h)
+                  and the lock-order tracker it is built on. The wrapper is
+                  what gives Clang thread-safety analysis and the deadlock
+                  detector their coverage — a raw mutex is a blind spot.
+  test-sleep      No bare std::this_thread::sleep_for / sleep_until in
+                  tests/ outside tests/support/. Tests wait with
+                  wait_until() (poll a predicate) or settle() (named fixed
+                  wait), both in tests/support/.
+  self-include    Every src/**/*.cpp whose matching header exists includes
+                  that header first (IWYU-style: the header must be
+                  self-sufficient, and its own .cpp is where that is
+                  proven).
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+
+--self-test runs the checks against fabricated bad inputs and fails if any
+check misses its seeded violation (guards against the lint rotting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# A namespaced wire name: short lowercase prefix, colon, lowercase name.
+WIRE_NAME_RE = re.compile(r'"([a-z][a-z0-9]*:[a-z0-9][a-z0-9-]*)"')
+# Prefixes that look like wire names but are not (URN schemes etc.).
+WIRE_NAME_IGNORED_PREFIXES = ("urn:", "http:", "https:", "jxta:")
+
+MANIFEST_FILE = "tests/wire_format_test.cpp"
+MANIFEST_BEGIN = "lint-wire-manifest-begin"
+MANIFEST_END = "lint-wire-manifest-end"
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+RAW_MUTEX_EXEMPT = (
+    "src/util/thread_annotations.h",  # the wrapper itself
+    "src/util/lock_order.h",          # tracker: must not use the wrapper
+    "src/util/lock_order.cpp",        #   (it is called from inside it)
+)
+
+SLEEP_RE = re.compile(r"std::this_thread::sleep_(?:for|until)\b")
+
+COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.S)
+
+
+def strip_comments(text: str) -> str:
+    """Blanks comments, preserving newlines so line numbers survive."""
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+    return COMMENT_RE.sub(blank, text)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+class Tree:
+    """The file set the checks run over (real repo or fabricated)."""
+
+    def __init__(self, files: dict[str, str]):
+        self.files = files  # repo-relative posix path -> content
+
+    @staticmethod
+    def from_repo(root: pathlib.Path) -> "Tree":
+        files = {}
+        for pattern in ("src/**/*.h", "src/**/*.cpp", "tests/**/*.h",
+                        "tests/**/*.cpp", "examples/**/*.cpp"):
+            for path in sorted(root.glob(pattern)):
+                rel = path.relative_to(root).as_posix()
+                files[rel] = path.read_text(encoding="utf-8")
+        return Tree(files)
+
+    def matching(self, prefix: str, suffixes: tuple[str, ...]) -> list[str]:
+        return [p for p in self.files
+                if p.startswith(prefix) and p.endswith(suffixes)]
+
+
+def parse_manifest(tree: Tree) -> set[str] | None:
+    text = tree.files.get(MANIFEST_FILE)
+    if text is None:
+        return None
+    begin = text.find(MANIFEST_BEGIN)
+    end = text.find(MANIFEST_END)
+    if begin < 0 or end < 0 or end < begin:
+        return None
+    return set(WIRE_NAME_RE.findall(strip_comments(text[begin:end])))
+
+
+def check_wire_manifest(tree: Tree) -> list[str]:
+    errors = []
+    manifest = parse_manifest(tree)
+    if manifest is None:
+        return [f"{MANIFEST_FILE}: wire-name manifest "
+                f"({MANIFEST_BEGIN}..{MANIFEST_END}) not found"]
+    used: dict[str, str] = {}  # name -> first "file:line"
+    for path in tree.matching("src/", (".h", ".cpp")):
+        code = strip_comments(tree.files[path])
+        for m in WIRE_NAME_RE.finditer(code):
+            name = m.group(1)
+            if name.startswith(WIRE_NAME_IGNORED_PREFIXES):
+                continue
+            used.setdefault(name, f"{path}:{line_of(code, m.start())}")
+    for name in sorted(set(used) - manifest):
+        errors.append(
+            f"{used[name]}: wire name \"{name}\" is not in the frozen "
+            f"manifest in {MANIFEST_FILE} — add it there (a rename breaks "
+            f"old peers; make it deliberate)")
+    for name in sorted(manifest - set(used)):
+        errors.append(
+            f"{MANIFEST_FILE}: manifest entry \"{name}\" no longer appears "
+            f"in src/ — remove it (or restore the code that used it)")
+    return errors
+
+
+def check_raw_mutex(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.matching("src/", (".h", ".cpp")):
+        if path in RAW_MUTEX_EXEMPT:
+            continue
+        code = strip_comments(tree.files[path])
+        for m in RAW_MUTEX_RE.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: raw {m.group(0)} — use "
+                f"util::Mutex / util::MutexLock / util::CondVar "
+                f"(util/thread_annotations.h) so thread-safety analysis "
+                f"and the deadlock detector see this lock")
+    return errors
+
+
+def check_test_sleep(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.matching("tests/", (".h", ".cpp")):
+        if path.startswith("tests/support/"):
+            continue
+        code = strip_comments(tree.files[path])
+        for m in SLEEP_RE.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: bare {m.group(0)} in a "
+                f"test — poll with wait_until() or name the wait with "
+                f"settle() (tests/support/timing.h)")
+    return errors
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def check_self_include(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.matching("src/", (".cpp",)):
+        header = path[:-len(".cpp")] + ".h"
+        if header not in tree.files:
+            continue
+        # Headers are included relative to src/.
+        own = header[len("src/"):]
+        includes = INCLUDE_RE.findall(tree.files[path])
+        if not includes or includes[0] != own:
+            errors.append(
+                f"{path}: first #include must be its own header "
+                f"\"{own}\" (proves the header is self-sufficient); "
+                f"found {includes[0] if includes else 'none'!r}")
+    return errors
+
+
+CHECKS = {
+    "wire-manifest": check_wire_manifest,
+    "raw-mutex": check_raw_mutex,
+    "test-sleep": check_test_sleep,
+    "self-include": check_self_include,
+}
+
+
+def self_test() -> int:
+    """Each fabricated violation must be caught by its check."""
+    good_manifest = (
+        f"// {MANIFEST_BEGIN}\n\"aa:used\",\n// {MANIFEST_END}\n")
+    cases = [
+        ("wire-manifest catches unlisted name",
+         Tree({MANIFEST_FILE: good_manifest,
+               "src/x/wire.cpp": 'send("aa:unlisted");'}),
+         "wire-manifest"),
+        ("wire-manifest catches stale entry",
+         Tree({MANIFEST_FILE: good_manifest,
+               "src/x/wire.cpp": 'send("nothing here");'}),
+         "wire-manifest"),
+        ("wire-manifest ignores urn literals",
+         Tree({MANIFEST_FILE: good_manifest,
+               "src/x/wire.cpp": 'id("urn:jxta"); send("aa:used");'}),
+         None),
+        ("raw-mutex catches std::mutex",
+         Tree({"src/x/a.h": "std::mutex mu_;"}),
+         "raw-mutex"),
+        ("raw-mutex catches std::condition_variable in comments? no",
+         Tree({"src/x/a.h": "// std::mutex in prose is fine\n"}),
+         None),
+        ("test-sleep catches bare sleep_for",
+         Tree({"tests/a_test.cpp":
+               "std::this_thread::sleep_for(std::chrono::seconds(1));"}),
+         "test-sleep"),
+        ("test-sleep allows tests/support",
+         Tree({"tests/support/timing.h":
+               "std::this_thread::sleep_for(duration);"}),
+         None),
+        ("self-include catches wrong first include",
+         Tree({"src/x/a.h": "", "src/x/a.cpp":
+               '#include "x/b.h"\n#include "x/a.h"\n'}),
+         "self-include"),
+        ("self-include accepts own header first",
+         Tree({"src/x/a.h": "", "src/x/a.cpp":
+               '#include "x/a.h"\n#include "x/b.h"\n'}),
+         None),
+    ]
+    failures = 0
+    for label, tree, expect_check in cases:
+        hits = {name: fn(tree) for name, fn in CHECKS.items()
+                if name != "wire-manifest" or MANIFEST_FILE in tree.files}
+        flagged = [name for name, errs in hits.items() if errs]
+        ok = (flagged == [expect_check]) if expect_check else (not flagged)
+        print(f"{'ok  ' if ok else 'FAIL'} {label}"
+              + ("" if ok else f" (flagged: {flagged or 'nothing'})"))
+        failures += 0 if ok else 1
+    return 0 if failures == 0 else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path, default=REPO,
+                        help="repository root (default: script's parent)")
+    parser.add_argument("--check", action="append", choices=sorted(CHECKS),
+                        help="run only this check (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available checks and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each check catches a seeded violation")
+    args = parser.parse_args()
+
+    if args.list:
+        for name in sorted(CHECKS):
+            print(name)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    tree = Tree.from_repo(args.root)
+    selected = args.check or sorted(CHECKS)
+    errors = []
+    for name in selected:
+        errors.extend(CHECKS[name](tree))
+    for message in errors:
+        print(message)
+    if errors:
+        print(f"\nlint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint: clean ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
