@@ -16,9 +16,11 @@ using namespace p2p::bench;
 
 namespace {
 
-constexpr int kEvents = 100;      // paper: 100 events
-constexpr int kEpochs = 10;       // paper: 10 epochs
-constexpr int kPerEpoch = kEvents / kEpochs;
+// Paper: 100 events in 10 epochs. --smoke shrinks the run to a crash
+// check for CI.
+int g_epochs = 10;
+int g_per_epoch = 10;
+int total_events() { return g_epochs * g_per_epoch; }
 
 struct SeriesResult {
   std::string label;
@@ -53,34 +55,45 @@ SeriesResult run_series(const std::string& label, int n_subscribers,
   result.label = label;
   std::uint64_t expected = 0;
   double total_s = 0;
-  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+  for (int epoch = 0; epoch < g_epochs; ++epoch) {
     const std::int64_t t0 = now_us();
-    for (int i = 0; i < kPerEpoch; ++i) {
-      publisher->publish(epoch * kPerEpoch + i);
+    for (int i = 0; i < g_per_epoch; ++i) {
+      publisher->publish(epoch * g_per_epoch + i);
     }
-    expected += static_cast<std::uint64_t>(kPerEpoch) *
+    publisher->flush();  // async layers: cut the batch linger short
+    expected += static_cast<std::uint64_t>(g_per_epoch) *
                 static_cast<std::uint64_t>(n_subscribers);
     await_count(received, expected, 10000);
     const double secs = static_cast<double>(now_us() - t0) / 1e6;
-    result.events_per_sec.push_back(kPerEpoch / secs);
+    result.events_per_sec.push_back(g_per_epoch / secs);
     total_s += secs;
   }
-  result.mean = kEvents / total_s;
+  result.mean = total_events() / total_s;
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (smoke_mode(argc, argv)) {
+    g_epochs = 2;
+    g_per_epoch = 5;
+  }
   std::cout << "# Figure 19 reproduction: publisher's throughput "
                "(events sent+delivered per second, per epoch)\n"
             << "# paper setup: 100 events in 10 epochs, 1910-byte "
-               "messages, {JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4} subs\n";
+               "messages, {JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4} subs\n"
+            << "# plus SR-TPS-FAST: the v2 batching + encode-cache "
+               "publish pipeline (beyond the paper)\n";
 
   srjxta::SrConfig sr_config;
   sr_config.adv_search_timeout = std::chrono::milliseconds(300);
-  tps::TpsConfig tps_config;
-  tps_config.adv_search_timeout = std::chrono::milliseconds(300);
+  const tps::TpsConfig tps_config =
+      tps::TpsConfig::Builder()
+          .adv_search_timeout(std::chrono::milliseconds(300))
+          .build();
+  const tps::TpsConfig tps_fast_config =
+      fast_tps_config(std::chrono::milliseconds(300));
 
   std::vector<SeriesResult> results;
   for (const int subs : {1, 4}) {
@@ -117,12 +130,25 @@ int main() {
           return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
                                              tps_config);
         }));
+    results.push_back(run_series(
+        "SR-TPS-FAST" + suffix, subs,
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_fast_config, "SR-TPS-FAST");
+        },
+        [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
+            -> std::unique_ptr<Driver> {
+          // Subscribers stay on the plain config: the fast path changes
+          // the publisher side only.
+          return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
+                                             tps_config);
+        }));
   }
 
   std::cout << "\nepoch";
   for (const auto& r : results) std::cout << "\t" << r.label;
   std::cout << "\n";
-  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+  for (int epoch = 0; epoch < g_epochs; ++epoch) {
     std::cout << epoch + 1;
     for (const auto& r : results) {
       std::cout << "\t"
@@ -145,9 +171,11 @@ int main() {
   const double wire1 = mean("JXTA-WIRE 1 sub");
   const double sr1 = mean("SR-JXTA 1 sub");
   const double tps1 = mean("SR-TPS 1 sub");
+  const double fast1 = mean("SR-TPS-FAST 1 sub");
   const double wire4 = mean("JXTA-WIRE 4 subs");
   const double sr4 = mean("SR-JXTA 4 subs");
   const double tps4 = mean("SR-TPS 4 subs");
+  const double fast4 = mean("SR-TPS-FAST 4 subs");
   std::cout << "\n# shape checks (paper §5.2)\n"
             << "sr_layers_close (|tps-sr|/sr, 1 sub): "
             << (sr1 > 0 ? std::abs(tps1 - sr1) / sr1 : 0)
@@ -159,6 +187,12 @@ int main() {
                         (wire1 - std::min(sr1, tps1)) / wire1
                     ? "yes"
                     : "NO")
+            << "\n"
+            << "\n# fast-pipeline checks (beyond the paper: batching + "
+               "encode cache)\n"
+            << "fast_speedup_1sub (SR-TPS-FAST / SR-TPS): "
+            << (tps1 > 0 ? fast1 / tps1 : 0) << "\n"
+            << "fast_speedup_4subs: " << (tps4 > 0 ? fast4 / tps4 : 0)
             << "\n";
   p2p::bench::write_metrics_dump("fig19_publisher_throughput");
   return 0;

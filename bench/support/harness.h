@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -114,6 +115,9 @@ class Driver {
   virtual const char* layer() const = 0;
   // Publisher side: sends one ~target_bytes event.
   virtual void publish(int sequence) = 0;
+  // Publisher side: drains any asynchronous send pipeline (the TPS fast
+  // path batches and sends from a worker thread). No-op for sync layers.
+  virtual void flush() {}
   // Subscriber side: invoked once per delivered event with receive time.
   void set_on_receive(std::function<void(std::int64_t t_ms)> fn) {
     on_receive_ = std::move(fn);
@@ -180,12 +184,14 @@ class SrDriver final : public Driver {
   std::shared_ptr<srjxta::SrSession> session_;
 };
 
-// SR-TPS: the paper's contribution.
+// SR-TPS: the paper's contribution. `label` distinguishes configuration
+// variants of the same layer (e.g. "SR-TPS-FAST" for the batching +
+// encode-cache pipeline).
 class TpsDriver final : public Driver {
  public:
   TpsDriver(jxta::Peer& peer, std::size_t message_bytes,
-            tps::TpsConfig config = {})
-      : message_bytes_(message_bytes) {
+            tps::TpsConfig config = {}, const char* label = "SR-TPS")
+      : message_bytes_(message_bytes), label_(label) {
     config.record_history = false;  // benches run unbounded event counts
     tps::TpsEngine<events::SkiRental> engine(peer, config);
     interface_.emplace(engine.new_interface());
@@ -195,11 +201,13 @@ class TpsDriver final : public Driver {
         tps::ignore_exceptions<events::SkiRental>());
   }
 
-  const char* layer() const override { return "SR-TPS"; }
+  const char* layer() const override { return label_; }
 
   void publish(int sequence) override {
     interface_->publish(make_offer(sequence, message_bytes_));
   }
+
+  void flush() override { interface_->flush(); }
 
   [[nodiscard]] tps::TpsStats stats() const { return interface_->stats(); }
   [[nodiscard]] std::size_t advertisement_count() const {
@@ -208,8 +216,30 @@ class TpsDriver final : public Driver {
 
  private:
   std::size_t message_bytes_;
+  const char* label_;
   std::optional<tps::TpsInterface<events::SkiRental>> interface_;
 };
+
+// The fast-pipeline configuration used by the SR-TPS-FAST bench series:
+// modest batches with a 200 us linger, plus an encode cache sized for the
+// benches' working sets.
+inline tps::TpsConfig fast_tps_config(util::Duration adv_search_timeout) {
+  return tps::TpsConfig::Builder()
+      .adv_search_timeout(adv_search_timeout)
+      .dedup_cache(1 << 20)  // must span the whole flood
+      .batching(16, std::chrono::microseconds(200))
+      .encode_cache(1024)
+      .build();
+}
+
+// True when argv contains --smoke: CI runs benches for a few seconds just
+// to prove they run; full measurement windows stay the default.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
 
 // --- topology ------------------------------------------------------------------
 

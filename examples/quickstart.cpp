@@ -1,10 +1,16 @@
-// Quickstart: two peers, one typed topic, publish and receive.
+// Quickstart: two peers, one typed topic, publish and receive — on the
+// v2 TPS surface.
 //
 // Demonstrates the paper's four programming phases (§4.2) end to end:
 //   1. type definition     — events::SkiRental (src/events/ski_rental.h)
-//   2. initialization      — TpsEngine<SkiRental>::new_interface()
-//   3. subscription        — subscribe(callback, exception handler)
-//   4. publication         — publish(SkiRental{...})
+//   2. initialization      — TpsEngine<SkiRental>::new_interface(), with
+//                            the knobs set through TpsConfig::Builder
+//   3. subscription        — subscribe(lambda) -> RAII Subscription
+//   4. publication         — try_publish(event) -> PublishTicket, then
+//                            flush() to drain the async batch pipeline
+//
+// The paper-faithful v1 calls (call-back objects, throwing publish) still
+// exist — see tests/tps_test.cpp — but new code should look like this.
 //
 // Run: ./build/examples/quickstart
 // Add --metrics to dump each peer's internal counters (and the delivery
@@ -12,6 +18,7 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "events/ski_rental.h"
@@ -23,37 +30,6 @@
 
 using namespace p2p;
 using events::SkiRental;
-
-namespace {
-
-// Phase 3's call-back object, exactly like the paper's MyCBInterface
-// (§4.3.3): print each offer to the console.
-class MyCbInterface final : public tps::TpsCallback<SkiRental> {
- public:
-  void handle(const SkiRental& ski_rental) override {
-    std::cout << "Skis that could be rented: " << ski_rental.to_string()
-              << "\n";
-    ++received_;
-  }
-  [[nodiscard]] int received() const { return received_; }
-
- private:
-  int received_ = 0;
-};
-
-// And the paper's MyExHandler.
-class MyExHandler final : public tps::TpsExceptionHandler<SkiRental> {
- public:
-  void handle(std::exception_ptr error) override {
-    try {
-      std::rethrow_exception(error);
-    } catch (const std::exception& e) {
-      std::cerr << "callback failed: " << e.what() << "\n";
-    }
-  }
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bool dump_metrics = false;
@@ -77,39 +53,82 @@ int main(int argc, char** argv) {
       std::make_shared<net::InProcTransport>(fabric, "xtrem-shop"));
   shop.start();
 
-  // Initialization phase (paper §4.3.2). The subscriber goes first: it
-  // searches for a SkiRental advertisement, finds none, and creates one.
-  tps::TpsConfig config;
-  config.adv_search_timeout = std::chrono::milliseconds(400);
+  // Initialization phase (paper §4.3.2). TpsConfig::Builder validates the
+  // knobs at build() time; see src/tps/session.h for the full list and
+  // the paper sections each one traces back to.
+  const tps::TpsConfig config =
+      tps::TpsConfig::Builder()
+          .adv_search_timeout(std::chrono::milliseconds(400))
+          .build();
+  // The publisher additionally turns on the fast publish pipeline
+  // (beyond the paper): publications are enqueued, coalesced into batch
+  // frames by a sender thread, and each distinct event is encoded once.
+  const tps::TpsConfig fast_config =
+      tps::TpsConfig::Builder()
+          .adv_search_timeout(std::chrono::milliseconds(400))
+          .batching(/*max_events=*/8, std::chrono::milliseconds(2))
+          .encode_cache(/*capacity=*/64)
+          .build();
+
+  // The subscriber goes first: it searches for a SkiRental advertisement,
+  // finds none, and creates one.
   tps::TpsEngine<SkiRental> subscriber_engine(subscriber, config);
   auto subscriber_tps = subscriber_engine.new_interface();
 
-  // Subscription phase (§4.3.3).
-  auto callback = std::make_shared<MyCbInterface>();
-  auto ex_handler = std::make_shared<MyExHandler>();
-  subscriber_tps.subscribe(callback, ex_handler);
+  // Subscription phase (§4.3.3), v2 style: a lambda in, an RAII handle
+  // out. Dropping (or cancel()ing) the handle unsubscribes exactly this
+  // registration; the optional second lambda receives callback errors.
+  int received = 0;
+  tps::Subscription subscription = subscriber_tps.subscribe(
+      [&received](const SkiRental& ski_rental) {
+        std::cout << "Skis that could be rented: " << ski_rental.to_string()
+                  << "\n";
+        ++received;
+      },
+      [](std::exception_ptr error) {
+        try {
+          std::rethrow_exception(error);
+        } catch (const std::exception& e) {
+          std::cerr << "callback failed: " << e.what() << "\n";
+        }
+      });
 
   // The shop comes up, discovers the existing advertisement (functionality
   // (1): it does NOT create a second one) and publishes.
-  tps::TpsEngine<SkiRental> shop_engine(shop, config);
+  tps::TpsEngine<SkiRental> shop_engine(shop, fast_config);
   auto shop_tps = shop_engine.new_interface();
 
-  // Publication phase (§4.3.4) — the paper's very line:
-  shop_tps.publish(SkiRental("XTremShop", 14.0f, "Salomon", 100.0f));
-  shop_tps.publish(SkiRental("XTremShop", 11.5f, "Rossignol", 7.0f));
-  shop_tps.publish(SkiRental("XTremShop", 19.0f, "Atomic", 2.0f));
+  // Publication phase (§4.3.4), v2 style: try_publish never throws — the
+  // ticket says what happened (sent, enqueued on the async pipeline, shed
+  // by backpressure, or rejected).
+  const SkiRental offers[] = {
+      SkiRental("XTremShop", 14.0f, "Salomon", 100.0f),
+      SkiRental("XTremShop", 11.5f, "Rossignol", 7.0f),
+      SkiRental("XTremShop", 19.0f, "Atomic", 2.0f),
+  };
+  for (const SkiRental& offer : offers) {
+    const tps::PublishTicket ticket = shop_tps.try_publish(offer);
+    if (!ticket.ok()) {
+      std::cerr << "publish failed: " << tps::to_string(ticket.outcome)
+                << "\n";
+    }
+  }
+  // Hand every enqueued publication to the wires before we start waiting.
+  shop_tps.flush();
 
   // Time, space and flow decoupling in action: the publisher returned
   // immediately; deliveries ride the simulated WAN.
-  for (int i = 0; i < 50 && callback->received() < 3; ++i) {
+  for (int i = 0; i < 50 && received < 3; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
+  const tps::TpsStats shop_stats = shop_tps.stats();
   std::cout << "objects received: "
             << subscriber_tps.objects_received().size()
             << ", objects sent by shop: " << shop_tps.objects_sent().size()
             << ", advertisements bound: "
-            << subscriber_tps.advertisement_count() << "\n";
+            << subscriber_tps.advertisement_count()
+            << ", batches sent by shop: " << shop_stats.batches_sent << "\n";
 
   if (dump_metrics) {
     // The observability layer (src/obs/): per-peer registries every stack
@@ -127,7 +146,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  subscription.cancel();  // or just let it fall out of scope
   shop.stop();
   subscriber.stop();
-  return callback->received() == 3 ? 0 : 1;
+  return received == 3 ? 0 : 1;
 }

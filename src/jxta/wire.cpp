@@ -90,9 +90,9 @@ WireOutputPipe::WireOutputPipe(WireService& service, PipeAdvertisement adv)
 
 WireOutputPipe::~WireOutputPipe() { close(); }
 
-bool WireOutputPipe::send(const Message& msg) {
+bool WireOutputPipe::send(Message msg) {
   if (closed_) return false;
-  service_.publish_on_wire(adv_.pid, msg);
+  service_.publish_on_wire(adv_.pid, std::move(msg));
   return true;
 }
 
@@ -165,21 +165,20 @@ ServiceAdvertisement WireService::make_service_advertisement(
   return svc;
 }
 
-void WireService::publish_on_wire(const PipeId& id, const Message& msg) {
+void WireService::publish_on_wire(const PipeId& id, Message msg) {
   published_.inc();
-  // Stamp our hop onto the copy that leaves the peer; a message already
-  // traced by the layer above (TPS) keeps its trace id.
-  Message traced = msg;
-  obs::append_hop(traced, endpoint_.local_peer().to_string(), "wire-send",
+  // Stamp our hop onto the (moved-in) message that leaves the peer; a
+  // message already traced by the layer above (TPS) keeps its trace id.
+  obs::append_hop(msg, endpoint_.local_peer().to_string(), "wire-send",
                   obs::now_us());
   util::ByteWriter w;
   w.write_u64(id.uuid().hi());
   w.write_u64(id.uuid().lo());
-  w.write_bytes(traced.serialize());
+  w.write_bytes(msg.serialize());
   // Remote members via rendezvous propagation (and LAN multicast)...
   rendezvous_.propagate(listener_name(), w.take());
   // ...and local wire input pipes directly (propagation skips the origin).
-  deliver_local(id, traced);
+  deliver_local(id, msg);
 }
 
 void WireService::on_wire_message(EndpointMessage msg) {

@@ -68,7 +68,10 @@ class WireOutputPipe {
   [[nodiscard]] const PipeAdvertisement& advertisement() const { return adv_; }
 
   // Always accepts (wire is fire-and-forget); returns false after close().
-  bool send(const Message& msg);
+  // Takes the message by value: senders that already own a copy (e.g. the
+  // TPS fan-out's dup()) move it all the way to serialization, so each
+  // transmission costs one message copy, not two.
+  bool send(Message msg);
   void close();
 
  private:
@@ -114,7 +117,7 @@ class WireService {
   friend class WireInputPipe;
   friend class WireOutputPipe;
 
-  void publish_on_wire(const PipeId& id, const Message& msg);
+  void publish_on_wire(const PipeId& id, Message msg);
   void on_wire_message(EndpointMessage msg);
   void drop_input(const WireInputPipe* pipe) EXCLUDES(mu_);
   void deliver_local(const PipeId& id, const Message& msg) EXCLUDES(mu_);

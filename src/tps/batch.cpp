@@ -1,0 +1,44 @@
+#include "tps/batch.h"
+
+#include "util/error.h"
+
+namespace p2p::tps {
+
+util::Bytes encode_batch_frame(std::span<const BatchItem> items) {
+  util::ByteWriter w;
+  w.write_u8(kBatchFrameVersion);
+  w.write_varint(items.size());
+  for (const auto& item : items) {
+    w.write_u64(item.id.hi());
+    w.write_u64(item.id.lo());
+    w.write_bytes(item.payload ? std::span<const std::uint8_t>(*item.payload)
+                               : std::span<const std::uint8_t>());
+  }
+  return w.take();
+}
+
+std::vector<DecodedBatchItem> decode_batch_frame(
+    std::span<const std::uint8_t> frame) {
+  util::ByteReader r(frame);
+  const std::uint8_t version = r.read_u8();
+  if (version != kBatchFrameVersion) {
+    throw util::ParseError("unknown tps:batch frame version " +
+                           std::to_string(version));
+  }
+  const std::uint64_t count = r.read_varint();
+  std::vector<DecodedBatchItem> items;
+  // A malformed count cannot make us pre-allocate unboundedly; truncated
+  // frames fail on the first short read instead.
+  items.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 256)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DecodedBatchItem item;
+    const std::uint64_t hi = r.read_u64();
+    const std::uint64_t lo = r.read_u64();
+    item.id = util::Uuid{hi, lo};
+    item.payload = r.read_bytes();
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace p2p::tps

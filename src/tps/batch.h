@@ -1,0 +1,51 @@
+// Batch frame codec: several publications in one wire message.
+//
+// The fast publish path coalesces queued events into a single "tps:batch"
+// element instead of one wire message per event. Frame layout (version 1,
+// frozen in tests/wire_format_test.cpp TpsBatchFrameLayout):
+//
+//   [u8 version = 1][varint count]
+//   then, per event:
+//   [u64 id.hi LE][u64 id.lo LE][varint payload_len][payload bytes]
+//
+// Each payload is the registry's tagged encoding (type name + body) —
+// exactly the bytes a v1 "tps:event" element carries — so the receive
+// path shares one decoder and dedup-checks each event id individually.
+// Frames carrying a single event keep the v1 element layout
+// ("tps:event"/"tps:event-id"/"tps:type"), so peers that predate batching
+// still parse everything a lightly-loaded publisher emits; receivers
+// accept both framings unconditionally.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/uuid.h"
+
+namespace p2p::tps {
+
+inline constexpr std::string_view kBatchElement = "tps:batch";
+inline constexpr std::uint8_t kBatchFrameVersion = 1;
+
+// One event inside a frame being built. The payload is shared so the
+// encode-once buffer feeds every binding's frame without copies.
+struct BatchItem {
+  util::Uuid id;
+  std::shared_ptr<const util::Bytes> payload;
+};
+
+// One event read back out of a frame (the receive side owns its bytes).
+struct DecodedBatchItem {
+  util::Uuid id;
+  util::Bytes payload;
+};
+
+[[nodiscard]] util::Bytes encode_batch_frame(std::span<const BatchItem> items);
+
+// Throws util::ParseError on truncated input or an unknown frame version.
+[[nodiscard]] std::vector<DecodedBatchItem> decode_batch_frame(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace p2p::tps

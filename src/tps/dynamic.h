@@ -33,7 +33,7 @@ class DynamicTpsInterface {
   // Publishes the event under ITS OWN type name, which must equal the
   // session's type or be a registered subtype of it (hierarchy dispatch).
   void publish(const XmlEvent& event) {
-    session_->publish(std::make_shared<const XmlEvent>(event));
+    session_->publish(std::make_shared<const XmlEvent>(event)).raise();
   }
 
   // Subscribes a callback (with its exception handler, as in the paper's

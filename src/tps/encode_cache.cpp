@@ -1,0 +1,47 @@
+#include "tps/encode_cache.h"
+
+namespace p2p::tps {
+
+std::shared_ptr<const util::Bytes> EncodeCache::encode(
+    const serial::TypeRegistry& registry, const serial::EventPtr& event) {
+  if (capacity_ == 0) {
+    return std::make_shared<const util::Bytes>(
+        registry.encode_tagged(*event));
+  }
+  const serial::Event* key = event.get();
+  {
+    const util::MutexLock lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      hit_counter_.inc();
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.bytes;
+    }
+  }
+  // Encode with mu_ released (the codec is the expensive part). Two
+  // concurrent misses on the same event just encode twice; the loser
+  // finds the winner's entry below and adopts it.
+  auto bytes =
+      std::make_shared<const util::Bytes>(registry.encode_tagged(*event));
+  const util::MutexLock lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.bytes;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{event, bytes, lru_.begin()});
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return bytes;
+}
+
+std::uint64_t EncodeCache::hits() const {
+  const util::MutexLock lock(mu_);
+  return hits_;
+}
+
+}  // namespace p2p::tps

@@ -1,0 +1,55 @@
+// EncodeCache: identity-keyed LRU of tagged event encodings.
+//
+// publish() already encodes an event once per *call* and shares the buffer
+// across every binding and ancestor wire. This cache extends encode-once
+// to repeated publications of the same immutable object: publishing the
+// same shared_ptr<const Event> again (periodic re-offers, retransmission
+// loops, the benches' hot path) reuses the previous codec output instead
+// of re-serializing. Keying by object identity is sound because published
+// events are immutable by API contract (TpsInterface::publish: "The
+// pointee must not change afterwards"), and each entry pins its event
+// alive so a cached address can never be recycled by a different object.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "serial/type_registry.h"
+#include "util/thread_annotations.h"
+
+namespace p2p::tps {
+
+class EncodeCache {
+ public:
+  // capacity 0 disables caching: encode() always runs the codec.
+  EncodeCache(std::size_t capacity, obs::Counter hit_counter)
+      : capacity_(capacity), hit_counter_(hit_counter) {}
+
+  EncodeCache(const EncodeCache&) = delete;
+  EncodeCache& operator=(const EncodeCache&) = delete;
+
+  // Returns the tagged encoding of *event, from cache when possible.
+  [[nodiscard]] std::shared_ptr<const util::Bytes> encode(
+      const serial::TypeRegistry& registry, const serial::EventPtr& event)
+      EXCLUDES(mu_);
+
+  [[nodiscard]] std::uint64_t hits() const EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    serial::EventPtr pin;  // keeps the key address from being recycled
+    std::shared_ptr<const util::Bytes> bytes;
+    std::list<const serial::Event*>::iterator lru;
+  };
+
+  const std::size_t capacity_;
+  obs::Counter hit_counter_;
+  mutable util::Mutex mu_{"tps-encode-cache"};
+  std::list<const serial::Event*> lru_ GUARDED_BY(mu_);  // front = hottest
+  std::unordered_map<const serial::Event*, Entry> entries_ GUARDED_BY(mu_);
+  std::uint64_t hits_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace p2p::tps

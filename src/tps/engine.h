@@ -18,6 +18,13 @@
 // substrate and it is passed as the Peer), and the witness instance of the
 // type (GJ erased type parameters so the paper had to pass one; C++
 // templates plus the EventTraits registry carry the type information).
+//
+// On top of the paper-faithful methods sits the v2 surface:
+//   * try_publish(e)      -> PublishTicket (tps/result.h): the outcome as
+//                            a value instead of an exception,
+//   * subscribe(fn[,err]) -> RAII Subscription handle (tps/subscription.h),
+//   * flush()             -> drain the async pipeline (TpsConfig::batching).
+// The v1 methods remain as thin shims over it.
 #pragma once
 
 #include "tps/callback.h"
@@ -38,16 +45,58 @@ class TpsInterface {
   // a *subtype* instance through a base-typed interface (hierarchy
   // dispatch, Fig. 7), use the shared_ptr overload below, which preserves
   // the dynamic type.
+  // v1 shim over try_publish(): rejections (unregistered type, not a
+  // subtype, not running, null event) throw PsException; backpressure
+  // drops do not.
   void publish(const T& event) {
-    session_->publish(std::make_shared<const T>(event));
+    session_->publish(std::make_shared<const T>(event)).raise();
   }
-  // Publishing an already-shared event avoids the copy. The pointee must
-  // not change afterwards.
+  // Publishing an already-shared event avoids the copy — and, with
+  // TpsConfig::encode_cache_size > 0, re-publishing the *same* pointer
+  // reuses the cached encoding. The pointee must not change afterwards.
   void publish(std::shared_ptr<const T> event) {
-    session_->publish(std::move(event));
+    session_->publish(std::move(event)).raise();
+  }
+
+  // --- v2 publish ----------------------------------------------------------
+  // Like publish(), but never throws: the ticket says whether the event
+  // was transmitted synchronously, enqueued on the async pipeline, shed
+  // by backpressure (kDroppedQueueFull), or rejected.
+  [[nodiscard]] PublishTicket try_publish(const T& event) {
+    return session_->publish(std::make_shared<const T>(event));
+  }
+  [[nodiscard]] PublishTicket try_publish(std::shared_ptr<const T> event) {
+    return session_->publish(std::move(event));
+  }
+
+  // Blocks until every accepted publication has been handed to the wires.
+  // A no-op unless TpsConfig::batching is on.
+  void flush() { session_->flush(); }
+  // Publications accepted but not yet on the wires (async mode).
+  [[nodiscard]] std::size_t send_queue_depth() const {
+    return session_->send_queue_depth();
+  }
+
+  // --- v2 subscribe --------------------------------------------------------
+  // Subscribes a plain function and returns an RAII handle: destroying it
+  // (or cancel()) unsubscribes exactly this registration. on_error
+  // receives exceptions thrown by on_event; when omitted they are
+  // swallowed (still counted in stats().callback_errors).
+  [[nodiscard]] Subscription subscribe(
+      std::function<void(const T&)> on_event,
+      std::function<void(std::exception_ptr)> on_error = nullptr) {
+    if (!on_event) throw PsException("subscribe: a callback is required");
+    auto callback = make_callback<T>(std::move(on_event));
+    auto handler = on_error
+                       ? make_exception_handler<T>(std::move(on_error))
+                       : ignore_exceptions<T>();
+    return session_->subscribe_scoped(
+        make_subscriber(std::move(callback), std::move(handler)));
   }
 
   // --- paper method (2) ----------------------------------------------------
+  // v1 shim: identity-based registration, removed via unsubscribe(cb, exh).
+  // New code should prefer the Subscription-returning overload above.
   void subscribe(std::shared_ptr<TpsCallback<T>> callback,
                  std::shared_ptr<TpsExceptionHandler<T>> handler) {
     if (!callback || !handler) {
@@ -72,7 +121,8 @@ class TpsInterface {
   }
 
   // --- paper method (4) ----------------------------------------------------
-  // Removes exactly the specified pair; other subscriptions are untouched.
+  // v1 shim: removes exactly the specified pair; other subscriptions are
+  // untouched. With the v2 overload, drop the Subscription handle instead.
   void unsubscribe(const std::shared_ptr<TpsCallback<T>>& callback,
                    const std::shared_ptr<TpsExceptionHandler<T>>& handler) {
     session_->unsubscribe(callback.get(), handler.get());

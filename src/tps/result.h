@@ -1,0 +1,78 @@
+// PublishTicket: the result of a publish attempt (v2 API).
+//
+// The v1 API signalled every failure by throwing PsException, so callers
+// had to infer *what* happened from the exception text. try_publish()
+// returns a PublishTicket instead: a small value saying whether the event
+// was transmitted synchronously, enqueued on the async pipeline
+// (TpsConfig::batching), dropped by backpressure, or rejected outright.
+// The v1 publish() keeps its throwing contract by calling raise(), which
+// maps the rejected outcomes back onto tps/exceptions.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tps/exceptions.h"
+
+namespace p2p::tps {
+
+enum class PublishOutcome : std::uint8_t {
+  // Accepted.
+  kSent = 0,  // synchronous path: handed to the bound wires
+  kEnqueued,  // async path: accepted by the send queue
+  kNoBinding, // accepted, but no wire was bound — nothing transmitted
+  // Dropped: valid call, event shed under load (not an error; raise()
+  // does not throw for this).
+  kDroppedQueueFull,  // backpressure: the bounded send queue was full
+  // Rejected: caller error; publish()/raise() throw PsException.
+  kRejectedNullEvent,
+  kRejectedNotRunning,
+  kRejectedUnregisteredType,
+  kRejectedNotSubtype,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PublishOutcome outcome) {
+  switch (outcome) {
+    case PublishOutcome::kSent: return "sent";
+    case PublishOutcome::kEnqueued: return "enqueued";
+    case PublishOutcome::kNoBinding: return "no-binding";
+    case PublishOutcome::kDroppedQueueFull: return "dropped-queue-full";
+    case PublishOutcome::kRejectedNullEvent: return "rejected-null-event";
+    case PublishOutcome::kRejectedNotRunning: return "rejected-not-running";
+    case PublishOutcome::kRejectedUnregisteredType:
+      return "rejected-unregistered-type";
+    case PublishOutcome::kRejectedNotSubtype: return "rejected-not-subtype";
+  }
+  return "unknown";
+}
+
+struct PublishTicket {
+  PublishOutcome outcome = PublishOutcome::kSent;
+  // Synchronous path: pipe-level transmissions performed (one per bound
+  // advertisement across the published type's ancestry). 0 when async.
+  std::uint64_t wire_sends = 0;
+  // Async path: send-queue depth right after the enqueue. 0 when sync.
+  std::size_t queue_depth = 0;
+  // Human-readable detail for non-ok() outcomes.
+  std::string error;
+
+  // The event left, or will leave, this peer.
+  [[nodiscard]] bool ok() const {
+    return outcome == PublishOutcome::kSent ||
+           outcome == PublishOutcome::kEnqueued ||
+           outcome == PublishOutcome::kNoBinding;
+  }
+  [[nodiscard]] bool dropped() const {
+    return outcome == PublishOutcome::kDroppedQueueFull;
+  }
+  [[nodiscard]] bool rejected() const { return !ok() && !dropped(); }
+
+  // v1 contract: rejections throw; accepted and dropped outcomes do not
+  // (shedding under backpressure is load management, not a caller error).
+  void raise() const {
+    if (rejected()) throw PsException(error);
+  }
+};
+
+}  // namespace p2p::tps

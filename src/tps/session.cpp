@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <typeindex>
 
+#include "tps/batch.h"
 #include "util/logging.h"
 
 namespace p2p::tps {
@@ -29,7 +30,95 @@ std::optional<util::Uuid> uuid_from_bytes(const util::Bytes& bytes) {
   return util::Uuid{hi, lo};
 }
 
+PublishTicket make_rejection(PublishOutcome outcome, std::string why) {
+  PublishTicket ticket;
+  ticket.outcome = outcome;
+  ticket.error = std::move(why);
+  return ticket;
+}
+
 }  // namespace
+
+// --- TpsConfig::Builder -------------------------------------------------------
+
+TpsConfig::Builder& TpsConfig::Builder::adv_search_timeout(
+    util::Duration timeout) {
+  config_.adv_search_timeout = timeout;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::finder_period(util::Duration period) {
+  config_.finder_period = period;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::dedup_cache(std::size_t events) {
+  config_.dedup_cache_size = events;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::adv_lifetime_ms(std::int64_t ms) {
+  config_.adv_lifetime_ms = ms;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::no_ancestor_advs() {
+  config_.create_ancestor_advs = false;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::no_history() {
+  config_.record_history = false;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::batching(
+    std::size_t max_events, std::chrono::microseconds max_age) {
+  config_.batching = true;
+  config_.batch_max_events = max_events;
+  config_.batch_max_age = max_age;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::no_batching() {
+  config_.batching = false;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::send_queue_capacity(
+    std::size_t events) {
+  config_.send_queue_capacity = events;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::encode_cache(std::size_t entries) {
+  config_.encode_cache_size = entries;
+  return *this;
+}
+
+TpsConfig TpsConfig::Builder::build() const {
+  if (config_.adv_search_timeout < util::Duration::zero()) {
+    throw PsException("TpsConfig: adv_search_timeout must be >= 0");
+  }
+  if (config_.finder_period <= util::Duration::zero()) {
+    throw PsException("TpsConfig: finder_period must be > 0");
+  }
+  if (config_.adv_lifetime_ms <= 0) {
+    throw PsException("TpsConfig: adv_lifetime_ms must be > 0");
+  }
+  if (config_.batch_max_events == 0 || config_.batch_max_events > 65536) {
+    throw PsException("TpsConfig: batch_max_events must be in [1, 65536]");
+  }
+  if (config_.batch_max_age < std::chrono::microseconds::zero()) {
+    throw PsException("TpsConfig: batch_max_age must be >= 0");
+  }
+  if (config_.send_queue_capacity == 0) {
+    throw PsException("TpsConfig: send_queue_capacity must be >= 1");
+  }
+  return config_;
+}
+
+// --- TpsSession ---------------------------------------------------------------
 
 TpsSession::TpsSession(jxta::Peer& peer, std::string type_name,
                        Criteria criteria, TpsConfig config,
@@ -50,10 +139,16 @@ TpsSession::TpsSession(jxta::Peer& peer, std::string type_name,
       m_subscribes_(peer.metrics().counter("tps.subscribes")),
       m_advs_created_(peer.metrics().counter("tps.advs_created")),
       m_advs_adopted_(peer.metrics().counter("tps.advs_adopted")),
+      m_batches_sent_(peer.metrics().counter("tps.batches_sent")),
+      m_encode_cache_hits_(peer.metrics().counter("tps.encode_cache_hits")),
+      m_publish_drops_(peer.metrics().counter("tps.publish_drops")),
+      m_send_queue_depth_(peer.metrics().gauge("tps.send_queue_depth")),
+      m_send_queue_hwm_(peer.metrics().gauge("tps.send_queue_hwm")),
       publish_latency_us_(
           peer.metrics().histogram("tps.publish_latency_us")),
       callback_latency_us_(
-          peer.metrics().histogram("tps.callback_latency_us")) {}
+          peer.metrics().histogram("tps.callback_latency_us")),
+      encode_cache_(config.encode_cache_size, m_encode_cache_hits_) {}
 
 TpsSession::~TpsSession() { shutdown(); }
 
@@ -64,15 +159,39 @@ void TpsSession::init() {
     if (initialized_) return;
   }
   channel(type_name_, /*open_inputs=*/true, /*wait_for_adv=*/true);
-  const util::MutexLock lock(mu_);
-  initialized_ = true;
+  {
+    const util::MutexLock lock(mu_);
+    initialized_ = true;
+  }
+  if (config_.batching) {
+    const util::MutexLock lock(send_mu_);
+    if (!sender_started_) {
+      sender_started_ = true;
+      sender_ = std::thread([this] { sender_loop(); });
+    }
+  }
 }
 
 void TpsSession::shutdown() {
+  {
+    const util::MutexLock lock(mu_);
+    if (shut_down_ || closing_) return;
+    closing_ = true;  // publish() now rejects; the pipeline still drains
+  }
+  // Drain accepted publications, then retire the sender. Bounded: the
+  // sender's waits inside channel() are capped by adv_search_timeout.
+  if (sender_.joinable()) {
+    flush();
+    {
+      const util::MutexLock lock(send_mu_);
+      sender_stop_ = true;
+      send_cv_.notify_all();
+    }
+    sender_.join();
+  }
   std::map<std::string, Channel> channels;
   {
     const util::MutexLock lock(mu_);
-    if (shut_down_) return;
     shut_down_ = true;
     channels.swap(channels_);
     subscribers_.clear();
@@ -131,6 +250,24 @@ TpsSession::Channel& TpsSession::channel(const std::string& type,
       m_advs_created_.inc();
       adopt_advertisement(type, own, /*own=*/true);
       lock.lock();
+      // The finder can discover the advertisement the moment it is
+      // published and beat us into adopt_advertisement — then the call
+      // above returned without binding (concurrent-adopt guard) while the
+      // finder's bind is still in flight. Callers rely on init() returning
+      // with the type actually bound, so wait for whichever adopt wins;
+      // if it failed (and cleared adopting_), re-issue ours once.
+      const util::TimePoint bind_deadline =
+          std::chrono::steady_clock::now() + config_.adv_search_timeout;
+      while (ch.bindings.empty() && !shut_down_) {
+        if (cv_.wait_until(mu_, bind_deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (ch.bindings.empty() && !shut_down_) {
+        lock.unlock();
+        adopt_advertisement(type, own, /*own=*/true);
+        lock.lock();
+      }
     }
   }
   return ch;
@@ -163,11 +300,15 @@ void TpsSession::adopt_advertisement(const std::string& type,
     binding->pipe = wsf.pipe_advertisement();
     if (open_inputs) {
       binding->input = wsf.create_input_pipe();
-      std::weak_ptr<TpsSession> weak = weak_from_this();
-      binding->input->set_listener([weak](jxta::Message msg) {
-        if (const auto self = weak.lock()) {
-          self->on_event_message(std::move(msg));
-        }
+      // Capture `this` raw, NOT a weak_ptr: during a destructor-driven
+      // shutdown the use count is already zero, so weak.lock() would fail
+      // and the drain-on-close deliveries (self-published events still in
+      // the send queue) would be dropped. Safety comes from ordering, as
+      // with the finder callback above: shutdown() close()s every input
+      // pipe — which waits out in-flight listeners — before ~TpsSession
+      // completes.
+      binding->input->set_listener([this](jxta::Message msg) {
+        on_event_message(std::move(msg));
       });
     }
     binding->output = wsf.create_output_pipe();
@@ -191,12 +332,16 @@ void TpsSession::adopt_advertisement(const std::string& type,
   cv_.notify_all();
 }
 
-void TpsSession::publish(serial::EventPtr event) {
-  if (!event) throw PsException("cannot publish a null event");
+PublishTicket TpsSession::publish(serial::EventPtr event) {
+  if (!event) {
+    return make_rejection(PublishOutcome::kRejectedNullEvent,
+                          "cannot publish a null event");
+  }
   {
     const util::MutexLock lock(mu_);
-    if (!initialized_ || shut_down_) {
-      throw PsException("session is not running");
+    if (!initialized_ || shut_down_ || closing_) {
+      return make_rejection(PublishOutcome::kRejectedNotRunning,
+                            "session is not running");
     }
   }
   // Statically-typed events are identified by RTTI; dynamically-typed
@@ -206,30 +351,117 @@ void TpsSession::publish(serial::EventPtr event) {
                         ? registry_.find(std::type_index(typeid(*event)))
                         : registry_.find(dynamic_name);
   if (!info) {
-    throw PsException(
+    return make_rejection(
+        PublishOutcome::kRejectedUnregisteredType,
         std::string("published object's dynamic type is not registered: ") +
-        (dynamic_name.empty() ? typeid(*event).name()
-                              : std::string(dynamic_name)));
+            (dynamic_name.empty() ? typeid(*event).name()
+                                  : std::string(dynamic_name)));
   }
   const std::vector<std::string> chain = registry_.ancestry(info->name);
   if (std::find(chain.begin(), chain.end(), type_name_) == chain.end()) {
-    throw PsException("published type '" + info->name +
-                      "' is not a subtype of '" + type_name_ + "'");
+    return make_rejection(PublishOutcome::kRejectedNotSubtype,
+                          "published type '" + info->name +
+                              "' is not a subtype of '" + type_name_ + "'");
   }
 
-  // Encode once; every transmission is a dup() with a fresh message id but
-  // the same event id (SR dedup key).
+  // Encode once; the buffer is shared by every transmission of this event
+  // and, via the cache, by repeat publications of the same object.
   const std::int64_t t0 = obs::now_us();
-  const util::Bytes payload = registry_.encode_tagged(*event);
+  const std::shared_ptr<const util::Bytes> payload =
+      encode_cache_.encode(registry_, event);
   const util::Uuid event_id = util::Uuid::generate();
+
+  if (!config_.batching) {
+    return publish_sync(std::move(event), info->name, chain, *payload,
+                        event_id, t0);
+  }
+
+  // Async path: hand off to the sender thread through the bounded queue.
+  bool dropped = false;
+  std::size_t depth = 0;
+  {
+    const util::MutexLock lock(send_mu_);
+    if (sender_stop_) {
+      // Lost the race against shutdown(): the queue is already retired.
+      return make_rejection(PublishOutcome::kRejectedNotRunning,
+                            "session is not running");
+    }
+    if (send_queue_.size() >= config_.send_queue_capacity) {
+      dropped = true;
+    } else {
+      send_queue_.push_back(
+          PendingPublication{event_id, info->name, payload, t0});
+      depth = send_queue_.size();
+      if (depth > queue_hwm_) {
+        queue_hwm_ = depth;
+        m_send_queue_hwm_.set(static_cast<std::int64_t>(depth));
+      }
+      m_send_queue_depth_.set(static_cast<std::int64_t>(depth));
+      send_cv_.notify_one();
+    }
+  }
+  {
+    const util::MutexLock lock(mu_);
+    if (dropped) {
+      ++stats_.publish_drops;
+    } else {
+      ++stats_.published;
+      stats_.send_queue_hwm =
+          std::max<std::uint64_t>(stats_.send_queue_hwm, depth);
+      if (config_.record_history) sent_.push_back(std::move(event));
+    }
+  }
+  if (dropped) {
+    m_publish_drops_.inc();
+    PublishTicket ticket;
+    ticket.outcome = PublishOutcome::kDroppedQueueFull;
+    ticket.error = "send queue full (" +
+                   std::to_string(config_.send_queue_capacity) + " pending)";
+    return ticket;
+  }
+  m_published_.inc();
+  PublishTicket ticket;
+  ticket.outcome = PublishOutcome::kEnqueued;
+  ticket.queue_depth = depth;
+  return ticket;
+}
+
+PublishTicket TpsSession::publish_sync(serial::EventPtr event,
+                                       const std::string& publish_type,
+                                       const std::vector<std::string>& chain,
+                                       const util::Bytes& payload,
+                                       const util::Uuid& event_id,
+                                       std::int64_t t0) {
   jxta::Message base;
   base.add_bytes(std::string(kEventElement), payload);
   base.add_bytes(std::string(kEventIdElement), uuid_to_bytes(event_id));
-  base.add_string(std::string(kTypeElement), info->name);
+  base.add_string(std::string(kTypeElement), publish_type);
   // First trace hop: the publication leaves the TPS engine. dup() keeps
   // elements, so every wire transmission carries the same trace id.
   obs::start_trace(base, peer_.id().to_string(), "publish", t0);
 
+  const std::uint64_t sends = fan_out(chain, base);
+
+  m_published_.inc();
+  m_wire_sends_.inc(sends);
+  publish_latency_us_.record(static_cast<double>(obs::now_us() - t0));
+  {
+    const util::MutexLock lock(mu_);
+    ++stats_.published;
+    stats_.wire_sends += sends;
+    if (config_.record_history) sent_.push_back(std::move(event));
+  }
+  PublishTicket ticket;
+  ticket.outcome =
+      sends > 0 ? PublishOutcome::kSent : PublishOutcome::kNoBinding;
+  ticket.wire_sends = sends;
+  if (sends == 0) ticket.error = "no advertisement bound for '" +
+                                 publish_type + "'; nothing transmitted";
+  return ticket;
+}
+
+std::uint64_t TpsSession::fan_out(const std::vector<std::string>& chain,
+                                  const jxta::Message& base) {
   // Type-hierarchy dispatch (paper Fig. 7): one transmission per
   // advertisement of the dynamic type and of each ancestor type.
   std::uint64_t sends = 0;
@@ -247,18 +479,120 @@ void TpsSession::publish(serial::EventPtr event) {
       if (b->output && b->output->send(base.dup())) ++sends;
     }
   }
+  return sends;
+}
 
-  m_published_.inc();
+void TpsSession::sender_loop() {
+  for (;;) {
+    std::vector<PendingPublication> batch;
+    {
+      util::MutexLock lock(send_mu_);
+      while (send_queue_.empty() && !sender_stop_) send_cv_.wait(send_mu_);
+      if (send_queue_.empty()) return;  // stopped and fully drained
+      // Linger: give stragglers up to batch_max_age to coalesce with the
+      // publication that woke us — unless the batch is already full or a
+      // flush/stop wants the queue empty now.
+      if (send_queue_.size() < config_.batch_max_events &&
+          config_.batch_max_age > std::chrono::microseconds::zero()) {
+        const util::TimePoint deadline =
+            std::chrono::steady_clock::now() + config_.batch_max_age;
+        while (send_queue_.size() < config_.batch_max_events &&
+               !sender_stop_ && !flush_pending_) {
+          if (send_cv_.wait_until(send_mu_, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      const std::size_t n =
+          std::min(send_queue_.size(), config_.batch_max_events);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(send_queue_.front()));
+        send_queue_.pop_front();
+      }
+      if (send_queue_.empty()) flush_pending_ = false;
+      m_send_queue_depth_.set(static_cast<std::int64_t>(send_queue_.size()));
+      sender_busy_ = true;
+    }
+    send_pending(std::move(batch));
+    {
+      const util::MutexLock lock(send_mu_);
+      sender_busy_ = false;
+      if (send_queue_.empty()) drain_cv_.notify_all();
+    }
+  }
+}
+
+void TpsSession::send_pending(std::vector<PendingPublication> items) {
+  // One frame per run of equal published types (usually the whole batch).
+  std::size_t i = 0;
+  while (i < items.size()) {
+    std::size_t j = i + 1;
+    while (j < items.size() && items[j].type_name == items[i].type_name) ++j;
+    send_group(std::span<PendingPublication>(items).subspan(i, j - i));
+    i = j;
+  }
+}
+
+void TpsSession::send_group(std::span<PendingPublication> group) {
+  const std::string& publish_type = group.front().type_name;
+  std::vector<std::string> chain;
+  try {
+    chain = registry_.ancestry(publish_type);
+  } catch (const std::exception&) {
+    chain = {publish_type};  // validated at publish; registry only grows
+  }
+
+  jxta::Message base;
+  if (group.size() == 1) {
+    // Lone publications keep the v1 single-event framing so peers that
+    // predate batching parse them (wire-format compatibility).
+    base.add_bytes(std::string(kEventElement), *group.front().payload);
+    base.add_bytes(std::string(kEventIdElement),
+                   uuid_to_bytes(group.front().id));
+  } else {
+    std::vector<BatchItem> frame;
+    frame.reserve(group.size());
+    for (const auto& p : group) frame.push_back(BatchItem{p.id, p.payload});
+    base.add_bytes(std::string(kBatchElement), encode_batch_frame(frame));
+  }
+  base.add_string(std::string(kTypeElement), publish_type);
+  obs::start_trace(base, peer_.id().to_string(), "publish",
+                   group.front().t0_us);
+
+  const std::uint64_t frames = fan_out(chain, base);
+  // wire_sends keeps its v1 meaning: per-event, per-binding transmissions.
+  const std::uint64_t sends = frames * group.size();
   m_wire_sends_.inc(sends);
-  publish_latency_us_.record(static_cast<double>(obs::now_us() - t0));
+  if (group.size() > 1) m_batches_sent_.inc();
+  const std::int64_t now = obs::now_us();
+  for (const auto& p : group) {
+    publish_latency_us_.record(static_cast<double>(now - p.t0_us));
+  }
   const util::MutexLock lock(mu_);
-  ++stats_.published;
   stats_.wire_sends += sends;
-  if (config_.record_history) sent_.push_back(std::move(event));
+  if (group.size() > 1) {
+    ++stats_.batches_sent;
+    stats_.batched_events += group.size();
+  }
+}
+
+void TpsSession::flush() {
+  const util::MutexLock lock(send_mu_);
+  if (!sender_started_) return;
+  flush_pending_ = true;
+  send_cv_.notify_all();  // cut any linger short
+  while (!send_queue_.empty() || sender_busy_) drain_cv_.wait(send_mu_);
+  flush_pending_ = false;
+}
+
+std::size_t TpsSession::send_queue_depth() const {
+  const util::MutexLock lock(send_mu_);
+  return send_queue_.size();
 }
 
 bool TpsSession::seen_before(const util::Uuid& event_id) {
-  // Caller holds mu_.
   if (config_.dedup_cache_size == 0) return false;  // suppression disabled
   if (seen_.contains(event_id)) return true;
   seen_.insert(event_id);
@@ -270,52 +604,79 @@ bool TpsSession::seen_before(const util::Uuid& event_id) {
   return false;
 }
 
+void TpsSession::count_decode_failure() {
+  m_decode_failures_.inc();
+  const util::MutexLock lock(mu_);
+  ++stats_.decode_failures;
+}
+
 void TpsSession::on_event_message(jxta::Message msg) {
-  const auto id_bytes = msg.get_bytes(std::string(kEventIdElement));
-  const auto event_bytes = msg.get_bytes(std::string(kEventElement));
-  std::optional<util::Uuid> event_id;
-  if (id_bytes) event_id = uuid_from_bytes(*id_bytes);
-  if (!event_id || !event_bytes) {
-    m_decode_failures_.inc();
-    const util::MutexLock lock(mu_);
-    ++stats_.decode_failures;
-    return;
+  // v2 batch frame? Unpack and dedup-check each event individually.
+  // Otherwise fall through to the v1 single-event elements — receivers
+  // accept both framings unconditionally.
+  if (const auto frame = msg.get_bytes(std::string(kBatchElement))) {
+    std::vector<DecodedBatchItem> items;
+    try {
+      items = decode_batch_frame(*frame);
+    } catch (const std::exception& e) {
+      P2P_LOG(kWarn, "tps") << peer_.name()
+                            << ": cannot decode batch frame: " << e.what();
+      count_decode_failure();
+      return;
+    }
+    bool any_unique = false;
+    for (const auto& item : items) {
+      any_unique = deliver_event(item.id, item.payload) || any_unique;
+    }
+    if (!any_unique) return;
+  } else {
+    const auto id_bytes = msg.get_bytes(std::string(kEventIdElement));
+    const auto event_bytes = msg.get_bytes(std::string(kEventElement));
+    std::optional<util::Uuid> event_id;
+    if (id_bytes) event_id = uuid_from_bytes(*id_bytes);
+    if (!event_id || !event_bytes) {
+      count_decode_failure();
+      return;
+    }
+    if (!deliver_event(*event_id, *event_bytes)) return;
   }
+  // The last hop: this message carried at least one unique delivery to the
+  // subscribing session. File the completed path into the peer's tracer.
+  obs::append_hop(msg, peer_.id().to_string(), "deliver", obs::now_us());
+  if (auto trace = obs::extract_trace(msg)) {
+    peer_.tracer().record(std::move(*trace));
+  }
+}
+
+bool TpsSession::deliver_event(const util::Uuid& event_id,
+                               const util::Bytes& payload) {
   {
     const util::MutexLock lock(mu_);
-    if (shut_down_) return;
-    if (seen_before(*event_id)) {
+    if (shut_down_) return false;
+    if (seen_before(event_id)) {
       ++stats_.duplicates_suppressed;  // SR functionality (3)
       m_duplicates_suppressed_.inc();
-      return;
+      return false;
     }
   }
   serial::TypeRegistry::Decoded decoded;
   try {
-    decoded = registry_.decode_tagged(*event_bytes);
+    decoded = registry_.decode_tagged(payload);
   } catch (const std::exception& e) {
     P2P_LOG(kWarn, "tps") << peer_.name()
                           << ": cannot decode event: " << e.what();
-    m_decode_failures_.inc();
-    const util::MutexLock lock(mu_);
-    ++stats_.decode_failures;
-    return;
+    count_decode_failure();
+    return false;
   }
   std::vector<Subscriber> subscribers;
   {
     const util::MutexLock lock(mu_);
-    if (shut_down_) return;
+    if (shut_down_) return false;
     ++stats_.received_unique;
     if (config_.record_history) received_.push_back(decoded.event);
     subscribers = subscribers_;
   }
   m_received_unique_.inc();
-  // The last hop: this unique delivery reached the subscribing session.
-  // File the completed path into the peer's tracer.
-  obs::append_hop(msg, peer_.id().to_string(), "deliver", obs::now_us());
-  if (auto trace = obs::extract_trace(msg)) {
-    peer_.tracer().record(std::move(*trace));
-  }
   const std::int64_t dispatch_t0 = obs::now_us();
   for (const auto& sub : subscribers) {
     if (!sub.dispatch(decoded.event)) {
@@ -328,15 +689,39 @@ void TpsSession::on_event_message(jxta::Message msg) {
     callback_latency_us_.record(
         static_cast<double>(obs::now_us() - dispatch_t0));
   }
+  return true;
 }
 
-void TpsSession::subscribe(Subscriber subscriber) {
+std::uint64_t TpsSession::subscribe(Subscriber subscriber) {
   const util::MutexLock lock(mu_);
   if (!initialized_ || shut_down_) {
     throw PsException("session is not running");
   }
   m_subscribes_.inc();
+  subscriber.id = next_subscriber_id_++;
+  const std::uint64_t id = subscriber.id;
   subscribers_.push_back(std::move(subscriber));
+  return id;
+}
+
+Subscription TpsSession::subscribe_scoped(Subscriber subscriber) {
+  const std::uint64_t id = subscribe(std::move(subscriber));
+  return Subscription(weak_from_this(), id);
+}
+
+bool TpsSession::unsubscribe_by_id(std::uint64_t id) {
+  const util::MutexLock lock(mu_);
+  const auto before = subscribers_.size();
+  std::erase_if(subscribers_,
+                [&](const Subscriber& s) { return s.id == id; });
+  return subscribers_.size() != before;
+}
+
+void Subscription::cancel() noexcept {
+  if (id_ == 0) return;
+  if (const auto session = session_.lock()) session->unsubscribe_by_id(id_);
+  session_.reset();
+  id_ = 0;
 }
 
 void TpsSession::unsubscribe(const void* callback_tag,
@@ -373,8 +758,13 @@ std::vector<serial::EventPtr> TpsSession::objects_sent() const {
 }
 
 TpsStats TpsSession::stats() const {
-  const util::MutexLock lock(mu_);
-  return stats_;
+  TpsStats out;
+  {
+    const util::MutexLock lock(mu_);
+    out = stats_;
+  }
+  out.encode_cache_hits = encode_cache_.hits();
+  return out;
 }
 
 std::size_t TpsSession::binding_count(std::string_view type) const {

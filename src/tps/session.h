@@ -20,15 +20,27 @@
 // type D sends it on the wire of D *and of every registered ancestor of D*;
 // a subscriber session for type T listens only on T's wire, so it receives
 // all events whose type is T or a subtype — each exactly once.
+//
+// Fast publish pipeline (TpsConfig::batching, off by default): publish()
+// validates, encodes once (tps/encode_cache.h) and enqueues; a per-session
+// sender thread drains the bounded queue, coalescing publications into
+// batch frames (tps/batch.h) — one wire message for many events. See
+// DESIGN.md "The publish pipeline".
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <map>
+#include <span>
+#include <thread>
 #include <unordered_set>
 
 #include "serial/type_registry.h"
 #include "tps/advertisements.h"
+#include "tps/encode_cache.h"
 #include "tps/exceptions.h"
+#include "tps/result.h"
+#include "tps/subscription.h"
 #include "util/thread_annotations.h"
 
 namespace p2p::tps {
@@ -52,16 +64,90 @@ struct TpsConfig {
   // Keep the objectsSent/objectsReceived history (paper methods (6)/(7)).
   // High-volume benches disable it to avoid unbounded growth.
   bool record_history = true;
+
+  // --- fast publish pipeline (off by default: the synchronous per-event
+  // path reproduces the paper's measured behavior; flip these on for the
+  // throughput headroom beyond it) ---------------------------------------
+  // Async + batched sends: publish() validates, encodes and enqueues; the
+  // session's sender thread coalesces up to batch_max_events queued
+  // publications per wire frame, lingering up to batch_max_age after the
+  // first for stragglers. Off: publish() transmits synchronously.
+  bool batching = false;
+  std::size_t batch_max_events = 16;
+  std::chrono::microseconds batch_max_age{200};
+  // Bound on the async send queue. publish() past it reports
+  // PublishOutcome::kDroppedQueueFull — backpressure, not an exception.
+  std::size_t send_queue_capacity = 1024;
+  // Identity-keyed LRU of encoded payloads (tps/encode_cache.h), in
+  // entries. 0 disables the cache.
+  std::size_t encode_cache_size = 0;
+
+  class Builder;
+};
+
+// Fluent, validated construction for TpsConfig (v2 API):
+//
+//   auto config = TpsConfig::Builder()
+//                     .adv_search_timeout(std::chrono::milliseconds(400))
+//                     .batching(32, std::chrono::microseconds(500))
+//                     .no_history()
+//                     .build();
+//
+// build() checks every bound and throws PsException naming the offending
+// knob, so a bad configuration fails at construction, not mid-traffic.
+class TpsConfig::Builder {
+ public:
+  Builder() = default;
+
+  // Paper §4.1: the "specific amount of time" an initializing session
+  // searches for an existing type advertisement before creating its own
+  // (SR functionality (1)). Must be >= 0; 0 means create immediately.
+  Builder& adv_search_timeout(util::Duration timeout);
+  // Paper §4.1: the period of the background re-query that "keeps trying
+  // to find others". Must be > 0.
+  Builder& finder_period(util::Duration period);
+  // SR functionality (3), paper §4.4: bound on the per-event-UUID memory
+  // used to suppress duplicate deliveries. 0 turns suppression off.
+  Builder& dedup_cache(std::size_t events);
+  Builder& no_dedup() { return dedup_cache(0); }
+  // Lifetime stamped on advertisements we create (paper §3.1). Must be > 0.
+  Builder& adv_lifetime_ms(std::int64_t ms);
+  // Paper Fig. 7 hierarchy dispatch: skip creating advertisements for
+  // ancestor types nobody advertises yet (publish reaches only types that
+  // already have subscribers somewhere).
+  Builder& no_ancestor_advs();
+  // Paper methods (6)/(7): drop the objectsSent/objectsReceived history.
+  Builder& no_history();
+  // Fast publish pipeline: async sends coalescing up to max_events per
+  // wire frame, lingering up to max_age for stragglers. max_events must be
+  // in [1, 65536]; max_age >= 0.
+  Builder& batching(std::size_t max_events, std::chrono::microseconds max_age);
+  Builder& no_batching();
+  // Backpressure bound on the async send queue. Must be >= 1.
+  Builder& send_queue_capacity(std::size_t events);
+  // Encode-once LRU size, in entries. 0 disables.
+  Builder& encode_cache(std::size_t entries);
+
+  [[nodiscard]] TpsConfig build() const;
+
+ private:
+  TpsConfig config_;
 };
 
 // Session-level observability counters.
 struct TpsStats {
-  std::uint64_t published = 0;             // publish() calls
-  std::uint64_t wire_sends = 0;            // pipe-level transmissions
+  std::uint64_t published = 0;             // accepted publish() calls
+  std::uint64_t wire_sends = 0;            // per-event pipe transmissions
   std::uint64_t received_unique = 0;       // events delivered to subscribers
   std::uint64_t duplicates_suppressed = 0; // SR functionality (3) at work
   std::uint64_t decode_failures = 0;
   std::uint64_t callback_errors = 0;       // exceptions routed to handlers
+  // Fast publish pipeline.
+  std::uint64_t batches_sent = 0;          // multi-event frames built
+  std::uint64_t batched_events = 0;        // events those frames carried
+  std::uint64_t encode_cache_hits = 0;
+  std::uint64_t publish_drops = 0;         // backpressure (queue full)
+  std::uint64_t send_queue_hwm = 0;        // high-water send-queue depth
 };
 
 class TpsSession : public std::enable_shared_from_this<TpsSession> {
@@ -70,6 +156,7 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   struct Subscriber {
     const void* callback_tag = nullptr;  // identity of the callback object
     const void* handler_tag = nullptr;   // identity of the exception handler
+    std::uint64_t id = 0;                // assigned by subscribe()
     // Casts to the concrete type and invokes the callback; routes any
     // exception to the paired handler and returns false in that case.
     // Never throws.
@@ -85,17 +172,34 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   TpsSession& operator=(const TpsSession&) = delete;
 
   // Blocking initialization (the paper's initialization phase): find an
-  // existing advertisement for the subscribed type or create one. Must not
-  // be called on the peer executor.
-  void init() EXCLUDES(mu_);
-  void shutdown() EXCLUDES(mu_);
+  // existing advertisement for the subscribed type or create one. Starts
+  // the sender thread when config.batching is on. Must not be called on
+  // the peer executor.
+  void init() EXCLUDES(mu_, send_mu_);
+  void shutdown() EXCLUDES(mu_, send_mu_);
 
-  // Publishes an event by its *dynamic* type; throws PsException if that
-  // type is unregistered, is not a subtype of the session's type, or the
-  // session is not initialized.
-  void publish(serial::EventPtr event) EXCLUDES(mu_);
+  // Publishes an event by its *dynamic* type. Never throws: every outcome
+  // — sent, enqueued, shed by backpressure, or rejected (unregistered
+  // type, not a subtype, session not running, null event) — is reported
+  // on the ticket. TpsInterface<T>::publish() restores the v1 throwing
+  // behavior via PublishTicket::raise().
+  [[nodiscard]] PublishTicket publish(serial::EventPtr event)
+      EXCLUDES(mu_, send_mu_);
 
-  void subscribe(Subscriber subscriber) EXCLUDES(mu_);
+  // Blocks until every accepted publication has been handed to the wires
+  // (async mode; a no-op when batching is off). Cuts short any batch
+  // linger in progress.
+  void flush() EXCLUDES(mu_, send_mu_);
+  [[nodiscard]] std::size_t send_queue_depth() const EXCLUDES(send_mu_);
+
+  // Registers the subscriber and returns its registration id.
+  std::uint64_t subscribe(Subscriber subscriber) EXCLUDES(mu_);
+  // Like subscribe(), wrapped in an RAII handle (v2 API).
+  [[nodiscard]] Subscription subscribe_scoped(Subscriber subscriber)
+      EXCLUDES(mu_);
+  // Non-throwing removal by registration id; false if absent (already
+  // removed, or the session shut down).
+  bool unsubscribe_by_id(std::uint64_t id) EXCLUDES(mu_);
   // Removes the pair; throws PsException if it was never subscribed.
   void unsubscribe(const void* callback_tag, const void* handler_tag)
       EXCLUDES(mu_);
@@ -131,6 +235,14 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
     std::vector<std::shared_ptr<Binding>> bindings;  // keyed by adv gid
   };
 
+  // One accepted publication waiting in the async send queue.
+  struct PendingPublication {
+    util::Uuid id;
+    std::string type_name;
+    std::shared_ptr<const util::Bytes> payload;  // encode-once buffer
+    std::int64_t t0_us = 0;
+  };
+
   // Returns the channel for `type`, creating its finder if needed. If
   // `wait_for_adv`, blocks up to adv_search_timeout for a binding and falls
   // back to creating our own advertisement (SR functionality (1)).
@@ -141,8 +253,30 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   void adopt_advertisement(const std::string& type,
                            const jxta::PeerGroupAdvertisement& adv,
                            bool own = false) EXCLUDES(mu_);
+  // Synchronous transmission (batching off) of one already-encoded event.
+  PublishTicket publish_sync(serial::EventPtr event,
+                             const std::string& publish_type,
+                             const std::vector<std::string>& chain,
+                             const util::Bytes& payload,
+                             const util::Uuid& event_id, std::int64_t t0)
+      EXCLUDES(mu_, send_mu_);
+  // Sends `base` once per binding of every type in `chain` (dup() per
+  // transmission). Returns the number of pipe-level transmissions.
+  std::uint64_t fan_out(const std::vector<std::string>& chain,
+                        const jxta::Message& base) EXCLUDES(mu_);
+  // Sender thread: drains the queue into frames.
+  void sender_loop() EXCLUDES(mu_, send_mu_);
+  void send_pending(std::vector<PendingPublication> items)
+      EXCLUDES(mu_, send_mu_);
+  void send_group(std::span<PendingPublication> group)
+      EXCLUDES(mu_, send_mu_);
   void on_event_message(jxta::Message msg) EXCLUDES(mu_);
-  bool seen_before(const util::Uuid& event_id) EXCLUDES(mu_);
+  // Dedup + decode + dispatch of one received event. True iff the event
+  // was unique and handed to subscribers.
+  bool deliver_event(const util::Uuid& event_id, const util::Bytes& payload)
+      EXCLUDES(mu_);
+  void count_decode_failure() EXCLUDES(mu_);
+  bool seen_before(const util::Uuid& event_id) REQUIRES(mu_);
 
   jxta::Peer& peer_;
   const std::string type_name_;
@@ -161,23 +295,46 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   obs::Counter m_subscribes_;
   obs::Counter m_advs_created_;
   obs::Counter m_advs_adopted_;
+  obs::Counter m_batches_sent_;
+  obs::Counter m_encode_cache_hits_;
+  obs::Counter m_publish_drops_;
+  obs::Gauge m_send_queue_depth_;
+  obs::Gauge m_send_queue_hwm_;
   obs::Histogram publish_latency_us_;
   obs::Histogram callback_latency_us_;
+  EncodeCache encode_cache_;
 
   mutable util::Mutex mu_{"tps-session"};
   util::CondVar cv_;
   bool initialized_ GUARDED_BY(mu_) = false;
   bool shut_down_ GUARDED_BY(mu_) = false;
+  // Shutdown in progress: publish() rejects, but the pipeline still drains.
+  bool closing_ GUARDED_BY(mu_) = false;
   std::map<std::string, Channel> channels_ GUARDED_BY(mu_);
   // Advertisements currently being instantiated ("type|gid"), to prevent a
   // concurrent double-adopt of the same advertisement.
   std::unordered_set<std::string> adopting_ GUARDED_BY(mu_);
+  std::uint64_t next_subscriber_id_ GUARDED_BY(mu_) = 1;
   std::vector<Subscriber> subscribers_ GUARDED_BY(mu_);
   std::vector<serial::EventPtr> received_ GUARDED_BY(mu_);
   std::vector<serial::EventPtr> sent_ GUARDED_BY(mu_);
   std::unordered_set<util::Uuid> seen_ GUARDED_BY(mu_);
   std::deque<util::Uuid> seen_order_ GUARDED_BY(mu_);
   TpsStats stats_ GUARDED_BY(mu_);
+
+  // Async send queue. send_mu_ is a leaf: no code path holds it together
+  // with mu_ — publish() and the sender release one before taking the
+  // other, so queue handoff never serializes against delivery.
+  mutable util::Mutex send_mu_{"tps-send-queue"};
+  util::CondVar send_cv_;   // publish -> sender: work / stop / flush
+  util::CondVar drain_cv_;  // sender -> flush(): drained and idle
+  std::deque<PendingPublication> send_queue_ GUARDED_BY(send_mu_);
+  bool sender_started_ GUARDED_BY(send_mu_) = false;
+  bool sender_stop_ GUARDED_BY(send_mu_) = false;
+  bool sender_busy_ GUARDED_BY(send_mu_) = false;
+  bool flush_pending_ GUARDED_BY(send_mu_) = false;
+  std::size_t queue_hwm_ GUARDED_BY(send_mu_) = 0;
+  std::thread sender_;  // started by init() when config_.batching
 };
 
 }  // namespace p2p::tps

@@ -1,0 +1,64 @@
+// Subscription: RAII handle for a TPS subscription (v2 API).
+//
+// TpsInterface<T>::subscribe(on_event[, on_error]) returns one; letting it
+// go out of scope (or calling cancel()) unsubscribes exactly that
+// registration — no unsubscribe-by-callback-identity bookkeeping. Movable,
+// not copyable. The handle refers to its session weakly, so outliving the
+// session is harmless; detach() keeps the subscription registered for the
+// session's lifetime without keeping the handle around.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace p2p::tps {
+
+class TpsSession;
+
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(Subscription&& other) noexcept
+      : session_(std::move(other.session_)), id_(other.id_) {
+    other.session_.reset();
+    other.id_ = 0;
+  }
+  Subscription& operator=(Subscription&& other) noexcept {
+    if (this != &other) {
+      cancel();
+      session_ = std::move(other.session_);
+      id_ = other.id_;
+      other.session_.reset();
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+  ~Subscription() { cancel(); }
+
+  // Unsubscribes now. Idempotent; a no-op once the session is gone.
+  void cancel() noexcept;
+
+  // Leaves the subscription registered for the session's lifetime and
+  // disarms this handle.
+  void detach() noexcept {
+    session_.reset();
+    id_ = 0;
+  }
+
+  // True while this handle still controls a registration.
+  [[nodiscard]] bool active() const noexcept {
+    return id_ != 0 && !session_.expired();
+  }
+
+ private:
+  friend class TpsSession;
+  Subscription(std::weak_ptr<TpsSession> session, std::uint64_t id)
+      : session_(std::move(session)), id_(id) {}
+
+  std::weak_ptr<TpsSession> session_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace p2p::tps

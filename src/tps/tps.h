@@ -1,18 +1,36 @@
 // Umbrella header: everything an application needs to use TPS.
 //
-// Quickstart:
+// Quickstart (v2 surface):
 //   1. Define an event type deriving from p2p::serial::Event and
 //      specialize p2p::serial::EventTraits for it (name, parent, codec).
 //   2. Build a jxta::Peer with a transport, start() it.
-//   3. TpsEngine<MyEvent> engine(peer);
-//      auto tps = engine.new_interface();
-//   4. tps.subscribe(make_callback<MyEvent>(...), make_exception_handler...)
-//      and/or tps.publish(MyEvent{...}).
+//   3. Configure and create the engine:
+//        auto config = tps::TpsConfig::Builder()
+//                          .adv_search_timeout(400ms)
+//                          .batching(32, 500us)   // async fast path
+//                          .encode_cache(128)     // encode-once LRU
+//                          .build();
+//        tps::TpsEngine<MyEvent> engine(peer, config);
+//        auto tps = engine.new_interface();
+//   4. Subscribe with a plain function; keep the RAII handle — dropping
+//      it unsubscribes:
+//        auto sub = tps.subscribe([](const MyEvent& e) { ... });
+//   5. Publish; inspect the outcome as a value when you care:
+//        tps.publish(MyEvent{...});                  // throws on rejection
+//        auto ticket = tps.try_publish(MyEvent{...}); // never throws
+//        if (ticket.dropped()) { /* backpressure */ }
+//      With batching on, publish() returns once the event is enqueued;
+//      tps.flush() blocks until everything accepted reached the wires.
 //
-// See examples/quickstart.cpp for the complete program.
+// The paper-faithful v1 calls (callback objects + exception handlers,
+// unsubscribe by identity, throwing publish) still work unchanged — see
+// tps/engine.h. See examples/quickstart.cpp for a complete program and
+// DESIGN.md "The publish pipeline" for how batching works.
 #pragma once
 
-#include "tps/callback.h"   // IWYU pragma: export
-#include "tps/criteria.h"   // IWYU pragma: export
-#include "tps/engine.h"     // IWYU pragma: export
-#include "tps/exceptions.h" // IWYU pragma: export
+#include "tps/callback.h"     // IWYU pragma: export
+#include "tps/criteria.h"     // IWYU pragma: export
+#include "tps/engine.h"       // IWYU pragma: export
+#include "tps/exceptions.h"   // IWYU pragma: export
+#include "tps/result.h"       // IWYU pragma: export
+#include "tps/subscription.h" // IWYU pragma: export

@@ -16,6 +16,7 @@
 #include "jxta/resolver.h"
 #include "obs/trace.h"
 #include "serial/type_registry.h"
+#include "tps/batch.h"
 
 namespace p2p {
 namespace {
@@ -184,6 +185,7 @@ TEST(WireFormatTest, ElementNameManifest) {
       "obs:trace-id",        // tracing: 16-byte trace id
       "sr:event-id",         // SR-JXTA: dedup uuid
       "sr:payload",          // SR-JXTA: opaque event bytes
+      "tps:batch",           // TPS: batched events frame (v2 fast path)
       "tps:event",           // TPS: tagged event bytes
       "tps:event-id",        // TPS: dedup uuid
       "tps:reply",           // request_reply: reply payload
@@ -194,7 +196,43 @@ TEST(WireFormatTest, ElementNameManifest) {
   // Spot-check the names that are exported as constants.
   EXPECT_TRUE(frozen.contains(std::string(obs::kTraceIdElement)));
   EXPECT_TRUE(frozen.contains(std::string(obs::kTraceHopsElement)));
-  EXPECT_EQ(frozen.size(), 15u);
+  EXPECT_TRUE(frozen.contains(std::string(tps::kBatchElement)));
+  EXPECT_EQ(frozen.size(), 16u);
+}
+
+TEST(WireFormatTest, TpsBatchFrameLayout) {
+  // The fast publish path's batch frame ("tps:batch" element body):
+  //   [u8 version=1][count varint] then per event
+  //   [id hi u64 LE][id lo u64 LE][varint payload_len][payload].
+  // Single-event publications keep the v1 "tps:event"/"tps:event-id"
+  // elements, so pre-batching peers interoperate; receivers accept both.
+  const auto p1 = std::make_shared<const Bytes>(Bytes{0xAB});
+  const auto p2 = std::make_shared<const Bytes>(Bytes{0xCD, 0xEF});
+  const std::vector<tps::BatchItem> items = {
+      {util::Uuid{1, 2}, p1},
+      {util::Uuid{3, 4}, p2},
+  };
+  const Bytes frame = tps::encode_batch_frame(items);
+  EXPECT_EQ(to_hex(frame),
+            "01"                                     // version
+            "02"                                     // two events
+            "0100000000000000" "0200000000000000"  // id 1
+            "01ab"                                   // payload 1
+            "0300000000000000" "0400000000000000"  // id 2
+            "02cdef");                               // payload 2
+
+  const auto decoded = tps::decode_batch_frame(frame);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].id, (util::Uuid{1, 2}));
+  EXPECT_EQ(decoded[0].payload, Bytes{0xAB});
+  EXPECT_EQ(decoded[1].id, (util::Uuid{3, 4}));
+  EXPECT_EQ(decoded[1].payload, (Bytes{0xCD, 0xEF}));
+
+  // Unknown versions are rejected (a future v2 frame must not be
+  // misparsed as v1 by an old peer silently).
+  Bytes bad = frame;
+  bad[0] = 9;
+  EXPECT_THROW((void)tps::decode_batch_frame(bad), util::ParseError);
 }
 
 TEST(WireFormatTest, TraceElementsLayout) {

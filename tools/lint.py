@@ -22,6 +22,11 @@ Checks (each can be listed with --list):
                   that header first (IWYU-style: the header must be
                   self-sufficient, and its own .cpp is where that is
                   proven).
+  config-builder  No direct TpsConfig brace-initialization with field
+                  values outside the struct's own definition site. The
+                  fluent TpsConfig::Builder validates every knob at
+                  build() time; a raw aggregate init bypasses those bounds
+                  checks and silently compiles when fields are reordered.
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 
@@ -60,6 +65,14 @@ RAW_MUTEX_EXEMPT = (
 
 SLEEP_RE = re.compile(r"std::this_thread::sleep_(?:for|until)\b")
 
+# TpsConfig aggregate-init with contents: `TpsConfig c{...}`, `TpsConfig{...}`
+# or `TpsConfig c = {...}` where the braces are non-empty. An empty `{}`
+# (all defaults) is fine; so is poking fields on a named variable. The
+# definition site declares the struct itself and is exempt.
+CONFIG_BRACE_RE = re.compile(
+    r"(?<!struct )\bTpsConfig\s*\w*\s*=?\s*\{\s*[^\s}]")
+CONFIG_BRACE_EXEMPT = ("src/tps/session.h",)
+
 COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.S)
 
 
@@ -84,7 +97,8 @@ class Tree:
     def from_repo(root: pathlib.Path) -> "Tree":
         files = {}
         for pattern in ("src/**/*.h", "src/**/*.cpp", "tests/**/*.h",
-                        "tests/**/*.cpp", "examples/**/*.cpp"):
+                        "tests/**/*.cpp", "examples/**/*.cpp",
+                        "bench/**/*.h", "bench/**/*.cpp"):
             for path in sorted(root.glob(pattern)):
                 rel = path.relative_to(root).as_posix()
                 files[rel] = path.read_text(encoding="utf-8")
@@ -181,11 +195,27 @@ def check_self_include(tree: Tree) -> list[str]:
     return errors
 
 
+def check_config_builder(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.files:
+        if path in CONFIG_BRACE_EXEMPT:
+            continue
+        code = strip_comments(tree.files[path])
+        for m in CONFIG_BRACE_RE.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: direct TpsConfig "
+                f"brace-initialization — construct configs with "
+                f"TpsConfig::Builder (src/tps/session.h), which validates "
+                f"every knob at build() time")
+    return errors
+
+
 CHECKS = {
     "wire-manifest": check_wire_manifest,
     "raw-mutex": check_raw_mutex,
     "test-sleep": check_test_sleep,
     "self-include": check_self_include,
+    "config-builder": check_config_builder,
 }
 
 
@@ -227,6 +257,19 @@ def self_test() -> int:
         ("self-include accepts own header first",
          Tree({"src/x/a.h": "", "src/x/a.cpp":
                '#include "x/a.h"\n#include "x/b.h"\n'}),
+         None),
+        ("config-builder catches aggregate init with fields",
+         Tree({"tests/a_test.cpp":
+               "tps::TpsConfig config = {.batching = true};"}),
+         "config-builder"),
+        ("config-builder catches braced temporary",
+         Tree({"bench/b.cpp": "run(tps::TpsConfig{1500});"}),
+         "config-builder"),
+        ("config-builder allows empty braces and the Builder",
+         Tree({"examples/e.cpp":
+               "tps::TpsConfig a = {};\n"
+               "auto b = tps::TpsConfig::Builder().no_history().build();\n"
+               "a.batching = true;\n"}),
          None),
     ]
     failures = 0
