@@ -20,6 +20,12 @@ namespace {
 
 constexpr int kEvents = 50;  // paper: 50 events
 
+// --recv-pool: subscriber-side TPS sessions run the delivery executor
+// instead of dispatching inline on the wire listener thread. Invocation
+// time is publisher-side, so the figure must stay within noise either way;
+// CI runs both to prove the knob does not disturb the measured path.
+bool g_recv_pool = false;
+
 struct SeriesResult {
   std::string label;
   std::vector<double> us_per_msg;  // one entry per event
@@ -76,6 +82,11 @@ SeriesResult run_layer(const std::string& layer, int subs) {
   sr_config.adv_search_timeout = std::chrono::milliseconds(300);
   tps::TpsConfig tps_config;
   tps_config.adv_search_timeout = std::chrono::milliseconds(300);
+  tps::TpsConfig tps_sub_config = tps_config;
+  if (g_recv_pool) {
+    tps_sub_config.delivery_workers = 2;
+    tps_sub_config.delivery_queue_capacity = 4096;
+  }
 
   if (layer == "JXTA-WIRE") {
     return run_series(
@@ -110,17 +121,20 @@ SeriesResult run_layer(const std::string& layer, int subs) {
       [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
           -> std::unique_ptr<Driver> {
         return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
-                                           tps_config);
+                                           tps_sub_config);
       });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_recv_pool = has_flag(argc, argv, "--recv-pool");
   std::cout << "# Figure 18 reproduction: invocation time (us per "
                "sendMessage call)\n"
             << "# paper setup: 50 events, message size 1910 bytes, layers "
-               "{JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4} subscribers\n";
+               "{JXTA-WIRE, SR-JXTA, SR-TPS} x {1,4} subscribers\n"
+            << "# subscriber delivery executor: "
+            << (g_recv_pool ? "on (--recv-pool)" : "off") << "\n";
   // Process-level warm-up: the first LAN constructed in this process pays
   // one-time costs (thread creation, allocator growth) that would bias
   // whichever series happens to run first.

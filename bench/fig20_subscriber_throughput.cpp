@@ -127,6 +127,18 @@ int main(int argc, char** argv) {
           .build();
   const tps::TpsConfig tps_fast_config =
       fast_tps_config(std::chrono::milliseconds(300));
+  // --recv-pool: the subscribing TPS session dispatches through the
+  // delivery executor instead of inline on the wire listener thread. With
+  // the no-op callbacks the drivers register, the figure must stay within
+  // noise of the synchronous path; CI runs both to prove it.
+  const bool recv_pool = has_flag(argc, argv, "--recv-pool");
+  tps::TpsConfig tps_sub_config = tps_config;
+  if (recv_pool) {
+    tps_sub_config.delivery_workers = 2;
+    tps_sub_config.delivery_queue_capacity = 8192;
+  }
+  std::cout << "# subscriber delivery executor: "
+            << (recv_pool ? "on (--recv-pool)" : "off") << "\n";
 
   std::vector<SeriesResult> results;
   for (const int pubs : {1, 4}) {
@@ -161,7 +173,7 @@ int main(int argc, char** argv) {
         [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&)
             -> std::unique_ptr<Driver> {
           return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
-                                             tps_config);
+                                             tps_sub_config);
         }));
     results.push_back(run_series(
         "SR-TPS-FAST" + suffix, pubs,
@@ -174,7 +186,7 @@ int main(int argc, char** argv) {
           // The receive path is identical; the fast pipeline lives on the
           // publisher side.
           return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
-                                             tps_config);
+                                             tps_sub_config);
         }));
   }
 

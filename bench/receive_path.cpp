@@ -1,0 +1,354 @@
+// Receive-path benchmark: the delivery executor + decode-once dispatch
+// against the synchronous (inline) receive path.
+//
+// Two phases, each run twice (inline vs pooled), each on a fresh LAN:
+//
+//   1. Throughput — the fig20 topology (4 publishers flooding one
+//      subscriber peer) with 4 subscribers on the session, each modelling
+//      I/O-bound per-event work as a short blocking sleep. Inline, the
+//      sleeps serialize on the wire listener thread; pooled, the striped
+//      workers overlap them. Reports fully-delivered events/s and the
+//      pooled/inline speedup (acceptance: >= 1.5x).
+//
+//   2. Isolation — one publisher at a modest rate, one deliberately slow
+//      subscriber (ms-scale sleep) next to one fast subscriber that
+//      measures publish-to-callback latency from a timestamp embedded in
+//      the event. Inline, the fast subscriber inherits the slow one's
+//      stall; pooled, the two ride different workers.
+//
+// Results land in BENCH_receive_path.json, including the subscriber
+// peer's jxta.pipe.recv_latency_us histogram for each mode (the listener
+// stall a slow subscriber inflicts on the transport, visible in phase 2).
+//
+// Subscriber work is deliberately sleep-based, not CPU-spin: the bench
+// must also show the overlap win on single-core machines, where spinning
+// workers would just time-slice.
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/harness.h"
+
+namespace {
+
+using namespace p2p;
+using namespace p2p::bench;
+
+// --- phase parameters --------------------------------------------------------
+
+struct Params {
+  // Phase 1: 4 publishers, aggregate offered rate and per-event work.
+  int pub_count = 4;
+  int offered_per_sec = 3000;
+  int sub_count = 4;
+  std::int64_t work_us = 500;
+  std::int64_t warmup_ms = 1000;
+  std::int64_t window_ms = 4000;
+  // Phase 2: one publisher, slow + fast subscriber.
+  int iso_rate_per_sec = 100;
+  std::int64_t iso_slow_ms = 5;
+  std::int64_t iso_window_ms = 3000;
+};
+
+Params params(bool smoke) {
+  Params p;
+  if (smoke) {
+    p.warmup_ms = 400;
+    p.window_ms = 1200;
+    p.iso_window_ms = 1000;
+  }
+  return p;
+}
+
+// A subscriber-session config; the pool knobs are the variable under test.
+tps::TpsConfig sub_config(bool pooled) {
+  tps::TpsConfig config = tps::TpsConfig::Builder()
+                              .adv_search_timeout(std::chrono::milliseconds(300))
+                              .dedup_cache(1 << 20)
+                              .build();
+  config.record_history = false;
+  if (pooled) {
+    config.delivery_workers = 4;
+    config.delivery_queue_capacity = 8192;
+  }
+  return config;
+}
+
+tps::TpsConfig pub_config() {
+  tps::TpsConfig config = tps::TpsConfig::Builder()
+                              .adv_search_timeout(std::chrono::milliseconds(300))
+                              .dedup_cache(1 << 20)
+                              .build();
+  config.record_history = false;
+  return config;
+}
+
+// An offer whose shop name starts with the publish timestamp (micros),
+// padded out to the paper's message size. strtoll stops at the 'x' pad.
+events::SkiRental make_stamped_offer(std::int64_t t_us,
+                                     std::size_t target_bytes) {
+  std::string shop = std::to_string(t_us);
+  const std::size_t overhead = 64;
+  if (target_bytes > overhead + shop.size()) {
+    shop += std::string(target_bytes - overhead - shop.size(), 'x');
+  }
+  return events::SkiRental(std::move(shop), 1.0F, "Brand", 1.0F);
+}
+
+std::string histogram_json(const obs::Snapshot& snap,
+                           const std::string& name) {
+  const obs::MetricValue* mv = snap.find(name);
+  if (!mv || mv->kind != obs::MetricValue::Kind::kHistogram) return "null";
+  const auto& h = mv->histogram;
+  std::ostringstream out;
+  out << "{\"count\":" << h.count << ",\"sum_us\":" << h.sum
+      << ",\"mean_us\":" << (h.count > 0 ? h.sum / double(h.count) : 0.0)
+      << ",\"bounds_us\":[";
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i > 0) out << ",";
+    out << h.bounds[i];
+  }
+  out << "],\"counts\":[";
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (i > 0) out << ",";
+    out << h.counts[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+// --- phase 1: multi-subscriber throughput ------------------------------------
+
+struct ThroughputResult {
+  double events_per_sec = 0;
+  std::uint64_t callbacks = 0;
+  std::uint64_t pooled_deliveries = 0;
+  std::uint64_t inline_deliveries = 0;
+  std::uint64_t drops = 0;
+  std::string recv_latency_json = "null";
+};
+
+ThroughputResult run_throughput(const Params& p, bool pooled) {
+  std::cout << "## throughput, " << (pooled ? "pooled" : "inline") << "\n";
+  ThroughputResult result;
+  Lan lan;
+  jxta::Peer& sub_peer = lan.add_peer("recv-sub");
+  std::vector<jxta::Peer*> pub_peers;
+  for (int i = 0; i < p.pub_count; ++i) {
+    pub_peers.push_back(&lan.add_peer("recv-pub" + std::to_string(i)));
+  }
+
+  tps::TpsEngine<events::SkiRental> sub_engine(sub_peer, sub_config(pooled));
+  auto sub_iface = sub_engine.new_interface();
+  std::atomic<std::uint64_t> callbacks{0};
+  std::vector<tps::Subscription> subs;
+  subs.reserve(static_cast<std::size_t>(p.sub_count));
+  for (int i = 0; i < p.sub_count; ++i) {
+    subs.push_back(sub_iface.subscribe([&callbacks, &p](
+                                           const events::SkiRental&) {
+      // I/O-bound per-event work (database write, downstream RPC, ...).
+      std::this_thread::sleep_for(std::chrono::microseconds(p.work_us));
+      callbacks.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+
+  std::vector<std::optional<tps::TpsInterface<events::SkiRental>>> pub_ifaces(
+      static_cast<std::size_t>(p.pub_count));
+  for (int i = 0; i < p.pub_count; ++i) {
+    tps::TpsEngine<events::SkiRental> engine(*pub_peers[static_cast<std::size_t>(
+                                                 i)],
+                                             pub_config());
+    pub_ifaces[static_cast<std::size_t>(i)].emplace(engine.new_interface());
+  }
+  // Let advertisement exchange and heartbeats settle before flooding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+
+  const std::int64_t interval_us =
+      1'000'000LL * p.pub_count / p.offered_per_sec;
+  const std::int64_t flood_end_us =
+      now_us() + (p.warmup_ms + p.window_ms) * 1000;
+  std::vector<std::thread> pubs;
+  for (int i = 0; i < p.pub_count; ++i) {
+    pubs.emplace_back([&, i] {
+      auto& iface = *pub_ifaces[static_cast<std::size_t>(i)];
+      int seq = i * 1'000'000;
+      std::int64_t next = now_us();
+      while (now_us() < flood_end_us) {
+        iface.publish(make_offer(seq++, kPaperMessageBytes));
+        next += interval_us;
+        const std::int64_t wait = next - now_us();
+        if (wait > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(wait));
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(p.warmup_ms));
+  const std::uint64_t c0 = callbacks.load();
+  const std::int64_t t0 = now_us();
+  std::this_thread::sleep_for(std::chrono::milliseconds(p.window_ms));
+  const std::uint64_t c1 = callbacks.load();
+  const std::int64_t t1 = now_us();
+  for (auto& t : pubs) t.join();
+  sub_iface.flush();  // drain the delivery queue before reading stats
+
+  result.callbacks = c1 - c0;
+  const double window_sec = double(t1 - t0) / 1e6;
+  result.events_per_sec =
+      double(c1 - c0) / double(p.sub_count) / window_sec;
+  const tps::TpsStats stats = sub_iface.stats();
+  result.pooled_deliveries = stats.deliveries_pooled;
+  result.inline_deliveries = stats.deliveries_inline;
+  result.drops = stats.delivery_drops;
+  const obs::Snapshot snap = sub_peer.metrics().snapshot();
+  result.recv_latency_json = histogram_json(snap, "jxta.pipe.recv_latency_us");
+  std::cout << "  events/s (fully delivered to " << p.sub_count
+            << " subscribers): " << result.events_per_sec << "\n"
+            << "  callbacks=" << result.callbacks
+            << " pooled=" << result.pooled_deliveries
+            << " inline=" << result.inline_deliveries
+            << " drops=" << result.drops << "\n";
+  return result;
+}
+
+// --- phase 2: slow-subscriber isolation --------------------------------------
+
+struct IsolationResult {
+  util::Summary fast_latency_us;
+  std::uint64_t slow_callbacks = 0;
+  std::string recv_latency_json = "null";
+};
+
+IsolationResult run_isolation(const Params& p, bool pooled) {
+  std::cout << "## isolation, " << (pooled ? "pooled" : "inline") << "\n";
+  IsolationResult result;
+  Lan lan;
+  jxta::Peer& sub_peer = lan.add_peer("iso-sub");
+  jxta::Peer& pub_peer = lan.add_peer("iso-pub");
+
+  tps::TpsConfig config = sub_config(pooled);
+  if (pooled) config.delivery_workers = 2;  // one per subscriber
+  tps::TpsEngine<events::SkiRental> sub_engine(sub_peer, config);
+  auto sub_iface = sub_engine.new_interface();
+
+  std::atomic<std::uint64_t> slow_callbacks{0};
+  // Subscribed first: on the inline path it runs first, so the fast
+  // subscriber pays the full stall.
+  auto slow = sub_iface.subscribe([&](const events::SkiRental&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(p.iso_slow_ms));
+    slow_callbacks.fetch_add(1, std::memory_order_relaxed);
+  });
+  std::mutex lat_mu;
+  util::Summary fast_latency;
+  auto fast = sub_iface.subscribe([&](const events::SkiRental& e) {
+    const std::int64_t sent_us = std::strtoll(e.shop().c_str(), nullptr, 10);
+    const std::int64_t lat = now_us() - sent_us;
+    const std::lock_guard lock(lat_mu);
+    fast_latency.add(double(lat));
+  });
+
+  tps::TpsEngine<events::SkiRental> pub_engine(pub_peer, pub_config());
+  auto pub_iface = pub_engine.new_interface();
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+
+  const std::int64_t interval_us = 1'000'000LL / p.iso_rate_per_sec;
+  const std::int64_t end_us = now_us() + p.iso_window_ms * 1000;
+  std::int64_t next = now_us();
+  while (now_us() < end_us) {
+    pub_iface.publish(make_stamped_offer(now_us(), kPaperMessageBytes));
+    next += interval_us;
+    const std::int64_t wait = next - now_us();
+    if (wait > 0) std::this_thread::sleep_for(std::chrono::microseconds(wait));
+  }
+  sub_iface.flush();
+
+  {
+    const std::lock_guard lock(lat_mu);
+    result.fast_latency_us = fast_latency;
+  }
+  result.slow_callbacks = slow_callbacks.load();
+  const obs::Snapshot snap = sub_peer.metrics().snapshot();
+  result.recv_latency_json = histogram_json(snap, "jxta.pipe.recv_latency_us");
+  std::cout << "  fast subscriber latency: "
+            << result.fast_latency_us.to_string() << "\n"
+            << "  slow callbacks run: " << result.slow_callbacks << "\n";
+  return result;
+}
+
+std::string throughput_json(const Params& p, const ThroughputResult& r) {
+  std::ostringstream out;
+  out << "{\"events_per_sec\":" << r.events_per_sec
+      << ",\"callbacks\":" << r.callbacks
+      << ",\"deliveries_pooled\":" << r.pooled_deliveries
+      << ",\"deliveries_inline\":" << r.inline_deliveries
+      << ",\"delivery_drops\":" << r.drops
+      << ",\"work_us\":" << p.work_us
+      << ",\"recv_latency_us\":" << r.recv_latency_json << "}";
+  return out.str();
+}
+
+std::string isolation_json(const IsolationResult& r) {
+  const auto& s = r.fast_latency_us;
+  std::ostringstream out;
+  out << "{\"fast_latency_us\":{\"n\":" << s.count();
+  if (s.count() > 0) {
+    out << ",\"mean\":" << s.mean() << ",\"p50\":" << s.percentile(50)
+        << ",\"p99\":" << s.percentile(99) << ",\"max\":" << s.max();
+  }
+  out << "},\"slow_callbacks\":" << r.slow_callbacks
+      << ",\"recv_latency_us\":" << r.recv_latency_json << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
+  const Params p = params(smoke);
+  std::cout << "# receive_path: delivery executor vs synchronous dispatch"
+            << (smoke ? " (smoke)" : "") << "\n"
+            << "# " << p.pub_count << " publishers, "
+            << p.offered_per_sec << "/s aggregate offered, " << p.sub_count
+            << " subscribers x " << p.work_us << " us work\n";
+
+  const ThroughputResult tp_inline = run_throughput(p, /*pooled=*/false);
+  const ThroughputResult tp_pooled = run_throughput(p, /*pooled=*/true);
+  const double speedup = tp_inline.events_per_sec > 0
+                             ? tp_pooled.events_per_sec /
+                                   tp_inline.events_per_sec
+                             : 0;
+  std::cout << "## speedup (pooled/inline): " << speedup << "\n";
+  std::cout << "# check: speedup >= 1.5 -> "
+            << (speedup >= 1.5 ? "PASS" : "FAIL") << "\n";
+
+  const IsolationResult iso_inline = run_isolation(p, /*pooled=*/false);
+  const IsolationResult iso_pooled = run_isolation(p, /*pooled=*/true);
+  if (iso_inline.fast_latency_us.count() > 0 &&
+      iso_pooled.fast_latency_us.count() > 0) {
+    std::cout << "# check: pooled fast-subscriber p50 below inline p50 -> "
+              << (iso_pooled.fast_latency_us.percentile(50) <
+                          iso_inline.fast_latency_us.percentile(50)
+                      ? "PASS"
+                      : "FAIL")
+              << "\n";
+  }
+
+  {
+    std::ofstream out("BENCH_receive_path.json", std::ios::trunc);
+    out << "{\"bench\":\"receive_path\",\"smoke\":" << (smoke ? "true" : "false")
+        << ",\"throughput\":{\"publishers\":" << p.pub_count
+        << ",\"offered_per_sec\":" << p.offered_per_sec
+        << ",\"subscribers\":" << p.sub_count
+        << ",\"inline\":" << throughput_json(p, tp_inline)
+        << ",\"pooled\":" << throughput_json(p, tp_pooled)
+        << ",\"speedup\":" << speedup
+        << "},\"isolation\":{\"rate_per_sec\":" << p.iso_rate_per_sec
+        << ",\"slow_work_ms\":" << p.iso_slow_ms
+        << ",\"inline\":" << isolation_json(iso_inline)
+        << ",\"pooled\":" << isolation_json(iso_pooled) << "}}\n";
+  }
+  std::cout << "# wrote BENCH_receive_path.json\n";
+  write_metrics_dump("receive_path");
+  return 0;
+}

@@ -232,13 +232,18 @@ inline tps::TpsConfig fast_tps_config(util::Duration adv_search_timeout) {
       .build();
 }
 
+// True when argv contains the given flag (e.g. "--recv-pool").
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
 // True when argv contains --smoke: CI runs benches for a few seconds just
 // to prove they run; full measurement windows stay the default.
 inline bool smoke_mode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") return true;
-  }
-  return false;
+  return has_flag(argc, argv, "--smoke");
 }
 
 // --- topology ------------------------------------------------------------------

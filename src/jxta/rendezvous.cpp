@@ -23,7 +23,11 @@ RendezvousService::RendezvousService(EndpointService& endpoint,
       propagations_forwarded_(
           endpoint.metrics().counter("jxta.rdv.propagations_forwarded")),
       duplicates_suppressed_(
-          endpoint.metrics().counter("jxta.rdv.duplicates_suppressed")) {}
+          endpoint.metrics().counter("jxta.rdv.duplicates_suppressed")),
+      dedup_probe_depth_(
+          endpoint.metrics().counter("jxta.rdv.dedup_probe_depth")) {
+  if (config_.use_dedup_ring) ring_.emplace(config_.seen_cache_size);
+}
 
 RendezvousService::~RendezvousService() { stop(); }
 
@@ -148,6 +152,16 @@ void RendezvousService::propagate(std::string_view service,
 
 bool RendezvousService::seen_before(const util::Uuid& prop_id) {
   const util::MutexLock lock(mu_);
+  if (ring_.has_value()) {
+    std::uint32_t probes = 0;
+    const bool dup = ring_->test_and_set(prop_id, &probes);
+    dedup_probe_depth_.inc(probes);
+    if (dup) {
+      ++duplicates_;
+      duplicates_suppressed_.inc();
+    }
+    return dup;
+  }
   if (seen_.contains(prop_id)) {
     ++duplicates_;
     duplicates_suppressed_.inc();
@@ -157,7 +171,7 @@ bool RendezvousService::seen_before(const util::Uuid& prop_id) {
   seen_order_.push_back(prop_id);
   if (seen_order_.size() > config_.seen_cache_size) {
     seen_.erase(seen_order_.front());
-    seen_order_.erase(seen_order_.begin());
+    seen_order_.pop_front();
   }
   return false;
 }

@@ -13,7 +13,9 @@
 // local segment is used in addition, so rdv-less LANs still work.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "jxta/advertisement.h"
 #include "jxta/endpoint.h"
 #include "util/clock.h"
+#include "util/dedup_ring.h"
 #include "util/thread_annotations.h"
 
 namespace p2p::jxta {
@@ -35,6 +38,10 @@ struct RendezvousConfig {
   std::uint32_t propagate_ttl = 7;
   // Loop-suppression memory (number of remembered propagation ids).
   std::size_t seen_cache_size = 4096;
+  // Back the loop-suppression memory with the O(1) open-addressed ring
+  // (util/dedup_ring.h). Off: the legacy set + FIFO deque (same semantics,
+  // node allocation + double hash per insert) — kept for ablation.
+  bool use_dedup_ring = true;
 };
 
 class RendezvousService {
@@ -114,6 +121,9 @@ class RendezvousService {
   obs::Counter propagations_received_;
   obs::Counter propagations_forwarded_;
   obs::Counter duplicates_suppressed_;
+  // Cumulative table slots probed by seen_before (ring path). The ratio to
+  // propagations seen is the effective probe depth — healthy is ~1.5.
+  obs::Counter dedup_probe_depth_;
 
   mutable util::Mutex mu_{"rendezvous"};
   bool started_ GUARDED_BY(mu_) = false;
@@ -124,9 +134,11 @@ class RendezvousService {
   std::unordered_map<PeerId, util::TimePoint> lessors_ GUARDED_BY(mu_);
   // Rdv mesh: other rendezvous peers we know of.
   std::unordered_set<PeerId> peer_rendezvous_ GUARDED_BY(mu_);
-  // Loop suppression.
+  // Loop suppression: the ring when config_.use_dedup_ring (hot path),
+  // else the legacy set + FIFO deque.
+  std::optional<util::DedupRing> ring_ GUARDED_BY(mu_);
   std::unordered_set<util::Uuid> seen_ GUARDED_BY(mu_);
-  std::vector<util::Uuid> seen_order_ GUARDED_BY(mu_);  // FIFO eviction
+  std::deque<util::Uuid> seen_order_ GUARDED_BY(mu_);  // FIFO eviction
   std::uint64_t duplicates_ GUARDED_BY(mu_) = 0;
 };
 

@@ -7,7 +7,10 @@ namespace p2p::jxta {
 // --- WireInputPipe ------------------------------------------------------------
 
 WireInputPipe::WireInputPipe(WireService& service, PipeAdvertisement adv)
-    : service_(service), adv_(std::move(adv)) {}
+    : service_(service),
+      adv_(std::move(adv)),
+      recv_latency_us_(service.endpoint_.metrics().histogram(
+          "jxta.pipe.recv_latency_us")) {}
 
 WireInputPipe::~WireInputPipe() { close(); }
 
@@ -58,10 +61,21 @@ void WireInputPipe::deliver(Message msg) {
     if (listener) ++delivering_;
   }
   if (listener) {
+    // Publisher timestamp, read before the message is consumed: peers in
+    // one process share the steady-clock timebase, so first-hop-to-return
+    // is the end-to-end receive latency including any listener stall.
+    std::int64_t t0 = -1;
+    if (const auto trace = obs::extract_trace(msg);
+        trace && !trace->hops.empty()) {
+      t0 = trace->hops.front().t_us;
+    }
     const WireInputPipe* prev = t_delivering_wire;
     t_delivering_wire = this;
     listener(std::move(msg));
     t_delivering_wire = prev;
+    if (t0 >= 0) {
+      recv_latency_us_.record(static_cast<double>(obs::now_us() - t0));
+    }
     const util::MutexLock lock(mu_);
     if (--delivering_ == 0) idle_cv_.notify_all();
   } else {

@@ -48,6 +48,11 @@ class WireInputPipe {
 
   WireService& service_;
   const PipeAdvertisement adv_;
+  // Wall time from the message's first trace hop (the publisher) to this
+  // pipe's listener returning. With inline TPS dispatch it includes every
+  // subscriber callback — the stall a slow subscriber inflicts on the
+  // transport; with the delivery pool it collapses to queue handoff.
+  obs::Histogram recv_latency_us_;
   util::Mutex mu_{"wire-input"};
   Listener listener_ GUARDED_BY(mu_);
   util::BlockingQueue<Message> queue_;

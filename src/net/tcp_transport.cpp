@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -82,6 +83,29 @@ bool TcpTransport::write_all(int fd, const std::uint8_t* data,
   return true;
 }
 
+bool TcpTransport::write_vectored(int fd, struct iovec* iov, int iovcnt) {
+  // sendmsg rather than writev: writev cannot pass MSG_NOSIGNAL, and a
+  // peer that closed mid-write would SIGPIPE the process.
+  while (iovcnt > 0) {
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t w = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    auto n = static_cast<std::size_t>(w);
+    while (iovcnt > 0 && n >= iov->iov_len) {
+      n -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0 && n > 0) {
+      iov->iov_base = static_cast<std::uint8_t*>(iov->iov_base) + n;
+      iov->iov_len -= n;
+    }
+  }
+  return true;
+}
+
 bool TcpTransport::read_exact(int fd, std::uint8_t* data, std::size_t n) {
   while (n > 0) {
     const ssize_t r = ::recv(fd, data, n, 0);
@@ -129,20 +153,26 @@ bool TcpTransport::send(const Address& dst, util::Bytes payload) {
   const auto conn = connect_to(dst.authority());
   if (!conn) return false;
 
+  // Gathered write: header, source address and payload go out in one
+  // sendmsg — no per-send copy of the payload into a coalesced frame.
   const std::string src = local_address().to_string();
   const auto frame_len =
       static_cast<std::uint32_t>(2 + src.size() + payload.size());
-  util::Bytes frame;
-  frame.reserve(4 + frame_len);
+  std::uint8_t header[6];
   for (int i = 0; i < 4; ++i)
-    frame.push_back(static_cast<std::uint8_t>(frame_len >> (8 * i)));
-  frame.push_back(static_cast<std::uint8_t>(src.size()));
-  frame.push_back(static_cast<std::uint8_t>(src.size() >> 8));
-  frame.insert(frame.end(), src.begin(), src.end());
-  frame.insert(frame.end(), payload.begin(), payload.end());
+    header[i] = static_cast<std::uint8_t>(frame_len >> (8 * i));
+  header[4] = static_cast<std::uint8_t>(src.size());
+  header[5] = static_cast<std::uint8_t>(src.size() >> 8);
+  iovec iov[3];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  iov[1].iov_base = const_cast<char*>(src.data());
+  iov[1].iov_len = src.size();
+  iov[2].iov_base = payload.data();
+  iov[2].iov_len = payload.size();
 
   const util::MutexLock wlock(conn->write_mu);
-  if (!write_all(conn->fd, frame.data(), frame.size())) {
+  if (!write_vectored(conn->fd, iov, 3)) {
     const util::MutexLock lock(mu_);
     outbound_.erase(dst.authority());
     return false;

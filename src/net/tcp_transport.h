@@ -15,6 +15,8 @@
 #include "net/transport.h"
 #include "util/thread_annotations.h"
 
+struct iovec;  // <sys/uio.h>; kept out of this header
+
 namespace p2p::net {
 
 class TcpTransport final : public Transport {
@@ -42,6 +44,9 @@ class TcpTransport final : public Transport {
   // Returns a connected fd for dst or -1. Caches by authority.
   std::shared_ptr<Connection> connect_to(const std::string& authority);
   static bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+  // Gathered write of every byte in iov[0..iovcnt); advances the iovecs in
+  // place across partial sends. False on any socket error.
+  static bool write_vectored(int fd, struct iovec* iov, int iovcnt);
   static bool read_exact(int fd, std::uint8_t* data, std::size_t n);
 
   int listen_fd_ = -1;

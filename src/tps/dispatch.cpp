@@ -1,0 +1,113 @@
+#include "tps/dispatch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace p2p::tps {
+
+DeliveryExecutor::DeliveryExecutor(std::size_t workers,
+                                   std::size_t queue_capacity,
+                                   obs::Counter drops, obs::Gauge depth,
+                                   obs::Gauge hwm)
+    : capacity_(std::max<std::size_t>(queue_capacity, 1)),
+      m_drops_(drops),
+      m_depth_(depth),
+      m_hwm_(hwm) {
+  workers_.reserve(std::max<std::size_t>(workers, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(workers, 1); ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start threads only once the vector is complete: worker_loop never sees
+  // workers_ resize.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  }
+}
+
+DeliveryExecutor::~DeliveryExecutor() { shutdown(); }
+
+bool DeliveryExecutor::submit(std::uint64_t key, Task task) {
+  if (shut_down_.load(std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    m_drops_.inc();
+    return false;
+  }
+  // Reserve a queue slot first; on overflow give it back and drop. The
+  // transient over-count from concurrent submitters only makes the bound
+  // stricter, never looser.
+  const std::size_t depth =
+      depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (depth > capacity_) {
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    m_drops_.inc();
+    return false;
+  }
+  std::uint64_t hwm = hwm_.load(std::memory_order_relaxed);
+  while (depth > hwm &&
+         !hwm_.compare_exchange_weak(hwm, depth, std::memory_order_relaxed)) {
+  }
+  m_depth_.set(static_cast<std::int64_t>(depth));
+  m_hwm_.set(static_cast<std::int64_t>(hwm_.load(std::memory_order_relaxed)));
+
+  Worker& w = *workers_[key % workers_.size()];
+  {
+    const util::MutexLock lock(w.mu);
+    if (w.stop) {
+      // Lost the race with shutdown(): this worker will never drain again.
+      depth_.fetch_sub(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      m_drops_.inc();
+      return false;
+    }
+    w.queue.push_back(std::move(task));
+    w.cv.notify_one();
+  }
+  return true;
+}
+
+void DeliveryExecutor::worker_loop(Worker& w) {
+  for (;;) {
+    Task task;
+    {
+      const util::MutexLock lock(w.mu);
+      while (w.queue.empty() && !w.stop) w.cv.wait(w.mu);
+      if (w.queue.empty()) return;  // stop requested and fully drained
+      task = std::move(w.queue.front());
+      w.queue.pop_front();
+      w.busy = true;
+    }
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    m_depth_.set(
+        static_cast<std::int64_t>(depth_.load(std::memory_order_relaxed)));
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      const util::MutexLock lock(w.mu);
+      w.busy = false;
+      if (w.queue.empty()) w.idle_cv.notify_all();
+    }
+  }
+}
+
+void DeliveryExecutor::flush() {
+  for (auto& w : workers_) {
+    const util::MutexLock lock(w->mu);
+    while (!w->queue.empty() || w->busy) w->idle_cv.wait(w->mu);
+  }
+}
+
+void DeliveryExecutor::shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& w : workers_) {
+    const util::MutexLock lock(w->mu);
+    w->stop = true;
+    w->cv.notify_one();
+  }
+  // Workers drain their queues before exiting (see worker_loop).
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+}  // namespace p2p::tps

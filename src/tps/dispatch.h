@@ -1,0 +1,102 @@
+// DeliveryExecutor: the receive-side stage pool behind TpsConfig's
+// delivery_pool() knob.
+//
+// Without it, every received event runs all subscriber callbacks inline on
+// the wire listener thread (src/jxta/wire.h), so one slow subscriber stalls
+// the pipe — and with it every session sharing the transport. The executor
+// decouples the two stages SEDA-style (Welsh et al., see PAPERS.md): the
+// listener thread only decodes and enqueues; a small worker pool runs the
+// callbacks.
+//
+// Ordering contract: tasks submitted with the same key execute in
+// submission order on a single worker (keys are striped key % workers), so
+// per-subscriber FIFO holds while distinct subscribers run in parallel.
+//
+// Backpressure contract: the queue is bounded across all workers. submit()
+// on a full queue drops the task and returns false — the transport is never
+// blocked by slow consumers; drops are counted (tps.delivery_drops), the
+// same deal the async send queue offers on the publish side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/thread_annotations.h"
+
+namespace p2p::tps {
+
+class DeliveryExecutor {
+ public:
+  using Task = std::function<void()>;
+
+  // `workers` >= 1; `queue_capacity` >= 1 bounds the number of tasks queued
+  // (not yet executing) across all workers. The obs handles mirror the
+  // executor's accounting into the peer registry (pass default-constructed
+  // handles to skip).
+  DeliveryExecutor(std::size_t workers, std::size_t queue_capacity,
+                   obs::Counter drops, obs::Gauge depth, obs::Gauge hwm);
+  ~DeliveryExecutor();
+
+  DeliveryExecutor(const DeliveryExecutor&) = delete;
+  DeliveryExecutor& operator=(const DeliveryExecutor&) = delete;
+
+  // Enqueues `task` on the worker owning `key`. False when the queue is
+  // full or the executor is shut down (the task is dropped and counted).
+  bool submit(std::uint64_t key, Task task);
+
+  // Blocks until every task submitted so far has finished executing. Must
+  // not be called from a worker thread.
+  void flush();
+  // Drains all queued tasks, then joins the workers. Idempotent. submit()
+  // after shutdown() drops.
+  void shutdown();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t queue_hwm() const {
+    return hwm_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One worker: its own queue, condvars and thread, so striping never
+  // contends across keys.
+  struct Worker {
+    util::Mutex mu{"tps-delivery"};
+    util::CondVar cv;       // submit/shutdown -> worker: work or stop
+    util::CondVar idle_cv;  // worker -> flush(): queue empty and not busy
+    std::deque<Task> queue GUARDED_BY(mu);
+    bool busy GUARDED_BY(mu) = false;
+    bool stop GUARDED_BY(mu) = false;
+    std::thread thread;
+  };
+
+  void worker_loop(Worker& w) EXCLUDES(w.mu);
+
+  const std::size_t capacity_;
+  obs::Counter m_drops_;
+  obs::Gauge m_depth_;
+  obs::Gauge m_hwm_;
+  // Queued-but-not-executing tasks across all workers.
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> hwm_{0};
+  std::atomic<bool> shut_down_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace p2p::tps

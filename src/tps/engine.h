@@ -69,12 +69,18 @@ class TpsInterface {
     return session_->publish(std::move(event));
   }
 
-  // Blocks until every accepted publication has been handed to the wires.
-  // A no-op unless TpsConfig::batching is on.
+  // Blocks until every accepted publication has been handed to the wires
+  // (TpsConfig::batching) and every queued delivery has run
+  // (TpsConfig::delivery_workers). A no-op when both pipelines are off.
+  // Must not be called from a subscriber callback.
   void flush() { session_->flush(); }
   // Publications accepted but not yet on the wires (async mode).
   [[nodiscard]] std::size_t send_queue_depth() const {
     return session_->send_queue_depth();
+  }
+  // Deliveries accepted but not yet running (delivery pool; 0 inline).
+  [[nodiscard]] std::size_t delivery_queue_depth() const {
+    return session_->delivery_queue_depth();
   }
 
   // --- v2 subscribe --------------------------------------------------------

@@ -96,6 +96,23 @@ TpsConfig::Builder& TpsConfig::Builder::encode_cache(std::size_t entries) {
   return *this;
 }
 
+TpsConfig::Builder& TpsConfig::Builder::delivery_pool(
+    std::size_t workers, std::size_t queue_capacity) {
+  config_.delivery_workers = workers;
+  config_.delivery_queue_capacity = queue_capacity;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::no_delivery_pool() {
+  config_.delivery_workers = 0;
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::no_dedup_ring() {
+  config_.dedup_ring = false;
+  return *this;
+}
+
 TpsConfig TpsConfig::Builder::build() const {
   if (config_.adv_search_timeout < util::Duration::zero()) {
     throw PsException("TpsConfig: adv_search_timeout must be >= 0");
@@ -114,6 +131,12 @@ TpsConfig TpsConfig::Builder::build() const {
   }
   if (config_.send_queue_capacity == 0) {
     throw PsException("TpsConfig: send_queue_capacity must be >= 1");
+  }
+  if (config_.delivery_workers > 64) {
+    throw PsException("TpsConfig: delivery_workers must be in [0, 64]");
+  }
+  if (config_.delivery_queue_capacity == 0) {
+    throw PsException("TpsConfig: delivery_queue_capacity must be >= 1");
   }
   return config_;
 }
@@ -144,11 +167,23 @@ TpsSession::TpsSession(jxta::Peer& peer, std::string type_name,
       m_publish_drops_(peer.metrics().counter("tps.publish_drops")),
       m_send_queue_depth_(peer.metrics().gauge("tps.send_queue_depth")),
       m_send_queue_hwm_(peer.metrics().gauge("tps.send_queue_hwm")),
+      m_deliveries_inline_(peer.metrics().counter("tps.deliveries_inline")),
+      m_deliveries_pooled_(peer.metrics().counter("tps.deliveries_pooled")),
+      m_delivery_drops_(peer.metrics().counter("tps.delivery_drops")),
+      m_delivery_queue_depth_(
+          peer.metrics().gauge("tps.delivery_queue_depth")),
+      m_delivery_queue_hwm_(peer.metrics().gauge("tps.delivery_queue_hwm")),
+      m_dedup_probes_(peer.metrics().counter("tps.dedup_probe_depth")),
       publish_latency_us_(
           peer.metrics().histogram("tps.publish_latency_us")),
       callback_latency_us_(
           peer.metrics().histogram("tps.callback_latency_us")),
-      encode_cache_(config.encode_cache_size, m_encode_cache_hits_) {}
+      encode_cache_(config.encode_cache_size, m_encode_cache_hits_) {
+  if (config_.dedup_ring && config_.dedup_cache_size > 0) {
+    seen_ring_.emplace(config_.dedup_cache_size);
+  }
+  subscribers_snapshot_ = std::make_shared<const std::vector<Subscriber>>();
+}
 
 TpsSession::~TpsSession() { shutdown(); }
 
@@ -157,6 +192,14 @@ void TpsSession::init() {
     const util::MutexLock lock(mu_);
     if (shut_down_) throw PsException("session is shut down");
     if (initialized_) return;
+  }
+  // The pool must exist before channel() opens the first input pipe: the
+  // wire can deliver (and deliver_event read executor_) the moment a
+  // listener is attached, possibly before init() returns.
+  if (config_.delivery_workers > 0 && !executor_) {
+    executor_ = std::make_unique<DeliveryExecutor>(
+        config_.delivery_workers, config_.delivery_queue_capacity,
+        m_delivery_drops_, m_delivery_queue_depth_, m_delivery_queue_hwm_);
   }
   channel(type_name_, /*open_inputs=*/true, /*wait_for_adv=*/true);
   {
@@ -190,11 +233,15 @@ void TpsSession::shutdown() {
     sender_.join();
   }
   std::map<std::string, Channel> channels;
+  std::vector<std::shared_ptr<SubscriberGate>> gates;
   {
     const util::MutexLock lock(mu_);
     shut_down_ = true;
     channels.swap(channels_);
+    gates.reserve(subscribers_.size());
+    for (auto& s : subscribers_) gates.push_back(std::move(s.gate));
     subscribers_.clear();
+    publish_subscriber_list();
   }
   cv_.notify_all();
   for (auto& [name, ch] : channels) {
@@ -204,6 +251,11 @@ void TpsSession::shutdown() {
       if (b->output) b->output->close();
     }
   }
+  // The pipes are quiescent: no new deliveries arrive. Cancel the gates —
+  // waiting out callbacks already running — so queued pooled dispatches
+  // skip, then drain and join the pool.
+  for (const auto& gate : gates) close_gate(gate);
+  if (executor_) executor_->shutdown();
 }
 
 TpsSession::Channel& TpsSession::channel(const std::string& type,
@@ -579,12 +631,16 @@ void TpsSession::send_group(std::span<PendingPublication> group) {
 }
 
 void TpsSession::flush() {
-  const util::MutexLock lock(send_mu_);
-  if (!sender_started_) return;
-  flush_pending_ = true;
-  send_cv_.notify_all();  // cut any linger short
-  while (!send_queue_.empty() || sender_busy_) drain_cv_.wait(send_mu_);
-  flush_pending_ = false;
+  {
+    const util::MutexLock lock(send_mu_);
+    if (sender_started_) {
+      flush_pending_ = true;
+      send_cv_.notify_all();  // cut any linger short
+      while (!send_queue_.empty() || sender_busy_) drain_cv_.wait(send_mu_);
+      flush_pending_ = false;
+    }
+  }
+  if (executor_) executor_->flush();
 }
 
 std::size_t TpsSession::send_queue_depth() const {
@@ -592,8 +648,19 @@ std::size_t TpsSession::send_queue_depth() const {
   return send_queue_.size();
 }
 
+std::size_t TpsSession::delivery_queue_depth() const {
+  return executor_ ? executor_->queue_depth() : 0;
+}
+
 bool TpsSession::seen_before(const util::Uuid& event_id) {
   if (config_.dedup_cache_size == 0) return false;  // suppression disabled
+  if (seen_ring_.has_value()) {
+    std::uint32_t probes = 0;
+    const bool dup = seen_ring_->test_and_set(event_id, &probes);
+    stats_.dedup_probes += probes;
+    m_dedup_probes_.inc(probes);
+    return dup;
+  }
   if (seen_.contains(event_id)) return true;
   seen_.insert(event_id);
   seen_order_.push_back(event_id);
@@ -659,6 +726,8 @@ bool TpsSession::deliver_event(const util::Uuid& event_id,
       return false;
     }
   }
+  // Decode exactly once per session; every subscriber receives the same
+  // immutable event instance.
   serial::TypeRegistry::Decoded decoded;
   try {
     decoded = registry_.decode_tagged(payload);
@@ -668,28 +737,96 @@ bool TpsSession::deliver_event(const util::Uuid& event_id,
     count_decode_failure();
     return false;
   }
-  std::vector<Subscriber> subscribers;
   {
     const util::MutexLock lock(mu_);
     if (shut_down_) return false;
     ++stats_.received_unique;
     if (config_.record_history) received_.push_back(decoded.event);
-    subscribers = subscribers_;
   }
   m_received_unique_.inc();
-  const std::int64_t dispatch_t0 = obs::now_us();
-  for (const auto& sub : subscribers) {
-    if (!sub.dispatch(decoded.event)) {
-      m_callback_errors_.inc();
-      const util::MutexLock lock(mu_);
-      ++stats_.callback_errors;
+  // Hot path: copy the current subscriber snapshot under the leaf list_mu_
+  // (a refcount bump, not a vector copy), then dispatch without any lock.
+  // The shared_ptr keeps the snapshot alive for any pooled dispatch still
+  // referencing it after a concurrent (un)subscribe.
+  std::shared_ptr<const std::vector<Subscriber>> subscribers;
+  {
+    const util::MutexLock lock(list_mu_);
+    subscribers = subscribers_snapshot_;
+  }
+  if (!subscribers || subscribers->empty()) return true;
+  if (executor_) {
+    for (std::size_t i = 0; i < subscribers->size(); ++i) {
+      // Striping by subscriber id keeps one subscriber's events on one
+      // worker (FIFO) while distinct subscribers run in parallel. A full
+      // queue drops the delivery (counted by the executor; see stats())
+      // rather than blocking the transport.
+      const std::uint64_t key = (*subscribers)[i].id;
+      executor_->submit(key, [this, subscribers, i, event = decoded.event] {
+        dispatch_one((*subscribers)[i], event, /*pooled=*/true);
+      });
+    }
+  } else {
+    for (const auto& sub : *subscribers) {
+      dispatch_one(sub, decoded.event, /*pooled=*/false);
     }
   }
-  if (!subscribers.empty()) {
-    callback_latency_us_.record(
-        static_cast<double>(obs::now_us() - dispatch_t0));
-  }
   return true;
+}
+
+namespace {
+// The gate whose callback the current thread is inside, if any. Lets a
+// callback cancel its own subscription without deadlocking the quiescence
+// wait (same pattern as WireInputPipe's t_delivering_wire).
+thread_local const TpsSession::SubscriberGate* t_active_gate = nullptr;
+}  // namespace
+
+void TpsSession::dispatch_one(const Subscriber& sub,
+                              const serial::EventPtr& event, bool pooled) {
+  const std::shared_ptr<SubscriberGate> gate = sub.gate;
+  {
+    const util::MutexLock lock(gate->mu);
+    if (gate->cancelled) return;
+    ++gate->running;
+  }
+  const SubscriberGate* prev = t_active_gate;
+  t_active_gate = gate.get();
+  const std::int64_t t0 = obs::now_us();
+  const bool ok = sub.dispatch(event);
+  callback_latency_us_.record(static_cast<double>(obs::now_us() - t0));
+  t_active_gate = prev;
+  if (pooled) {
+    m_deliveries_pooled_.inc();
+    n_deliveries_pooled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    m_deliveries_inline_.inc();
+    n_deliveries_inline_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!ok) {
+    m_callback_errors_.inc();
+    const util::MutexLock lock(mu_);
+    ++stats_.callback_errors;
+  }
+  {
+    const util::MutexLock lock(gate->mu);
+    --gate->running;
+    gate->cv.notify_all();
+  }
+}
+
+void TpsSession::close_gate(const std::shared_ptr<SubscriberGate>& gate) {
+  if (!gate) return;
+  const util::MutexLock lock(gate->mu);
+  gate->cancelled = true;
+  // Quiescence: after this returns the callback is never running — except
+  // when the callback is cancelling itself, which must not self-deadlock.
+  const int self = t_active_gate == gate.get() ? 1 : 0;
+  while (gate->running > self) gate->cv.wait(gate->mu);
+}
+
+void TpsSession::publish_subscriber_list() {
+  auto next = std::make_shared<const std::vector<Subscriber>>(subscribers_);
+  const util::MutexLock lock(list_mu_);
+  subscribers_snapshot_ = std::move(next);
 }
 
 std::uint64_t TpsSession::subscribe(Subscriber subscriber) {
@@ -699,8 +836,10 @@ std::uint64_t TpsSession::subscribe(Subscriber subscriber) {
   }
   m_subscribes_.inc();
   subscriber.id = next_subscriber_id_++;
+  subscriber.gate = std::make_shared<SubscriberGate>();
   const std::uint64_t id = subscriber.id;
   subscribers_.push_back(std::move(subscriber));
+  publish_subscriber_list();
   return id;
 }
 
@@ -710,11 +849,21 @@ Subscription TpsSession::subscribe_scoped(Subscriber subscriber) {
 }
 
 bool TpsSession::unsubscribe_by_id(std::uint64_t id) {
-  const util::MutexLock lock(mu_);
-  const auto before = subscribers_.size();
-  std::erase_if(subscribers_,
-                [&](const Subscriber& s) { return s.id == id; });
-  return subscribers_.size() != before;
+  std::shared_ptr<SubscriberGate> gate;
+  {
+    const util::MutexLock lock(mu_);
+    const auto it =
+        std::find_if(subscribers_.begin(), subscribers_.end(),
+                     [&](const Subscriber& s) { return s.id == id; });
+    if (it == subscribers_.end()) return false;
+    gate = std::move(it->gate);
+    subscribers_.erase(it);
+    publish_subscriber_list();
+  }
+  // With mu_ released (the callback may be inside publish/subscribe), wait
+  // out any in-flight invocation: after this returns the callback is done.
+  close_gate(gate);
+  return true;
 }
 
 void Subscription::cancel() noexcept {
@@ -726,20 +875,36 @@ void Subscription::cancel() noexcept {
 
 void TpsSession::unsubscribe(const void* callback_tag,
                              const void* handler_tag) {
-  const util::MutexLock lock(mu_);
-  const auto before = subscribers_.size();
-  std::erase_if(subscribers_, [&](const Subscriber& s) {
-    return s.callback_tag == callback_tag && s.handler_tag == handler_tag;
-  });
-  if (subscribers_.size() == before) {
-    throw PsException("unsubscribe: this (call-back, handler) pair is not "
-                      "subscribed");
+  std::vector<std::shared_ptr<SubscriberGate>> gates;
+  {
+    const util::MutexLock lock(mu_);
+    const auto before = subscribers_.size();
+    std::erase_if(subscribers_, [&](Subscriber& s) {
+      if (s.callback_tag != callback_tag || s.handler_tag != handler_tag) {
+        return false;
+      }
+      gates.push_back(std::move(s.gate));
+      return true;
+    });
+    if (subscribers_.size() == before) {
+      throw PsException("unsubscribe: this (call-back, handler) pair is not "
+                        "subscribed");
+    }
+    publish_subscriber_list();
   }
+  for (const auto& gate : gates) close_gate(gate);
 }
 
 void TpsSession::unsubscribe_all() {
-  const util::MutexLock lock(mu_);
-  subscribers_.clear();
+  std::vector<std::shared_ptr<SubscriberGate>> gates;
+  {
+    const util::MutexLock lock(mu_);
+    gates.reserve(subscribers_.size());
+    for (auto& s : subscribers_) gates.push_back(std::move(s.gate));
+    subscribers_.clear();
+    publish_subscriber_list();
+  }
+  for (const auto& gate : gates) close_gate(gate);
 }
 
 std::size_t TpsSession::subscriber_count() const {
@@ -759,11 +924,24 @@ std::vector<serial::EventPtr> TpsSession::objects_sent() const {
 
 TpsStats TpsSession::stats() const {
   TpsStats out;
+  const DeliveryExecutor* executor = nullptr;
   {
     const util::MutexLock lock(mu_);
     out = stats_;
+    executor = executor_.get();
   }
   out.encode_cache_hits = encode_cache_.hits();
+  out.deliveries_inline =
+      n_deliveries_inline_.load(std::memory_order_relaxed);
+  out.deliveries_pooled =
+      n_deliveries_pooled_.load(std::memory_order_relaxed);
+  if (executor != nullptr) {
+    // The executor's own count includes drops the session also recorded in
+    // stats_ plus any post-shutdown stragglers; the executor is
+    // authoritative.
+    out.delivery_drops = executor->dropped();
+    out.delivery_queue_hwm = executor->queue_hwm();
+  }
   return out;
 }
 

@@ -26,21 +26,31 @@
 // sender thread drains the bounded queue, coalescing publications into
 // batch frames (tps/batch.h) — one wire message for many events. See
 // DESIGN.md "The publish pipeline".
+//
+// Fast receive pipeline (TpsConfig::delivery_workers, off by default): the
+// wire listener thread only dedups and decodes (once per event); subscriber
+// callbacks run on a bounded per-session worker pool (tps/dispatch.h) with
+// per-subscriber FIFO order, so one slow subscriber no longer stalls the
+// transport. See DESIGN.md "The delivery pipeline".
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <map>
+#include <optional>
 #include <span>
 #include <thread>
 #include <unordered_set>
 
 #include "serial/type_registry.h"
 #include "tps/advertisements.h"
+#include "tps/dispatch.h"
 #include "tps/encode_cache.h"
 #include "tps/exceptions.h"
 #include "tps/result.h"
 #include "tps/subscription.h"
+#include "util/dedup_ring.h"
 #include "util/thread_annotations.h"
 
 namespace p2p::tps {
@@ -81,6 +91,21 @@ struct TpsConfig {
   // Identity-keyed LRU of encoded payloads (tps/encode_cache.h), in
   // entries. 0 disables the cache.
   std::size_t encode_cache_size = 0;
+
+  // --- fast receive pipeline (off by default, same deal as above) --------
+  // Subscriber dispatch worker pool (tps/dispatch.h). 0 = inline: callbacks
+  // run synchronously on the wire listener thread, reproducing the paper's
+  // measured behavior. > 0 = the listener thread only dedups + decodes;
+  // callbacks run on this many workers with per-subscriber FIFO order.
+  std::size_t delivery_workers = 0;
+  // Bound on callbacks queued (not yet running) across the pool. Past it,
+  // deliveries are dropped and counted (delivery_drops) — backpressure
+  // never blocks the transport.
+  std::size_t delivery_queue_capacity = 1024;
+  // Back duplicate suppression (SR functionality (3)) with the O(1)
+  // open-addressed ring (util/dedup_ring.h) instead of the legacy
+  // set + FIFO deque. Identical semantics; off only for ablation.
+  bool dedup_ring = true;
 
   class Builder;
 };
@@ -127,6 +152,15 @@ class TpsConfig::Builder {
   Builder& send_queue_capacity(std::size_t events);
   // Encode-once LRU size, in entries. 0 disables.
   Builder& encode_cache(std::size_t entries);
+  // Fast receive pipeline: run subscriber callbacks on `workers` pool
+  // threads (per-subscriber FIFO preserved) behind a queue bounded at
+  // `queue_capacity` callbacks. workers must be in [1, 64]; queue_capacity
+  // >= 1.
+  Builder& delivery_pool(std::size_t workers,
+                         std::size_t queue_capacity = 1024);
+  Builder& no_delivery_pool();
+  // Ablation: fall back to the legacy set+deque duplicate suppression.
+  Builder& no_dedup_ring();
 
   [[nodiscard]] TpsConfig build() const;
 
@@ -148,10 +182,28 @@ struct TpsStats {
   std::uint64_t encode_cache_hits = 0;
   std::uint64_t publish_drops = 0;         // backpressure (queue full)
   std::uint64_t send_queue_hwm = 0;        // high-water send-queue depth
+  // Fast receive pipeline.
+  std::uint64_t deliveries_inline = 0;     // callbacks run on listener thread
+  std::uint64_t deliveries_pooled = 0;     // callbacks run on the pool
+  std::uint64_t delivery_drops = 0;        // pool backpressure (queue full)
+  std::uint64_t delivery_queue_hwm = 0;    // high-water delivery-queue depth
+  std::uint64_t dedup_probes = 0;          // ring slots probed (hot-path cost)
 };
 
 class TpsSession : public std::enable_shared_from_this<TpsSession> {
  public:
+  // Tracks in-flight dispatches of one subscriber so unsubscribe can wait
+  // for quiescence: after cancel()/unsubscribe returns, the callback is
+  // never running (except when it cancels itself from its own invocation,
+  // the same self-exemption WireInputPipe::close makes). A leaf lock: no
+  // callback or session lock is ever taken under gate->mu.
+  struct SubscriberGate {
+    util::Mutex mu{"tps-subscriber-gate"};
+    util::CondVar cv;
+    bool cancelled GUARDED_BY(mu) = false;
+    int running GUARDED_BY(mu) = 0;
+  };
+
   // A type-erased subscription; built by TpsInterface<T>.
   struct Subscriber {
     const void* callback_tag = nullptr;  // identity of the callback object
@@ -161,6 +213,7 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
     // exception to the paired handler and returns false in that case.
     // Never throws.
     std::function<bool(const serial::EventPtr&)> dispatch;
+    std::shared_ptr<SubscriberGate> gate;  // assigned by subscribe()
   };
 
   TpsSession(jxta::Peer& peer, std::string type_name, Criteria criteria,
@@ -187,10 +240,14 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
       EXCLUDES(mu_, send_mu_);
 
   // Blocks until every accepted publication has been handed to the wires
-  // (async mode; a no-op when batching is off). Cuts short any batch
-  // linger in progress.
+  // (async mode; a no-op when batching is off), then until every queued
+  // delivery has run (delivery pool; a no-op when delivery_workers is 0).
+  // Cuts short any batch linger in progress. Must not be called from a
+  // subscriber callback.
   void flush() EXCLUDES(mu_, send_mu_);
   [[nodiscard]] std::size_t send_queue_depth() const EXCLUDES(send_mu_);
+  // Callbacks accepted but not yet running (delivery pool; 0 when inline).
+  [[nodiscard]] std::size_t delivery_queue_depth() const;
 
   // Registers the subscriber and returns its registration id.
   std::uint64_t subscribe(Subscriber subscriber) EXCLUDES(mu_);
@@ -271,10 +328,19 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   void send_group(std::span<PendingPublication> group)
       EXCLUDES(mu_, send_mu_);
   void on_event_message(jxta::Message msg) EXCLUDES(mu_);
-  // Dedup + decode + dispatch of one received event. True iff the event
-  // was unique and handed to subscribers.
+  // Dedup + decode-once + dispatch of one received event. True iff the
+  // event was unique and handed to subscribers (inline or enqueued).
   bool deliver_event(const util::Uuid& event_id, const util::Bytes& payload)
       EXCLUDES(mu_);
+  // Runs one subscriber's callback under its gate (skipped if cancelled).
+  void dispatch_one(const Subscriber& sub, const serial::EventPtr& event,
+                    bool pooled) EXCLUDES(mu_);
+  // Marks the gate cancelled and waits until its callback is not running
+  // (self-exempt when called from that very callback).
+  static void close_gate(const std::shared_ptr<SubscriberGate>& gate);
+  // Re-publishes subscribers_ as a fresh immutable snapshot for the
+  // delivery hot path. Called after every mutation.
+  void publish_subscriber_list() REQUIRES(mu_) EXCLUDES(list_mu_);
   void count_decode_failure() EXCLUDES(mu_);
   bool seen_before(const util::Uuid& event_id) REQUIRES(mu_);
 
@@ -300,6 +366,12 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   obs::Counter m_publish_drops_;
   obs::Gauge m_send_queue_depth_;
   obs::Gauge m_send_queue_hwm_;
+  obs::Counter m_deliveries_inline_;
+  obs::Counter m_deliveries_pooled_;
+  obs::Counter m_delivery_drops_;
+  obs::Gauge m_delivery_queue_depth_;
+  obs::Gauge m_delivery_queue_hwm_;
+  obs::Counter m_dedup_probes_;
   obs::Histogram publish_latency_us_;
   obs::Histogram callback_latency_us_;
   EncodeCache encode_cache_;
@@ -315,12 +387,31 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   // concurrent double-adopt of the same advertisement.
   std::unordered_set<std::string> adopting_ GUARDED_BY(mu_);
   std::uint64_t next_subscriber_id_ GUARDED_BY(mu_) = 1;
+  // Authoritative subscriber table. Mutations (under mu_) re-publish an
+  // immutable snapshot guarded by the leaf list_mu_; the delivery hot path
+  // holds list_mu_ only long enough to copy the shared_ptr and never takes
+  // mu_. (Not std::atomic<shared_ptr>: libstdc++'s _Sp_atomic spinlock is
+  // opaque to TSan and reports the internal pointer swap as a race.)
   std::vector<Subscriber> subscribers_ GUARDED_BY(mu_);
+  mutable util::Mutex list_mu_{"tps-subscriber-list"};
+  std::shared_ptr<const std::vector<Subscriber>> subscribers_snapshot_
+      GUARDED_BY(list_mu_);
   std::vector<serial::EventPtr> received_ GUARDED_BY(mu_);
   std::vector<serial::EventPtr> sent_ GUARDED_BY(mu_);
+  // Duplicate suppression: the ring when config_.dedup_ring (hot path),
+  // else the legacy set + FIFO deque.
+  std::optional<util::DedupRing> seen_ring_ GUARDED_BY(mu_);
   std::unordered_set<util::Uuid> seen_ GUARDED_BY(mu_);
   std::deque<util::Uuid> seen_order_ GUARDED_BY(mu_);
   TpsStats stats_ GUARDED_BY(mu_);
+  // Callbacks run so far, by path. Atomics (not stats_ fields) so the
+  // inline hot path does not take mu_ per callback.
+  std::atomic<std::uint64_t> n_deliveries_inline_{0};
+  std::atomic<std::uint64_t> n_deliveries_pooled_{0};
+  // Delivery pool (tps/dispatch.h). Created by init() *before* any input
+  // pipe exists and torn down by shutdown() *after* every pipe is closed,
+  // so listener threads read the pointer without synchronization.
+  std::unique_ptr<DeliveryExecutor> executor_;
 
   // Async send queue. send_mu_ is a leaf: no code path holds it together
   // with mu_ — publish() and the sender release one before taking the

@@ -37,7 +37,11 @@ class Subscription {
   Subscription& operator=(const Subscription&) = delete;
   ~Subscription() { cancel(); }
 
-  // Unsubscribes now. Idempotent; a no-op once the session is gone.
+  // Unsubscribes now and waits out any in-flight invocation: once cancel()
+  // returns, the callback is not running and will never run again — on the
+  // inline path or the delivery pool (TpsConfig::delivery_workers). A
+  // callback cancelling its own subscription does not wait for itself.
+  // Idempotent; a no-op once the session is gone.
   void cancel() noexcept;
 
   // Leaves the subscription registered for the session's lifetime and

@@ -7,6 +7,7 @@
 
 #include "util/bytes.h"
 #include "util/clock.h"
+#include "util/dedup_ring.h"
 #include "util/error.h"
 #include "util/executor.h"
 #include "util/logging.h"
@@ -636,6 +637,85 @@ TEST(LoggingTest, DroppedLineNeverFormatsNorReachesSink) {
   set_log_level(previous_level);
   EXPECT_EQ(sink_calls, 0);
   EXPECT_EQ(formats, 0);
+}
+
+// --- DedupRing ----------------------------------------------------------
+
+TEST(DedupRingTest, DetectsDuplicatesWithinCapacity) {
+  DedupRing ring(8);
+  const Uuid a{1, 1};
+  const Uuid b{2, 2};
+  EXPECT_FALSE(ring.test_and_set(a));
+  EXPECT_FALSE(ring.test_and_set(b));
+  EXPECT_TRUE(ring.test_and_set(a));
+  EXPECT_TRUE(ring.test_and_set(b));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.contains(a));
+  EXPECT_FALSE(ring.contains(Uuid{3, 3}));
+}
+
+TEST(DedupRingTest, EvictsOldestEntryFirst) {
+  DedupRing ring(4);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    EXPECT_FALSE(ring.test_and_set(Uuid{i, i}));
+  }
+  // A fifth insertion evicts the oldest (1); 2..4 survive.
+  EXPECT_FALSE(ring.test_and_set(Uuid{5, 5}));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.contains(Uuid{1, 1}));
+  for (std::uint64_t i = 2; i <= 5; ++i) {
+    EXPECT_TRUE(ring.contains(Uuid{i, i})) << i;
+  }
+  // Re-inserting the evicted id is not a duplicate, and evicts 2.
+  EXPECT_FALSE(ring.test_and_set(Uuid{1, 1}));
+  EXPECT_FALSE(ring.contains(Uuid{2, 2}));
+}
+
+TEST(DedupRingTest, ReportsProbeDepthAndDisabledMode) {
+  DedupRing ring(16);
+  std::uint32_t probes = 0;
+  EXPECT_FALSE(ring.test_and_set(Uuid{1, 1}, &probes));
+  EXPECT_GE(probes, 1u);
+  EXPECT_TRUE(ring.test_and_set(Uuid{1, 1}, &probes));
+  EXPECT_GE(probes, 1u);
+
+  DedupRing disabled(0);
+  probes = 7;
+  EXPECT_FALSE(disabled.test_and_set(Uuid{1, 1}, &probes));
+  EXPECT_FALSE(disabled.test_and_set(Uuid{1, 1}, &probes));
+  EXPECT_EQ(probes, 0u);
+  EXPECT_EQ(disabled.capacity(), 0u);
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(DedupRingTest, MatchesReferenceModelUnderChurn) {
+  // Backward-shift deletion and eviction re-probing are the tricky parts;
+  // drive the ring with a deterministic id stream (with repeats) and check
+  // every answer against a straightforward set + FIFO queue model.
+  constexpr std::size_t kCapacity = 64;
+  DedupRing ring(kCapacity);
+  std::set<Uuid> model;
+  std::vector<Uuid> order;  // FIFO, oldest first
+  std::uint64_t state = 0x243F6A8885A308D3ULL;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Small id space so duplicates and re-insertions after eviction are
+    // frequent.
+    const Uuid id{(state >> 33) % 97, 42};
+    const bool dup = ring.test_and_set(id);
+    const bool model_dup = model.count(id) > 0;
+    ASSERT_EQ(dup, model_dup) << "op " << i;
+    if (!model_dup) {
+      if (order.size() == kCapacity) {
+        model.erase(order.front());
+        order.erase(order.begin());
+      }
+      model.insert(id);
+      order.push_back(id);
+    }
+    ASSERT_EQ(ring.size(), model.size()) << "op " << i;
+  }
+  for (const auto& id : order) EXPECT_TRUE(ring.contains(id));
 }
 
 TEST(LoggingTest, SinkReceivesAboveLevel) {

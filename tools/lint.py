@@ -27,6 +27,13 @@ Checks (each can be listed with --list):
                   fluent TpsConfig::Builder validates every knob at
                   build() time; a raw aggregate init bypasses those bounds
                   checks and silently compiles when fields are reordered.
+  listener-publish  No publish / try_publish / publish_on_wire call inside
+                  a wire/pipe listener lambda (a set_listener(...) argument)
+                  in src/. Listener bodies run on the transport's delivery
+                  thread: they must only decode, enqueue or forward.
+                  Publishing inline re-enters the send path from the
+                  receive path — a recursion/stall hazard the delivery
+                  executor (tps/dispatch.h) exists to prevent.
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 
@@ -210,12 +217,60 @@ def check_config_builder(tree: Tree) -> list[str]:
     return errors
 
 
+LISTENER_RE = re.compile(r"\bset_listener\s*\(")
+LISTENER_PUBLISH_RE = re.compile(
+    r"\b(?:publish|try_publish|publish_on_wire)\s*\(")
+
+
+def paren_span_end(code: str, open_pos: int) -> int | None:
+    """Index of the ')' matching the '(' at open_pos; skips string and
+    character literals. None when unbalanced."""
+    depth = 0
+    i = open_pos
+    while i < len(code):
+        c = code[i]
+        if c in "\"'":
+            i += 1
+            while i < len(code) and code[i] != c:
+                i += 2 if code[i] == "\\" else 1
+        elif c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return None
+
+
+def check_listener_publish(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.matching("src/", (".h", ".cpp")):
+        code = strip_comments(tree.files[path])
+        for m in LISTENER_RE.finditer(code):
+            open_pos = m.end() - 1
+            end = paren_span_end(code, open_pos)
+            if end is None:
+                continue
+            body = code[open_pos:end]
+            for pm in LISTENER_PUBLISH_RE.finditer(body):
+                errors.append(
+                    f"{path}:{line_of(code, open_pos + pm.start())}: "
+                    f"{pm.group(0).rstrip('(').strip()}() called inside a "
+                    f"set_listener() lambda — listeners run on the "
+                    f"transport's delivery thread and must only "
+                    f"decode/enqueue/forward; hand the work to the delivery "
+                    f"executor (tps/dispatch.h) or a separate thread")
+    return errors
+
+
 CHECKS = {
     "wire-manifest": check_wire_manifest,
     "raw-mutex": check_raw_mutex,
     "test-sleep": check_test_sleep,
     "self-include": check_self_include,
     "config-builder": check_config_builder,
+    "listener-publish": check_listener_publish,
 }
 
 
@@ -270,6 +325,25 @@ def self_test() -> int:
                "tps::TpsConfig a = {};\n"
                "auto b = tps::TpsConfig::Builder().no_history().build();\n"
                "a.batching = true;\n"}),
+         None),
+        ("listener-publish catches inline publish",
+         Tree({"src/x/a.cpp":
+               "pipe->set_listener([this](Message m) {\n"
+               "  publish(decode(m));\n"
+               "});\n"}),
+         "listener-publish"),
+        ("listener-publish catches try_publish and publish_on_wire",
+         Tree({"src/x/a.cpp":
+               "pipe->set_listener([this](Message m) {\n"
+               "  if (!try_publish(m)) publish_on_wire(id, m);\n"
+               "});\n"}),
+         "listener-publish"),
+        ("listener-publish allows forwarding listeners",
+         Tree({"src/x/a.cpp":
+               "pipe->set_listener([this](Message m) {\n"
+               "  on_event_message(std::move(m));\n"
+               "});\n"
+               "publish(next);\n"}),
          None),
     ]
     failures = 0
