@@ -1,0 +1,205 @@
+// Connection-scale benchmark: how the TCP transport behaves as the peer
+// count grows.
+//
+// Topology: one hub transport plus N echo peers, all on loopback. The hub
+// keeps one self-clocked ping in flight per peer (each echo triggers the
+// next ping), so the offered concurrency equals the peer count. Reported
+// per N: fully round-tripped events/s, p50/p99 round-trip latency, and the
+// process thread count — the column that separates a thread-per-connection
+// transport (O(peers) threads) from the reactor (O(io_threads)).
+//
+// Run with --label to tag the series (EXPERIMENTS.md records the pre-reactor
+// thread-per-connection numbers under "threaded"). Results land in
+// BENCH_connection_scale.json.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/tcp_transport.h"
+#include "support/harness.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace p2p;
+using namespace p2p::bench;
+
+struct Params {
+  std::vector<int> peer_counts{2, 16, 64, 256};
+  int io_threads = 1;          // reactor loops shared by every transport
+  std::int64_t warmup_ms = 300;
+  std::int64_t window_ms = 2000;
+  std::size_t payload_bytes = 64;
+  std::string label = "reactor";
+};
+
+// Current thread count of this process (Linux: /proc/self/status).
+int process_threads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+util::Bytes make_ping(std::size_t payload_bytes) {
+  util::ByteWriter w;
+  w.write_i64(now_us());
+  util::Bytes b = w.take();
+  if (b.size() < payload_bytes) b.resize(payload_bytes, 0x2a);
+  return b;
+}
+
+struct Result {
+  int peers = 0;
+  double events_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  int threads = 0;
+};
+
+Result run_one(const Params& p, int peer_count) {
+  // Shared reactor loops: every transport in the process rides the same
+  // io_threads event loops, which is what keeps the thread column flat.
+  auto loops = std::make_shared<net::EventLoopGroup>(p.io_threads);
+  net::TcpTransport::Options options;
+  options.loops = loops;
+
+  auto metrics = std::make_shared<obs::Registry>();
+  net::TcpTransport hub(0, options);
+  hub.bind_metrics(metrics);
+
+  std::vector<std::unique_ptr<net::TcpTransport>> peers;
+  peers.reserve(static_cast<std::size_t>(peer_count));
+  for (int i = 0; i < peer_count; ++i) {
+    peers.push_back(std::make_unique<net::TcpTransport>(0, options));
+    auto* peer = peers.back().get();
+    peer->set_receiver([peer](net::Datagram d) {
+      peer->send(d.src, std::move(d.payload));  // echo
+    });
+  }
+
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<std::uint64_t> echoes{0};
+  std::mutex lat_mu;
+  util::Summary latency_us;
+
+  auto& hub_ref = hub;
+  hub.set_receiver([&](net::Datagram d) {
+    util::ByteReader r(d.payload);
+    const std::int64_t sent_us = r.read_i64();
+    if (measuring) {
+      echoes.fetch_add(1, std::memory_order_relaxed);
+      const std::lock_guard lock(lat_mu);
+      latency_us.add(static_cast<double>(now_us() - sent_us));
+    }
+    if (!stopped) {
+      hub_ref.send(d.src, make_ping(d.payload.size()));
+    }
+  });
+
+  // Kick one self-clocking ping per peer. A peer that is not reachable yet
+  // gets re-kicked below.
+  for (const auto& peer : peers) {
+    hub.send(peer->local_address(), make_ping(p.payload_bytes));
+  }
+
+  const std::int64_t t0 = now_ms();
+  while (now_ms() - t0 < p.warmup_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Re-kick every peer once: any ping lost to a still-connecting or
+  // refused-at-startup connection would otherwise silence that peer's
+  // ping-pong loop for the whole window. (A duplicate in-flight ping per
+  // peer just doubles that peer's concurrency; it cannot wedge the loop.)
+  for (const auto& peer : peers) {
+    hub.send(peer->local_address(), make_ping(p.payload_bytes));
+  }
+
+  const int threads = process_threads();
+  measuring = true;
+  const std::int64_t m0 = now_ms();
+  while (now_ms() - m0 < p.window_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  measuring = false;
+  const std::int64_t elapsed_ms = now_ms() - m0;
+  stopped = true;
+
+  Result result;
+  result.peers = peer_count;
+  result.events_per_sec =
+      static_cast<double>(echoes.load()) * 1000.0 /
+      static_cast<double>(elapsed_ms);
+  {
+    const std::lock_guard lock(lat_mu);
+    if (latency_us.count() > 0) {
+      result.p50_us = latency_us.percentile(50);
+      result.p99_us = latency_us.percentile(99);
+    }
+  }
+  result.threads = threads;
+
+  MetricsDump::instance().collect("hub-" + std::to_string(peer_count),
+                                  metrics->snapshot());
+  hub.close();
+  for (auto& peer : peers) peer->close();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  if (smoke_mode(argc, argv)) {
+    p.peer_counts = {2, 16, 64};
+    p.warmup_ms = 150;
+    p.window_ms = 500;
+  }
+  for (int i = 1; i < argc - 1; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--label") p.label = argv[i + 1];
+    if (arg == "--io-threads") p.io_threads = std::atoi(argv[i + 1]);
+  }
+
+  std::cout << "# connection_scale label=" << p.label
+            << " io_threads=" << p.io_threads << "\n";
+  std::cout << "# peers  events/s  p50_us  p99_us  threads\n";
+  std::vector<Result> results;
+  for (const int n : p.peer_counts) {
+    const Result r = run_one(p, n);
+    results.push_back(r);
+    std::cout << r.peers << "  " << static_cast<std::int64_t>(r.events_per_sec)
+              << "  " << static_cast<std::int64_t>(r.p50_us) << "  "
+              << static_cast<std::int64_t>(r.p99_us) << "  " << r.threads
+              << "\n";
+  }
+
+  std::ostringstream json;
+  json << "{\"bench\":\"connection_scale\",\"label\":\"" << p.label
+       << "\",\"io_threads\":" << p.io_threads << ",\"series\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    if (i > 0) json << ",";
+    json << "{\"peers\":" << r.peers
+         << ",\"events_per_sec\":" << r.events_per_sec
+         << ",\"p50_us\":" << r.p50_us << ",\"p99_us\":" << r.p99_us
+         << ",\"threads\":" << r.threads << "}";
+  }
+  json << "]}\n";
+  std::ofstream out("BENCH_connection_scale.json", std::ios::trunc);
+  out << json.str();
+  std::cout << "# wrote BENCH_connection_scale.json\n";
+  write_metrics_dump("connection_scale");
+  return 0;
+}

@@ -1,7 +1,5 @@
 #include "jxta/cms.h"
 
-#include <thread>
-
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -108,25 +106,54 @@ std::vector<ContentAdvertisement> CmsService::shared() const {
   return out;
 }
 
-std::vector<ContentAdvertisement> CmsService::search(
-    const std::string& keyword_glob, util::Duration window) {
+void CmsService::search_async(const std::string& keyword_glob,
+                              util::Duration window, SearchCallback done) {
   util::ByteWriter w;
   w.write_u8(static_cast<std::uint8_t>(Kind::kSearch));
   w.write_string(keyword_glob);
   // Responses may arrive before send_query returns (self-answers are
   // synchronous; a 0-latency test fabric is nearly so): process_response
-  // therefore creates the collector on demand and we only harvest it here.
+  // therefore creates the collector on demand and we only harvest it when
+  // the window deadline fires.
   const util::Uuid query_id =
       resolver_.send_query(std::string(kHandlerName), w.take());
-  std::this_thread::sleep_for(window);  // collect for the whole window
-  const util::MutexLock lock(mu_);
-  std::vector<ContentAdvertisement> out;
-  const auto it = search_results_.find(query_id);
-  if (it != search_results_.end()) {
-    out = std::move(it->second);
-    search_results_.erase(it);
-  }
-  return out;
+  util::TimerQueue::shared().schedule_after(
+      window,
+      [weak = weak_from_this(), query_id, done = std::move(done)] {
+        std::vector<ContentAdvertisement> out;
+        if (const auto self = weak.lock()) {
+          const util::MutexLock lock(self->mu_);
+          const auto it = self->search_results_.find(query_id);
+          if (it != self->search_results_.end()) {
+            out = std::move(it->second);
+            self->search_results_.erase(it);
+          }
+        }
+        done(std::move(out));
+      });
+}
+
+std::vector<ContentAdvertisement> CmsService::search(
+    const std::string& keyword_glob, util::Duration window) {
+  struct Wait {
+    util::Mutex mu{"search-wait"};
+    util::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    std::vector<ContentAdvertisement> results GUARDED_BY(mu);
+  };
+  const auto wait = std::make_shared<Wait>();
+  search_async(keyword_glob, window,
+               [wait](std::vector<ContentAdvertisement> advs) {
+                 {
+                   const util::MutexLock lock(wait->mu);
+                   wait->results = std::move(advs);
+                   wait->done = true;
+                 }
+                 wait->cv.notify_all();
+               });
+  const util::MutexLock lock(wait->mu);
+  while (!wait->done) wait->cv.wait(wait->mu);
+  return std::move(wait->results);
 }
 
 std::optional<util::Bytes> CmsService::fetch(const ContentAdvertisement& adv,
@@ -193,6 +220,17 @@ std::optional<util::Bytes> CmsService::process_query(const ResolverQuery& q) {
   return std::nullopt;
 }
 
+template <typename Map>
+void CmsService::arm_result_gc(Map CmsService::* map, util::Uuid query_id) {
+  util::TimerQueue::shared().schedule_after(
+      kResultTtl, [weak = weak_from_this(), map, query_id] {
+        if (const auto self = weak.lock()) {
+          const util::MutexLock lock(self->mu_);
+          ((*self).*map).erase(query_id);
+        }
+      });
+}
+
 void CmsService::process_response(const ResolverResponse& resp) {
   util::ByteReader r(resp.payload);
   const auto kind = static_cast<Kind>(r.read_u8());
@@ -207,25 +245,37 @@ void CmsService::process_response(const ResolverResponse& resp) {
         P2P_LOG(kWarn, "cms") << "bad search result: " << e.what();
       }
     }
-    const util::MutexLock lock(mu_);
-    // Create-on-demand (answers can beat the collector registration);
-    // bound the map against responses to long-forgotten queries.
-    if (!search_results_.contains(resp.query_id) &&
-        search_results_.size() >= 128) {
-      return;
+    bool fresh_bucket = false;
+    {
+      const util::MutexLock lock(mu_);
+      // Create-on-demand (answers can beat the collector registration);
+      // bound the map against responses to long-forgotten queries.
+      if (!search_results_.contains(resp.query_id) &&
+          search_results_.size() >= 128) {
+        return;
+      }
+      fresh_bucket = !search_results_.contains(resp.query_id);
+      auto& bucket = search_results_[resp.query_id];
+      for (auto& adv : advs) {
+        discovery_.publish(adv, DiscoveryType::kAdv);
+        bucket.push_back(std::move(adv));
+      }
     }
-    auto& bucket = search_results_[resp.query_id];
-    for (auto& adv : advs) {
-      discovery_.publish(adv, DiscoveryType::kAdv);
-      bucket.push_back(std::move(adv));
+    if (fresh_bucket) {
+      arm_result_gc(&CmsService::search_results_, resp.query_id);
     }
     return;
   }
   if (kind == Kind::kFetch) {
     util::Bytes content = r.read_bytes();
+    bool fresh_bucket = false;
     {
       const util::MutexLock lock(mu_);
+      fresh_bucket = !fetch_results_.contains(resp.query_id);
       fetch_results_[resp.query_id] = std::move(content);
+    }
+    if (fresh_bucket) {
+      arm_result_gc(&CmsService::fetch_results_, resp.query_id);
     }
     cv_.notify_all();
   }

@@ -15,6 +15,7 @@
 #include "jxta/discovery.h"
 #include "jxta/resolver.h"
 #include "util/thread_annotations.h"
+#include "util/timer_queue.h"
 
 namespace p2p::jxta {
 
@@ -73,7 +74,15 @@ class CmsService final : public ResolverHandler,
       EXCLUDES(mu_);
 
   // Group-wide keyword search: matches name/description/keyword globs.
-  // Collects answers for the whole window.
+  // The collect window rides the shared util::TimerQueue; `done` fires on
+  // the timer thread with every answer that landed inside it. Safe to call
+  // from anywhere, including the peer executor.
+  using SearchCallback =
+      std::function<void(std::vector<ContentAdvertisement>)>;
+  void search_async(const std::string& keyword_glob, util::Duration window,
+                    SearchCallback done);
+
+  // Blocking wrapper around search_async. Not for the peer executor.
   std::vector<ContentAdvertisement> search(const std::string& keyword_glob,
                                            util::Duration window)
       EXCLUDES(mu_);
@@ -93,6 +102,14 @@ class CmsService final : public ResolverHandler,
     ContentAdvertisement adv;
     util::Bytes content;
   };
+  // TTL on uncollected result buckets (late answers after the window or a
+  // fetch timeout); a shared-TimerQueue GC timer reclaims them.
+  static constexpr util::Duration kResultTtl = std::chrono::seconds(30);
+
+  // Arms the GC deadline for one entry of `map` (search_results_ or
+  // fetch_results_).
+  template <typename Map>
+  void arm_result_gc(Map CmsService::* map, util::Uuid query_id);
 
   ResolverService& resolver_;
   EndpointService& endpoint_;

@@ -51,6 +51,9 @@ EndpointService::EndpointService(PeerId self, util::SerialExecutor& executor,
 void EndpointService::add_transport(
     std::shared_ptr<net::Transport> transport) {
   transport->set_receiver([this](net::Datagram d) { on_datagram(std::move(d)); });
+  // Point the transport's own instruments (net.connections_active & co. for
+  // TCP) at the peer-wide registry so one metrics dump covers both layers.
+  transport->bind_metrics(metrics_);
   const util::MutexLock lock(mu_);
   transports_.push_back(std::move(transport));
 }

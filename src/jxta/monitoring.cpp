@@ -18,7 +18,7 @@ void MonitoringService::start() {
     if (started_) return;
     started_ = true;
   }
-  timer_handle_ = timer_.schedule(config_.period, [this] { sweep(); });
+  timer_handle_ = timer_.schedule(config_.period, [this] { sweep_async(); });
 }
 
 void MonitoringService::stop() {
@@ -29,7 +29,13 @@ void MonitoringService::stop() {
     started_ = false;
     handle = timer_handle_;
   }
+  // cancel() blocks out an in-progress firing, so after this no new
+  // sweep_async can start...
   if (handle != 0) timer_.cancel(handle);
+  // ...and any survey already in flight is waited out here, making it safe
+  // to destroy the service when stop() returns.
+  const util::MutexLock lock(mu_);
+  while (pending_surveys_ != 0) cv_.wait(mu_);
 }
 
 void MonitoringService::set_liveness_listener(LivenessListener listener) {
@@ -37,8 +43,24 @@ void MonitoringService::set_liveness_listener(LivenessListener listener) {
   listener_ = std::move(listener);
 }
 
-void MonitoringService::sweep() {
-  const std::vector<PeerInfo> infos = pip_.survey(config_.window);
+void MonitoringService::sweep() { apply(pip_.survey(config_.window)); }
+
+void MonitoringService::sweep_async() {
+  {
+    const util::MutexLock lock(mu_);
+    ++pending_surveys_;
+  }
+  pip_.survey_async(config_.window, [this](std::vector<PeerInfo> infos) {
+    apply(infos);
+    {
+      const util::MutexLock lock(mu_);
+      --pending_surveys_;
+    }
+    cv_.notify_all();
+  });
+}
+
+void MonitoringService::apply(const std::vector<PeerInfo>& infos) {
   std::vector<std::pair<PeerInfo, bool>> events;
   {
     const util::MutexLock lock(mu_);

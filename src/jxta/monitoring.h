@@ -41,9 +41,14 @@ class MonitoringService {
   MonitoringService& operator=(const MonitoringService&) = delete;
 
   void start() EXCLUDES(mu_);
+  // Cancels the periodic sweep and waits out any in-flight async survey,
+  // so the service may be destroyed after stop() returns. Idempotent.
   void stop() EXCLUDES(mu_);
 
-  // One sweep, synchronously (also driven by the timer when started).
+  // One sweep, synchronously. The periodic timer instead drives the async
+  // form: it kicks off a PIP survey whose collect window rides the shared
+  // util::TimerQueue, so the shared PeriodicTimer thread is never parked
+  // for `config.window`.
   void sweep() EXCLUDES(mu_);
 
   void set_liveness_listener(LivenessListener listener) EXCLUDES(mu_);
@@ -55,6 +60,10 @@ class MonitoringService {
   [[nodiscard]] std::size_t live_peer_count() const EXCLUDES(mu_);
 
  private:
+  // Timer-driven sweep: surveys without blocking the timer thread.
+  void sweep_async() EXCLUDES(mu_);
+  // Folds one survey's results into statuses_ and fires liveness events.
+  void apply(const std::vector<PeerInfo>& infos) EXCLUDES(mu_);
 
   PeerInfoService& pip_;
   util::PeriodicTimer& timer_;
@@ -62,8 +71,11 @@ class MonitoringService {
   const MonitoringConfig config_;
 
   mutable util::Mutex mu_{"monitoring"};
+  util::CondVar cv_;
   bool started_ GUARDED_BY(mu_) = false;
   std::uint64_t timer_handle_ GUARDED_BY(mu_) = 0;
+  // Async surveys in flight; stop() waits for zero before returning.
+  int pending_surveys_ GUARDED_BY(mu_) = 0;
   std::map<PeerId, PeerStatus> statuses_ GUARDED_BY(mu_);
   LivenessListener listener_ GUARDED_BY(mu_);
 };

@@ -93,18 +93,47 @@ std::optional<PeerInfo> PeerInfoService::query(const PeerId& peer,
   return info;
 }
 
-std::vector<PeerInfo> PeerInfoService::survey(util::Duration window) {
+void PeerInfoService::survey_async(util::Duration window,
+                                   SurveyCallback done) {
   const util::Uuid query_id =
       resolver_.send_query(std::string(kHandlerName), {});
-  std::this_thread::sleep_for(window);
-  const util::MutexLock lock(mu_);
-  std::vector<PeerInfo> out;
-  const auto it = answers_.find(query_id);
-  if (it != answers_.end()) {
-    out = std::move(it->second);
-    answers_.erase(it);
-  }
-  return out;
+  // The collect window is a deadline on the shared timer queue, not a
+  // parked thread; answers accumulate in answers_[query_id] until it fires.
+  util::TimerQueue::shared().schedule_after(
+      window,
+      [weak = weak_from_this(), query_id, done = std::move(done)] {
+        std::vector<PeerInfo> out;
+        if (const auto self = weak.lock()) {
+          const util::MutexLock lock(self->mu_);
+          const auto it = self->answers_.find(query_id);
+          if (it != self->answers_.end()) {
+            out = std::move(it->second);
+            self->answers_.erase(it);
+          }
+        }
+        done(std::move(out));
+      });
+}
+
+std::vector<PeerInfo> PeerInfoService::survey(util::Duration window) {
+  struct Wait {
+    util::Mutex mu{"survey-wait"};
+    util::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    std::vector<PeerInfo> results GUARDED_BY(mu);
+  };
+  const auto wait = std::make_shared<Wait>();
+  survey_async(window, [wait](std::vector<PeerInfo> infos) {
+    {
+      const util::MutexLock lock(wait->mu);
+      wait->results = std::move(infos);
+      wait->done = true;
+    }
+    wait->cv.notify_all();
+  });
+  const util::MutexLock lock(wait->mu);
+  while (!wait->done) wait->cv.wait(wait->mu);
+  return std::move(wait->results);
 }
 
 std::optional<util::Bytes> PeerInfoService::process_query(
@@ -114,9 +143,22 @@ std::optional<util::Bytes> PeerInfoService::process_query(
 
 void PeerInfoService::process_response(const ResolverResponse& r) {
   PeerInfo info = PeerInfo::deserialize(r.payload);
+  bool fresh_bucket = false;
   {
     const util::MutexLock lock(mu_);
+    fresh_bucket = !answers_.contains(r.query_id);
     answers_[r.query_id].push_back(std::move(info));
+  }
+  if (fresh_bucket) {
+    // Arm a GC deadline for the bucket in case its query is never (or no
+    // longer) being collected.
+    util::TimerQueue::shared().schedule_after(
+        kAnswerTtl, [weak = weak_from_this(), id = r.query_id] {
+          if (const auto self = weak.lock()) {
+            const util::MutexLock lock(self->mu_);
+            self->answers_.erase(id);
+          }
+        });
   }
   cv_.notify_all();
 }

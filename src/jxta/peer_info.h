@@ -13,6 +13,7 @@
 #include "jxta/resolver.h"
 #include "util/clock.h"
 #include "util/thread_annotations.h"
+#include "util/timer_queue.h"
 
 namespace p2p::jxta {
 
@@ -48,7 +49,13 @@ class PeerInfoService final
 
   // Group-wide status sweep: propagates a PIP query and collects every
   // answer that arrives within the window (the substrate the paper's
-  // "monitoring service" builds on). Blocking; not for the peer executor.
+  // "monitoring service" builds on). The window rides the shared
+  // util::TimerQueue; `done` fires on the timer thread with whatever
+  // answers landed. Safe to call from anywhere, including the executor.
+  using SurveyCallback = std::function<void(std::vector<PeerInfo>)>;
+  void survey_async(util::Duration window, SurveyCallback done);
+
+  // Blocking wrapper around survey_async. Not for the peer executor.
   std::vector<PeerInfo> survey(util::Duration window) EXCLUDES(mu_);
 
   // --- ResolverHandler -----------------------------------------------------
@@ -56,6 +63,12 @@ class PeerInfoService final
   void process_response(const ResolverResponse& r) override;
 
  private:
+  // How long an unharvested answer bucket may linger. Late stragglers —
+  // answers that arrive after their survey window closed or their query()
+  // timed out — recreate a bucket nobody will ever collect; a shared-
+  // TimerQueue GC timer reclaims it.
+  static constexpr util::Duration kAnswerTtl = std::chrono::seconds(30);
+
   ResolverService& resolver_;
   EndpointService& endpoint_;
   util::Clock& clock_;

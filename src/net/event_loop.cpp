@@ -1,0 +1,243 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace p2p::net {
+
+namespace {
+constexpr int kMaxEpollEvents = 64;
+// Set for the lifetime of EventLoop::run() on its thread. A static marker
+// (rather than per-loop identity) because callers like the transport's
+// connect path must not block on ANY reactor thread, including another
+// loop's — a callback on loop A sending through a conn on loop B still
+// stalls a reactor if it waits.
+thread_local bool t_on_loop_thread = false;
+}  // namespace
+
+EventLoop::EventLoop(std::string name)
+    : name_(std::move(name)), timers_(name_.c_str(), util::TimerQueue::Mode::kDriven) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    P2P_LOG(kError, "net") << name_ << ": epoll/eventfd setup failed: "
+                           << std::strerror(errno);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  timers_.set_wakeup([this] { wakeup(); });
+  thread_ = std::thread([this] { run(); });
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::in_loop_thread() const {
+  const std::thread::id* tid = loop_tid_.load(std::memory_order_acquire);
+  return tid != nullptr && *tid == std::this_thread::get_id();
+}
+
+bool EventLoop::on_any_loop_thread() { return t_on_loop_thread; }
+
+void EventLoop::run_in_loop(util::Task task) {
+  if (in_loop_thread()) {
+    task();
+    return;
+  }
+  post(std::move(task));
+}
+
+bool EventLoop::post(util::Task task) {
+  {
+    const util::MutexLock lock(pending_mu_);
+    if (stopped_.load(std::memory_order_relaxed)) return false;
+    pending_.push_back(std::move(task));
+  }
+  wakeup();
+  return true;
+}
+
+util::TimerId EventLoop::schedule_after(util::Duration delay,
+                                        util::TimerTask task) {
+  return timers_.schedule_after(delay, std::move(task));
+}
+
+util::TimerId EventLoop::schedule_at(util::TimePoint deadline,
+                                     util::TimerTask task) {
+  return timers_.schedule_at(deadline, std::move(task));
+}
+
+bool EventLoop::cancel_timer(util::TimerId id) { return timers_.cancel(id); }
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  fd_callbacks_[fd] = std::move(cb);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    P2P_LOG(kError, "net") << name_ << ": EPOLL_CTL_ADD fd=" << fd
+                           << " failed: " << std::strerror(errno);
+  }
+}
+
+void EventLoop::update_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    P2P_LOG(kError, "net") << name_ << ": EPOLL_CTL_MOD fd=" << fd
+                           << " failed: " << std::strerror(errno);
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fd_callbacks_.erase(fd);
+}
+
+void EventLoop::bind_metrics(const std::shared_ptr<obs::Registry>& registry) {
+  auto wakeups = registry->counter("net.loop_wakeups");
+  auto fired = registry->counter("net.timers_fired");
+  // Handles are plain values mutated only on the loop thread. The registry
+  // rides along so the cells stay alive as long as this loop uses them.
+  run_in_loop([this, registry, wakeups, fired] {
+    metrics_registry_ = registry;
+    loop_wakeups_ = wakeups;
+    timers_fired_ = fired;
+  });
+}
+
+void EventLoop::wakeup() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_pending() {
+  std::vector<util::Task> tasks;
+  {
+    const util::MutexLock lock(pending_mu_);
+    tasks.swap(pending_);
+  }
+  for (auto& task : tasks) {
+    try {
+      task();
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "net") << name_ << ": posted task threw: " << e.what();
+    } catch (...) {
+      P2P_LOG(kError, "net") << name_ << ": posted task threw (non-std)";
+    }
+  }
+}
+
+void EventLoop::run() {
+  loop_tid_storage_ = std::this_thread::get_id();
+  loop_tid_.store(&loop_tid_storage_, std::memory_order_release);
+  t_on_loop_thread = true;
+
+  epoll_event events[kMaxEpollEvents];
+  while (!stopped_.load(std::memory_order_acquire)) {
+    // Size the wait by the earliest timer deadline (driven TimerQueue).
+    int timeout_ms = -1;
+    const util::TimePoint deadline = timers_.next_deadline();
+    if (deadline != util::TimePoint::max()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (deadline <= now) {
+        timeout_ms = 0;
+      } else {
+        const auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - now);
+        // +1: round up so we never wake a hair early and spin.
+        timeout_ms = static_cast<int>(delta.count()) + 1;
+      }
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      P2P_LOG(kError, "net") << name_ << ": epoll_wait failed: "
+                             << std::strerror(errno);
+      break;
+    }
+    loop_wakeups_.inc();
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      // The callback may remove_fd() itself (or others); look up fresh and
+      // tolerate disappearance.
+      const auto it = fd_callbacks_.find(fd);
+      if (it == fd_callbacks_.end()) continue;
+      // Copy: the callback may erase its own map entry mid-call.
+      const FdCallback cb = it->second;
+      try {
+        cb(events[i].events);
+      } catch (const std::exception& e) {
+        P2P_LOG(kError, "net") << name_ << ": fd callback threw: " << e.what();
+      } catch (...) {
+        P2P_LOG(kError, "net") << name_ << ": fd callback threw (non-std)";
+      }
+    }
+
+    drain_pending();
+    const std::size_t fired = timers_.run_due(std::chrono::steady_clock::now());
+    if (fired > 0) timers_fired_.inc(fired);
+  }
+  // Final drain so a stop() racing a post() can't strand a task forever.
+  drain_pending();
+}
+
+void EventLoop::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) {
+    if (thread_.joinable() && !in_loop_thread()) thread_.join();
+    return;
+  }
+  timers_.stop();
+  wakeup();
+  if (thread_.joinable()) thread_.join();
+}
+
+EventLoopGroup::EventLoopGroup(int threads) {
+  if (threads < 1) threads = 1;
+  loops_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    loops_.push_back(
+        std::make_unique<EventLoop>("evloop-" + std::to_string(i)));
+  }
+}
+
+EventLoopGroup::~EventLoopGroup() { stop(); }
+
+EventLoop& EventLoopGroup::next() {
+  const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  return *loops_[i % loops_.size()];
+}
+
+void EventLoopGroup::bind_metrics(
+    const std::shared_ptr<obs::Registry>& registry) {
+  for (auto& loop : loops_) loop->bind_metrics(registry);
+}
+
+void EventLoopGroup::stop() {
+  for (auto& loop : loops_) loop->stop();
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,142 @@
+// EventLoop: the reactor core under the TCP transport.
+//
+// One epoll instance, one thread. Everything that happens to a socket —
+// accept, connect completion, reads, queued writes, deadlines — happens as
+// a callback on the loop thread, so per-connection state needs no locking
+// against the loop itself. Cross-thread work enters through post(), which
+// queues a task and wakes the loop via an eventfd (the one fd epoll always
+// watches; writing 1 to it is the cheapest portable self-wakeup Linux has).
+// Deadlines ride a driven-mode util::TimerQueue: the loop sizes its
+// epoll_wait timeout by the earliest deadline and fires due timers after
+// each wakeup, so timers and I/O share one thread and one syscall.
+//
+// EventLoopGroup shards connections across N loops (round-robin): the
+// process serves any number of sockets with O(io_threads) threads, which
+// is the whole point of the reactor refactor (ISSUE 5 / ROADMAP scaling).
+//
+// Lock order: the loop's pending-task mutex ("evloop-pending") is a leaf —
+// post() may be called while holding any transport or connection mutex,
+// and the loop never calls out while holding it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/executor.h"
+#include "util/thread_annotations.h"
+#include "util/timer_queue.h"
+
+namespace p2p::net {
+
+// Invoked on the loop thread with the ready epoll event mask.
+using FdCallback = std::function<void(std::uint32_t events)>;
+
+class EventLoop {
+ public:
+  // Spawns the loop thread immediately. `name` appears in logs.
+  explicit EventLoop(std::string name = "evloop");
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // True when the calling thread is this loop's thread.
+  [[nodiscard]] bool in_loop_thread() const;
+
+  // True when the calling thread is ANY EventLoop's thread (not just this
+  // one's). Callbacks use this to avoid blocking waits that would stall a
+  // reactor — e.g. the transport's inline connect probe.
+  [[nodiscard]] static bool on_any_loop_thread();
+
+  // Runs `task` on the loop thread: immediately (inline) when already on
+  // it, otherwise queued + eventfd wakeup. Tasks posted after stop() are
+  // dropped.
+  void run_in_loop(util::Task task);
+  // Always queues, never runs inline (use when the task must not re-enter
+  // the current call frame). Returns false — task dropped — after stop().
+  bool post(util::Task task) EXCLUDES(pending_mu_);
+
+  // --- timers (callbacks run on the loop thread) -------------------------
+  util::TimerId schedule_after(util::Duration delay, util::TimerTask task);
+  util::TimerId schedule_at(util::TimePoint deadline, util::TimerTask task);
+  // TimerQueue::cancel semantics: blocks out a firing callback unless
+  // called from the loop thread itself.
+  bool cancel_timer(util::TimerId id);
+
+  // --- fd registration (loop thread only) --------------------------------
+  // The callback owns interpreting the event mask; EPOLLERR/EPOLLHUP are
+  // always delivered. The fd must stay open until remove_fd().
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  void update_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);
+
+  // Binds the loop's instruments (net.loop_wakeups, net.timers_fired) to a
+  // registry. Callable anytime; handles are value types, so rebinding is a
+  // plain store on the loop thread via run_in_loop.
+  void bind_metrics(const std::shared_ptr<obs::Registry>& registry);
+
+  // Joins the loop thread. Pending tasks are dropped; registered fds are
+  // left to their owners (the transport closes its own sockets first).
+  // Idempotent.
+  void stop();
+
+ private:
+  void run();
+  void wakeup();
+  void drain_pending() EXCLUDES(pending_mu_);
+
+  std::string name_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::atomic<bool> stopped_{false};
+  std::atomic<const std::thread::id*> loop_tid_{nullptr};
+  std::thread::id loop_tid_storage_;
+
+  util::TimerQueue timers_;
+
+  util::Mutex pending_mu_{"evloop-pending"};
+  std::vector<util::Task> pending_ GUARDED_BY(pending_mu_);
+
+  // Loop thread only (never touched off-loop, so unguarded by design).
+  std::unordered_map<int, FdCallback> fd_callbacks_;
+
+  obs::Counter loop_wakeups_;
+  obs::Counter timers_fired_;
+  // Pins the counter cells: the loop may outlive the Registry that minted
+  // the handles (a bench rebinding registries per run does exactly that).
+  std::shared_ptr<obs::Registry> metrics_registry_;
+
+  std::thread thread_;
+};
+
+// N loops, one thread each; connections are assigned round-robin. Several
+// transports may share one group, which is how a whole process stays at
+// O(io_threads) threads regardless of connection count.
+class EventLoopGroup {
+ public:
+  explicit EventLoopGroup(int threads = 1);
+  ~EventLoopGroup();
+
+  EventLoopGroup(const EventLoopGroup&) = delete;
+  EventLoopGroup& operator=(const EventLoopGroup&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return loops_.size(); }
+  [[nodiscard]] EventLoop& at(std::size_t i) { return *loops_[i]; }
+  // Round-robin assignment for a new connection.
+  [[nodiscard]] EventLoop& next();
+
+  void bind_metrics(const std::shared_ptr<obs::Registry>& registry);
+  void stop();
+
+ private:
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace p2p::net

@@ -6,17 +6,30 @@
 
 namespace p2p::net {
 
-NetworkFabric::NetworkFabric(std::uint64_t seed) : rng_(seed) {
-  thread_ = std::thread([this] { run(); });
-}
+NetworkFabric::NetworkFabric(std::uint64_t seed) : rng_(seed) {}
 
 NetworkFabric::~NetworkFabric() {
+  std::vector<util::TimerId> pending;
   {
     const util::MutexLock lock(mu_);
     stopped_ = true;
+    pending.assign(timers_.begin(), timers_.end());
+    timers_.clear();
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  cv_.notify_all();  // release drain() waiters
+  // Quiescent cancel (outside mu_: a firing deliver() needs the lock to
+  // finish). A successful cancel means that delivery will never run, so
+  // its in_flight_ slot is retired here.
+  std::uint64_t cancelled = 0;
+  for (const util::TimerId id : pending) {
+    if (util::TimerQueue::shared().cancel(id)) ++cancelled;
+  }
+  // A delivery that was already firing erased its id from timers_ before
+  // the snapshot above, so cancel() never saw it — wait for its epilogue
+  // (which touches this object) to finish before the members die.
+  const util::MutexLock lock(mu_);
+  in_flight_ -= cancelled;
+  while (in_flight_ != 0) cv_.wait(mu_);
 }
 
 void NetworkFabric::attach(const std::string& name, DatagramHandler handler) {
@@ -27,6 +40,17 @@ void NetworkFabric::attach(const std::string& name, DatagramHandler handler) {
 void NetworkFabric::detach(const std::string& name) {
   const util::MutexLock lock(mu_);
   nodes_.erase(name);
+  // Wait out a handler invocation already copied out by deliver(): the
+  // caller typically destroys the receiver right after detach. A handler
+  // detaching its own node (same thread) must not wait for itself.
+  while (!stopped_) {
+    const auto it = delivering_.find(name);
+    if (it == delivering_.end() ||
+        it->second.thread == std::this_thread::get_id()) {
+      break;
+    }
+    cv_.wait(mu_);
+  }
 }
 
 bool NetworkFabric::rename(const std::string& old_name,
@@ -85,51 +109,99 @@ LinkSpec NetworkFabric::link_for(const std::string& from,
   return it != links_.end() ? it->second : default_link_;
 }
 
-std::int64_t NetworkFabric::now_ms() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+bool NetworkFabric::submit(Datagram d) {
+  const util::MutexLock lock(mu_);
+  if (stopped_) return false;
+  ++stats_.submitted;
+  const std::string& from = d.src.authority();
+  const std::string& to = d.dst.authority();
+  if (!nodes_.contains(to)) {
+    ++stats_.dropped_unknown;
+    return false;
+  }
+  if (partitions_.contains(pair_key(from, to))) {
+    ++stats_.dropped_partition;
+    return false;
+  }
+  // Stateful firewall: inbound to a firewalled node requires a hole the
+  // node itself punched by sending outbound to this source first.
+  if (firewalled_.contains(to) && !holes_.contains(to + "|" + from)) {
+    ++stats_.dropped_partition;
+    return false;
+  }
+  // Sending from a firewalled node punches (refreshes) a hole.
+  if (firewalled_.contains(from)) holes_.insert(from + "|" + to);
+
+  const LinkSpec link = link_for(from, to);
+  if (rng_.next_bool(link.loss)) {
+    ++stats_.dropped_loss;
+    return true;  // loss is silent, like UDP
+  }
+  std::int64_t delay = link.latency_ms;
+  if (link.jitter_ms > 0) {
+    delay += static_cast<std::int64_t>(
+        rng_.next_below(static_cast<std::uint64_t>(link.jitter_ms) + 1));
+  }
+  ++in_flight_;
+  // Scheduling while holding mu_ closes the submit/fire race: if the
+  // timer is due immediately, deliver() blocks on mu_ until the id is in
+  // timers_ and the cell is filled in.
+  const auto id_cell = std::make_shared<util::TimerId>(0);
+  const util::TimerId id = util::TimerQueue::shared().schedule_after(
+      std::chrono::milliseconds(delay),
+      [this, id_cell, dg = std::move(d)]() mutable {
+        deliver(id_cell, std::move(dg));
+      });
+  timers_.insert(id);
+  *id_cell = id;
+  return true;
 }
 
-bool NetworkFabric::submit(Datagram d) {
+void NetworkFabric::deliver(const std::shared_ptr<util::TimerId>& id,
+                            Datagram d) {
+  DatagramHandler handler;
   {
     const util::MutexLock lock(mu_);
-    if (stopped_) return false;
-    ++stats_.submitted;
-    const std::string& from = d.src.authority();
-    const std::string& to = d.dst.authority();
-    if (!nodes_.contains(to)) {
-      ++stats_.dropped_unknown;
-      return false;
+    timers_.erase(*id);
+    if (stopped_) {
+      --in_flight_;
+      cv_.notify_all();
+      return;
     }
-    if (partitions_.contains(pair_key(from, to))) {
-      ++stats_.dropped_partition;
-      return false;
+    const auto it = nodes_.find(d.dst.authority());
+    if (it != nodes_.end()) handler = it->second;
+    if (handler) {
+      ++stats_.delivered;
+      stats_.bytes_delivered += d.payload.size();
+      // Mark the node busy so a concurrent detach() waits for the call
+      // below instead of letting its caller destroy the receiver.
+      auto& call = delivering_[d.dst.authority()];
+      ++call.count;
+      call.thread = std::this_thread::get_id();
+    } else {
+      ++stats_.dropped_unknown;  // node detached while in flight
     }
-    // Stateful firewall: inbound to a firewalled node requires a hole the
-    // node itself punched by sending outbound to this source first.
-    if (firewalled_.contains(to) && !holes_.contains(to + "|" + from)) {
-      ++stats_.dropped_partition;
-      return false;
-    }
-    // Sending from a firewalled node punches (refreshes) a hole.
-    if (firewalled_.contains(from)) holes_.insert(from + "|" + to);
-
-    const LinkSpec link = link_for(from, to);
-    if (rng_.next_bool(link.loss)) {
-      ++stats_.dropped_loss;
-      return true;  // loss is silent, like UDP
-    }
-    std::int64_t delay = link.latency_ms;
-    if (link.jitter_ms > 0) {
-      delay += static_cast<std::int64_t>(
-          rng_.next_below(static_cast<std::uint64_t>(link.jitter_ms) + 1));
-    }
-    queue_.push(Pending{now_ms() + delay, next_seq_++, std::move(d)});
-    ++in_flight_;
   }
+  std::string to;
+  if (handler) {
+    to = d.dst.authority();
+    try {
+      handler(std::move(d));
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "fabric") << "handler threw: " << e.what();
+    } catch (...) {
+      P2P_LOG(kError, "fabric") << "handler threw unknown exception";
+    }
+  }
+  const util::MutexLock lock(mu_);
+  if (handler) {
+    const auto call = delivering_.find(to);
+    if (call != delivering_.end() && --call->second.count == 0) {
+      delivering_.erase(call);
+    }
+  }
+  --in_flight_;
   cv_.notify_all();
-  return true;
 }
 
 void NetworkFabric::broadcast(const Address& src, const util::Bytes& payload) {
@@ -156,45 +228,6 @@ FabricStats NetworkFabric::stats() const {
 void NetworkFabric::drain() {
   const util::MutexLock lock(mu_);
   while (in_flight_ != 0 && !stopped_) cv_.wait(mu_);
-}
-
-void NetworkFabric::run() {
-  util::MutexLock lock(mu_);
-  while (!stopped_) {
-    if (queue_.empty()) {
-      while (!stopped_ && queue_.empty()) cv_.wait(mu_);
-      continue;
-    }
-    const std::int64_t due = queue_.top().deliver_at_ms;
-    const std::int64_t now = now_ms();
-    if (due > now) {
-      cv_.wait_for(mu_, std::chrono::milliseconds(due - now));
-      continue;
-    }
-    Pending p = queue_.top();
-    queue_.pop();
-    const auto it = nodes_.find(p.datagram.dst.authority());
-    DatagramHandler handler = it != nodes_.end() ? it->second : nullptr;
-    if (handler) {
-      ++stats_.delivered;
-      stats_.bytes_delivered += p.datagram.payload.size();
-    } else {
-      ++stats_.dropped_unknown;  // node detached while in flight
-    }
-    lock.unlock();
-    if (handler) {
-      try {
-        handler(std::move(p.datagram));
-      } catch (const std::exception& e) {
-        P2P_LOG(kError, "fabric") << "handler threw: " << e.what();
-      } catch (...) {
-        P2P_LOG(kError, "fabric") << "handler threw unknown exception";
-      }
-    }
-    lock.lock();
-    --in_flight_;
-    if (in_flight_ == 0) cv_.notify_all();
-  }
 }
 
 }  // namespace p2p::net

@@ -10,12 +10,14 @@
 //   - address re-assignment                (what makes PBP re-binding needed)
 //
 // Nodes register by name; InProcTransport (inproc_transport.h) bridges the
-// fabric to the Transport interface. One scheduler thread delivers datagrams
-// in deliver-at order.
+// fabric to the Transport interface. Delivery deadlines ride the process-wide
+// util::TimerQueue::shared() — the fabric owns no thread of its own. The
+// timer queue fires equal deadlines in schedule order, which preserves the
+// fabric's per-instant FIFO guarantee (tests rely on it).
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -24,6 +26,7 @@
 #include "net/transport.h"
 #include "util/random.h"
 #include "util/thread_annotations.h"
+#include "util/timer_queue.h"
 
 namespace p2p::net {
 
@@ -63,6 +66,11 @@ class NetworkFabric {
       EXCLUDES(mu_);
 
   // Removes the node; in-flight datagrams to it are dropped on delivery.
+  // Quiescent: if the node's handler is being invoked right now (on the
+  // timer thread), detach() returns only after that call finishes, so the
+  // caller may destroy the receiver behind the handler. Calling detach
+  // from inside the node's own handler skips the wait instead of
+  // self-deadlocking.
   void detach(const std::string& name) EXCLUDES(mu_);
 
   // Renames a node, keeping its handler. Old in-flight traffic to the old
@@ -109,29 +117,26 @@ class NetworkFabric {
   void drain() EXCLUDES(mu_);
 
  private:
-  struct Pending {
-    std::int64_t deliver_at_ms;
-    std::uint64_t seq;  // tie-break: preserve submit order per instant
-    Datagram datagram;
-  };
-  struct PendingLater {
-    bool operator()(const Pending& a, const Pending& b) const {
-      if (a.deliver_at_ms != b.deliver_at_ms)
-        return a.deliver_at_ms > b.deliver_at_ms;
-      return a.seq > b.seq;
-    }
-  };
-
   [[nodiscard]] LinkSpec link_for(const std::string& from,
                                   const std::string& to) const REQUIRES(mu_);
   [[nodiscard]] static std::string pair_key(const std::string& a,
                                             const std::string& b);
-  void run() EXCLUDES(mu_);
-  [[nodiscard]] static std::int64_t now_ms();
+  // Timer callback: hand `d` to its destination's handler (or count the
+  // drop if the node detached in flight). `id` self-identifies the timer
+  // so it can be retired from timers_.
+  void deliver(const std::shared_ptr<util::TimerId>& id, Datagram d)
+      EXCLUDES(mu_);
 
   mutable util::Mutex mu_{"fabric"};
   util::CondVar cv_;
   std::unordered_map<std::string, DatagramHandler> nodes_ GUARDED_BY(mu_);
+  // Nodes whose handler is executing right now (outside mu_), and on which
+  // thread — detach() waits on this so a handler never outlives its node.
+  struct InFlightCall {
+    int count = 0;
+    std::thread::id thread;
+  };
+  std::unordered_map<std::string, InFlightCall> delivering_ GUARDED_BY(mu_);
   // "from|to" -> spec
   std::unordered_map<std::string, LinkSpec> links_ GUARDED_BY(mu_);
   LinkSpec default_link_ GUARDED_BY(mu_);
@@ -140,14 +145,13 @@ class NetworkFabric {
   std::unordered_set<std::string> firewalled_ GUARDED_BY(mu_);
   // firewall holes: "inside|outside" present => outside may send to inside
   std::unordered_set<std::string> holes_ GUARDED_BY(mu_);
-  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_
-      GUARDED_BY(mu_);
+  // Ids of in-flight delivery timers; the destructor cancels each with
+  // TimerQueue's quiescence guarantee, so no handler runs past ~NetworkFabric.
+  std::unordered_set<util::TimerId> timers_ GUARDED_BY(mu_);
   util::Rng rng_ GUARDED_BY(mu_);
   FabricStats stats_ GUARDED_BY(mu_);
-  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
   std::uint64_t in_flight_ GUARDED_BY(mu_) = 0;
   bool stopped_ GUARDED_BY(mu_) = false;
-  std::thread thread_;
 };
 
 }  // namespace p2p::net

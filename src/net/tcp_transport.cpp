@@ -3,10 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
-#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/error.h"
@@ -19,6 +23,8 @@ namespace {
 
 const std::string kScheme = "tcp";
 constexpr std::uint32_t kMaxFrame = 16 * 1024 * 1024;
+// Compact the receive reassembly buffer once this much has been consumed.
+constexpr std::size_t kInbufCompactAt = 1 << 20;
 
 // Parses "127.0.0.1:5001" into a sockaddr. Returns false if malformed.
 bool to_sockaddr(const std::string& authority, sockaddr_in& out) {
@@ -33,10 +39,60 @@ bool to_sockaddr(const std::string& authority, sockaddr_in& out) {
   return true;
 }
 
+void tune_socket(int fd, int sndbuf_bytes) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf_bytes,
+                 sizeof(sndbuf_bytes));
+  }
+}
+
+// Runs `task` on the loop and waits for it; the FIFO task queue makes this
+// a barrier for everything posted before it. Falls back to running inline
+// when the loop is this thread or already stopped-and-joined.
+void run_sync(EventLoop& loop, util::Task task) {
+  if (loop.in_loop_thread()) {
+    task();
+    return;
+  }
+  // Shared, not stack-local: the waiter may wake and return while the loop
+  // thread is still inside notify_all(), so the condvar must outlive both.
+  struct SyncWait {
+    util::Mutex mu{"tcp-sync"};
+    util::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+  };
+  const auto wait = std::make_shared<SyncWait>();
+  const bool queued = loop.post([wait, &task] {
+    task();
+    {
+      const util::MutexLock lock(wait->mu);
+      wait->done = true;
+    }
+    wait->cv.notify_all();
+  });
+  if (!queued) {
+    // Loop already stopped: its thread is gone, so inline is race-free.
+    task();
+    return;
+  }
+  util::MutexLock lock(wait->mu);
+  while (!wait->done) wait->cv.wait(wait->mu);
+}
+
 }  // namespace
 
-TcpTransport::TcpTransport(std::uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+TcpTransport::TcpTransport(std::uint16_t port)
+    : TcpTransport(port, Options{}) {}
+
+TcpTransport::TcpTransport(std::uint16_t port, Options options)
+    : options_(std::move(options)), loops_(options_.loops) {
+  if (!loops_) {
+    loops_ = std::make_shared<EventLoopGroup>(options_.io_threads);
+    owns_loops_ = true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) throw util::P2pError("tcp: cannot create socket");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -52,11 +108,32 @@ TcpTransport::TcpTransport(std::uint16_t port) {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) < 0) {
+  local_text_ = "127.0.0.1:" + std::to_string(port_);
+  src_text_ = Address(kScheme, local_text_).to_string();
+  // Full-depth backlog: a peer reconnect storm (N peers dialing at once)
+  // must not overflow the SYN queue — dropped SYNs turn into 1s client
+  // retransmits, which reads as a dead listener at exactly the wrong time.
+  if (::listen(listen_fd_, SOMAXCONN) < 0) {
     ::close(listen_fd_);
     throw util::P2pError("tcp: cannot listen");
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  {
+    const util::MutexLock lock(mu_);
+    instruments_ = std::make_shared<Instruments>();
+  }
+  const int lfd = listen_fd_;
+  loops_->at(0).run_in_loop(
+      [this, lfd] { loops_->at(0).add_fd(lfd, EPOLLIN, [this](std::uint32_t) {
+        on_accept();
+      }); });
+  if (options_.idle_timeout.count() > 0) {
+    const auto interval =
+        std::max<util::Duration>(options_.idle_timeout / 4,
+                                 std::chrono::milliseconds(10));
+    const util::MutexLock lock(mu_);
+    sweep_timer_ =
+        loops_->at(0).schedule_after(interval, [this] { on_sweep(); });
+  }
 }
 
 TcpTransport::~TcpTransport() { close(); }
@@ -64,7 +141,7 @@ TcpTransport::~TcpTransport() { close(); }
 const std::string& TcpTransport::scheme() const { return kScheme; }
 
 Address TcpTransport::local_address() const {
-  return Address(kScheme, "127.0.0.1:" + std::to_string(port_));
+  return Address(kScheme, local_text_);
 }
 
 void TcpTransport::set_receiver(DatagramHandler handler) {
@@ -72,189 +149,690 @@ void TcpTransport::set_receiver(DatagramHandler handler) {
   handler_ = std::move(handler);
 }
 
-bool TcpTransport::write_all(int fd, const std::uint8_t* data,
-                             std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    data += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-bool TcpTransport::write_vectored(int fd, struct iovec* iov, int iovcnt) {
-  // sendmsg rather than writev: writev cannot pass MSG_NOSIGNAL, and a
-  // peer that closed mid-write would SIGPIPE the process.
-  while (iovcnt > 0) {
-    msghdr mh{};
-    mh.msg_iov = iov;
-    mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
-    const ssize_t w = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    auto n = static_cast<std::size_t>(w);
-    while (iovcnt > 0 && n >= iov->iov_len) {
-      n -= iov->iov_len;
-      ++iov;
-      --iovcnt;
-    }
-    if (iovcnt > 0 && n > 0) {
-      iov->iov_base = static_cast<std::uint8_t*>(iov->iov_base) + n;
-      iov->iov_len -= n;
-    }
-  }
-  return true;
-}
-
-bool TcpTransport::read_exact(int fd, std::uint8_t* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t r = ::recv(fd, data, n, 0);
-    if (r <= 0) return false;
-    data += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(
-    const std::string& authority) {
+void TcpTransport::bind_metrics(
+    const std::shared_ptr<obs::Registry>& registry) {
+  auto ins = std::make_shared<Instruments>();
+  ins->registry = registry;
+  ins->connections_active = registry->gauge("net.connections_active");
+  ins->send_queue_bytes = registry->gauge("net.send_queue_bytes");
+  ins->send_queue_bytes_hwm = registry->gauge("net.send_queue_bytes_hwm");
+  ins->connects_retried = registry->counter("net.connects_retried");
+  ins->connects_failed = registry->counter("net.connects_failed");
+  ins->send_drops = registry->counter("net.send_drops");
   {
     const util::MutexLock lock(mu_);
-    const auto it = outbound_.find(authority);
-    if (it != outbound_.end()) return it->second;
+    instruments_ = std::move(ins);
   }
-  sockaddr_in addr{};
-  if (!to_sockaddr(authority, addr)) return nullptr;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return nullptr;
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return nullptr;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  auto conn = std::make_shared<Connection>();
-  conn->fd = fd;
-  {
-    const util::MutexLock lock(mu_);
-    // Another thread may have raced us; keep the first connection.
-    const auto [it, inserted] = outbound_.emplace(authority, conn);
-    if (!inserted) {
-      ::close(fd);
-      return it->second;
-    }
-  }
-  return conn;
+  loops_->bind_metrics(registry);
 }
+
+TcpTransport::InstrumentsPtr TcpTransport::instruments() const {
+  const util::MutexLock lock(mu_);
+  return instruments_;
+}
+
+util::Bytes TcpTransport::make_frame(const util::Bytes& payload) const {
+  const std::string& src = src_text_;
+  const auto frame_len =
+      static_cast<std::uint32_t>(2 + src.size() + payload.size());
+  util::Bytes frame(4 + frame_len);
+  for (int i = 0; i < 4; ++i)
+    frame[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(frame_len >> (8 * i));
+  frame[4] = static_cast<std::uint8_t>(src.size());
+  frame[5] = static_cast<std::uint8_t>(src.size() >> 8);
+  std::memcpy(frame.data() + 6, src.data(), src.size());
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + 6 + src.size(), payload.data(), payload.size());
+  }
+  return frame;
+}
+
+void TcpTransport::record_failure(const std::string& authority) {
+  const auto now = std::chrono::steady_clock::now();
+  const util::MutexLock lock(mu_);
+  auto& entry = backoff_[authority];
+  entry.failures += 1;
+  auto delay = options_.backoff_initial;
+  for (int i = 1; i < entry.failures && delay < options_.backoff_max; ++i) {
+    delay *= 2;
+  }
+  entry.retry_after = now + std::min(delay, options_.backoff_max);
+}
+
+// --- caller-side path ---------------------------------------------------------
 
 bool TcpTransport::send(const Address& dst, util::Bytes payload) {
   if (closed_ || dst.scheme() != kScheme) return false;
   if (payload.size() > kMaxFrame) return false;
-  const auto conn = connect_to(dst.authority());
-  if (!conn) return false;
+  sockaddr_in sa{};
+  if (!to_sockaddr(dst.authority(), sa)) return false;
+  const std::string& authority = dst.authority();
 
-  // Gathered write: header, source address and payload go out in one
-  // sendmsg — no per-send copy of the payload into a coalesced frame.
-  const std::string src = local_address().to_string();
-  const auto frame_len =
-      static_cast<std::uint32_t>(2 + src.size() + payload.size());
-  std::uint8_t header[6];
-  for (int i = 0; i < 4; ++i)
-    header[i] = static_cast<std::uint8_t>(frame_len >> (8 * i));
-  header[4] = static_cast<std::uint8_t>(src.size());
-  header[5] = static_cast<std::uint8_t>(src.size() >> 8);
-  iovec iov[3];
-  iov[0].iov_base = header;
-  iov[0].iov_len = sizeof(header);
-  iov[1].iov_base = const_cast<char*>(src.data());
-  iov[1].iov_len = src.size();
-  iov[2].iov_base = payload.data();
-  iov[2].iov_len = payload.size();
-
-  const util::MutexLock wlock(conn->write_mu);
-  if (!write_vectored(conn->fd, iov, 3)) {
+  ConnPtr conn;
+  InstrumentsPtr ins;
+  bool is_retry = false;
+  {
     const util::MutexLock lock(mu_);
-    outbound_.erase(dst.authority());
-    return false;
+    if (closed_) return false;
+    ins = instruments_;
+    const auto it = outbound_.find(authority);
+    if (it != outbound_.end()) {
+      conn = it->second;
+    } else {
+      const auto bit = backoff_.find(authority);
+      if (bit != backoff_.end()) {
+        // Known-bad authority: fail fast until the backoff expires, then
+        // allow one fresh attempt (counted as a retry).
+        if (std::chrono::steady_clock::now() < bit->second.retry_after) {
+          return false;
+        }
+        is_retry = true;
+      }
+    }
+  }
+  if (!conn) {
+    if (is_retry) ins->connects_retried.inc();
+    conn = establish_outbound(authority, ins);
+    if (!conn) return false;
+  }
+  return enqueue_or_write(conn, make_frame(payload), ins);
+}
+
+TcpTransport::ConnPtr TcpTransport::establish_outbound(
+    const std::string& authority, const InstrumentsPtr& ins) {
+  sockaddr_in sa{};
+  if (!to_sockaddr(authority, sa)) return nullptr;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  tune_socket(fd, options_.sndbuf_bytes);
+
+  bool established = false;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+    established = true;
+  } else if (errno == EINPROGRESS) {
+    // Inline probe: wait a few ms so loopback refusal stays a synchronous
+    // `false`; a silent peer falls through to the reactor. Never from a
+    // reactor thread though — a send() issued inside a receive callback
+    // (echo servers do this) blocking here would stall every connection on
+    // that loop, so those callers go straight to the reactor-driven path.
+    const auto probe_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              options_.connect_probe)
+                              .count();
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = EventLoop::on_any_loop_thread()
+                       ? 0
+                       : ::poll(&pfd, 1, static_cast<int>(probe_ms));
+    if (pr > 0) {
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if (err != 0) {
+        ::close(fd);
+        ins->connects_failed.inc();
+        record_failure(authority);
+        return nullptr;
+      }
+      established = true;
+    } else if (pr < 0) {
+      ::close(fd);
+      ins->connects_failed.inc();
+      record_failure(authority);
+      return nullptr;
+    }
+    // pr == 0: still connecting; the loop takes over.
+  } else {
+    ::close(fd);
+    ins->connects_failed.inc();
+    record_failure(authority);
+    return nullptr;
+  }
+
+  auto conn = std::make_shared<Conn>(loops_->next());
+  conn->authority = authority;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    const util::MutexLock lock(conn->mu);
+    conn->fd = fd;
+    conn->state =
+        established ? Conn::State::kEstablished : Conn::State::kConnecting;
+    conn->attempts = 1;
+    conn->last_activity = now;
+    conn->give_up_at = now + options_.connect_deadline;
+  }
+  {
+    const util::MutexLock lock(mu_);
+    if (closed_) {
+      ::close(fd);
+      return nullptr;
+    }
+    const auto [it, inserted] = outbound_.emplace(authority, conn);
+    if (!inserted) {
+      // Lost a connect race; keep the first connection.
+      ::close(fd);
+      return it->second;
+    }
+    if (established) backoff_.erase(authority);
+  }
+  if (established) {
+    ins->connections_active.add(1);
+  } else {
+    const util::MutexLock lock(conn->mu);
+    conn->connect_timer = conn->loop->schedule_after(
+        options_.connect_deadline, [this, conn] { on_connect_deadline(conn); });
+  }
+  conn->loop->run_in_loop([this, conn] { register_conn(conn); });
+  return conn;
+}
+
+bool TcpTransport::enqueue_or_write(const ConnPtr& conn, util::Bytes frame,
+                                    const InstrumentsPtr& ins) {
+  const std::size_t size = frame.size();
+  bool need_arm = false;
+  bool broken = false;
+  std::size_t enqueued = 0;
+  {
+    util::MutexLock lock(conn->mu);
+    if (conn->state == Conn::State::kClosed) return false;
+    std::size_t written = 0;
+    if (conn->state == Conn::State::kEstablished && conn->queue.empty() &&
+        conn->fd >= 0) {
+      // Common case: the kernel takes the whole frame from the calling
+      // thread — no loop handoff, no wakeup.
+      while (written < size) {
+        const ssize_t w = ::send(conn->fd, frame.data() + written,
+                                 size - written, MSG_NOSIGNAL);
+        if (w > 0) {
+          written += static_cast<std::size_t>(w);
+          continue;
+        }
+        if (w < 0 && errno == EINTR) continue;
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        broken = true;
+        break;
+      }
+      if (broken) {
+        // The loop owns fd teardown; hand it the corpse.
+        lock.unlock();
+        conn->loop->run_in_loop([this, conn] { close_conn(conn); });
+        return false;
+      }
+      if (written == size) {
+        conn->last_activity = std::chrono::steady_clock::now();
+        return true;
+      }
+      // Partial frame on the wire: the remainder MUST queue (whatever the
+      // bound says) or the stream framing is corrupt.
+      conn->front_offset = written;
+    } else if (conn->queued_bytes + size > options_.max_send_queue_bytes) {
+      // Whole-frame drop at the bound: accepted best-effort, then lost,
+      // exactly like fabric loss — the caller is not blocked.
+      ins->send_drops.inc();
+      return true;
+    }
+    conn->queue.push_back(std::move(frame));
+    enqueued = size - written;
+    conn->queued_bytes += enqueued;
+    need_arm =
+        conn->state == Conn::State::kEstablished && !conn->epollout_armed;
+  }
+  ins->send_queue_bytes.add(static_cast<std::int64_t>(enqueued));
+  const std::int64_t depth = ins->send_queue_bytes.value();
+  if (depth > ins->send_queue_bytes_hwm.value()) {
+    ins->send_queue_bytes_hwm.set(depth);
+  }
+  if (need_arm) {
+    conn->loop->run_in_loop([this, conn] {
+      const util::MutexLock lock(conn->mu);
+      if (conn->state != Conn::State::kEstablished || conn->fd < 0) return;
+      if (!conn->epollout_armed) {
+        conn->loop->update_fd(conn->fd, EPOLLIN | EPOLLOUT);
+        conn->epollout_armed = true;
+      }
+    });
   }
   return true;
 }
 
-void TcpTransport::accept_loop() {
-  while (!closed_) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (closed_) return;
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    const util::MutexLock lock(mu_);
-    if (closed_) {
-      ::close(fd);
-      return;
-    }
-    inbound_fds_.push_back(fd);
-    readers_.emplace_back([this, fd] { read_loop(fd); });
-  }
+// --- loop-side path -----------------------------------------------------------
+
+void TcpTransport::register_conn(const ConnPtr& conn) {
+  const util::MutexLock lock(conn->mu);
+  if (conn->state == Conn::State::kClosed || conn->fd < 0) return;
+  const bool want_out =
+      conn->state == Conn::State::kConnecting || conn->queued_bytes > 0;
+  conn->epollout_armed = want_out;
+  conn->loop->add_fd(conn->fd, EPOLLIN | (want_out ? EPOLLOUT : 0u),
+                     [this, conn](std::uint32_t events) {
+                       on_conn_event(conn, events);
+                     });
 }
 
-void TcpTransport::read_loop(int fd) {
-  while (!closed_) {
-    std::uint8_t header[4];
-    if (!read_exact(fd, header, 4)) break;
-    std::uint32_t frame_len = 0;
-    for (int i = 0; i < 4; ++i)
-      frame_len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-    if (frame_len < 2 || frame_len > kMaxFrame) break;
-    util::Bytes frame(frame_len);
-    if (!read_exact(fd, frame.data(), frame.size())) break;
-    const std::size_t src_len =
-        static_cast<std::size_t>(frame[0]) |
-        (static_cast<std::size_t>(frame[1]) << 8);
-    if (2 + src_len > frame.size()) break;
-    const std::string src_text(frame.begin() + 2,
-                               frame.begin() + 2 + static_cast<long>(src_len));
-    const auto src = Address::parse(src_text);
-    if (!src) break;
-    util::Bytes payload(frame.begin() + 2 + static_cast<long>(src_len),
-                        frame.end());
+void TcpTransport::on_conn_event(const ConnPtr& conn, std::uint32_t events) {
+  Conn::State state;
+  {
+    const util::MutexLock lock(conn->mu);
+    state = conn->state;
+  }
+  if (state == Conn::State::kClosed) return;
+  if (state == Conn::State::kConnecting) {
+    if (events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) on_connect_writable(conn);
+    return;
+  }
+  if (events & EPOLLIN) {
+    do_read(conn);  // closes the conn on EOF/error
+    const util::MutexLock lock(conn->mu);
+    if (conn->state == Conn::State::kClosed) return;
+  }
+  if (events & EPOLLOUT) flush_queue(conn);
+  if ((events & EPOLLERR) != 0u && (events & EPOLLIN) == 0u) close_conn(conn);
+}
+
+void TcpTransport::on_connect_writable(const ConnPtr& conn) {
+  int fd = -1;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state != Conn::State::kConnecting) return;
+    fd = conn->fd;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (fd < 0 ||
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+    err = err != 0 ? err : ECONNABORTED;
+  }
+  if (err != 0) {
+    on_connect_attempt_failed(conn);
+    return;
+  }
+  util::TimerId deadline_timer = 0;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state != Conn::State::kConnecting) return;
+    conn->state = Conn::State::kEstablished;
+    conn->last_activity = std::chrono::steady_clock::now();
+    deadline_timer = conn->connect_timer;
+    conn->connect_timer = 0;
+  }
+  if (deadline_timer != 0) conn->loop->cancel_timer(deadline_timer);
+  instruments()->connections_active.add(1);
+  {
+    const util::MutexLock lock(mu_);
+    backoff_.erase(conn->authority);
+  }
+  flush_queue(conn);  // drains the connect-era backlog, fixes epoll interest
+}
+
+void TcpTransport::on_connect_attempt_failed(const ConnPtr& conn) {
+  int attempts = 0;
+  util::TimePoint give_up_at;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state != Conn::State::kConnecting) return;
+    if (conn->fd >= 0) {
+      conn->loop->remove_fd(conn->fd);
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    attempts = ++conn->attempts;
+    give_up_at = conn->give_up_at;
+  }
+  auto delay = options_.backoff_initial;
+  for (int i = 2; i < attempts && delay < options_.backoff_max; ++i) delay *= 2;
+  delay = std::min(delay, options_.backoff_max);
+  if (std::chrono::steady_clock::now() + delay >= give_up_at) {
+    on_connect_deadline(conn);
+    return;
+  }
+  const util::MutexLock lock(conn->mu);
+  if (conn->state != Conn::State::kConnecting) return;
+  conn->retry_timer =
+      conn->loop->schedule_after(delay, [this, conn] { retry_connect(conn); });
+}
+
+void TcpTransport::on_connect_deadline(const ConnPtr& conn) {
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state != Conn::State::kConnecting) return;
+    conn->connect_timer = 0;
+  }
+  instruments()->connects_failed.inc();
+  record_failure(conn->authority);
+  close_conn(conn);
+}
+
+void TcpTransport::retry_connect(const ConnPtr& conn) {
+  instruments()->connects_retried.inc();
+  sockaddr_in sa{};
+  if (!to_sockaddr(conn->authority, sa)) return;
+  bool failed = false;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state != Conn::State::kConnecting) return;
+    conn->retry_timer = 0;
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      failed = true;
+    } else {
+      tune_socket(fd, options_.sndbuf_bytes);
+      const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa),
+                               sizeof(sa));
+      if (rc == 0 || errno == EINPROGRESS) {
+        // Either way the socket is (or will turn) writable; EPOLLOUT
+        // finishes the handshake in on_connect_writable.
+        conn->fd = fd;
+        conn->epollout_armed = true;
+        conn->loop->add_fd(fd, EPOLLIN | EPOLLOUT,
+                           [this, conn](std::uint32_t events) {
+                             on_conn_event(conn, events);
+                           });
+      } else {
+        ::close(fd);
+        failed = true;
+      }
+    }
+  }
+  if (failed) on_connect_attempt_failed(conn);
+}
+
+void TcpTransport::do_read(const ConnPtr& conn) {
+  int fd = -1;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state != Conn::State::kEstablished) return;
+    fd = conn->fd;
+  }
+  std::uint8_t buf[64 * 1024];
+  bool dead = false;
+  bool got = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.insert(conn->inbuf.end(), buf, buf + n);
+      got = true;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    dead = true;  // EOF or hard error
+    break;
+  }
+
+  if (got) {
     DatagramHandler handler;
     {
       const util::MutexLock lock(mu_);
       handler = handler_;
     }
-    if (handler) {
-      try {
-        handler(Datagram{*src, local_address(), std::move(payload)});
-      } catch (const std::exception& e) {
-        P2P_LOG(kError, "tcp") << "receiver threw: " << e.what();
+    while (!dead) {
+      const std::size_t avail = conn->inbuf.size() - conn->inbuf_consumed;
+      if (avail < 4) break;
+      const std::uint8_t* p = conn->inbuf.data() + conn->inbuf_consumed;
+      std::uint32_t frame_len = 0;
+      for (int i = 0; i < 4; ++i)
+        frame_len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+      if (frame_len < 2 || frame_len > kMaxFrame) {
+        dead = true;  // corrupt stream; drop the connection like the
+        break;        // thread-per-connection transport did
+      }
+      if (avail < 4 + frame_len) break;
+      const std::size_t src_len = static_cast<std::size_t>(p[4]) |
+                                  (static_cast<std::size_t>(p[5]) << 8);
+      if (2 + src_len > frame_len) {
+        dead = true;
+        break;
+      }
+      const std::string src_text(reinterpret_cast<const char*>(p + 6),
+                                 src_len);
+      const auto src = Address::parse(src_text);
+      if (!src) {
+        dead = true;
+        break;
+      }
+      util::Bytes payload(p + 6 + src_len, p + 4 + frame_len);
+      conn->inbuf_consumed += 4 + frame_len;
+      if (handler) {
+        try {
+          handler(Datagram{*src, local_address(), std::move(payload)});
+        } catch (const std::exception& e) {
+          P2P_LOG(kError, "tcp") << "receiver threw: " << e.what();
+        }
+      }
+    }
+    if (conn->inbuf_consumed == conn->inbuf.size()) {
+      conn->inbuf.clear();
+      conn->inbuf_consumed = 0;
+    } else if (conn->inbuf_consumed > kInbufCompactAt) {
+      conn->inbuf.erase(conn->inbuf.begin(),
+                        conn->inbuf.begin() +
+                            static_cast<long>(conn->inbuf_consumed));
+      conn->inbuf_consumed = 0;
+    }
+    const util::MutexLock lock(conn->mu);
+    conn->last_activity = std::chrono::steady_clock::now();
+  }
+  if (dead) close_conn(conn);
+}
+
+void TcpTransport::flush_queue(const ConnPtr& conn) {
+  const InstrumentsPtr ins = instruments();
+  bool broken = false;
+  std::size_t released = 0;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state != Conn::State::kEstablished || conn->fd < 0) return;
+    while (!conn->queue.empty()) {
+      const util::Bytes& front = conn->queue.front();
+      const std::uint8_t* data = front.data() + conn->front_offset;
+      const std::size_t len = front.size() - conn->front_offset;
+      const ssize_t w = ::send(conn->fd, data, len, MSG_NOSIGNAL);
+      if (w > 0) {
+        released += static_cast<std::size_t>(w);
+        conn->queued_bytes -= static_cast<std::size_t>(w);
+        conn->front_offset += static_cast<std::size_t>(w);
+        if (conn->front_offset == front.size()) {
+          conn->queue.pop_front();
+          conn->front_offset = 0;
+        }
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      broken = true;
+      break;
+    }
+    if (!broken) {
+      const bool want_out = !conn->queue.empty();
+      if (want_out != conn->epollout_armed) {
+        conn->loop->update_fd(conn->fd,
+                              EPOLLIN | (want_out ? EPOLLOUT : 0u));
+        conn->epollout_armed = want_out;
+      }
+      if (released > 0) {
+        conn->last_activity = std::chrono::steady_clock::now();
       }
     }
   }
-  ::close(fd);
+  if (released > 0) {
+    ins->send_queue_bytes.add(-static_cast<std::int64_t>(released));
+  }
+  if (broken) close_conn(conn);
+}
+
+void TcpTransport::close_conn(const ConnPtr& conn) {
+  const InstrumentsPtr ins = instruments();
+  int fd = -1;
+  std::size_t dropped = 0;
+  bool was_established = false;
+  util::TimerId connect_timer = 0;
+  util::TimerId retry_timer = 0;
+  {
+    const util::MutexLock lock(conn->mu);
+    if (conn->state == Conn::State::kClosed) return;
+    was_established = conn->state == Conn::State::kEstablished;
+    conn->state = Conn::State::kClosed;
+    fd = conn->fd;
+    conn->fd = -1;
+    dropped = conn->queued_bytes;
+    conn->queued_bytes = 0;
+    conn->queue.clear();
+    conn->front_offset = 0;
+    connect_timer = conn->connect_timer;
+    retry_timer = conn->retry_timer;
+    conn->connect_timer = 0;
+    conn->retry_timer = 0;
+  }
+  if (fd >= 0) {
+    conn->loop->remove_fd(fd);
+    ::close(fd);
+  }
+  // Same loop: a pending timer is removed; the currently-running callback
+  // (if it is us) self-cancels as a no-op.
+  if (connect_timer != 0) conn->loop->cancel_timer(connect_timer);
+  if (retry_timer != 0) conn->loop->cancel_timer(retry_timer);
+  if (was_established) ins->connections_active.add(-1);
+  if (dropped > 0) {
+    ins->send_queue_bytes.add(-static_cast<std::int64_t>(dropped));
+  }
+  {
+    const util::MutexLock lock(mu_);
+    if (!conn->authority.empty()) {
+      const auto it = outbound_.find(conn->authority);
+      if (it != outbound_.end() && it->second == conn) outbound_.erase(it);
+    } else {
+      inbound_.erase(std::remove(inbound_.begin(), inbound_.end(), conn),
+                     inbound_.end());
+    }
+  }
+}
+
+void TcpTransport::on_accept() {
+  const InstrumentsPtr ins = instruments();
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;  // EAGAIN, or the listen socket is going away
+    tune_socket(fd, options_.sndbuf_bytes);
+    auto conn = std::make_shared<Conn>(loops_->next());
+    {
+      const util::MutexLock lock(conn->mu);
+      conn->fd = fd;
+      conn->state = Conn::State::kEstablished;
+      conn->last_activity = std::chrono::steady_clock::now();
+    }
+    {
+      const util::MutexLock lock(mu_);
+      if (closed_) {
+        ::close(fd);
+        return;
+      }
+      inbound_.push_back(conn);
+    }
+    ins->connections_active.add(1);
+    conn->loop->run_in_loop([this, conn] { register_conn(conn); });
+  }
+}
+
+void TcpTransport::on_sweep() {
+  std::vector<ConnPtr> conns;
+  {
+    const util::MutexLock lock(mu_);
+    if (closed_) {
+      sweep_timer_ = 0;
+      return;
+    }
+    conns.reserve(outbound_.size() + inbound_.size());
+    for (const auto& [authority, conn] : outbound_) conns.push_back(conn);
+    for (const auto& conn : inbound_) conns.push_back(conn);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& conn : conns) {
+    bool evict = false;
+    {
+      const util::MutexLock lock(conn->mu);
+      // Established-and-idle covers half-open inbound sockets too: a peer
+      // that connected but never sent a frame has last_activity stuck at
+      // accept time.
+      evict = conn->state == Conn::State::kEstablished &&
+              conn->queue.empty() &&
+              now - conn->last_activity > options_.idle_timeout;
+    }
+    if (evict) {
+      conn->loop->run_in_loop([this, conn] { close_conn(conn); });
+    }
+  }
+  const auto interval = std::max<util::Duration>(
+      options_.idle_timeout / 4, std::chrono::milliseconds(10));
+  const util::MutexLock lock(mu_);
+  if (!closed_) {
+    sweep_timer_ =
+        loops_->at(0).schedule_after(interval, [this] { on_sweep(); });
+  } else {
+    sweep_timer_ = 0;
+  }
 }
 
 void TcpTransport::close() {
   if (closed_.exchange(true)) return;
-  // Shutdown wakes accept(); closing fds wakes readers.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  std::vector<std::thread> readers;
+
+  // The sweep reschedules itself; loop until we cancel a quiesced id and
+  // no fresh one appeared.
+  for (;;) {
+    util::TimerId sweep = 0;
+    {
+      const util::MutexLock lock(mu_);
+      sweep = sweep_timer_;
+      sweep_timer_ = 0;
+    }
+    if (sweep == 0) break;
+    loops_->at(0).cancel_timer(sweep);
+  }
+
+  // Stop accepting: deregister on the loop first (no thread blocks in
+  // accept, so there is no one to kick with shutdown), then close.
+  const int lfd = listen_fd_;
+  run_sync(loops_->at(0), [this, lfd] { loops_->at(0).remove_fd(lfd); });
+  ::shutdown(lfd, SHUT_RDWR);
+  ::close(lfd);
+
+  std::vector<ConnPtr> conns;
   {
     const util::MutexLock lock(mu_);
-    for (const int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
-    for (auto& [name, conn] : outbound_) {
-      ::shutdown(conn->fd, SHUT_RDWR);
-      ::close(conn->fd);
+    conns.reserve(outbound_.size() + inbound_.size());
+    for (const auto& [authority, conn] : outbound_) conns.push_back(conn);
+    for (const auto& conn : inbound_) conns.push_back(conn);
+  }
+  for (const auto& conn : conns) {
+    util::TimerId connect_timer = 0;
+    util::TimerId retry_timer = 0;
+    {
+      const util::MutexLock lock(conn->mu);
+      connect_timer = conn->connect_timer;
+      retry_timer = conn->retry_timer;
+      conn->connect_timer = 0;
+      conn->retry_timer = 0;
     }
+    // Quiescent cancel: after these return the callbacks are not running.
+    if (connect_timer != 0) conn->loop->cancel_timer(connect_timer);
+    if (retry_timer != 0) conn->loop->cancel_timer(retry_timer);
+    conn->loop->run_in_loop([this, conn] { close_conn(conn); });
+  }
+
+  // FIFO barrier per loop: once these run, every close_conn above has run
+  // and no fd callback of ours can fire again.
+  for (std::size_t i = 0; i < loops_->size(); ++i) {
+    run_sync(loops_->at(i), [] {});
+  }
+
+  {
+    const util::MutexLock lock(mu_);
     outbound_.clear();
-    readers.swap(readers_);
+    inbound_.clear();
+    backoff_.clear();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& t : readers) {
-    if (t.joinable()) t.join();
-  }
+  if (owns_loops_) loops_->stop();
 }
 
 }  // namespace p2p::net

@@ -1,64 +1,202 @@
-// Loopback/LAN TCP transport (real POSIX sockets).
+// Loopback/LAN TCP transport (real POSIX sockets) on the reactor core.
 //
 // Exists to show the substrate is not wedded to the simulated fabric: the
 // JXTA endpoint service runs identically over real sockets. Frames are
-// length-prefixed: [u32 frame_len][u16 src_len][src address][payload].
-// Outbound connections are created on demand and cached per destination.
+// length-prefixed: [u32 frame_len][u16 src_len][src address][payload]
+// (little-endian, unchanged since the first TCP transport — the wire
+// format is frozen by tests/wire_format_test).
+//
+// Threading model (this is the PR-5 rewrite; the original ran one blocking
+// accept thread plus one reader thread per inbound connection):
+//   * All sockets are non-blocking and live on an EventLoop; a transport
+//     serves any number of peers with O(io_threads) threads. Connections
+//     are sharded round-robin across the loops of an EventLoopGroup, which
+//     can be shared by several transports (Options::loops).
+//   * send() never blocks on the network. For an established connection it
+//     attempts one non-blocking write from the calling thread (the common
+//     un-congested case: no handoff, no wakeup); anything the kernel does
+//     not take is queued on the connection and flushed by the loop under
+//     EPOLLOUT. The per-connection queue is bounded
+//     (Options::max_send_queue_bytes); overflow drops the datagram and
+//     counts it (net.send_drops), like every other best-effort layer here.
+//   * A first send to a new peer probes the connect inline for a few
+//     milliseconds (Options::connect_probe) — long enough for a loopback
+//     RST, so sending to a dead local port still returns false
+//     synchronously — then hands the half-open socket to the loop and
+//     returns. The loop finishes the connect, retries with exponential
+//     backoff (Options::backoff_initial/backoff_max) until
+//     Options::connect_deadline, then gives up, drops the queue and
+//     records the authority as unreachable until the backoff expires.
+//   * Idle established connections are evicted after Options::idle_timeout
+//     by a periodic sweep; that same sweep reaps half-open inbound sockets
+//     that connected but never sent a frame.
+//
+// Lock order: a connection's mutex may be held while taking the transport
+// map mutex ("tcp-transport") or scheduling a timer, never the reverse —
+// no path holds "tcp-transport" while locking a connection.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
-#include <thread>
+#include <memory>
 #include <vector>
 
+#include "net/event_loop.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/thread_annotations.h"
-
-struct iovec;  // <sys/uio.h>; kept out of this header
 
 namespace p2p::net {
 
 class TcpTransport final : public Transport {
  public:
+  struct Options {
+    // Event loops to run on. When null the transport creates a private
+    // EventLoopGroup of `io_threads` loops; pass a shared group to run many
+    // transports (a whole test topology) on the same few threads.
+    std::shared_ptr<EventLoopGroup> loops;
+    int io_threads = 1;
+
+    // How long send() waits inline for a brand-new connect before handing
+    // it to the loop. Loopback refusal (RST) lands well inside this, so a
+    // dead local port fails synchronously; a silent peer costs the caller
+    // at most this long, once.
+    util::Duration connect_probe = std::chrono::milliseconds(20);
+    // Total time the loop keeps retrying a connect (with backoff) before
+    // declaring the authority unreachable and dropping its queue.
+    util::Duration connect_deadline = std::chrono::milliseconds(2000);
+    util::Duration backoff_initial = std::chrono::milliseconds(200);
+    util::Duration backoff_max = std::chrono::milliseconds(5000);
+
+    // Established connections idle longer than this are closed; 0 disables
+    // the sweep (and half-open reaping).
+    util::Duration idle_timeout = std::chrono::minutes(2);
+
+    // Per-connection bound on queued-but-unsent bytes; beyond it new
+    // datagrams are dropped (counted in net.send_drops).
+    std::size_t max_send_queue_bytes = 8 * 1024 * 1024;
+
+    // >0 shrinks SO_SNDBUF on outbound sockets (tests use this to make
+    // backpressure reproducible without megabytes of traffic).
+    int sndbuf_bytes = 0;
+  };
+
   // Binds and listens on 127.0.0.1:port; port 0 picks an ephemeral port
   // (see local_address() for the actual one). Throws util::P2pError if the
   // socket cannot be bound.
   explicit TcpTransport(std::uint16_t port = 0);
+  TcpTransport(std::uint16_t port, Options options);
   ~TcpTransport() override;
 
   [[nodiscard]] const std::string& scheme() const override;
   [[nodiscard]] Address local_address() const override;
   bool send(const Address& dst, util::Bytes payload) override;
   void set_receiver(DatagramHandler handler) override;
+  // Binds net.connections_active / net.connects_retried /
+  // net.connects_failed / net.send_queue_bytes{,_hwm} / net.send_drops —
+  // and, through the loop group, net.loop_wakeups / net.timers_fired.
+  void bind_metrics(const std::shared_ptr<obs::Registry>& registry) override;
+  // Closes every socket and quiesces loop callbacks before returning. Must
+  // run before a *shared* EventLoopGroup is stopped. Idempotent.
   void close() override;
 
  private:
-  struct Connection {
-    int fd = -1;  // set once at creation, then read-only
-    util::Mutex write_mu{"tcp-conn-write"};
+  // All metric handles, snapshotted together under mu_ so a late
+  // bind_metrics() swaps them atomically for every subsequent operation.
+  struct Instruments {
+    // Pins the handles' cells: a conn teardown racing a registry swap (or a
+    // registry that dies before the loops drain) must not dangle them.
+    std::shared_ptr<obs::Registry> registry;
+    obs::Gauge connections_active;
+    obs::Gauge send_queue_bytes;
+    obs::Gauge send_queue_bytes_hwm;
+    obs::Counter connects_retried;
+    obs::Counter connects_failed;
+    obs::Counter send_drops;
+  };
+  using InstrumentsPtr = std::shared_ptr<const Instruments>;
+
+  struct Conn {
+    enum class State { kConnecting, kEstablished, kClosed };
+
+    explicit Conn(EventLoop& owner) : loop(&owner) {}
+
+    EventLoop* const loop;   // owns the fd: all closes happen on this loop
+    std::string authority;   // outbound cache key; empty for inbound
+
+    util::Mutex mu{"tcp-conn"};
+    State state GUARDED_BY(mu) = State::kConnecting;
+    int fd GUARDED_BY(mu) = -1;
+    // Pre-framed buffers awaiting EPOLLOUT; front_offset marks how much of
+    // the front buffer the kernel has already taken.
+    std::deque<util::Bytes> queue GUARDED_BY(mu);
+    std::size_t front_offset GUARDED_BY(mu) = 0;
+    std::size_t queued_bytes GUARDED_BY(mu) = 0;
+    bool epollout_armed GUARDED_BY(mu) = false;
+    util::TimePoint last_activity GUARDED_BY(mu);
+    int attempts GUARDED_BY(mu) = 0;       // connect attempts so far
+    util::TimePoint give_up_at GUARDED_BY(mu);  // connect_deadline cutoff
+    util::TimerId connect_timer GUARDED_BY(mu) = 0;
+    util::TimerId retry_timer GUARDED_BY(mu) = 0;
+
+    // Loop-thread only: receive reassembly buffer (offset-consumed).
+    util::Bytes inbuf;
+    std::size_t inbuf_consumed = 0;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  // Unreachability memory per authority: after a failed connect, sends
+  // fail fast until `retry_after`; a successful connect erases the entry.
+  struct Backoff {
+    int failures = 0;
+    util::TimePoint retry_after;
   };
 
-  void accept_loop();
-  void read_loop(int fd);
-  // Returns a connected fd for dst or -1. Caches by authority.
-  std::shared_ptr<Connection> connect_to(const std::string& authority);
-  static bool write_all(int fd, const std::uint8_t* data, std::size_t n);
-  // Gathered write of every byte in iov[0..iovcnt); advances the iovecs in
-  // place across partial sends. False on any socket error.
-  static bool write_vectored(int fd, struct iovec* iov, int iovcnt);
-  static bool read_exact(int fd, std::uint8_t* data, std::size_t n);
+  // --- caller-side path ---------------------------------------------------
+  ConnPtr establish_outbound(const std::string& authority,
+                             const InstrumentsPtr& ins) EXCLUDES(mu_);
+  // Direct-write-or-enqueue; never blocks on the network. False only when
+  // the connection is already closed.
+  bool enqueue_or_write(const ConnPtr& conn, util::Bytes frame,
+                        const InstrumentsPtr& ins);
+
+  // --- loop-side path (each runs on conn->loop) --------------------------
+  void register_conn(const ConnPtr& conn);
+  void on_conn_event(const ConnPtr& conn, std::uint32_t events);
+  void on_connect_writable(const ConnPtr& conn);
+  void on_connect_attempt_failed(const ConnPtr& conn);
+  void on_connect_deadline(const ConnPtr& conn);
+  void retry_connect(const ConnPtr& conn);
+  void do_read(const ConnPtr& conn);
+  void flush_queue(const ConnPtr& conn);
+  void close_conn(const ConnPtr& conn);
+  void on_accept();
+  void on_sweep() EXCLUDES(mu_);
+
+  void record_failure(const std::string& authority) EXCLUDES(mu_);
+  [[nodiscard]] InstrumentsPtr instruments() const EXCLUDES(mu_);
+  [[nodiscard]] util::Bytes make_frame(const util::Bytes& payload) const;
+
+  Options options_;
+  std::shared_ptr<EventLoopGroup> loops_;
+  bool owns_loops_ = false;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::string local_text_;  // "127.0.0.1:<port>"
+  std::string src_text_;    // "tcp://127.0.0.1:<port>", the frame src field
   std::atomic<bool> closed_{false};
-  std::thread accept_thread_;
 
-  util::Mutex mu_{"tcp-transport"};
+  mutable util::Mutex mu_{"tcp-transport"};
   DatagramHandler handler_ GUARDED_BY(mu_);
-  std::map<std::string, std::shared_ptr<Connection>> outbound_ GUARDED_BY(mu_);
-  std::vector<std::thread> readers_ GUARDED_BY(mu_);
-  std::vector<int> inbound_fds_ GUARDED_BY(mu_);
+  std::map<std::string, ConnPtr> outbound_ GUARDED_BY(mu_);
+  std::vector<ConnPtr> inbound_ GUARDED_BY(mu_);
+  std::map<std::string, Backoff> backoff_ GUARDED_BY(mu_);
+  util::TimerId sweep_timer_ GUARDED_BY(mu_) = 0;
+  InstrumentsPtr instruments_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::net

@@ -12,6 +12,10 @@
 #include "net/address.h"
 #include "util/bytes.h"
 
+namespace p2p::obs {
+class Registry;
+}  // namespace p2p::obs
+
 namespace p2p::net {
 
 struct Datagram {
@@ -47,6 +51,12 @@ class Transport {
 
   // Installs the receive callback (replaces any previous one).
   virtual void set_receiver(DatagramHandler handler) = 0;
+
+  // Points the transport's instruments (net.* counters/gauges) at a
+  // registry. Transports without instruments ignore it; callers may bind
+  // at any time, but before traffic is the norm (EndpointService binds on
+  // add_transport).
+  virtual void bind_metrics(const std::shared_ptr<obs::Registry>& /*registry*/) {}
 
   // Stops delivering and sending. Idempotent.
   virtual void close() = 0;

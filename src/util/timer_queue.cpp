@@ -1,0 +1,155 @@
+#include "util/timer_queue.h"
+
+#include <exception>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace p2p::util {
+
+TimerQueue::TimerQueue(const char* name, Mode mode)
+    : name_(name), mode_(mode) {
+  if (mode_ == Mode::kOwnThread) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+TimerQueue::~TimerQueue() { stop(); }
+
+TimerQueue& TimerQueue::shared() {
+  // Leaked on purpose: callbacks may be scheduled from objects with static
+  // storage duration, and a destructed shared queue would race shutdown.
+  static auto* queue = new TimerQueue("shared-timer");
+  return *queue;
+}
+
+void TimerQueue::set_wakeup(std::function<void()> wakeup) {
+  const MutexLock lock(mu_);
+  wakeup_ = std::move(wakeup);
+}
+
+TimerId TimerQueue::schedule_at(TimePoint deadline, TimerTask task) {
+  return schedule_impl(deadline, std::move(task));
+}
+
+TimerId TimerQueue::schedule_after(Duration delay, TimerTask task) {
+  return schedule_impl(std::chrono::steady_clock::now() + delay,
+                       std::move(task));
+}
+
+TimerId TimerQueue::schedule_impl(TimePoint deadline, TimerTask task) {
+  std::function<void()> wakeup;
+  TimerId id = 0;
+  {
+    const MutexLock lock(mu_);
+    if (stopped_) return 0;
+    id = next_id_++;
+    const bool earlier = heap_.empty() || deadline < heap_.top().deadline;
+    heap_.push(Entry{deadline, next_seq_++, id,
+                     std::make_shared<TimerTask>(std::move(task))});
+    live_.insert(id);
+    if (earlier && mode_ == Mode::kDriven) wakeup = wakeup_;
+  }
+  if (mode_ == Mode::kOwnThread) {
+    cv_.notify_all();
+  } else if (wakeup) {
+    wakeup();
+  }
+  return id;
+}
+
+bool TimerQueue::cancel(TimerId id) {
+  if (id == 0) return false;
+  MutexLock lock(mu_);
+  if (live_.erase(id) > 0) return true;  // never fires now (lazy-skipped)
+  // Not pending: either already fired/cancelled, or firing right now.
+  if (firing_id_ == id && firing_thread_ == std::this_thread::get_id()) {
+    return false;  // self-cancel from inside the callback
+  }
+  while (firing_id_ == id) cv_.wait(mu_);
+  return false;
+}
+
+TimePoint TimerQueue::next_deadline() const {
+  const MutexLock lock(mu_);
+  // Lazily-cancelled entries may sit at the top; reporting their deadline
+  // only causes one early wakeup, never a missed one.
+  return heap_.empty() ? TimePoint::max() : heap_.top().deadline;
+}
+
+std::size_t TimerQueue::run_due(TimePoint now) {
+  MutexLock lock(mu_);
+  return fire_due_locked(now, lock);
+}
+
+std::size_t TimerQueue::fire_due_locked(TimePoint now, MutexLock& lock) {
+  std::size_t count = 0;
+  while (!heap_.empty() && !stopped_) {
+    const Entry& top = heap_.top();
+    if (!live_.contains(top.id)) {  // cancelled: drop lazily
+      heap_.pop();
+      continue;
+    }
+    if (top.deadline > now) break;
+    const TimerId id = top.id;
+    const std::shared_ptr<TimerTask> task = top.task;
+    heap_.pop();
+    live_.erase(id);
+    firing_id_ = id;
+    firing_thread_ = std::this_thread::get_id();
+    lock.unlock();
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "timer") << name_ << ": callback threw: " << e.what();
+    } catch (...) {
+      P2P_LOG(kError, "timer") << name_ << ": callback threw (non-std)";
+    }
+    lock.lock();
+    firing_id_ = 0;
+    ++fired_;
+    ++count;
+    cv_.notify_all();  // wake cancel() waiters
+  }
+  return count;
+}
+
+void TimerQueue::run() {
+  MutexLock lock(mu_);
+  while (!stopped_) {
+    fire_due_locked(std::chrono::steady_clock::now(), lock);
+    if (stopped_) break;
+    if (heap_.empty()) {
+      cv_.wait(mu_);
+    } else {
+      // Copy out of the heap entry: wait_until keeps a reference to its
+      // deadline argument across the unlocked wait, and a concurrent
+      // schedule() re-heapifying would race with that re-read.
+      const TimePoint next = heap_.top().deadline;
+      cv_.wait_until(mu_, next);
+    }
+  }
+}
+
+std::size_t TimerQueue::pending() const {
+  const MutexLock lock(mu_);
+  return live_.size();
+}
+
+std::uint64_t TimerQueue::fired() const {
+  const MutexLock lock(mu_);
+  return fired_;
+}
+
+void TimerQueue::stop() {
+  {
+    const MutexLock lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    live_.clear();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace p2p::util

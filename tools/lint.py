@@ -18,6 +18,12 @@ Checks (each can be listed with --list):
                   tests/ outside tests/support/. Tests wait with
                   wait_until() (poll a predicate) or settle() (named fixed
                   wait), both in tests/support/.
+  src-sleep       No std::this_thread::sleep_for / sleep_until anywhere in
+                  src/. Production code waits on a deadline, not a parked
+                  thread: schedule it on util::TimerQueue::shared() (or the
+                  owning EventLoop) and keep the calling thread available.
+                  A sleeping thread pins a whole OS thread per wait — the
+                  thread-per-connection disease the reactor removed.
   self-include    Every src/**/*.cpp whose matching header exists includes
                   that header first (IWYU-style: the header must be
                   self-sufficient, and its own .cpp is where that is
@@ -182,6 +188,19 @@ def check_test_sleep(tree: Tree) -> list[str]:
     return errors
 
 
+def check_src_sleep(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.matching("src/", (".h", ".cpp")):
+        code = strip_comments(tree.files[path])
+        for m in SLEEP_RE.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: {m.group(0)} in "
+                f"production code — this parks an OS thread for the whole "
+                f"wait; schedule a deadline on util::TimerQueue::shared() "
+                f"(util/timer_queue.h) or the owning EventLoop instead")
+    return errors
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
 
 
@@ -268,6 +287,7 @@ CHECKS = {
     "wire-manifest": check_wire_manifest,
     "raw-mutex": check_raw_mutex,
     "test-sleep": check_test_sleep,
+    "src-sleep": check_src_sleep,
     "self-include": check_self_include,
     "config-builder": check_config_builder,
     "listener-publish": check_listener_publish,
@@ -304,6 +324,19 @@ def self_test() -> int:
         ("test-sleep allows tests/support",
          Tree({"tests/support/timing.h":
                "std::this_thread::sleep_for(duration);"}),
+         None),
+        ("src-sleep catches sleep_for in src",
+         Tree({"src/x/a.cpp":
+               "std::this_thread::sleep_for(window);"}),
+         "src-sleep"),
+        ("src-sleep catches sleep_until in a header",
+         Tree({"src/x/a.h":
+               "std::this_thread::sleep_until(deadline);"}),
+         "src-sleep"),
+        ("src-sleep ignores comments and get_id",
+         Tree({"src/x/a.cpp":
+               "// std::this_thread::sleep_for would park the thread\n"
+               "auto id = std::this_thread::get_id();\n"}),
          None),
         ("self-include catches wrong first include",
          Tree({"src/x/a.h": "", "src/x/a.cpp":
