@@ -106,6 +106,31 @@ int main(int argc, char** argv) {
     std::cout << c.label << ": "
               << (base > 0 ? c.events_per_sec / base : 0) << "x\n";
   }
+
+  {
+    const auto trimmed = [](const std::string& label) {
+      return label.substr(0, label.find_last_not_of(' ') + 1);
+    };
+    std::ofstream out("BENCH_batch_ablation.json", std::ios::trunc);
+    out << "{\"bench\":\"batch_ablation\",\"smoke\":"
+        << (g_events == 500 ? "true" : "false") << ",\"events\":" << g_events
+        << ",\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const CellResult& c = cells[i];
+      if (i > 0) out << ",";
+      out << "{\"label\":\"" << trimmed(c.label)
+          << "\",\"events_per_sec\":" << c.events_per_sec
+          << ",\"batches_sent\":" << c.pub_stats.batches_sent
+          << ",\"batched_events\":" << c.pub_stats.batched_events
+          << ",\"encode_cache_hits\":" << c.pub_stats.encode_cache_hits
+          << ",\"publish_drops\":" << c.pub_stats.publish_drops
+          << ",\"send_queue_hwm\":" << c.pub_stats.send_queue_hwm
+          << ",\"speedup_vs_baseline\":"
+          << (base > 0 ? c.events_per_sec / base : 0) << "}";
+    }
+    out << "]}\n";
+  }
+  std::cout << "# wrote BENCH_batch_ablation.json\n";
   p2p::bench::write_metrics_dump("batch_ablation");
   return 0;
 }

@@ -9,6 +9,8 @@
 // Expected shape (paper): SR-JXTA and SR-TPS very close; both slightly
 // slower than raw JXTA-WIRE (~2 events/s with one subscriber there); the
 // differences become insignificant as subscribers increase.
+#include <cstdlib>
+
 #include "support/harness.h"
 
 using namespace p2p;
@@ -79,6 +81,20 @@ int main(int argc, char** argv) {
     g_epochs = 2;
     g_per_epoch = 5;
   }
+  // --per-epoch N: scale each epoch beyond the paper's 10 events. The
+  // paper-faithful epochs finish in ~2.5 ms against a 2 ms completion
+  // poll, so run-to-run noise swamps few-percent effects; overhead
+  // comparisons (EXPERIMENTS.md "Flight-recorder overhead") use longer
+  // epochs to push the measured window well past the poll granularity.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--per-epoch") {
+      g_per_epoch = std::atoi(argv[i + 1]);
+    }
+  }
+  // --no-tracing: run the TPS series without per-message hop stamping
+  // (TpsConfig::Builder::no_tracing()) — isolates the tracing share of
+  // the observability overhead.
+  const bool no_tracing = has_flag(argc, argv, "--no-tracing");
   std::cout << "# Figure 19 reproduction: publisher's throughput "
                "(events sent+delivered per second, per epoch)\n"
             << "# paper setup: 100 events in 10 epochs, 1910-byte "
@@ -88,12 +104,13 @@ int main(int argc, char** argv) {
 
   srjxta::SrConfig sr_config;
   sr_config.adv_search_timeout = std::chrono::milliseconds(300);
-  const tps::TpsConfig tps_config =
-      tps::TpsConfig::Builder()
-          .adv_search_timeout(std::chrono::milliseconds(300))
-          .build();
-  const tps::TpsConfig tps_fast_config =
+  auto tps_builder = tps::TpsConfig::Builder().adv_search_timeout(
+      std::chrono::milliseconds(300));
+  if (no_tracing) tps_builder.no_tracing();
+  const tps::TpsConfig tps_config = tps_builder.build();
+  tps::TpsConfig tps_fast_config =
       fast_tps_config(std::chrono::milliseconds(300));
+  if (no_tracing) tps_fast_config.tracing = false;
 
   std::vector<SeriesResult> results;
   for (const int subs : {1, 4}) {

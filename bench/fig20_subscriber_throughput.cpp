@@ -18,6 +18,7 @@
 // floods outlasted its 50 s window (at ~8 ev/s they could not finish);
 // ours would drain 10000 events in ~2 s, ending the saturation regime the
 // figure is about. Continuous offering preserves that regime.
+#include "obs/timeline.h"
 #include "support/harness.h"
 
 using namespace p2p;
@@ -43,10 +44,14 @@ struct SeriesResult {
   std::uint64_t total = 0;
 };
 
+// With a non-empty `timeline_path`, the series also exports the subscriber
+// peer's completed traces + flight records as a Chrome-trace timeline
+// (Perfetto-loadable per-stage spans; only TPS-layer series carry traces).
 template <typename MakePublisher, typename MakeSubscriber>
 SeriesResult run_series(const std::string& label, int n_publishers,
                         MakePublisher make_publisher,
-                        MakeSubscriber make_subscriber) {
+                        MakeSubscriber make_subscriber,
+                        const std::string& timeline_path = "") {
   Lan lan(/*latency_ms=*/1);
   jxta::Peer& sub_peer = lan.add_peer("subscriber");
   std::vector<jxta::Peer*> pub_peers;
@@ -91,6 +96,15 @@ SeriesResult run_series(const std::string& label, int n_publishers,
   // Allow in-flight deliveries to settle before tearing the LAN down.
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
 
+  if (!timeline_path.empty()) {
+    const auto traces = sub_peer.tracer().recent();
+    const bool ok = obs::write_timeline_file(timeline_path, traces,
+                                             obs::flight::snapshot());
+    std::cout << "# " << label << " timeline (" << traces.size()
+              << " traces): " << (ok ? timeline_path : "WRITE FAILED")
+              << "\n";
+  }
+
   SeriesResult result;
   result.label = label;
   {
@@ -132,6 +146,8 @@ int main(int argc, char** argv) {
   // the no-op callbacks the drivers register, the figure must stay within
   // noise of the synchronous path; CI runs both to prove it.
   const bool recv_pool = has_flag(argc, argv, "--recv-pool");
+  // --timeline: the SR-TPS series export the subscriber's span timeline.
+  const bool timeline = has_flag(argc, argv, "--timeline");
   tps::TpsConfig tps_sub_config = tps_config;
   if (recv_pool) {
     tps_sub_config.delivery_workers = 2;
@@ -174,7 +190,10 @@ int main(int argc, char** argv) {
             -> std::unique_ptr<Driver> {
           return std::make_unique<TpsDriver>(p, kPaperMessageBytes,
                                              tps_sub_config);
-        }));
+        },
+        timeline ? "TIMELINE_fig20_sr_tps_" + std::to_string(pubs) +
+                       "pub.json"
+                 : ""));
     results.push_back(run_series(
         "SR-TPS-FAST" + suffix, pubs,
         [&](jxta::Peer& p, const jxta::PeerGroupAdvertisement&) {

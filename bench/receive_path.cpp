@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/timeline.h"
 #include "support/harness.h"
 
 namespace {
@@ -128,7 +129,13 @@ struct ThroughputResult {
   std::string recv_latency_json = "null";
 };
 
-ThroughputResult run_throughput(const Params& p, bool pooled) {
+// With a non-empty `timeline_path`, the phase also exports a Chrome-trace
+// timeline (load in Perfetto / chrome://tracing): the subscriber peer's
+// completed traces — publish→wire-send→wire-recv→decode→deliver spans per
+// event, across the publisher and subscriber peers — plus the flight
+// recorder's instant marks on the same time axis.
+ThroughputResult run_throughput(const Params& p, bool pooled,
+                                const std::string& timeline_path = "") {
   std::cout << "## throughput, " << (pooled ? "pooled" : "inline") << "\n";
   ThroughputResult result;
   Lan lan;
@@ -209,6 +216,13 @@ ThroughputResult run_throughput(const Params& p, bool pooled) {
             << " pooled=" << result.pooled_deliveries
             << " inline=" << result.inline_deliveries
             << " drops=" << result.drops << "\n";
+  if (!timeline_path.empty()) {
+    const auto traces = sub_peer.tracer().recent();
+    const bool ok = obs::write_timeline_file(timeline_path, traces,
+                                             obs::flight::snapshot());
+    std::cout << "  timeline (" << traces.size() << " traces): "
+              << (ok ? timeline_path : "WRITE FAILED") << "\n";
+  }
   return result;
 }
 
@@ -312,8 +326,15 @@ int main(int argc, char** argv) {
             << p.offered_per_sec << "/s aggregate offered, " << p.sub_count
             << " subscribers x " << p.work_us << " us work\n";
 
-  const ThroughputResult tp_inline = run_throughput(p, /*pooled=*/false);
-  const ThroughputResult tp_pooled = run_throughput(p, /*pooled=*/true);
+  // --timeline: export each throughput phase's traces + flight records as
+  // Perfetto-loadable span timelines.
+  const bool timeline = has_flag(argc, argv, "--timeline");
+  const ThroughputResult tp_inline = run_throughput(
+      p, /*pooled=*/false,
+      timeline ? "TIMELINE_receive_path_inline.json" : "");
+  const ThroughputResult tp_pooled = run_throughput(
+      p, /*pooled=*/true,
+      timeline ? "TIMELINE_receive_path_pooled.json" : "");
   const double speedup = tp_inline.events_per_sec > 0
                              ? tp_pooled.events_per_sec /
                                    tp_inline.events_per_sec

@@ -14,7 +14,12 @@ Peer::Peer(PeerConfig config, util::Clock& clock)
   executor_ = std::make_unique<util::SerialExecutor>(config_.name);
   timer_ = std::make_unique<util::PeriodicTimer>(config_.name + ".timer");
   metrics_ = std::make_shared<obs::Registry>();
-  tracer_ = std::make_shared<obs::Tracer>();
+  tracer_ = std::make_shared<obs::Tracer>(
+      config_.trace_capacity, metrics_->counter("obs.traces_dropped"));
+  if (config_.watchdog) {
+    watchdog_ = std::make_unique<obs::Watchdog>(config_.watchdog_config,
+                                                metrics_);
+  }
   endpoint_ =
       std::make_unique<EndpointService>(id_, *executor_, metrics_, tracer_);
   endpoint_->set_router(config_.router || config_.rendezvous);
@@ -26,6 +31,9 @@ void Peer::add_transport(std::shared_ptr<net::Transport> transport) {
   if (started_) {
     throw util::StateError("add_transport must precede start()");
   }
+  // Transports register their loop heartbeats before the watchdog starts
+  // checking (start() below), so the first check already covers them.
+  if (watchdog_) transport->attach_watchdog(watchdog_.get());
   endpoint_->add_transport(std::move(transport));
 }
 
@@ -44,6 +52,7 @@ void Peer::start() {
   if (started_) return;
   started_ = true;
 
+  if (watchdog_) watchdog_->start();
   rendezvous_ = std::make_unique<RendezvousService>(
       *endpoint_, clock_, config_.rdv, make_advertisement());
   for (const auto& seed : config_.seed_rendezvous) {
@@ -102,6 +111,9 @@ void Peer::tick() {
 void Peer::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  // Watchdog first: once stopped, no probe fires while the layers it
+  // samples (loops, delivery executors) tear down below.
+  if (watchdog_) watchdog_->stop();
   monitoring_->stop();
   timer_->stop();
   net_group_.reset();

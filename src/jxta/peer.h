@@ -19,6 +19,7 @@
 #include "jxta/discovery.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "jxta/monitoring.h"
 #include "jxta/peer_group.h"
 #include "jxta/peer_info.h"
@@ -40,6 +41,15 @@ struct PeerConfig {
   // Re-publish own peer advertisement every N heartbeats.
   std::uint32_t republish_every = 10;
   std::int64_t adv_lifetime_ms = kDefaultAdvLifetimeMs;
+  // --- observability ---
+  // Completed end-to-end traces retained by the peer's Tracer; older ones
+  // are evicted (counted as obs.traces_dropped).
+  std::size_t trace_capacity = 256;
+  // Opt-in stall watchdog: samples event-loop heartbeats, delivery-queue
+  // age and its own timer lag each watchdog_config.period. Off by default —
+  // tests with deliberately slow callbacks would otherwise trip it.
+  bool watchdog = false;
+  obs::WatchdogConfig watchdog_config;
 };
 
 class Peer {
@@ -77,6 +87,11 @@ class Peer {
     return metrics_;
   }
   [[nodiscard]] obs::Tracer& tracer() { return *tracer_; }
+  // The peer's stall watchdog, or nullptr when PeerConfig::watchdog is off.
+  // Layers register probes against it (transports: loop heartbeats; TPS
+  // sessions: delivery-queue age) and must unwatch before their own
+  // teardown.
+  [[nodiscard]] obs::Watchdog* watchdog() { return watchdog_.get(); }
   // The peer's shared maintenance timer; layers above JXTA (e.g. the TPS
   // advertisement finder) schedule their periodic work here.
   [[nodiscard]] util::PeriodicTimer& timer() { return *timer_; }
@@ -120,6 +135,7 @@ class Peer {
   PeerId id_;
   std::shared_ptr<obs::Registry> metrics_;
   std::shared_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
   std::unique_ptr<util::SerialExecutor> executor_;
   std::unique_ptr<util::PeriodicTimer> timer_;
   std::unique_ptr<EndpointService> endpoint_;

@@ -10,6 +10,7 @@
 #include <exception>
 #include <utility>
 
+#include "obs/flight.h"
 #include "util/logging.h"
 
 namespace p2p::net {
@@ -37,6 +38,13 @@ EventLoop::EventLoop(std::string name)
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
   timers_.set_wakeup([this] { wakeup(); });
+  // Stamp each driven-timer fire (with its lag) into the flight recorder;
+  // the observer outlives nothing — it touches only process-wide state.
+  timers_.set_fire_observer([](std::int64_t lag_us) {
+    obs::flight::record(obs::FlightComponent::kTimer,
+                        obs::FlightKind::kTimerFire,
+                        static_cast<std::uint64_t>(lag_us));
+  });
   thread_ = std::thread([this] { run(); });
 }
 
@@ -172,6 +180,8 @@ void EventLoop::run() {
       break;
     }
     loop_wakeups_.inc();
+    obs::flight::record(obs::FlightComponent::kNet, obs::FlightKind::kLoopWake,
+                        n > 0 ? static_cast<std::uint64_t>(n) : 0);
 
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;

@@ -49,6 +49,8 @@ class EventLoop {
   // True when the calling thread is this loop's thread.
   [[nodiscard]] bool in_loop_thread() const;
 
+  [[nodiscard]] const std::string& name() const { return name_; }
+
   // True when the calling thread is ANY EventLoop's thread (not just this
   // one's). Callbacks use this to avoid blocking waits that would stall a
   // reactor — e.g. the transport's inline connect probe.

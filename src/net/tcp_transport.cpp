@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/flight.h"
+#include "obs/watchdog.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -166,6 +168,27 @@ void TcpTransport::bind_metrics(
   loops_->bind_metrics(registry);
 }
 
+void TcpTransport::attach_watchdog(obs::Watchdog* watchdog) {
+  if (watchdog == nullptr) return;
+  // Heartbeat per loop: the watchdog posts a pong through the loop's task
+  // queue; a loop that stops draining leaves the pong outstanding and the
+  // lag climbs past the stall threshold. The raw EventLoop pointers stay
+  // valid until close() unregisters (the loops outlive the transport's
+  // sockets, and close() runs before any loop stops).
+  std::vector<std::uint64_t> probes;
+  probes.reserve(loops_->size());
+  for (std::size_t i = 0; i < loops_->size(); ++i) {
+    EventLoop* loop = &loops_->at(i);
+    probes.push_back(watchdog->watch_heartbeat(
+        "tcp:" + loop->name(), [loop](std::function<void()> pong) {
+          return loop->post(std::move(pong));
+        }));
+  }
+  const util::MutexLock lock(mu_);
+  watchdog_ = watchdog;
+  watchdog_probes_ = std::move(probes);
+}
+
 TcpTransport::InstrumentsPtr TcpTransport::instruments() const {
   const util::MutexLock lock(mu_);
   return instruments_;
@@ -289,6 +312,8 @@ TcpTransport::ConnPtr TcpTransport::establish_outbound(
     return nullptr;
   }
 
+  obs::flight::record(obs::FlightComponent::kNet, obs::FlightKind::kConnect,
+                      /*arg: 0 = fresh attempt*/ 0);
   auto conn = std::make_shared<Conn>(loops_->next());
   conn->authority = authority;
   const auto now = std::chrono::steady_clock::now();
@@ -485,6 +510,11 @@ void TcpTransport::on_connect_attempt_failed(const ConnPtr& conn) {
     on_connect_deadline(conn);
     return;
   }
+  obs::flight::record(
+      obs::FlightComponent::kNet, obs::FlightKind::kBackoff,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(delay)
+              .count()));
   const util::MutexLock lock(conn->mu);
   if (conn->state != Conn::State::kConnecting) return;
   conn->retry_timer =
@@ -504,6 +534,8 @@ void TcpTransport::on_connect_deadline(const ConnPtr& conn) {
 
 void TcpTransport::retry_connect(const ConnPtr& conn) {
   instruments()->connects_retried.inc();
+  obs::flight::record(obs::FlightComponent::kNet, obs::FlightKind::kConnect,
+                      /*arg: 1 = retry*/ 1);
   sockaddr_in sa{};
   if (!to_sockaddr(conn->authority, sa)) return;
   bool failed = false;
@@ -776,6 +808,22 @@ void TcpTransport::on_sweep() {
 
 void TcpTransport::close() {
   if (closed_.exchange(true)) return;
+
+  // Unregister heartbeats first: unwatch() blocks out an in-flight probe,
+  // so no beat posts to a loop once teardown proceeds.
+  {
+    obs::Watchdog* watchdog = nullptr;
+    std::vector<std::uint64_t> probes;
+    {
+      const util::MutexLock lock(mu_);
+      watchdog = watchdog_;
+      watchdog_ = nullptr;
+      probes.swap(watchdog_probes_);
+    }
+    if (watchdog != nullptr) {
+      for (const auto id : probes) watchdog->unwatch(id);
+    }
+  }
 
   // The sweep reschedules itself; loop until we cancel a quiesced id and
   // no fresh one appeared.

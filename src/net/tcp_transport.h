@@ -99,6 +99,10 @@ class TcpTransport final : public Transport {
   // net.connects_failed / net.send_queue_bytes{,_hwm} / net.send_drops —
   // and, through the loop group, net.loop_wakeups / net.timers_fired.
   void bind_metrics(const std::shared_ptr<obs::Registry>& registry) override;
+  // Registers every event loop of the group as a heartbeat probe: a loop
+  // that stops draining its queue for WatchdogConfig::loop_stall raises the
+  // watchdog alarm. close() unregisters before the loops go away.
+  void attach_watchdog(obs::Watchdog* watchdog) override;
   // Closes every socket and quiesces loop callbacks before returning. Must
   // run before a *shared* EventLoopGroup is stopped. Idempotent.
   void close() override;
@@ -197,6 +201,9 @@ class TcpTransport final : public Transport {
   std::map<std::string, Backoff> backoff_ GUARDED_BY(mu_);
   util::TimerId sweep_timer_ GUARDED_BY(mu_) = 0;
   InstrumentsPtr instruments_ GUARDED_BY(mu_);
+  // Heartbeat registrations to undo in close() (see attach_watchdog()).
+  obs::Watchdog* watchdog_ GUARDED_BY(mu_) = nullptr;
+  std::vector<std::uint64_t> watchdog_probes_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2p::net

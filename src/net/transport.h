@@ -14,6 +14,7 @@
 
 namespace p2p::obs {
 class Registry;
+class Watchdog;
 }  // namespace p2p::obs
 
 namespace p2p::net {
@@ -57,6 +58,12 @@ class Transport {
   // at any time, but before traffic is the norm (EndpointService binds on
   // add_transport).
   virtual void bind_metrics(const std::shared_ptr<obs::Registry>& /*registry*/) {}
+
+  // Registers the transport's internal threads (event loops) as heartbeat
+  // probes on `watchdog`, so loop stalls raise its alarm. The watchdog
+  // outlives the transport's use of it (the owning peer stops it first);
+  // transports without internal loops ignore the call.
+  virtual void attach_watchdog(obs::Watchdog* /*watchdog*/) {}
 
   // Stops delivering and sending. Idempotent.
   virtual void close() = 0;

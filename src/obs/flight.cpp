@@ -1,0 +1,179 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/trace.h"  // now_us(): the shared hop/flight timebase
+#include "util/thread_annotations.h"
+
+namespace p2p::obs {
+
+const char* to_string(FlightComponent component) {
+  switch (component) {
+    case FlightComponent::kNone: return "none";
+    case FlightComponent::kNet: return "net";
+    case FlightComponent::kTimer: return "timer";
+    case FlightComponent::kTps: return "tps";
+    case FlightComponent::kJxta: return "jxta";
+    case FlightComponent::kDelivery: return "delivery";
+    case FlightComponent::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+const char* to_string(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kNone: return "none";
+    case FlightKind::kEnqueue: return "enqueue";
+    case FlightKind::kDequeue: return "dequeue";
+    case FlightKind::kDrop: return "drop";
+    case FlightKind::kBatchFlush: return "batch-flush";
+    case FlightKind::kTimerFire: return "timer-fire";
+    case FlightKind::kConnect: return "connect";
+    case FlightKind::kBackoff: return "backoff";
+    case FlightKind::kDeliverStart: return "deliver-start";
+    case FlightKind::kDeliverEnd: return "deliver-end";
+    case FlightKind::kLoopWake: return "loop-wake";
+    case FlightKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+#if !defined(P2P_OBS_DISABLED)
+
+namespace flight {
+namespace {
+
+// meta packs (component << 8) | kind; 0 marks an empty slot. All fields
+// relaxed: records may tear under concurrent overwrite (see flight.h).
+struct Slot {
+  std::atomic<std::int64_t> t_us{0};
+  std::atomic<std::uint64_t> arg{0};
+  std::atomic<std::uint32_t> meta{0};
+};
+
+struct Ring {
+  std::uint32_t thread_id = 0;
+  std::atomic<std::uint64_t> pos{0};  // writer-only store, snapshot reads
+  std::array<Slot, kRingSlots> slots;
+};
+
+// Every ring ever created, plus a free list for reuse: rings are recycled
+// when their thread exits but their memory is never reclaimed, so a
+// concurrent snapshot() can keep reading an exiting thread's ring.
+struct RingList {
+  util::Mutex mu{"obs-flight"};
+  std::vector<Ring*> rings GUARDED_BY(mu);
+  std::vector<Ring*> free GUARDED_BY(mu);
+  std::uint32_t next_thread_id GUARDED_BY(mu) = 1;
+};
+
+RingList& ring_list() {
+  // Leaked: record() may run from static-lifetime objects' teardown.
+  static auto* list = new RingList;
+  return *list;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("P2P_FLIGHT");
+    return env == nullptr || std::string_view(env) != "0";
+  }()};
+  return flag;
+}
+
+void reset_ring(Ring& ring) {
+  for (Slot& slot : ring.slots) {
+    slot.meta.store(0, std::memory_order_relaxed);
+  }
+  ring.pos.store(0, std::memory_order_relaxed);
+}
+
+// Returns the ring to the free list on thread exit.
+struct RingHolder {
+  Ring* ring = nullptr;
+  ~RingHolder() {
+    if (ring == nullptr) return;
+    RingList& list = ring_list();
+    const util::MutexLock lock(list.mu);
+    list.free.push_back(ring);
+  }
+};
+
+Ring& local_ring() {
+  thread_local RingHolder holder;
+  if (holder.ring == nullptr) {
+    RingList& list = ring_list();
+    const util::MutexLock lock(list.mu);
+    if (!list.free.empty()) {
+      holder.ring = list.free.back();
+      list.free.pop_back();
+      reset_ring(*holder.ring);
+    } else {
+      holder.ring = new Ring;  // never freed (snapshot may race thread exit)
+      list.rings.push_back(holder.ring);
+    }
+    holder.ring->thread_id = list.next_thread_id++;
+  }
+  return *holder.ring;
+}
+
+}  // namespace
+
+void record(FlightComponent component, FlightKind kind, std::uint64_t arg) {
+  if (!enabled_flag().load(std::memory_order_relaxed)) return;
+  Ring& ring = local_ring();
+  const std::uint64_t pos = ring.pos.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[pos & (kRingSlots - 1)];
+  slot.t_us.store(now_us(), std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.meta.store((static_cast<std::uint32_t>(component) << 8) |
+                      static_cast<std::uint32_t>(kind),
+                  std::memory_order_relaxed);
+  ring.pos.store(pos + 1, std::memory_order_relaxed);
+}
+
+std::vector<FlightRecord> snapshot() {
+  std::vector<FlightRecord> out;
+  RingList& list = ring_list();
+  const util::MutexLock lock(list.mu);
+  for (const Ring* ring : list.rings) {
+    for (const Slot& slot : ring->slots) {
+      const std::uint32_t meta = slot.meta.load(std::memory_order_relaxed);
+      if (meta == 0) continue;
+      FlightRecord rec;
+      rec.t_us = slot.t_us.load(std::memory_order_relaxed);
+      rec.arg = slot.arg.load(std::memory_order_relaxed);
+      rec.thread = ring->thread_id;
+      rec.component = static_cast<FlightComponent>((meta >> 8) & 0xff);
+      rec.kind = static_cast<FlightKind>(meta & 0xff);
+      out.push_back(rec);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.t_us < b.t_us;
+            });
+  return out;
+}
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void clear() {
+  RingList& list = ring_list();
+  const util::MutexLock lock(list.mu);
+  for (Ring* ring : list.rings) reset_ring(*ring);
+}
+
+}  // namespace flight
+
+#endif  // !P2P_OBS_DISABLED
+
+}  // namespace p2p::obs

@@ -1,0 +1,100 @@
+// Flight recorder: per-thread lock-free rings of compact event records.
+//
+// Counters (obs/metrics.h) say how MUCH happened; the flight recorder says
+// WHEN and IN WHAT ORDER. Every hot path that moves work between stages —
+// queue enqueue/dequeue/drop, batch flush, timer fire, connect/backoff,
+// delivery start/end — stamps one fixed-size record into the calling
+// thread's ring. Stamping is three relaxed atomic stores plus a position
+// bump: no locks, no allocation, no cross-thread contention. When something
+// goes wrong (the watchdog fires, a test fails), snapshot() merges every
+// ring into one time-sorted list: the last ~few-thousand events per thread,
+// exactly what a post-mortem needs.
+//
+// Consistency model: record() writes each slot field with relaxed atomics
+// and snapshot() reads them the same way, so TSan stays quiet, but a record
+// being overwritten during a snapshot may come out torn (t_us from the new
+// record, arg from the old). Only the oldest records of a busy ring are at
+// risk — acceptable for a diagnostic trail, and the price of a stamp cheap
+// enough to leave on in production builds.
+//
+// Rings are registered in a process-wide list on first use per thread and
+// recycled through a free list on thread exit (a ring's memory is never
+// freed: snapshot() may run concurrently with a thread exiting).
+//
+// With P2P_OBS_DISABLED everything here compiles to nothing. At runtime the
+// recorder defaults on; the P2P_FLIGHT=0 environment variable or
+// flight::set_enabled(false) turns stamping off (the fig19 overhead knob).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p2p::obs {
+
+enum class FlightComponent : std::uint8_t {
+  kNone = 0,
+  kNet = 1,       // event loop, transports
+  kTimer = 2,     // timer queues
+  kTps = 3,       // publish pipeline (send queue, batcher)
+  kJxta = 4,      // wire service
+  kDelivery = 5,  // receive-side delivery executor
+  kWatchdog = 6,  // stall detection
+};
+
+enum class FlightKind : std::uint8_t {
+  kNone = 0,
+  kEnqueue = 1,       // arg: queue depth after the push
+  kDequeue = 2,       // arg: items taken, or µs spent queued
+  kDrop = 3,          // arg: drops so far / depth at drop
+  kBatchFlush = 4,    // arg: events in the flushed frame
+  kTimerFire = 5,     // arg: µs the callback ran past its deadline
+  kConnect = 6,       // arg: 0 = fresh attempt, 1 = retry
+  kBackoff = 7,       // arg: backoff delay in ms
+  kDeliverStart = 8,  // arg: subscriber id
+  kDeliverEnd = 9,    // arg: callback duration µs
+  kLoopWake = 10,     // arg: ready fds this wakeup
+  kStall = 11,        // arg: detected lag µs
+};
+
+// One snapshot entry (the stable POD form records are read back as).
+struct FlightRecord {
+  std::int64_t t_us = 0;    // steady-clock µs (same timebase as trace hops)
+  std::uint32_t thread = 0; // small per-ring id, not an OS tid
+  FlightComponent component = FlightComponent::kNone;
+  FlightKind kind = FlightKind::kNone;
+  std::uint64_t arg = 0;
+};
+
+const char* to_string(FlightComponent component);
+const char* to_string(FlightKind kind);
+
+namespace flight {
+
+// Per-thread ring capacity (power of two).
+inline constexpr std::size_t kRingSlots = 2048;
+
+#if defined(P2P_OBS_DISABLED)
+inline void record(FlightComponent, FlightKind, std::uint64_t = 0) {}
+inline std::vector<FlightRecord> snapshot() { return {}; }
+inline void set_enabled(bool) {}
+inline bool enabled() { return false; }
+inline void clear() {}
+#else
+// Stamps one record into the calling thread's ring. Safe from any thread,
+// any time (including static init/teardown); never blocks, never allocates
+// after the thread's first call.
+void record(FlightComponent component, FlightKind kind, std::uint64_t arg = 0);
+
+// Time-sorted merge of every thread's ring (live and exited threads).
+std::vector<FlightRecord> snapshot();
+
+// Runtime switch (also: environment P2P_FLIGHT=0 disables at startup).
+void set_enabled(bool on);
+bool enabled();
+
+// Test support: empties every ring.
+void clear();
+#endif
+
+}  // namespace flight
+}  // namespace p2p::obs

@@ -1,0 +1,83 @@
+// The instrument-name manifest: every dotted metric name the stack
+// registers, in one place.
+//
+// tools/lint.py ("metrics-manifest") cross-checks this list against every
+// counter("...") / gauge("...") / histogram("...") literal in src/, so a
+// typo'd name fails CI instead of silently minting a dead time series that
+// dashboards and tests then read zeros from. Names composed at runtime
+// (the per-scheme "net.<scheme>.send_failures" family in jxta/endpoint.cpp)
+// are exempt — the lint only matches whole-literal registrations.
+//
+// Keep the list sorted; add the name here in the same change that first
+// registers it.
+#pragma once
+
+namespace p2p::obs {
+
+inline constexpr const char* kInstrumentNames[] = {
+    "jxta.discovery.advs_cached",
+    "jxta.discovery.cache_hits",
+    "jxta.discovery.cache_misses",
+    "jxta.discovery.remote_queries",
+    "jxta.pipe.binding_queries",
+    "jxta.pipe.msgs_received",
+    "jxta.pipe.msgs_sent",
+    "jxta.pipe.recv_latency_us",
+    "jxta.pipe.send_latency_us",
+    "jxta.rdv.dedup_probe_depth",
+    "jxta.rdv.duplicates_suppressed",
+    "jxta.rdv.propagations_forwarded",
+    "jxta.rdv.propagations_originated",
+    "jxta.rdv.propagations_received",
+    "jxta.resolver.queries_received",
+    "jxta.resolver.queries_sent",
+    "jxta.resolver.responses_received",
+    "jxta.resolver.responses_sent",
+    "jxta.wire.delivered",
+    "jxta.wire.e2e_latency_us",
+    "jxta.wire.published",
+    "jxta.wire.received",
+    "net.bytes_received",
+    "net.bytes_sent",
+    "net.connections_active",
+    "net.connects_failed",
+    "net.connects_retried",
+    "net.loop_wakeups",
+    "net.msgs_received",
+    "net.msgs_relayed",
+    "net.msgs_sent",
+    "net.send_drops",
+    "net.send_failures",
+    "net.send_queue_bytes",
+    "net.send_queue_bytes_hwm",
+    "net.timers_fired",
+    "obs.delivery_queue_age_us",
+    "obs.loop_lag_us",
+    "obs.timer_lag_us",
+    "obs.traces_dropped",
+    "obs.watchdog_alarms",
+    "tps.advs_adopted",
+    "tps.advs_created",
+    "tps.batches_sent",
+    "tps.callback_errors",
+    "tps.callback_latency_us",
+    "tps.decode_failures",
+    "tps.dedup_probe_depth",
+    "tps.deliveries_inline",
+    "tps.deliveries_pooled",
+    "tps.delivery_drops",
+    "tps.delivery_queue_depth",
+    "tps.delivery_queue_hwm",
+    "tps.duplicates_suppressed",
+    "tps.encode_cache_hits",
+    "tps.publish_drops",
+    "tps.publish_latency_us",
+    "tps.published",
+    "tps.received_unique",
+    "tps.send_queue_depth",
+    "tps.send_queue_hwm",
+    "tps.subscribes",
+    "tps.wire_sends",
+};
+
+}  // namespace p2p::obs

@@ -31,6 +31,17 @@
 
 namespace p2p::obs {
 
+// True when instrumentation is compiled in. Tests that assert counters
+// advance skip themselves when it is not (-DP2P_OBS=OFF turns every
+// mutation into a no-op, so such assertions can only fail there).
+constexpr bool enabled() noexcept {
+#if defined(P2P_OBS_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
 namespace detail {
 
 // Scratch cells backing default-constructed (unbound) handles.

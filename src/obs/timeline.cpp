@@ -1,0 +1,116 @@
+#include "obs/timeline.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+namespace p2p::obs {
+
+namespace {
+
+// Flight records live in this synthetic process; real peers get 1, 2, ...
+constexpr int kFlightPid = 0;
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  append_escaped(out, s);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string timeline_json(const std::vector<Trace>& traces,
+                          const std::vector<FlightRecord>& flight) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out << ",";
+    first = false;
+    out << event;
+  };
+
+  // Peers -> trace "processes", in first-seen order.
+  std::map<std::string, int> pids;
+  const auto pid_for = [&](const std::string& peer) {
+    const auto it = pids.find(peer);
+    if (it != pids.end()) return it->second;
+    const int pid = static_cast<int>(pids.size()) + 1;
+    pids.emplace(peer, pid);
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":" +
+         quoted(peer) + "}}");
+    return pid;
+  };
+
+  for (const Trace& trace : traces) {
+    const std::string id = trace.id.to_string();
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+      const Hop& from = trace.hops[i];
+      const Hop& to = trace.hops[i + 1];
+      // The span is the interval between two stamps, attributed to the
+      // peer where it ended (wire-send→wire-recv lands on the receiver).
+      const int pid = pid_for(to.peer);
+      const std::int64_t dur =
+          to.t_us >= from.t_us ? to.t_us - from.t_us : 0;
+      std::string name;
+      append_escaped(name, from.stage);
+      name += "->";
+      append_escaped(name, to.stage);
+      emit("{\"name\":\"" + name + "\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(from.t_us) + ",\"dur\":" + std::to_string(dur) +
+           ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":1,\"args\":{\"trace\":" + quoted(id) + "}}");
+    }
+  }
+
+  if (!flight.empty()) {
+    emit(std::string("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":") +
+         std::to_string(kFlightPid) +
+         ",\"tid\":0,\"args\":{\"name\":\"flight-recorder\"}}");
+    for (const FlightRecord& rec : flight) {
+      emit(std::string("{\"name\":\"") + to_string(rec.component) + ":" +
+           to_string(rec.kind) + "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+           std::to_string(rec.t_us) + ",\"pid\":" +
+           std::to_string(kFlightPid) + ",\"tid\":" +
+           std::to_string(rec.thread) + ",\"args\":{\"arg\":" +
+           std::to_string(rec.arg) + "}}");
+    }
+  }
+
+  out << "]}";
+  return out.str();
+}
+
+bool write_timeline_file(const std::string& path,
+                         const std::vector<Trace>& traces,
+                         const std::vector<FlightRecord>& flight) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << timeline_json(traces, flight) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace p2p::obs

@@ -1,0 +1,34 @@
+// Span-timeline exporter: Tracer hop paths + flight-recorder records as
+// Chrome-trace ("Trace Event Format") JSON, loadable in Perfetto or
+// chrome://tracing.
+//
+// Each completed trace becomes a chain of complete ("X") spans, one per
+// consecutive hop pair — publish→batch→wire-send→wire-recv→decode→deliver
+// — attributed to the peer that finished the interval (peers map to trace
+// "processes" via process_name metadata). Flight records ride along as
+// thread-scoped instant ("i") events under a synthetic "flight-recorder"
+// process, so queue stamps and stall marks line up against the spans on
+// one time axis. Timestamps are the shared steady-clock µs timebase of
+// obs::now_us(), meaningful across peers within one process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/trace.h"
+
+namespace p2p::obs {
+
+// Renders {"traceEvents":[...]} . Pure function of its inputs; safe (and
+// empty-ish) when tracing is compiled out.
+[[nodiscard]] std::string timeline_json(
+    const std::vector<Trace>& traces,
+    const std::vector<FlightRecord>& flight);
+
+// timeline_json() to a file; false on I/O failure.
+bool write_timeline_file(const std::string& path,
+                         const std::vector<Trace>& traces,
+                         const std::vector<FlightRecord>& flight);
+
+}  // namespace p2p::obs

@@ -32,7 +32,11 @@ void Tracer::record(Trace trace) {
   const util::MutexLock lock(mu_);
   ++recorded_;
   traces_.push_back(std::move(trace));
-  while (traces_.size() > capacity_) traces_.pop_front();
+  while (traces_.size() > capacity_) {
+    traces_.pop_front();
+    ++dropped_;
+    m_dropped_.inc();
+  }
 }
 
 std::vector<Trace> Tracer::recent() const {
@@ -51,6 +55,11 @@ std::optional<Trace> Tracer::find(const util::Uuid& id) const {
 std::uint64_t Tracer::recorded() const {
   const util::MutexLock lock(mu_);
   return recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const util::MutexLock lock(mu_);
+  return dropped_;
 }
 
 }  // namespace p2p::obs

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "jxta/message.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/thread_annotations.h"
 #include "util/uuid.h"
@@ -62,10 +63,14 @@ inline std::int64_t now_us() {
 util::Bytes encode_hops(const std::vector<Hop>& hops);
 std::vector<Hop> decode_hops(std::span<const std::uint8_t> data);
 
-// Completed traces of one peer (bounded ring; newest kept).
+// Completed traces of one peer (bounded ring; newest kept). The capacity
+// is a PeerConfig knob (trace_capacity): long benches file traces without
+// bound, so the ring sheds the oldest and counts what it shed — the
+// `dropped` counter mirrors into the peer registry as obs.traces_dropped.
 class Tracer {
  public:
-  explicit Tracer(std::size_t capacity = 256) : capacity_(capacity) {}
+  explicit Tracer(std::size_t capacity = 256, Counter dropped = Counter())
+      : capacity_(capacity), m_dropped_(dropped) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -77,12 +82,17 @@ class Tracer {
       EXCLUDES(mu_);
   // Total traces ever recorded (not bounded by capacity).
   [[nodiscard]] std::uint64_t recorded() const EXCLUDES(mu_);
+  // Traces shed by the retention ring since construction.
+  [[nodiscard]] std::uint64_t dropped() const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   const std::size_t capacity_;
+  Counter m_dropped_;
   mutable util::Mutex mu_{"obs-tracer"};
   std::deque<Trace> traces_ GUARDED_BY(mu_);
   std::uint64_t recorded_ GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 // --- jxta::Message glue (inline: used only by code already linking jxta) ---

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight.h"
+#include "obs/trace.h"  // now_us()
+
 namespace p2p::tps {
 
 DeliveryExecutor::DeliveryExecutor(std::size_t workers,
@@ -30,6 +33,8 @@ bool DeliveryExecutor::submit(std::uint64_t key, Task task) {
   if (shut_down_.load(std::memory_order_acquire)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     m_drops_.inc();
+    obs::flight::record(obs::FlightComponent::kDelivery,
+                        obs::FlightKind::kDrop, 0);
     return false;
   }
   // Reserve a queue slot first; on overflow give it back and drop. The
@@ -41,6 +46,8 @@ bool DeliveryExecutor::submit(std::uint64_t key, Task task) {
     depth_.fetch_sub(1, std::memory_order_relaxed);
     dropped_.fetch_add(1, std::memory_order_relaxed);
     m_drops_.inc();
+    obs::flight::record(obs::FlightComponent::kDelivery,
+                        obs::FlightKind::kDrop, depth);
     return false;
   }
   std::uint64_t hwm = hwm_.load(std::memory_order_relaxed);
@@ -58,29 +65,37 @@ bool DeliveryExecutor::submit(std::uint64_t key, Task task) {
       depth_.fetch_sub(1, std::memory_order_relaxed);
       dropped_.fetch_add(1, std::memory_order_relaxed);
       m_drops_.inc();
+      obs::flight::record(obs::FlightComponent::kDelivery,
+                          obs::FlightKind::kDrop, depth);
       return false;
     }
-    w.queue.push_back(std::move(task));
+    w.queue.push_back(Queued{obs::now_us(), std::move(task)});
     w.cv.notify_one();
   }
+  obs::flight::record(obs::FlightComponent::kDelivery,
+                      obs::FlightKind::kEnqueue, depth);
   return true;
 }
 
 void DeliveryExecutor::worker_loop(Worker& w) {
   for (;;) {
-    Task task;
+    Queued item;
     {
       const util::MutexLock lock(w.mu);
       while (w.queue.empty() && !w.stop) w.cv.wait(w.mu);
       if (w.queue.empty()) return;  // stop requested and fully drained
-      task = std::move(w.queue.front());
+      item = std::move(w.queue.front());
       w.queue.pop_front();
       w.busy = true;
     }
     depth_.fetch_sub(1, std::memory_order_relaxed);
     m_depth_.set(
         static_cast<std::int64_t>(depth_.load(std::memory_order_relaxed)));
-    task();
+    const std::int64_t waited = obs::now_us() - item.t_us;
+    obs::flight::record(obs::FlightComponent::kDelivery,
+                        obs::FlightKind::kDequeue,
+                        waited > 0 ? static_cast<std::uint64_t>(waited) : 0);
+    item.task();
     executed_.fetch_add(1, std::memory_order_relaxed);
     {
       const util::MutexLock lock(w.mu);
@@ -88,6 +103,20 @@ void DeliveryExecutor::worker_loop(Worker& w) {
       if (w.queue.empty()) w.idle_cv.notify_all();
     }
   }
+}
+
+std::int64_t DeliveryExecutor::oldest_queue_age_us() const {
+  std::int64_t oldest = 0;
+  for (const auto& w : workers_) {
+    const util::MutexLock lock(w->mu);
+    if (w->queue.empty()) continue;
+    if (oldest == 0 || w->queue.front().t_us < oldest) {
+      oldest = w->queue.front().t_us;
+    }
+  }
+  if (oldest == 0) return 0;
+  const std::int64_t age = obs::now_us() - oldest;
+  return age > 0 ? age : 0;
 }
 
 void DeliveryExecutor::flush() {

@@ -71,14 +71,25 @@ class DeliveryExecutor {
     return hwm_.load(std::memory_order_relaxed);
   }
 
+  // Age (µs) of the oldest task queued but not yet executing, across all
+  // workers; 0 when every queue is empty. The watchdog's starvation probe:
+  // a blocked worker lets the tasks behind it age without bound.
+  [[nodiscard]] std::int64_t oldest_queue_age_us() const;
+
  private:
+  // One queued task with its enqueue stamp (feeds oldest_queue_age_us()).
+  struct Queued {
+    std::int64_t t_us = 0;
+    Task task;
+  };
+
   // One worker: its own queue, condvars and thread, so striping never
   // contends across keys.
   struct Worker {
     util::Mutex mu{"tps-delivery"};
     util::CondVar cv;       // submit/shutdown -> worker: work or stop
     util::CondVar idle_cv;  // worker -> flush(): queue empty and not busy
-    std::deque<Task> queue GUARDED_BY(mu);
+    std::deque<Queued> queue GUARDED_BY(mu);
     bool busy GUARDED_BY(mu) = false;
     bool stop GUARDED_BY(mu) = false;
     std::thread thread;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <typeindex>
 
+#include "obs/flight.h"
+#include "obs/watchdog.h"
 #include "tps/batch.h"
 #include "util/logging.h"
 
@@ -113,6 +115,11 @@ TpsConfig::Builder& TpsConfig::Builder::no_dedup_ring() {
   return *this;
 }
 
+TpsConfig::Builder& TpsConfig::Builder::no_tracing() {
+  config_.tracing = false;
+  return *this;
+}
+
 TpsConfig TpsConfig::Builder::build() const {
   if (config_.adv_search_timeout < util::Duration::zero()) {
     throw PsException("TpsConfig: adv_search_timeout must be >= 0");
@@ -200,6 +207,16 @@ void TpsSession::init() {
     executor_ = std::make_unique<DeliveryExecutor>(
         config_.delivery_workers, config_.delivery_queue_capacity,
         m_delivery_drops_, m_delivery_queue_depth_, m_delivery_queue_hwm_);
+    // Starvation probe: the peer's watchdog (when enabled) samples the age
+    // of our oldest queued callback each period. unwatch() in shutdown()
+    // precedes executor teardown, so the probe never outlives the pool.
+    if (auto* watchdog = peer_.watchdog()) {
+      watchdog_probe_ = watchdog->watch_queue_age(
+          "tps-delivery:" + type_name_,
+          [executor = executor_.get()] {
+            return executor->oldest_queue_age_us();
+          });
+    }
   }
   channel(type_name_, /*open_inputs=*/true, /*wait_for_adv=*/true);
   {
@@ -255,6 +272,12 @@ void TpsSession::shutdown() {
   // waiting out callbacks already running — so queued pooled dispatches
   // skip, then drain and join the pool.
   for (const auto& gate : gates) close_gate(gate);
+  if (watchdog_probe_ != 0) {
+    // unwatch() blocks out a concurrently-running probe, so the executor
+    // below is torn down only once nothing samples it.
+    if (auto* watchdog = peer_.watchdog()) watchdog->unwatch(watchdog_probe_);
+    watchdog_probe_ = 0;
+  }
   if (executor_) executor_->shutdown();
 }
 
@@ -465,6 +488,8 @@ PublishTicket TpsSession::publish(serial::EventPtr event) {
   }
   if (dropped) {
     m_publish_drops_.inc();
+    obs::flight::record(obs::FlightComponent::kTps, obs::FlightKind::kDrop,
+                        config_.send_queue_capacity);
     PublishTicket ticket;
     ticket.outcome = PublishOutcome::kDroppedQueueFull;
     ticket.error = "send queue full (" +
@@ -472,6 +497,8 @@ PublishTicket TpsSession::publish(serial::EventPtr event) {
     return ticket;
   }
   m_published_.inc();
+  obs::flight::record(obs::FlightComponent::kTps, obs::FlightKind::kEnqueue,
+                      depth);
   PublishTicket ticket;
   ticket.outcome = PublishOutcome::kEnqueued;
   ticket.queue_depth = depth;
@@ -490,7 +517,9 @@ PublishTicket TpsSession::publish_sync(serial::EventPtr event,
   base.add_string(std::string(kTypeElement), publish_type);
   // First trace hop: the publication leaves the TPS engine. dup() keeps
   // elements, so every wire transmission carries the same trace id.
-  obs::start_trace(base, peer_.id().to_string(), "publish", t0);
+  if (config_.tracing) {
+    obs::start_trace(base, peer_.id().to_string(), "publish", t0);
+  }
 
   const std::uint64_t sends = fan_out(chain, base);
 
@@ -567,6 +596,8 @@ void TpsSession::sender_loop() {
       m_send_queue_depth_.set(static_cast<std::int64_t>(send_queue_.size()));
       sender_busy_ = true;
     }
+    obs::flight::record(obs::FlightComponent::kTps, obs::FlightKind::kDequeue,
+                        batch.size());
     send_pending(std::move(batch));
     {
       const util::MutexLock lock(send_mu_);
@@ -610,8 +641,17 @@ void TpsSession::send_group(std::span<PendingPublication> group) {
     base.add_bytes(std::string(kBatchElement), encode_batch_frame(frame));
   }
   base.add_string(std::string(kTypeElement), publish_type);
-  obs::start_trace(base, peer_.id().to_string(), "publish",
-                   group.front().t0_us);
+  if (config_.tracing) {
+    obs::start_trace(base, peer_.id().to_string(), "publish",
+                     group.front().t0_us);
+    if (group.size() > 1) {
+      // The batch stage: events coalesced into one frame. Hops ride the
+      // message, so they survive the frame round-trip on every receiver.
+      obs::append_hop(base, peer_.id().to_string(), "batch", obs::now_us());
+    }
+  }
+  obs::flight::record(obs::FlightComponent::kTps, obs::FlightKind::kBatchFlush,
+                      group.size());
 
   const std::uint64_t frames = fan_out(chain, base);
   // wire_sends keeps its v1 meaning: per-event, per-binding transmissions.
@@ -678,6 +718,8 @@ void TpsSession::count_decode_failure() {
 }
 
 void TpsSession::on_event_message(jxta::Message msg) {
+  // Decode stage begins here (no-op on untraced messages).
+  obs::append_hop(msg, peer_.id().to_string(), "decode", obs::now_us());
   // v2 batch frame? Unpack and dedup-check each event individually.
   // Otherwise fall through to the v1 single-event elements — receivers
   // accept both framings unconditionally.
@@ -791,8 +833,14 @@ void TpsSession::dispatch_one(const Subscriber& sub,
   const SubscriberGate* prev = t_active_gate;
   t_active_gate = gate.get();
   const std::int64_t t0 = obs::now_us();
+  obs::flight::record(obs::FlightComponent::kDelivery,
+                      obs::FlightKind::kDeliverStart, sub.id);
   const bool ok = sub.dispatch(event);
-  callback_latency_us_.record(static_cast<double>(obs::now_us() - t0));
+  const std::int64_t elapsed = obs::now_us() - t0;
+  obs::flight::record(obs::FlightComponent::kDelivery,
+                      obs::FlightKind::kDeliverEnd,
+                      elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0);
+  callback_latency_us_.record(static_cast<double>(elapsed));
   t_active_gate = prev;
   if (pooled) {
     m_deliveries_pooled_.inc();

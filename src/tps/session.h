@@ -107,6 +107,12 @@ struct TpsConfig {
   // set + FIFO deque. Identical semantics; off only for ablation.
   bool dedup_ring = true;
 
+  // --- observability -----------------------------------------------------
+  // Stamp obs:trace-id/obs:hops on outgoing publications (obs/trace.h), so
+  // receivers file end-to-end hop paths into their Tracer. Off shaves the
+  // trace elements from every wire message (the fig19 overhead knob).
+  bool tracing = true;
+
   class Builder;
 };
 
@@ -161,6 +167,9 @@ class TpsConfig::Builder {
   Builder& no_delivery_pool();
   // Ablation: fall back to the legacy set+deque duplicate suppression.
   Builder& no_dedup_ring();
+  // Stop stamping trace elements on outgoing publications (see
+  // TpsConfig::tracing).
+  Builder& no_tracing();
 
   [[nodiscard]] TpsConfig build() const;
 
@@ -412,6 +421,9 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   // pipe exists and torn down by shutdown() *after* every pipe is closed,
   // so listener threads read the pointer without synchronization.
   std::unique_ptr<DeliveryExecutor> executor_;
+  // Starvation probe registered with the peer's watchdog (0 = none).
+  // Written by init(), cleared by shutdown(); both run on app threads.
+  std::uint64_t watchdog_probe_ = 0;
 
   // Async send queue. send_mu_ is a leaf: no code path holds it together
   // with mu_ — publish() and the sender release one before taking the

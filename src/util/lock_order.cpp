@@ -46,8 +46,27 @@ struct HeldLock {
   std::string name;
 };
 
-// Locks currently held by this thread, in acquisition order.
-thread_local std::vector<HeldLock> t_held;
+// Locks currently held by this thread, in acquisition order. The stack
+// lives behind a tri-state liveness flag because the tracker can be
+// re-entered from another thread_local's destructor (the flight recorder
+// releases its ring under a util::Mutex during TLS teardown); once this
+// thread's stack has been destroyed, tracking for the dying thread quietly
+// stops instead of touching a dead vector. The flag itself is trivially
+// destructible, so it outlives every TLS destructor.
+enum class TlsState : unsigned char { kUninit = 0, kAlive, kDead };
+thread_local TlsState t_state = TlsState::kUninit;
+struct HeldStack {
+  HeldStack() { t_state = TlsState::kAlive; }
+  ~HeldStack() { t_state = TlsState::kDead; }
+  std::vector<HeldLock> locks;
+};
+thread_local HeldStack t_stack;
+
+// This thread's held-lock stack, or nullptr after its TLS destructor ran.
+std::vector<HeldLock>* held() {
+  if (t_state == TlsState::kDead) return nullptr;
+  return &t_stack.locks;  // first odr-use constructs and flips to kAlive
+}
 
 std::string display_name(const void* id, const char* name) {
   if (name != nullptr && *name != '\0') return name;
@@ -97,10 +116,11 @@ bool find_path(const Graph& g, const void* from, const void* to,
   return false;
 }
 
-std::vector<std::string> held_names_plus(const std::string& acquiring) {
+std::vector<std::string> held_names_plus(const std::vector<HeldLock>& held_v,
+                                         const std::string& acquiring) {
   std::vector<std::string> chain;
-  chain.reserve(t_held.size() + 1);
-  for (const auto& held : t_held) chain.push_back(held.name);
+  chain.reserve(held_v.size() + 1);
+  for (const auto& held : held_v) chain.push_back(held.name);
   chain.push_back(acquiring);
   return chain;
 }
@@ -119,10 +139,11 @@ void fire(Graph& g, std::unique_lock<std::mutex>& lock, Report report) {
 // Reports the re-entrant acquisition of `name`. The handler seam exists for
 // tests; with the default handler this aborts (letting the acquisition
 // proceed would deadlock for real — util::Mutex is non-recursive).
-void fire_reentrant(const std::string& name) {
+void fire_reentrant(const std::vector<HeldLock>& held_v,
+                    const std::string& name) {
   Report report;
   report.reentrant = true;
-  report.this_chain = held_names_plus(name);
+  report.this_chain = held_names_plus(held_v, name);
   std::ostringstream os;
   os << "== LOCK ORDER: re-entrant acquisition (self-deadlock) ==\n"
      << "thread " << this_thread_desc() << " acquiring \"" << name
@@ -154,20 +175,22 @@ bool enabled() noexcept {
 }
 
 void pre_lock(const void* id, const char* name) {
+  std::vector<HeldLock>* held_v = held();
+  if (held_v == nullptr) return;  // thread is past TLS teardown: stop tracking
   const std::string acquiring = display_name(id, name);
-  for (const auto& held : t_held) {
+  for (const auto& held : *held_v) {
     if (held.id == id) {
-      fire_reentrant(acquiring);
+      fire_reentrant(*held_v, acquiring);
       return;
     }
   }
-  if (t_held.empty()) return;  // nothing held: no ordering to record or break
+  if (held_v->empty()) return;  // nothing held: no ordering to record or break
 
   Graph& g = graph();
   std::unique_lock lock(g.mu);
   if (auto& node = g.nodes[id]; node.name.empty()) node.name = acquiring;
 
-  for (const auto& held : t_held) {
+  for (const auto& held : *held_v) {
     // Would the new edge held -> id close a cycle? Look for the opposite
     // direction already in the graph: a path id -> ... -> held.
     std::vector<const void*> path;
@@ -175,7 +198,7 @@ void pre_lock(const void* id, const char* name) {
       if (!g.reported.insert(pair_key(held.id, id)).second) continue;
 
       Report report;
-      report.this_chain = held_names_plus(acquiring);
+      report.this_chain = held_names_plus(*held_v, acquiring);
       // The first edge on the opposite path carries the chain recorded when
       // some thread held `id` and went on to acquire towards `held`.
       const Edge& prior = g.nodes.at(path[0]).out.at(path[1]);
@@ -206,25 +229,29 @@ void pre_lock(const void* id, const char* name) {
     }
     auto [edge_it, inserted] = g.nodes[held.id].out.try_emplace(id);
     if (inserted) {
-      edge_it->second.chain = held_names_plus(acquiring);
+      edge_it->second.chain = held_names_plus(*held_v, acquiring);
       edge_it->second.thread_desc = this_thread_desc();
     }
   }
 }
 
 void post_lock(const void* id, const char* name) {
-  t_held.push_back(HeldLock{id, display_name(id, name)});
+  std::vector<HeldLock>* held_v = held();
+  if (held_v == nullptr) return;
+  held_v->push_back(HeldLock{id, display_name(id, name)});
 }
 
 void post_try_lock(const void* id, const char* name) {
+  std::vector<HeldLock>* held_v = held();
+  if (held_v == nullptr) return;
   // Record ordering edges (a try-held lock still blocks other threads) but
   // never report: a non-blocking acquisition cannot hang this thread.
-  if (!t_held.empty()) {
+  if (!held_v->empty()) {
     const std::string acquiring = display_name(id, name);
     Graph& g = graph();
     const std::lock_guard lock(g.mu);
     if (auto& node = g.nodes[id]; node.name.empty()) node.name = acquiring;
-    for (const auto& held : t_held) {
+    for (const auto& held : *held_v) {
       std::vector<const void*> path;
       if (find_path(g, id, held.id, path)) continue;  // keep graph acyclic
       if (auto& node = g.nodes[held.id]; node.name.empty()) {
@@ -232,7 +259,7 @@ void post_try_lock(const void* id, const char* name) {
       }
       auto [edge_it, inserted] = g.nodes[held.id].out.try_emplace(id);
       if (inserted) {
-        edge_it->second.chain = held_names_plus(acquiring);
+        edge_it->second.chain = held_names_plus(*held_v, acquiring);
         edge_it->second.thread_desc = this_thread_desc();
       }
     }
@@ -241,11 +268,13 @@ void post_try_lock(const void* id, const char* name) {
 }
 
 void post_unlock(const void* id) {
+  std::vector<HeldLock>* held_v = held();
+  if (held_v == nullptr) return;
   // Search from the back: locks are usually released in reverse order, but
   // out-of-order release (MutexLock::unlock) is legal.
-  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+  for (auto it = held_v->rbegin(); it != held_v->rend(); ++it) {
     if (it->id == id) {
-      t_held.erase(std::next(it).base());
+      held_v->erase(std::next(it).base());
       return;
     }
   }

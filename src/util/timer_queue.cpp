@@ -28,6 +28,12 @@ void TimerQueue::set_wakeup(std::function<void()> wakeup) {
   wakeup_ = std::move(wakeup);
 }
 
+void TimerQueue::set_fire_observer(
+    std::function<void(std::int64_t)> observer) {
+  const MutexLock lock(mu_);
+  fire_observer_ = std::move(observer);
+}
+
 TimerId TimerQueue::schedule_at(TimePoint deadline, TimerTask task) {
   return schedule_impl(deadline, std::move(task));
 }
@@ -93,10 +99,17 @@ std::size_t TimerQueue::fire_due_locked(TimePoint now, MutexLock& lock) {
     if (top.deadline > now) break;
     const TimerId id = top.id;
     const std::shared_ptr<TimerTask> task = top.task;
+    const std::int64_t lag_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - top.deadline)
+            .count();
     heap_.pop();
     live_.erase(id);
     firing_id_ = id;
     firing_thread_ = std::this_thread::get_id();
+    // Copied per fire so the call runs without the lock; cheap (handles fit
+    // std::function's small-buffer storage).
+    const auto observer = fire_observer_;
     lock.unlock();
     try {
       (*task)();
@@ -105,6 +118,7 @@ std::size_t TimerQueue::fire_due_locked(TimePoint now, MutexLock& lock) {
     } catch (...) {
       P2P_LOG(kError, "timer") << name_ << ": callback threw (non-std)";
     }
+    if (observer) observer(lag_us > 0 ? lag_us : 0);
     lock.lock();
     firing_id_ = 0;
     ++fired_;

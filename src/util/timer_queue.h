@@ -60,6 +60,14 @@ class TimerQueue {
   // its wait. Set once before the first schedule.
   void set_wakeup(std::function<void()> wakeup) EXCLUDES(mu_);
 
+  // Invoked (without the queue lock) after each fired callback with how
+  // late it ran, in µs past its deadline. Installed by obs-aware owners
+  // (net::EventLoop, the obs watchdog) — util itself never depends on obs.
+  // Replacing the observer does not wait out an in-flight invocation, so
+  // installed observers should own (or outlive) everything they touch.
+  void set_fire_observer(std::function<void(std::int64_t lag_us)> observer)
+      EXCLUDES(mu_);
+
   // Schedules `task` to run at/after the given time. Returns an id usable
   // with cancel(). Tasks scheduled after stop() are dropped (id 0).
   TimerId schedule_at(TimePoint deadline, TimerTask task) EXCLUDES(mu_);
@@ -113,6 +121,7 @@ class TimerQueue {
   mutable Mutex mu_{"timer-queue"};
   CondVar cv_;
   std::function<void()> wakeup_ GUARDED_BY(mu_);
+  std::function<void(std::int64_t)> fire_observer_ GUARDED_BY(mu_);
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_
       GUARDED_BY(mu_);
   // Ids of scheduled-but-not-fired-or-cancelled timers; a heap entry whose

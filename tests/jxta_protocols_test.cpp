@@ -5,6 +5,7 @@
 #include <atomic>
 
 #include "jxta/peer.h"
+#include "obs/metrics.h"
 #include "support/test_net.h"
 #include "support/timing.h"
 
@@ -45,7 +46,9 @@ TEST(EndpointTest, SendFailsWithNoRouteAtAll) {
   TestNet net;
   Peer& alice = net.add_peer("alice");
   EXPECT_FALSE(alice.endpoint().send(PeerId::generate(), "svc", {1}));
-  EXPECT_EQ(alice.endpoint().traffic().send_failures, 1u);
+  if (obs::enabled()) {
+    EXPECT_EQ(alice.endpoint().traffic().send_failures, 1u);
+  }
 }
 
 TEST(EndpointTest, ObservedEnvelopeAddressEnablesReply) {
@@ -90,8 +93,10 @@ TEST(EndpointTest, RelayRoutesAroundMissingDirectPath) {
   });
   EXPECT_TRUE(alice.endpoint().send(bob.id(), "svc", {42}));
   EXPECT_TRUE(wait_until([&] { return got == 1; }));
-  EXPECT_TRUE(wait_until(
-      [&] { return relay.endpoint().traffic().msgs_relayed >= 1; }));
+  if (obs::enabled()) {
+    EXPECT_TRUE(wait_until(
+        [&] { return relay.endpoint().traffic().msgs_relayed >= 1; }));
+  }
 }
 
 TEST(EndpointTest, NonRouterRefusesRelayDuty) {
@@ -114,6 +119,7 @@ TEST(EndpointTest, NonRouterRefusesRelayDuty) {
 }
 
 TEST(EndpointTest, TrafficCountersAdvance) {
+  if (!obs::enabled()) GTEST_SKIP() << "asserts counters advance";
   TestNet net;
   Peer& alice = net.add_peer("alice");
   Peer& bob = net.add_peer("bob");

@@ -172,15 +172,18 @@ TEST(TcpReactorTest, SendToSilentPeerReturnsWithinProbeBound) {
   EXPECT_LT(elapsed, milliseconds(250));  // probe is 20ms; generous margin
   // The loop keeps the connect alive until the deadline (300ms), then
   // gives up and records the failure.
-  EXPECT_TRUE(wait_until([&] {
-    return registry->counter("net.connects_failed").value() >= 1;
-  }));
+  if (obs::enabled()) {
+    EXPECT_TRUE(wait_until([&] {
+      return registry->counter("net.connects_failed").value() >= 1;
+    }));
+  }
   t.close();
   for (const int fd : fillers) ::close(fd);
   ::close(listener);
 }
 
 TEST(TcpReactorTest, WriteQueueBackpressureDropsAndCounts) {
+  if (!obs::enabled()) GTEST_SKIP() << "drops are only observable as counters";
   // A receiver that accepts but never reads: once its kernel buffers and
   // the sender's (shrunken) SNDBUF fill, the per-connection queue grows to
   // its bound and further datagrams are dropped — counted, never blocking.
@@ -259,6 +262,7 @@ TEST(TcpReactorTest, ReconnectAfterPeerRestart) {
 }
 
 TEST(TcpReactorTest, HalfOpenInboundConnectionIsEvicted) {
+  if (!obs::enabled()) GTEST_SKIP() << "eviction is observed via a gauge";
   // A socket that connects but never sends a frame must not pin resources
   // forever: the idle sweep reaps it.
   auto options = fast_options();
@@ -337,7 +341,9 @@ TEST(TcpReactorTest, SharedLoopGroupServesManyTransports) {
     }
   }
   EXPECT_TRUE(wait_until([&] { return received.load() == 4 * 3; }));
-  EXPECT_GT(registry->counter("net.loop_wakeups").value(), 0u);
+  if (obs::enabled()) {
+    EXPECT_GT(registry->counter("net.loop_wakeups").value(), 0u);
+  }
   for (auto& t : transports) t->close();
   loops->stop();
 }

@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "events/ski_rental.h"
 #include "jxta/message.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "support/test_net.h"
 #include "tps/tps.h"
@@ -217,6 +221,62 @@ TEST(TraceTest, TracerKeepsNewestUpToCapacity) {
   EXPECT_TRUE(tracer.find(c).has_value());
 }
 
+TEST(TraceTest, TracerCountsEvictionsInRegistry) {
+  Registry reg;
+  Tracer tracer(3, reg.counter("obs.traces_dropped"));
+  EXPECT_EQ(tracer.capacity(), 3u);
+  for (int i = 0; i < 8; ++i) {
+    tracer.record(Trace{util::Uuid::derive(std::to_string(i)), {}});
+  }
+  EXPECT_EQ(tracer.recorded(), 8u);
+  EXPECT_EQ(tracer.recent().size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 5u);
+  EXPECT_EQ(reg.snapshot().counter("obs.traces_dropped"), 5u);
+}
+
+// --- span-timeline exporter --------------------------------------------------
+
+TEST(TimelineTest, EmitsCompleteSpansPerHopPair) {
+  Trace trace;
+  trace.id = util::Uuid::derive("t");
+  trace.hops = {
+      {"peerA", "publish", 1000},
+      {"peerA", "wire-send", 1100},
+      {"peerB", "deliver", 2500},
+  };
+  const std::string json = timeline_json({trace}, {});
+  // Chrome-trace envelope.
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One "X" complete span per consecutive hop pair, named stage->stage.
+  EXPECT_NE(json.find("\"publish->wire-send\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire-send->deliver\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Span start is the earlier hop's stamp; duration is the gap.
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1400"), std::string::npos);
+  // Peers become named processes.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("peerA"), std::string::npos);
+  EXPECT_NE(json.find("peerB"), std::string::npos);
+}
+
+TEST(TimelineTest, EmitsFlightRecordsAsInstants) {
+  FlightRecord record;
+  record.t_us = 42;
+  record.thread = 7;
+  record.component = FlightComponent::kDelivery;
+  record.kind = FlightKind::kDequeue;
+  record.arg = 99;
+  const std::string json = timeline_json({}, {record});
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("flight-recorder"), std::string::npos);
+  EXPECT_NE(json.find(to_string(FlightKind::kDequeue)), std::string::npos);
+}
+
 // --- end-to-end acceptance ---------------------------------------------------
 
 // One TPS publish crosses two peers; afterwards (a) the subscriber's Tracer
@@ -281,6 +341,73 @@ TEST(ObsIntegrationTest, PublishLeavesTraceAndGroupWideCounters) {
   EXPECT_GT(alice.metrics().snapshot().counter("tps.received_unique"), 0u);
   EXPECT_GT(bob.metrics().snapshot().counter("net.msgs_sent"), 0u);
   EXPECT_GT(alice.metrics().snapshot().counter("net.msgs_received"), 0u);
+}
+
+// Trace hops must survive the v2 batch framing: events coalesced into one
+// tps:batch frame still deliver a complete trace on the subscriber, with
+// the extra "batch" stage marking the coalescing point.
+TEST(ObsIntegrationTest, TraceSurvivesBatchFrameRoundTrip) {
+  TestNet net;
+  jxta::Peer& alice = net.add_peer("alice");
+  jxta::Peer& bob = net.add_peer("bob");
+
+  tps::TpsConfig config;
+  config.adv_search_timeout = std::chrono::milliseconds(300);
+  config.finder_period = std::chrono::milliseconds(150);
+  config.batching = true;
+  config.batch_max_events = 8;
+  // A long linger so a burst of publishes reliably coalesces into one frame.
+  config.batch_max_age = std::chrono::milliseconds(50);
+  tps::TpsEngine<SkiRental> engine_a(alice, config);
+  auto sub = engine_a.new_interface();
+  std::atomic<int> received{0};
+  sub.subscribe(
+      tps::make_callback<SkiRental>([&](const SkiRental&) { ++received; }),
+      tps::ignore_exceptions<SkiRental>());
+  tps::TpsEngine<SkiRental> engine_b(bob, config);
+  auto pub = engine_b.new_interface();
+
+  constexpr int kEvents = 8;
+  for (int i = 0; i < kEvents; ++i) {
+    pub.publish(SkiRental("Shop", static_cast<float>(i), "Brand", 99.0f));
+  }
+  ASSERT_TRUE(wait_until([&] { return received >= kEvents; }));
+  // The burst really used the batch path.
+  ASSERT_TRUE(wait_until([&] {
+    return bob.metrics().snapshot().counter("tps.batches_sent") > 0;
+  }));
+
+  // At least one recorded trace carries the batch stage, and its hop chain
+  // is intact end to end.
+  ASSERT_TRUE(wait_until([&] { return alice.tracer().recorded() > 0; }));
+  const auto has_stage = [](const Trace& trace, const std::string& stage) {
+    for (const Hop& hop : trace.hops) {
+      if (hop.stage == stage) return true;
+    }
+    return false;
+  };
+  std::optional<Trace> batched;
+  ASSERT_TRUE(wait_until([&] {
+    for (const Trace& trace : alice.tracer().recent()) {
+      if (has_stage(trace, "batch")) {
+        batched = trace;
+        return true;
+      }
+    }
+    return false;
+  }));
+  EXPECT_EQ(batched->hops.front().stage, "publish");
+  EXPECT_EQ(batched->hops.front().peer, bob.id().to_string());
+  EXPECT_TRUE(has_stage(*batched, "decode"));
+  EXPECT_EQ(batched->hops.back().stage, "deliver");
+  EXPECT_EQ(batched->hops.back().peer, alice.id().to_string());
+  for (std::size_t i = 1; i < batched->hops.size(); ++i) {
+    EXPECT_GE(batched->hops[i].t_us, batched->hops[i - 1].t_us);
+  }
+  // The batch stage sits publisher-side, after publish.
+  ASSERT_GE(batched->hops.size(), 4u);
+  EXPECT_EQ(batched->hops[1].stage, "batch");
+  EXPECT_EQ(batched->hops[1].peer, bob.id().to_string());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "support/test_net.h"
 
 namespace p2p::jxta {
@@ -256,6 +257,7 @@ TEST(MonitoringTest, PeriodicSweepsRun) {
 }
 
 TEST(MonitoringTest, SweepReportsRegistrySourcedTraffic) {
+  if (!obs::enabled()) GTEST_SKIP() << "asserts registry-sourced counters";
   // After a publish round-trip between alice and bob, a PIP sweep from a
   // third peer must report non-zero message/byte counters for both — the
   // numbers flow from each peer's obs::Registry through PeerInfoService.

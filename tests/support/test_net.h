@@ -46,7 +46,14 @@ class TestNet {
     for (const auto& seed : seed_rdvs) {
       config.seed_rendezvous.emplace_back("inproc", seed);
     }
-    auto peer = std::make_unique<jxta::Peer>(config);
+    return add_peer(std::move(config));
+  }
+
+  // Full-config variant (watchdog, trace capacity, ...); attaches to the
+  // fabric under config.name and starts the peer.
+  jxta::Peer& add_peer(jxta::PeerConfig config) {
+    const std::string name = config.name;
+    auto peer = std::make_unique<jxta::Peer>(std::move(config));
     peer->add_transport(std::make_shared<net::InProcTransport>(fabric_, name));
     peer->start();
     peers_.push_back(std::move(peer));

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Bench regression diff: compare BENCH_*.json against committed baselines.
+
+The CI bench-smoke step runs the benches in --smoke mode, which emits
+BENCH_<name>.json next to the binaries. This tool walks every throughput
+field (any numeric value keyed "events_per_sec", recursively) in the
+current dumps and compares it with the committed baseline in
+bench/baselines/. A field that regressed by more than --threshold
+(default 25%) fails the build.
+
+Only throughput regresses the build: latency percentiles and counters are
+reported for context but never fail — smoke runs are too short for stable
+tail latency, while a >25% throughput collapse on the same runner class is
+a real signal (a lost fast path, an accidental sync fallback).
+
+Exit status: 0 clean, 1 regression found, 2 usage/internal error.
+
+--self-test fabricates a baseline/current pair and fails unless the
+regression is caught and the clean pair passes (guards the diff logic).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+THROUGHPUT_KEY = "events_per_sec"
+
+
+def throughput_fields(node, path=""):
+    """Yields (json_path, value) for every numeric events_per_sec field."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            sub = f"{path}.{key}" if path else key
+            if key == THROUGHPUT_KEY and isinstance(value, (int, float)):
+                yield sub, float(value)
+            else:
+                yield from throughput_fields(value, sub)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from throughput_fields(value, f"{path}[{i}]")
+
+
+def diff_bench(name: str, baseline: dict, current: dict,
+               threshold: float) -> tuple[list[str], list[str]]:
+    """Returns (regressions, notes) for one bench dump."""
+    regressions, notes = [], []
+    base_fields = dict(throughput_fields(baseline))
+    cur_fields = dict(throughput_fields(current))
+    for path, base in sorted(base_fields.items()):
+        cur = cur_fields.get(path)
+        if cur is None:
+            regressions.append(
+                f"{name}: {path} present in baseline but missing from the "
+                f"current run — a dropped series hides a regression")
+            continue
+        if base <= 0:
+            notes.append(f"{name}: {path} baseline is {base}; skipped")
+            continue
+        change = (cur - base) / base
+        label = (f"{name}: {path} {base:.0f} -> {cur:.0f} "
+                 f"({change * 100:+.1f}%)")
+        if change < -threshold:
+            regressions.append(
+                f"{label} — exceeds the {threshold * 100:.0f}% budget")
+        else:
+            notes.append(label)
+    for path in sorted(set(cur_fields) - set(base_fields)):
+        notes.append(f"{name}: {path} is new (no baseline); recorded only")
+    return regressions, notes
+
+
+def run_diff(baseline_dir: pathlib.Path, current_dir: pathlib.Path,
+             threshold: float) -> int:
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench-diff: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 2
+    regressions, notes = [], []
+    for base_path in baselines:
+        cur_path = current_dir / base_path.name
+        if not cur_path.exists():
+            regressions.append(
+                f"{base_path.name}: baseline exists but the current run "
+                f"produced no dump — did the bench crash?")
+            continue
+        try:
+            baseline = json.loads(base_path.read_text(encoding="utf-8"))
+            current = json.loads(cur_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            regressions.append(f"{base_path.name}: unparseable dump: {err}")
+            continue
+        regs, info = diff_bench(base_path.name, baseline, current, threshold)
+        regressions.extend(regs)
+        notes.extend(info)
+    for line in notes:
+        print(f"  {line}")
+    if regressions:
+        print(f"\nbench-diff: {len(regressions)} regression(s) beyond "
+              f"{threshold * 100:.0f}%:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench-diff: clean ({len(baselines)} dump(s), "
+          f"threshold {threshold * 100:.0f}%)")
+    return 0
+
+
+def self_test() -> int:
+    baseline = {
+        "bench": "fake",
+        "throughput": {"inline": {"events_per_sec": 1000},
+                       "pooled": {"events_per_sec": 4000}},
+        "series": [{"peers": 2, "events_per_sec": 500}],
+    }
+    ok_current = {
+        "bench": "fake",
+        "throughput": {"inline": {"events_per_sec": 900},   # -10%: fine
+                       "pooled": {"events_per_sec": 4400}},
+        "series": [{"peers": 2, "events_per_sec": 510}],
+    }
+    bad_current = {
+        "bench": "fake",
+        "throughput": {"inline": {"events_per_sec": 1000},
+                       "pooled": {"events_per_sec": 2000}},  # -50%: fail
+        "series": [{"peers": 2, "events_per_sec": 500}],
+    }
+    missing_current = {
+        "bench": "fake",
+        "throughput": {"inline": {"events_per_sec": 1000}},
+    }
+    cases = [
+        ("clean pair passes", ok_current, 0),
+        ("-50% throughput fails", bad_current, 1),
+        ("dropped series fails", missing_current, 1),
+    ]
+    failures = 0
+    for label, current, expected in cases:
+        regs, _ = diff_bench("fake.json", baseline, current, 0.25)
+        got = 1 if regs else 0
+        ok = got == expected
+        print(f"{'ok  ' if ok else 'FAIL'} {label}"
+              + ("" if ok else f" (exit {got}, wanted {expected})"))
+        failures += 0 if ok else 1
+    return 0 if failures == 0 else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path("bench/baselines"),
+                        help="directory with committed BENCH_*.json")
+    parser.add_argument("--current", type=pathlib.Path,
+                        default=pathlib.Path("."),
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional throughput-regression budget "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the diff catches a seeded regression")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_diff(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,14 @@ Checks (each can be listed with --list):
                   fluent TpsConfig::Builder validates every knob at
                   build() time; a raw aggregate init bypasses those bounds
                   checks and silently compiles when fields are reordered.
+  metrics-manifest  Every literal metric name registered via counter() /
+                  gauge() / histogram() in src/ appears in the manifest in
+                  src/obs/instruments.h, and vice versa. A typo'd name
+                  mints a dead time series that dashboards and bench diffs
+                  then read zeros from; the manifest makes every new or
+                  renamed instrument a deliberate, reviewed edit. Names
+                  composed at runtime (e.g. "net." + scheme + "...") are
+                  exempt: the check only matches whole-literal calls.
   listener-publish  No publish / try_publish / publish_on_wire call inside
                   a wire/pipe listener lambda (a set_listener(...) argument)
                   in src/. Listener bodies run on the transport's delivery
@@ -236,6 +244,48 @@ def check_config_builder(tree: Tree) -> list[str]:
     return errors
 
 
+METRICS_MANIFEST_FILE = "src/obs/instruments.h"
+# A whole-literal registration: the closing quote must be followed by `,`
+# or `)` so runtime-composed names ("net." + scheme + "...") stay exempt.
+METRIC_CALL_RE = re.compile(
+    r'\b(?:counter|gauge|histogram)\s*\(\s*'
+    r'"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"\s*[,)]')
+METRIC_NAME_RE = re.compile(r'"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"')
+
+
+def parse_metrics_manifest(tree: Tree) -> set[str] | None:
+    text = tree.files.get(METRICS_MANIFEST_FILE)
+    if text is None:
+        return None
+    return set(METRIC_NAME_RE.findall(strip_comments(text)))
+
+
+def check_metrics_manifest(tree: Tree) -> list[str]:
+    errors = []
+    manifest = parse_metrics_manifest(tree)
+    if manifest is None:
+        return [f"{METRICS_MANIFEST_FILE}: instrument-name manifest "
+                f"not found"]
+    used: dict[str, str] = {}  # name -> first "file:line"
+    for path in tree.matching("src/", (".h", ".cpp")):
+        if path == METRICS_MANIFEST_FILE:
+            continue
+        code = strip_comments(tree.files[path])
+        for m in METRIC_CALL_RE.finditer(code):
+            used.setdefault(m.group(1), f"{path}:{line_of(code, m.start())}")
+    for name in sorted(set(used) - manifest):
+        errors.append(
+            f"{used[name]}: metric \"{name}\" is not in the instrument "
+            f"manifest in {METRICS_MANIFEST_FILE} — add it there (a typo'd "
+            f"name mints a dead time series; make every name deliberate)")
+    for name in sorted(manifest - set(used)):
+        errors.append(
+            f"{METRICS_MANIFEST_FILE}: manifest entry \"{name}\" is never "
+            f"registered in src/ — remove it (or restore the "
+            f"instrumentation that used it)")
+    return errors
+
+
 LISTENER_RE = re.compile(r"\bset_listener\s*\(")
 LISTENER_PUBLISH_RE = re.compile(
     r"\b(?:publish|try_publish|publish_on_wire)\s*\(")
@@ -290,6 +340,7 @@ CHECKS = {
     "src-sleep": check_src_sleep,
     "self-include": check_self_include,
     "config-builder": check_config_builder,
+    "metrics-manifest": check_metrics_manifest,
     "listener-publish": check_listener_publish,
 }
 
@@ -359,6 +410,21 @@ def self_test() -> int:
                "auto b = tps::TpsConfig::Builder().no_history().build();\n"
                "a.batching = true;\n"}),
          None),
+        ("metrics-manifest catches unlisted metric",
+         Tree({METRICS_MANIFEST_FILE: '"tps.listed",\n',
+               "src/x/a.cpp": 'reg.counter("tps.unlisted").inc();\n'
+                              'reg.gauge("tps.listed").set(1);\n'}),
+         "metrics-manifest"),
+        ("metrics-manifest catches stale manifest entry",
+         Tree({METRICS_MANIFEST_FILE: '"tps.gone",\n"tps.kept",\n',
+               "src/x/a.cpp": 'reg.histogram("tps.kept").record(1);\n'}),
+         "metrics-manifest"),
+        ("metrics-manifest exempts runtime-composed names",
+         Tree({METRICS_MANIFEST_FILE: '"net.used",\n',
+               "src/x/a.cpp":
+               'reg.counter("net." + scheme + ".send_failures").inc();\n'
+               'reg.counter("net.used").inc();\n'}),
+         None),
         ("listener-publish catches inline publish",
          Tree({"src/x/a.cpp":
                "pipe->set_listener([this](Message m) {\n"
@@ -382,7 +448,9 @@ def self_test() -> int:
     failures = 0
     for label, tree, expect_check in cases:
         hits = {name: fn(tree) for name, fn in CHECKS.items()
-                if name != "wire-manifest" or MANIFEST_FILE in tree.files}
+                if (name != "wire-manifest" or MANIFEST_FILE in tree.files)
+                and (name != "metrics-manifest"
+                     or METRICS_MANIFEST_FILE in tree.files)}
         flagged = [name for name, errs in hits.items() if errs]
         ok = (flagged == [expect_check]) if expect_check else (not flagged)
         print(f"{'ok  ' if ok else 'FAIL'} {label}"
