@@ -1,0 +1,23 @@
+// Fuzz target: net::Address::parse. The source-address text inside every
+// TCP frame is peer-supplied; parse must be total over arbitrary text.
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "net/address.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto addr = p2p::net::Address::parse(text);
+    if (addr) {
+      // Round-trip: printing a parsed address must re-parse equal.
+      const auto again = p2p::net::Address::parse(addr->to_string());
+      if (!again || again->to_string() != addr->to_string()) std::abort();
+    }
+  } catch (...) {
+    std::abort();  // Address::parse must not throw
+  }
+  return 0;
+}

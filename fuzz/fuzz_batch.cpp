@@ -1,0 +1,27 @@
+// Fuzz target: tps::try_decode_batch_frame. The tps:batch element is a
+// peer-supplied binary frame; decode must be total (error result, no
+// throw) and must not amplify a small frame into a large allocation.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "tps/batch.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> frame(data, size);
+  try {
+    const p2p::tps::BatchLimits limits{.max_events = 4096,
+                                       .max_event_bytes = 1 << 20};
+    const auto result = p2p::tps::try_decode_batch_frame(frame, limits);
+    if (result.ok()) {
+      // Decoded payload bytes are bounded by the input frame.
+      std::size_t total = 0;
+      for (const auto& item : result.items) total += item.payload.size();
+      if (total > size) std::abort();
+    }
+  } catch (...) {
+    std::abort();  // try_decode_batch_frame must not throw
+  }
+  return 0;
+}

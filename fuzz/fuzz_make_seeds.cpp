@@ -1,0 +1,127 @@
+// Writes seed corpora for every fuzz target, using the library's own
+// encoders — the same frozen frames tests/wire_format_test.cpp pins. Run:
+//
+//   fuzz_make_seeds <corpus-root>
+//
+// creates <corpus-root>/{xml,batch,message,framing,address,bytereader}/
+// with a handful of well-formed (and near-well-formed) inputs each, so a
+// fuzzer starts from the interesting region of the input space instead of
+// random bytes.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "jxta/endpoint.h"
+#include "jxta/message.h"
+#include "net/framing.h"
+#include "tps/batch.h"
+#include "util/bytes.h"
+#include "util/uuid.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void put(const fs::path& dir, const std::string& name,
+         std::span<const std::uint8_t> bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void put_text(const fs::path& dir, const std::string& name,
+              std::string_view text) {
+  put(dir, name, p2p::util::to_bytes(text));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+
+  // --- xml: advertisement-shaped documents -------------------------------
+  put_text(root / "xml", "peer_adv",
+           "<jxta:PA><PID>urn:jxta:uuid-59616261</PID>"
+           "<Name>peer-0</Name><Svc><MCID>builtin:wire</MCID>"
+           "<Parm type=\"tcp\">tcp://127.0.0.1:5001</Parm></Svc>"
+           "</jxta:PA>");
+  put_text(root / "xml", "nested",
+           "<a><b><c attr=\"1\"><d>&lt;&amp;&gt;&#65;</d></c></b></a>");
+  put_text(root / "xml", "comment_cdata",
+           "<doc><!-- c --><x>&quot;t&quot;</x></doc>");
+
+  // --- batch: tps:batch frames ------------------------------------------
+  {
+    const auto payload = std::make_shared<const p2p::util::Bytes>(
+        p2p::util::to_bytes("<ev><n>1</n></ev>"));
+    std::vector<p2p::tps::BatchItem> items;
+    items.push_back({p2p::util::Uuid::generate(), payload});
+    items.push_back({p2p::util::Uuid::generate(), payload});
+    put(root / "batch", "two_events",
+        p2p::tps::encode_batch_frame(items));
+    items.resize(1);
+    put(root / "batch", "one_event",
+        p2p::tps::encode_batch_frame(items));
+    put(root / "batch", "empty", p2p::tps::encode_batch_frame({}));
+  }
+
+  // --- message: jxta::Message and endpoint envelopes ---------------------
+  {
+    p2p::jxta::Message msg;
+    msg.add_string("tps:type", "news");
+    msg.add_bytes("tps:payload", p2p::util::to_bytes("<n>1</n>"));
+    msg.add_string("obs:trace-id", "0123456789abcdef");
+    put(root / "message", "tps_event", msg.serialize());
+
+    p2p::jxta::EndpointMessage env;
+    env.service = "jxta.resolver";
+    env.payload = msg.serialize();
+    put(root / "message", "endpoint_envelope", env.serialize());
+  }
+
+  // --- framing: TCP stream chunks (split seed byte + frames) -------------
+  {
+    const auto payload = p2p::util::to_bytes("hello");
+    auto one = p2p::net::FrameAssembler::encode("tcp://127.0.0.1:5001",
+                                                payload);
+    p2p::util::Bytes stream;
+    stream.push_back(0x07);  // split schedule seed
+    stream.insert(stream.end(), one.begin(), one.end());
+    stream.insert(stream.end(), one.begin(), one.end());
+    put(root / "framing", "two_frames", stream);
+    one.resize(one.size() / 2);
+    stream.assign(1, 0x31);
+    stream.insert(stream.end(), one.begin(), one.end());
+    put(root / "framing", "half_frame", stream);
+  }
+
+  // --- address -----------------------------------------------------------
+  put_text(root / "address", "tcp", "tcp://127.0.0.1:5001");
+  put_text(root / "address", "inproc", "inproc://peer-7");
+  put_text(root / "address", "junk", "tcp://:::not-an-address");
+
+  // --- bytereader: [n_ops][ops][buffer] ----------------------------------
+  {
+    p2p::util::ByteWriter w;
+    w.write_varint(300);
+    w.write_string("abc");
+    w.write_u64(0xffffffffffffffffULL);
+    w.write_i64(-1);
+    const auto buf = w.take();
+    p2p::util::Bytes seed;
+    seed.push_back(4);                       // four ops
+    for (std::uint8_t op : {6, 8, 3, 4}) seed.push_back(op);
+    seed.insert(seed.end(), buf.begin(), buf.end());
+    put(root / "bytereader", "mixed_stream", seed);
+  }
+
+  std::printf("seed corpora written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fuzz target: xml::try_parse. Peer advertisements and XML-marshalled TPS
+// events cross this parser; arbitrary text must yield a document or a
+// classified error — never a crash, a throw, or unbounded recursion.
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "xml/xml.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    // Tight limits keep iterations fast and probe the cap paths.
+    const p2p::xml::ParseLimits limits{.max_depth = 32,
+                                       .max_input = 1 << 20};
+    std::string error;
+    const auto doc = p2p::xml::try_parse(text, limits, &error);
+    if (doc) {
+      // A document that parsed must serialize and re-parse to itself
+      // (round-trip stability is what the registry decode path relies on).
+      const std::string out = p2p::xml::write(*doc);
+      if (!p2p::xml::try_parse(out, limits)) std::abort();
+    }
+  } catch (...) {
+    std::abort();  // try_parse must not throw
+  }
+  return 0;
+}

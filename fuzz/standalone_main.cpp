@@ -1,0 +1,87 @@
+// Fallback driver for toolchains without libFuzzer (gcc): replays corpus
+// files passed as arguments, then — when P2P_FUZZ_ITERS is set — runs a
+// deterministic xorshift mutation loop over the replayed corpus. Not
+// coverage-guided; exists so the harnesses build and run everywhere.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base,
+                                 std::uint64_t& rng) {
+  std::vector<std::uint8_t> out = base;
+  if (out.empty()) out.push_back(0);
+  switch (xorshift(rng) % 4) {
+    case 0:  // flip bytes
+      for (int i = 0; i < 4; ++i) {
+        out[xorshift(rng) % out.size()] =
+            static_cast<std::uint8_t>(xorshift(rng));
+      }
+      break;
+    case 1:  // truncate
+      out.resize(xorshift(rng) % out.size());
+      break;
+    case 2: {  // insert a run
+      const std::size_t at = xorshift(rng) % (out.size() + 1);
+      const std::size_t n = xorshift(rng) % 16 + 1;
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(at), n,
+                 static_cast<std::uint8_t>(xorshift(rng)));
+      break;
+    }
+    default: {  // splice with itself
+      const std::size_t at = xorshift(rng) % out.size();
+      out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(at),
+                 out.end());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // ignore libFuzzer-style flags
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "skipping unreadable %s\n", argv[i]);
+      continue;
+    }
+    std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>()};
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    corpus.push_back(std::move(bytes));
+  }
+  std::printf("replayed %zu corpus file(s)\n", corpus.size());
+
+  const char* iters_env = std::getenv("P2P_FUZZ_ITERS");
+  if (iters_env == nullptr) return 0;
+  const long iters = std::atol(iters_env);
+  if (corpus.empty()) corpus.push_back({0x00});
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  for (long i = 0; i < iters; ++i) {
+    const auto input = mutate(corpus[static_cast<std::size_t>(i) %
+                                     corpus.size()],
+                              rng);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("ran %ld mutation iteration(s)\n", iters);
+  return 0;
+}

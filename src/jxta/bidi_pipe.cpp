@@ -116,13 +116,15 @@ void BidiPipe::on_message(Message wire) {
   if (kind != "data") return;  // stray control frame
   const auto body = wire.get_bytes(std::string(kDataElement));
   if (!body) return;
-  Message inner;
-  try {
-    inner = Message::deserialize(*body);
-  } catch (const std::exception& e) {
-    P2P_LOG(kWarn, "bidi") << "malformed data frame: " << e.what();
+  // Trust boundary: non-throwing decode of the peer-supplied inner frame.
+  util::DecodeError error = util::DecodeError::kNone;
+  auto decoded = Message::try_deserialize(*body, {}, &error);
+  if (!decoded) {
+    P2P_LOG(kWarn, "bidi") << "malformed data frame ("
+                           << util::to_string(error) << ")";
     return;
   }
+  Message inner = std::move(*decoded);
   Listener listener;
   {
     const util::MutexLock lock(mu_);

@@ -20,17 +20,37 @@ util::Bytes EndpointMessage::serialize() const {
   return w.take();
 }
 
-EndpointMessage EndpointMessage::deserialize(
-    std::span<const std::uint8_t> data) {
+std::optional<EndpointMessage> EndpointMessage::try_deserialize(
+    std::span<const std::uint8_t> data, util::DecodeError* error) {
   util::ByteReader r(data);
   EndpointMessage m;
-  m.src = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
-  m.dst = PeerId{util::Uuid{r.read_u64(), r.read_u64()}};
-  m.service = r.read_string();
-  m.ttl = static_cast<std::uint32_t>(r.read_varint());
-  m.msg_id = util::Uuid{r.read_u64(), r.read_u64()};
-  m.payload = r.read_bytes();
+  std::uint64_t src_hi = 0, src_lo = 0, dst_hi = 0, dst_lo = 0;
+  std::uint64_t id_hi = 0, id_lo = 0, ttl = 0;
+  const bool ok = r.try_read_u64(src_hi) && r.try_read_u64(src_lo) &&
+                  r.try_read_u64(dst_hi) && r.try_read_u64(dst_lo) &&
+                  r.try_read_string(m.service) && r.try_read_varint(ttl) &&
+                  r.try_read_u64(id_hi) && r.try_read_u64(id_lo) &&
+                  r.try_read_bytes(m.payload);
+  if (!ok) {
+    if (error != nullptr) *error = r.error();
+    return std::nullopt;
+  }
+  m.src = PeerId{util::Uuid{src_hi, src_lo}};
+  m.dst = PeerId{util::Uuid{dst_hi, dst_lo}};
+  m.ttl = static_cast<std::uint32_t>(ttl);
+  m.msg_id = util::Uuid{id_hi, id_lo};
   return m;
+}
+
+EndpointMessage EndpointMessage::deserialize(
+    std::span<const std::uint8_t> data) {
+  util::DecodeError error = util::DecodeError::kNone;
+  auto m = try_deserialize(data, &error);
+  if (!m) {
+    throw util::ParseError("EndpointMessage: " +
+                           std::string(util::to_string(error)));
+  }
+  return std::move(*m);
 }
 
 EndpointService::EndpointService(PeerId self, util::SerialExecutor& executor,
@@ -46,7 +66,8 @@ EndpointService::EndpointService(PeerId self, util::SerialExecutor& executor,
       msgs_relayed_(metrics_->counter("net.msgs_relayed")),
       bytes_sent_(metrics_->counter("net.bytes_sent")),
       bytes_received_(metrics_->counter("net.bytes_received")),
-      send_failures_(metrics_->counter("net.send_failures")) {}
+      send_failures_(metrics_->counter("net.send_failures")),
+      decode_errors_(metrics_->counter("net.decode_errors")) {}
 
 void EndpointService::add_transport(
     std::shared_ptr<net::Transport> transport) {
@@ -255,13 +276,18 @@ bool EndpointService::send_message(const EndpointMessage& msg) {
 
 void EndpointService::on_datagram(net::Datagram d) {
   if (stopped_) return;
-  EndpointMessage msg;
-  try {
-    msg = EndpointMessage::deserialize(d.payload);
-  } catch (const std::exception& e) {
-    P2P_LOG(kWarn, "endpoint") << "dropping malformed datagram: " << e.what();
+  // Trust boundary: d.payload is whatever a peer (or the network) sent.
+  // The envelope decode is non-throwing — a malformed datagram is a
+  // counted, recoverable event, not an exception on a transport thread.
+  util::DecodeError error = util::DecodeError::kNone;
+  auto decoded = EndpointMessage::try_deserialize(d.payload, &error);
+  if (!decoded) {
+    decode_errors_.inc();
+    P2P_LOG(kWarn, "endpoint") << "dropping malformed datagram ("
+                               << util::to_string(error) << ")";
     return;
   }
+  EndpointMessage msg = std::move(*decoded);
   // Observed envelope address: the reply path to msg.src. This is how a
   // rendezvous learns how to reach a firewalled client (the client's
   // outbound lease punched the hole; we reuse its source address).

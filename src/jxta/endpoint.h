@@ -15,6 +15,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,11 @@ struct EndpointMessage {
 
   [[nodiscard]] util::Bytes serialize() const;
   static EndpointMessage deserialize(std::span<const std::uint8_t> data);
+  // Non-throwing decode for the datagram receive path: nullopt (and a
+  // classified reason in *error when non-null) on malformed input.
+  static std::optional<EndpointMessage> try_deserialize(
+      std::span<const std::uint8_t> data,
+      util::DecodeError* error = nullptr);
 };
 
 // Per-peer traffic counters surfaced by the Peer Information Protocol.
@@ -165,6 +171,8 @@ class EndpointService {
   obs::Counter bytes_sent_;
   obs::Counter bytes_received_;
   obs::Counter send_failures_;
+  // Malformed datagrams rejected at the envelope decode (trust boundary).
+  obs::Counter decode_errors_;
 };
 
 }  // namespace p2p::jxta

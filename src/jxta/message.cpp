@@ -74,20 +74,36 @@ util::Bytes Message::serialize() const {
   return w.take();
 }
 
-Message Message::deserialize(std::span<const std::uint8_t> data) {
-  util::ByteReader r(data);
-  const std::uint64_t hi = r.read_u64();
-  const std::uint64_t lo = r.read_u64();
+std::optional<Message> Message::try_deserialize(
+    std::span<const std::uint8_t> data, const util::DecodeLimits& limits,
+    util::DecodeError* error) {
+  util::ByteReader r(data, limits);
+  std::uint64_t hi = 0, lo = 0, count = 0;
+  if (!r.try_read_u64(hi) || !r.try_read_u64(lo) || !r.try_read_count(count)) {
+    if (error != nullptr) *error = r.error();
+    return std::nullopt;
+  }
   Message m{util::Uuid(hi, lo)};
-  const std::uint64_t count = r.read_varint();
   for (std::uint64_t i = 0; i < count; ++i) {
     MessageElement e;
-    e.name = r.read_string();
-    e.mime = r.read_string();
-    e.body = r.read_bytes();
+    if (!r.try_read_string(e.name) || !r.try_read_string(e.mime) ||
+        !r.try_read_bytes(e.body)) {
+      if (error != nullptr) *error = r.error();
+      return std::nullopt;
+    }
     m.add(std::move(e));
   }
   return m;
+}
+
+Message Message::deserialize(std::span<const std::uint8_t> data) {
+  util::DecodeError error = util::DecodeError::kNone;
+  auto m = try_deserialize(data, {}, &error);
+  if (!m) {
+    throw util::ParseError("jxta::Message: " +
+                           std::string(util::to_string(error)));
+  }
+  return std::move(*m);
 }
 
 }  // namespace p2p::jxta

@@ -67,6 +67,13 @@ class Message {
   // --- wire form ----------------------------------------------------------
   [[nodiscard]] util::Bytes serialize() const;
   static Message deserialize(std::span<const std::uint8_t> data);
+  // Non-throwing decode for receive paths: nullopt (and a classified
+  // reason in *error when non-null) on truncated/oversized input. The
+  // element count and each element's name/mime/body are capped by
+  // `limits` before any allocation.
+  static std::optional<Message> try_deserialize(
+      std::span<const std::uint8_t> data, const util::DecodeLimits& limits = {},
+      util::DecodeError* error = nullptr);
 
   friend bool operator==(const Message&, const Message&) = default;
 

@@ -186,6 +186,7 @@ PipeService::PipeService(ResolverService& resolver, EndpointService& endpoint)
       msgs_received_(endpoint.metrics().counter("jxta.pipe.msgs_received")),
       binding_queries_(
           endpoint.metrics().counter("jxta.pipe.binding_queries")),
+      decode_errors_(endpoint.metrics().counter("jxta.decode_errors")),
       send_latency_us_(
           endpoint.metrics().histogram("jxta.pipe.send_latency_us")),
       recv_latency_us_(
@@ -229,13 +230,17 @@ std::shared_ptr<InputPipe> PipeService::create_input_pipe(
     const PipeId id = adv.pid;
     endpoint_.register_listener(
         pipe_listener_name(id), [this, id](EndpointMessage msg) {
-          Message m;
-          try {
-            m = Message::deserialize(msg.payload);
-          } catch (const std::exception& e) {
-            P2P_LOG(kWarn, "pipe") << "malformed pipe message: " << e.what();
+          // Trust boundary: non-throwing decode of peer bytes; malformed
+          // frames are counted drops, not listener-thread exceptions.
+          util::DecodeError error = util::DecodeError::kNone;
+          auto decoded = Message::try_deserialize(msg.payload, {}, &error);
+          if (!decoded) {
+            decode_errors_.inc();
+            P2P_LOG(kWarn, "pipe") << "malformed pipe message ("
+                                   << util::to_string(error) << ")";
             return;
           }
+          Message m = std::move(*decoded);
           std::vector<std::shared_ptr<InputPipe>> pipes;
           {
             const util::MutexLock lock(mu_);

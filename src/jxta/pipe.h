@@ -136,6 +136,8 @@ class PipeService final : public ResolverHandler,
   obs::Counter msgs_sent_;
   obs::Counter msgs_received_;
   obs::Counter binding_queries_;
+  // Malformed pipe frames rejected at decode (trust boundary).
+  obs::Counter decode_errors_;
   obs::Histogram send_latency_us_;
   obs::Histogram recv_latency_us_;
 

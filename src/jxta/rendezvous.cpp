@@ -24,6 +24,7 @@ RendezvousService::RendezvousService(EndpointService& endpoint,
           endpoint.metrics().counter("jxta.rdv.propagations_forwarded")),
       duplicates_suppressed_(
           endpoint.metrics().counter("jxta.rdv.duplicates_suppressed")),
+      decode_errors_(endpoint.metrics().counter("jxta.decode_errors")),
       dedup_probe_depth_(
           endpoint.metrics().counter("jxta.rdv.dedup_probe_depth")) {
   if (config_.use_dedup_ring) ring_.emplace(config_.seen_cache_size);
@@ -230,6 +231,7 @@ void RendezvousService::on_message(EndpointMessage msg) {
     }
     P2P_LOG(kWarn, "rdv") << "unknown frame kind";
   } catch (const std::exception& e) {
+    decode_errors_.inc();
     P2P_LOG(kWarn, "rdv") << "dropping malformed frame: " << e.what();
   }
 }

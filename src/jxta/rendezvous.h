@@ -121,6 +121,8 @@ class RendezvousService {
   obs::Counter propagations_received_;
   obs::Counter propagations_forwarded_;
   obs::Counter duplicates_suppressed_;
+  // Malformed rendezvous frames rejected at decode (trust boundary).
+  obs::Counter decode_errors_;
   // Cumulative table slots probed by seen_before (ring path). The ratio to
   // propagations seen is the effective probe depth — healthy is ~1.5.
   obs::Counter dedup_probe_depth_;

@@ -64,7 +64,8 @@ ResolverService::ResolverService(EndpointService& endpoint,
       responses_sent_(
           endpoint.metrics().counter("jxta.resolver.responses_sent")),
       responses_received_(
-          endpoint.metrics().counter("jxta.resolver.responses_received")) {}
+          endpoint.metrics().counter("jxta.resolver.responses_received")),
+      decode_errors_(endpoint.metrics().counter("jxta.decode_errors")) {}
 
 ResolverService::~ResolverService() { stop(); }
 
@@ -174,6 +175,7 @@ void ResolverService::on_query(EndpointMessage msg) {
   try {
     query = ResolverQuery::deserialize(msg.payload);
   } catch (const std::exception& e) {
+    decode_errors_.inc();
     P2P_LOG(kWarn, "resolver") << "malformed query: " << e.what();
     return;
   }
@@ -187,6 +189,7 @@ void ResolverService::on_response(EndpointMessage msg) {
   try {
     resp = ResolverResponse::deserialize(msg.payload);
   } catch (const std::exception& e) {
+    decode_errors_.inc();
     P2P_LOG(kWarn, "resolver") << "malformed response: " << e.what();
     return;
   }

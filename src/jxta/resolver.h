@@ -98,6 +98,8 @@ class ResolverService {
   obs::Counter queries_received_;
   obs::Counter responses_sent_;
   obs::Counter responses_received_;
+  // Malformed resolver frames rejected at decode (trust boundary).
+  obs::Counter decode_errors_;
   util::Mutex mu_{"resolver"};
   bool started_ GUARDED_BY(mu_) = false;
   std::unordered_map<std::string, std::weak_ptr<ResolverHandler>> handlers_

@@ -122,6 +122,7 @@ WireService::WireService(PeerGroupId gid, EndpointService& endpoint,
       published_(endpoint.metrics().counter("jxta.wire.published")),
       received_(endpoint.metrics().counter("jxta.wire.received")),
       delivered_(endpoint.metrics().counter("jxta.wire.delivered")),
+      decode_errors_(endpoint.metrics().counter("jxta.decode_errors")),
       e2e_latency_us_(
           endpoint.metrics().histogram("jxta.wire.e2e_latency_us")) {}
 
@@ -196,24 +197,35 @@ void WireService::publish_on_wire(const PipeId& id, Message msg) {
 }
 
 void WireService::on_wire_message(EndpointMessage msg) {
-  try {
-    util::ByteReader r(msg.payload);
-    const PipeId id{util::Uuid{r.read_u64(), r.read_u64()}};
-    const util::Bytes body = r.read_bytes();
-    Message wire_msg = Message::deserialize(body);
-    received_.inc();
-    const std::int64_t now = obs::now_us();
-    if (const auto trace = obs::extract_trace(wire_msg);
-        trace && !trace->hops.empty()) {
-      e2e_latency_us_.record(
-          static_cast<double>(now - trace->hops.front().t_us));
-    }
-    obs::append_hop(wire_msg, endpoint_.local_peer().to_string(), "wire-recv",
-                    now);
-    deliver_local(id, wire_msg);
-  } catch (const std::exception& e) {
-    P2P_LOG(kWarn, "wire") << "malformed wire message: " << e.what();
+  // Trust boundary: the payload arrived through rendezvous propagation.
+  // Non-throwing decode — a malformed frame is a counted drop, never an
+  // exception on the delivery thread.
+  util::ByteReader r(msg.payload);
+  std::uint64_t hi = 0, lo = 0;
+  util::Bytes body;
+  if (!r.try_read_u64(hi) || !r.try_read_u64(lo) || !r.try_read_bytes(body)) {
+    decode_errors_.inc();
+    P2P_LOG(kWarn, "wire") << "malformed wire frame ("
+                           << util::to_string(r.error()) << ")";
+    return;
   }
+  const PipeId id{util::Uuid{hi, lo}};
+  auto wire_msg = Message::try_deserialize(body);
+  if (!wire_msg) {
+    decode_errors_.inc();
+    P2P_LOG(kWarn, "wire") << "malformed wire message";
+    return;
+  }
+  received_.inc();
+  const std::int64_t now = obs::now_us();
+  if (const auto trace = obs::extract_trace(*wire_msg);
+      trace && !trace->hops.empty()) {
+    e2e_latency_us_.record(
+        static_cast<double>(now - trace->hops.front().t_us));
+  }
+  obs::append_hop(*wire_msg, endpoint_.local_peer().to_string(), "wire-recv",
+                  now);
+  deliver_local(id, *wire_msg);
 }
 
 void WireService::deliver_local(const PipeId& id, const Message& msg) {

@@ -134,6 +134,8 @@ class WireService {
   obs::Counter published_;
   obs::Counter received_;
   obs::Counter delivered_;
+  // Malformed propagated wire frames rejected at decode (trust boundary).
+  obs::Counter decode_errors_;
   obs::Histogram e2e_latency_us_;
 
   util::Mutex mu_{"wire-service"};

@@ -1,0 +1,70 @@
+#include "net/framing.h"
+
+#include <algorithm>
+
+namespace p2p::net {
+
+void FrameAssembler::feed(std::span<const std::uint8_t> data) {
+  if (corrupt_ || data.empty()) return;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void FrameAssembler::mark_corrupt(util::DecodeError reason) {
+  corrupt_ = true;
+  error_ = reason;
+  buf_.clear();
+  consumed_ = 0;
+}
+
+std::optional<Frame> FrameAssembler::next() {
+  if (corrupt_) return std::nullopt;
+  util::ByteReader r(
+      std::span<const std::uint8_t>(buf_.data() + consumed_,
+                                    buf_.size() - consumed_));
+  std::uint32_t frame_len = 0;
+  if (!r.try_read_u32(frame_len)) return std::nullopt;  // need more bytes
+  if (frame_len < 2 || frame_len > max_frame_) {
+    // A stream with a bad length prefix can never resynchronise.
+    mark_corrupt(util::DecodeError::kBadValue);
+    return std::nullopt;
+  }
+  std::uint16_t src_len = 0;
+  if (!r.try_read_u16(src_len)) return std::nullopt;  // need more bytes
+  if (2 + static_cast<std::size_t>(src_len) > frame_len) {
+    mark_corrupt(util::DecodeError::kBadValue);
+    return std::nullopt;
+  }
+  const std::size_t body = frame_len - 2;  // src text + payload
+  if (r.remaining() < body) return std::nullopt;  // need more bytes
+  Frame frame;
+  util::Bytes src_bytes;
+  if (!r.try_read_raw(src_len, src_bytes) ||
+      !r.try_read_raw(body - src_len, frame.payload)) {
+    mark_corrupt(r.error());  // unreachable after the remaining() check
+    return std::nullopt;
+  }
+  frame.src_text.assign(src_bytes.begin(), src_bytes.end());
+  consumed_ += 4 + frame_len;
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > kCompactAt) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return frame;
+}
+
+util::Bytes FrameAssembler::encode(std::string_view src_text,
+                                   std::span<const std::uint8_t> payload) {
+  util::ByteWriter w;
+  w.write_u32(static_cast<std::uint32_t>(2 + src_text.size() +
+                                         payload.size()));
+  w.write_u16(static_cast<std::uint16_t>(src_text.size()));
+  w.write_raw(util::to_bytes(src_text));
+  w.write_raw(payload);
+  return w.take();
+}
+
+}  // namespace p2p::net

@@ -1,0 +1,76 @@
+// TCP stream framing: length-prefixed datagram reassembly.
+//
+// Wire format per frame (little-endian, frozen by wire_format_test):
+//
+//   [u32 frame_len][u16 src_len][src authority text][payload]
+//
+// frame_len counts everything after itself (2 + src_len + payload size).
+//
+// FrameAssembler is the trust boundary between the raw socket and the
+// datagram handler: it consumes arbitrary byte arrivals (any segmentation
+// the network produces) and yields complete frames, or flags the stream
+// corrupt — it never throws and never reads out of bounds. Extracted from
+// TcpTransport::do_read so the state machine is unit-testable and fuzzable
+// without sockets.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace p2p::net {
+
+// One reassembled frame: the sender's advertised listen address (text,
+// parsed by the transport) and the opaque payload.
+struct Frame {
+  std::string src_text;
+  util::Bytes payload;
+};
+
+class FrameAssembler {
+ public:
+  // Matches the transport's per-datagram cap.
+  static constexpr std::size_t kDefaultMaxFrame = 16 * 1024 * 1024;
+
+  FrameAssembler() = default;
+  explicit FrameAssembler(std::size_t max_frame) : max_frame_(max_frame) {}
+
+  // Appends raw socket bytes to the reassembly buffer. No-op once the
+  // stream is corrupt.
+  void feed(std::span<const std::uint8_t> data);
+
+  // Returns the next complete frame, or nullopt when more bytes are
+  // needed — or when the stream turned corrupt (check corrupt(): a corrupt
+  // stream can never resynchronise and the connection must be dropped).
+  std::optional<Frame> next();
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  // Classified reason once corrupt() is true (kBadValue for an
+  // out-of-range frame or src length, kNone while healthy).
+  [[nodiscard]] util::DecodeError error() const { return error_; }
+  // Bytes buffered but not yet consumed by a returned frame.
+  [[nodiscard]] std::size_t buffered() const {
+    return buf_.size() - consumed_;
+  }
+
+  // Encodes one frame — the exact inverse of next().
+  static util::Bytes encode(std::string_view src_text,
+                            std::span<const std::uint8_t> payload);
+
+ private:
+  // Compact the buffer once this much has been consumed, so a long-lived
+  // connection does not pin the high-water mark forever.
+  static constexpr std::size_t kCompactAt = 1 << 20;
+
+  void mark_corrupt(util::DecodeError reason);
+
+  std::size_t max_frame_ = kDefaultMaxFrame;
+  util::Bytes buf_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+  util::DecodeError error_ = util::DecodeError::kNone;
+};
+
+}  // namespace p2p::net

@@ -25,8 +25,6 @@ namespace {
 
 const std::string kScheme = "tcp";
 constexpr std::uint32_t kMaxFrame = 16 * 1024 * 1024;
-// Compact the receive reassembly buffer once this much has been consumed.
-constexpr std::size_t kInbufCompactAt = 1 << 20;
 
 // Parses "127.0.0.1:5001" into a sockaddr. Returns false if malformed.
 bool to_sockaddr(const std::string& authority, sockaddr_in& out) {
@@ -161,6 +159,7 @@ void TcpTransport::bind_metrics(
   ins->connects_retried = registry->counter("net.connects_retried");
   ins->connects_failed = registry->counter("net.connects_failed");
   ins->send_drops = registry->counter("net.send_drops");
+  ins->frame_errors = registry->counter("net.frame_errors");
   {
     const util::MutexLock lock(mu_);
     instruments_ = std::move(ins);
@@ -195,20 +194,7 @@ TcpTransport::InstrumentsPtr TcpTransport::instruments() const {
 }
 
 util::Bytes TcpTransport::make_frame(const util::Bytes& payload) const {
-  const std::string& src = src_text_;
-  const auto frame_len =
-      static_cast<std::uint32_t>(2 + src.size() + payload.size());
-  util::Bytes frame(4 + frame_len);
-  for (int i = 0; i < 4; ++i)
-    frame[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(frame_len >> (8 * i));
-  frame[4] = static_cast<std::uint8_t>(src.size());
-  frame[5] = static_cast<std::uint8_t>(src.size() >> 8);
-  std::memcpy(frame.data() + 6, src.data(), src.size());
-  if (!payload.empty()) {
-    std::memcpy(frame.data() + 6 + src.size(), payload.data(), payload.size());
-  }
-  return frame;
+  return FrameAssembler::encode(src_text_, payload);
 }
 
 void TcpTransport::record_failure(const std::string& authority) {
@@ -582,7 +568,7 @@ void TcpTransport::do_read(const ConnPtr& conn) {
   for (;;) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
-      conn->inbuf.insert(conn->inbuf.end(), buf, buf + n);
+      conn->assembler.feed({buf, static_cast<std::size_t>(n)});
       got = true;
       continue;
     }
@@ -599,48 +585,35 @@ void TcpTransport::do_read(const ConnPtr& conn) {
       handler = handler_;
     }
     while (!dead) {
-      const std::size_t avail = conn->inbuf.size() - conn->inbuf_consumed;
-      if (avail < 4) break;
-      const std::uint8_t* p = conn->inbuf.data() + conn->inbuf_consumed;
-      std::uint32_t frame_len = 0;
-      for (int i = 0; i < 4; ++i)
-        frame_len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-      if (frame_len < 2 || frame_len > kMaxFrame) {
-        dead = true;  // corrupt stream; drop the connection like the
-        break;        // thread-per-connection transport did
-      }
-      if (avail < 4 + frame_len) break;
-      const std::size_t src_len = static_cast<std::size_t>(p[4]) |
-                                  (static_cast<std::size_t>(p[5]) << 8);
-      if (2 + src_len > frame_len) {
-        dead = true;
-        break;
-      }
-      const std::string src_text(reinterpret_cast<const char*>(p + 6),
-                                 src_len);
-      const auto src = Address::parse(src_text);
+      auto frame = conn->assembler.next();
+      if (!frame) break;
+      const auto src = Address::parse(frame->src_text);
       if (!src) {
+        // The bytes framed but the source address is garbage: same
+        // trust-boundary violation as a corrupt length prefix.
+        const InstrumentsPtr ins = instruments();
+        if (ins) ins->frame_errors.inc();
+        P2P_LOG(kWarn, "tcp") << "dropping stream with bad source address";
         dead = true;
         break;
       }
-      util::Bytes payload(p + 6 + src_len, p + 4 + frame_len);
-      conn->inbuf_consumed += 4 + frame_len;
       if (handler) {
         try {
-          handler(Datagram{*src, local_address(), std::move(payload)});
+          handler(Datagram{*src, local_address(), std::move(frame->payload)});
         } catch (const std::exception& e) {
           P2P_LOG(kError, "tcp") << "receiver threw: " << e.what();
         }
       }
     }
-    if (conn->inbuf_consumed == conn->inbuf.size()) {
-      conn->inbuf.clear();
-      conn->inbuf_consumed = 0;
-    } else if (conn->inbuf_consumed > kInbufCompactAt) {
-      conn->inbuf.erase(conn->inbuf.begin(),
-                        conn->inbuf.begin() +
-                            static_cast<long>(conn->inbuf_consumed));
-      conn->inbuf_consumed = 0;
+    if (conn->assembler.corrupt()) {
+      // Corrupt stream: drop the connection like the thread-per-connection
+      // transport did, but counted.
+      const InstrumentsPtr ins = instruments();
+      if (ins) ins->frame_errors.inc();
+      P2P_LOG(kWarn, "tcp")
+          << "dropping corrupt stream ("
+          << util::to_string(conn->assembler.error()) << ")";
+      dead = true;
     }
     const util::MutexLock lock(conn->mu);
     conn->last_activity = std::chrono::steady_clock::now();

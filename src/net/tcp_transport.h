@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "net/event_loop.h"
+#include "net/framing.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
@@ -120,6 +121,8 @@ class TcpTransport final : public Transport {
     obs::Counter connects_retried;
     obs::Counter connects_failed;
     obs::Counter send_drops;
+    // Corrupt TCP streams dropped by the frame reassembler.
+    obs::Counter frame_errors;
   };
   using InstrumentsPtr = std::shared_ptr<const Instruments>;
 
@@ -146,9 +149,8 @@ class TcpTransport final : public Transport {
     util::TimerId connect_timer GUARDED_BY(mu) = 0;
     util::TimerId retry_timer GUARDED_BY(mu) = 0;
 
-    // Loop-thread only: receive reassembly buffer (offset-consumed).
-    util::Bytes inbuf;
-    std::size_t inbuf_consumed = 0;
+    // Loop-thread only: receive reassembly state machine.
+    FrameAssembler assembler;
   };
   using ConnPtr = std::shared_ptr<Conn>;
 

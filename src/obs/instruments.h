@@ -15,6 +15,7 @@
 namespace p2p::obs {
 
 inline constexpr const char* kInstrumentNames[] = {
+    "jxta.decode_errors",
     "jxta.discovery.advs_cached",
     "jxta.discovery.cache_hits",
     "jxta.discovery.cache_misses",
@@ -42,6 +43,8 @@ inline constexpr const char* kInstrumentNames[] = {
     "net.connections_active",
     "net.connects_failed",
     "net.connects_retried",
+    "net.decode_errors",
+    "net.frame_errors",
     "net.loop_wakeups",
     "net.msgs_received",
     "net.msgs_relayed",

@@ -14,15 +14,20 @@ util::Bytes encode_hops(const std::vector<Hop>& hops) {
 }
 
 std::vector<Hop> decode_hops(std::span<const std::uint8_t> data) {
+  // The obs:hops element is peer-supplied: decode non-throwing (a hostile
+  // trace element must not unwind a receive path) and keep whatever prefix
+  // parsed cleanly — traces are best-effort observability, not payload.
   util::ByteReader r(data);
-  const std::uint64_t count = r.read_varint();
+  std::uint64_t count = 0;
+  if (!r.try_read_varint(count)) return {};
   std::vector<Hop> hops;
   hops.reserve(std::min<std::uint64_t>(count, kMaxHops));
   for (std::uint64_t i = 0; i < count && i < kMaxHops; ++i) {
     Hop hop;
-    hop.peer = r.read_string();
-    hop.stage = r.read_string();
-    hop.t_us = r.read_i64();
+    if (!r.try_read_string(hop.peer) || !r.try_read_string(hop.stage) ||
+        !r.try_read_i64(hop.t_us)) {
+      break;
+    }
     hops.push_back(std::move(hop));
   }
   return hops;

@@ -98,8 +98,9 @@ util::Bytes TypeRegistry::encode_tagged(const Event& event) const {
 }
 
 TypeRegistry::Decoded TypeRegistry::decode_tagged(
-    std::span<const std::uint8_t> payload) const {
-  util::ByteReader r(payload);
+    std::span<const std::uint8_t> payload,
+    const util::DecodeLimits& limits) const {
+  util::ByteReader r(payload, limits);
   const std::string type_name = r.read_string();
   const util::Bytes body = r.read_bytes();
   const auto info = find(type_name);
@@ -107,7 +108,9 @@ TypeRegistry::Decoded TypeRegistry::decode_tagged(
     throw util::NotFoundError("cannot decode unregistered event type '" +
                               type_name + "'");
   }
-  util::ByteReader body_reader(body);
+  // The body reader inherits the caps so per-type decoders (and the XML
+  // depth limit XmlEvent reads off it) stay bounded.
+  util::ByteReader body_reader(body, limits);
   return Decoded{type_name, info->decode(body_reader)};
 }
 

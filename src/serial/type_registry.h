@@ -99,13 +99,16 @@ class TypeRegistry {
   [[nodiscard]] util::Bytes encode_tagged(const Event& event) const;
 
   // Inverse of encode_tagged: reads the tag, decodes the body. Returns the
-  // concrete type name alongside the reconstructed object.
+  // concrete type name alongside the reconstructed object. `limits` caps
+  // the body reader (length prefixes, counts, XML depth via
+  // ByteReader::limits()) when the payload crossed the trust boundary.
   struct Decoded {
     std::string type_name;
     EventPtr event;
   };
   [[nodiscard]] Decoded decode_tagged(
-      std::span<const std::uint8_t> payload) const;
+      std::span<const std::uint8_t> payload,
+      const util::DecodeLimits& limits = {}) const;
 
   [[nodiscard]] std::size_t size() const EXCLUDES(mu_);
 

@@ -17,28 +17,61 @@ util::Bytes encode_batch_frame(std::span<const BatchItem> items) {
   return w.take();
 }
 
-std::vector<DecodedBatchItem> decode_batch_frame(
-    std::span<const std::uint8_t> frame) {
-  util::ByteReader r(frame);
-  const std::uint8_t version = r.read_u8();
-  if (version != kBatchFrameVersion) {
-    throw util::ParseError("unknown tps:batch frame version " +
-                           std::to_string(version));
+BatchDecodeResult try_decode_batch_frame(std::span<const std::uint8_t> frame,
+                                         const BatchLimits& limits) {
+  util::DecodeLimits reader_limits;
+  reader_limits.max_length = limits.max_event_bytes;
+  reader_limits.max_count = limits.max_events;
+  util::ByteReader r(frame, reader_limits);
+
+  BatchDecodeResult result;
+  std::uint8_t version = 0;
+  if (!r.try_read_u8(version)) {
+    result.error = r.error();
+    return result;
   }
-  const std::uint64_t count = r.read_varint();
-  std::vector<DecodedBatchItem> items;
-  // A malformed count cannot make us pre-allocate unboundedly; truncated
-  // frames fail on the first short read instead.
-  items.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 256)));
+  if (version != kBatchFrameVersion) {
+    result.error = util::DecodeError::kBadValue;
+    return result;
+  }
+  std::uint64_t count = 0;
+  if (!r.try_read_count(count)) {
+    result.error = r.error();
+    return result;
+  }
+  // The count is a peer-supplied claim: cap the pre-allocation and let a
+  // short frame fail on its first truncated read, so a 3-byte frame cannot
+  // reserve gigabytes (count x item-size amplification).
+  result.items.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, 256)));
   for (std::uint64_t i = 0; i < count; ++i) {
     DecodedBatchItem item;
-    const std::uint64_t hi = r.read_u64();
-    const std::uint64_t lo = r.read_u64();
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    if (!r.try_read_u64(hi) || !r.try_read_u64(lo) ||
+        !r.try_read_bytes(item.payload)) {
+      result.error = r.error();
+      return result;
+    }
     item.id = util::Uuid{hi, lo};
-    item.payload = r.read_bytes();
-    items.push_back(std::move(item));
+    result.items.push_back(std::move(item));
   }
-  return items;
+  return result;
+}
+
+std::vector<DecodedBatchItem> decode_batch_frame(
+    std::span<const std::uint8_t> frame) {
+  BatchDecodeResult result = try_decode_batch_frame(frame);
+  if (!result.ok()) {
+    if (result.error == util::DecodeError::kBadValue) {
+      throw util::ParseError(
+          "unknown tps:batch frame version " +
+          std::to_string(frame.empty() ? 0 : frame.front()));
+    }
+    throw util::ParseError("tps:batch frame: " +
+                           std::string(util::to_string(result.error)));
+  }
+  return std::move(result.items);
 }
 
 }  // namespace p2p::tps

@@ -44,7 +44,31 @@ struct DecodedBatchItem {
 
 [[nodiscard]] util::Bytes encode_batch_frame(std::span<const BatchItem> items);
 
-// Throws util::ParseError on truncated input or an unknown frame version.
+// Resource caps for decoding a peer-supplied frame. Defaults mirror the
+// publish-side bounds (batch_max_events caps what our own sender coalesces;
+// the transport caps a whole frame at 16 MiB); TpsSession passes the
+// tighter TpsConfig::decode_max_batch_events / decode_max_event_bytes.
+struct BatchLimits {
+  std::uint64_t max_events = 65536;
+  std::size_t max_event_bytes = 16 * 1024 * 1024;
+};
+
+// The Result-style decode used on the receive path: never throws. On
+// malformed input `error` names the reject reason and `items` holds
+// whatever decoded cleanly before it (callers drop the whole frame; the
+// partial vector exists so tests can pinpoint where decoding stopped).
+struct BatchDecodeResult {
+  std::vector<DecodedBatchItem> items;
+  util::DecodeError error = util::DecodeError::kNone;
+
+  [[nodiscard]] bool ok() const { return error == util::DecodeError::kNone; }
+};
+
+[[nodiscard]] BatchDecodeResult try_decode_batch_frame(
+    std::span<const std::uint8_t> frame, const BatchLimits& limits = {});
+
+// Throwing wrapper over try_decode_batch_frame (tests and tools): throws
+// util::ParseError on truncated/oversized input or an unknown version.
 [[nodiscard]] std::vector<DecodedBatchItem> decode_batch_frame(
     std::span<const std::uint8_t> frame);
 

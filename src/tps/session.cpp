@@ -120,6 +120,15 @@ TpsConfig::Builder& TpsConfig::Builder::no_tracing() {
   return *this;
 }
 
+TpsConfig::Builder& TpsConfig::Builder::decode_limits(
+    std::size_t max_batch_events, std::size_t max_event_bytes,
+    std::size_t max_xml_depth) {
+  config_.decode_max_batch_events = max_batch_events;
+  config_.decode_max_event_bytes = max_event_bytes;
+  config_.decode_max_xml_depth = max_xml_depth;
+  return *this;
+}
+
 TpsConfig TpsConfig::Builder::build() const {
   if (config_.adv_search_timeout < util::Duration::zero()) {
     throw PsException("TpsConfig: adv_search_timeout must be >= 0");
@@ -144,6 +153,20 @@ TpsConfig TpsConfig::Builder::build() const {
   }
   if (config_.delivery_queue_capacity == 0) {
     throw PsException("TpsConfig: delivery_queue_capacity must be >= 1");
+  }
+  if (config_.decode_max_batch_events == 0 ||
+      config_.decode_max_batch_events > (1u << 20)) {
+    throw PsException(
+        "TpsConfig: decode_max_batch_events must be in [1, 2^20]");
+  }
+  if (config_.decode_max_event_bytes == 0 ||
+      config_.decode_max_event_bytes > 256 * 1024 * 1024) {
+    throw PsException(
+        "TpsConfig: decode_max_event_bytes must be in [1, 256 MiB]");
+  }
+  if (config_.decode_max_xml_depth == 0 ||
+      config_.decode_max_xml_depth > 1024) {
+    throw PsException("TpsConfig: decode_max_xml_depth must be in [1, 1024]");
   }
   return config_;
 }
@@ -724,15 +747,20 @@ void TpsSession::on_event_message(jxta::Message msg) {
   // Otherwise fall through to the v1 single-event elements — receivers
   // accept both framings unconditionally.
   if (const auto frame = msg.get_bytes(std::string(kBatchElement))) {
-    std::vector<DecodedBatchItem> items;
-    try {
-      items = decode_batch_frame(*frame);
-    } catch (const std::exception& e) {
-      P2P_LOG(kWarn, "tps") << peer_.name()
-                            << ": cannot decode batch frame: " << e.what();
+    // Trust boundary: the frame is peer bytes. Decode through the capped,
+    // non-throwing path; a frame past any cap (or truncated) is a counted
+    // drop, not an exception on the listener thread.
+    const BatchLimits limits{
+        .max_events = config_.decode_max_batch_events,
+        .max_event_bytes = config_.decode_max_event_bytes};
+    BatchDecodeResult decoded = try_decode_batch_frame(*frame, limits);
+    if (!decoded.ok()) {
+      P2P_LOG(kWarn, "tps") << peer_.name() << ": cannot decode batch frame ("
+                            << util::to_string(decoded.error) << ")";
       count_decode_failure();
       return;
     }
+    const std::vector<DecodedBatchItem>& items = decoded.items;
     bool any_unique = false;
     for (const auto& item : items) {
       any_unique = deliver_event(item.id, item.payload) || any_unique;
@@ -772,7 +800,10 @@ bool TpsSession::deliver_event(const util::Uuid& event_id,
   // immutable event instance.
   serial::TypeRegistry::Decoded decoded;
   try {
-    decoded = registry_.decode_tagged(payload);
+    const util::DecodeLimits limits{
+        .max_length = config_.decode_max_event_bytes,
+        .max_depth = config_.decode_max_xml_depth};
+    decoded = registry_.decode_tagged(payload, limits);
   } catch (const std::exception& e) {
     P2P_LOG(kWarn, "tps") << peer_.name()
                           << ": cannot decode event: " << e.what();

@@ -113,6 +113,19 @@ struct TpsConfig {
   // trace elements from every wire message (the fig19 overhead knob).
   bool tracing = true;
 
+  // --- decode limits (the trust boundary, DESIGN.md) ---------------------
+  // Resource caps applied when decoding peer-supplied frames on the
+  // receive path. A frame past any cap is dropped and counted
+  // (tps.decode_failures) — never delivered, never an exception on a
+  // listener or delivery thread.
+  // Cap on the event count a tps:batch frame may claim.
+  std::size_t decode_max_batch_events = 65536;
+  // Cap on a single encoded event payload (string/blob length prefixes).
+  std::size_t decode_max_event_bytes = 16 * 1024 * 1024;
+  // Cap on element nesting when a received payload embeds XML (XmlEvent,
+  // advertisements-in-messages).
+  std::size_t decode_max_xml_depth = 64;
+
   class Builder;
 };
 
@@ -170,6 +183,12 @@ class TpsConfig::Builder {
   // Stop stamping trace elements on outgoing publications (see
   // TpsConfig::tracing).
   Builder& no_tracing();
+  // Trust-boundary caps for decoding peer-supplied frames. max_batch_events
+  // must be in [1, 2^20]; max_event_bytes in [1, 256 MiB]; max_xml_depth in
+  // [1, 1024].
+  Builder& decode_limits(std::size_t max_batch_events,
+                         std::size_t max_event_bytes,
+                         std::size_t max_xml_depth = 64);
 
   [[nodiscard]] TpsConfig build() const;
 

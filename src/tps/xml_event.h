@@ -98,8 +98,12 @@ inline void register_xml_event_type(
   };
   info.decode = [](util::ByteReader& r) -> serial::EventPtr {
     const std::string text = r.read_string();
+    // Honor the caller's trust-boundary caps: the reader's max_depth is
+    // TpsConfig::decode_max_xml_depth when decoding received events.
+    const xml::ParseLimits limits{.max_depth = r.limits().max_depth,
+                                  .max_input = r.limits().max_length};
     return std::make_shared<const XmlEvent>(
-        XmlEvent::from_xml(xml::parse(text)));
+        XmlEvent::from_xml(xml::parse(text, limits)));
   };
   registry.register_dynamic(std::move(info));
 }

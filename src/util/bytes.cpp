@@ -24,6 +24,19 @@ std::string to_hex(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
+std::string_view to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kVarintOverflow: return "varint-overflow";
+    case DecodeError::kLengthCap: return "length-cap";
+    case DecodeError::kCountCap: return "count-cap";
+    case DecodeError::kDepthCap: return "depth-cap";
+    case DecodeError::kBadValue: return "bad-value";
+  }
+  return "unknown";
+}
+
 void ByteWriter::write_u8(std::uint8_t v) { buf_.push_back(v); }
 
 void ByteWriter::write_u16(std::uint16_t v) {
@@ -75,89 +88,214 @@ void ByteWriter::write_raw(std::span<const std::uint8_t> v) {
   buf_.insert(buf_.end(), v.begin(), v.end());
 }
 
-void ByteReader::require(std::size_t n) const {
-  if (remaining() < n) throw ParseError("ByteReader: truncated input");
+bool ByteReader::set_error(DecodeError e) {
+  if (err_ == DecodeError::kNone) err_ = e;
+  return false;
 }
 
-std::uint8_t ByteReader::read_u8() {
-  require(1);
-  return data_[pos_++];
+void ByteReader::fail(DecodeError e) {
+  if (e != DecodeError::kNone) set_error(e);
 }
 
-std::uint16_t ByteReader::read_u16() {
-  require(2);
-  const std::uint16_t v = static_cast<std::uint16_t>(
+void ByteReader::raise() const {
+  throw ParseError("ByteReader: " + std::string(to_string(err_)) +
+                   " at offset " + std::to_string(pos_));
+}
+
+bool ByteReader::try_read_u8(std::uint8_t& out) {
+  if (!ok()) return false;
+  if (remaining() < 1) return set_error(DecodeError::kTruncated);
+  out = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::try_read_u16(std::uint16_t& out) {
+  if (!ok()) return false;
+  if (remaining() < 2) return set_error(DecodeError::kTruncated);
+  out = static_cast<std::uint16_t>(
       data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
   pos_ += 2;
-  return v;
+  return true;
 }
 
-std::uint32_t ByteReader::read_u32() {
-  require(4);
+bool ByteReader::try_read_u32(std::uint32_t& out) {
+  if (!ok()) return false;
+  if (remaining() < 4) return set_error(DecodeError::kTruncated);
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i)
     v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
          << (8 * i);
   pos_ += 4;
-  return v;
+  out = v;
+  return true;
 }
 
-std::uint64_t ByteReader::read_u64() {
-  require(8);
+bool ByteReader::try_read_u64(std::uint64_t& out) {
+  if (!ok()) return false;
+  if (remaining() < 8) return set_error(DecodeError::kTruncated);
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i)
     v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
          << (8 * i);
   pos_ += 8;
-  return v;
+  out = v;
+  return true;
 }
 
-std::int64_t ByteReader::read_i64() {
-  const std::uint64_t u = read_varint();
-  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+bool ByteReader::try_read_i64(std::int64_t& out) {
+  std::uint64_t u = 0;
+  if (!try_read_varint(u)) return false;
+  out = static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  return true;
 }
 
-double ByteReader::read_f64() { return std::bit_cast<double>(read_u64()); }
+bool ByteReader::try_read_f64(double& out) {
+  std::uint64_t u = 0;
+  if (!try_read_u64(u)) return false;
+  out = std::bit_cast<double>(u);
+  return true;
+}
 
-std::uint64_t ByteReader::read_varint() {
+bool ByteReader::try_read_varint(std::uint64_t& out) {
+  if (!ok()) return false;
   std::uint64_t v = 0;
   int shift = 0;
   while (true) {
-    require(1);
+    if (remaining() < 1) return set_error(DecodeError::kTruncated);
     const std::uint8_t b = data_[pos_++];
     if (shift >= 64 || (shift == 63 && (b & 0x7e) != 0))
-      throw ParseError("ByteReader: varint overflow");
+      return set_error(DecodeError::kVarintOverflow);
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) return v;
+    if ((b & 0x80) == 0) {
+      out = v;
+      return true;
+    }
     shift += 7;
   }
 }
 
-bool ByteReader::read_bool() { return read_u8() != 0; }
+bool ByteReader::try_read_bool(bool& out) {
+  std::uint8_t b = 0;
+  if (!try_read_u8(b)) return false;
+  out = b != 0;
+  return true;
+}
+
+bool ByteReader::try_read_string(std::string& out) {
+  std::uint64_t n = 0;
+  if (!try_read_varint(n)) return false;
+  // Cap before the truncation check: a hostile prefix must be rejected by
+  // size even when it also overruns the buffer, and before any allocation.
+  if (n > limits_.max_length) return set_error(DecodeError::kLengthCap);
+  if (remaining() < n) return set_error(DecodeError::kTruncated);
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return true;
+}
+
+bool ByteReader::try_read_bytes(Bytes& out) {
+  std::uint64_t n = 0;
+  if (!try_read_varint(n)) return false;
+  if (n > limits_.max_length) return set_error(DecodeError::kLengthCap);
+  if (remaining() < n) return set_error(DecodeError::kTruncated);
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return true;
+}
+
+bool ByteReader::try_read_raw(std::size_t n, Bytes& out) {
+  if (!ok()) return false;
+  if (remaining() < n) return set_error(DecodeError::kTruncated);
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::try_read_count(std::uint64_t& out) {
+  std::uint64_t n = 0;
+  if (!try_read_varint(n)) return false;
+  if (n > limits_.max_count) return set_error(DecodeError::kCountCap);
+  out = n;
+  return true;
+}
+
+bool ByteReader::enter_nested() {
+  if (!ok()) return false;
+  if (depth_ >= limits_.max_depth) return set_error(DecodeError::kDepthCap);
+  ++depth_;
+  return true;
+}
+
+void ByteReader::exit_nested() {
+  if (depth_ > 0) --depth_;
+}
+
+std::uint8_t ByteReader::read_u8() {
+  std::uint8_t v = 0;
+  if (!try_read_u8(v)) raise();
+  return v;
+}
+
+std::uint16_t ByteReader::read_u16() {
+  std::uint16_t v = 0;
+  if (!try_read_u16(v)) raise();
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32() {
+  std::uint32_t v = 0;
+  if (!try_read_u32(v)) raise();
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  std::uint64_t v = 0;
+  if (!try_read_u64(v)) raise();
+  return v;
+}
+
+std::int64_t ByteReader::read_i64() {
+  std::int64_t v = 0;
+  if (!try_read_i64(v)) raise();
+  return v;
+}
+
+double ByteReader::read_f64() {
+  double v = 0;
+  if (!try_read_f64(v)) raise();
+  return v;
+}
+
+std::uint64_t ByteReader::read_varint() {
+  std::uint64_t v = 0;
+  if (!try_read_varint(v)) raise();
+  return v;
+}
+
+bool ByteReader::read_bool() {
+  bool v = false;
+  if (!try_read_bool(v)) raise();
+  return v;
+}
 
 std::string ByteReader::read_string() {
-  const std::uint64_t n = read_varint();
-  require(n);
-  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
-                static_cast<std::size_t>(n));
-  pos_ += static_cast<std::size_t>(n);
+  std::string s;
+  if (!try_read_string(s)) raise();
   return s;
 }
 
 Bytes ByteReader::read_bytes() {
-  const std::uint64_t n = read_varint();
-  require(n);
-  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-  pos_ += static_cast<std::size_t>(n);
+  Bytes b;
+  if (!try_read_bytes(b)) raise();
   return b;
 }
 
 Bytes ByteReader::read_raw(std::size_t n) {
-  require(n);
-  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-  pos_ += n;
+  Bytes b;
+  if (!try_read_raw(n, b)) raise();
   return b;
 }
 

@@ -133,9 +133,14 @@ void write_element(std::ostringstream& os, const Element& e, bool compact,
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Element parse_document() {
+    if (text_.size() > limits_.max_input) {
+      fail("document exceeds the " + std::to_string(limits_.max_input) +
+           "-byte input cap");
+    }
     skip_prolog();
     Element root = parse_element();
     skip_misc();
@@ -235,6 +240,10 @@ class Parser {
         else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
         else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
         else fail("bad character reference");
+        // Reject out-of-range references before multiplying: enough digits
+        // would otherwise wrap the 32-bit accumulator back into range and
+        // smuggle "&#4294967297;" through as U+0001 (fuzz_xml finding).
+        if (code > 0x10ffff) fail("bad character reference");
         code = code * static_cast<std::uint32_t>(base) +
                static_cast<std::uint32_t>(digit);
         any = true;
@@ -282,12 +291,21 @@ class Parser {
   }
 
   Element parse_element() {
+    // One recursive frame per nesting level: the depth cap is what bounds
+    // the parser's stack against "<a><a><a>..." (fuzz_xml finding).
+    if (++depth_ > limits_.max_depth) {
+      fail("nesting exceeds the " + std::to_string(limits_.max_depth) +
+           "-level depth cap");
+    }
     expect("<");
     Element e(parse_name());
     // Attributes.
     while (true) {
       skip_ws();
-      if (consume("/>")) return e;
+      if (consume("/>")) {
+        --depth_;
+        return e;
+      }
       if (consume(">")) break;
       const std::string key = parse_name();
       skip_ws();
@@ -315,6 +333,7 @@ class Parser {
           skip_ws();
           expect(">");
           e.set_text(util::trim(text));
+          --depth_;
           return e;
         }
         e.add_child(parse_element());
@@ -328,7 +347,9 @@ class Parser {
   }
 
   std::string_view text_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
@@ -341,6 +362,19 @@ std::string write(const Element& root, bool compact) {
   return os.str();
 }
 
-Element parse(std::string_view text) { return Parser(text).parse_document(); }
+Element parse(std::string_view text, const ParseLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
+
+std::optional<Element> try_parse(std::string_view text,
+                                 const ParseLimits& limits,
+                                 std::string* error) {
+  try {
+    return Parser(text, limits).parse_document();
+  } catch (const ParseError& e) {
+    if (error != nullptr) *error += e.what();
+    return std::nullopt;
+  }
+}
 
 }  // namespace p2p::xml

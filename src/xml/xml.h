@@ -77,9 +77,28 @@ class Element {
 // Serializes a document. compact: single line; otherwise 2-space indented.
 std::string write(const Element& root, bool compact = true);
 
+// Resource caps enforced while parsing. Peer-supplied XML (advertisements,
+// propagated events) crosses the trust boundary here: without the depth cap
+// a 100 kB document of nothing but "<a>" repeated overflows the parser's
+// stack (one recursive parse_element frame per level); without the input
+// cap a layer that forgot its own size check parses without bound.
+struct ParseLimits {
+  // Maximum element nesting depth (root is depth 1).
+  std::size_t max_depth = 64;
+  // Maximum document size in bytes.
+  std::size_t max_input = 8 * 1024 * 1024;
+};
+
 // Parses one document. Throws util::ParseError with a byte offset on any
-// malformed input.
-Element parse(std::string_view text);
+// malformed input or exceeded limit.
+Element parse(std::string_view text, const ParseLimits& limits = {});
+
+// Non-throwing variant for receive paths: nullopt on malformed input or an
+// exceeded limit (the reject reason is appended to *error when non-null).
+// Never throws ParseError; safe on reactor and delivery threads.
+std::optional<Element> try_parse(std::string_view text,
+                                 const ParseLimits& limits = {},
+                                 std::string* error = nullptr);
 
 // Escapes the five predefined XML entities in character data / attributes.
 std::string escape(std::string_view text);

@@ -194,6 +194,162 @@ TEST(BytesTest, EmptyReaderIsAtEnd) {
   EXPECT_THROW(r.read_u8(), ParseError);
 }
 
+// --- the non-throwing (try_) surface and its caps -------------------------
+
+TEST(BytesTest, TryReadsMatchThrowingReads) {
+  ByteWriter w;
+  w.write_u8(7);
+  w.write_varint(300);
+  w.write_string("abc");
+  ByteReader r(w.data());
+  std::uint8_t u8 = 0;
+  std::uint64_t var = 0;
+  std::string s;
+  EXPECT_TRUE(r.try_read_u8(u8));
+  EXPECT_TRUE(r.try_read_varint(var));
+  EXPECT_TRUE(r.try_read_string(s));
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(var, 300u);
+  EXPECT_EQ(s, "abc");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesTest, TryReadsOnEmptyBufferFailWithTruncated) {
+  ByteReader r({});
+  std::uint8_t u8;
+  std::uint16_t u16;
+  std::uint32_t u32;
+  std::uint64_t u64;
+  std::int64_t i64;
+  double f64;
+  bool b;
+  std::string s;
+  Bytes bytes;
+  EXPECT_FALSE(r.try_read_u8(u8));
+  EXPECT_FALSE(r.try_read_u16(u16));
+  EXPECT_FALSE(r.try_read_u32(u32));
+  EXPECT_FALSE(r.try_read_u64(u64));
+  EXPECT_FALSE(r.try_read_i64(i64));
+  EXPECT_FALSE(r.try_read_f64(f64));
+  EXPECT_FALSE(r.try_read_bool(b));
+  EXPECT_FALSE(r.try_read_string(s));
+  EXPECT_FALSE(r.try_read_bytes(bytes));
+  EXPECT_FALSE(r.try_read_raw(1, bytes));
+  EXPECT_EQ(r.error(), DecodeError::kTruncated);
+}
+
+TEST(BytesTest, VarintMaxWidthRoundTripsAndOverflowIsClassified) {
+  // ~0ull needs the full ten bytes; the tenth may only contribute one bit.
+  ByteWriter w;
+  w.write_varint(~0ull);
+  EXPECT_EQ(w.size(), 10u);
+  ByteReader ok_r(w.data());
+  std::uint64_t v = 0;
+  EXPECT_TRUE(ok_r.try_read_varint(v));
+  EXPECT_EQ(v, ~0ull);
+
+  Bytes evil(9, 0xff);
+  evil.push_back(0x02);  // 65th significant bit
+  ByteReader r(evil);
+  EXPECT_FALSE(r.try_read_varint(v));
+  EXPECT_EQ(r.error(), DecodeError::kVarintOverflow);
+}
+
+TEST(BytesTest, ZigZagExtremesSurviveTheTrySurface) {
+  for (const std::int64_t v : {INT64_MIN, INT64_MAX}) {
+    ByteWriter w;
+    w.write_i64(v);
+    ByteReader r(w.data());
+    std::int64_t out = 0;
+    EXPECT_TRUE(r.try_read_i64(out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(BytesTest, ZeroLengthStringAndBytesAreValid) {
+  ByteWriter w;
+  w.write_string("");
+  w.write_bytes(Bytes{});
+  w.write_raw(Bytes{});  // writes nothing
+  ByteReader r(w.data());
+  std::string s = "sentinel";
+  Bytes b{1, 2, 3};
+  EXPECT_TRUE(r.try_read_string(s));
+  EXPECT_TRUE(r.try_read_bytes(b));
+  EXPECT_EQ(s, "");
+  EXPECT_TRUE(b.empty());
+  Bytes raw;
+  EXPECT_TRUE(r.try_read_raw(0, raw));
+  EXPECT_TRUE(raw.empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesTest, LengthCapIsCheckedBeforeTruncation) {
+  // A 4 GiB claim against a 1 KiB cap must classify as the cap, not as
+  // truncation — the caller learns the frame was hostile, not merely cut.
+  ByteWriter w;
+  w.write_varint(std::uint64_t{1} << 32);
+  const DecodeLimits limits{.max_length = 1024};
+  ByteReader r(w.data(), limits);
+  Bytes out;
+  EXPECT_FALSE(r.try_read_bytes(out));
+  EXPECT_EQ(r.error(), DecodeError::kLengthCap);
+}
+
+TEST(BytesTest, CountCapIsClassified) {
+  ByteWriter w;
+  w.write_varint(std::uint64_t{1} << 30);
+  const DecodeLimits limits{.max_count = 4096};
+  ByteReader r(w.data(), limits);
+  std::uint64_t count = 0;
+  EXPECT_FALSE(r.try_read_count(count));
+  EXPECT_EQ(r.error(), DecodeError::kCountCap);
+}
+
+TEST(BytesTest, NestingGuardTripsAtDepthCap) {
+  const DecodeLimits limits{.max_depth = 2};
+  ByteReader r({}, limits);
+  EXPECT_TRUE(r.enter_nested());
+  EXPECT_TRUE(r.enter_nested());
+  EXPECT_FALSE(r.enter_nested());
+  EXPECT_EQ(r.error(), DecodeError::kDepthCap);
+}
+
+TEST(BytesTest, ErrorsAreStickyAcrossTheWholeSurface) {
+  ByteWriter w;
+  w.write_u8(1);
+  ByteReader r(w.data());
+  std::uint64_t u64 = 0;
+  EXPECT_FALSE(r.try_read_u64(u64));  // truncated
+  std::uint8_t u8 = 0;
+  EXPECT_FALSE(r.try_read_u8(u8));  // would succeed on a fresh reader
+  EXPECT_THROW((void)r.read_u8(), ParseError);
+  EXPECT_EQ(r.error(), DecodeError::kTruncated);
+}
+
+TEST(BytesTest, FailLatchesDecoderLevelErrors) {
+  ByteWriter w;
+  w.write_u8(99);
+  ByteReader r(w.data());
+  std::uint8_t version = 0;
+  EXPECT_TRUE(r.try_read_u8(version));
+  r.fail(DecodeError::kBadValue);  // decoder rejects the version itself
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.try_read_u8(version));
+  EXPECT_EQ(r.error(), DecodeError::kBadValue);
+}
+
+TEST(BytesTest, DecodeErrorNamesAreStable) {
+  EXPECT_EQ(to_string(DecodeError::kNone), "none");
+  EXPECT_EQ(to_string(DecodeError::kTruncated), "truncated");
+  EXPECT_EQ(to_string(DecodeError::kVarintOverflow), "varint-overflow");
+  EXPECT_EQ(to_string(DecodeError::kLengthCap), "length-cap");
+  EXPECT_EQ(to_string(DecodeError::kCountCap), "count-cap");
+  EXPECT_EQ(to_string(DecodeError::kDepthCap), "depth-cap");
+  EXPECT_EQ(to_string(DecodeError::kBadValue), "bad-value");
+}
+
 TEST(BytesTest, HexDump) {
   const Bytes raw{0x00, 0xff, 0x10};
   EXPECT_EQ(to_hex(raw), "00ff10");

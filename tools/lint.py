@@ -41,6 +41,13 @@ Checks (each can be listed with --list):
                   renamed instrument a deliberate, reviewed edit. Names
                   composed at runtime (e.g. "net." + scheme + "...") are
                   exempt: the check only matches whole-literal calls.
+  raw-decode      No memcpy or byte-pointer reinterpret_cast in src/
+                  outside util/bytes (the audited decoder). Hand-rolled
+                  byte surgery is where the out-of-bounds reads live; all
+                  decoding of peer bytes goes through util::ByteReader,
+                  which the fuzz harnesses (fuzz/) pound on directly.
+                  Casts to non-byte types (sockaddr for syscalls,
+                  uintptr_t for pointer ordering) are allowed.
   listener-publish  No publish / try_publish / publish_on_wire call inside
                   a wire/pipe listener lambda (a set_listener(...) argument)
                   in src/. Listener bodies run on the transport's delivery
@@ -72,6 +79,8 @@ WIRE_NAME_IGNORED_PREFIXES = ("urn:", "http:", "https:", "jxta:")
 MANIFEST_FILE = "tests/wire_format_test.cpp"
 MANIFEST_BEGIN = "lint-wire-manifest-begin"
 MANIFEST_END = "lint-wire-manifest-end"
+# The fuzzer dictionary must offer every frozen wire name to the mutator.
+DICT_FILE = "fuzz/wire.dict"
 
 RAW_MUTEX_RE = re.compile(
     r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
@@ -93,6 +102,15 @@ SLEEP_RE = re.compile(r"std::this_thread::sleep_(?:for|until)\b")
 CONFIG_BRACE_RE = re.compile(
     r"(?<!struct )\bTpsConfig\s*\w*\s*=?\s*\{\s*[^\s}]")
 CONFIG_BRACE_EXEMPT = ("src/tps/session.h",)
+
+RAW_DECODE_MEMCPY_RE = re.compile(r"\b(?:std::)?memcpy\s*\(")
+RAW_DECODE_CAST_RE = re.compile(
+    r"reinterpret_cast<\s*(?:const\s+)?"
+    r"(?:char|unsigned\s+char|(?:std::)?uint8_t|std::byte)\s*\*\s*>")
+RAW_DECODE_EXEMPT = (
+    "src/util/bytes.h",    # the audited decoder itself
+    "src/util/bytes.cpp",
+)
 
 COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.S)
 
@@ -119,7 +137,7 @@ class Tree:
         files = {}
         for pattern in ("src/**/*.h", "src/**/*.cpp", "tests/**/*.h",
                         "tests/**/*.cpp", "examples/**/*.cpp",
-                        "bench/**/*.h", "bench/**/*.cpp"):
+                        "bench/**/*.h", "bench/**/*.cpp", "fuzz/*.dict"):
             for path in sorted(root.glob(pattern)):
                 rel = path.relative_to(root).as_posix()
                 files[rel] = path.read_text(encoding="utf-8")
@@ -164,6 +182,22 @@ def check_wire_manifest(tree: Tree) -> list[str]:
         errors.append(
             f"{MANIFEST_FILE}: manifest entry \"{name}\" no longer appears "
             f"in src/ — remove it (or restore the code that used it)")
+    # The fuzzer dictionary must cover the manifest, so coverage-guided
+    # runs can synthesize frames with real element names.
+    dict_text = tree.files.get(DICT_FILE)
+    if dict_text is not None:
+        dict_names = set(WIRE_NAME_RE.findall(dict_text))
+        for name in sorted(manifest - dict_names):
+            errors.append(
+                f"{DICT_FILE}: missing manifest wire name \"{name}\" — add "
+                f"it so the fuzzers can synthesize frames that use it")
+        for name in sorted(dict_names - manifest):
+            if name.startswith(WIRE_NAME_IGNORED_PREFIXES):
+                continue
+            errors.append(
+                f"{DICT_FILE}: entry \"{name}\" is not a manifest wire "
+                f"name — remove it (or add it to the manifest in "
+                f"{MANIFEST_FILE})")
     return errors
 
 
@@ -286,6 +320,27 @@ def check_metrics_manifest(tree: Tree) -> list[str]:
     return errors
 
 
+def check_raw_decode(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.matching("src/", (".h", ".cpp")):
+        if path in RAW_DECODE_EXEMPT:
+            continue
+        code = strip_comments(tree.files[path])
+        for m in RAW_DECODE_MEMCPY_RE.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: {m.group(0).strip('(').strip()}() "
+                f"outside util/bytes — decode/encode through "
+                f"util::ByteReader/ByteWriter (the audited, fuzzed trust "
+                f"boundary), not hand-rolled byte surgery")
+        for m in RAW_DECODE_CAST_RE.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: byte-pointer "
+                f"reinterpret_cast outside util/bytes — decode through "
+                f"util::ByteReader (or util::to_bytes/to_string for text), "
+                f"not pointer reinterpretation")
+    return errors
+
+
 LISTENER_RE = re.compile(r"\bset_listener\s*\(")
 LISTENER_PUBLISH_RE = re.compile(
     r"\b(?:publish|try_publish|publish_on_wire)\s*\(")
@@ -341,6 +396,7 @@ CHECKS = {
     "self-include": check_self_include,
     "config-builder": check_config_builder,
     "metrics-manifest": check_metrics_manifest,
+    "raw-decode": check_raw_decode,
     "listener-publish": check_listener_publish,
 }
 
@@ -349,19 +405,24 @@ def self_test() -> int:
     """Each fabricated violation must be caught by its check."""
     good_manifest = (
         f"// {MANIFEST_BEGIN}\n\"aa:used\",\n// {MANIFEST_END}\n")
+    good_dict = '"aa:used"\n'
     cases = [
         ("wire-manifest catches unlisted name",
-         Tree({MANIFEST_FILE: good_manifest,
+         Tree({MANIFEST_FILE: good_manifest, DICT_FILE: good_dict,
                "src/x/wire.cpp": 'send("aa:unlisted");'}),
          "wire-manifest"),
         ("wire-manifest catches stale entry",
-         Tree({MANIFEST_FILE: good_manifest,
+         Tree({MANIFEST_FILE: good_manifest, DICT_FILE: good_dict,
                "src/x/wire.cpp": 'send("nothing here");'}),
          "wire-manifest"),
         ("wire-manifest ignores urn literals",
-         Tree({MANIFEST_FILE: good_manifest,
+         Tree({MANIFEST_FILE: good_manifest, DICT_FILE: good_dict,
                "src/x/wire.cpp": 'id("urn:jxta"); send("aa:used");'}),
          None),
+        ("wire-manifest catches dict missing a manifest name",
+         Tree({MANIFEST_FILE: good_manifest, DICT_FILE: '"zz:other"\n',
+               "src/x/wire.cpp": 'send("aa:used");'}),
+         "wire-manifest"),
         ("raw-mutex catches std::mutex",
          Tree({"src/x/a.h": "std::mutex mu_;"}),
          "raw-mutex"),
@@ -424,6 +485,22 @@ def self_test() -> int:
                "src/x/a.cpp":
                'reg.counter("net." + scheme + ".send_failures").inc();\n'
                'reg.counter("net.used").inc();\n'}),
+         None),
+        ("raw-decode catches memcpy in src",
+         Tree({"src/x/a.cpp":
+               "std::memcpy(frame.data() + 6, src.data(), src.size());"}),
+         "raw-decode"),
+        ("raw-decode catches byte-pointer reinterpret_cast",
+         Tree({"src/x/a.cpp":
+               "const std::string s(reinterpret_cast<const char*>(p + 6), "
+               "n);"}),
+         "raw-decode"),
+        ("raw-decode allows sockaddr and uintptr casts, and util/bytes",
+         Tree({"src/x/a.cpp":
+               "::bind(fd, reinterpret_cast<sockaddr*>(&addr), len);\n"
+               "auto u = reinterpret_cast<std::uintptr_t>(ptr);\n",
+               "src/util/bytes.cpp":
+               "std::memcpy(&out, data_.data() + pos_, 8);\n"}),
          None),
         ("listener-publish catches inline publish",
          Tree({"src/x/a.cpp":
