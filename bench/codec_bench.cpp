@@ -1,0 +1,185 @@
+// Codec micro-bench: XML vs binary payload encode/decode throughput.
+//
+// No network, no peers — this isolates the codec seam itself: the cost of
+// turning an event into wire payload bytes (encode) and payload bytes back
+// into an immutable event (decode), for both event shapes:
+//
+//   dynamic  a DynamicEvent field table at the paper's ~1910-byte message
+//            size. XML pays tag emission + escape scanning on encode and a
+//            full DOM parse on decode; the binary codec writes
+//            length-prefixed fields and decodes in place (string_views
+//            into the pinned buffer, zero per-field allocation).
+//   static   a SkiRental through EventTraits. Both codecs carry the same
+//            traits body here, so the delta is just the framing: XML's
+//            [string type][bytes body] vs the binary header — expect
+//            parity, not a win. The dynamic shape is where the 2x lives.
+//
+// Acceptance (ISSUE 8): binary >= 2x XML on dynamic-event encode and
+// decode throughput. The smoke run prints a PASS/FAIL check line and the
+// JSON lands in BENCH_codec_bench.json for tools/bench_diff.py.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "events/ski_rental.h"
+#include "support/harness.h"
+#include "tps/codec.h"
+#include "tps/event.h"
+
+namespace {
+
+using namespace p2p;
+using namespace p2p::bench;
+
+struct Params {
+  std::int64_t window_ms = 2000;  // per measured loop
+  int batch = 64;                 // events per clock check
+};
+
+Params params(bool smoke) {
+  Params p;
+  if (smoke) p.window_ms = 250;
+  return p;
+}
+
+// A dynamic event shaped like the paper's messages: a handful of short
+// fields plus one padded body field that brings the XML form to roughly
+// kPaperMessageBytes.
+tps::DynamicEvent make_dynamic_event() {
+  tps::DynamicEvent e("StockQuote");
+  e.set("symbol", "ANTC")
+      .set("price", "184.25")
+      .set("currency", "CHF")
+      .set("venue", "epfl.lpdsys")
+      .set("seq", "1048576");
+  const std::size_t overhead = 256;  // tags + the fields above
+  e.set("body", std::string(kPaperMessageBytes - overhead, 'x'));
+  return e;
+}
+
+struct LoopResult {
+  double events_per_sec = 0;
+  std::uint64_t iterations = 0;
+  std::size_t payload_bytes = 0;
+};
+
+// Runs `op` (encode or decode of one event) in batches until the window
+// closes. `checksum` guards against the whole loop being optimized away.
+template <typename Op>
+LoopResult run_loop(const Params& p, std::size_t payload_bytes, Op&& op) {
+  LoopResult r;
+  r.payload_bytes = payload_bytes;
+  std::uint64_t checksum = 0;
+  const std::int64_t end_us = now_us() + p.window_ms * 1000;
+  std::int64_t t0 = now_us();
+  while (now_us() < end_us) {
+    for (int i = 0; i < p.batch; ++i) checksum += op();
+    r.iterations += static_cast<std::uint64_t>(p.batch);
+  }
+  const double sec = double(now_us() - t0) / 1e6;
+  r.events_per_sec = sec > 0 ? double(r.iterations) / sec : 0;
+  if (checksum == 0xdeadbeef) std::cout << "";  // keep `checksum` live
+  return r;
+}
+
+struct CodecNumbers {
+  LoopResult encode;
+  LoopResult decode;
+};
+
+CodecNumbers run_codec(const Params& p, const tps::Codec& codec,
+                       const serial::TypeRegistry& registry,
+                       const serial::Event& event) {
+  CodecNumbers n;
+  const auto payload = std::make_shared<const util::Bytes>(
+      codec.encode(registry, event));
+  n.encode = run_loop(p, payload->size(), [&] {
+    return codec.encode(registry, event).size();
+  });
+  const util::DecodeLimits limits{};
+  n.decode = run_loop(p, payload->size(), [&]() -> std::size_t {
+    const tps::CodecResult r = codec.decode(registry, payload, limits);
+    if (!r.ok()) std::abort();  // a bench that decodes garbage lies
+    return r.type_name.size();
+  });
+  std::cout << "  " << codec.name() << ": encode "
+            << n.encode.events_per_sec << "/s, decode "
+            << n.decode.events_per_sec << "/s ("
+            << n.encode.payload_bytes << "-byte payload)\n";
+  return n;
+}
+
+std::string loop_json(const LoopResult& r) {
+  std::ostringstream out;
+  out << "{\"events_per_sec\":" << r.events_per_sec
+      << ",\"iterations\":" << r.iterations
+      << ",\"payload_bytes\":" << r.payload_bytes << "}";
+  return out.str();
+}
+
+std::string codec_json(const CodecNumbers& n) {
+  std::ostringstream out;
+  out << "{\"encode\":" << loop_json(n.encode)
+      << ",\"decode\":" << loop_json(n.decode) << "}";
+  return out.str();
+}
+
+double ratio(double binary, double xml) { return xml > 0 ? binary / xml : 0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
+  const Params p = params(smoke);
+  std::cout << "# codec_bench: XML vs binary payload codec"
+            << (smoke ? " (smoke)" : "") << "\n";
+
+  // Dynamic events: the shape the binary field table exists for.
+  serial::TypeRegistry dyn_registry;
+  tps::register_dynamic_event_type("StockQuote", {}, dyn_registry);
+  const tps::DynamicEvent dyn_event = make_dynamic_event();
+  std::cout << "## dynamic event (" << dyn_event.field_count()
+            << " fields)\n";
+  const CodecNumbers dyn_xml =
+      run_codec(p, tps::xml_codec(), dyn_registry, dyn_event);
+  const CodecNumbers dyn_bin =
+      run_codec(p, tps::binary_codec(), dyn_registry, dyn_event);
+  const double enc_speedup =
+      ratio(dyn_bin.encode.events_per_sec, dyn_xml.encode.events_per_sec);
+  const double dec_speedup =
+      ratio(dyn_bin.decode.events_per_sec, dyn_xml.decode.events_per_sec);
+  std::cout << "## binary/xml speedup: encode " << enc_speedup
+            << "x, decode " << dec_speedup << "x\n"
+            << "# check: binary >= 2x xml on dynamic encode+decode -> "
+            << (enc_speedup >= 2.0 && dec_speedup >= 2.0 ? "PASS" : "FAIL")
+            << "\n";
+
+  // Static events: same EventTraits body under both codecs.
+  serial::TypeRegistry static_registry;
+  serial::register_event_with_ancestors<events::SkiRental>(static_registry);
+  const events::SkiRental offer = make_offer(7, kPaperMessageBytes);
+  std::cout << "## static event (SkiRental, traits body)\n";
+  const CodecNumbers st_xml =
+      run_codec(p, tps::xml_codec(), static_registry, offer);
+  const CodecNumbers st_bin =
+      run_codec(p, tps::binary_codec(), static_registry, offer);
+
+  {
+    std::ofstream out("BENCH_codec_bench.json", std::ios::trunc);
+    out << "{\"bench\":\"codec_bench\",\"smoke\":"
+        << (smoke ? "true" : "false")
+        << ",\"dynamic\":{\"fields\":" << dyn_event.field_count()
+        << ",\"xml\":" << codec_json(dyn_xml)
+        << ",\"binary\":" << codec_json(dyn_bin)
+        << ",\"encode_speedup\":" << enc_speedup
+        << ",\"decode_speedup\":" << dec_speedup
+        << "},\"static\":{\"xml\":" << codec_json(st_xml)
+        << ",\"binary\":" << codec_json(st_bin) << "}}\n";
+  }
+  std::cout << "# wrote BENCH_codec_bench.json\n";
+  return 0;
+}

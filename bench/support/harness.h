@@ -22,6 +22,7 @@
 
 #include "events/ski_rental.h"
 #include "jxta/peer.h"
+#include "tps/dynamic.h"
 #include "net/inproc_transport.h"
 #include "obs/metrics.h"
 #include "srjxta/sr_session.h"
@@ -218,6 +219,42 @@ class TpsDriver final : public Driver {
   std::size_t message_bytes_;
   const char* label_;
   std::optional<tps::TpsInterface<events::SkiRental>> interface_;
+};
+
+// SR-TPS over the dynamic (runtime-typed) event surface. The wire-codec
+// comparison series use this driver: dynamic events are where the binary
+// field table replaces XML emission/parsing end to end (a static event's
+// traits body is identical under both codecs).
+class DynTpsDriver final : public Driver {
+ public:
+  DynTpsDriver(jxta::Peer& peer, std::size_t message_bytes,
+               tps::TpsConfig config = {}, const char* label = "SR-TPS-DYN")
+      : label_(label), proto_("BenchQuote") {
+    config.record_history = false;  // benches run unbounded event counts
+    interface_.emplace(peer, "BenchQuote", std::string{}, config);
+    interface_->subscribe([this](const tps::DynamicEvent&) { delivered(); },
+                          [](std::exception_ptr) {});
+    proto_.set("symbol", "ANTC").set("price", "184.25");
+    const std::size_t overhead = 192;  // tags + the fields above
+    if (message_bytes > overhead) {
+      proto_.set("body", std::string(message_bytes - overhead, 'x'));
+    }
+  }
+
+  const char* layer() const override { return label_; }
+
+  void publish(int sequence) override {
+    tps::DynamicEvent e = proto_;
+    e.set("seq", std::to_string(sequence));
+    interface_->publish(e);
+  }
+
+  [[nodiscard]] tps::TpsStats stats() const { return interface_->stats(); }
+
+ private:
+  const char* label_;
+  tps::DynamicEvent proto_;
+  std::optional<tps::DynamicTpsInterface> interface_;
 };
 
 // The fast-pipeline configuration used by the SR-TPS-FAST bench series:

@@ -39,7 +39,7 @@ int main() {
                                       config);
   std::atomic<int> alerts{0};
   rescue_tps.subscribe(
-      [&](const tps::XmlEvent& event) {
+      [&](const tps::DynamicEvent& event) {
         std::cout << "  [rescue] alert of type " << event.type_name()
                   << " severity=" << event.get("risk") << "\n";
         ++alerts;
@@ -50,7 +50,7 @@ int main() {
                                      config);
   std::atomic<int> reports{0};
   skier_tps.subscribe(
-      [&](const tps::XmlEvent& event) {
+      [&](const tps::DynamicEvent& event) {
         std::cout << "  [skier] " << event.get("resort") << ": "
                   << event.get("snow_cm") << "cm fresh, avalanche risk "
                   << event.get("risk") << "\n";
@@ -66,7 +66,7 @@ int main() {
   // The station publishes; it shares no headers with the subscribers.
   tps::DynamicTpsInterface station_tps(*station, "WeatherReport", "Alert",
                                        config);
-  tps::XmlEvent report("WeatherReport");
+  tps::DynamicEvent report("WeatherReport");
   report.set("resort", "Verbier").set("snow_cm", "60").set("risk", "3/5");
   station_tps.publish(report);
   std::cout << "station published (wire form is XML):\n  "

@@ -1,0 +1,63 @@
+// Fuzz target: the binary codec's event-frame decoder. The tps:event-bin
+// element (and every tps:batch-bin payload) is peer-supplied bytes; decode
+// must be total (classified error result, no throw), must respect the
+// caps, and — because kind-1 frames decode in place — every field view of
+// a decoded event must point inside the pinned payload buffer.
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+
+#include "serial/type_registry.h"
+#include "tps/codec.h"
+#include "tps/event.h"
+
+namespace {
+
+// One registry shared across iterations: a dynamic type (field-table
+// frames), a static one is not linked here — unknown names must be
+// rejected, which the fuzzer exercises constantly.
+const p2p::serial::TypeRegistry& registry() {
+  static const auto* r = [] {
+    auto* reg = new p2p::serial::TypeRegistry();
+    p2p::tps::register_dynamic_event_type("FuzzEvent", {}, *reg);
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto payload = std::make_shared<const p2p::util::Bytes>(data,
+                                                                data + size);
+  const p2p::util::DecodeLimits limits{
+      .max_length = 1 << 20, .max_count = 4096, .max_depth = 16};
+  try {
+    const p2p::tps::CodecResult result =
+        p2p::tps::binary_codec().decode(registry(), payload, limits);
+    if (result.ok()) {
+      if (result.event == nullptr) std::abort();
+      const auto* dyn =
+          dynamic_cast<const p2p::tps::DynamicEvent*>(result.event.get());
+      if (dyn != nullptr) {
+        // Decode-in-place invariant: every view lies within the payload.
+        const char* lo = reinterpret_cast<const char*>(payload->data());
+        const char* hi = lo + payload->size();
+        for (const auto& [key, value] : dyn->fields()) {
+          if (key.data() < lo || key.data() + key.size() > hi) std::abort();
+          if (!value.empty() &&
+              (value.data() < lo || value.data() + value.size() > hi)) {
+            std::abort();
+          }
+        }
+      }
+    } else if (result.error == p2p::util::DecodeError::kNone) {
+      std::abort();  // failures must be classified
+    }
+  } catch (...) {
+    std::abort();  // Codec::decode must not throw
+  }
+  return 0;
+}

@@ -3,7 +3,8 @@
 //
 //   fuzz_make_seeds <corpus-root>
 //
-// creates <corpus-root>/{xml,batch,message,framing,address,bytereader}/
+// creates <corpus-root>/{xml,batch,binary_event,message,framing,address,
+// bytereader}/
 // with a handful of well-formed (and near-well-formed) inputs each, so a
 // fuzzer starts from the interesting region of the input space instead of
 // random bytes.
@@ -17,6 +18,8 @@
 #include "jxta/message.h"
 #include "net/framing.h"
 #include "tps/batch.h"
+#include "tps/codec.h"
+#include "tps/event.h"
 #include "util/bytes.h"
 #include "util/uuid.h"
 
@@ -70,6 +73,27 @@ int main(int argc, char** argv) {
     put(root / "batch", "one_event",
         p2p::tps::encode_batch_frame(items));
     put(root / "batch", "empty", p2p::tps::encode_batch_frame({}));
+  }
+
+  // --- binary_event: tps:event-bin frames (both kinds) -------------------
+  {
+    p2p::serial::TypeRegistry registry;
+    p2p::tps::register_dynamic_event_type("FuzzEvent", {}, registry);
+    p2p::tps::DynamicEvent fields("FuzzEvent");
+    fields.set("key", "value").set("n", "42");
+    put(root / "binary_event", "field_table",
+        p2p::tps::binary_codec().encode(registry, fields));
+    put(root / "binary_event", "no_fields",
+        p2p::tps::binary_codec().encode(registry,
+                                        p2p::tps::DynamicEvent("FuzzEvent")));
+    // An opaque (kind 0) frame for a type the harness does NOT register:
+    // steers the fuzzer at the unknown-type and kind-mismatch rejects.
+    p2p::util::ByteWriter w;
+    w.write_u8(p2p::tps::kBinaryEventFrameVersion);
+    w.write_u8(p2p::tps::kBinaryKindOpaque);
+    w.write_string("FuzzEvent");
+    w.write_bytes(p2p::util::to_bytes("body"));
+    put(root / "binary_event", "opaque_kind", w.take());
   }
 
   // --- message: jxta::Message and endpoint envelopes ---------------------

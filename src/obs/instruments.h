@@ -64,6 +64,7 @@ inline constexpr const char* kInstrumentNames[] = {
     "tps.batches_sent",
     "tps.callback_errors",
     "tps.callback_latency_us",
+    "tps.codec_fallbacks",
     "tps.decode_failures",
     "tps.dedup_probe_depth",
     "tps.deliveries_inline",

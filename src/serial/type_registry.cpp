@@ -109,7 +109,7 @@ TypeRegistry::Decoded TypeRegistry::decode_tagged(
                               type_name + "'");
   }
   // The body reader inherits the caps so per-type decoders (and the XML
-  // depth limit XmlEvent reads off it) stay bounded.
+  // depth limit DynamicEvent reads off it) stay bounded.
   util::ByteReader body_reader(body, limits);
   return Decoded{type_name, info->decode(body_reader)};
 }

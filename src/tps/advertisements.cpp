@@ -9,10 +9,58 @@ using jxta::DiscoveryType;
 using jxta::PeerGroupAdvertisement;
 using jxta::PipeAdvertisement;
 
+// --- codec negotiation -----------------------------------------------------
+
+std::vector<std::string> advertised_codecs(
+    const PeerGroupAdvertisement& adv) {
+  const std::string prefix = std::string(kCodecsParamKey) + "=";
+  if (const jxta::ServiceAdvertisement* wire =
+          adv.service(jxta::WireService::kWireName)) {
+    for (const auto& param : wire->params) {
+      if (!param.starts_with(prefix)) continue;
+      std::vector<std::string> out;
+      std::string_view rest = std::string_view(param).substr(prefix.size());
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view name = rest.substr(0, comma);
+        if (!name.empty()) out.emplace_back(name);
+        if (comma == std::string_view::npos) break;
+        rest.remove_prefix(comma + 1);
+      }
+      return out;
+    }
+  }
+  // Pre-codec advertisement: its creator speaks exactly the xml format.
+  return {std::string(kCodecXml)};
+}
+
+const Codec& negotiate_codec(const PeerGroupAdvertisement& adv,
+                             const Codec& preferred) {
+  const std::vector<std::string> listed = advertised_codecs(adv);
+  for (const auto& name : listed) {
+    if (name == preferred.name()) return preferred;
+  }
+  // Fall back to the first listed codec this build supports (xml, for
+  // every legacy advertisement).
+  for (const auto& name : listed) {
+    if (const Codec* codec = find_codec(name)) return *codec;
+  }
+  std::string advertised;
+  for (const auto& name : listed) {
+    if (!advertised.empty()) advertised += ", ";
+    advertised += name;
+  }
+  throw PsException("codec mismatch on advertisement '" + adv.name +
+                    "': it advertises [" + advertised +
+                    "], this session supports [" + supported_codec_names() +
+                    "]");
+}
+
 // --- AdvertisementsCreator -------------------------------------------------
 
 PeerGroupAdvertisement AdvertisementsCreator::create_type_advertisement(
-    const std::string& type_name) const {
+    const std::string& type_name,
+    const std::vector<std::string>& codecs) const {
   // Paper Fig. 15 lines 10-13: the pipe advertisement's name is the name of
   // the type we are interested in.
   PipeAdvertisement pipe;
@@ -33,6 +81,18 @@ PeerGroupAdvertisement AdvertisementsCreator::create_type_advertisement(
   // resolver/membership service entries.
   jxta::ServiceAdvertisement wire =
       jxta::WireService::make_service_advertisement(pipe);
+  if (!codecs.empty()) {
+    // The codec capability (DESIGN.md "The wire codec"): senders pick their
+    // preferred codec per binding only when this param lists it. Params
+    // round-trip the advertisement's XML form, so the capability survives
+    // discovery; peers that predate the codec seam ignore unknown params.
+    std::string param = std::string(kCodecsParamKey) + "=";
+    for (std::size_t i = 0; i < codecs.size(); ++i) {
+      if (i > 0) param += ",";
+      param += codecs[i];
+    }
+    wire.params.push_back(std::move(param));
+  }
   adv.services.emplace(wire.name, std::move(wire));
 
   jxta::ServiceAdvertisement membership =

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "jxta/peer.h"
+#include "tps/codec.h"
 #include "tps/criteria.h"
 #include "util/thread_annotations.h"
 
@@ -20,6 +21,26 @@ namespace p2p::tps {
 // Group advertisements for event types carry this name prefix (the paper's
 // PS_PREFIX, Fig. 15 line 21).
 inline constexpr std::string_view kPsPrefix = "PS_";
+
+// Key of the wire-service param listing the codecs the advertisement's
+// creator can decode ("tps:codecs=xml,binary"). Absent on advertisements
+// from peers that predate the codec seam; readers treat that as xml-only.
+// The key is frozen in the wire manifest (tests/wire_format_test.cpp).
+inline constexpr std::string_view kCodecsParamKey = "tps:codecs";
+
+// The codec names a type advertisement's wire service lists. {"xml"} when
+// the param is absent: every pre-codec peer speaks exactly that.
+[[nodiscard]] std::vector<std::string> advertised_codecs(
+    const jxta::PeerGroupAdvertisement& adv);
+
+// Per-channel codec negotiation (DESIGN.md "The wire codec"): the codec a
+// session uses when SENDING on a binding of `adv`. `preferred` wins when
+// the advertisement lists it; otherwise the first listed codec this build
+// supports (xml for every legacy advertisement). Throws PsException naming
+// both codec lists when the advertisement lists only codecs this build
+// does not support — such a channel cannot be spoken to at all.
+[[nodiscard]] const Codec& negotiate_codec(
+    const jxta::PeerGroupAdvertisement& adv, const Codec& preferred);
 
 // Builds and publishes the advertisement for an event type (paper Fig. 15).
 class AdvertisementsCreator {
@@ -31,9 +52,12 @@ class AdvertisementsCreator {
   // services. Ids are random (as in the paper), so two peers creating
   // "the same" type advertisement concurrently produce distinct
   // advertisements — which is exactly why the TPS layer manages multiple
-  // advertisements per type and deduplicates events.
+  // advertisements per type and deduplicates events. A non-empty `codecs`
+  // list is stamped as the wire service's tps:codecs capability param;
+  // empty leaves the advertisement in its pre-codec (xml-only) shape.
   [[nodiscard]] jxta::PeerGroupAdvertisement create_type_advertisement(
-      const std::string& type_name) const;
+      const std::string& type_name,
+      const std::vector<std::string>& codecs = {}) const;
 
   // publish + remotePublish (paper Fig. 15 lines 50-53).
   void publish_advertisement(const jxta::PeerGroupAdvertisement& adv,

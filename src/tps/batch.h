@@ -8,13 +8,16 @@
 //   then, per event:
 //   [u64 id.hi LE][u64 id.lo LE][varint payload_len][payload bytes]
 //
-// Each payload is the registry's tagged encoding (type name + body) —
-// exactly the bytes a v1 "tps:event" element carries — so the receive
-// path shares one decoder and dedup-checks each event id individually.
+// The frame is codec-agnostic: each payload is an opaque byte string (the
+// per-binding codec's encoding of one event), so the layout above serves
+// every codec unchanged. Which codec produced the payloads is carried by
+// the element NAME — "tps:batch" for xml payloads (exactly the bytes a v1
+// "tps:event" element carries), "tps:batch-bin" for binary ones — keeping
+// messages self-describing without a frame revision.
 // Frames carrying a single event keep the v1 element layout
 // ("tps:event"/"tps:event-id"/"tps:type"), so peers that predate batching
 // still parse everything a lightly-loaded publisher emits; receivers
-// accept both framings unconditionally.
+// accept all framings unconditionally.
 #pragma once
 
 #include <memory>
@@ -27,6 +30,8 @@
 namespace p2p::tps {
 
 inline constexpr std::string_view kBatchElement = "tps:batch";
+// Same frame layout, payloads encoded by the binary codec (tps/codec.h).
+inline constexpr std::string_view kBatchBinElement = "tps:batch-bin";
 inline constexpr std::uint8_t kBatchFrameVersion = 1;
 
 // One event inside a frame being built. The payload is shared so the

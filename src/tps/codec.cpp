@@ -1,0 +1,230 @@
+#include "tps/codec.h"
+
+#include <span>
+#include <typeindex>
+
+#include "tps/event.h"
+
+namespace p2p::tps {
+
+namespace {
+
+// --- xml: the pre-codec tagged encoding, byte-identical ------------------
+
+class XmlCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kCodecXml; }
+  [[nodiscard]] std::size_t index() const override { return 0; }
+
+  [[nodiscard]] util::Bytes encode(const serial::TypeRegistry& registry,
+                                   const serial::Event& event) const override {
+    return registry.encode_tagged(event);
+  }
+
+  [[nodiscard]] CodecResult decode(
+      const serial::TypeRegistry& registry,
+      const std::shared_ptr<const util::Bytes>& payload,
+      const util::DecodeLimits& limits) const override {
+    CodecResult out;
+    // decode_tagged throws (the legacy surface); the codec contract is
+    // total, so the exceptional edge is absorbed here — classified as
+    // kBadValue with the message kept for the caller's log line.
+    try {
+      auto decoded = registry.decode_tagged(*payload, limits);
+      out.type_name = std::move(decoded.type_name);
+      out.event = std::move(decoded.event);
+    } catch (const std::exception& e) {
+      out.event = nullptr;
+      out.error = util::DecodeError::kBadValue;
+      out.detail = e.what();
+    }
+    return out;
+  }
+};
+
+// --- binary: length-prefixed nested byte strings -------------------------
+
+class BinaryCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return kCodecBinary;
+  }
+  [[nodiscard]] std::size_t index() const override { return 1; }
+
+  [[nodiscard]] util::Bytes encode(const serial::TypeRegistry& registry,
+                                   const serial::Event& event) const override {
+    util::ByteWriter w;
+    w.write_u8(kBinaryEventFrameVersion);
+    if (const auto* dyn = dynamic_cast<const DynamicEvent*>(&event)) {
+      // Dynamic events skip XML entirely: the field table goes straight on
+      // the wire (sorted by key — fields() order — so equal events encode
+      // identically and the encode cache can share buffers).
+      w.write_u8(kBinaryKindFields);
+      w.write_string(dyn->type_name());
+      const auto fields = dyn->fields();
+      w.write_varint(fields.size());
+      for (const auto& [key, value] : fields) {
+        w.write_string(key);
+        w.write_string(value);
+      }
+      return w.take();
+    }
+    // Statically-typed events: the EventTraits body is already binary;
+    // wrap it in the frame header. Same registration requirement (and
+    // exception) as TypeRegistry::encode_tagged.
+    const std::string_view dynamic_name = event.tps_type_name();
+    const auto info = dynamic_name.empty()
+                          ? registry.find(std::type_index(typeid(event)))
+                          : registry.find(dynamic_name);
+    if (!info) {
+      throw util::NotFoundError(
+          std::string("event's dynamic type is not registered: ") +
+          (dynamic_name.empty() ? typeid(event).name()
+                                : std::string(dynamic_name)));
+    }
+    w.write_u8(kBinaryKindOpaque);
+    w.write_string(info->name);
+    w.write_bytes(info->encode(event));
+    return w.take();
+  }
+
+  [[nodiscard]] CodecResult decode(
+      const serial::TypeRegistry& registry,
+      const std::shared_ptr<const util::Bytes>& payload,
+      const util::DecodeLimits& limits) const override {
+    CodecResult out;
+    util::ByteReader r(*payload, limits);
+    std::uint8_t version = 0;
+    std::uint8_t kind = 0;
+    std::string_view type_name;
+    if (!r.try_read_u8(version) || !r.try_read_u8(kind) ||
+        !r.try_read_view(type_name)) {
+      return fail(out, r.error(), "binary event frame header");
+    }
+    out.type_name = std::string(type_name);
+    if (version != kBinaryEventFrameVersion) {
+      return fail(out, util::DecodeError::kBadValue,
+                  "unsupported binary event frame version " +
+                      std::to_string(version));
+    }
+    // Same registration requirement as the xml codec's decoder lookup: an
+    // unknown type is a counted drop, not a delivery.
+    const auto info = registry.find(out.type_name);
+    if (!info) {
+      return fail(out, util::DecodeError::kBadValue,
+                  "unregistered event type '" + out.type_name + "'");
+    }
+    // The kind must match how the type was registered, so a hostile frame
+    // cannot deliver a field-table event under a statically-typed name
+    // (subscribers dynamic_cast on the registered C++ type).
+    const bool is_dynamic =
+        info->cpp_type == std::type_index(typeid(DynamicEvent));
+    if (kind == kBinaryKindFields) {
+      if (!is_dynamic) {
+        return fail(out, util::DecodeError::kBadValue,
+                    "field-table frame for statically-typed '" +
+                        out.type_name + "'");
+      }
+      return decode_fields(out, r, payload);
+    }
+    if (kind == kBinaryKindOpaque) {
+      if (is_dynamic) {
+        return fail(out, util::DecodeError::kBadValue,
+                    "opaque frame for dynamically-typed '" + out.type_name +
+                        "'");
+      }
+      return decode_opaque(out, r, *info, limits);
+    }
+    return fail(out, util::DecodeError::kBadValue,
+                "unknown binary event frame kind " + std::to_string(kind));
+  }
+
+ private:
+  static CodecResult& fail(CodecResult& out, util::DecodeError error,
+                           std::string detail) {
+    out.event = nullptr;
+    out.error = error == util::DecodeError::kNone
+                    ? util::DecodeError::kBadValue
+                    : error;
+    out.detail = std::move(detail);
+    return out;
+  }
+
+  // kind 1: decode in place — every key/value is a view into *payload,
+  // which the event pins. Zero per-field allocation on the receive path.
+  static CodecResult& decode_fields(
+      CodecResult& out, util::ByteReader& r,
+      const std::shared_ptr<const util::Bytes>& payload) {
+    std::uint64_t count = 0;
+    if (!r.try_read_count(count)) {
+      return fail(out, r.error(), "binary event field count");
+    }
+    // Each field needs at least two length prefixes in the buffer; reject
+    // an inflated count before reserving anything for it.
+    if (count > r.remaining() / 2) {
+      return fail(out, util::DecodeError::kTruncated,
+                  "field count exceeds remaining payload");
+    }
+    std::vector<DynamicEvent::FieldView> fields;
+    fields.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string_view key;
+      std::string_view value;
+      if (!r.try_read_view(key) || !r.try_read_view(value)) {
+        return fail(out, r.error(), "binary event field " + std::to_string(i));
+      }
+      fields.emplace_back(key, value);
+    }
+    out.event = std::make_shared<const DynamicEvent>(DynamicEvent::with_views(
+        out.type_name, payload, std::move(fields)));
+    out.error = util::DecodeError::kNone;
+    return out;
+  }
+
+  // kind 0: hand the nested body to the type's registered decoder (the
+  // same EventTraits decode the xml codec's tagged body runs).
+  static CodecResult& decode_opaque(CodecResult& out, util::ByteReader& r,
+                                    const serial::TypeInfo& info,
+                                    const util::DecodeLimits& limits) {
+    std::span<const std::uint8_t> body;
+    if (!r.try_read_view(body)) {
+      return fail(out, r.error(), "binary event body");
+    }
+    util::ByteReader body_reader(body, limits);
+    try {
+      out.event = info.decode(body_reader);
+    } catch (const std::exception& e) {
+      return fail(out, body_reader.error(), e.what());
+    }
+    if (!out.event) {
+      return fail(out, util::DecodeError::kBadValue,
+                  "type decoder returned no event");
+    }
+    out.error = util::DecodeError::kNone;
+    return out;
+  }
+};
+
+}  // namespace
+
+const Codec& xml_codec() {
+  static const XmlCodec codec;
+  return codec;
+}
+
+const Codec& binary_codec() {
+  static const BinaryCodec codec;
+  return codec;
+}
+
+const Codec* find_codec(std::string_view name) {
+  if (name == kCodecXml) return &xml_codec();
+  if (name == kCodecBinary) return &binary_codec();
+  return nullptr;
+}
+
+std::string supported_codec_names() {
+  return std::string(kCodecXml) + ", " + std::string(kCodecBinary);
+}
+
+}  // namespace p2p::tps

@@ -1,0 +1,100 @@
+// The pluggable wire codec: how an event's payload travels on a pipe.
+//
+// A Codec turns an event into the tagged payload bytes a tps wire message
+// (or a tps batch-frame item) carries, and turns received payload bytes
+// back into an immutable EventPtr. Everything around it — the encode
+// cache, the batch frame, FrameAssembler, dedup, dispatch — is
+// codec-agnostic: payloads are opaque byte strings at every other layer.
+//
+// Two implementations (DESIGN.md "The wire codec"):
+//
+//   xml     the pre-codec format, byte-identical to what the repo always
+//           sent: [string type_name][bytes body] where a dynamic event's
+//           body is an XML document (tps/event.h). The interop default.
+//   binary  length-prefixed nested byte strings with varint lengths, on
+//           the fuzzed ByteReader/ByteWriter surface:
+//             [u8 version=1][u8 kind][string type_name]<body>
+//           kind 0 (opaque): <body> = [bytes EventTraits-encoded body] —
+//             statically-typed events, whose traits are already binary.
+//           kind 1 (fields): <body> = [varint count]([string key]
+//             [string value])* — dynamic events skip XML entirely, and
+//             decode builds string_views into the received buffer
+//             (decode-in-place: zero per-field allocation).
+//           The layout is frozen in tests/wire_format_test.cpp.
+//
+// Codec choice is negotiated per channel: receivers accept every codec
+// unconditionally (messages are self-describing via their element name),
+// while a sender uses its preferred codec on a binding only when that
+// binding's advertisement lists it as a capability (tps:codecs param) —
+// the same soft-negotiation contract as the PR 3 versioned batch frame,
+// so mixed-version groups interoperate.
+//
+// decode() is TOTAL: any byte string yields either an event or a
+// classified DecodeError — never an exception on a listener or delivery
+// thread (the trust boundary, DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serial/type_registry.h"
+#include "util/bytes.h"
+
+namespace p2p::tps {
+
+inline constexpr std::string_view kCodecXml = "xml";
+inline constexpr std::string_view kCodecBinary = "binary";
+// Number of codecs compiled in; Codec::index() is in [0, kCodecCount).
+inline constexpr std::size_t kCodecCount = 2;
+
+// Binary event frame (frozen; see wire_format_test.cpp).
+inline constexpr std::uint8_t kBinaryEventFrameVersion = 1;
+inline constexpr std::uint8_t kBinaryKindOpaque = 0;  // EventTraits body
+inline constexpr std::uint8_t kBinaryKindFields = 1;  // dynamic field table
+
+// Outcome of a total decode: an event, or a classified reason it failed.
+struct CodecResult {
+  serial::EventPtr event;  // null on failure
+  std::string type_name;   // the wire tag (set when the tag was readable)
+  util::DecodeError error = util::DecodeError::kNone;
+  std::string detail;      // human-readable failure context for logs
+  [[nodiscard]] bool ok() const { return event != nullptr; }
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  // Stable advertised name ("xml", "binary") — what tps:codecs lists.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  // Dense index for per-codec arrays (encode cache, lazy frame slots).
+  [[nodiscard]] virtual std::size_t index() const = 0;
+
+  // Event -> tagged payload bytes. The event's dynamic type must be
+  // registered (TpsSession::publish validates before encoding); throws
+  // NotFoundError otherwise, like TypeRegistry::encode_tagged.
+  [[nodiscard]] virtual util::Bytes encode(
+      const serial::TypeRegistry& registry,
+      const serial::Event& event) const = 0;
+
+  // Tagged payload bytes -> immutable event. Total: never throws. The
+  // payload arrives as a shared_ptr so a decode-in-place codec can pin the
+  // buffer under the returned event's string_views.
+  [[nodiscard]] virtual CodecResult decode(
+      const serial::TypeRegistry& registry,
+      const std::shared_ptr<const util::Bytes>& payload,
+      const util::DecodeLimits& limits) const = 0;
+};
+
+// The two stateless singletons.
+[[nodiscard]] const Codec& xml_codec();
+[[nodiscard]] const Codec& binary_codec();
+
+// Lookup by advertised name; nullptr for unknown names.
+[[nodiscard]] const Codec* find_codec(std::string_view name);
+
+// "xml, binary" — for error messages and the tps:codecs adv param.
+[[nodiscard]] std::string supported_codec_names();
+
+}  // namespace p2p::tps

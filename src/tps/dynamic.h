@@ -1,7 +1,7 @@
 // DynamicTpsInterface: the TPS API for runtime-described types.
 //
 // The statically-typed TpsEngine<T>/TpsInterface<T> require the event type
-// at compile time. Dynamically-typed (XML) events name their type at run
+// at compile time. Dynamically-typed events name their type at run
 // time, so this interface takes the type name as a constructor argument
 // and trades the compile-time guarantees for the paper's §6 "loose"
 // coupling. Everything underneath — advertisements, wires, dedup,
@@ -9,13 +9,13 @@
 #pragma once
 
 #include "tps/session.h"
-#include "tps/xml_event.h"
+#include "tps/event.h"
 
 namespace p2p::tps {
 
 class DynamicTpsInterface {
  public:
-  using Callback = std::function<void(const XmlEvent&)>;
+  using Callback = std::function<void(const DynamicEvent&)>;
   using ExceptionHandler = std::function<void(std::exception_ptr)>;
 
   // Registers (idempotently) the XML type and initializes the session
@@ -26,14 +26,14 @@ class DynamicTpsInterface {
                       TpsConfig config = {}, Criteria criteria = {})
       : session_(std::make_shared<TpsSession>(peer, type_name,
                                               std::move(criteria), config)) {
-    register_xml_event_type(type_name, parent_name);
+    register_dynamic_event_type(type_name, parent_name);
     session_->init();
   }
 
   // Publishes the event under ITS OWN type name, which must equal the
   // session's type or be a registered subtype of it (hierarchy dispatch).
-  void publish(const XmlEvent& event) {
-    session_->publish(std::make_shared<const XmlEvent>(event)).raise();
+  void publish(const DynamicEvent& event) {
+    session_->publish(std::make_shared<const DynamicEvent>(event)).raise();
   }
 
   // Subscribes a callback (with its exception handler, as in the paper's
@@ -53,7 +53,7 @@ class DynamicTpsInterface {
     sub.handler_tag = eh.get();
     sub.dispatch = [cb, eh](const serial::EventPtr& e) noexcept -> bool {
       try {
-        const auto* xml_event = dynamic_cast<const XmlEvent*>(e.get());
+        const auto* xml_event = dynamic_cast<const DynamicEvent*>(e.get());
         if (xml_event == nullptr) {
           throw PsException(
               "delivered event is not dynamically typed; statically and "
@@ -78,11 +78,11 @@ class DynamicTpsInterface {
   }
   void unsubscribe_all() { session_->unsubscribe_all(); }
 
-  [[nodiscard]] std::vector<std::shared_ptr<const XmlEvent>>
+  [[nodiscard]] std::vector<std::shared_ptr<const DynamicEvent>>
   objects_received() const {
-    std::vector<std::shared_ptr<const XmlEvent>> out;
+    std::vector<std::shared_ptr<const DynamicEvent>> out;
     for (const auto& e : session_->objects_received()) {
-      if (auto typed = std::dynamic_pointer_cast<const XmlEvent>(e)) {
+      if (auto typed = std::dynamic_pointer_cast<const DynamicEvent>(e)) {
         out.push_back(std::move(typed));
       }
     }

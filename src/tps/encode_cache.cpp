@@ -3,12 +3,13 @@
 namespace p2p::tps {
 
 std::shared_ptr<const util::Bytes> EncodeCache::encode(
-    const serial::TypeRegistry& registry, const serial::EventPtr& event) {
+    const serial::TypeRegistry& registry, const Codec& codec,
+    const serial::EventPtr& event) {
   if (capacity_ == 0) {
     return std::make_shared<const util::Bytes>(
-        registry.encode_tagged(*event));
+        codec.encode(registry, *event));
   }
-  const serial::Event* key = event.get();
+  const Key key{event.get(), codec.index()};
   {
     const util::MutexLock lock(mu_);
     const auto it = entries_.find(key);
@@ -23,7 +24,7 @@ std::shared_ptr<const util::Bytes> EncodeCache::encode(
   // concurrent misses on the same event just encode twice; the loser
   // finds the winner's entry below and adopts it.
   auto bytes =
-      std::make_shared<const util::Bytes>(registry.encode_tagged(*event));
+      std::make_shared<const util::Bytes>(codec.encode(registry, *event));
   const util::MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {

@@ -1,4 +1,4 @@
-// EncodeCache: identity-keyed LRU of tagged event encodings.
+// EncodeCache: identity-keyed LRU of per-codec event encodings.
 //
 // publish() already encodes an event once per *call* and shares the buffer
 // across every binding and ancestor wire. This cache extends encode-once
@@ -9,6 +9,11 @@
 // events are immutable by API contract (TpsInterface::publish: "The
 // pointee must not change afterwards"), and each entry pins its event
 // alive so a cached address can never be recycled by a different object.
+//
+// The cache is codec-agnostic: entries are keyed by (event identity,
+// codec), so a session whose bindings negotiated different codecs (mixed
+// groups, DESIGN.md "The wire codec") caches one buffer per codec actually
+// used — without the codecs ever seeing each other's output.
 #pragma once
 
 #include <list>
@@ -17,38 +22,50 @@
 
 #include "obs/metrics.h"
 #include "serial/type_registry.h"
+#include "tps/codec.h"
 #include "util/thread_annotations.h"
 
 namespace p2p::tps {
 
 class EncodeCache {
  public:
-  // capacity 0 disables caching: encode() always runs the codec.
+  // capacity 0 disables caching: encode() always runs the codec. Counted
+  // in (event, codec) entries: an event sent under both codecs uses two.
   EncodeCache(std::size_t capacity, obs::Counter hit_counter)
       : capacity_(capacity), hit_counter_(hit_counter) {}
 
   EncodeCache(const EncodeCache&) = delete;
   EncodeCache& operator=(const EncodeCache&) = delete;
 
-  // Returns the tagged encoding of *event, from cache when possible.
+  // Returns codec.encode(*event), from cache when possible.
   [[nodiscard]] std::shared_ptr<const util::Bytes> encode(
-      const serial::TypeRegistry& registry, const serial::EventPtr& event)
-      EXCLUDES(mu_);
+      const serial::TypeRegistry& registry, const Codec& codec,
+      const serial::EventPtr& event) EXCLUDES(mu_);
 
   [[nodiscard]] std::uint64_t hits() const EXCLUDES(mu_);
 
  private:
+  struct Key {
+    const serial::Event* event = nullptr;
+    std::size_t codec = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<const void*>()(k.event) ^ (k.codec * 0x9e3779b9);
+    }
+  };
   struct Entry {
     serial::EventPtr pin;  // keeps the key address from being recycled
     std::shared_ptr<const util::Bytes> bytes;
-    std::list<const serial::Event*>::iterator lru;
+    std::list<Key>::iterator lru;
   };
 
   const std::size_t capacity_;
   obs::Counter hit_counter_;
   mutable util::Mutex mu_{"tps-encode-cache"};
-  std::list<const serial::Event*> lru_ GUARDED_BY(mu_);  // front = hottest
-  std::unordered_map<const serial::Event*, Entry> entries_ GUARDED_BY(mu_);
+  std::list<Key> lru_ GUARDED_BY(mu_);  // front = hottest
+  std::unordered_map<Key, Entry, KeyHash> entries_ GUARDED_BY(mu_);
   std::uint64_t hits_ GUARDED_BY(mu_) = 0;
 };
 

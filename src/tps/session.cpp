@@ -1,6 +1,7 @@
 #include "tps/session.h"
 
 #include <algorithm>
+#include <array>
 #include <typeindex>
 
 #include "obs/flight.h"
@@ -14,8 +15,38 @@ using jxta::PeerGroupAdvertisement;
 
 namespace {
 constexpr std::string_view kEventElement = "tps:event";
+constexpr std::string_view kEventBinElement = "tps:event-bin";
 constexpr std::string_view kEventIdElement = "tps:event-id";
 constexpr std::string_view kTypeElement = "tps:type";
+
+// The element name tells the receiver which codec encoded the payload —
+// messages are self-describing, so receivers never need the negotiation
+// state (the PR 3 batch-frame contract, applied to codecs).
+std::string_view event_element_for(const Codec& codec) {
+  return &codec == &binary_codec() ? kEventBinElement : kEventElement;
+}
+std::string_view batch_element_for(const Codec& codec) {
+  return &codec == &binary_codec() ? kBatchBinElement : kBatchElement;
+}
+
+// Resolves a config's codec name; throws the Builder-convention error so a
+// hand-assembled TpsConfig fails at session construction, not mid-traffic.
+const Codec& resolve_codec(const std::string& name) {
+  const Codec* codec = find_codec(name);
+  if (codec == nullptr) {
+    throw PsException("TpsConfig: codec must be one of [" +
+                      supported_codec_names() + "], got '" + name + "'");
+  }
+  return *codec;
+}
+
+// The decode capabilities stamped on advertisements we create. Every build
+// decodes both codecs; an empty list (advertise_codecs off) models a
+// legacy peer and keeps the advertisement byte-identical to pre-codec.
+std::vector<std::string> capability_list(const TpsConfig& config) {
+  if (!config.advertise_codecs) return {};
+  return {std::string(kCodecXml), std::string(kCodecBinary)};
+}
 
 util::Bytes uuid_to_bytes(const util::Uuid& id) {
   util::ByteWriter w;
@@ -120,13 +151,25 @@ TpsConfig::Builder& TpsConfig::Builder::no_tracing() {
   return *this;
 }
 
+TpsConfig::Builder& TpsConfig::Builder::codec(std::string_view name) {
+  config_.codec = std::string(name);
+  return *this;
+}
+
+TpsConfig::Builder& TpsConfig::Builder::decode_limits(
+    const util::DecodeLimits& limits) {
+  config_.decode_max_batch_events = static_cast<std::size_t>(limits.max_count);
+  config_.decode_max_event_bytes = limits.max_length;
+  config_.decode_max_xml_depth = limits.max_depth;
+  return *this;
+}
+
 TpsConfig::Builder& TpsConfig::Builder::decode_limits(
     std::size_t max_batch_events, std::size_t max_event_bytes,
     std::size_t max_xml_depth) {
-  config_.decode_max_batch_events = max_batch_events;
-  config_.decode_max_event_bytes = max_event_bytes;
-  config_.decode_max_xml_depth = max_xml_depth;
-  return *this;
+  return decode_limits(util::DecodeLimits{.max_length = max_event_bytes,
+                                          .max_count = max_batch_events,
+                                          .max_depth = max_xml_depth});
 }
 
 TpsConfig TpsConfig::Builder::build() const {
@@ -168,6 +211,11 @@ TpsConfig TpsConfig::Builder::build() const {
       config_.decode_max_xml_depth > 1024) {
     throw PsException("TpsConfig: decode_max_xml_depth must be in [1, 1024]");
   }
+  if (find_codec(config_.codec) == nullptr) {
+    throw PsException("TpsConfig: codec must be one of [" +
+                      supported_codec_names() + "], got '" + config_.codec +
+                      "'");
+  }
   return config_;
 }
 
@@ -181,6 +229,7 @@ TpsSession::TpsSession(jxta::Peer& peer, std::string type_name,
       criteria_(std::move(criteria)),
       config_(config),
       registry_(registry),
+      preferred_codec_(resolve_codec(config.codec)),
       creator_(peer),
       m_published_(peer.metrics().counter("tps.published")),
       m_wire_sends_(peer.metrics().counter("tps.wire_sends")),
@@ -188,6 +237,7 @@ TpsSession::TpsSession(jxta::Peer& peer, std::string type_name,
       m_duplicates_suppressed_(
           peer.metrics().counter("tps.duplicates_suppressed")),
       m_decode_failures_(peer.metrics().counter("tps.decode_failures")),
+      m_codec_fallbacks_(peer.metrics().counter("tps.codec_fallbacks")),
       m_callback_errors_(peer.metrics().counter("tps.callback_errors")),
       m_subscribes_(peer.metrics().counter("tps.subscribes")),
       m_advs_created_(peer.metrics().counter("tps.advs_created")),
@@ -343,7 +393,7 @@ TpsSession::Channel& TpsSession::channel(const std::string& type,
       // (paper §4.1), while the finder keeps looking for latecomers.
       lock.unlock();
       const PeerGroupAdvertisement own =
-          creator_.create_type_advertisement(type);
+          creator_.create_type_advertisement(type, capability_list(config_));
       creator_.publish_advertisement(own, config_.adv_lifetime_ms);
       m_advs_created_.inc();
       adopt_advertisement(type, own, /*own=*/true);
@@ -392,6 +442,11 @@ void TpsSession::adopt_advertisement(const std::string& type,
   auto binding = std::make_shared<Binding>();
   binding->adv = adv;
   try {
+    // Per-channel codec negotiation (DESIGN.md "The wire codec"): fix the
+    // codec we SEND with on this binding once, at adopt time. A mismatch
+    // (advertisement lists only codecs this build lacks) aborts the bind —
+    // same handling as a missing wire service.
+    binding->codec = &negotiate_codec(adv, preferred_codec_);
     TpsWireServiceFinder wsf(peer_, adv);
     wsf.lookup_wire_service();
     binding->group = wsf.group();
@@ -418,6 +473,9 @@ void TpsSession::adopt_advertisement(const std::string& type,
     return;
   }
 
+  // Count the fallback once per adopted binding (not per send): the adopt
+  // event is what mixed-version interop tests can assert deterministically.
+  const bool fell_back = binding->codec != &preferred_codec_;
   {
     const util::MutexLock lock(mu_);
     adopting_.erase(key);
@@ -425,6 +483,14 @@ void TpsSession::adopt_advertisement(const std::string& type,
     const auto it = channels_.find(type);
     if (it == channels_.end()) return;
     it->second.bindings.push_back(std::move(binding));
+    if (fell_back) ++stats_.codec_fallbacks;
+  }
+  if (fell_back) {
+    m_codec_fallbacks_.inc();
+    P2P_LOG(kInfo, "tps") << peer_.name() << ": advertisement "
+                          << adv.gid.to_string() << " does not list codec '"
+                          << preferred_codec_.name()
+                          << "'; falling back for this binding";
   }
   m_advs_adopted_.inc();
   cv_.notify_all();
@@ -462,16 +528,14 @@ PublishTicket TpsSession::publish(serial::EventPtr event) {
                               "' is not a subtype of '" + type_name_ + "'");
   }
 
-  // Encode once; the buffer is shared by every transmission of this event
-  // and, via the cache, by repeat publications of the same object.
+  // Encoding is deferred to frame-building time (fan_out's frame_for): the
+  // wire bytes depend on the codec each binding negotiated, and a frame is
+  // encoded at most once per codec actually in use.
   const std::int64_t t0 = obs::now_us();
-  const std::shared_ptr<const util::Bytes> payload =
-      encode_cache_.encode(registry_, event);
   const util::Uuid event_id = util::Uuid::generate();
 
   if (!config_.batching) {
-    return publish_sync(std::move(event), info->name, chain, *payload,
-                        event_id, t0);
+    return publish_sync(event, info->name, chain, event_id, t0);
   }
 
   // Async path: hand off to the sender thread through the bounded queue.
@@ -488,7 +552,7 @@ PublishTicket TpsSession::publish(serial::EventPtr event) {
       dropped = true;
     } else {
       send_queue_.push_back(
-          PendingPublication{event_id, info->name, payload, t0});
+          PendingPublication{event_id, info->name, event, t0});
       depth = send_queue_.size();
       if (depth > queue_hwm_) {
         queue_hwm_ = depth;
@@ -531,20 +595,32 @@ PublishTicket TpsSession::publish(serial::EventPtr event) {
 PublishTicket TpsSession::publish_sync(serial::EventPtr event,
                                        const std::string& publish_type,
                                        const std::vector<std::string>& chain,
-                                       const util::Bytes& payload,
                                        const util::Uuid& event_id,
                                        std::int64_t t0) {
-  jxta::Message base;
-  base.add_bytes(std::string(kEventElement), payload);
-  base.add_bytes(std::string(kEventIdElement), uuid_to_bytes(event_id));
-  base.add_string(std::string(kTypeElement), publish_type);
-  // First trace hop: the publication leaves the TPS engine. dup() keeps
-  // elements, so every wire transmission carries the same trace id.
-  if (config_.tracing) {
-    obs::start_trace(base, peer_.id().to_string(), "publish", t0);
-  }
+  // One frame per codec in use across the fan-out, built on first request.
+  // In a single-codec group (the common case) the event is encoded exactly
+  // once, with whichever codec the bindings negotiated.
+  std::array<std::optional<jxta::Message>, kCodecCount> frames;
+  const auto frame_for = [&](const Codec& codec) -> const jxta::Message& {
+    std::optional<jxta::Message>& slot = frames[codec.index()];
+    if (!slot) {
+      const std::shared_ptr<const util::Bytes> payload =
+          encode_cache_.encode(registry_, codec, event);
+      jxta::Message base;
+      base.add_bytes(std::string(event_element_for(codec)), *payload);
+      base.add_bytes(std::string(kEventIdElement), uuid_to_bytes(event_id));
+      base.add_string(std::string(kTypeElement), publish_type);
+      // First trace hop: the publication leaves the TPS engine. dup() keeps
+      // elements, so every wire transmission carries the same trace id.
+      if (config_.tracing) {
+        obs::start_trace(base, peer_.id().to_string(), "publish", t0);
+      }
+      slot = std::move(base);
+    }
+    return *slot;
+  };
 
-  const std::uint64_t sends = fan_out(chain, base);
+  const std::uint64_t sends = fan_out(chain, frame_for);
 
   m_published_.inc();
   m_wire_sends_.inc(sends);
@@ -564,10 +640,12 @@ PublishTicket TpsSession::publish_sync(serial::EventPtr event,
   return ticket;
 }
 
-std::uint64_t TpsSession::fan_out(const std::vector<std::string>& chain,
-                                  const jxta::Message& base) {
+std::uint64_t TpsSession::fan_out(
+    const std::vector<std::string>& chain,
+    const std::function<const jxta::Message&(const Codec&)>& frame_for) {
   // Type-hierarchy dispatch (paper Fig. 7): one transmission per
-  // advertisement of the dynamic type and of each ancestor type.
+  // advertisement of the dynamic type and of each ancestor type, each in
+  // the codec that binding negotiated at adopt time.
   std::uint64_t sends = 0;
   for (const auto& name : chain) {
     const bool is_own_type = name == type_name_;
@@ -580,7 +658,9 @@ std::uint64_t TpsSession::fan_out(const std::vector<std::string>& chain,
       bindings = ch.bindings;
     }
     for (const auto& b : bindings) {
-      if (b->output && b->output->send(base.dup())) ++sends;
+      if (!b->output) continue;
+      const Codec& codec = b->codec != nullptr ? *b->codec : xml_codec();
+      if (b->output->send(frame_for(codec).dup())) ++sends;
     }
   }
   return sends;
@@ -650,35 +730,53 @@ void TpsSession::send_group(std::span<PendingPublication> group) {
     chain = {publish_type};  // validated at publish; registry only grows
   }
 
-  jxta::Message base;
-  if (group.size() == 1) {
-    // Lone publications keep the v1 single-event framing so peers that
-    // predate batching parse them (wire-format compatibility).
-    base.add_bytes(std::string(kEventElement), *group.front().payload);
-    base.add_bytes(std::string(kEventIdElement),
-                   uuid_to_bytes(group.front().id));
-  } else {
-    std::vector<BatchItem> frame;
-    frame.reserve(group.size());
-    for (const auto& p : group) frame.push_back(BatchItem{p.id, p.payload});
-    base.add_bytes(std::string(kBatchElement), encode_batch_frame(frame));
-  }
-  base.add_string(std::string(kTypeElement), publish_type);
-  if (config_.tracing) {
-    obs::start_trace(base, peer_.id().to_string(), "publish",
-                     group.front().t0_us);
-    if (group.size() > 1) {
-      // The batch stage: events coalesced into one frame. Hops ride the
-      // message, so they survive the frame round-trip on every receiver.
-      obs::append_hop(base, peer_.id().to_string(), "batch", obs::now_us());
+  // One frame per codec in use across the fan-out, built on first request
+  // (same lazy shape as publish_sync; the batch layout itself is
+  // codec-agnostic, only the payload bytes and the element name differ).
+  std::array<std::optional<jxta::Message>, kCodecCount> frames;
+  const auto frame_for = [&](const Codec& codec) -> const jxta::Message& {
+    std::optional<jxta::Message>& slot = frames[codec.index()];
+    if (!slot) {
+      jxta::Message base;
+      if (group.size() == 1) {
+        // Lone publications keep the v1 single-event framing so peers that
+        // predate batching parse them (wire-format compatibility).
+        const std::shared_ptr<const util::Bytes> payload =
+            encode_cache_.encode(registry_, codec, group.front().event);
+        base.add_bytes(std::string(event_element_for(codec)), *payload);
+        base.add_bytes(std::string(kEventIdElement),
+                       uuid_to_bytes(group.front().id));
+      } else {
+        std::vector<BatchItem> frame;
+        frame.reserve(group.size());
+        for (const auto& p : group) {
+          frame.push_back(
+              BatchItem{p.id, encode_cache_.encode(registry_, codec, p.event)});
+        }
+        base.add_bytes(std::string(batch_element_for(codec)),
+                       encode_batch_frame(frame));
+      }
+      base.add_string(std::string(kTypeElement), publish_type);
+      if (config_.tracing) {
+        obs::start_trace(base, peer_.id().to_string(), "publish",
+                         group.front().t0_us);
+        if (group.size() > 1) {
+          // The batch stage: events coalesced into one frame. Hops ride the
+          // message, so they survive the frame round-trip on every receiver.
+          obs::append_hop(base, peer_.id().to_string(), "batch",
+                          obs::now_us());
+        }
+      }
+      slot = std::move(base);
     }
-  }
+    return *slot;
+  };
   obs::flight::record(obs::FlightComponent::kTps, obs::FlightKind::kBatchFlush,
                       group.size());
 
-  const std::uint64_t frames = fan_out(chain, base);
+  const std::uint64_t frames_sent = fan_out(chain, frame_for);
   // wire_sends keeps its v1 meaning: per-event, per-binding transmissions.
-  const std::uint64_t sends = frames * group.size();
+  const std::uint64_t sends = frames_sent * group.size();
   m_wire_sends_.inc(sends);
   if (group.size() > 1) m_batches_sent_.inc();
   const std::int64_t now = obs::now_us();
@@ -743,10 +841,17 @@ void TpsSession::count_decode_failure() {
 void TpsSession::on_event_message(jxta::Message msg) {
   // Decode stage begins here (no-op on untraced messages).
   obs::append_hop(msg, peer_.id().to_string(), "decode", obs::now_us());
-  // v2 batch frame? Unpack and dedup-check each event individually.
-  // Otherwise fall through to the v1 single-event elements — receivers
-  // accept both framings unconditionally.
-  if (const auto frame = msg.get_bytes(std::string(kBatchElement))) {
+  // The element name identifies both the framing (batch vs single event)
+  // and the codec that produced the payload bytes — receivers accept all
+  // of them unconditionally, independent of what they advertise, which is
+  // what lets mixed-version groups interoperate.
+  const Codec* codec = &xml_codec();
+  auto frame = msg.get_bytes(std::string(kBatchElement));
+  if (!frame) {
+    frame = msg.get_bytes(std::string(kBatchBinElement));
+    if (frame) codec = &binary_codec();
+  }
+  if (frame) {
     // Trust boundary: the frame is peer bytes. Decode through the capped,
     // non-throwing path; a frame past any cap (or truncated) is a counted
     // drop, not an exception on the listener thread.
@@ -760,22 +865,35 @@ void TpsSession::on_event_message(jxta::Message msg) {
       count_decode_failure();
       return;
     }
-    const std::vector<DecodedBatchItem>& items = decoded.items;
     bool any_unique = false;
-    for (const auto& item : items) {
-      any_unique = deliver_event(item.id, item.payload) || any_unique;
+    for (auto& item : decoded.items) {
+      any_unique =
+          deliver_event(item.id,
+                        std::make_shared<const util::Bytes>(
+                            std::move(item.payload)),
+                        *codec) ||
+          any_unique;
     }
     if (!any_unique) return;
   } else {
     const auto id_bytes = msg.get_bytes(std::string(kEventIdElement));
-    const auto event_bytes = msg.get_bytes(std::string(kEventElement));
+    auto event_bytes = msg.get_bytes(std::string(kEventElement));
+    if (!event_bytes) {
+      event_bytes = msg.get_bytes(std::string(kEventBinElement));
+      if (event_bytes) codec = &binary_codec();
+    }
     std::optional<util::Uuid> event_id;
     if (id_bytes) event_id = uuid_from_bytes(*id_bytes);
     if (!event_id || !event_bytes) {
       count_decode_failure();
       return;
     }
-    if (!deliver_event(*event_id, *event_bytes)) return;
+    if (!deliver_event(*event_id,
+                       std::make_shared<const util::Bytes>(
+                           std::move(*event_bytes)),
+                       *codec)) {
+      return;
+    }
   }
   // The last hop: this message carried at least one unique delivery to the
   // subscribing session. File the completed path into the peer's tracer.
@@ -786,7 +904,8 @@ void TpsSession::on_event_message(jxta::Message msg) {
 }
 
 bool TpsSession::deliver_event(const util::Uuid& event_id,
-                               const util::Bytes& payload) {
+                               std::shared_ptr<const util::Bytes> payload,
+                               const Codec& codec) {
   {
     const util::MutexLock lock(mu_);
     if (shut_down_) return false;
@@ -797,16 +916,18 @@ bool TpsSession::deliver_event(const util::Uuid& event_id,
     }
   }
   // Decode exactly once per session; every subscriber receives the same
-  // immutable event instance.
-  serial::TypeRegistry::Decoded decoded;
-  try {
-    const util::DecodeLimits limits{
-        .max_length = config_.decode_max_event_bytes,
-        .max_depth = config_.decode_max_xml_depth};
-    decoded = registry_.decode_tagged(payload, limits);
-  } catch (const std::exception& e) {
-    P2P_LOG(kWarn, "tps") << peer_.name()
-                          << ": cannot decode event: " << e.what();
+  // immutable event instance. The payload arrives as a shared_ptr so the
+  // binary codec can hand out decode-in-place views pinned to it.
+  const util::DecodeLimits limits{
+      .max_length = config_.decode_max_event_bytes,
+      .max_depth = config_.decode_max_xml_depth};
+  const CodecResult decoded = codec.decode(registry_, payload, limits);
+  if (!decoded.ok()) {
+    P2P_LOG(kWarn, "tps") << peer_.name() << ": cannot decode "
+                          << codec.name() << " event ("
+                          << util::to_string(decoded.error)
+                          << (decoded.detail.empty() ? "" : ": ")
+                          << decoded.detail << ")";
     count_decode_failure();
     return false;
   }

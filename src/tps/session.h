@@ -45,6 +45,7 @@
 
 #include "serial/type_registry.h"
 #include "tps/advertisements.h"
+#include "tps/codec.h"
 #include "tps/dispatch.h"
 #include "tps/encode_cache.h"
 #include "tps/exceptions.h"
@@ -107,6 +108,19 @@ struct TpsConfig {
   // set + FIFO deque. Identical semantics; off only for ablation.
   bool dedup_ring = true;
 
+  // --- wire codec (DESIGN.md "The wire codec") ---------------------------
+  // Preferred codec for outgoing event payloads: "xml" (default, the
+  // interoperable pre-codec format) or "binary". Applied per binding at
+  // negotiation time — a binding whose advertisement does not list the
+  // preference falls back to xml, counted by tps.codec_fallbacks.
+  // Receivers accept every codec regardless of this knob.
+  std::string codec = "xml";
+  // Stamp the tps:codecs capability param (listing every codec this build
+  // decodes) on advertisements this session creates. On by default; tests
+  // turn it off to model a legacy peer whose advertisements predate the
+  // codec seam.
+  bool advertise_codecs = true;
+
   // --- observability -----------------------------------------------------
   // Stamp obs:trace-id/obs:hops on outgoing publications (obs/trace.h), so
   // receivers file end-to-end hop paths into their Tracer. Off shaves the
@@ -122,7 +136,7 @@ struct TpsConfig {
   std::size_t decode_max_batch_events = 65536;
   // Cap on a single encoded event payload (string/blob length prefixes).
   std::size_t decode_max_event_bytes = 16 * 1024 * 1024;
-  // Cap on element nesting when a received payload embeds XML (XmlEvent,
+  // Cap on element nesting when a received payload embeds XML (DynamicEvent,
   // advertisements-in-messages).
   std::size_t decode_max_xml_depth = 64;
 
@@ -183,9 +197,16 @@ class TpsConfig::Builder {
   // Stop stamping trace elements on outgoing publications (see
   // TpsConfig::tracing).
   Builder& no_tracing();
-  // Trust-boundary caps for decoding peer-supplied frames. max_batch_events
-  // must be in [1, 2^20]; max_event_bytes in [1, 256 MiB]; max_xml_depth in
-  // [1, 1024].
+  // Wire codec for outgoing event payloads: "xml" (default) or "binary"
+  // (negotiated per binding; see TpsConfig::codec). Validated at build().
+  Builder& codec(std::string_view name);
+  Builder& prefer_binary() { return codec(kCodecBinary); }
+  // Trust-boundary caps for decoding peer-supplied frames, as one struct:
+  // max_count caps the batch-frame event count (in [1, 2^20]), max_length
+  // the single-event payload bytes (in [1, 256 MiB]), max_depth the
+  // embedded-XML nesting (in [1, 1024]).
+  Builder& decode_limits(const util::DecodeLimits& limits);
+  // Shim for the pre-codec three-argument spelling of the caps above.
   Builder& decode_limits(std::size_t max_batch_events,
                          std::size_t max_event_bytes,
                          std::size_t max_xml_depth = 64);
@@ -204,6 +225,9 @@ struct TpsStats {
   std::uint64_t duplicates_suppressed = 0; // SR functionality (3) at work
   std::uint64_t decode_failures = 0;
   std::uint64_t callback_errors = 0;       // exceptions routed to handlers
+  // Bindings negotiated below the session's preferred codec (the
+  // advertisement did not list it; the sender fell back to xml).
+  std::uint64_t codec_fallbacks = 0;
   // Fast publish pipeline.
   std::uint64_t batches_sent = 0;          // multi-event frames built
   std::uint64_t batched_events = 0;        // events those frames carried
@@ -310,6 +334,10 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
     jxta::PipeAdvertisement pipe;
     std::shared_ptr<jxta::WireInputPipe> input;    // subscribed type only
     std::shared_ptr<jxta::WireOutputPipe> output;  // lazily, when publishing
+    // Send-side codec negotiated from the advertisement's tps:codecs
+    // capability at adopt time (tps/advertisements.h). Receive side is
+    // codec-blind: messages are self-describing.
+    const Codec* codec = nullptr;
   };
 
   // All bindings of one type name, fed by its finder.
@@ -320,11 +348,14 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
     std::vector<std::shared_ptr<Binding>> bindings;  // keyed by adv gid
   };
 
-  // One accepted publication waiting in the async send queue.
+  // One accepted publication waiting in the async send queue. Carries the
+  // event itself, not a payload: which encodings are needed depends on the
+  // codecs the receiving bindings negotiated, so the sender encodes
+  // per codec at frame-build time (the encode cache de-duplicates).
   struct PendingPublication {
     util::Uuid id;
     std::string type_name;
-    std::shared_ptr<const util::Bytes> payload;  // encode-once buffer
+    serial::EventPtr event;
     std::int64_t t0_us = 0;
   };
 
@@ -338,17 +369,21 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   void adopt_advertisement(const std::string& type,
                            const jxta::PeerGroupAdvertisement& adv,
                            bool own = false) EXCLUDES(mu_);
-  // Synchronous transmission (batching off) of one already-encoded event.
+  // Synchronous transmission (batching off) of one event.
   PublishTicket publish_sync(serial::EventPtr event,
                              const std::string& publish_type,
                              const std::vector<std::string>& chain,
-                             const util::Bytes& payload,
                              const util::Uuid& event_id, std::int64_t t0)
       EXCLUDES(mu_, send_mu_);
-  // Sends `base` once per binding of every type in `chain` (dup() per
-  // transmission). Returns the number of pipe-level transmissions.
-  std::uint64_t fan_out(const std::vector<std::string>& chain,
-                        const jxta::Message& base) EXCLUDES(mu_);
+  // Sends a frame once per binding of every type in `chain` (dup() per
+  // transmission). `frame_for` returns the wire message for a binding's
+  // negotiated codec — built lazily, so a group whose bindings all speak
+  // one codec never encodes the other. Returns the number of pipe-level
+  // transmissions.
+  std::uint64_t fan_out(
+      const std::vector<std::string>& chain,
+      const std::function<const jxta::Message&(const Codec&)>& frame_for)
+      EXCLUDES(mu_);
   // Sender thread: drains the queue into frames.
   void sender_loop() EXCLUDES(mu_, send_mu_);
   void send_pending(std::vector<PendingPublication> items)
@@ -356,10 +391,13 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   void send_group(std::span<PendingPublication> group)
       EXCLUDES(mu_, send_mu_);
   void on_event_message(jxta::Message msg) EXCLUDES(mu_);
-  // Dedup + decode-once + dispatch of one received event. True iff the
-  // event was unique and handed to subscribers (inline or enqueued).
-  bool deliver_event(const util::Uuid& event_id, const util::Bytes& payload)
-      EXCLUDES(mu_);
+  // Dedup + decode-once + dispatch of one received event. The payload is
+  // shared because a decode-in-place codec pins it under the delivered
+  // event's views. True iff the event was unique and handed to subscribers
+  // (inline or enqueued).
+  bool deliver_event(const util::Uuid& event_id,
+                     std::shared_ptr<const util::Bytes> payload,
+                     const Codec& codec) EXCLUDES(mu_);
   // Runs one subscriber's callback under its gate (skipped if cancelled).
   void dispatch_one(const Subscriber& sub, const serial::EventPtr& event,
                     bool pooled) EXCLUDES(mu_);
@@ -377,6 +415,9 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   const Criteria criteria_;
   const TpsConfig config_;
   serial::TypeRegistry& registry_;
+  // Resolved from config_.codec (Builder-validated; the constructor throws
+  // PsException on a hand-assembled config naming an unknown codec).
+  const Codec& preferred_codec_;
   AdvertisementsCreator creator_;
   // Registry mirrors of TpsStats (plus latency histograms), so TPS traffic
   // shows up in the peer-wide metrics/PIP story like every other layer.
@@ -385,6 +426,7 @@ class TpsSession : public std::enable_shared_from_this<TpsSession> {
   obs::Counter m_received_unique_;
   obs::Counter m_duplicates_suppressed_;
   obs::Counter m_decode_failures_;
+  obs::Counter m_codec_fallbacks_;
   obs::Counter m_callback_errors_;
   obs::Counter m_subscribes_;
   obs::Counter m_advs_created_;

@@ -29,8 +29,10 @@
 #pragma once
 
 #include "tps/callback.h"     // IWYU pragma: export
+#include "tps/codec.h"        // IWYU pragma: export
 #include "tps/criteria.h"     // IWYU pragma: export
 #include "tps/engine.h"       // IWYU pragma: export
+#include "tps/event.h"        // IWYU pragma: export
 #include "tps/exceptions.h"   // IWYU pragma: export
 #include "tps/result.h"       // IWYU pragma: export
 #include "tps/subscription.h" // IWYU pragma: export

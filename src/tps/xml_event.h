@@ -1,111 +1,26 @@
-// XML-typed events: the paper's "loose coupling" future work.
+// Deprecated alias header.
 //
-// "Another loss of flexibility is our assumption that the different peers
-// must a priori agree on the Java type system ... Figuring out 'loose' ways
-// of achieving such common knowledge at run-time (e.g., by representing
-// types through XML data structures) is the subject of ongoing
-// investigations." (paper §6)
+// The dynamically-typed event surface moved to tps/event.h when the wire
+// codec became pluggable (XmlEvent serialized through src/xml/ by
+// definition; DynamicEvent is codec-neutral and only touches XML under the
+// xml codec). This header keeps the old names compiling:
 //
-// An XmlEvent is a dynamically-typed event: its TPS type name and its
-// fields (string key/value pairs) are data, not compiled code. Two peers
-// that agree only on a type NAME and field names — no shared headers, no
-// shared codecs — can publish and subscribe to each other. The payload on
-// the wire is an XML document, so any XML-speaking implementation could
-// join. Hierarchies still work: an XML type declares its parent name at
-// registration, and hierarchy dispatch (Fig. 7) applies unchanged.
+//   XmlEvent                  -> DynamicEvent
+//   register_xml_event_type   -> register_dynamic_event_type
 //
-// The trade-off is exactly the one the paper discusses: type checks move
-// from compile time to run time (a missing field is discovered when read).
+// New code should include "tps/event.h" directly.
 #pragma once
 
-#include <map>
-#include <string>
-
-#include "serial/type_registry.h"
-#include "xml/xml.h"
+#include "tps/event.h"
 
 namespace p2p::tps {
 
-class XmlEvent final : public serial::Event {
- public:
-  XmlEvent() = default;
-  explicit XmlEvent(std::string type_name) : type_name_(std::move(type_name)) {}
+using XmlEvent = DynamicEvent;
 
-  [[nodiscard]] std::string_view tps_type_name() const override {
-    return type_name_;
-  }
-  [[nodiscard]] const std::string& type_name() const { return type_name_; }
-
-  XmlEvent& set(std::string field, std::string value) {
-    fields_[std::move(field)] = std::move(value);
-    return *this;
-  }
-  // Returns "" for absent fields — the runtime looseness is the point.
-  [[nodiscard]] std::string get(const std::string& field) const {
-    const auto it = fields_.find(field);
-    return it != fields_.end() ? it->second : std::string{};
-  }
-  [[nodiscard]] bool has(const std::string& field) const {
-    return fields_.contains(field);
-  }
-  [[nodiscard]] const std::map<std::string, std::string>& fields() const {
-    return fields_;
-  }
-
-  // --- XML form (the interoperable wire representation) -------------------
-  [[nodiscard]] xml::Element to_xml() const {
-    xml::Element root("tps:Event");
-    root.set_attr("type", type_name_);
-    for (const auto& [key, value] : fields_) {
-      root.add_child("Field").set_attr("name", key).set_text(value);
-    }
-    return root;
-  }
-
-  static XmlEvent from_xml(const xml::Element& root) {
-    XmlEvent event(std::string(root.attr("type").value_or("")));
-    for (const xml::Element* field : root.children_named("Field")) {
-      event.set(std::string(field->attr("name").value_or("")),
-                field->text());
-    }
-    return event;
-  }
-
-  friend bool operator==(const XmlEvent&, const XmlEvent&) = default;
-
- private:
-  std::string type_name_;
-  std::map<std::string, std::string> fields_;
-};
-
-// Registers an XML type at runtime (name + optional parent name). The
-// parent may itself be an XML type or a statically registered one —
-// hierarchy dispatch does not care how a type is implemented. Idempotent
-// for the same name.
 inline void register_xml_event_type(
     const std::string& type_name, const std::string& parent_name = {},
     serial::TypeRegistry& registry = serial::TypeRegistry::global()) {
-  if (registry.find(type_name).has_value()) return;
-  serial::TypeInfo info;
-  info.name = type_name;
-  info.parent = parent_name;
-  info.cpp_type = std::type_index(typeid(XmlEvent));
-  info.encode = [](const serial::Event& e) {
-    const auto& xe = dynamic_cast<const XmlEvent&>(e);
-    util::ByteWriter w;
-    w.write_string(xml::write(xe.to_xml()));
-    return w.take();
-  };
-  info.decode = [](util::ByteReader& r) -> serial::EventPtr {
-    const std::string text = r.read_string();
-    // Honor the caller's trust-boundary caps: the reader's max_depth is
-    // TpsConfig::decode_max_xml_depth when decoding received events.
-    const xml::ParseLimits limits{.max_depth = r.limits().max_depth,
-                                  .max_input = r.limits().max_length};
-    return std::make_shared<const XmlEvent>(
-        XmlEvent::from_xml(xml::parse(text, limits)));
-  };
-  registry.register_dynamic(std::move(info));
+  register_dynamic_event_type(type_name, parent_name, registry);
 }
 
 }  // namespace p2p::tps

@@ -205,6 +205,27 @@ bool ByteReader::try_read_bytes(Bytes& out) {
   return true;
 }
 
+bool ByteReader::try_read_view(std::string_view& out) {
+  std::uint64_t n = 0;
+  if (!try_read_varint(n)) return false;
+  if (n > limits_.max_length) return set_error(DecodeError::kLengthCap);
+  if (remaining() < n) return set_error(DecodeError::kTruncated);
+  out = std::string_view(reinterpret_cast<const char*>(data_.data()) + pos_,
+                         static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return true;
+}
+
+bool ByteReader::try_read_view(std::span<const std::uint8_t>& out) {
+  std::uint64_t n = 0;
+  if (!try_read_varint(n)) return false;
+  if (n > limits_.max_length) return set_error(DecodeError::kLengthCap);
+  if (remaining() < n) return set_error(DecodeError::kTruncated);
+  out = data_.subspan(pos_, static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return true;
+}
+
 bool ByteReader::try_read_raw(std::size_t n, Bytes& out) {
   if (!ok()) return false;
   if (remaining() < n) return set_error(DecodeError::kTruncated);

@@ -115,6 +115,14 @@ class ByteReader {
   // Length prefix capped at limits.max_length before any allocation.
   [[nodiscard]] bool try_read_string(std::string& out);
   [[nodiscard]] bool try_read_bytes(Bytes& out);
+  // Zero-copy variant of try_read_string: `out` views the reader's
+  // underlying buffer, so it is valid only while that buffer outlives the
+  // view (decode-in-place callers pin the buffer with a shared_ptr). Same
+  // length cap, no allocation at all.
+  [[nodiscard]] bool try_read_view(std::string_view& out);
+  // Span twin of try_read_view, for nested binary bodies handed to another
+  // ByteReader. Same lifetime contract.
+  [[nodiscard]] bool try_read_view(std::span<const std::uint8_t>& out);
   // Exactly n raw bytes (no length prefix).
   [[nodiscard]] bool try_read_raw(std::size_t n, Bytes& out);
   // A varint collection count, capped at limits.max_count (defence against

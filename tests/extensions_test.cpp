@@ -201,13 +201,13 @@ TEST(RequestReplyTest, ThrowingHandlerAnswersNothing) {
 // --- XML-typed events ------------------------------------------------------------
 
 TEST(XmlEventTest, FieldsAndXmlRoundTrip) {
-  XmlEvent event("WeatherReport");
+  DynamicEvent event("WeatherReport");
   event.set("resort", "Zermatt").set("snow_cm", "45");
   EXPECT_EQ(event.get("resort"), "Zermatt");
   EXPECT_TRUE(event.has("snow_cm"));
   EXPECT_FALSE(event.has("wind"));
   EXPECT_EQ(event.get("wind"), "");
-  const XmlEvent back = XmlEvent::from_xml(
+  const DynamicEvent back = DynamicEvent::from_xml(
       xml::parse(xml::write(event.to_xml())));
   EXPECT_EQ(back, event);
   EXPECT_EQ(back.tps_type_name(), "WeatherReport");
@@ -215,22 +215,22 @@ TEST(XmlEventTest, FieldsAndXmlRoundTrip) {
 
 TEST(XmlEventTest, DynamicRegistrationAndTaggedCodec) {
   serial::TypeRegistry registry;
-  register_xml_event_type("X:Alert", "", registry);
-  register_xml_event_type("X:Weather", "X:Alert", registry);
+  register_dynamic_event_type("X:Alert", "", registry);
+  register_dynamic_event_type("X:Weather", "X:Alert", registry);
   EXPECT_EQ(registry.ancestry("X:Weather"),
             (std::vector<std::string>{"X:Weather", "X:Alert"}));
-  XmlEvent event("X:Weather");
+  DynamicEvent event("X:Weather");
   event.set("k", "v");
   const auto decoded = registry.decode_tagged(registry.encode_tagged(event));
   EXPECT_EQ(decoded.type_name, "X:Weather");
-  const auto* typed = dynamic_cast<const XmlEvent*>(decoded.event.get());
+  const auto* typed = dynamic_cast<const DynamicEvent*>(decoded.event.get());
   ASSERT_NE(typed, nullptr);
   EXPECT_EQ(typed->get("k"), "v");
 }
 
 TEST(XmlEventTest, UnregisteredDynamicTypeFailsToEncode) {
   serial::TypeRegistry registry;
-  XmlEvent event("NeverRegistered");
+  DynamicEvent event("NeverRegistered");
   EXPECT_THROW((void)registry.encode_tagged(event), util::NotFoundError);
 }
 
@@ -243,14 +243,14 @@ TEST(DynamicTpsTest, LooselyCoupledPubSub) {
   std::mutex mu;
   std::string last_price;
   sub.subscribe(
-      [&](const XmlEvent& e) {
+      [&](const DynamicEvent& e) {
         const std::lock_guard lock(mu);
         last_price = e.get("price");
         ++got;
       },
       [](std::exception_ptr) {});
   DynamicTpsInterface pub(b, "dyn:Quote", "", patient_config());
-  XmlEvent quote("dyn:Quote");
+  DynamicEvent quote("dyn:Quote");
   quote.set("price", "14.5");
   pub.publish(quote);
   EXPECT_TRUE(wait_until([&] { return got == 1; }));
@@ -264,11 +264,11 @@ TEST(DynamicTpsTest, RuntimeHierarchyDispatch) {
   jxta::Peer& leaf_peer = net.add_peer("leaf-pub");
   DynamicTpsInterface root_sub(root_peer, "dyn:Base", "", fast_config());
   std::atomic<int> got{0};
-  root_sub.subscribe([&](const XmlEvent&) { ++got; },
+  root_sub.subscribe([&](const DynamicEvent&) { ++got; },
                      [](std::exception_ptr) {});
   DynamicTpsInterface leaf_pub(leaf_peer, "dyn:Derived", "dyn:Base",
                                fast_config());
-  XmlEvent event("dyn:Derived");
+  DynamicEvent event("dyn:Derived");
   leaf_pub.publish(event);
   EXPECT_TRUE(wait_until([&] { return got == 1; }));
 }
@@ -277,8 +277,8 @@ TEST(DynamicTpsTest, PublishingWrongTypeNameThrows) {
   TestNet net;
   jxta::Peer& a = net.add_peer("a");
   DynamicTpsInterface tps(a, "dyn:Strict", "", fast_config());
-  register_xml_event_type("dyn:Unrelated");
-  XmlEvent wrong("dyn:Unrelated");
+  register_dynamic_event_type("dyn:Unrelated");
+  DynamicEvent wrong("dyn:Unrelated");
   EXPECT_THROW(tps.publish(wrong), PsException);
 }
 
@@ -287,10 +287,10 @@ TEST(DynamicTpsTest, UnsubscribeToken) {
   jxta::Peer& a = net.add_peer("a");
   DynamicTpsInterface tps(a, "dyn:Tokens", "", fast_config());
   std::atomic<int> got{0};
-  const auto token = tps.subscribe([&](const XmlEvent&) { ++got; },
+  const auto token = tps.subscribe([&](const DynamicEvent&) { ++got; },
                                    [](std::exception_ptr) {});
   tps.unsubscribe(token);
-  XmlEvent e("dyn:Tokens");
+  DynamicEvent e("dyn:Tokens");
   tps.publish(e);
   p2p::testing::settle(std::chrono::milliseconds(300));
   EXPECT_EQ(got, 0);

@@ -127,17 +127,17 @@ TEST(EncodeCacheTest, IdentityHitsShareOneBufferAndLruEvicts) {
   const auto e2 = std::make_shared<const SkiRental>("b", 2.0f, "y", 2.0f);
   const auto e3 = std::make_shared<const SkiRental>("c", 3.0f, "z", 3.0f);
 
-  const auto first = cache.encode(registry, e1);
-  const auto again = cache.encode(registry, e1);
+  const auto first = cache.encode(registry, xml_codec(), e1);
+  const auto again = cache.encode(registry, xml_codec(), e1);
   // A hit returns the very same buffer — every wire shares these bytes.
   EXPECT_EQ(first.get(), again.get());
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(*first, registry.encode_tagged(*e1));
 
   // Two more distinct events push e1 out (capacity 2, LRU).
-  (void)cache.encode(registry, e2);
-  (void)cache.encode(registry, e3);
-  const auto after_evict = cache.encode(registry, e1);
+  (void)cache.encode(registry, xml_codec(), e2);
+  (void)cache.encode(registry, xml_codec(), e3);
+  const auto after_evict = cache.encode(registry, xml_codec(), e1);
   EXPECT_NE(after_evict.get(), first.get());  // re-encoded, not cached
   EXPECT_EQ(*after_evict, *first);            // but byte-identical
   EXPECT_EQ(cache.hits(), 1u);
@@ -148,7 +148,7 @@ TEST(EncodeCacheTest, ZeroCapacityDisablesCaching) {
   serial::register_event_with_ancestors<SkiRental>(registry);
   EncodeCache cache(0, obs::Counter());
   const auto e = std::make_shared<const SkiRental>("a", 1.0f, "x", 1.0f);
-  EXPECT_NE(cache.encode(registry, e).get(), cache.encode(registry, e).get());
+  EXPECT_NE(cache.encode(registry, xml_codec(), e).get(), cache.encode(registry, xml_codec(), e).get());
   EXPECT_EQ(cache.hits(), 0u);
 }
 

@@ -16,7 +16,10 @@
 #include "jxta/resolver.h"
 #include "obs/trace.h"
 #include "serial/type_registry.h"
+#include "tps/advertisements.h"
 #include "tps/batch.h"
+#include "tps/codec.h"
+#include "tps/event.h"
 
 namespace p2p {
 namespace {
@@ -186,7 +189,10 @@ TEST(WireFormatTest, ElementNameManifest) {
       "sr:event-id",         // SR-JXTA: dedup uuid
       "sr:payload",          // SR-JXTA: opaque event bytes
       "tps:batch",           // TPS: batched events frame (v2 fast path)
-      "tps:event",           // TPS: tagged event bytes
+      "tps:batch-bin",       // TPS: batch frame, binary-codec payloads
+      "tps:codecs",          // TPS: adv param listing decodable codecs
+      "tps:event",           // TPS: tagged event bytes (xml codec)
+      "tps:event-bin",       // TPS: tagged event bytes, binary codec
       "tps:event-id",        // TPS: dedup uuid
       "tps:reply",           // request_reply: reply payload
       "tps:request-id",      // request_reply: correlates replies
@@ -197,7 +203,9 @@ TEST(WireFormatTest, ElementNameManifest) {
   EXPECT_TRUE(frozen.contains(std::string(obs::kTraceIdElement)));
   EXPECT_TRUE(frozen.contains(std::string(obs::kTraceHopsElement)));
   EXPECT_TRUE(frozen.contains(std::string(tps::kBatchElement)));
-  EXPECT_EQ(frozen.size(), 16u);
+  EXPECT_TRUE(frozen.contains(std::string(tps::kBatchBinElement)));
+  EXPECT_TRUE(frozen.contains(std::string(tps::kCodecsParamKey)));
+  EXPECT_EQ(frozen.size(), 19u);
 }
 
 TEST(WireFormatTest, TpsBatchFrameLayout) {
@@ -233,6 +241,75 @@ TEST(WireFormatTest, TpsBatchFrameLayout) {
   Bytes bad = frame;
   bad[0] = 9;
   EXPECT_THROW((void)tps::decode_batch_frame(bad), util::ParseError);
+}
+
+TEST(WireFormatTest, BinaryEventFrameLayout) {
+  // The binary codec's event frame (the body of a "tps:event-bin" element
+  // and of every "tps:batch-bin" payload):
+  //   [u8 version=1][u8 kind][string type_name] then
+  //   kind 0 (opaque):  [bytes EventTraits body]
+  //   kind 1 (fields):  [varint count]([string key][string value])*
+  serial::TypeRegistry registry;
+  serial::register_event_with_ancestors<events::SkiRental>(registry);
+
+  // Statically-typed event: the same EventTraits body TaggedEventLayout
+  // pins, wrapped in the kind-0 header.
+  const events::SkiRental offer("S", 1.0f, "B", 2.0f);
+  const Bytes opaque = tps::binary_codec().encode(registry, offer);
+  EXPECT_EQ(to_hex(opaque),
+            "01"                     // frame version
+            "00"                     // kind 0: opaque EventTraits body
+            "09536b6952656e74616c"  // "SkiRental"
+            "14"                     // body length 20
+            "0153"                   // shop "S"
+            "0142"                   // brand "B"
+            "000000000000f03f"       // 1.0 as f64 LE
+            "0000000000000040");     // 2.0 as f64 LE
+
+  // Dynamically-typed event: the field table, sorted by key.
+  tps::register_dynamic_event_type("Quote", {}, registry);
+  tps::DynamicEvent quote("Quote");
+  quote.set("sym", "A").set("px", "9");
+  const Bytes fielded = tps::binary_codec().encode(registry, quote);
+  EXPECT_EQ(to_hex(fielded),
+            "01"             // frame version
+            "01"             // kind 1: field table
+            "0551756f7465"  // "Quote"
+            "02"             // two fields, sorted by key
+            "027078" "0139"      // "px" = "9"
+            "0373796d" "0141");  // "sym" = "A"
+
+  // Both frames decode back to equal events.
+  const util::DecodeLimits limits;
+  const auto opaque_back = tps::binary_codec().decode(
+      registry, std::make_shared<const Bytes>(opaque), limits);
+  ASSERT_TRUE(opaque_back.ok());
+  EXPECT_EQ(opaque_back.type_name, "SkiRental");
+  const auto fielded_back = tps::binary_codec().decode(
+      registry, std::make_shared<const Bytes>(fielded), limits);
+  ASSERT_TRUE(fielded_back.ok());
+  EXPECT_EQ(*std::dynamic_pointer_cast<const tps::DynamicEvent>(
+                fielded_back.event),
+            quote);
+
+  // Unknown versions are rejected, never misparsed (same discipline as the
+  // batch frame: a future v2 must be deliberate).
+  Bytes bad = fielded;
+  bad[0] = 9;
+  const auto rejected = tps::binary_codec().decode(
+      registry, std::make_shared<const Bytes>(bad), limits);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error, util::DecodeError::kBadValue);
+}
+
+TEST(WireFormatTest, CodecCapabilityParamShape) {
+  // The advertisement-side half of codec negotiation: the wire service's
+  // params list carries "tps:codecs=<comma-list>". Its exact spelling is
+  // frozen — old peers match on the prefix (or ignore it entirely).
+  EXPECT_EQ(tps::kCodecsParamKey, "tps:codecs");
+  EXPECT_EQ(tps::kCodecXml, "xml");
+  EXPECT_EQ(tps::kCodecBinary, "binary");
+  EXPECT_EQ(tps::supported_codec_names(), "xml, binary");
 }
 
 TEST(WireFormatTest, TraceElementsLayout) {

@@ -48,6 +48,15 @@ Checks (each can be listed with --list):
                   which the fuzz harnesses (fuzz/) pound on directly.
                   Casts to non-byte types (sockaddr for syscalls,
                   uintptr_t for pointer ordering) are allowed.
+  xml-hot-path    The per-frame send/receive path (src/net/, the message/
+                  endpoint envelopes, batch framing, the delivery executor,
+                  the encode cache and the codec interface) must not
+                  include src/xml/ — directly or transitively. The binary
+                  codec exists so a frame never touches the XML parser;
+                  one careless #include quietly drags DOM parsing back
+                  into the hot path. Advertisement handling (pipe/wire
+                  resolution, discovery) parses XML by design and is not
+                  in the set.
   listener-publish  No publish / try_publish / publish_on_wire call inside
                   a wire/pipe listener lambda (a set_listener(...) argument)
                   in src/. Listener bodies run on the transport's delivery
@@ -341,6 +350,58 @@ def check_raw_decode(tree: Tree) -> list[str]:
     return errors
 
 
+# The per-frame hot path: files that run for every event sent or received.
+# Advertisement/resolution code (jxta/pipe, jxta/wire, discovery, the TPS
+# session setup) parses XML by design and is deliberately NOT listed.
+XML_HOT_PATH_PREFIXES = ("src/net/",)
+XML_HOT_PATH_FILES = (
+    "src/jxta/message.h", "src/jxta/message.cpp",
+    "src/jxta/endpoint.h", "src/jxta/endpoint.cpp",
+    "src/tps/batch.h", "src/tps/batch.cpp",
+    "src/tps/dispatch.h", "src/tps/dispatch.cpp",
+    "src/tps/encode_cache.h", "src/tps/encode_cache.cpp",
+    "src/tps/codec.h",  # the interface; codec.cpp hosts XmlCodec and may
+)                       # include xml/ — callers see only the vtable
+
+
+def check_xml_hot_path(tree: Tree) -> list[str]:
+    errors = []
+    # Include graph over src/ ("a/b.h" resolves to "src/a/b.h").
+    graph: dict[str, list[str]] = {}
+    for path in tree.matching("src/", (".h", ".cpp")):
+        graph[path] = ["src/" + inc for inc in
+                       INCLUDE_RE.findall(strip_comments(tree.files[path]))]
+    roots = [p for p in graph
+             if p.startswith(XML_HOT_PATH_PREFIXES)
+             or p in XML_HOT_PATH_FILES]
+    for root in sorted(roots):
+        # BFS with parent links so the report shows the include chain.
+        parent: dict[str, str | None] = {root: None}
+        queue = [root]
+        chain: list[str] | None = None
+        while queue and chain is None:
+            cur = queue.pop(0)
+            for inc in graph.get(cur, []):
+                if inc.startswith("src/xml/"):
+                    chain = [inc, cur]
+                    node = cur
+                    while parent[node] is not None:
+                        node = parent[node]
+                        chain.append(node)
+                    chain.reverse()
+                    break
+                if inc in graph and inc not in parent:
+                    parent[inc] = cur
+                    queue.append(inc)
+        if chain is not None:
+            errors.append(
+                f"{root}: wire hot-path file reaches src/xml/ "
+                f"({' -> '.join(chain)}) — the per-frame send/receive path "
+                f"must stay XML-free; decode through the codec interface "
+                f"(tps/codec.h) and keep XML behind it")
+    return errors
+
+
 LISTENER_RE = re.compile(r"\bset_listener\s*\(")
 LISTENER_PUBLISH_RE = re.compile(
     r"\b(?:publish|try_publish|publish_on_wire)\s*\(")
@@ -397,6 +458,7 @@ CHECKS = {
     "config-builder": check_config_builder,
     "metrics-manifest": check_metrics_manifest,
     "raw-decode": check_raw_decode,
+    "xml-hot-path": check_xml_hot_path,
     "listener-publish": check_listener_publish,
 }
 
@@ -501,6 +563,19 @@ def self_test() -> int:
                "auto u = reinterpret_cast<std::uintptr_t>(ptr);\n",
                "src/util/bytes.cpp":
                "std::memcpy(&out, data_.data() + pos_, 8);\n"}),
+         None),
+        ("xml-hot-path catches a direct include",
+         Tree({"src/net/framing.h": '#include "xml/xml.h"\n'}),
+         "xml-hot-path"),
+        ("xml-hot-path catches a transitive include",
+         Tree({"src/net/framing.h": '#include "tps/event.h"\n',
+               "src/tps/event.h": '#include "xml/xml.h"\n',
+               "src/xml/xml.h": ""}),
+         "xml-hot-path"),
+        ("xml-hot-path ignores advertisement-plane includes",
+         Tree({"src/jxta/pipe.h": '#include "jxta/advertisement.h"\n',
+               "src/jxta/advertisement.h": '#include "xml/xml.h"\n',
+               "src/xml/xml.h": ""}),
          None),
         ("listener-publish catches inline publish",
          Tree({"src/x/a.cpp":
