@@ -1,0 +1,389 @@
+// Discovery-scale benchmark: DHT routing vs rendezvous flood as the group
+// grows.
+//
+// The rendezvous flood resolves a discovery query by delivering it to every
+// peer in the group — O(N) messages per lookup no matter where the answer
+// lives. The Kademlia backend walks XOR-closer contacts instead, paying
+// O(alpha * log N) RPCs. This bench pits the two against each other on a
+// deterministic in-process simulation: N nodes with REAL KadRoutingTables
+// (k-buckets, same code the peer runs) on one side, a rendezvous graph
+// (N/64 rdvs, meshed, each edge peer leased to one) on the other. Every
+// simulated message pays a real encode + decode through the frozen wire
+// codecs, so per-message CPU cost is honest; what the simulation elides is
+// only the network itself.
+//
+// Reported per N and mode: messages per lookup, median hop count, lookup
+// latency, and lookups/s (the events_per_sec field tools/bench_diff.py
+// guards). Results land in BENCH_discovery_scale.json; EXPERIMENTS.md
+// records the measured series.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "jxta/kad_routing_table.h"
+#include "jxta/kad_wire.h"
+#include "support/harness.h"
+#include "util/stats.h"
+#include "util/uuid.h"
+
+namespace {
+
+using namespace p2p;
+using namespace p2p::bench;
+using jxta::KadFrame;
+using jxta::KadOp;
+using jxta::KadRoutingTable;
+using jxta::PeerId;
+using util::Uuid;
+
+struct Params {
+  std::vector<int> peer_counts{1000, 4000, 10000};
+  int lookups = 200;
+  std::size_t k = 16;
+  std::size_t alpha = 3;
+  std::size_t links_per_node = 256;  // random contacts seeded per node
+  int clients_per_rdv = 64;
+};
+
+// Deterministic PRNG (xorshift*) — the same sequence on every run and
+// platform, so the series are reproducible.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed | 1) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1Dull;
+  }
+  std::size_t below(std::size_t n) { return next() % n; }
+};
+
+struct Result {
+  int peers = 0;
+  std::string mode;
+  double messages_per_lookup = 0;
+  double hops_p50 = 0;
+  double lookup_p50_us = 0;
+  double events_per_sec = 0;  // lookups fully resolved per second
+  double hit_rate = 1.0;
+};
+
+// One frame's worth of honest codec work; returns decoded size as a
+// side-effect sink so the round-trip cannot be optimized out.
+std::size_t codec_roundtrip(const KadFrame& frame) {
+  const auto bytes = jxta::encode_kad_frame(frame);
+  const auto back = jxta::try_decode_kad_frame(bytes);
+  return back.ok ? bytes.size() + back.frame.contacts.size() : 0;
+}
+
+// --- DHT side ---------------------------------------------------------------
+
+struct DhtSim {
+  std::vector<PeerId> ids;
+  std::vector<std::unique_ptr<KadRoutingTable>> tables;
+  std::unordered_map<PeerId, std::size_t> index;
+
+  explicit DhtSim(int n, const Params& p) {
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.emplace_back(Uuid::derive("dsim-node-" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) index[ids[i]] = i;
+
+    // Value-sorted order: adjacent ids share long prefixes, so each
+    // node's value-neighbors populate its near (deep) buckets — the links
+    // a real peer acquires from lookups toward itself at bootstrap.
+    std::vector<std::size_t> order(ids.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return ids[a].uuid() < ids[b].uuid();
+    });
+    std::vector<std::size_t> rank(ids.size());
+    for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+
+    const auto t0 = util::TimePoint{std::chrono::milliseconds{1}};
+    Rng rng(0x5eed);
+    tables.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      tables.push_back(std::make_unique<KadRoutingTable>(ids[i], p.k));
+      auto& table = *tables.back();
+      // Near links: 8 value-neighbors each side.
+      const std::size_t r = rank[i];
+      for (std::size_t d = 1; d <= 8; ++d) {
+        if (r >= d) (void)table.observe(ids[order[r - d]], t0, nullptr);
+        if (r + d < order.size()) {
+          (void)table.observe(ids[order[r + d]], t0, nullptr);
+        }
+      }
+      // Far links: random contacts fill the shallow buckets.
+      for (std::size_t l = 0; l < p.links_per_node; ++l) {
+        (void)table.observe(ids[rng.below(ids.size())], t0, nullptr);
+      }
+    }
+  }
+
+  // The k nodes a STORE for `key` replicates at (globally closest).
+  std::vector<std::size_t> replicas(const Uuid& key, std::size_t k) const {
+    std::vector<std::size_t> all(ids.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(k, all.size())),
+                      all.end(), [&](std::size_t a, std::size_t b) {
+                        return KadRoutingTable::closer(key, ids[a].uuid(),
+                                                       ids[b].uuid());
+                      });
+    all.resize(std::min(k, all.size()));
+    return all;
+  }
+};
+
+struct LookupOutcome {
+  std::uint64_t messages = 0;
+  std::uint32_t hops = 0;
+  bool hit = false;
+};
+
+// Iterative FIND_VALUE with parallelism alpha, mirroring
+// KadService::continue_lookup_locked; each RPC is a query + response pair
+// and pays the codec round-trip.
+LookupOutcome dht_lookup(const DhtSim& sim, const Params& p,
+                         std::size_t origin, const Uuid& key,
+                         const std::unordered_set<std::size_t>& replicas) {
+  LookupOutcome out;
+  struct Candidate {
+    std::size_t node;
+    bool tried = false;
+  };
+  std::vector<Candidate> shortlist;
+  std::unordered_set<std::size_t> seen;
+  auto insert = [&](const PeerId& id) {
+    const auto it = sim.index.find(id);
+    if (it == sim.index.end() || it->second == origin) return;
+    if (!seen.insert(it->second).second) return;
+    Candidate c{it->second};
+    const auto pos = std::lower_bound(
+        shortlist.begin(), shortlist.end(), c,
+        [&](const Candidate& a, const Candidate& b) {
+          return KadRoutingTable::closer(key, sim.ids[a.node].uuid(),
+                                         sim.ids[b.node].uuid());
+        });
+    shortlist.insert(pos, c);
+  };
+  for (const auto& id : sim.tables[origin]->closest(key, p.k)) insert(id);
+
+  KadFrame query;
+  query.op = KadOp::kFindValue;
+  query.key = key;
+
+  while (true) {
+    // One round: the alpha closest untried of the k best candidates.
+    std::vector<std::size_t> batch;
+    const std::size_t horizon = std::min(shortlist.size(), p.k);
+    for (std::size_t i = 0; i < horizon && batch.size() < p.alpha; ++i) {
+      if (!shortlist[i].tried) {
+        shortlist[i].tried = true;
+        batch.push_back(shortlist[i].node);
+      }
+    }
+    if (batch.empty()) return out;  // converged miss
+    ++out.hops;
+    for (const std::size_t node : batch) {
+      out.messages += 2;  // query + response
+      (void)codec_roundtrip(query);
+      if (replicas.contains(node)) {
+        KadFrame value;
+        value.op = KadOp::kValue;
+        value.key = key;
+        value.records = {{"<jxta:PeerGroupAdvertisement><Name>g</Name>"
+                          "</jxta:PeerGroupAdvertisement>",
+                          60'000}};
+        (void)codec_roundtrip(value);
+        out.hit = true;
+        return out;
+      }
+      KadFrame nodes;
+      nodes.op = KadOp::kNodes;
+      nodes.key = key;
+      for (const auto& id : sim.tables[node]->closest(key, p.k)) {
+        nodes.contacts.push_back({id, {}});
+      }
+      (void)codec_roundtrip(nodes);
+      for (const auto& c : nodes.contacts) insert(c.id);
+    }
+  }
+}
+
+// --- flood side -------------------------------------------------------------
+
+// A discovery query frame stand-in: what each flood delivery decodes.
+struct FloodSim {
+  int n = 0;
+  int rdvs = 0;  // peers [0, rdvs) are rendezvous, the rest edge clients
+
+  explicit FloodSim(int peers, const Params& p)
+      : n(peers), rdvs(std::max(1, peers / p.clients_per_rdv)) {}
+};
+
+// Propagates a group-wide query: origin -> its rdv -> rdv mesh -> every
+// client; dedup keeps each peer's delivery to one. The publisher (one
+// uniformly random peer) answers directly. Every delivery decodes the
+// query payload once (the honest per-message cost).
+LookupOutcome flood_lookup(const FloodSim& sim, const util::Bytes& query,
+                           std::size_t origin) {
+  LookupOutcome out;
+  std::size_t decoded = 0;
+  auto deliver = [&] {
+    ++out.messages;
+    util::ByteReader r(query);
+    std::uint8_t marker = 0;
+    (void)r.try_read_u8(marker);
+    std::string attr;
+    std::string value;
+    (void)r.try_read_string(attr);
+    (void)r.try_read_string(value);
+    decoded += attr.size() + value.size() + marker;
+  };
+
+  // Origin -> its rendezvous.
+  const bool origin_is_rdv = origin < static_cast<std::size_t>(sim.rdvs);
+  if (!origin_is_rdv) deliver();
+  // Rdv mesh: first receiving rdv forwards to its peers.
+  for (int r = 1; r < sim.rdvs; ++r) deliver();
+  // Every rdv delivers to its leased clients (dedup: each client once);
+  // the origin already has it.
+  const int clients = sim.n - sim.rdvs;
+  for (int c = origin_is_rdv ? 0 : 1; c < clients; ++c) deliver();
+  // Hop depth: origin -> rdv -> (mesh) -> client.
+  out.hops = 3;
+  // The publisher answers with one directed response.
+  ++out.messages;
+  out.hit = decoded > 0;
+  return out;
+}
+
+// --- driver -----------------------------------------------------------------
+
+Result run_dht(const Params& p, int n) {
+  DhtSim sim(n, p);
+  Rng rng(0xd417);
+  util::Summary msgs;
+  util::Summary hops;
+  util::Summary lat_us;
+  int hits = 0;
+  const std::int64_t t0 = now_us();
+  for (int q = 0; q < p.lookups; ++q) {
+    const Uuid key = Uuid::derive("dsim-adv-" + std::to_string(q));
+    const auto rep_list = sim.replicas(key, p.k);
+    const std::unordered_set<std::size_t> reps(rep_list.begin(),
+                                               rep_list.end());
+    const std::size_t origin = rng.below(sim.ids.size());
+    const std::int64_t l0 = now_us();
+    const LookupOutcome out = dht_lookup(sim, p, origin, key, reps);
+    lat_us.add(static_cast<double>(now_us() - l0));
+    msgs.add(static_cast<double>(out.messages));
+    hops.add(static_cast<double>(out.hops));
+    hits += out.hit ? 1 : 0;
+  }
+  const double elapsed_s =
+      static_cast<double>(now_us() - t0) / 1'000'000.0;
+
+  Result result;
+  result.peers = n;
+  result.mode = "dht";
+  result.messages_per_lookup = msgs.mean();
+  result.hops_p50 = hops.percentile(50);
+  result.lookup_p50_us = lat_us.percentile(50);
+  result.events_per_sec = static_cast<double>(p.lookups) / elapsed_s;
+  result.hit_rate =
+      static_cast<double>(hits) / static_cast<double>(p.lookups);
+  return result;
+}
+
+Result run_flood(const Params& p, int n) {
+  FloodSim sim(n, p);
+  // The query each delivery decodes: marker + attr + value.
+  util::ByteWriter w;
+  w.write_u8(0);
+  w.write_string("Name");
+  w.write_string("ps.discovery-bench");
+  const util::Bytes query = w.take();
+
+  Rng rng(0xf100d);
+  util::Summary msgs;
+  util::Summary hops;
+  util::Summary lat_us;
+  const std::int64_t t0 = now_us();
+  for (int q = 0; q < p.lookups; ++q) {
+    const std::size_t origin = rng.below(static_cast<std::size_t>(n));
+    const std::int64_t l0 = now_us();
+    const LookupOutcome out = flood_lookup(sim, query, origin);
+    lat_us.add(static_cast<double>(now_us() - l0));
+    msgs.add(static_cast<double>(out.messages));
+    hops.add(static_cast<double>(out.hops));
+  }
+  const double elapsed_s =
+      static_cast<double>(now_us() - t0) / 1'000'000.0;
+
+  Result result;
+  result.peers = n;
+  result.mode = "flood";
+  result.messages_per_lookup = msgs.mean();
+  result.hops_p50 = hops.percentile(50);
+  result.lookup_p50_us = lat_us.percentile(50);
+  result.events_per_sec = static_cast<double>(p.lookups) / elapsed_s;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  if (smoke_mode(argc, argv)) {
+    p.peer_counts = {200, 1000};
+    p.lookups = 50;
+  }
+
+  std::cout << "# discovery_scale: DHT vs rendezvous flood\n";
+  std::cout << "# peers  mode   msgs/lookup  hops_p50  p50_us  lookups/s"
+               "  hit\n";
+  std::vector<Result> results;
+  for (const int n : p.peer_counts) {
+    for (const bool dht : {true, false}) {
+      const Result r = dht ? run_dht(p, n) : run_flood(p, n);
+      results.push_back(r);
+      std::cout << r.peers << "  " << r.mode << "  "
+                << r.messages_per_lookup << "  " << r.hops_p50 << "  "
+                << r.lookup_p50_us << "  "
+                << static_cast<std::int64_t>(r.events_per_sec) << "  "
+                << r.hit_rate << "\n";
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\"bench\":\"discovery_scale\",\"series\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    if (i > 0) json << ",";
+    json << "{\"peers\":" << r.peers << ",\"mode\":\"" << r.mode
+         << "\",\"messages_per_lookup\":" << r.messages_per_lookup
+         << ",\"hops_p50\":" << r.hops_p50
+         << ",\"lookup_p50_us\":" << r.lookup_p50_us
+         << ",\"events_per_sec\":" << r.events_per_sec
+         << ",\"hit_rate\":" << r.hit_rate << "}";
+  }
+  json << "]}\n";
+  std::ofstream out("BENCH_discovery_scale.json", std::ios::trunc);
+  out << json.str();
+  std::cout << "# wrote BENCH_discovery_scale.json\n";
+  return 0;
+}

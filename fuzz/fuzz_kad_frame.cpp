@@ -1,0 +1,41 @@
+// Fuzz target: jxta::try_decode_kad_frame. Kademlia RPC frames arrive from
+// arbitrary peers on the "jxta.kad" resolver handler; decode must be total
+// (classified error result, no throw), must cap counts before allocating,
+// and a frame that decodes must re-encode to bytes that decode to the same
+// frame (round-trip stability — the encoder and decoder agree).
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "jxta/kad_wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> frame(data, size);
+  try {
+    const auto result = p2p::jxta::try_decode_kad_frame(frame);
+    if (result.ok) {
+      // The caps held: nothing decoded past them.
+      const p2p::jxta::KadLimits limits;
+      if (result.frame.records.size() > limits.max_records) std::abort();
+      if (result.frame.contacts.size() > limits.max_contacts) std::abort();
+      for (const auto& c : result.frame.contacts) {
+        if (c.addresses.size() > limits.max_addresses) std::abort();
+      }
+      // Round-trip stability: re-encode, re-decode, compare.
+      const auto bytes = p2p::jxta::encode_kad_frame(result.frame);
+      const auto again = p2p::jxta::try_decode_kad_frame(bytes);
+      if (!again.ok) std::abort();
+      if (again.frame.op != result.frame.op ||
+          again.frame.key != result.frame.key ||
+          again.frame.adv_type != result.frame.adv_type ||
+          again.frame.records != result.frame.records ||
+          again.frame.contacts != result.frame.contacts) {
+        std::abort();
+      }
+    }
+  } catch (...) {
+    std::abort();  // try_decode_kad_frame must not throw
+  }
+  return 0;
+}

@@ -3,8 +3,8 @@
 //
 //   fuzz_make_seeds <corpus-root>
 //
-// creates <corpus-root>/{xml,batch,binary_event,message,framing,address,
-// bytereader}/
+// creates <corpus-root>/{xml,batch,binary_event,message,framing,kad_frame,
+// address,bytereader}/
 // with a handful of well-formed (and near-well-formed) inputs each, so a
 // fuzzer starts from the interesting region of the input space instead of
 // random bytes.
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "jxta/endpoint.h"
+#include "jxta/kad_wire.h"
 #include "jxta/message.h"
 #include "net/framing.h"
 #include "tps/batch.h"
@@ -124,6 +125,43 @@ int main(int argc, char** argv) {
     stream.assign(1, 0x31);
     stream.insert(stream.end(), one.begin(), one.end());
     put(root / "framing", "half_frame", stream);
+  }
+
+  // --- kad_frame: Kademlia RPC frames (one per op) -----------------------
+  {
+    using p2p::jxta::KadFrame;
+    using p2p::jxta::KadOp;
+    KadFrame ping;
+    ping.op = KadOp::kPing;
+    put(root / "kad_frame", "ping", p2p::jxta::encode_kad_frame(ping));
+
+    KadFrame find;
+    find.op = KadOp::kFindValue;
+    find.key = p2p::util::Uuid::derive("kad-seed-key");
+    put(root / "kad_frame", "find_value", p2p::jxta::encode_kad_frame(find));
+    find.op = KadOp::kFindNode;
+    put(root / "kad_frame", "find_node", p2p::jxta::encode_kad_frame(find));
+
+    KadFrame store;
+    store.op = KadOp::kStore;
+    store.key = find.key;
+    store.adv_type = 1;
+    store.records = {{"<jxta:PeerGroupAdvertisement><Name>ps.seed</Name>"
+                      "</jxta:PeerGroupAdvertisement>",
+                      60'000}};
+    put(root / "kad_frame", "store", p2p::jxta::encode_kad_frame(store));
+    store.op = KadOp::kValue;
+    put(root / "kad_frame", "value", p2p::jxta::encode_kad_frame(store));
+
+    KadFrame nodes;
+    nodes.op = KadOp::kNodes;
+    nodes.key = find.key;
+    p2p::jxta::KadContact contact;
+    contact.id = p2p::jxta::PeerId{p2p::util::Uuid::derive("kad-seed-peer")};
+    contact.addresses = {*p2p::net::Address::parse("inproc://peer-7"),
+                         *p2p::net::Address::parse("tcp://127.0.0.1:5001")};
+    nodes.contacts = {contact};
+    put(root / "kad_frame", "nodes", p2p::jxta::encode_kad_frame(nodes));
   }
 
   // --- address -----------------------------------------------------------

@@ -21,6 +21,7 @@ xml::Element PeerAdvertisement::to_xml() const {
   }
   e.add_text_child("Rdv", is_rendezvous ? "true" : "false");
   e.add_text_child("Router", is_router ? "true" : "false");
+  if (supports_dht) e.add_text_child("Dht", "true");
   return e;
 }
 
@@ -30,6 +31,7 @@ std::string PeerAdvertisement::field(std::string_view key) const {
   if (key == "GID") return gid.to_string();
   if (key == "Rdv") return is_rendezvous ? "true" : "false";
   if (key == "Router") return is_router ? "true" : "false";
+  if (key == "Dht") return supports_dht ? "true" : "false";
   return {};
 }
 
@@ -47,6 +49,7 @@ PeerAdvertisement PeerAdvertisement::from_xml(const xml::Element& e) {
   }
   adv.is_rendezvous = e.child_text("Rdv") == "true";
   adv.is_router = e.child_text("Router") == "true";
+  adv.supports_dht = e.child_text("Dht") == "true";
   return adv;
 }
 

@@ -62,6 +62,11 @@ class PeerAdvertisement final : public Advertisement {
   std::vector<net::Address> endpoints;
   bool is_rendezvous = false;
   bool is_router = false;
+  // Capability flag: the peer runs the Kademlia discovery backend
+  // (kad_service.h) and answers "jxta.kad" RPCs. Old builds neither emit
+  // nor read the <Dht> element, so mixed-version groups keep flooding to
+  // and from peers that lack it.
+  bool supports_dht = false;
 
   [[nodiscard]] std::string doc_type() const override {
     return std::string(kDocType);

@@ -4,12 +4,18 @@
 #include <cstdio>
 #include <fstream>
 
+#include "jxta/kad_service.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer_queue.h"
 
 namespace p2p::jxta {
 
 namespace {
+
+// Cadence of the cache expiry sweep (satellite of the DHT work: get_local
+// used to pay a liveness comparison per dead entry on every scan).
+constexpr util::Duration kSweepInterval{5'000};
 
 // Query payload layout.
 struct QueryBody {
@@ -49,23 +55,36 @@ DiscoveryService::DiscoveryService(ResolverService& resolver,
           resolver.metrics().counter("jxta.discovery.cache_misses")),
       remote_queries_(
           resolver.metrics().counter("jxta.discovery.remote_queries")),
-      advs_cached_(resolver.metrics().counter("jxta.discovery.advs_cached")) {}
+      advs_cached_(resolver.metrics().counter("jxta.discovery.advs_cached")),
+      flood_fallbacks_(
+          resolver.metrics().counter("jxta.discovery.flood_fallbacks")),
+      cache_size_gauge_(
+          resolver.metrics().gauge("jxta.discovery.cache_size")) {}
 
 void DiscoveryService::start() {
   {
     const util::MutexLock lock(mu_);
     if (started_) return;
     started_ = true;
+    auto weak = weak_from_this();
+    sweep_timer_ = util::TimerQueue::shared().schedule_after(
+        kSweepInterval, [weak] {
+          if (const auto self = weak.lock()) self->sweep_tick();
+        });
   }
   resolver_.register_handler(std::string(kHandlerName), weak_from_this());
 }
 
 void DiscoveryService::stop() {
+  std::uint64_t timer = 0;
   {
     const util::MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
+    timer = sweep_timer_;
+    sweep_timer_ = 0;
   }
+  util::TimerQueue::shared().cancel(timer);
   resolver_.unregister_handler(std::string(kHandlerName));
 }
 
@@ -75,8 +94,39 @@ void DiscoveryService::store(const Advertisement& adv, DiscoveryType type,
   Entry entry;
   entry.adv = AdvertisementPtr(adv.clone().release());
   entry.expires = clock_.now() + util::Duration{lifetime_ms};
+  const auto [it, inserted] = min_expires_.emplace(type, entry.expires);
+  if (!inserted && entry.expires < it->second) it->second = entry.expires;
   cache_[type][adv.identity()] = std::move(entry);
   advs_cached_.inc();
+  std::size_t total = 0;
+  for (const auto& [t, entries] : cache_) total += entries.size();
+  cache_size_gauge_.set(static_cast<std::int64_t>(total));
+}
+
+void DiscoveryService::sweep_tick() {
+  const util::MutexLock lock(mu_);
+  if (!started_) return;
+  const auto now = clock_.now();
+  std::size_t total = 0;
+  for (auto& [type, entries] : cache_) {
+    auto earliest = util::TimePoint::max();
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (it->second.expires < now) {
+        it = entries.erase(it);
+      } else {
+        if (it->second.expires < earliest) earliest = it->second.expires;
+        ++it;
+      }
+    }
+    min_expires_[type] = earliest;
+    total += entries.size();
+  }
+  cache_size_gauge_.set(static_cast<std::int64_t>(total));
+  auto weak = weak_from_this();
+  sweep_timer_ = util::TimerQueue::shared().schedule_after(
+      kSweepInterval, [weak] {
+        if (const auto self = weak.lock()) self->sweep_tick();
+      });
 }
 
 void DiscoveryService::publish(const Advertisement& adv, DiscoveryType type,
@@ -88,6 +138,15 @@ void DiscoveryService::remote_publish(const Advertisement& adv,
                                       DiscoveryType type,
                                       std::int64_t lifetime_ms) {
   publish(adv, type, lifetime_ms);
+  // With a routable DHT, placement replaces the flood: the record is
+  // STOREd at the k peers closest to its index keys, and lookups route to
+  // them in O(log N). Peer advertisements still flood as well — the
+  // rendezvous/lease machinery of non-DHT peers depends on seeing them.
+  if (dht_ && dht_->ready()) {
+    dht_->store_advertisement(static_cast<std::uint8_t>(type), adv,
+                              lifetime_ms);
+    if (type != DiscoveryType::kPeer) return;
+  }
   // An unsolicited push is a response with a nil query id, propagated
   // group-wide through the resolver's query channel: we reuse the query
   // mechanism with a special "push" marker instead of adding a channel.
@@ -107,8 +166,13 @@ std::vector<AdvertisementPtr> DiscoveryService::get_local(
     const auto it = cache_.find(type);
     if (it != cache_.end()) {
       const auto now = clock_.now();
+      // Fast path: when the earliest expiry of this type is still ahead,
+      // nothing can be stale — skip the per-entry liveness comparisons.
+      // (Dead entries themselves are erased by the periodic sweep_tick.)
+      const auto me = min_expires_.find(type);
+      const bool maybe_stale = me == min_expires_.end() || me->second < now;
       for (const auto& [identity, entry] : it->second) {
-        if (entry.expires < now) continue;  // stale; swept opportunistically
+        if (maybe_stale && entry.expires < now) continue;  // stale
         if (!attr.empty() &&
             !util::glob_match(value, entry.adv->field(attr))) {
           continue;
@@ -139,12 +203,60 @@ util::Uuid DiscoveryService::get_remote(DiscoveryType type,
   w.write_u8(0);  // marker: query
   w.write_raw(encode_query(q));
   remote_queries_.inc();
+
+  // DHT-first path: exact-match queries on indexed attributes route
+  // through the Kademlia backend in O(log N) RPCs. Directed queries keep
+  // their explicit destination, glob/unindexed queries have no key, and a
+  // not-yet-routable table floods — all deterministically. A DHT miss
+  // falls back to the flood under the SAME query id, so listeners observe
+  // one logical query regardless of which plane answered it.
+  if (!peer && dht_ && dht_->config().prefer_dht && dht_->ready()) {
+    if (const auto key = KadService::advertisement_key(
+            static_cast<std::uint8_t>(type), attr, value)) {
+      const util::Uuid query_id = util::Uuid::generate();
+      auto weak = weak_from_this();
+      dht_->lookup_value(
+          *key, [weak, type, query_id, frame = w.take()](
+                    std::vector<KadRecord> records, std::uint8_t /*adv_type*/,
+                    std::uint32_t /*hops*/) {
+            const auto self = weak.lock();
+            if (!self) return;
+            if (records.empty()) {
+              // Converged miss: fall back to the rendezvous flood.
+              self->flood_fallbacks_.inc();
+              self->resolver_.send_query(std::string(kHandlerName), frame,
+                                         std::nullopt, query_id);
+              return;
+            }
+            DiscoveryEvent event;
+            event.type = type;
+            event.query_id = query_id;
+            // DHT records carry no responder identity; the event reports
+            // the local peer as the supplier of the resolved batch.
+            event.source = self->resolver_.endpoint().local_peer();
+            for (const auto& rec : records) {
+              try {
+                std::unique_ptr<Advertisement> adv =
+                    AdvertisementFactory::instance().parse_text(rec.adv_xml);
+                self->store(*adv, type, rec.lifetime_ms);
+                event.advertisements.emplace_back(adv.release());
+              } catch (const std::exception& e) {
+                P2P_LOG(kWarn, "discovery")
+                    << "dropping bad DHT record: " << e.what();
+              }
+            }
+            if (!event.advertisements.empty()) self->fire(event);
+          });
+      return query_id;
+    }
+  }
   return resolver_.send_query(std::string(kHandlerName), w.take(), peer);
 }
 
 void DiscoveryService::flush(DiscoveryType type) {
   const util::MutexLock lock(mu_);
   cache_.erase(type);
+  min_expires_.erase(type);
 }
 
 void DiscoveryService::flush(DiscoveryType type, const std::string& identity) {
@@ -237,6 +349,15 @@ void DiscoveryService::decode_and_cache(std::span<const std::uint8_t> payload,
       std::unique_ptr<Advertisement> adv =
           AdvertisementFactory::instance().parse_text(text);
       store(*adv, type, lifetime_ms);
+      // Peer advertisements double as DHT contact discovery: a peer that
+      // advertises the capability joins the routing table.
+      if (dht_) {
+        if (const auto* peer_adv =
+                dynamic_cast<const PeerAdvertisement*>(adv.get());
+            peer_adv != nullptr && peer_adv->supports_dht) {
+          dht_->observe_peer(peer_adv->pid, peer_adv->endpoints);
+        }
+      }
       event.advertisements.emplace_back(adv.release());
     } catch (const std::exception& e) {
       P2P_LOG(kWarn, "discovery") << "dropping bad advertisement: "

@@ -25,6 +25,8 @@
 
 namespace p2p::jxta {
 
+class KadService;
+
 // JXTA's three discovery namespaces (paper Fig. 16 uses Discovery.GROUP).
 enum class DiscoveryType : std::uint8_t { kPeer = 0, kGroup = 1, kAdv = 2 };
 
@@ -48,10 +50,18 @@ class DiscoveryService final
 
   DiscoveryService(ResolverService& resolver, util::Clock& clock);
 
-  // Registers the PRP handler. Call once after construction (needs
-  // shared_from_this, hence not in the constructor).
+  // Registers the PRP handler and arms the cache expiry sweep. Call once
+  // after construction (needs shared_from_this, hence not in the
+  // constructor).
   void start() EXCLUDES(mu_);
   void stop() EXCLUDES(mu_);
+
+  // Plugs in the Kademlia backend (kad_service.h). When set and ready,
+  // eligible get_remote() queries route through the DHT first and fall
+  // back to the rendezvous flood on a miss (same query id, so listeners
+  // observe one logical query either way), and remote_publish() STOREs at
+  // the k closest peers instead of flooding a push. Set before start().
+  void set_dht(std::shared_ptr<KadService> dht) { dht_ = std::move(dht); }
 
   // --- local cache ---------------------------------------------------------
   // Stores the advertisement (replacing any previous one with the same
@@ -119,6 +129,9 @@ class DiscoveryService final
 
   void store(const Advertisement& adv, DiscoveryType type,
              std::int64_t lifetime_ms) EXCLUDES(mu_);
+  // Periodic expiry sweep: erases dead entries so get_local() never scans
+  // them, recomputes the per-type earliest expiry, updates the size gauge.
+  void sweep_tick() EXCLUDES(mu_);
   void fire(const DiscoveryEvent& event) EXCLUDES(mu_);
   [[nodiscard]] static util::Bytes encode_batch(
       DiscoveryType type, const std::vector<AdvertisementPtr>& advs,
@@ -128,10 +141,14 @@ class DiscoveryService final
 
   ResolverService& resolver_;
   util::Clock& clock_;
+  std::shared_ptr<KadService> dht_;  // set before start(); may be null
   obs::Counter cache_hits_;
   obs::Counter cache_misses_;
   obs::Counter remote_queries_;
   obs::Counter advs_cached_;
+  // DHT-first queries that missed and fell back to the rendezvous flood.
+  obs::Counter flood_fallbacks_;
+  obs::Gauge cache_size_gauge_;
 
   mutable util::Mutex mu_{"discovery"};
   util::CondVar fire_cv_;
@@ -139,6 +156,10 @@ class DiscoveryService final
   // type -> identity -> entry
   std::map<DiscoveryType, std::map<std::string, Entry>> cache_
       GUARDED_BY(mu_);
+  // Earliest expiry per type: while now precedes it, no entry of that type
+  // can be expired and get_local() skips the per-entry liveness checks.
+  std::map<DiscoveryType, util::TimePoint> min_expires_ GUARDED_BY(mu_);
+  std::uint64_t sweep_timer_ GUARDED_BY(mu_) = 0;
   std::map<std::uint64_t, DiscoveryListener> listeners_ GUARDED_BY(mu_);
   std::uint64_t next_listener_ GUARDED_BY(mu_) = 1;
   // fire() can run concurrently on the peer executor AND on app threads

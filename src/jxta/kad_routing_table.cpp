@@ -1,0 +1,127 @@
+#include "jxta/kad_routing_table.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace p2p::jxta {
+
+namespace {
+
+// XOR distance as a (hi, lo) pair compared lexicographically.
+struct Distance {
+  std::uint64_t hi;
+  std::uint64_t lo;
+
+  friend constexpr auto operator<=>(const Distance&,
+                                    const Distance&) = default;
+};
+
+Distance distance(const util::Uuid& a, const util::Uuid& b) {
+  return {a.hi() ^ b.hi(), a.lo() ^ b.lo()};
+}
+
+}  // namespace
+
+KadRoutingTable::KadRoutingTable(PeerId self, std::size_t k)
+    : self_(self), k_(k == 0 ? 1 : k), buckets_(kBuckets) {}
+
+int KadRoutingTable::bucket_index(const util::Uuid& a, const util::Uuid& b) {
+  const Distance d = distance(a, b);
+  if (d.hi != 0) return 127 - std::countl_zero(d.hi);
+  if (d.lo != 0) return 63 - std::countl_zero(d.lo);
+  return -1;
+}
+
+bool KadRoutingTable::closer(const util::Uuid& target, const util::Uuid& a,
+                             const util::Uuid& b) {
+  return distance(target, a) < distance(target, b);
+}
+
+KadRoutingTable::ObserveResult KadRoutingTable::observe(const PeerId& id,
+                                                        util::TimePoint now,
+                                                        PeerId* lru_out) {
+  const int idx = bucket_index(self_.uuid(), id.uuid());
+  if (idx < 0) return ObserveResult::kSelf;
+  Bucket& bucket = buckets_[static_cast<std::size_t>(idx)];
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->id == id) {
+      it->last_seen = now;
+      bucket.splice(bucket.end(), bucket, it);  // most recently seen
+      return ObserveResult::kRefreshed;
+    }
+  }
+  if (bucket.size() < k_) {
+    bucket.push_back({id, now});
+    ++size_;
+    return ObserveResult::kInserted;
+  }
+  if (lru_out != nullptr) *lru_out = bucket.front().id;
+  return ObserveResult::kFull;
+}
+
+void KadRoutingTable::replace(const PeerId& stale, const PeerId& fresh,
+                              util::TimePoint now) {
+  remove(stale);
+  const int idx = bucket_index(self_.uuid(), fresh.uuid());
+  if (idx < 0) return;
+  Bucket& bucket = buckets_[static_cast<std::size_t>(idx)];
+  for (const Contact& c : bucket) {
+    if (c.id == fresh) return;
+  }
+  if (bucket.size() < k_) {
+    bucket.push_back({fresh, now});
+    ++size_;
+  }
+}
+
+bool KadRoutingTable::remove(const PeerId& id) {
+  const int idx = bucket_index(self_.uuid(), id.uuid());
+  if (idx < 0) return false;
+  Bucket& bucket = buckets_[static_cast<std::size_t>(idx)];
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->id == id) {
+      bucket.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool KadRoutingTable::contains(const PeerId& id) const {
+  const int idx = bucket_index(self_.uuid(), id.uuid());
+  if (idx < 0) return false;
+  const Bucket& bucket = buckets_[static_cast<std::size_t>(idx)];
+  return std::any_of(bucket.begin(), bucket.end(),
+                     [&](const Contact& c) { return c.id == id; });
+}
+
+std::size_t KadRoutingTable::size() const { return size_; }
+
+std::vector<PeerId> KadRoutingTable::closest(const util::Uuid& target,
+                                             std::size_t n) const {
+  std::vector<PeerId> all;
+  all.reserve(size_);
+  for (const Bucket& bucket : buckets_) {
+    for (const Contact& c : bucket) all.push_back(c.id);
+  }
+  const std::size_t want = std::min(n, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(want),
+                    all.end(), [&](const PeerId& a, const PeerId& b) {
+                      return closer(target, a.uuid(), b.uuid());
+                    });
+  all.resize(want);
+  return all;
+}
+
+std::vector<PeerId> KadRoutingTable::stale(util::TimePoint older_than) const {
+  std::vector<PeerId> out;
+  for (const Bucket& bucket : buckets_) {
+    for (const Contact& c : bucket) {
+      if (c.last_seen < older_than) out.push_back(c.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace p2p::jxta

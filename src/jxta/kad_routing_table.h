@@ -1,0 +1,87 @@
+// Kademlia routing table: k-buckets over XOR distance.
+//
+// 128-bit peer ids live in the same space as advertisement keys (both are
+// util::Uuid), so the table that routes FIND_NODE also routes FIND_VALUE.
+// Bucket i holds contacts whose XOR distance to the local id has bit
+// length i+1 (i.e. shares a 127-i bit prefix); each bucket is an LRU list
+// capped at k. The classic eviction rule applies: a full bucket never
+// drops a live old contact for a new one — observe() reports the
+// least-recently-seen candidate and the owner pings it, replacing it only
+// on timeout (Kademlia §2.2: the longer a node has been up, the more
+// likely it is to remain up).
+//
+// The table is a pure data structure: no locks, no I/O. KadService owns
+// one and serializes access under its own mutex.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <vector>
+
+#include "jxta/id.h"
+#include "util/clock.h"
+
+namespace p2p::jxta {
+
+class KadRoutingTable {
+ public:
+  enum class ObserveResult {
+    kSelf,       // the local id is never a contact
+    kInserted,   // new contact, bucket had room
+    kRefreshed,  // known contact moved to most-recently-seen
+    kFull,       // bucket full: *lru_out names the eviction candidate
+  };
+
+  KadRoutingTable(PeerId self, std::size_t k);
+
+  // Records that `id` was heard from at `now`. On kFull the caller should
+  // ping *lru_out and call replace() if it times out.
+  ObserveResult observe(const PeerId& id, util::TimePoint now,
+                        PeerId* lru_out = nullptr);
+
+  // Evicts `stale` and inserts `fresh` in its place (the bucket-full ping
+  // timed out). No-op for the insert if the bucket meanwhile filled.
+  void replace(const PeerId& stale, const PeerId& fresh, util::TimePoint now);
+
+  // Removes a contact (RPC timeout on a routed peer). Returns true if it
+  // was present.
+  bool remove(const PeerId& id);
+
+  [[nodiscard]] bool contains(const PeerId& id) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] const PeerId& self() const { return self_; }
+
+  // Up to n known contacts, closest (by XOR distance) to `target` first.
+  [[nodiscard]] std::vector<PeerId> closest(const util::Uuid& target,
+                                            std::size_t n) const;
+
+  // Contacts not heard from since `older_than` (liveness-ping candidates).
+  [[nodiscard]] std::vector<PeerId> stale(util::TimePoint older_than) const;
+
+  // Index of the bucket for the distance between a and b: the bit length
+  // of a XOR b minus one (0..127), or -1 when a == b.
+  [[nodiscard]] static int bucket_index(const util::Uuid& a,
+                                        const util::Uuid& b);
+
+  // True when a is strictly closer to target than b (XOR metric).
+  [[nodiscard]] static bool closer(const util::Uuid& target,
+                                   const util::Uuid& a, const util::Uuid& b);
+
+ private:
+  struct Contact {
+    PeerId id;
+    util::TimePoint last_seen;
+  };
+  static constexpr std::size_t kBuckets = 128;
+
+  // front = least recently seen, back = most recently seen.
+  using Bucket = std::list<Contact>;
+
+  PeerId self_;
+  std::size_t k_;
+  std::vector<Bucket> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace p2p::jxta

@@ -1,0 +1,96 @@
+// Kademlia RPC frames (the DHT discovery backend's wire format).
+//
+// The DHT speaks four RPCs — PING, STORE, FIND_NODE, FIND_VALUE — carried
+// as directed resolver queries/responses on the "jxta.kad" handler. Frames
+// are length-prefixed binary decoded exclusively through util::ByteReader
+// (the trust boundary): a malformed frame is a counted drop, never an
+// exception on a delivery thread. The byte layout is FROZEN in
+// tests/wire_format_test.cpp — peers of different builds interoperate only
+// as long as these bytes stay put.
+//
+// Layout (all integers little-endian; varint = LEB128):
+//   [u8 version=1][u8 op]
+//   op kPing/kPong:            (empty body)
+//   op kFindNode/kFindValue:   [u64 key.hi][u64 key.lo]
+//   op kStore/kValue:          [u64 key.hi][u64 key.lo][u8 adv_type]
+//                              [varint n]([string adv_xml][i64 lifetime])*n
+//   op kNodes:                 [u64 key.hi][u64 key.lo]
+//                              [varint n]([u64 id.hi][u64 id.lo]
+//                                         [varint m]([string addr])*m)*n
+// Trailing bytes after a well-formed body are rejected (kBadValue), so a
+// frame cannot smuggle data past the decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "jxta/id.h"
+#include "net/address.h"
+#include "util/bytes.h"
+
+namespace p2p::jxta {
+
+inline constexpr std::uint8_t kKadFrameVersion = 1;
+
+enum class KadOp : std::uint8_t {
+  kPing = 1,       // liveness probe (empty body)
+  kPong = 2,       // answer to kPing and ack for kStore
+  kStore = 3,      // store advertisement records under a key
+  kFindNode = 5,   // ask for the k closest known contacts to a key
+  kFindValue = 6,  // like kFindNode, but answer kValue on a local hit
+  kNodes = 7,      // answer to kFindNode (and kFindValue miss)
+  kValue = 8,      // answer to kFindValue hit: the stored records
+};
+
+// A routing-table entry shipped in kNodes answers: a peer id plus the
+// transport addresses the responder has learned for it.
+struct KadContact {
+  PeerId id;
+  std::vector<net::Address> addresses;
+
+  friend bool operator==(const KadContact&, const KadContact&) = default;
+};
+
+// One stored advertisement: its XML text and the remaining lifetime the
+// storer vouches for.
+struct KadRecord {
+  std::string adv_xml;
+  std::int64_t lifetime_ms = 0;
+
+  friend bool operator==(const KadRecord&, const KadRecord&) = default;
+};
+
+struct KadFrame {
+  KadOp op = KadOp::kPing;
+  util::Uuid key;                   // lookup / store target
+  std::uint8_t adv_type = 0;        // DiscoveryType of the records
+  std::vector<KadRecord> records;   // kStore / kValue
+  std::vector<KadContact> contacts;  // kNodes
+};
+
+// Caps applied on top of util::DecodeLimits while decoding a frame. A
+// hostile peer controls the counts, so they are bounded before any
+// allocation; the XML cap bounds the per-record string length.
+struct KadLimits {
+  std::uint64_t max_contacts = 64;
+  std::uint64_t max_addresses = 8;
+  std::uint64_t max_records = 64;
+  std::size_t max_xml_bytes = 64 * 1024;
+};
+
+struct KadDecodeResult {
+  bool ok = false;
+  util::DecodeError error = util::DecodeError::kNone;
+  KadFrame frame;
+};
+
+[[nodiscard]] util::Bytes encode_kad_frame(const KadFrame& frame);
+
+// Total decode: never throws, never reads out of bounds. ok==false carries
+// the classified reason in `error`.
+[[nodiscard]] KadDecodeResult try_decode_kad_frame(
+    std::span<const std::uint8_t> data, const KadLimits& limits = {});
+
+}  // namespace p2p::jxta

@@ -45,6 +45,7 @@ PeerAdvertisement Peer::make_advertisement() const {
   adv.endpoints = endpoint_->local_addresses();
   adv.is_rendezvous = config_.rendezvous;
   adv.is_router = config_.router;
+  adv.supports_dht = config_.kad.enabled;
   return adv;
 }
 
@@ -60,6 +61,17 @@ void Peer::start() {
   }
   resolver_ = std::make_unique<ResolverService>(*endpoint_, *rendezvous_);
   discovery_ = std::make_shared<DiscoveryService>(*resolver_, clock_);
+  if (config_.kad.enabled) {
+    kad_ = std::make_shared<KadService>(*resolver_, clock_, config_.kad);
+    discovery_->set_dht(kad_);
+    // Lease traffic doubles as DHT contact discovery: every peer
+    // advertisement seen on a lease request/grant that carries the
+    // capability joins the routing table.
+    rendezvous_->set_peer_observer(
+        [kad = kad_.get()](const PeerAdvertisement& adv) {
+          if (adv.supports_dht) kad->observe_peer(adv.pid, adv.endpoints);
+        });
+  }
   peer_info_ = std::make_shared<PeerInfoService>(*resolver_, *endpoint_,
                                                  clock_, config_.name);
   pipe_service_ = std::make_shared<PipeService>(*resolver_, *endpoint_);
@@ -72,6 +84,7 @@ void Peer::start() {
 
   rendezvous_->start();
   resolver_->start();
+  if (kad_) kad_->start();
   discovery_->start();
   peer_info_->start();
   pipe_service_->start();
@@ -122,6 +135,7 @@ void Peer::stop() {
   pipe_service_->stop();
   peer_info_->stop();
   discovery_->stop();
+  if (kad_) kad_->stop();
   resolver_->stop();
   rendezvous_->stop();
   endpoint_->stop();

@@ -17,6 +17,7 @@
 
 #include "jxta/cms.h"
 #include "jxta/discovery.h"
+#include "jxta/kad_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
@@ -36,6 +37,10 @@ struct PeerConfig {
   // Bootstrap rendezvous addresses (may be empty on multicast-capable LANs).
   std::vector<net::Address> seed_rendezvous;
   RendezvousConfig rdv;
+  // Kademlia discovery backend (off by default). When enabled the peer
+  // advertises the capability, answers DHT RPCs, and discovery routes
+  // eligible queries through it (kad.prefer_dht) before flooding.
+  KadConfig kad;
   // Cadence of the maintenance tick (lease renewal; adv re-publish).
   util::Duration heartbeat{1000};
   // Re-publish own peer advertisement every N heartbeats.
@@ -100,6 +105,8 @@ class Peer {
   [[nodiscard]] RendezvousService& rendezvous() { return *rendezvous_; }
   [[nodiscard]] ResolverService& resolver() { return *resolver_; }
   [[nodiscard]] DiscoveryService& discovery() { return *discovery_; }
+  // The Kademlia backend, or nullptr when PeerConfig::kad.enabled is off.
+  [[nodiscard]] KadService* kad() { return kad_.get(); }
   [[nodiscard]] PeerInfoService& info() { return *peer_info_; }
   [[nodiscard]] PipeService& pipes() { return *pipe_service_; }
   // Active ERP route discovery (paper Fig. 6 as a protocol).
@@ -141,6 +148,7 @@ class Peer {
   std::unique_ptr<EndpointService> endpoint_;
   std::unique_ptr<RendezvousService> rendezvous_;
   std::unique_ptr<ResolverService> resolver_;
+  std::shared_ptr<KadService> kad_;  // null unless config_.kad.enabled
   std::shared_ptr<DiscoveryService> discovery_;
   std::shared_ptr<PeerInfoService> peer_info_;
   std::shared_ptr<PipeService> pipe_service_;

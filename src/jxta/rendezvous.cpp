@@ -244,6 +244,7 @@ void RendezvousService::handle_lease_request(const EndpointMessage& msg,
       xml::parse(adv_text));
   endpoint_.learn_peer(client_adv.pid, client_adv.endpoints,
                        client_adv.is_rendezvous || client_adv.is_router);
+  if (peer_observer_) peer_observer_(client_adv);
   {
     const util::MutexLock lock(mu_);
     clients_[client_adv.pid] = clock_.now() + config_.lease_ttl;
@@ -264,6 +265,7 @@ void RendezvousService::handle_lease_grant(const EndpointMessage& msg,
       PeerAdvertisement::from_xml(xml::parse(adv_text));
   endpoint_.learn_peer(rdv_adv.pid, rdv_adv.endpoints,
                        /*relay_capable=*/true);
+  if (peer_observer_) peer_observer_(rdv_adv);
   const util::MutexLock lock(mu_);
   lessors_[rdv_adv.pid] = clock_.now() + util::Duration{ttl_ms};
   if (rdv_adv.pid != msg.src) {

@@ -63,6 +63,15 @@ class RendezvousService {
   void start() EXCLUDES(mu_);
   void stop() EXCLUDES(mu_);
 
+  // Called with every peer advertisement learned from lease traffic (a
+  // client requesting a lease, a rendezvous granting one). The Peer uses
+  // it to feed DHT-capable contacts into the Kademlia routing table. Set
+  // before start(); invoked outside mu_.
+  using PeerObserver = std::function<void(const PeerAdvertisement&)>;
+  void set_peer_observer(PeerObserver observer) {
+    peer_observer_ = std::move(observer);
+  }
+
   // Client: sends/renews lease requests to all known rendezvous. Invoked
   // periodically by the peer's timer; also callable directly (tests).
   void connect_tick() EXCLUDES(mu_);
@@ -117,6 +126,7 @@ class RendezvousService {
   util::Clock& clock_;
   const RendezvousConfig config_;
   const PeerAdvertisement self_adv_;
+  PeerObserver peer_observer_;  // set before start(); called outside mu_
   obs::Counter propagations_originated_;
   obs::Counter propagations_received_;
   obs::Counter propagations_forwarded_;

@@ -114,10 +114,12 @@ std::shared_ptr<ResolverHandler> ResolverService::find_handler(
 
 util::Uuid ResolverService::send_query(const std::string& handler,
                                        util::Bytes payload,
-                                       const std::optional<PeerId>& dst) {
+                                       const std::optional<PeerId>& dst,
+                                       const std::optional<util::Uuid>&
+                                           query_id) {
   ResolverQuery query;
   query.handler = handler;
-  query.query_id = util::Uuid::generate();
+  query.query_id = query_id.value_or(util::Uuid::generate());
   query.src = endpoint_.local_peer();
   query.payload = std::move(payload);
   queries_sent_.inc();

@@ -73,9 +73,14 @@ class ResolverService {
 
   // Sends a query. dst==nullopt propagates group-wide (and also processes
   // locally, so a peer can answer itself from its own cache). Returns the
-  // query id, which responses will carry.
+  // query id, which responses will carry. Callers that must register
+  // response state *before* the bytes leave (the kad RPC table) or reuse
+  // an id across transports (discovery's DHT-miss flood fallback) supply
+  // their own `query_id`; by default one is generated.
   util::Uuid send_query(const std::string& handler, util::Bytes payload,
-                        const std::optional<PeerId>& dst = std::nullopt);
+                        const std::optional<PeerId>& dst = std::nullopt,
+                        const std::optional<util::Uuid>& query_id =
+                            std::nullopt);
 
   // Routes `payload` as the answer to `query` back to its source.
   void send_response(const ResolverQuery& query, util::Bytes payload);

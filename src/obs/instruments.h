@@ -16,9 +16,17 @@ namespace p2p::obs {
 
 inline constexpr const char* kInstrumentNames[] = {
     "jxta.decode_errors",
+    "jxta.dht.bucket_evictions",
+    "jxta.dht.lookup_hops",
+    "jxta.dht.lookups",
+    "jxta.dht.rpc_timeouts",
+    "jxta.dht.rpcs_sent",
+    "jxta.dht.stores",
     "jxta.discovery.advs_cached",
     "jxta.discovery.cache_hits",
     "jxta.discovery.cache_misses",
+    "jxta.discovery.cache_size",
+    "jxta.discovery.flood_fallbacks",
     "jxta.discovery.remote_queries",
     "jxta.pipe.binding_queries",
     "jxta.pipe.msgs_received",

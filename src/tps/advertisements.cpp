@@ -183,8 +183,12 @@ void TpsAdvertisementsFinder::stop() {
 }
 
 void TpsAdvertisementsFinder::search_once() {
+  // Exact-name query: type-group names are fully determined by the type
+  // ("ps.<type>"), and the trailing "*" the JXTA idiom used here would
+  // force the query off the Kademlia fast path (globs are not
+  // DHT-indexed). scan_local() below matches the exact name anyway.
   peer_.discovery().get_remote(DiscoveryType::kGroup, "Name",
-                               std::string(kPsPrefix) + type_name_ + "*",
+                               std::string(kPsPrefix) + type_name_,
                                jxta::DiscoveryService::kDefaultThreshold);
   scan_local();
 }

@@ -10,6 +10,7 @@
 #include "events/ski_rental.h"
 #include "jxta/advertisement.h"
 #include "jxta/endpoint.h"
+#include "jxta/kad_wire.h"
 #include "jxta/membership.h"
 #include "jxta/message.h"
 #include "jxta/peer.h"
@@ -338,6 +339,89 @@ TEST(WireFormatTest, TraceElementsLayout) {
   EXPECT_EQ(trace->id,
             (util::Uuid{0x0102030405060708ull, 0x090a0b0c0d0e0f10ull}));
   EXPECT_EQ(trace->hops, hops);
+}
+
+TEST(WireFormatTest, KadFrameLayout) {
+  // The Kademlia discovery backend's RPC frames ("jxta.kad" resolver
+  // handler). Layout: [u8 version=1][u8 op], then per op (kad_wire.h):
+  //   kPing/kPong:          (empty)
+  //   kFindNode/kFindValue: [key.hi u64 LE][key.lo u64 LE]
+  //   kStore/kValue:        key + [u8 adv_type]
+  //                         [varint n]([string adv_xml][i64 zigzag life])*
+  //   kNodes:               key + [varint n]([id.hi u64][id.lo u64]
+  //                                          [varint m]([string addr])*)*
+  using jxta::KadFrame;
+  using jxta::KadOp;
+
+  KadFrame ping;
+  ping.op = KadOp::kPing;
+  EXPECT_EQ(to_hex(jxta::encode_kad_frame(ping)), "0101");
+  KadFrame pong;
+  pong.op = KadOp::kPong;
+  EXPECT_EQ(to_hex(jxta::encode_kad_frame(pong)), "0102");
+
+  KadFrame find;
+  find.op = KadOp::kFindValue;
+  find.key = util::Uuid{0x0102030405060708ull, 0x090a0b0c0d0e0f10ull};
+  EXPECT_EQ(to_hex(jxta::encode_kad_frame(find)),
+            "0106"
+            "0807060504030201"    // key.hi LE
+            "100f0e0d0c0b0a09");  // key.lo LE
+
+  KadFrame value;
+  value.op = KadOp::kValue;
+  value.key = util::Uuid{1, 2};
+  value.adv_type = 2;
+  value.records = {{"<A/>", 1000}};
+  EXPECT_EQ(to_hex(jxta::encode_kad_frame(value)),
+            "0108"
+            "0100000000000000" "0200000000000000"  // key
+            "02"                                    // adv_type
+            "01"                                    // one record
+            "04" "3c412f3e"                         // "<A/>"
+            "d00f");                                // zigzag(1000)
+  // kStore shares the body layout with kValue; only the op byte differs.
+  value.op = KadOp::kStore;
+  EXPECT_EQ(to_hex(jxta::encode_kad_frame(value)).substr(0, 4), "0103");
+
+  KadFrame nodes;
+  nodes.op = KadOp::kNodes;
+  nodes.key = util::Uuid{1, 2};
+  jxta::KadContact contact;
+  contact.id = jxta::PeerId(util::Uuid{3, 4});
+  contact.addresses = {*net::Address::parse("inproc://n1")};
+  nodes.contacts = {contact};
+  const Bytes nodes_frame = jxta::encode_kad_frame(nodes);
+  EXPECT_EQ(to_hex(nodes_frame),
+            "0107"
+            "0100000000000000" "0200000000000000"  // key
+            "01"                                    // one contact
+            "0300000000000000" "0400000000000000"  // contact id
+            "01"                                    // one address
+            "0b" "696e70726f633a2f2f6e31");         // "inproc://n1"
+
+  // Every frame round-trips through the non-throwing decoder.
+  for (const KadFrame* f : {&ping, &pong, &find, &value, &nodes}) {
+    const auto back = jxta::try_decode_kad_frame(jxta::encode_kad_frame(*f));
+    ASSERT_TRUE(back.ok);
+    EXPECT_EQ(back.frame.op, f->op);
+    EXPECT_EQ(back.frame.key, f->key);
+    EXPECT_EQ(back.frame.records, f->records);
+    EXPECT_EQ(back.frame.contacts, f->contacts);
+  }
+
+  // Unknown versions and ops are rejected, never misparsed: a future v2
+  // must be a deliberate, negotiated change.
+  auto bad = jxta::try_decode_kad_frame(Bytes{0x09, 0x01});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, util::DecodeError::kBadValue);
+  bad = jxta::try_decode_kad_frame(Bytes{0x01, 0x04});  // op 4 unused
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, util::DecodeError::kBadValue);
+  // Trailing bytes cannot smuggle data past the decoder.
+  bad = jxta::try_decode_kad_frame(Bytes{0x01, 0x01, 0xff});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, util::DecodeError::kBadValue);
 }
 
 }  // namespace
