@@ -1,0 +1,107 @@
+// Scale curves for the virtual-time scenario harness: how fast simulated
+// time advances as the overlay grows, and what a peer costs in memory.
+//
+// Runs the flash-crowd scenario at several population sizes plus one DHT
+// convergence run, and writes BENCH_scale.json:
+//   events_per_sec   timer events executed per wall second
+//   sim_speedup      simulated seconds per wall second (>1 => faster than
+//                    realtime)
+//   mem_per_peer_kb  RSS growth divided by population
+//   avg_hops         iterative lookup depth from the kad scenario
+//
+// --smoke shrinks the populations for CI; the committed baseline under
+// bench/baselines/ is diffed by tools/bench_diff.py (events_per_sec only).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "sim/scenarios.h"
+
+namespace {
+
+bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using p2p::sim::FlashCrowdOptions;
+  using p2p::sim::ScenarioResult;
+
+  const bool smoke = smoke_mode(argc, argv);
+  const std::vector<std::size_t> populations =
+      smoke ? std::vector<std::size_t>{200, 500, 1000}
+            : std::vector<std::size_t>{1000, 5000, 10000};
+
+  std::cout << "# scale_sim: flash crowd over virtual time"
+            << (smoke ? " (smoke)" : "") << "\n";
+  std::cout << "# peers  virt_ms  wall_s  events/s  speedup  kb/peer  ok\n";
+
+  int failures = 0;
+  std::ostringstream json;
+  json << "{\"bench\":\"scale_sim\",\"smoke\":" << (smoke ? "true" : "false")
+       << ",\"series\":[";
+  for (std::size_t i = 0; i < populations.size(); ++i) {
+    FlashCrowdOptions opt;
+    opt.subscribers = populations[i];
+    const ScenarioResult r = p2p::sim::run_flash_crowd(opt);
+    if (!r.ok()) {
+      ++failures;
+      for (const auto& f : r.failures) {
+        std::cerr << "FAIL n=" << populations[i] << ": " << f << "\n";
+      }
+    }
+    const double wall = r.wall_seconds > 0 ? r.wall_seconds : 1e-9;
+    const double events_per_sec = static_cast<double>(r.timers_fired) / wall;
+    const double speedup = static_cast<double>(r.virtual_ms) / 1000.0 / wall;
+    const double kb_per_peer =
+        r.peers > 0 ? r.rss_mb * 1024.0 / static_cast<double>(r.peers) : 0;
+    std::cout << r.peers << "  " << r.virtual_ms << "  " << r.wall_seconds
+              << "  " << static_cast<std::int64_t>(events_per_sec) << "  "
+              << speedup << "  " << kb_per_peer << "  "
+              << (r.ok() ? "yes" : "NO") << "\n";
+    if (i > 0) json << ",";
+    json << "{\"peers\":" << r.peers << ",\"virtual_ms\":" << r.virtual_ms
+         << ",\"timers_fired\":" << r.timers_fired
+         << ",\"wall_seconds\":" << r.wall_seconds
+         << ",\"events_per_sec\":" << events_per_sec
+         << ",\"sim_speedup\":" << speedup
+         << ",\"mem_per_peer_kb\":" << kb_per_peer
+         << ",\"delivery_ratio\":" << r.metrics.at("delivery_ratio")
+         << ",\"ok\":" << (r.ok() ? "true" : "false") << "}";
+  }
+  json << "]";
+
+  p2p::sim::KadConvergenceOptions kad_opt;
+  if (smoke) {
+    kad_opt.peers = 64;
+    kad_opt.lookups = 16;
+  }
+  const ScenarioResult kad = p2p::sim::run_kad_convergence(kad_opt);
+  if (!kad.ok()) {
+    ++failures;
+    for (const auto& f : kad.failures) std::cerr << "FAIL kad: " << f << "\n";
+  }
+  std::cout << "# kad: peers=" << kad.peers
+            << " avg_hops=" << kad.metrics.at("avg_hops")
+            << " max_hops=" << kad.metrics.at("max_hops")
+            << " hits=" << kad.metrics.at("hits") << "/"
+            << kad.metrics.at("lookups") << "\n";
+  json << ",\"kad\":{\"peers\":" << kad.peers
+       << ",\"avg_hops\":" << kad.metrics.at("avg_hops")
+       << ",\"max_hops\":" << kad.metrics.at("max_hops")
+       << ",\"hits\":" << kad.metrics.at("hits")
+       << ",\"lookups\":" << kad.metrics.at("lookups")
+       << ",\"ok\":" << (kad.ok() ? "true" : "false") << "}}\n";
+
+  std::ofstream out("BENCH_scale.json", std::ios::trunc);
+  out << json.str();
+  std::cout << "# wrote BENCH_scale.json\n";
+  return failures == 0 ? 0 : 1;
+}

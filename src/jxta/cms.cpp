@@ -48,8 +48,11 @@ void ContentAdvertisement::register_with_factory() {
 // --- CmsService -----------------------------------------------------------------
 
 CmsService::CmsService(ResolverService& resolver, EndpointService& endpoint,
-                       DiscoveryService& discovery)
-    : resolver_(resolver), endpoint_(endpoint), discovery_(discovery) {
+                       DiscoveryService& discovery, util::TimerQueue* timers)
+    : resolver_(resolver),
+      endpoint_(endpoint),
+      discovery_(discovery),
+      timers_(timers != nullptr ? *timers : util::TimerQueue::shared()) {
   ContentAdvertisement::register_with_factory();
 }
 
@@ -117,7 +120,7 @@ void CmsService::search_async(const std::string& keyword_glob,
   // the window deadline fires.
   const util::Uuid query_id =
       resolver_.send_query(std::string(kHandlerName), w.take());
-  util::TimerQueue::shared().schedule_after(
+  timers_.schedule_after(
       window,
       [weak = weak_from_this(), query_id, done = std::move(done)] {
         std::vector<ContentAdvertisement> out;
@@ -170,7 +173,7 @@ std::optional<util::Bytes> CmsService::fetch(const ContentAdvertisement& adv,
       std::string(kHandlerName), w.take(),
       know_provider ? std::optional<PeerId>(adv.provider) : std::nullopt);
   const util::MutexLock lock(mu_);
-  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  const util::TimePoint deadline = util::SystemClock::instance().now() + timeout;
   while (!fetch_results_.contains(query_id)) {
     if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
   }
@@ -222,7 +225,7 @@ std::optional<util::Bytes> CmsService::process_query(const ResolverQuery& q) {
 
 template <typename Map>
 void CmsService::arm_result_gc(Map CmsService::* map, util::Uuid query_id) {
-  util::TimerQueue::shared().schedule_after(
+  timers_.schedule_after(
       kResultTtl, [weak = weak_from_this(), map, query_id] {
         if (const auto self = weak.lock()) {
           const util::MutexLock lock(self->mu_);

@@ -56,8 +56,10 @@ class CmsService final : public ResolverHandler,
   // memory bounded (a production CMS would chunk).
   static constexpr std::size_t kMaxContentBytes = 8 * 1024 * 1024;
 
+  // `timers` carries the search collection windows (null =>
+  // TimerQueue::shared()).
   CmsService(ResolverService& resolver, EndpointService& endpoint,
-             DiscoveryService& discovery);
+             DiscoveryService& discovery, util::TimerQueue* timers = nullptr);
 
   void start() EXCLUDES(mu_);
   void stop() EXCLUDES(mu_);
@@ -114,6 +116,7 @@ class CmsService final : public ResolverHandler,
   ResolverService& resolver_;
   EndpointService& endpoint_;
   DiscoveryService& discovery_;
+  util::TimerQueue& timers_;
 
   mutable util::Mutex mu_{"cms"};
   util::CondVar cv_;

@@ -47,9 +47,11 @@ QueryBody decode_query(std::span<const std::uint8_t> data) {
 }  // namespace
 
 DiscoveryService::DiscoveryService(ResolverService& resolver,
-                                   util::Clock& clock)
+                                   util::Clock& clock,
+                                   util::TimerQueue* timers)
     : resolver_(resolver),
       clock_(clock),
+      timers_(timers != nullptr ? *timers : util::TimerQueue::shared()),
       cache_hits_(resolver.metrics().counter("jxta.discovery.cache_hits")),
       cache_misses_(
           resolver.metrics().counter("jxta.discovery.cache_misses")),
@@ -67,7 +69,7 @@ void DiscoveryService::start() {
     if (started_) return;
     started_ = true;
     auto weak = weak_from_this();
-    sweep_timer_ = util::TimerQueue::shared().schedule_after(
+    sweep_timer_ = timers_.schedule_after(
         kSweepInterval, [weak] {
           if (const auto self = weak.lock()) self->sweep_tick();
         });
@@ -84,7 +86,7 @@ void DiscoveryService::stop() {
     timer = sweep_timer_;
     sweep_timer_ = 0;
   }
-  util::TimerQueue::shared().cancel(timer);
+  timers_.cancel(timer);
   resolver_.unregister_handler(std::string(kHandlerName));
 }
 
@@ -123,7 +125,7 @@ void DiscoveryService::sweep_tick() {
   }
   cache_size_gauge_.set(static_cast<std::int64_t>(total));
   auto weak = weak_from_this();
-  sweep_timer_ = util::TimerQueue::shared().schedule_after(
+  sweep_timer_ = timers_.schedule_after(
       kSweepInterval, [weak] {
         if (const auto self = weak.lock()) self->sweep_tick();
       });

@@ -22,6 +22,7 @@
 #include "jxta/resolver.h"
 #include "util/clock.h"
 #include "util/thread_annotations.h"
+#include "util/timer_queue.h"
 
 namespace p2p::jxta {
 
@@ -48,7 +49,10 @@ class DiscoveryService final
   // NUMBER_OF_ADV_PER_PEER).
   static constexpr std::size_t kDefaultThreshold = 20;
 
-  DiscoveryService(ResolverService& resolver, util::Clock& clock);
+  // `timers` carries the expiry sweep (null => TimerQueue::shared()); a
+  // kSimulated queue puts cache expiry on virtual time.
+  DiscoveryService(ResolverService& resolver, util::Clock& clock,
+                   util::TimerQueue* timers = nullptr);
 
   // Registers the PRP handler and arms the cache expiry sweep. Call once
   // after construction (needs shared_from_this, hence not in the
@@ -141,6 +145,7 @@ class DiscoveryService final
 
   ResolverService& resolver_;
   util::Clock& clock_;
+  util::TimerQueue& timers_;
   std::shared_ptr<KadService> dht_;  // set before start(); may be null
   obs::Counter cache_hits_;
   obs::Counter cache_misses_;

@@ -42,9 +42,10 @@ std::vector<ParsedRecord> parse_records(const std::vector<KadRecord>& recs) {
 }  // namespace
 
 KadService::KadService(ResolverService& resolver, util::Clock& clock,
-                       KadConfig config)
+                       KadConfig config, util::TimerQueue* timers)
     : resolver_(resolver),
       clock_(clock),
+      timers_(timers != nullptr ? *timers : util::TimerQueue::shared()),
       config_(config),
       self_(resolver.endpoint().local_peer()),
       lookups_(resolver.metrics().counter("jxta.dht.lookups")),
@@ -64,7 +65,7 @@ void KadService::start() {
     if (started_) return;
     started_ = true;
     auto weak = weak_from_this();
-    tick_timer_ = util::TimerQueue::shared().schedule_after(
+    tick_timer_ = timers_.schedule_after(
         config_.liveness_interval, [weak] {
           if (const auto self = weak.lock()) self->maintenance_tick();
         });
@@ -94,7 +95,7 @@ void KadService::stop() {
     }
     lookups_live_.clear();
   }
-  util::TimerQueue::shared().cancel(timer);
+  timers_.cancel(timer);
   resolver_.unregister_handler(std::string(kHandlerName));
   for (const auto& cb : cbs) cb();
 }
@@ -209,7 +210,7 @@ void KadService::perform(Actions actions) {
     resolver_.send_query(std::string(kHandlerName), std::move(send.frame),
                          send.dst, send.query_id);
     auto weak = weak_from_this();
-    util::TimerQueue::shared().schedule_after(
+    timers_.schedule_after(
         send.timeout, [weak, qid = send.query_id] {
           if (const auto self = weak.lock()) self->on_rpc_timeout(qid);
         });
@@ -300,7 +301,7 @@ void KadService::maintenance_tick() {
                       std::nullopt, actions);
     }
     auto weak = weak_from_this();
-    tick_timer_ = util::TimerQueue::shared().schedule_after(
+    tick_timer_ = timers_.schedule_after(
         config_.liveness_interval, [weak] {
           if (const auto self = weak.lock()) self->maintenance_tick();
         });

@@ -33,6 +33,7 @@
 #include "jxta/resolver.h"
 #include "util/clock.h"
 #include "util/thread_annotations.h"
+#include "util/timer_queue.h"
 
 namespace p2p::jxta {
 
@@ -71,7 +72,10 @@ class KadService final : public ResolverHandler,
       std::uint32_t hops)>;
   using NodeCallback = std::function<void(std::vector<PeerId> closest)>;
 
-  KadService(ResolverService& resolver, util::Clock& clock, KadConfig config);
+  // `timers` carries RPC timeouts and the maintenance tick (null =>
+  // TimerQueue::shared()); a kSimulated queue puts them on virtual time.
+  KadService(ResolverService& resolver, util::Clock& clock, KadConfig config,
+             util::TimerQueue* timers = nullptr);
 
   // Registers the PRP handler and arms the maintenance tick. Needs
   // shared_from_this, hence not in the constructor.
@@ -208,6 +212,7 @@ class KadService final : public ResolverHandler,
 
   ResolverService& resolver_;
   util::Clock& clock_;
+  util::TimerQueue& timers_;
   const KadConfig config_;
   const PeerId self_;
   obs::Counter lookups_;

@@ -8,17 +8,28 @@ PeerGroupId Peer::net_group_id() {
   return PeerGroupId::derive("jxta:NetPeerGroup");
 }
 
-Peer::Peer(PeerConfig config, util::Clock& clock)
-    : config_(std::move(config)), clock_(clock), id_(PeerId::generate()) {
+Peer::Peer(PeerConfig config, util::Clock& clock, util::TimerQueue* timers)
+    : config_(std::move(config)),
+      clock_(clock),
+      timers_(timers),
+      id_(PeerId::generate()) {
   config_.rdv.is_rendezvous = config_.rendezvous;
-  executor_ = std::make_unique<util::SerialExecutor>(config_.name);
-  timer_ = std::make_unique<util::PeriodicTimer>(config_.name + ".timer");
+  if (config_.single_threaded && timers_ == nullptr) {
+    throw util::InvalidArgument(
+        "single_threaded peer needs an injected TimerQueue");
+  }
+  executor_ = std::make_unique<util::SerialExecutor>(
+      config_.name, /*inline_mode=*/config_.single_threaded);
+  timer_ = config_.single_threaded
+               ? std::make_unique<util::PeriodicTimer>(config_.name + ".timer",
+                                                       *timers_)
+               : std::make_unique<util::PeriodicTimer>(config_.name + ".timer");
   metrics_ = std::make_shared<obs::Registry>();
   tracer_ = std::make_shared<obs::Tracer>(
       config_.trace_capacity, metrics_->counter("obs.traces_dropped"));
   if (config_.watchdog) {
     watchdog_ = std::make_unique<obs::Watchdog>(config_.watchdog_config,
-                                                metrics_);
+                                                metrics_, timers_);
   }
   endpoint_ =
       std::make_unique<EndpointService>(id_, *executor_, metrics_, tracer_);
@@ -60,9 +71,10 @@ void Peer::start() {
     rendezvous_->add_seed(seed);
   }
   resolver_ = std::make_unique<ResolverService>(*endpoint_, *rendezvous_);
-  discovery_ = std::make_shared<DiscoveryService>(*resolver_, clock_);
+  discovery_ = std::make_shared<DiscoveryService>(*resolver_, clock_, timers_);
   if (config_.kad.enabled) {
-    kad_ = std::make_shared<KadService>(*resolver_, clock_, config_.kad);
+    kad_ = std::make_shared<KadService>(*resolver_, clock_, config_.kad,
+                                        timers_);
     discovery_->set_dht(kad_);
     // Lease traffic doubles as DHT contact discovery: every peer
     // advertisement seen on a lease request/grant that carries the
@@ -73,12 +85,13 @@ void Peer::start() {
         });
   }
   peer_info_ = std::make_shared<PeerInfoService>(*resolver_, *endpoint_,
-                                                 clock_, config_.name);
+                                                 clock_, config_.name, timers_);
   pipe_service_ = std::make_shared<PipeService>(*resolver_, *endpoint_);
 
   route_resolver_ = std::make_shared<RouteResolverService>(
       *resolver_, *endpoint_, *discovery_);
-  cms_ = std::make_shared<CmsService>(*resolver_, *endpoint_, *discovery_);
+  cms_ = std::make_shared<CmsService>(*resolver_, *endpoint_, *discovery_,
+                                      timers_);
   monitoring_ =
       std::make_unique<MonitoringService>(*peer_info_, *timer_, clock_);
 
@@ -102,12 +115,16 @@ void Peer::start() {
   net_group_ = std::make_unique<PeerGroup>(net_adv, *endpoint_, *rendezvous_,
                                            nullptr);
 
-  // Teach discovery about ourselves and push to the network.
+  // Teach discovery about ourselves and push to the network. At flash-crowd
+  // scale the group-wide push is O(N) per join, so scale scenarios disable
+  // it (announce_on_start) and rely on lease traffic + the DHT instead.
   const PeerAdvertisement self_adv = make_advertisement();
   discovery_->publish(self_adv, DiscoveryType::kPeer, config_.adv_lifetime_ms);
   rendezvous_->connect_tick();
-  discovery_->remote_publish(self_adv, DiscoveryType::kPeer,
-                             config_.adv_lifetime_ms);
+  if (config_.announce_on_start) {
+    discovery_->remote_publish(self_adv, DiscoveryType::kPeer,
+                               config_.adv_lifetime_ms);
+  }
 
   timer_handle_ = timer_->schedule(config_.heartbeat, [this] { tick(); });
 }

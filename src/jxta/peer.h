@@ -55,12 +55,29 @@ struct PeerConfig {
   // tests with deliberately slow callbacks would otherwise trip it.
   bool watchdog = false;
   obs::WatchdogConfig watchdog_config;
+  // --- simulation ---
+  // Threadless peer: the executor runs inline on the posting thread and the
+  // maintenance timer rides the injected TimerQueue instead of owning a
+  // thread. This is what lets a scenario host 10k+ peers in one process —
+  // the sim driver thread is the only thread, so per-peer FIFO holds
+  // trivially. Requires a TimerQueue passed to the Peer constructor.
+  bool single_threaded = false;
+  // start() normally remote-publishes the peer advertisement (a group-wide
+  // push). At 10k-peer joins that flood is O(N) per join — O(N²) total — so
+  // scale scenarios turn it off; peers are still discovered through lease
+  // traffic and the DHT.
+  bool announce_on_start = true;
 };
 
 class Peer {
  public:
+  // `timers` is the peer's deadline service for every JXTA service timer
+  // (null => TimerQueue::shared()). A sim passes its kSimulated queue here,
+  // which puts discovery expiry, DHT ticks, CMS windows and — with
+  // config.single_threaded — the maintenance heartbeat on virtual time.
   explicit Peer(PeerConfig config,
-                util::Clock& clock = util::SystemClock::instance());
+                util::Clock& clock = util::SystemClock::instance(),
+                util::TimerQueue* timers = nullptr);
   ~Peer();
 
   Peer(const Peer&) = delete;
@@ -139,6 +156,7 @@ class Peer {
  private:
   PeerConfig config_;
   util::Clock& clock_;
+  util::TimerQueue* timers_;  // null => TimerQueue::shared()
   PeerId id_;
   std::shared_ptr<obs::Registry> metrics_;
   std::shared_ptr<obs::Tracer> tracer_;

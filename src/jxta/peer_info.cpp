@@ -34,10 +34,12 @@ PeerInfo PeerInfo::deserialize(std::span<const std::uint8_t> data) {
 
 PeerInfoService::PeerInfoService(ResolverService& resolver,
                                  EndpointService& endpoint,
-                                 util::Clock& clock, std::string peer_name)
+                                 util::Clock& clock, std::string peer_name,
+                                 util::TimerQueue* timers)
     : resolver_(resolver),
       endpoint_(endpoint),
       clock_(clock),
+      timers_(timers != nullptr ? *timers : util::TimerQueue::shared()),
       peer_name_(std::move(peer_name)),
       started_at_(clock.now()) {}
 
@@ -76,7 +78,7 @@ std::optional<PeerInfo> PeerInfoService::query(const PeerId& peer,
   const util::Uuid query_id =
       resolver_.send_query(std::string(kHandlerName), {}, peer);
   const util::MutexLock lock(mu_);
-  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  const util::TimePoint deadline = util::SystemClock::instance().now() + timeout;
   auto have_answer = [this, &query_id]() REQUIRES(mu_) {
     const auto it = answers_.find(query_id);
     return it != answers_.end() && !it->second.empty();
@@ -99,7 +101,7 @@ void PeerInfoService::survey_async(util::Duration window,
       resolver_.send_query(std::string(kHandlerName), {});
   // The collect window is a deadline on the shared timer queue, not a
   // parked thread; answers accumulate in answers_[query_id] until it fires.
-  util::TimerQueue::shared().schedule_after(
+  timers_.schedule_after(
       window,
       [weak = weak_from_this(), query_id, done = std::move(done)] {
         std::vector<PeerInfo> out;
@@ -152,7 +154,7 @@ void PeerInfoService::process_response(const ResolverResponse& r) {
   if (fresh_bucket) {
     // Arm a GC deadline for the bucket in case its query is never (or no
     // longer) being collected.
-    util::TimerQueue::shared().schedule_after(
+    timers_.schedule_after(
         kAnswerTtl, [weak = weak_from_this(), id = r.query_id] {
           if (const auto self = weak.lock()) {
             const util::MutexLock lock(self->mu_);

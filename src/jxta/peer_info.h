@@ -33,8 +33,11 @@ class PeerInfoService final
  public:
   static constexpr std::string_view kHandlerName = "jxta.peerinfo";
 
+  // `timers` carries the survey collection windows (null =>
+  // TimerQueue::shared()).
   PeerInfoService(ResolverService& resolver, EndpointService& endpoint,
-                  util::Clock& clock, std::string peer_name);
+                  util::Clock& clock, std::string peer_name,
+                  util::TimerQueue* timers = nullptr);
 
   void start() EXCLUDES(mu_);
   void stop() EXCLUDES(mu_);
@@ -72,6 +75,7 @@ class PeerInfoService final
   ResolverService& resolver_;
   EndpointService& endpoint_;
   util::Clock& clock_;
+  util::TimerQueue& timers_;
   const std::string peer_name_;
   const util::TimePoint started_at_;
 

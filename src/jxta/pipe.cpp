@@ -101,7 +101,7 @@ bool OutputPipe::resolve(util::Duration timeout) {
   }
   service_.send_binding_query(adv_.pid);
   const util::MutexLock lock(mu_);
-  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  const util::TimePoint deadline = util::SystemClock::instance().now() + timeout;
   while (bound_.empty() && !closed_) {
     if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
   }

@@ -36,7 +36,7 @@ std::optional<RouteAdvertisement> RouteResolverService::resolve_route(
     const PeerId& dest, util::Duration timeout) {
   request_route(dest);
   const util::MutexLock lock(mu_);
-  const util::TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+  const util::TimePoint deadline = util::SystemClock::instance().now() + timeout;
   while (!learned_.contains(dest)) {
     if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
   }

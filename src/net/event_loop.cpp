@@ -25,8 +25,10 @@ constexpr int kMaxEpollEvents = 64;
 thread_local bool t_on_loop_thread = false;
 }  // namespace
 
-EventLoop::EventLoop(std::string name)
-    : name_(std::move(name)), timers_(name_.c_str(), util::TimerQueue::Mode::kDriven) {
+EventLoop::EventLoop(std::string name, util::Clock& clock)
+    : name_(std::move(name)),
+      clock_(clock),
+      timers_(name_.c_str(), util::TimerQueue::Mode::kDriven, clock) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (epoll_fd_ < 0 || wake_fd_ < 0) {
@@ -162,7 +164,7 @@ void EventLoop::run() {
     int timeout_ms = -1;
     const util::TimePoint deadline = timers_.next_deadline();
     if (deadline != util::TimePoint::max()) {
-      const auto now = std::chrono::steady_clock::now();
+      const auto now = clock_.now();
       if (deadline <= now) {
         timeout_ms = 0;
       } else {
@@ -207,7 +209,7 @@ void EventLoop::run() {
     }
 
     drain_pending();
-    const std::size_t fired = timers_.run_due(std::chrono::steady_clock::now());
+    const std::size_t fired = timers_.run_due(clock_.now());
     if (fired > 0) timers_fired_.inc(fired);
   }
   // Final drain so a stop() racing a post() can't strand a task forever.

@@ -39,8 +39,11 @@ using FdCallback = std::function<void(std::uint32_t events)>;
 
 class EventLoop {
  public:
-  // Spawns the loop thread immediately. `name` appears in logs.
-  explicit EventLoop(std::string name = "evloop");
+  // Spawns the loop thread immediately. `name` appears in logs. `clock` is
+  // the loop's time authority for deadline math (epoll_wait itself is wall
+  // time; injecting a clock only shifts what "now" means to the timers).
+  explicit EventLoop(std::string name = "evloop",
+                     util::Clock& clock = util::SystemClock::instance());
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -100,6 +103,7 @@ class EventLoop {
   std::atomic<const std::thread::id*> loop_tid_{nullptr};
   std::thread::id loop_tid_storage_;
 
+  util::Clock& clock_;
   util::TimerQueue timers_;
 
   util::Mutex pending_mu_{"evloop-pending"};

@@ -6,7 +6,9 @@
 
 namespace p2p::net {
 
-NetworkFabric::NetworkFabric(std::uint64_t seed) : rng_(seed) {}
+NetworkFabric::NetworkFabric(std::uint64_t seed, util::TimerQueue* timers)
+    : timers_queue_(timers != nullptr ? *timers : util::TimerQueue::shared()),
+      rng_(seed) {}
 
 NetworkFabric::~NetworkFabric() {
   std::vector<util::TimerId> pending;
@@ -22,7 +24,7 @@ NetworkFabric::~NetworkFabric() {
   // its in_flight_ slot is retired here.
   std::uint64_t cancelled = 0;
   for (const util::TimerId id : pending) {
-    if (util::TimerQueue::shared().cancel(id)) ++cancelled;
+    if (timers_queue_.cancel(id)) ++cancelled;
   }
   // A delivery that was already firing erased its id from timers_ before
   // the snapshot above, so cancel() never saw it — wait for its epilogue
@@ -147,7 +149,7 @@ bool NetworkFabric::submit(Datagram d) {
   // timer is due immediately, deliver() blocks on mu_ until the id is in
   // timers_ and the cell is filled in.
   const auto id_cell = std::make_shared<util::TimerId>(0);
-  const util::TimerId id = util::TimerQueue::shared().schedule_after(
+  const util::TimerId id = timers_queue_.schedule_after(
       std::chrono::milliseconds(delay),
       [this, id_cell, dg = std::move(d)]() mutable {
         deliver(id_cell, std::move(dg));

@@ -10,10 +10,13 @@
 //   - address re-assignment                (what makes PBP re-binding needed)
 //
 // Nodes register by name; InProcTransport (inproc_transport.h) bridges the
-// fabric to the Transport interface. Delivery deadlines ride the process-wide
-// util::TimerQueue::shared() — the fabric owns no thread of its own. The
-// timer queue fires equal deadlines in schedule order, which preserves the
-// fabric's per-instant FIFO guarantee (tests rely on it).
+// fabric to the Transport interface. Delivery deadlines ride an injected
+// util::TimerQueue (the process-wide TimerQueue::shared() by default) — the
+// fabric owns no thread of its own. Handing it a kSimulated queue puts every
+// in-flight datagram on virtual time, which is how the scenario driver
+// (src/sim/) replays a WAN deterministically. The timer queue fires equal
+// deadlines in schedule order, which preserves the fabric's per-instant FIFO
+// guarantee (tests rely on it).
 #pragma once
 
 #include <cstdint>
@@ -52,7 +55,10 @@ struct FabricStats {
 class NetworkFabric {
  public:
   // seed drives loss/jitter decisions; a fixed seed makes a run repeatable.
-  explicit NetworkFabric(std::uint64_t seed = 42);
+  // `timers` carries the delivery deadlines (null => TimerQueue::shared());
+  // it must outlive the fabric.
+  explicit NetworkFabric(std::uint64_t seed = 42,
+                         util::TimerQueue* timers = nullptr);
   ~NetworkFabric();
 
   NetworkFabric(const NetworkFabric&) = delete;
@@ -127,6 +133,7 @@ class NetworkFabric {
   void deliver(const std::shared_ptr<util::TimerId>& id, Datagram d)
       EXCLUDES(mu_);
 
+  util::TimerQueue& timers_queue_;
   mutable util::Mutex mu_{"fabric"};
   util::CondVar cv_;
   std::unordered_map<std::string, DatagramHandler> nodes_ GUARDED_BY(mu_);

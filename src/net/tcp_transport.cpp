@@ -87,7 +87,10 @@ TcpTransport::TcpTransport(std::uint16_t port)
     : TcpTransport(port, Options{}) {}
 
 TcpTransport::TcpTransport(std::uint16_t port, Options options)
-    : options_(std::move(options)), loops_(options_.loops) {
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? *options_.clock
+                                       : util::SystemClock::instance()),
+      loops_(options_.loops) {
   if (!loops_) {
     loops_ = std::make_shared<EventLoopGroup>(options_.io_threads);
     owns_loops_ = true;
@@ -198,7 +201,7 @@ util::Bytes TcpTransport::make_frame(const util::Bytes& payload) const {
 }
 
 void TcpTransport::record_failure(const std::string& authority) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_.now();
   const util::MutexLock lock(mu_);
   auto& entry = backoff_[authority];
   entry.failures += 1;
@@ -233,7 +236,7 @@ bool TcpTransport::send(const Address& dst, util::Bytes payload) {
       if (bit != backoff_.end()) {
         // Known-bad authority: fail fast until the backoff expires, then
         // allow one fresh attempt (counted as a retry).
-        if (std::chrono::steady_clock::now() < bit->second.retry_after) {
+        if (clock_.now() < bit->second.retry_after) {
           return false;
         }
         is_retry = true;
@@ -302,7 +305,7 @@ TcpTransport::ConnPtr TcpTransport::establish_outbound(
                       /*arg: 0 = fresh attempt*/ 0);
   auto conn = std::make_shared<Conn>(loops_->next());
   conn->authority = authority;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_.now();
   {
     const util::MutexLock lock(conn->mu);
     conn->fd = fd;
@@ -370,7 +373,7 @@ bool TcpTransport::enqueue_or_write(const ConnPtr& conn, util::Bytes frame,
         return false;
       }
       if (written == size) {
-        conn->last_activity = std::chrono::steady_clock::now();
+        conn->last_activity = clock_.now();
         return true;
       }
       // Partial frame on the wire: the remainder MUST queue (whatever the
@@ -462,7 +465,7 @@ void TcpTransport::on_connect_writable(const ConnPtr& conn) {
     const util::MutexLock lock(conn->mu);
     if (conn->state != Conn::State::kConnecting) return;
     conn->state = Conn::State::kEstablished;
-    conn->last_activity = std::chrono::steady_clock::now();
+    conn->last_activity = clock_.now();
     deadline_timer = conn->connect_timer;
     conn->connect_timer = 0;
   }
@@ -492,7 +495,7 @@ void TcpTransport::on_connect_attempt_failed(const ConnPtr& conn) {
   auto delay = options_.backoff_initial;
   for (int i = 2; i < attempts && delay < options_.backoff_max; ++i) delay *= 2;
   delay = std::min(delay, options_.backoff_max);
-  if (std::chrono::steady_clock::now() + delay >= give_up_at) {
+  if (clock_.now() + delay >= give_up_at) {
     on_connect_deadline(conn);
     return;
   }
@@ -616,7 +619,7 @@ void TcpTransport::do_read(const ConnPtr& conn) {
       dead = true;
     }
     const util::MutexLock lock(conn->mu);
-    conn->last_activity = std::chrono::steady_clock::now();
+    conn->last_activity = clock_.now();
   }
   if (dead) close_conn(conn);
 }
@@ -656,7 +659,7 @@ void TcpTransport::flush_queue(const ConnPtr& conn) {
         conn->epollout_armed = want_out;
       }
       if (released > 0) {
-        conn->last_activity = std::chrono::steady_clock::now();
+        conn->last_activity = clock_.now();
       }
     }
   }
@@ -725,7 +728,7 @@ void TcpTransport::on_accept() {
       const util::MutexLock lock(conn->mu);
       conn->fd = fd;
       conn->state = Conn::State::kEstablished;
-      conn->last_activity = std::chrono::steady_clock::now();
+      conn->last_activity = clock_.now();
     }
     {
       const util::MutexLock lock(mu_);
@@ -752,7 +755,7 @@ void TcpTransport::on_sweep() {
     for (const auto& [authority, conn] : outbound_) conns.push_back(conn);
     for (const auto& conn : inbound_) conns.push_back(conn);
   }
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_.now();
   for (const auto& conn : conns) {
     bool evict = false;
     {

@@ -83,6 +83,11 @@ class TcpTransport final : public Transport {
     // >0 shrinks SO_SNDBUF on outbound sockets (tests use this to make
     // backpressure reproducible without megabytes of traffic).
     int sndbuf_bytes = 0;
+
+    // Time authority for backoff/idle/deadline math (null =>
+    // SystemClock::instance()). Socket readiness itself is still wall time;
+    // the clock only decides what "now" means to the bookkeeping.
+    util::Clock* clock = nullptr;
   };
 
   // Binds and listens on 127.0.0.1:port; port 0 picks an ephemeral port
@@ -187,6 +192,7 @@ class TcpTransport final : public Transport {
   [[nodiscard]] util::Bytes make_frame(const util::Bytes& payload) const;
 
   Options options_;
+  util::Clock& clock_;  // resolved from options_.clock
   std::shared_ptr<EventLoopGroup> loops_;
   bool owns_loops_ = false;
 

@@ -29,6 +29,7 @@
 #include "jxta/message.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
+#include "util/clock.h"
 #include "util/thread_annotations.h"
 #include "util/uuid.h"
 
@@ -51,10 +52,13 @@ struct Trace {
   std::vector<Hop> hops;
 };
 
-// Microseconds on the steady clock (the hop timebase).
+// Microseconds on the hop timebase — wall time through the one named
+// authority (util/clock.h). Hop stamping happens on real threads even in
+// sim runs, so it stays off virtual time; sim metrics exclude hop deltas
+// from determinism snapshots.
 inline std::int64_t now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             util::SystemClock::instance().now().time_since_epoch())
       .count();
 }
 

@@ -16,8 +16,10 @@ std::int64_t to_us(util::Duration d) {
 
 }  // namespace
 
-Watchdog::Watchdog(WatchdogConfig config, std::shared_ptr<Registry> registry)
+Watchdog::Watchdog(WatchdogConfig config, std::shared_ptr<Registry> registry,
+                   util::TimerQueue* timers)
     : config_(config),
+      timers_(timers != nullptr ? *timers : util::TimerQueue::shared()),
       registry_(std::move(registry)),
       loop_lag_us_(registry_->histogram("obs.loop_lag_us")),
       queue_age_us_(registry_->histogram("obs.delivery_queue_age_us")),
@@ -60,7 +62,7 @@ void Watchdog::start() {
   running_ = true;
   // Stamp every shared-queue fire into the flight recorder with its lag.
   // Stateless and idempotent: several watchdogs may install it; last wins.
-  util::TimerQueue::shared().set_fire_observer([](std::int64_t lag_us) {
+  timers_.set_fire_observer([](std::int64_t lag_us) {
     flight::record(FlightComponent::kTimer, FlightKind::kTimerFire,
                    lag_us > 0 ? static_cast<std::uint64_t>(lag_us) : 0);
   });
@@ -69,7 +71,7 @@ void Watchdog::start() {
 
 void Watchdog::arm_next() {
   const std::int64_t expected = now_us() + to_us(config_.period);
-  timer_id_ = util::TimerQueue::shared().schedule_after(
+  timer_id_ = timers_.schedule_after(
       config_.period, [this, expected] { check(expected); });
 }
 
@@ -83,12 +85,12 @@ void Watchdog::stop() {
   }
   // cancel() blocks out a firing check. The check may have re-armed before
   // seeing running_ == false, so sweep the (single) successor too.
-  util::TimerQueue::shared().cancel(id);
+  timers_.cancel(id);
   {
     const util::MutexLock lock(mu_);
     id = timer_id_;
   }
-  util::TimerQueue::shared().cancel(id);
+  timers_.cancel(id);
 }
 
 std::uint64_t Watchdog::alarms() const {

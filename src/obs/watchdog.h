@@ -39,6 +39,7 @@
 #include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/thread_annotations.h"
+#include "util/timer_queue.h"
 
 namespace p2p::obs {
 
@@ -74,7 +75,9 @@ class Watchdog {
 
   // Registers obs.loop_lag_us / obs.delivery_queue_age_us / obs.timer_lag_us
   // histograms and obs.watchdog_alarms in `registry` (kept alive here).
-  Watchdog(WatchdogConfig config, std::shared_ptr<Registry> registry);
+  // `timers` carries the periodic check (null => TimerQueue::shared()).
+  Watchdog(WatchdogConfig config, std::shared_ptr<Registry> registry,
+           util::TimerQueue* timers = nullptr);
   ~Watchdog();
 
   Watchdog(const Watchdog&) = delete;
@@ -129,6 +132,7 @@ class Watchdog {
   void arm_next() REQUIRES(mu_);
 
   const WatchdogConfig config_;
+  util::TimerQueue& timers_;
   const std::shared_ptr<Registry> registry_;
   Histogram loop_lag_us_;
   Histogram queue_age_us_;

@@ -1,0 +1,625 @@
+#include "sim/scenarios.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "jxta/wire.h"
+#include "sim/sim_world.h"
+#include "util/logging.h"
+
+namespace p2p::sim {
+
+namespace {
+
+using util::Duration;
+
+Duration ms(std::int64_t v) { return Duration{v}; }
+
+jxta::PipeAdvertisement make_topic(const std::string& name) {
+  jxta::PipeAdvertisement adv;
+  adv.pid = jxta::PipeId::derive(name);
+  adv.name = name;
+  adv.type = jxta::PipeAdvertisement::Type::kPropagate;
+  return adv;
+}
+
+// A sim peer profile: lean caches so 10k instances fit, announcement off so
+// joins cost O(1) fabric traffic instead of a group-wide flood.
+jxta::PeerConfig sim_peer(const std::string& name,
+                          const std::vector<net::Address>& seeds) {
+  jxta::PeerConfig config;
+  config.name = name;
+  config.seed_rendezvous = seeds;
+  config.announce_on_start = false;
+  config.heartbeat = ms(5'000);
+  config.trace_capacity = 4;
+  config.rdv.seen_cache_size = 512;
+  return config;
+}
+
+double wall_now_s() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             util::SystemClock::instance().now().time_since_epoch())
+      .count();
+}
+
+double rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::atof(line.c_str() + 6) / 1024.0;
+    }
+  }
+  return 0;
+}
+
+// Per-subscriber delivery ledger shared by the pub/sub scenarios.
+struct SubState {
+  std::shared_ptr<jxta::WireInputPipe> pipe;
+  std::uint64_t delivered = 0;
+};
+
+void append_json_field(std::ostringstream& out, const char* key, double v,
+                       bool& first) {
+  if (!first) out << ",";
+  first = false;
+  out << "\"" << key << "\":" << v;
+}
+
+std::string json_body(const ScenarioResult& r, bool with_environment) {
+  std::ostringstream out;
+  out << "{\"scenario\":\"" << r.scenario << "\",\"seed\":" << r.seed
+      << ",\"peers\":" << r.peers << ",\"virtual_ms\":" << r.virtual_ms
+      << ",\"timers_fired\":" << r.timers_fired
+      << ",\"trace_hash\":" << r.trace_hash
+      << ",\"trace_events\":" << r.trace_events << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : r.metrics) {
+    append_json_field(out, key.c_str(), value, first);
+  }
+  out << "},\"failures\":[";
+  first = true;
+  for (const auto& f : r.failures) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << f << "\"";
+  }
+  out << "]";
+  if (with_environment) {
+    out << ",\"wall_seconds\":" << r.wall_seconds << ",\"rss_mb\":" << r.rss_mb;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string ScenarioResult::to_json() const { return json_body(*this, true); }
+
+std::string ScenarioResult::determinism_key() const {
+  return json_body(*this, false);
+}
+
+ScenarioResult run_flash_crowd(const FlashCrowdOptions& opt) {
+  const double wall0 = wall_now_s();
+  ScenarioResult res;
+  res.scenario = "flash_crowd";
+  res.seed = opt.seed;
+
+  SimWorld world(opt.seed);
+  const jxta::PipeAdvertisement topic = make_topic("flash-topic");
+
+  std::vector<net::Address> rdv_addrs;
+  for (std::size_t i = 0; i < opt.rendezvous; ++i) {
+    const std::string name = "rdv-" + std::to_string(i);
+    auto config = sim_peer(name, rdv_addrs);  // later rdvs seed earlier ones
+    config.rendezvous = true;
+    world.add_peer(config);
+    rdv_addrs.emplace_back("inproc", name);
+  }
+
+  auto subs = std::make_shared<std::map<std::string, SubState>>();
+
+  // Scripted joins, jittered across the join window.
+  for (std::size_t i = 0; i < opt.subscribers; ++i) {
+    const std::string name = "sub-" + std::to_string(i);
+    const auto offset = ms(static_cast<std::int64_t>(world.rng().next_below(
+        static_cast<std::uint64_t>(opt.join_window_ms))));
+    const net::Address seed = rdv_addrs[i % rdv_addrs.size()];
+    world.at(offset, [&world, subs, name, seed, topic] {
+      auto& peer = world.add_peer(sim_peer(name, {seed}));
+      auto pipe = peer.net_group().wire().create_input_pipe(topic);
+      pipe->set_listener([&world, subs, name](jxta::Message) {
+        ++(*subs)[name].delivered;
+        world.record(name, "deliver");
+      });
+      (*subs)[name].pipe = std::move(pipe);
+      world.record(name, "join");
+    });
+  }
+
+  // The publisher is an ordinary edge peer; its output pipe exists before
+  // the crowd arrives.
+  auto& pub = world.add_peer(sim_peer("pub", {rdv_addrs[0]}));
+  auto out = pub.net_group().wire().create_output_pipe(topic);
+  for (std::size_t k = 0; k < opt.publishes; ++k) {
+    world.at(ms(opt.join_window_ms + opt.settle_ms +
+                static_cast<std::int64_t>(k) * opt.publish_gap_ms),
+             [&world, out, k] {
+               jxta::Message m;
+               m.add_string("seq", std::to_string(k));
+               out->send(std::move(m));
+               world.record("pub", "publish");
+             });
+  }
+
+  const std::int64_t total_ms =
+      opt.join_window_ms + opt.settle_ms +
+      static_cast<std::int64_t>(opt.publishes) * opt.publish_gap_ms +
+      opt.settle_ms;
+  res.timers_fired = world.run_for(ms(total_ms));
+
+  // Invariant: exactly-once delivery to every subscriber.
+  std::uint64_t delivered = 0;
+  std::size_t exact = 0;
+  for (const auto& [name, sub] : *subs) {
+    delivered += sub.delivered;
+    if (sub.delivered == opt.publishes) ++exact;
+  }
+  const auto expected =
+      static_cast<double>(opt.subscribers) * static_cast<double>(opt.publishes);
+  if (static_cast<double>(delivered) != expected) {
+    res.failures.push_back("delivered != subscribers*publishes");
+  }
+  if (exact != opt.subscribers) {
+    res.failures.push_back("some subscriber saw duplicates or gaps");
+  }
+
+  res.peers = world.peer_count();
+  res.virtual_ms = world.now_ms();
+  res.trace_hash = world.trace_hash();
+  res.trace_events = world.trace_events();
+  res.metrics["delivered"] = static_cast<double>(delivered);
+  res.metrics["expected"] = expected;
+  res.metrics["delivery_ratio"] =
+      expected > 0 ? static_cast<double>(delivered) / expected : 0;
+  res.metrics["subscribers"] = static_cast<double>(opt.subscribers);
+  res.metrics["publishes"] = static_cast<double>(opt.publishes);
+
+  // Teardown inside the measured scope so pipes close before peers die.
+  for (auto& [name, sub] : *subs) {
+    if (sub.pipe) sub.pipe->close();
+  }
+  out->close();
+
+  res.wall_seconds = wall_now_s() - wall0;
+  res.rss_mb = rss_mb();
+  return res;
+}
+
+ScenarioResult run_churn(const ChurnOptions& opt) {
+  const double wall0 = wall_now_s();
+  ScenarioResult res;
+  res.scenario = "churn";
+  res.seed = opt.seed;
+
+  SimWorld world(opt.seed);
+  const jxta::PipeAdvertisement topic = make_topic("churn-topic");
+
+  std::vector<net::Address> rdv_addrs;
+  for (std::size_t i = 0; i < opt.rendezvous; ++i) {
+    const std::string name = "rdv-" + std::to_string(i);
+    auto config = sim_peer(name, rdv_addrs);
+    config.rendezvous = true;
+    world.add_peer(config);
+    rdv_addrs.emplace_back("inproc", name);
+  }
+
+  struct Slot {
+    int generation = 0;  // bumped on every leave; stale callbacks no-op
+    bool alive = false;
+    std::shared_ptr<jxta::WireInputPipe> pipe;
+    std::shared_ptr<jxta::WireOutputPipe> out;
+  };
+  struct State {
+    std::vector<Slot> slots;
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t ghost_deliveries = 0;  // delivery after leave: invariant
+  };
+  auto st = std::make_shared<State>();
+  st->slots.resize(opt.peers);
+
+  // The join/leave/rejoin cycle for one slot, expressed as a chain of
+  // scripted events. All state mutation happens on the driver thread.
+  struct Lifecycle {
+    SimWorld& world;
+    const ChurnOptions& opt;
+    std::shared_ptr<State> st;
+    std::vector<net::Address> rdv_addrs;
+    jxta::PipeAdvertisement topic;
+
+    void schedule_join(std::size_t slot, Duration offset) {
+      world.at(offset, [this, slot] { join(slot); });
+    }
+
+    void join(std::size_t slot) {
+      if (world.now_ms() >= opt.duration_ms) return;
+      Slot& s = st->slots[slot];
+      const std::string name = "churn-" + std::to_string(slot);
+      auto& peer =
+          world.add_peer(sim_peer(name, {rdv_addrs[slot % rdv_addrs.size()]}));
+      s.alive = true;
+      const int generation = ++s.generation;
+      s.pipe = peer.net_group().wire().create_input_pipe(topic);
+      s.pipe->set_listener([this, slot, generation](jxta::Message) {
+        Slot& self = st->slots[slot];
+        if (!self.alive || self.generation != generation) {
+          ++st->ghost_deliveries;
+          return;
+        }
+        ++st->delivered;
+        world.record("churn-" + std::to_string(slot), "deliver");
+      });
+      if (slot < opt.publishers) {
+        s.out = peer.net_group().wire().create_output_pipe(topic);
+        schedule_publish(slot, generation);
+      }
+      ++st->joins;
+      world.record(name, "join");
+      const auto session = ms(static_cast<std::int64_t>(
+          world.rng().next_weibull(opt.session_shape, opt.session_scale_ms)));
+      world.at(std::max(session, ms(500)),
+               [this, slot, generation] { leave(slot, generation); });
+    }
+
+    void schedule_publish(std::size_t slot, int generation) {
+      world.at(ms(opt.publish_period_ms), [this, slot, generation] {
+        Slot& s = st->slots[slot];
+        if (!s.alive || s.generation != generation || !s.out) return;
+        jxta::Message m;
+        m.add_string("from", std::to_string(slot));
+        s.out->send(std::move(m));
+        ++st->publishes;
+        world.record("churn-" + std::to_string(slot), "publish");
+        schedule_publish(slot, generation);
+      });
+    }
+
+    void leave(std::size_t slot, int generation) {
+      Slot& s = st->slots[slot];
+      if (!s.alive || s.generation != generation) return;
+      s.alive = false;
+      if (s.pipe) s.pipe->close();
+      if (s.out) s.out->close();
+      s.pipe.reset();
+      s.out.reset();
+      world.remove_peer("churn-" + std::to_string(slot));
+      ++st->leaves;
+      world.record("churn-" + std::to_string(slot), "leave");
+      const auto downtime = ms(static_cast<std::int64_t>(
+          world.rng().next_weibull(opt.session_shape, opt.downtime_scale_ms)));
+      if (world.now_ms() + downtime.count() < opt.duration_ms) {
+        schedule_join(slot, std::max(downtime, ms(500)));
+      }
+    }
+  };
+  auto lifecycle = std::make_shared<Lifecycle>(
+      Lifecycle{world, opt, st, rdv_addrs, topic});
+
+  for (std::size_t slot = 0; slot < opt.peers; ++slot) {
+    const auto offset = ms(static_cast<std::int64_t>(world.rng().next_below(
+        static_cast<std::uint64_t>(opt.duration_ms / 3))));
+    lifecycle->schedule_join(slot, offset);
+  }
+
+  res.timers_fired = world.run_for(ms(opt.duration_ms));
+
+  if (st->delivered == 0) res.failures.push_back("no deliveries under churn");
+  if (st->ghost_deliveries != 0) {
+    res.failures.push_back("delivery reached a departed peer");
+  }
+  if (st->joins < opt.peers) res.failures.push_back("not every slot joined");
+
+  res.peers = opt.peers;
+  res.virtual_ms = world.now_ms();
+  res.trace_hash = world.trace_hash();
+  res.trace_events = world.trace_events();
+  res.metrics["joins"] = static_cast<double>(st->joins);
+  res.metrics["leaves"] = static_cast<double>(st->leaves);
+  res.metrics["publishes"] = static_cast<double>(st->publishes);
+  res.metrics["delivered"] = static_cast<double>(st->delivered);
+
+  // Close surviving pipes before the world (and its peers) tears down.
+  for (Slot& s : st->slots) {
+    if (s.pipe) s.pipe->close();
+    if (s.out) s.out->close();
+  }
+
+  res.wall_seconds = wall_now_s() - wall0;
+  res.rss_mb = rss_mb();
+  return res;
+}
+
+ScenarioResult run_loss_burst(const LossBurstOptions& opt) {
+  const double wall0 = wall_now_s();
+  ScenarioResult res;
+  res.scenario = "loss_burst";
+  res.seed = opt.seed;
+
+  SimWorld world(opt.seed);
+  const jxta::PipeAdvertisement topic = make_topic("loss-topic");
+
+  auto config = sim_peer("rdv-0", {});
+  config.rendezvous = true;
+  world.add_peer(config);
+  const net::Address rdv_addr("inproc", "rdv-0");
+
+  auto subs = std::make_shared<std::map<std::string, SubState>>();
+  std::uint64_t clean_delivered = 0;
+  auto in_burst_delivered = std::make_shared<std::uint64_t>(0);
+
+  for (std::size_t i = 0; i < opt.subscribers; ++i) {
+    const std::string name = "sub-" + std::to_string(i);
+    auto& peer = world.add_peer(sim_peer(name, {rdv_addr}));
+    auto pipe = peer.net_group().wire().create_input_pipe(topic);
+    pipe->set_listener([&world, subs, name](jxta::Message) {
+      ++(*subs)[name].delivered;
+      world.record(name, "deliver");
+    });
+    (*subs)[name].pipe = std::move(pipe);
+  }
+
+  auto& pub = world.add_peer(sim_peer("pub", {rdv_addr}));
+  auto out = pub.net_group().wire().create_output_pipe(topic);
+  auto publish = [&world, out](std::size_t k) {
+    jxta::Message m;
+    m.add_string("seq", std::to_string(k));
+    out->send(std::move(m));
+    world.record("pub", "publish");
+  };
+
+  // Phase 1: clean links, full delivery expected.
+  world.run_for(ms(2'000));
+  for (std::size_t k = 0; k < opt.publishes_clean; ++k) {
+    publish(k);
+    world.run_for(ms(500));
+  }
+  for (const auto& [name, sub] : *subs) clean_delivered += sub.delivered;
+
+  // Phase 2: the burst — loss + latency jitter on every link.
+  world.fabric().set_default_link(
+      net::LinkSpec{opt.burst_latency_ms, opt.burst_jitter_ms, opt.burst_loss});
+  for (std::size_t k = 0; k < opt.publishes_lossy; ++k) {
+    publish(opt.publishes_clean + k);
+    world.run_for(ms(500));
+  }
+  world.fabric().set_default_link(net::LinkSpec{});
+  world.run_for(ms(2'000));
+
+  std::uint64_t total_delivered = 0;
+  for (const auto& [name, sub] : *subs) total_delivered += sub.delivered;
+  *in_burst_delivered = total_delivered - clean_delivered;
+
+  const double clean_expected = static_cast<double>(opt.subscribers) *
+                                static_cast<double>(opt.publishes_clean);
+  const double burst_expected = static_cast<double>(opt.subscribers) *
+                                static_cast<double>(opt.publishes_lossy);
+  if (static_cast<double>(clean_delivered) != clean_expected) {
+    res.failures.push_back("loss during the clean phase");
+  }
+  if (*in_burst_delivered == 0) {
+    res.failures.push_back("burst blacked out delivery entirely");
+  }
+  if (static_cast<double>(*in_burst_delivered) >= burst_expected) {
+    res.failures.push_back("burst loss had no effect");
+  }
+
+  res.peers = world.peer_count();
+  res.virtual_ms = world.now_ms();
+  res.trace_hash = world.trace_hash();
+  res.trace_events = world.trace_events();
+  res.timers_fired = world.timers().fired();
+  res.metrics["clean_delivered"] = static_cast<double>(clean_delivered);
+  res.metrics["clean_expected"] = clean_expected;
+  res.metrics["burst_delivered"] = static_cast<double>(*in_burst_delivered);
+  res.metrics["burst_expected"] = burst_expected;
+  res.metrics["burst_ratio"] =
+      burst_expected > 0 ? static_cast<double>(*in_burst_delivered) /
+                               burst_expected
+                         : 0;
+
+  for (auto& [name, sub] : *subs) {
+    if (sub.pipe) sub.pipe->close();
+  }
+  out->close();
+
+  res.wall_seconds = wall_now_s() - wall0;
+  res.rss_mb = rss_mb();
+  return res;
+}
+
+ScenarioResult run_firewall(const FirewallOptions& opt) {
+  const double wall0 = wall_now_s();
+  ScenarioResult res;
+  res.scenario = "firewall";
+  res.seed = opt.seed;
+
+  SimWorld world(opt.seed);
+  const jxta::PipeAdvertisement topic = make_topic("fw-topic");
+
+  auto config = sim_peer("rdv-0", {});
+  config.rendezvous = true;
+  world.add_peer(config);
+  const net::Address rdv_addr("inproc", "rdv-0");
+
+  auto subs = std::make_shared<std::map<std::string, SubState>>();
+  const auto firewalled_count = static_cast<std::size_t>(
+      static_cast<double>(opt.subscribers) * opt.firewalled_fraction);
+
+  for (std::size_t i = 0; i < opt.subscribers; ++i) {
+    const std::string name = "sub-" + std::to_string(i);
+    const bool firewalled = i < firewalled_count;
+    // Mark the node before it attaches: its very first lease send then
+    // punches the outbound hole, exactly like a NAT client dialing out.
+    if (firewalled) world.fabric().set_firewalled(name, true);
+    auto& peer = world.add_peer(sim_peer(name, {rdv_addr}));
+    auto pipe = peer.net_group().wire().create_input_pipe(topic);
+    pipe->set_listener([&world, subs, name](jxta::Message) {
+      ++(*subs)[name].delivered;
+      world.record(name, "deliver");
+    });
+    (*subs)[name].pipe = std::move(pipe);
+  }
+
+  auto& pub = world.add_peer(sim_peer("pub", {rdv_addr}));
+  auto out = pub.net_group().wire().create_output_pipe(topic);
+
+  world.run_for(ms(2'000));  // leases establish (holes punched)
+  for (std::size_t k = 0; k < opt.publishes; ++k) {
+    jxta::Message m;
+    m.add_string("seq", std::to_string(k));
+    out->send(std::move(m));
+    world.record("pub", "publish");
+    world.run_for(ms(500));
+  }
+  world.run_for(ms(2'000));
+
+  std::uint64_t open_delivered = 0;
+  std::uint64_t fw_delivered = 0;
+  std::size_t fw_fully_served = 0;
+  for (std::size_t i = 0; i < opt.subscribers; ++i) {
+    const auto& sub = (*subs)["sub-" + std::to_string(i)];
+    if (i < firewalled_count) {
+      fw_delivered += sub.delivered;
+      if (sub.delivered == opt.publishes) ++fw_fully_served;
+    } else {
+      open_delivered += sub.delivered;
+    }
+  }
+  if (fw_fully_served != firewalled_count) {
+    res.failures.push_back("a firewalled peer missed publishes");
+  }
+  const double open_expected =
+      static_cast<double>(opt.subscribers - firewalled_count) *
+      static_cast<double>(opt.publishes);
+  if (static_cast<double>(open_delivered) != open_expected) {
+    res.failures.push_back("an open peer missed publishes");
+  }
+
+  res.peers = world.peer_count();
+  res.virtual_ms = world.now_ms();
+  res.trace_hash = world.trace_hash();
+  res.trace_events = world.trace_events();
+  res.timers_fired = world.timers().fired();
+  res.metrics["firewalled"] = static_cast<double>(firewalled_count);
+  res.metrics["firewalled_delivered"] = static_cast<double>(fw_delivered);
+  res.metrics["open_delivered"] = static_cast<double>(open_delivered);
+
+  for (auto& [name, sub] : *subs) {
+    if (sub.pipe) sub.pipe->close();
+  }
+  out->close();
+
+  res.wall_seconds = wall_now_s() - wall0;
+  res.rss_mb = rss_mb();
+  return res;
+}
+
+ScenarioResult run_kad_convergence(const KadConvergenceOptions& opt) {
+  const double wall0 = wall_now_s();
+  ScenarioResult res;
+  res.scenario = "kad_convergence";
+  res.seed = opt.seed;
+
+  SimWorld world(opt.seed);
+
+  auto rdv = sim_peer("rdv-0", {});
+  rdv.rendezvous = true;
+  rdv.kad.enabled = true;
+  world.add_peer(rdv);
+  const net::Address rdv_addr("inproc", "rdv-0");
+
+  // DHT peers announce: the advertisement flood is what seeds routing
+  // tables beyond the rendezvous (each peer's self-lookup then fills in
+  // the rest). O(N²) traffic, so this scenario stays at modest N.
+  for (std::size_t i = 0; i < opt.peers; ++i) {
+    auto config = sim_peer("kad-" + std::to_string(i), {rdv_addr});
+    config.kad.enabled = true;
+    config.announce_on_start = true;
+    world.add_peer(config);
+    // Stagger joins so the announce floods don't all land on one instant.
+    world.run_for(ms(20));
+  }
+  world.run_for(ms(10'000));  // bootstrap self-lookups converge
+
+  // One peer stores an advertisement; sampled peers look it up by key.
+  const jxta::PipeAdvertisement record = make_topic("kad-needle");
+  auto* publisher = world.find_peer("kad-0");
+  publisher->discovery().remote_publish(record, jxta::DiscoveryType::kAdv);
+  world.run_for(ms(3'000));  // STOREs land
+
+  const auto key = jxta::KadService::advertisement_key(
+      static_cast<std::uint8_t>(jxta::DiscoveryType::kAdv), "Name",
+      record.name);
+  if (!key.has_value()) {
+    res.failures.push_back("advertisement key not DHT-indexed");
+  }
+
+  struct LookupStats {
+    std::uint64_t completed = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t total_hops = 0;
+    std::uint32_t max_hops = 0;
+  };
+  auto stats = std::make_shared<LookupStats>();
+  const std::size_t lookups = std::min(opt.lookups, opt.peers);
+  for (std::size_t i = 0; i < lookups && key.has_value(); ++i) {
+    // Sample from the tail: peers that joined last and never stored it.
+    const std::string name =
+        "kad-" + std::to_string(opt.peers - 1 - (i % opt.peers));
+    auto* peer = world.find_peer(name);
+    peer->kad()->lookup_value(
+        *key, [&world, stats, name](std::vector<jxta::KadRecord> records,
+                                    std::uint8_t, std::uint32_t hops) {
+          ++stats->completed;
+          if (!records.empty()) ++stats->hits;
+          stats->total_hops += hops;
+          stats->max_hops = std::max(stats->max_hops, hops);
+          world.record(name, records.empty() ? "miss" : "hit");
+        });
+  }
+  world.run_for(ms(10'000));
+
+  if (stats->completed != lookups) {
+    res.failures.push_back("a lookup never terminated");
+  }
+  if (stats->hits == 0) res.failures.push_back("no lookup found the record");
+
+  res.peers = world.peer_count();
+  res.virtual_ms = world.now_ms();
+  res.trace_hash = world.trace_hash();
+  res.trace_events = world.trace_events();
+  res.timers_fired = world.timers().fired();
+  res.metrics["lookups"] = static_cast<double>(lookups);
+  res.metrics["completed"] = static_cast<double>(stats->completed);
+  res.metrics["hits"] = static_cast<double>(stats->hits);
+  res.metrics["avg_hops"] =
+      stats->completed > 0
+          ? static_cast<double>(stats->total_hops) /
+                static_cast<double>(stats->completed)
+          : 0;
+  res.metrics["max_hops"] = static_cast<double>(stats->max_hops);
+
+  res.wall_seconds = wall_now_s() - wall0;
+  res.rss_mb = rss_mb();
+  return res;
+}
+
+}  // namespace p2p::sim

@@ -1,0 +1,111 @@
+// Scripted large-scale scenarios over SimWorld (virtual time).
+//
+// Each scenario builds an overlay of single-threaded peers, drives a
+// scripted schedule (joins, churn, faults, publishes) on the simulated
+// clock, asserts its invariants and returns a ScenarioResult whose
+// deterministic fields — metrics, virtual duration, trace signature — are
+// byte-identical across runs with the same options. Wall-clock speed and
+// process RSS ride along for the scale curves but are excluded from the
+// determinism key.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace p2p::sim {
+
+struct ScenarioResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t peers = 0;
+  std::int64_t virtual_ms = 0;       // simulated time the script covered
+  std::uint64_t timers_fired = 0;    // total deadlines executed
+  std::uint64_t trace_hash = 0;      // FNV over (virtual ms, peer, event)
+  std::uint64_t trace_events = 0;
+  std::map<std::string, double> metrics;  // ordered => stable serialization
+  // Invariant violations; empty on a healthy run.
+  std::vector<std::string> failures;
+  // Excluded from the determinism key:
+  double wall_seconds = 0;  // real time the run took
+  double rss_mb = 0;        // process resident set after the run
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  // Full JSON (one object), wall/rss included.
+  [[nodiscard]] std::string to_json() const;
+  // The deterministic subset only: two same-seed runs must return
+  // identical strings; a different seed must not.
+  [[nodiscard]] std::string determinism_key() const;
+};
+
+// Flash crowd: `subscribers` peers join one topic within join_window, then
+// a publisher sends `publishes` messages. Invariant: every subscriber
+// receives every message exactly once (rendezvous dedup; zero-loss links).
+struct FlashCrowdOptions {
+  std::uint64_t seed = 42;
+  std::size_t subscribers = 1000;
+  std::size_t rendezvous = 4;
+  std::size_t publishes = 5;
+  std::int64_t join_window_ms = 5'000;
+  std::int64_t publish_gap_ms = 200;
+  std::int64_t settle_ms = 3'000;
+};
+ScenarioResult run_flash_crowd(const FlashCrowdOptions& opt);
+
+// Churn: peers join at staggered offsets, live Weibull-distributed
+// sessions, leave, and rejoin after a Weibull downtime. A subset publishes
+// periodically while alive. Invariants: deliveries occur, and no delivery
+// reaches a peer that already left.
+struct ChurnOptions {
+  std::uint64_t seed = 7;
+  std::size_t peers = 500;
+  std::size_t rendezvous = 2;
+  std::size_t publishers = 10;         // slots [0, publishers) publish
+  std::int64_t publish_period_ms = 5'000;
+  double session_shape = 1.3;          // Weibull k (k>1: wear-out)
+  double session_scale_ms = 20'000;    // Weibull lambda
+  double downtime_scale_ms = 8'000;
+  std::int64_t duration_ms = 45'000;
+};
+ScenarioResult run_churn(const ChurnOptions& opt);
+
+// Loss burst: a flash-crowd topology publishing through a scheduled window
+// of heavy random loss + latency jitter. Invariants: full delivery outside
+// the burst, partial (but non-zero) delivery inside it.
+struct LossBurstOptions {
+  std::uint64_t seed = 11;
+  std::size_t subscribers = 100;
+  std::size_t publishes_clean = 5;
+  std::size_t publishes_lossy = 5;
+  double burst_loss = 0.4;
+  std::int64_t burst_latency_ms = 40;
+  std::int64_t burst_jitter_ms = 30;
+};
+ScenarioResult run_loss_burst(const LossBurstOptions& opt);
+
+// Firewall-heavy topology: a fraction of subscribers sit behind stateful
+// firewalls (no multicast, inbound only through holes they punched).
+// Invariant: firewalled peers still receive every publish — via the
+// rendezvous relay path their lease traffic opened.
+struct FirewallOptions {
+  std::uint64_t seed = 13;
+  std::size_t subscribers = 200;
+  double firewalled_fraction = 0.5;
+  std::size_t publishes = 5;
+};
+ScenarioResult run_firewall(const FirewallOptions& opt);
+
+// DHT lookup convergence: a kad-enabled overlay stores one advertisement,
+// then every sampled peer looks its key up. Invariants: every lookup
+// terminates, and the hit rate / hop counts are reported.
+struct KadConvergenceOptions {
+  std::uint64_t seed = 17;
+  std::size_t peers = 128;
+  std::size_t lookups = 32;
+};
+ScenarioResult run_kad_convergence(const KadConvergenceOptions& opt);
+
+}  // namespace p2p::sim

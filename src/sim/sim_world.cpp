@@ -1,0 +1,79 @@
+#include "sim/sim_world.h"
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace p2p::sim {
+
+namespace {
+
+// Distinct streams per consumer so adding a draw in one place never shifts
+// another's sequence.
+constexpr std::uint64_t kWorldStream = 0x5EED0001;
+constexpr std::uint64_t kFabricStream = 0x5EED0002;
+
+}  // namespace
+
+SimWorld::SimWorld(std::uint64_t seed)
+    : timers_("sim", clock_),
+      rng_(seed ^ kWorldStream),
+      fabric_(seed ^ kFabricStream, &timers_),
+      start_(clock_.now()) {
+  util::seed_global_rng(seed);
+}
+
+SimWorld::~SimWorld() {
+  // Peers cancel their timers on stop; destroy them before the queue dies.
+  peers_.clear();
+}
+
+jxta::Peer& SimWorld::add_peer(jxta::PeerConfig config) {
+  const std::string name = config.name;
+  if (peers_.contains(name)) {
+    throw util::InvalidArgument("sim: duplicate peer name " + name);
+  }
+  config.single_threaded = true;
+  auto peer = std::make_unique<jxta::Peer>(std::move(config), clock_, &timers_);
+  peer->add_transport(std::make_shared<net::InProcTransport>(fabric_, name));
+  peer->start();
+  auto& ref = *peer;
+  peers_.emplace(name, std::move(peer));
+  return ref;
+}
+
+void SimWorld::remove_peer(const std::string& name) {
+  const auto it = peers_.find(name);
+  if (it == peers_.end()) return;
+  it->second->stop();
+  peers_.erase(it);
+}
+
+jxta::Peer* SimWorld::find_peer(const std::string& name) {
+  const auto it = peers_.find(name);
+  return it != peers_.end() ? it->second.get() : nullptr;
+}
+
+void SimWorld::at(util::Duration offset, std::function<void()> fn) {
+  timers_.schedule_after(offset, std::move(fn));
+}
+
+std::size_t SimWorld::run_for(util::Duration d) { return timers_.advance_by(d); }
+
+std::int64_t SimWorld::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(clock_.now() -
+                                                               start_)
+      .count();
+}
+
+void SimWorld::record(std::string_view peer, std::string_view event) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  auto fold = [&](std::uint64_t v) {
+    trace_hash_ = (trace_hash_ ^ v) * kPrime;
+  };
+  fold(static_cast<std::uint64_t>(now_ms()));
+  for (const char c : peer) fold(static_cast<std::uint8_t>(c));
+  for (const char c : event) fold(static_cast<std::uint8_t>(c));
+  ++trace_events_;
+}
+
+}  // namespace p2p::sim

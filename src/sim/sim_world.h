@@ -1,0 +1,95 @@
+// SimWorld: the deterministic scenario driver over virtual time.
+//
+// One SimWorld owns the whole time plane of an in-process overlay:
+//   * a util::SimClock — the only "now" any component reads;
+//   * a kSimulated util::TimerQueue — every deadline in the world (fabric
+//     deliveries, discovery expiry, DHT RPC timeouts, peer heartbeats)
+//     lands here and fires on the driver thread when run_for() steps the
+//     clock across it;
+//   * a seeded util::Rng (plus the seeded global RNG for id generation);
+//   * a net::NetworkFabric wired to the simulated queue.
+//
+// Peers are jxta::Peer instances forced into single_threaded mode: their
+// executors run inline and their maintenance timers ride the simulated
+// queue, so a 10k-peer overlay is one thread and advances faster than
+// realtime. Same seed + same script => the identical sequence of timer
+// firings, datagram deliveries and generated ids — byte-identical metrics.
+//
+// The driver thread is the only thread by contract. Never call blocking
+// convenience APIs (TpsSession::init, OutputPipe::resolve, fabric drain)
+// from a scenario: a condvar cannot be woken by virtual-time advancement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "jxta/peer.h"
+#include "net/fabric.h"
+#include "net/inproc_transport.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/timer_queue.h"
+
+namespace p2p::sim {
+
+class SimWorld {
+ public:
+  // Seeds the world RNG, the fabric RNG and the process-global RNG (id
+  // generation), so two worlds with the same seed generate identical peer
+  // and message ids in the same order.
+  explicit SimWorld(std::uint64_t seed);
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  // --- population ---------------------------------------------------------
+  // Creates, wires (InProcTransport named config.name) and starts a peer.
+  // config.single_threaded is forced on; config.name must be unique.
+  // Returns the running peer (owned by the world).
+  jxta::Peer& add_peer(jxta::PeerConfig config);
+  // Stops and destroys the peer; in-flight traffic to it drops (churn).
+  void remove_peer(const std::string& name);
+  [[nodiscard]] jxta::Peer* find_peer(const std::string& name);
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+
+  // --- script -------------------------------------------------------------
+  // Schedules fn at now + offset on the simulated queue (virtual time).
+  void at(util::Duration offset, std::function<void()> fn);
+  // Advances virtual time by d, firing everything due on the way. Returns
+  // the number of timers fired.
+  std::size_t run_for(util::Duration d);
+
+  // Virtual milliseconds since world construction.
+  [[nodiscard]] std::int64_t now_ms() const;
+
+  // --- event trace --------------------------------------------------------
+  // Folds (virtual ms, peer, event) into the incremental trace hash. The
+  // hash + count pair is the determinism signature of a run: two runs with
+  // the same seed must produce the identical sequence.
+  void record(std::string_view peer, std::string_view event);
+  [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
+  [[nodiscard]] std::uint64_t trace_events() const { return trace_events_; }
+
+  // --- plumbing (link shaping, faults, direct scheduling) ------------------
+  [[nodiscard]] util::SimClock& clock() { return clock_; }
+  [[nodiscard]] util::TimerQueue& timers() { return timers_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+  [[nodiscard]] net::NetworkFabric& fabric() { return fabric_; }
+
+ private:
+  util::SimClock clock_;
+  util::TimerQueue timers_;
+  util::Rng rng_;
+  net::NetworkFabric fabric_;
+  util::TimePoint start_;
+  // Ordered by name: teardown and iteration order never depend on hashing.
+  std::map<std::string, std::unique_ptr<jxta::Peer>> peers_;
+  std::uint64_t trace_hash_ = 1469598103934665603ULL;  // FNV-1a offset basis
+  std::uint64_t trace_events_ = 0;
+};
+
+}  // namespace p2p::sim

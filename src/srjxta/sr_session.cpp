@@ -31,7 +31,7 @@ void SrSession::init() {
 
   util::MutexLock lock(mu_);
   const util::TimePoint deadline =
-      std::chrono::steady_clock::now() + config_.adv_search_timeout;
+      util::SystemClock::instance().now() + config_.adv_search_timeout;
   while (bindings_.empty() && !shut_down_) {
     if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
   }

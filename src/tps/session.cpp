@@ -384,7 +384,7 @@ TpsSession::Channel& TpsSession::channel(const std::string& type,
   Channel& ch = it->second;
   if (wait_for_adv && ch.bindings.empty()) {
     const util::TimePoint deadline =
-        std::chrono::steady_clock::now() + config_.adv_search_timeout;
+        util::SystemClock::instance().now() + config_.adv_search_timeout;
     while (ch.bindings.empty() && !shut_down_) {
       if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
     }
@@ -405,7 +405,7 @@ TpsSession::Channel& TpsSession::channel(const std::string& type,
       // with the type actually bound, so wait for whichever adopt wins;
       // if it failed (and cleared adopting_), re-issue ours once.
       const util::TimePoint bind_deadline =
-          std::chrono::steady_clock::now() + config_.adv_search_timeout;
+          util::SystemClock::instance().now() + config_.adv_search_timeout;
       while (ch.bindings.empty() && !shut_down_) {
         if (cv_.wait_until(mu_, bind_deadline) == std::cv_status::timeout) {
           break;
@@ -679,7 +679,7 @@ void TpsSession::sender_loop() {
       if (send_queue_.size() < config_.batch_max_events &&
           config_.batch_max_age > std::chrono::microseconds::zero()) {
         const util::TimePoint deadline =
-            std::chrono::steady_clock::now() + config_.batch_max_age;
+            util::SystemClock::instance().now() + config_.batch_max_age;
         while (send_queue_.size() < config_.batch_max_events &&
                !sender_stop_ && !flush_pending_) {
           if (send_cv_.wait_until(send_mu_, deadline) ==

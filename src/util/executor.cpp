@@ -6,20 +6,51 @@
 
 namespace p2p::util {
 
-SerialExecutor::SerialExecutor(std::string name) : name_(std::move(name)) {
-  thread_ = std::thread([this] { run(); });
+namespace {
+// The inline-mode executor currently running a post() on this thread, so
+// on_executor_thread() keeps its meaning ("am I inside my own dispatch?")
+// without a dedicated thread to compare against.
+thread_local const SerialExecutor* t_inline_executor = nullptr;
+}  // namespace
+
+SerialExecutor::SerialExecutor(std::string name, bool inline_mode)
+    : name_(std::move(name)), inline_mode_(inline_mode) {
+  if (!inline_mode_) {
+    thread_ = std::thread([this] { run(); });
+  }
 }
 
 SerialExecutor::~SerialExecutor() { stop(); }
 
-bool SerialExecutor::post(Task task) { return queue_.push(std::move(task)); }
+bool SerialExecutor::post(Task task) {
+  if (inline_mode_) {
+    if (inline_stopped_.load(std::memory_order_acquire)) return false;
+    const SerialExecutor* const prev = t_inline_executor;
+    t_inline_executor = this;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      P2P_LOG(kError, "executor") << name_ << ": task threw: " << e.what();
+    } catch (...) {
+      P2P_LOG(kError, "executor") << name_ << ": task threw unknown exception";
+    }
+    t_inline_executor = prev;
+    return true;
+  }
+  return queue_.push(std::move(task));
+}
 
 void SerialExecutor::stop() {
+  if (inline_mode_) {
+    inline_stopped_.store(true, std::memory_order_release);
+    return;
+  }
   queue_.close();
   if (thread_.joinable()) thread_.join();
 }
 
 bool SerialExecutor::on_executor_thread() const {
+  if (inline_mode_) return t_inline_executor == this;
   return std::this_thread::get_id() == thread_.get_id();
 }
 
@@ -36,26 +67,87 @@ void SerialExecutor::run() {
   }
 }
 
-PeriodicTimer::PeriodicTimer(std::string name) : name_(std::move(name)) {
+PeriodicTimer::PeriodicTimer(std::string name)
+    : name_(std::move(name)), timers_(nullptr) {
   thread_ = std::thread([this] { run(); });
 }
+
+PeriodicTimer::PeriodicTimer(std::string name, TimerQueue& timers)
+    : name_(std::move(name)), timers_(&timers) {}
 
 PeriodicTimer::~PeriodicTimer() { stop(); }
 
 std::uint64_t PeriodicTimer::schedule(Duration period, Task task) {
+  if (timers_ != nullptr) {
+    const MutexLock lock(mu_);
+    if (stopped_) return 0;
+    const std::uint64_t id = next_id_++;
+    entries_.push_back(Entry{id, TimePoint{}, period, std::move(task)});
+    entries_.back().queue_timer =
+        timers_->schedule_after(period, [this, id] { fire_queued(id); });
+    return id;
+  }
   std::uint64_t id = 0;
   {
     const MutexLock lock(mu_);
     if (stopped_) return 0;
     id = next_id_++;
-    entries_.push_back(Entry{id, std::chrono::steady_clock::now() + period,
+    entries_.push_back(Entry{id, SystemClock::instance().now() + period,
                              period, std::move(task)});
   }
   cv_.notify_all();
   return id;
 }
 
+void PeriodicTimer::fire_queued(std::uint64_t handle) {
+  Task task;
+  Duration period{};
+  {
+    const MutexLock lock(mu_);
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.id == handle; });
+    if (it == entries_.end() || stopped_) return;
+    task = it->task;  // copy: the entry may be cancelled while firing
+    period = it->period;
+  }
+  try {
+    task();
+  } catch (const std::exception& e) {
+    P2P_LOG(kError, "timer") << name_ << ": task " << handle
+                             << " threw: " << e.what();
+  } catch (...) {
+    P2P_LOG(kError, "timer") << name_ << ": task " << handle << " threw";
+  }
+  // Re-arm only if the entry survived the firing (cancel() during the task
+  // erases it — including a self-cancel from inside the task).
+  const MutexLock lock(mu_);
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const Entry& e) { return e.id == handle; });
+  if (it == entries_.end() || stopped_) return;
+  it->queue_timer =
+      timers_->schedule_after(period, [this, handle] { fire_queued(handle); });
+}
+
 void PeriodicTimer::cancel(std::uint64_t handle) {
+  if (timers_ != nullptr) {
+    TimerId queue_timer = 0;
+    {
+      const MutexLock lock(mu_);
+      const auto it =
+          std::find_if(entries_.begin(), entries_.end(),
+                       [&](const Entry& e) { return e.id == handle; });
+      if (it == entries_.end()) return;
+      queue_timer = it->queue_timer;
+      entries_.erase(it);
+    }
+    // TimerQueue::cancel gives the synchronous-cancellation guarantee: it
+    // blocks out a firing fire_queued (whose re-arm then finds the entry
+    // gone), and a self-cancel from inside the task returns immediately.
+    if (queue_timer != 0) timers_->cancel(queue_timer);
+    return;
+  }
   const MutexLock lock(mu_);
   std::erase_if(entries_, [&](const Entry& e) { return e.id == handle; });
   // Synchronous cancellation: don't return while this handle's task runs
@@ -66,6 +158,20 @@ void PeriodicTimer::cancel(std::uint64_t handle) {
 }
 
 void PeriodicTimer::stop() {
+  if (timers_ != nullptr) {
+    std::vector<TimerId> pending;
+    {
+      const MutexLock lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+      for (const Entry& e : entries_) {
+        if (e.queue_timer != 0) pending.push_back(e.queue_timer);
+      }
+      entries_.clear();
+    }
+    for (const TimerId id : pending) timers_->cancel(id);
+    return;
+  }
   {
     const MutexLock lock(mu_);
     if (stopped_) return;
@@ -85,7 +191,7 @@ void PeriodicTimer::run() {
     auto soonest = std::min_element(
         entries_.begin(), entries_.end(),
         [](const Entry& a, const Entry& b) { return a.next < b.next; });
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = SystemClock::instance().now();
     if (soonest->next > now) {
       // Copy the deadline: wait_until releases the lock, so a concurrent
       // schedule() may reallocate entries_ and invalidate `soonest`.

@@ -13,29 +13,36 @@
 #include "util/clock.h"
 #include "util/queue.h"
 #include "util/thread_annotations.h"
+#include "util/timer_queue.h"
 
 namespace p2p::util {
 
 using Task = std::function<void()>;
 
-// Runs posted tasks in FIFO order on one dedicated thread.
+// Runs posted tasks in FIFO order on one dedicated thread — or, in inline
+// mode, synchronously on the posting thread. Inline mode is what lets a
+// simulation host thousands of peers in one process: the sim driver thread
+// is the only thread, so per-peer FIFO serialization holds trivially and no
+// OS thread is spawned per peer.
 class SerialExecutor {
  public:
-  // name is used in logs; the thread starts immediately.
-  explicit SerialExecutor(std::string name);
+  // name is used in logs; the thread starts immediately unless `inline_mode`.
+  explicit SerialExecutor(std::string name, bool inline_mode = false);
   ~SerialExecutor();
 
   SerialExecutor(const SerialExecutor&) = delete;
   SerialExecutor& operator=(const SerialExecutor&) = delete;
 
-  // Enqueues a task. Returns false if the executor is already stopped.
+  // Enqueues a task (inline mode: runs it before returning). Returns false
+  // if the executor is already stopped.
   bool post(Task task);
 
   // Stops accepting tasks, drains the queue, joins the thread. Idempotent.
   // Must not be called from the executor thread itself.
   void stop();
 
-  // True when the calling thread is this executor's thread.
+  // True when the calling thread is this executor's thread (inline mode:
+  // when the calling thread is inside a post()).
   [[nodiscard]] bool on_executor_thread() const;
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -44,15 +51,25 @@ class SerialExecutor {
   void run();
 
   std::string name_;
+  const bool inline_mode_;
   BlockingQueue<Task> queue_;
+  std::atomic<bool> inline_stopped_{false};
   std::thread thread_;
 };
 
-// Fires registered callbacks at fixed periods on one shared thread.
+// Fires registered callbacks at fixed periods. Two backings:
+//   * own thread (default) — the historical per-peer timer thread; blocking
+//     work in a task only parks this timer, never the shared TimerQueue.
+//   * an injected util::TimerQueue — no thread; periodic entries ride the
+//     queue (re-armed after each firing). With a kSimulated queue the
+//     periodic work (discovery re-query loops, peer heartbeats) runs on
+//     virtual time, which is how sim peers stay threadless.
 // Used by discovery re-query loops and advertisement-cache sweeps.
 class PeriodicTimer {
  public:
   explicit PeriodicTimer(std::string name);
+  // TimerQueue-backed: schedules ride `timers` (which must outlive this).
+  PeriodicTimer(std::string name, TimerQueue& timers);
   ~PeriodicTimer();
 
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -69,7 +86,7 @@ class PeriodicTimer {
   // Thread-safe, idempotent.
   void cancel(std::uint64_t handle) EXCLUDES(mu_);
 
-  // Stops the timer thread. Idempotent.
+  // Stops the timer thread / cancels queue-backed entries. Idempotent.
   void stop() EXCLUDES(mu_);
 
  private:
@@ -78,11 +95,16 @@ class PeriodicTimer {
     TimePoint next;
     Duration period;
     Task task;
+    // TimerQueue-backed only: the currently armed queue timer.
+    TimerId queue_timer = 0;
   };
 
   void run() EXCLUDES(mu_);
+  // TimerQueue-backed: fire `handle`'s task and re-arm it.
+  void fire_queued(std::uint64_t handle) EXCLUDES(mu_);
 
   std::string name_;
+  TimerQueue* const timers_;  // null => own thread
   Mutex mu_{"PeriodicTimer"};
   CondVar cv_;
   std::vector<Entry> entries_ GUARDED_BY(mu_);

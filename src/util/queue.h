@@ -40,10 +40,12 @@ class BlockingQueue {
     return take_locked();
   }
 
-  // Like pop() but gives up after the timeout, returning nullopt.
+  // Like pop() but gives up after the timeout, returning nullopt. Blocking
+  // cv waits cannot ride virtual time, so this deadline is wall time by
+  // contract (see util/clock.h); sim code never calls pop_for.
   std::optional<T> pop_for(Duration timeout) EXCLUDES(mu_) {
     const MutexLock lock(mu_);
-    const TimePoint deadline = std::chrono::steady_clock::now() + timeout;
+    const TimePoint deadline = SystemClock::instance().now() + timeout;
     while (items_.empty() && !closed_) {
       if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
     }

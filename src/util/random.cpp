@@ -1,5 +1,6 @@
 #include "util/random.h"
 
+#include <cmath>
 #include <random>
 
 #include "util/thread_annotations.h"
@@ -72,12 +73,24 @@ bool Rng::next_bool(double p) {
   return next_double() < p;
 }
 
+double Rng::next_weibull(double shape_k, double scale_lambda) {
+  // Inverse CDF: lambda * (-ln(1-u))^(1/k). Clamp u away from 1 so the log
+  // argument never reaches 0.
+  const double u = next_double();
+  return scale_lambda * std::pow(-std::log(1.0 - u), 1.0 / shape_k);
+}
+
 Rng& global_rng() {
   static Rng rng{[] {
     std::random_device rd;
     return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
   }()};
   return rng;
+}
+
+void seed_global_rng(std::uint64_t seed) {
+  GlobalRngLock lock;
+  global_rng() = Rng(seed);
 }
 
 GlobalRngLock::GlobalRngLock() { g_global_rng_mutex.lock(); }

@@ -32,6 +32,12 @@ class Rng {
   // Bernoulli trial: true with probability p (clamped to [0,1]).
   bool next_bool(double p);
 
+  // Weibull-distributed sample (shape k > 0, scale lambda > 0) via inverse
+  // CDF. k < 1 models the heavy-tailed session times measured for P2P
+  // overlays (most peers leave quickly, a few stay long) — the sim
+  // harness's churn curves draw from this.
+  double next_weibull(double shape_k, double scale_lambda);
+
   // UniformRandomBitGenerator interface so Rng works with <algorithm>.
   using result_type = std::uint64_t;
   static constexpr result_type min() { return 0; }
@@ -45,8 +51,15 @@ class Rng {
 };
 
 // Process-wide generator used by Uuid::generate(); guarded by a mutex.
-// Seeded from std::random_device at first use.
+// Seeded from std::random_device at first use unless seed_global_rng() ran
+// earlier.
 Rng& global_rng();
+
+// Re-seeds the process-wide generator deterministically. Simulation drivers
+// call this before constructing any peer so every ambient draw (UUIDs,
+// peer ids, propagation ids) is a pure function of the scenario seed — no
+// ambient entropy in sim runs. Takes the GlobalRngLock internally.
+void seed_global_rng(std::uint64_t seed);
 
 // Serializes access to global_rng(); callers must hold this while using it.
 class GlobalRngLock {

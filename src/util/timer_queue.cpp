@@ -7,12 +7,15 @@
 
 namespace p2p::util {
 
-TimerQueue::TimerQueue(const char* name, Mode mode)
-    : name_(name), mode_(mode) {
+TimerQueue::TimerQueue(const char* name, Mode mode, Clock& clock)
+    : name_(name), mode_(mode), clock_(clock) {
   if (mode_ == Mode::kOwnThread) {
     thread_ = std::thread([this] { run(); });
   }
 }
+
+TimerQueue::TimerQueue(const char* name, SimClock& clock)
+    : name_(name), mode_(Mode::kSimulated), clock_(clock), sim_clock_(&clock) {}
 
 TimerQueue::~TimerQueue() { stop(); }
 
@@ -39,8 +42,7 @@ TimerId TimerQueue::schedule_at(TimePoint deadline, TimerTask task) {
 }
 
 TimerId TimerQueue::schedule_after(Duration delay, TimerTask task) {
-  return schedule_impl(std::chrono::steady_clock::now() + delay,
-                       std::move(task));
+  return schedule_impl(clock_.now() + delay, std::move(task));
 }
 
 TimerId TimerQueue::schedule_impl(TimePoint deadline, TimerTask task) {
@@ -88,6 +90,35 @@ std::size_t TimerQueue::run_due(TimePoint now) {
   return fire_due_locked(now, lock);
 }
 
+std::size_t TimerQueue::advance_to(TimePoint target) {
+  if (sim_clock_ == nullptr) {
+    P2P_LOG(kError, "timer") << name_ << ": advance_to on a non-sim queue";
+    return 0;
+  }
+  std::size_t count = 0;
+  for (;;) {
+    // next_deadline may report a lazily-cancelled entry; the run_due below
+    // then pops it and fires nothing — one wasted iteration, never a wrong
+    // instant.
+    const TimePoint next = next_deadline();
+    if (next > target) break;
+    // Step the clock to the deadline BEFORE firing so a callback reading
+    // the clock (ages, re-arm math) sees its own virtual instant.
+    sim_clock_->set(next);
+    count += run_due(sim_clock_->now());
+  }
+  sim_clock_->set(target);
+  return count;
+}
+
+std::size_t TimerQueue::advance_by(Duration d) {
+  if (sim_clock_ == nullptr) {
+    P2P_LOG(kError, "timer") << name_ << ": advance_by on a non-sim queue";
+    return 0;
+  }
+  return advance_to(sim_clock_->now() + d);
+}
+
 std::size_t TimerQueue::fire_due_locked(TimePoint now, MutexLock& lock) {
   std::size_t count = 0;
   while (!heap_.empty() && !stopped_) {
@@ -101,7 +132,7 @@ std::size_t TimerQueue::fire_due_locked(TimePoint now, MutexLock& lock) {
     const std::shared_ptr<TimerTask> task = top.task;
     const std::int64_t lag_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - top.deadline)
+            clock_.now() - top.deadline)
             .count();
     heap_.pop();
     live_.erase(id);
@@ -131,7 +162,7 @@ std::size_t TimerQueue::fire_due_locked(TimePoint now, MutexLock& lock) {
 void TimerQueue::run() {
   MutexLock lock(mu_);
   while (!stopped_) {
-    fire_due_locked(std::chrono::steady_clock::now(), lock);
+    fire_due_locked(clock_.now(), lock);
     if (stopped_) break;
     if (heap_.empty()) {
       cv_.wait(mu_);

@@ -6,13 +6,23 @@
 // connect deadlines / retry backoffs / idle sweeps all schedule callbacks
 // here instead of parking a thread in sleep_for.
 //
-// Two driving modes:
-//   * kOwnThread — the queue runs its own waiter thread (the process-wide
+// Three driving modes:
+//   * kOwnThread  — the queue runs its own waiter thread (the process-wide
 //     TimerQueue::shared() instance used by the fabric and JXTA services).
-//   * kDriven    — no thread; an owner (net::EventLoop) polls
+//   * kDriven     — no thread; an owner (net::EventLoop) polls
 //     next_deadline() to size its epoll timeout and calls run_due() when
 //     it wakes. Scheduling an earlier deadline invokes the owner-supplied
 //     wakeup hook so the owner can re-arm.
+//   * kSimulated  — no thread; the queue holds a SimClock and a driver
+//     (src/sim/) calls advance_to(target), which steps the clock to each
+//     pending deadline ≤ target in order and fires the due callbacks on
+//     the driver thread. Equal deadlines keep schedule (seq) order and a
+//     callback that re-arms at an intermediate virtual instant fires at
+//     that instant, not at target — so a whole overlay of timers replays
+//     deterministically and faster than realtime.
+//
+// All deadline math goes through the injected util::Clock& (defaults to
+// SystemClock::instance()); the queue never reads the wall clock directly.
 //
 // Ordering: callbacks with equal deadlines fire in schedule order (a
 // monotonic sequence number breaks ties), which is what lets the fabric
@@ -41,11 +51,17 @@ using TimerTask = std::function<void()>;
 
 class TimerQueue {
  public:
-  enum class Mode { kOwnThread, kDriven };
+  enum class Mode { kOwnThread, kDriven, kSimulated };
 
   // kOwnThread: spawns the waiter thread immediately. `name` shows up in
-  // deadlock reports and logs.
-  explicit TimerQueue(const char* name, Mode mode = Mode::kOwnThread);
+  // deadlock reports and logs. `clock` is the queue's time authority for
+  // schedule_after / lag accounting (kSimulated requires the SimClock
+  // overload below).
+  explicit TimerQueue(const char* name, Mode mode = Mode::kOwnThread,
+                      Clock& clock = SystemClock::instance());
+  // kSimulated: virtual-time queue stepping `clock`. No thread is spawned;
+  // drive it with advance_to(). The clock must outlive the queue.
+  TimerQueue(const char* name, SimClock& clock);
   ~TimerQueue();
 
   TimerQueue(const TimerQueue&) = delete;
@@ -87,6 +103,17 @@ class TimerQueue {
   // calling thread. Returns the number fired.
   std::size_t run_due(TimePoint now) EXCLUDES(mu_);
 
+  // --- kSimulated interface -----------------------------------------------
+  // Advances the SimClock to `target`, stopping at every pending deadline
+  // on the way: the clock is set to the deadline, due timers fire (seq
+  // FIFO within an instant), and newly scheduled work — including re-arms
+  // landing before `target` — is honoured at its own virtual instant.
+  // Afterwards the clock reads `target`. Returns the number fired.
+  // kSimulated only; single driver thread by contract.
+  std::size_t advance_to(TimePoint target) EXCLUDES(mu_);
+  // advance_to(now + d), for scripted "run the world for d" steps.
+  std::size_t advance_by(Duration d) EXCLUDES(mu_);
+
   // --- introspection ------------------------------------------------------
   [[nodiscard]] std::size_t pending() const EXCLUDES(mu_);
   [[nodiscard]] std::uint64_t fired() const EXCLUDES(mu_);
@@ -118,6 +145,8 @@ class TimerQueue {
 
   const char* name_;
   const Mode mode_;
+  Clock& clock_;
+  SimClock* sim_clock_ = nullptr;  // non-null iff mode_ == kSimulated
   mutable Mutex mu_{"timer-queue"};
   CondVar cv_;
   std::function<void()> wakeup_ GUARDED_BY(mu_);

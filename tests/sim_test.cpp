@@ -1,0 +1,172 @@
+// The virtual-time scenario harness: determinism regression (same seed =>
+// byte-identical run signature), plus the per-scenario invariants at sizes
+// small enough for the test suite.
+
+#include "sim/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "jxta/wire.h"
+#include "sim/sim_world.h"
+
+namespace p2p::sim {
+namespace {
+
+using std::chrono::milliseconds;
+
+jxta::PipeAdvertisement topic(const std::string& name) {
+  jxta::PipeAdvertisement adv;
+  adv.pid = jxta::PipeId::derive(name);
+  adv.name = name;
+  adv.type = jxta::PipeAdvertisement::Type::kPropagate;
+  return adv;
+}
+
+TEST(SimWorldTest, VirtualTimeAdvancesWithoutWallClock) {
+  SimWorld world(1);
+  EXPECT_EQ(world.now_ms(), 0);
+  int fired = 0;
+  world.at(milliseconds(250), [&] { ++fired; });
+  world.run_for(milliseconds(1000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(world.now_ms(), 1000);
+}
+
+TEST(SimWorldTest, SingleThreadedPeersTalkOverTheFabric) {
+  SimWorld world(2);
+  jxta::PeerConfig rdv;
+  rdv.name = "rdv";
+  rdv.rendezvous = true;
+  rdv.announce_on_start = false;
+  world.add_peer(rdv);
+
+  jxta::PeerConfig edge;
+  edge.name = "edge";
+  edge.seed_rendezvous = {net::Address("inproc", "rdv")};
+  edge.announce_on_start = false;
+  auto& sub = world.add_peer(edge);
+
+  const auto t = topic("sim-smoke");
+  auto in = sub.net_group().wire().create_input_pipe(t);
+  int got = 0;
+  in->set_listener([&](jxta::Message) { ++got; });
+
+  jxta::PeerConfig pub_cfg;
+  pub_cfg.name = "pub";
+  pub_cfg.seed_rendezvous = {net::Address("inproc", "rdv")};
+  pub_cfg.announce_on_start = false;
+  auto& pub = world.add_peer(pub_cfg);
+  world.run_for(milliseconds(2000));  // leases
+
+  auto out = pub.net_group().wire().create_output_pipe(t);
+  jxta::Message m;
+  m.add_string("k", "v");
+  out->send(std::move(m));
+  world.run_for(milliseconds(1000));
+  EXPECT_EQ(got, 1);
+  in->close();
+  out->close();
+}
+
+TEST(SimWorldTest, DuplicatePeerNameThrows) {
+  SimWorld world(3);
+  jxta::PeerConfig config;
+  config.name = "twin";
+  config.announce_on_start = false;
+  world.add_peer(config);
+  EXPECT_THROW(world.add_peer(config), util::InvalidArgument);
+}
+
+TEST(ScenarioTest, FlashCrowdDeliversExactlyOnce) {
+  FlashCrowdOptions opt;
+  opt.subscribers = 50;
+  opt.rendezvous = 2;
+  const ScenarioResult r = run_flash_crowd(opt);
+  EXPECT_TRUE(r.ok()) << r.to_json();
+  EXPECT_EQ(r.metrics.at("delivered"), r.metrics.at("expected"));
+}
+
+TEST(ScenarioTest, LossBurstDegradesButDoesNotBlackOut) {
+  LossBurstOptions opt;
+  opt.subscribers = 30;
+  const ScenarioResult r = run_loss_burst(opt);
+  EXPECT_TRUE(r.ok()) << r.to_json();
+  EXPECT_EQ(r.metrics.at("clean_delivered"), r.metrics.at("clean_expected"));
+  EXPECT_GT(r.metrics.at("burst_delivered"), 0);
+  EXPECT_LT(r.metrics.at("burst_delivered"), r.metrics.at("burst_expected"));
+}
+
+TEST(ScenarioTest, FirewalledPeersStillGetEveryPublish) {
+  FirewallOptions opt;
+  opt.subscribers = 40;
+  const ScenarioResult r = run_firewall(opt);
+  EXPECT_TRUE(r.ok()) << r.to_json();
+  EXPECT_EQ(r.metrics.at("firewalled"), 20);
+}
+
+TEST(ScenarioTest, KadLookupsConvergeWithBoundedHops) {
+  KadConvergenceOptions opt;
+  opt.peers = 32;
+  opt.lookups = 8;
+  const ScenarioResult r = run_kad_convergence(opt);
+  EXPECT_TRUE(r.ok()) << r.to_json();
+  EXPECT_EQ(r.metrics.at("completed"), 8);
+  EXPECT_GT(r.metrics.at("hits"), 0);
+}
+
+TEST(ScenarioTest, ChurnKeepsDeliveringAndNeverHitsGhosts) {
+  ChurnOptions opt;
+  opt.peers = 60;
+  opt.duration_ms = 30'000;
+  const ScenarioResult r = run_churn(opt);
+  EXPECT_TRUE(r.ok()) << r.to_json();
+  EXPECT_GT(r.metrics.at("leaves"), 0);
+}
+
+// The headline regression: a 500-peer churn run replayed with the same
+// seed must produce the byte-identical deterministic signature — same
+// trace hash, same metrics, same virtual timeline. A different seed must
+// not (it shifts every session length and join offset).
+TEST(ScenarioTest, ChurnIsDeterministicPerSeed) {
+  ChurnOptions opt;
+  opt.peers = 500;
+  const ScenarioResult a = run_churn(opt);
+  const ScenarioResult b = run_churn(opt);
+  EXPECT_TRUE(a.ok()) << a.to_json();
+  EXPECT_EQ(a.determinism_key(), b.determinism_key());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.trace_events, b.trace_events);
+
+  ChurnOptions other = opt;
+  other.seed = opt.seed + 1;
+  const ScenarioResult c = run_churn(other);
+  EXPECT_NE(a.determinism_key(), c.determinism_key());
+}
+
+TEST(ScenarioTest, FlashCrowdIsDeterministicPerSeed) {
+  FlashCrowdOptions opt;
+  opt.subscribers = 100;
+  const ScenarioResult a = run_flash_crowd(opt);
+  const ScenarioResult b = run_flash_crowd(opt);
+  EXPECT_EQ(a.determinism_key(), b.determinism_key());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+
+  FlashCrowdOptions other = opt;
+  other.seed = opt.seed + 1;
+  const ScenarioResult c = run_flash_crowd(other);
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+TEST(ScenarioTest, DeterminismKeyExcludesWallMeasurements) {
+  FlashCrowdOptions opt;
+  opt.subscribers = 10;
+  ScenarioResult r = run_flash_crowd(opt);
+  const std::string key = r.determinism_key();
+  r.wall_seconds = 123.0;
+  r.rss_mb = 456.0;
+  EXPECT_EQ(r.determinism_key(), key);  // wall/rss never leak into the key
+  EXPECT_NE(r.to_json(), key);          // but the full dump carries them
+}
+
+}  // namespace
+}  // namespace p2p::sim

@@ -188,5 +188,89 @@ TEST(TimerQueueTest, SharedInstanceFires) {
   EXPECT_TRUE(wait_until([&] { return ran.load(); }));
 }
 
+// --- kSimulated (virtual-time) mode -----------------------------------------
+
+TEST(TimerQueueSimTest, AdvanceFiresAtEachVirtualInstant) {
+  SimClock clock;
+  TimerQueue q("tq-sim", clock);
+  std::vector<std::int64_t> fired_at_ms;
+  const TimePoint start = clock.now();
+  auto at_ms = [&](std::int64_t off) { return start + milliseconds(off); };
+  for (const std::int64_t off : {70, 10, 40}) {
+    q.schedule_at(at_ms(off), [&, off] {
+      // The clock must already read the deadline when the callback runs.
+      EXPECT_EQ(clock.now(), at_ms(off));
+      fired_at_ms.push_back(off);
+    });
+  }
+  EXPECT_EQ(q.advance_to(at_ms(100)), 3u);
+  EXPECT_EQ(fired_at_ms, (std::vector<std::int64_t>{10, 40, 70}));
+  EXPECT_EQ(clock.now(), at_ms(100));  // ends at target, not the last deadline
+}
+
+TEST(TimerQueueSimTest, PastDeadlineFiresOnNextAdvance) {
+  SimClock clock;
+  TimerQueue q("tq-sim", clock);
+  // A deadline at (or before) the current virtual instant is already due;
+  // the next advance must run it even for a zero-length step.
+  bool ran = false;
+  q.schedule_after(milliseconds(0), [&] { ran = true; });
+  EXPECT_EQ(q.advance_by(milliseconds(0)), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(TimerQueueSimTest, SameInstantKeepsScheduleOrder) {
+  SimClock clock;
+  TimerQueue q("tq-sim", clock);
+  const TimePoint deadline = clock.now() + milliseconds(5);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule_at(deadline, [&, i] { order.push_back(i); });
+  }
+  q.advance_by(milliseconds(5));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TimerQueueSimTest, ReArmFiresAtItsOwnVirtualInstant) {
+  SimClock clock;
+  TimerQueue q("tq-sim", clock);
+  const TimePoint start = clock.now();
+  std::vector<std::int64_t> ticks_ms;
+  // A periodic timer re-arming itself every 10ms: one advance over 35ms
+  // must produce ticks at 10/20/30, each observed at its own instant.
+  std::function<void()> tick = [&] {
+    ticks_ms.push_back(
+        std::chrono::duration_cast<milliseconds>(clock.now() - start).count());
+    q.schedule_after(milliseconds(10), tick);
+  };
+  q.schedule_after(milliseconds(10), tick);
+  EXPECT_EQ(q.advance_by(milliseconds(35)), 3u);
+  EXPECT_EQ(ticks_ms, (std::vector<std::int64_t>{10, 20, 30}));
+  EXPECT_EQ(q.pending(), 1u);  // the 40ms re-arm is still waiting
+}
+
+TEST(TimerQueueSimTest, CancelDuringAdvanceIsQuiescent) {
+  SimClock clock;
+  TimerQueue q("tq-sim", clock);
+  // The first timer cancels the second (a later virtual instant) while the
+  // advance is in flight; the cancelled callback must never run.
+  bool victim_ran = false;
+  const TimerId victim =
+      q.schedule_after(milliseconds(20), [&] { victim_ran = true; });
+  q.schedule_after(milliseconds(10), [&] { EXPECT_TRUE(q.cancel(victim)); });
+  EXPECT_EQ(q.advance_by(milliseconds(50)), 1u);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(TimerQueueSimTest, ManualClockAliasStillWorks) {
+  // ManualClock is SimClock now; the old name must keep compiling for
+  // existing call sites and behave identically.
+  ManualClock clock;
+  const TimePoint before = clock.now();
+  clock.advance(milliseconds(25));
+  EXPECT_EQ(clock.now() - before, milliseconds(25));
+}
+
 }  // namespace
 }  // namespace p2p::util

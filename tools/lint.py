@@ -24,6 +24,13 @@ Checks (each can be listed with --list):
                   owning EventLoop) and keep the calling thread available.
                   A sleeping thread pins a whole OS thread per wait — the
                   thread-per-connection disease the reactor removed.
+  wall-clock      No steady_clock::now() / system_clock::now() in src/
+                  outside util/clock.h. Time comes from an injected
+                  util::Clock& so the whole substrate can run on virtual
+                  time (src/sim/); a raw clock read is an event the
+                  simulation cannot see or replay. Blocking cv-wait
+                  deadlines use util::SystemClock::instance().now()
+                  explicitly (a condvar cannot be woken by virtual time).
   self-include    Every src/**/*.cpp whose matching header exists includes
                   that header first (IWYU-style: the header must be
                   self-sufficient, and its own .cpp is where that is
@@ -252,6 +259,27 @@ def check_src_sleep(tree: Tree) -> list[str]:
     return errors
 
 
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:std::chrono::)?(?:steady_clock|system_clock)::now\s*\(")
+WALL_CLOCK_EXEMPT = "src/util/clock.h"
+
+
+def check_wall_clock(tree: Tree) -> list[str]:
+    errors = []
+    for path in tree.matching("src/", (".h", ".cpp")):
+        if path == WALL_CLOCK_EXEMPT:
+            continue
+        code = strip_comments(tree.files[path])
+        for m in WALL_CLOCK_RE.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: {m.group(0).rstrip('(')}"
+                f"() reads the wall clock directly — production code takes "
+                f"its time from an injected util::Clock& (virtual time in "
+                f"simulation); for a blocking cv-wait deadline use "
+                f"util::SystemClock::instance().now() and say why")
+    return errors
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
 
 
@@ -454,6 +482,7 @@ CHECKS = {
     "raw-mutex": check_raw_mutex,
     "test-sleep": check_test_sleep,
     "src-sleep": check_src_sleep,
+    "wall-clock": check_wall_clock,
     "self-include": check_self_include,
     "config-builder": check_config_builder,
     "metrics-manifest": check_metrics_manifest,
@@ -511,6 +540,20 @@ def self_test() -> int:
          Tree({"src/x/a.cpp":
                "// std::this_thread::sleep_for would park the thread\n"
                "auto id = std::this_thread::get_id();\n"}),
+         None),
+        ("wall-clock catches steady_clock::now in src",
+         Tree({"src/x/a.cpp":
+               "const auto t = std::chrono::steady_clock::now();"}),
+         "wall-clock"),
+        ("wall-clock catches unqualified system_clock::now in a header",
+         Tree({"src/x/a.h": "auto t = system_clock::now();"}),
+         "wall-clock"),
+        ("wall-clock exempts util/clock.h and ignores comments",
+         Tree({"src/util/clock.h":
+               "return std::chrono::steady_clock::now();",
+               "src/x/a.cpp":
+               "// steady_clock::now() is banned here\n"
+               "auto t = clock_.now();\n"}),
          None),
         ("self-include catches wrong first include",
          Tree({"src/x/a.h": "", "src/x/a.cpp":
